@@ -1,0 +1,115 @@
+/// Ablation benches for the design choices called out in DESIGN.md §4:
+///   1. DPsize with vs. without the s1 = s2 successor-list optimization
+///      (Section 2.1 of the paper).
+///   2. DPsub's connectivity test: plan-table presence vs. bitset-BFS.
+///   3. DPccp on pre-BFS-numbered vs. adversarially shuffled input (cost
+///      of the internal renumbering + relabeling).
+///   4. Plan-table backend: dense array vs. hash map, on the access
+///      pattern DPsub generates.
+
+#include <cstdio>
+#include <string>
+
+#include "common.h"
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsub.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "plan/plan_table.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+namespace {
+
+void AblateDPsizeEqualSizeOptimization() {
+  std::printf("\n[1] DPsize equal-size optimization (clique queries)\n");
+  std::printf("%4s  %14s  %14s  %8s\n", "n", "optimized_s", "unoptimized_s",
+              "speedup");
+  const CoutCostModel cost_model;
+  const DPsize optimized(true);
+  const DPsize unoptimized(false);
+  for (const int n : {8, 10, 12}) {
+    Result<QueryGraph> graph = MakeCliqueQuery(n);
+    JOINOPT_CHECK(graph.ok());
+    const double with = bench::MeasureSeconds(optimized, *graph, cost_model);
+    const double without =
+        bench::MeasureSeconds(unoptimized, *graph, cost_model);
+    std::printf("%4d  %14s  %14s  %7.2fx\n", n,
+                bench::FormatSeconds(with).c_str(),
+                bench::FormatSeconds(without).c_str(), without / with);
+  }
+}
+
+void AblateDPsubConnectivityTest() {
+  std::printf("\n[2] DPsub connectivity test (chain queries)\n");
+  std::printf("%4s  %14s  %14s  %8s\n", "n", "table_s", "bfs_s", "speedup");
+  const CoutCostModel cost_model;
+  const DPsub table_variant(true);
+  const DPsub bfs_variant(false);
+  for (const int n : {12, 15, 18}) {
+    Result<QueryGraph> graph = MakeChainQuery(n);
+    JOINOPT_CHECK(graph.ok());
+    const double with_table =
+        bench::MeasureSeconds(table_variant, *graph, cost_model);
+    const double with_bfs =
+        bench::MeasureSeconds(bfs_variant, *graph, cost_model);
+    std::printf("%4d  %14s  %14s  %7.2fx\n", n,
+                bench::FormatSeconds(with_table).c_str(),
+                bench::FormatSeconds(with_bfs).c_str(), with_bfs / with_table);
+  }
+}
+
+void AblateDPccpRenumbering() {
+  std::printf("\n[3] DPccp: BFS-prenumbered vs shuffled input (chains)\n");
+  std::printf("%4s  %14s  %14s  %8s\n", "n", "prenumbered_s", "shuffled_s",
+              "overhead");
+  const CoutCostModel cost_model;
+  const DPccp dpccp;
+  Random rng(7);
+  for (const int n : {16, 24, 32}) {
+    Result<QueryGraph> graph = MakeChainQuery(n);
+    JOINOPT_CHECK(graph.ok());
+    const QueryGraph shuffled = ShuffleLabels(*graph, rng);
+    const double pre = bench::MeasureSeconds(dpccp, *graph, cost_model);
+    const double shuf = bench::MeasureSeconds(dpccp, shuffled, cost_model);
+    std::printf("%4d  %14s  %14s  %7.2fx\n", n,
+                bench::FormatSeconds(pre).c_str(),
+                bench::FormatSeconds(shuf).c_str(), shuf / pre);
+  }
+}
+
+void AblatePlanTableBackend() {
+  std::printf("\n[4] Plan table backend (DPsub access pattern, n=16)\n");
+  const int n = 16;
+  const uint64_t limit = (uint64_t{1} << n) - 1;
+  for (const bool dense : {true, false}) {
+    const Stopwatch stopwatch;
+    PlanTable table(n, dense ? 20 : 0);
+    uint64_t hits = 0;
+    for (uint64_t mask = 1; mask <= limit; ++mask) {
+      PlanEntry& entry = table.GetOrCreate(NodeSet::FromMask(mask));
+      entry.cost = static_cast<double>(mask);
+      table.NotePopulated();
+      // Probe a few subsets like DPsub's inner loop would.
+      hits += table.Find(NodeSet::FromMask(mask & (mask - 1))) != nullptr;
+      hits += table.Find(NodeSet::FromMask(mask >> 1)) != nullptr;
+    }
+    std::printf("  %-6s  %10s  (probe hits %llu)\n", dense ? "dense" : "sparse",
+                bench::FormatSeconds(stopwatch.ElapsedSeconds()).c_str(),
+                static_cast<unsigned long long>(hits));
+  }
+}
+
+}  // namespace
+}  // namespace joinopt
+
+int main() {
+  std::printf("Ablation benches (DESIGN.md §4)\n");
+  joinopt::AblateDPsizeEqualSizeOptimization();
+  joinopt::AblateDPsubConnectivityTest();
+  joinopt::AblateDPccpRenumbering();
+  joinopt::AblatePlanTableBackend();
+  return 0;
+}

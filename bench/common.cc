@@ -1,0 +1,126 @@
+#include "common.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analytics/counts.h"
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsub.h"
+#include "cost/cost_model.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+namespace bench {
+
+uint64_t InnerCounterBudget() {
+  static const uint64_t budget = [] {
+    const char* env = std::getenv("JOINOPT_MAX_INNER");
+    if (env != nullptr) {
+      const double parsed = std::atof(env);
+      if (parsed > 0) {
+        return static_cast<uint64_t>(parsed);
+      }
+    }
+    // Default admits every Figure 3/12 cell except DPsize at star-20
+    // (6e10) and clique-20 (3e11) — the cells that took 4791 s and
+    // 21294 s on the paper's 2006 testbed.
+    return uint64_t{4'000'000'000};
+  }();
+  return budget;
+}
+
+double MeasureSeconds(const JoinOrderer& orderer, const QueryGraph& graph,
+                      const CostModel& cost_model) {
+  constexpr double kTargetSeconds = 0.2;
+  const Stopwatch total;
+  int runs = 0;
+  do {
+    const Result<OptimizationResult> result =
+        orderer.Optimize(graph, cost_model);
+    if (!result.ok()) {
+      std::fprintf(stderr, "benchmark optimizer %s failed: %s\n",
+                   std::string(orderer.name()).c_str(),
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    ++runs;
+  } while (total.ElapsedSeconds() < kTargetSeconds);
+  return total.ElapsedSeconds() / runs;
+}
+
+std::optional<uint64_t> PredictedInner(const std::string& algorithm,
+                                       QueryShape shape, int n) {
+  if (algorithm == "DPsize") {
+    return PredictedInnerCounterDPsize(shape, n);
+  }
+  if (algorithm == "DPsub") {
+    return PredictedInnerCounterDPsub(shape, n);
+  }
+  if (algorithm == "DPccp") {
+    return PredictedInnerCounterDPccp(shape, n);
+  }
+  return std::nullopt;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2g", seconds);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2g", seconds);
+  } else if (seconds < 100.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.3g", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", seconds);
+  }
+  return buffer;
+}
+
+void RunRelativePerformanceFigure(const std::string& figure, QueryShape shape,
+                                  int max_n) {
+  const CoutCostModel cost_model;
+  const DPsize dpsize;
+  const DPsub dpsub;
+  const DPccp dpccp;
+  const uint64_t budget = InnerCounterBudget();
+
+  std::printf("%s: runtime relative to DPccp, %s queries (budget %.2g)\n",
+              figure.c_str(), std::string(QueryShapeName(shape)).c_str(),
+              static_cast<double>(budget));
+  std::printf("%4s  %12s  %12s  %10s  %14s\n", "n", "DPsize/DPccp",
+              "DPsub/DPccp", "DPccp", "DPccp_time_s");
+
+  for (int n = 2; n <= max_n; ++n) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "graph generation failed: %s\n",
+                   graph.status().ToString().c_str());
+      std::abort();
+    }
+    const double ccp_seconds = MeasureSeconds(dpccp, *graph, cost_model);
+
+    std::string size_cell = "skipped";
+    if (*PredictedInner("DPsize", shape, n) <= budget) {
+      const double size_seconds = MeasureSeconds(dpsize, *graph, cost_model);
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.3g",
+                    size_seconds / ccp_seconds);
+      size_cell = buffer;
+    }
+    std::string sub_cell = "skipped";
+    if (*PredictedInner("DPsub", shape, n) <= budget) {
+      const double sub_seconds = MeasureSeconds(dpsub, *graph, cost_model);
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.3g", sub_seconds / ccp_seconds);
+      sub_cell = buffer;
+    }
+    std::printf("%4d  %12s  %12s  %10s  %14s\n", n, size_cell.c_str(),
+                sub_cell.c_str(), "1", FormatSeconds(ccp_seconds).c_str());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace bench
+}  // namespace joinopt

@@ -1,0 +1,47 @@
+#ifndef JOINOPT_BENCH_COMMON_H_
+#define JOINOPT_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/optimizer.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace bench {
+
+/// Work budget for a single benchmark cell, in predicted InnerCounter
+/// iterations. Cells whose closed-form prediction exceeds the budget are
+/// skipped and reported as such (the paper's own star-20/clique-20 DPsize
+/// cells ran for hours on 2006 hardware). Override with the environment
+/// variable JOINOPT_MAX_INNER (e.g. JOINOPT_MAX_INNER=1e12 to run
+/// everything).
+uint64_t InnerCounterBudget();
+
+/// Measures one optimizer on one graph: runs Optimize repeatedly until
+/// ~0.2 s of cumulative runtime (at least once) and returns the mean
+/// wall-clock seconds per optimization. Aborts the process on optimizer
+/// failure — benchmark inputs are all valid by construction.
+double MeasureSeconds(const JoinOrderer& orderer, const QueryGraph& graph,
+                      const CostModel& cost_model);
+
+/// Predicted InnerCounter for gating, per algorithm name ("DPsize",
+/// "DPsub", "DPccp"). Other names get no prediction (never skipped).
+std::optional<uint64_t> PredictedInner(const std::string& algorithm,
+                                       QueryShape shape, int n);
+
+/// Runs the relative-performance experiment behind Figures 8-11: for each
+/// n in [2, max_n], times DPsize, DPsub, and DPccp on `shape` and prints
+/// one row with the runtimes normalized to DPccp ( = 1.0), skipping cells
+/// over budget. `figure` is the caption label.
+void RunRelativePerformanceFigure(const std::string& figure, QueryShape shape,
+                                  int max_n);
+
+/// Formats seconds the way Figure 12 does ("7.7e-6", "0.048", "4791").
+std::string FormatSeconds(double seconds);
+
+}  // namespace bench
+}  // namespace joinopt
+
+#endif  // JOINOPT_BENCH_COMMON_H_

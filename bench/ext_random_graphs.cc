@@ -1,0 +1,71 @@
+/// Extension bench (beyond the paper's four families): DPccp's
+/// adaptivity claim on graphs BETWEEN the extremes. Sweeps random
+/// connected graphs from tree-sparse to clique-dense at fixed n and
+/// reports each algorithm's InnerCounter and runtime vs. the #ccp lower
+/// bound. The paper's thesis predicts DPccp == lower bound everywhere
+/// while DPsize degrades with density and DPsub with sparsity.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "analytics/brute_force.h"
+#include "common.h"
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsub.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace joinopt;  // NOLINT(build/namespaces)
+
+  constexpr int kRelations = 14;
+  const CoutCostModel cost_model;
+  const DPsize dpsize;
+  const DPsub dpsub;
+  const DPccp dpccp;
+
+  std::printf(
+      "Random connected graphs, n = %d, density sweep (seed-averaged x3)\n",
+      kRelations);
+  std::printf("%12s  %10s | %12s %12s %12s | %10s %10s %10s\n", "extra_edges",
+              "#ccp", "I_DPsize", "I_DPsub", "I_DPccp", "t_size", "t_sub",
+              "t_ccp");
+
+  const int max_extra = kRelations * (kRelations - 1) / 2 - (kRelations - 1);
+  for (const int extra :
+       {0, 2, 5, 10, 20, 40, 60, max_extra}) {
+    uint64_t ccp = 0, inner_size = 0, inner_sub = 0, inner_ccp = 0;
+    double time_size = 0, time_sub = 0, time_ccp = 0;
+    for (const uint64_t seed : {1u, 2u, 3u}) {
+      WorkloadConfig config;
+      config.seed = seed;
+      Result<QueryGraph> graph =
+          MakeRandomConnectedQuery(kRelations, extra, config);
+      JOINOPT_CHECK(graph.ok());
+
+      Result<OptimizationResult> size_result =
+          dpsize.Optimize(*graph, cost_model);
+      Result<OptimizationResult> sub_result =
+          dpsub.Optimize(*graph, cost_model);
+      Result<OptimizationResult> ccp_result =
+          dpccp.Optimize(*graph, cost_model);
+      JOINOPT_CHECK(size_result.ok() && sub_result.ok() && ccp_result.ok());
+      ccp += ccp_result->stats.ono_lohman_counter;
+      inner_size += size_result->stats.inner_counter;
+      inner_sub += sub_result->stats.inner_counter;
+      inner_ccp += ccp_result->stats.inner_counter;
+      time_size += bench::MeasureSeconds(dpsize, *graph, cost_model);
+      time_sub += bench::MeasureSeconds(dpsub, *graph, cost_model);
+      time_ccp += bench::MeasureSeconds(dpccp, *graph, cost_model);
+    }
+    std::printf("%12d  %10" PRIu64 " | %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                " | %10s %10s %10s\n",
+                extra, ccp / 3, inner_size / 3, inner_sub / 3, inner_ccp / 3,
+                bench::FormatSeconds(time_size / 3).c_str(),
+                bench::FormatSeconds(time_sub / 3).c_str(),
+                bench::FormatSeconds(time_ccp / 3).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

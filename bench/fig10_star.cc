@@ -1,0 +1,15 @@
+/// Reproduces Figure 10: runtime of DPsize/DPsub relative to DPccp on
+/// star queries. Expected shape: both existing algorithms blow up —
+/// DPsize by orders of magnitude (its per-size pair lists explode),
+/// DPsub by a smaller but still exponential factor. DPccp's advantage
+/// here is the paper's headline result (stars are the data-warehouse
+/// case). DPsize cells beyond the work budget are skipped; raise
+/// JOINOPT_MAX_INNER to run them.
+
+#include "common.h"
+
+int main() {
+  joinopt::bench::RunRelativePerformanceFigure(
+      "Figure 10", joinopt::QueryShape::kStar, /*max_n=*/20);
+  return 0;
+}

@@ -1,0 +1,13 @@
+/// Reproduces Figure 11: runtime of DPsize/DPsub relative to DPccp on
+/// clique queries. Expected shape: DPsub within a small constant of
+/// DPccp (its enumeration is perfect on dense graphs; DPccp pays up to
+/// ~30% enumeration overhead and can even be slightly slower), DPsize
+/// orders of magnitude worse.
+
+#include "common.h"
+
+int main() {
+  joinopt::bench::RunRelativePerformanceFigure(
+      "Figure 11", joinopt::QueryShape::kClique, /*max_n=*/18);
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Reproduces Figure 12: sample absolute running times (seconds) of
+/// DPsize, DPsub, and DPccp for chain, cycle, star, and clique queries at
+/// n in {5, 10, 15, 20}.
+///
+/// Absolute numbers will differ from the paper's 2006 testbed; the shape
+/// to verify is the ordering within each row and the growth down each
+/// column (e.g. star-20: DPsize >> DPsub >> DPccp; the paper reports
+/// 4791 s / 42.7 s / 1.00 s). Cells whose predicted InnerCounter exceeds
+/// JOINOPT_MAX_INNER are skipped — the paper's star-20 and clique-20
+/// DPsize cells are ~6e10 and ~3e11 iterations; set
+/// JOINOPT_MAX_INNER=1e12 and expect minutes if you want them.
+
+#include <cstdio>
+#include <string>
+
+#include "common.h"
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsub.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+void PrintRow(const QueryGraph& graph, QueryShape shape, int n) {
+  const CoutCostModel cost_model;
+  const DPsize dpsize;
+  const DPsub dpsub;
+  const DPccp dpccp;
+  const uint64_t budget = bench::InnerCounterBudget();
+
+  const auto cell = [&](const JoinOrderer& orderer,
+                        const std::string& algorithm) -> std::string {
+    if (*bench::PredictedInner(algorithm, shape, n) > budget) {
+      return "skipped";
+    }
+    return bench::FormatSeconds(
+        bench::MeasureSeconds(orderer, graph, cost_model));
+  };
+  std::printf("%4d  %12s  %12s  %12s\n", n, cell(dpsize, "DPsize").c_str(),
+              cell(dpsub, "DPsub").c_str(), cell(dpccp, "DPccp").c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace joinopt
+
+int main() {
+  using joinopt::MakeShapeQuery;
+  using joinopt::QueryShape;
+  std::printf("Figure 12: sample absolute running times (s)\n");
+  for (const QueryShape shape : {QueryShape::kChain, QueryShape::kCycle,
+                                 QueryShape::kStar, QueryShape::kClique}) {
+    std::printf("\n%s queries\n%4s  %12s  %12s  %12s\n",
+                std::string(joinopt::QueryShapeName(shape)).c_str(), "n",
+                "DPsize", "DPsub", "DPccp");
+    for (const int n : {5, 10, 15, 20}) {
+      auto graph = MakeShapeQuery(shape, n);
+      JOINOPT_CHECK(graph.ok());
+      joinopt::PrintRow(*graph, shape, n);
+    }
+  }
+  return 0;
+}

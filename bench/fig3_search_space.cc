@@ -1,0 +1,77 @@
+/// Reproduces Figure 3 of Moerkotte & Neumann (VLDB 2006): the size of
+/// the search space for chain, cycle, star, and clique queries — #ccp and
+/// the InnerCounter of DPsub and DPsize for n in {2, 5, 10, 15, 20}.
+///
+/// Two sources are printed per cell: the closed-form prediction (always)
+/// and the counter measured by actually running the algorithm (when the
+/// predicted work fits the JOINOPT_MAX_INNER budget). A reproduction
+/// succeeds when measured == predicted == the paper's table.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "analytics/counts.h"
+#include "common.h"
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsub.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+constexpr int kSizes[] = {2, 5, 10, 15, 20};
+
+std::string MeasuredOrDash(const JoinOrderer& orderer, QueryShape shape,
+                           int n, const std::string& algorithm) {
+  const uint64_t predicted =
+      *bench::PredictedInner(algorithm, shape, n);
+  if (predicted > bench::InnerCounterBudget()) {
+    return "-";
+  }
+  Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+  JOINOPT_CHECK(graph.ok());
+  const CoutCostModel cost_model;
+  Result<OptimizationResult> result = orderer.Optimize(*graph, cost_model);
+  JOINOPT_CHECK(result.ok());
+  return std::to_string(result->stats.inner_counter);
+}
+
+void PrintShape(QueryShape shape) {
+  const DPsize dpsize;
+  const DPsub dpsub;
+  const DPccp dpccp;
+  std::printf("\n%s queries\n", std::string(QueryShapeName(shape)).c_str());
+  std::printf("%4s  %14s  %14s  %14s | %14s  %14s  %14s\n", "n", "#ccp",
+              "DPsub", "DPsize", "meas #ccp", "meas DPsub", "meas DPsize");
+  for (const int n : kSizes) {
+    std::printf(
+        "%4d  %14" PRIu64 "  %14" PRIu64 "  %14" PRIu64
+        " | %14s  %14s  %14s\n",
+        n, CcpCountUnordered(shape, n), PredictedInnerCounterDPsub(shape, n),
+        PredictedInnerCounterDPsize(shape, n),
+        MeasuredOrDash(dpccp, shape, n, "DPccp").c_str(),
+        MeasuredOrDash(dpsub, shape, n, "DPsub").c_str(),
+        MeasuredOrDash(dpsize, shape, n, "DPsize").c_str());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace joinopt
+
+int main() {
+  std::printf(
+      "Figure 3: size of the search space for different graph structures\n"
+      "(#ccp is the Ono-Lohman count = unordered csg-cmp-pairs; measured\n"
+      " columns rerun the real algorithms; '-' = over JOINOPT_MAX_INNER "
+      "budget)\n");
+  for (const joinopt::QueryShape shape :
+       {joinopt::QueryShape::kChain, joinopt::QueryShape::kCycle,
+        joinopt::QueryShape::kStar, joinopt::QueryShape::kClique}) {
+    joinopt::PrintShape(shape);
+  }
+  return 0;
+}

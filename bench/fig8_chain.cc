@@ -1,0 +1,11 @@
+/// Reproduces Figure 8: runtime of DPsize/DPsub relative to DPccp on
+/// chain queries. Expected shape: DPsize tracks DPccp closely (within a
+/// small constant), DPsub degrades exponentially.
+
+#include "common.h"
+
+int main() {
+  joinopt::bench::RunRelativePerformanceFigure(
+      "Figure 8", joinopt::QueryShape::kChain, /*max_n=*/20);
+  return 0;
+}

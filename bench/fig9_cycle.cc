@@ -1,0 +1,11 @@
+/// Reproduces Figure 9: runtime of DPsize/DPsub relative to DPccp on
+/// cycle queries. Expected shape: like chains — DPsize competitive,
+/// DPsub exponentially worse.
+
+#include "common.h"
+
+int main() {
+  joinopt::bench::RunRelativePerformanceFigure(
+      "Figure 9", joinopt::QueryShape::kCycle, /*max_n=*/20);
+  return 0;
+}

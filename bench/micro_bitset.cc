@@ -1,0 +1,70 @@
+/// Microbenchmarks of the bitset substrate: NodeSet algebra, element
+/// iteration, and the Vance-Maier subset enumeration that DPsub's inner
+/// loop and EnumerateCsgRec are built on.
+
+#include <benchmark/benchmark.h>
+
+#include "bitset/node_set.h"
+#include "bitset/subset_iterator.h"
+
+namespace joinopt {
+namespace {
+
+void BM_NodeSetUnionIntersect(benchmark::State& state) {
+  NodeSet a = NodeSet::Of({0, 3, 7, 12, 31});
+  NodeSet b = NodeSet::Of({1, 3, 8, 12, 63});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a | b);
+    benchmark::DoNotOptimize(a & b);
+    benchmark::DoNotOptimize(a - b);
+  }
+}
+BENCHMARK(BM_NodeSetUnionIntersect);
+
+void BM_NodeSetIterate(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  NodeSet s;
+  for (int i = 0; i < bits; ++i) {
+    s.Add(i * (63 / (bits > 1 ? bits - 1 : 1)));
+  }
+  for (auto _ : state) {
+    int sum = 0;
+    for (int v : s) {
+      sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * bits);
+}
+BENCHMARK(BM_NodeSetIterate)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SubsetEnumeration(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const NodeSet superset = NodeSet::Prefix(bits);
+  for (auto _ : state) {
+    uint64_t count = 0;
+    for (SubsetIterator it(superset); !it.Done(); it.Next()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * ((1 << bits) - 1));
+}
+BENCHMARK(BM_SubsetEnumeration)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_ProperSubsetEnumeration(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const NodeSet superset = NodeSet::Prefix(bits);
+  for (auto _ : state) {
+    uint64_t count = 0;
+    for (ProperSubsetIterator it(superset); !it.Done(); it.Next()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * ((1 << bits) - 2));
+}
+BENCHMARK(BM_ProperSubsetEnumeration)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace joinopt

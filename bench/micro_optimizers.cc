@@ -1,0 +1,121 @@
+/// Microbenchmarks of the end-to-end optimizers on moderate query sizes
+/// (the region where all three are fast enough for google-benchmark's
+/// statistics): chain-14, star-12, clique-10 — one friendly and one
+/// hostile shape per algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsub.h"
+#include "core/greedy.h"
+#include "core/ikkbz.h"
+#include "core/lindp.h"
+#include "core/top_down.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "hyper/dphyp.h"
+
+namespace joinopt {
+namespace {
+
+template <typename Orderer>
+void RunOptimizer(benchmark::State& state, QueryShape shape, int n) {
+  Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+  JOINOPT_CHECK(graph.ok());
+  const CoutCostModel cost_model;
+  const Orderer orderer;
+  for (auto _ : state) {
+    Result<OptimizationResult> result = orderer.Optimize(*graph, cost_model);
+    JOINOPT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+}
+
+void BM_DPsize_Chain14(benchmark::State& state) {
+  RunOptimizer<DPsize>(state, QueryShape::kChain, 14);
+}
+void BM_DPsub_Chain14(benchmark::State& state) {
+  RunOptimizer<DPsub>(state, QueryShape::kChain, 14);
+}
+void BM_DPccp_Chain14(benchmark::State& state) {
+  RunOptimizer<DPccp>(state, QueryShape::kChain, 14);
+}
+void BM_DPsize_Star12(benchmark::State& state) {
+  RunOptimizer<DPsize>(state, QueryShape::kStar, 12);
+}
+void BM_DPsub_Star12(benchmark::State& state) {
+  RunOptimizer<DPsub>(state, QueryShape::kStar, 12);
+}
+void BM_DPccp_Star12(benchmark::State& state) {
+  RunOptimizer<DPccp>(state, QueryShape::kStar, 12);
+}
+void BM_DPsize_Clique10(benchmark::State& state) {
+  RunOptimizer<DPsize>(state, QueryShape::kClique, 10);
+}
+void BM_DPsub_Clique10(benchmark::State& state) {
+  RunOptimizer<DPsub>(state, QueryShape::kClique, 10);
+}
+void BM_DPccp_Clique10(benchmark::State& state) {
+  RunOptimizer<DPccp>(state, QueryShape::kClique, 10);
+}
+void BM_Greedy_Clique10(benchmark::State& state) {
+  RunOptimizer<GreedyOperatorOrdering>(state, QueryShape::kClique, 10);
+}
+void BM_DPccp_Chain40(benchmark::State& state) {
+  RunOptimizer<DPccp>(state, QueryShape::kChain, 40);
+}
+void BM_TDBasic_Chain14(benchmark::State& state) {
+  RunOptimizer<TDBasic>(state, QueryShape::kChain, 14);
+}
+void BM_LinDP_Chain40(benchmark::State& state) {
+  RunOptimizer<LinDP>(state, QueryShape::kChain, 40);
+}
+void BM_IKKBZ_Star40(benchmark::State& state) {
+  RunOptimizer<IKKBZ>(state, QueryShape::kStar, 40);
+}
+
+/// DPhyp on the hypergraph lift of a simple graph: the successor's
+/// overhead relative to BM_DPccp_* on the same shapes.
+void RunDPhyp(benchmark::State& state, QueryShape shape, int n) {
+  Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+  JOINOPT_CHECK(graph.ok());
+  const Hypergraph hyper = Hypergraph::FromQueryGraph(*graph);
+  const CoutCostModel cost_model;
+  const DPhyp dphyp;
+  for (auto _ : state) {
+    Result<OptimizationResult> result = dphyp.Optimize(hyper, cost_model);
+    JOINOPT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+}
+void BM_DPhyp_Chain14(benchmark::State& state) {
+  RunDPhyp(state, QueryShape::kChain, 14);
+}
+void BM_DPhyp_Star12(benchmark::State& state) {
+  RunDPhyp(state, QueryShape::kStar, 12);
+}
+void BM_DPhyp_Clique10(benchmark::State& state) {
+  RunDPhyp(state, QueryShape::kClique, 10);
+}
+
+BENCHMARK(BM_DPsize_Chain14);
+BENCHMARK(BM_DPsub_Chain14);
+BENCHMARK(BM_DPccp_Chain14);
+BENCHMARK(BM_DPsize_Star12);
+BENCHMARK(BM_DPsub_Star12);
+BENCHMARK(BM_DPccp_Star12);
+BENCHMARK(BM_DPsize_Clique10);
+BENCHMARK(BM_DPsub_Clique10);
+BENCHMARK(BM_DPccp_Clique10);
+BENCHMARK(BM_Greedy_Clique10);
+BENCHMARK(BM_DPccp_Chain40);
+BENCHMARK(BM_TDBasic_Chain14);
+BENCHMARK(BM_LinDP_Chain40);
+BENCHMARK(BM_IKKBZ_Star40);
+BENCHMARK(BM_DPhyp_Chain14);
+BENCHMARK(BM_DPhyp_Star12);
+BENCHMARK(BM_DPhyp_Clique10);
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,81 @@
+/// End-to-end demo: optimize a query, then actually EXECUTE the chosen
+/// join tree on synthetic data — alongside a heuristic plan for the same
+/// query — showing that every join order returns identical results while
+/// the estimated cost differs.
+///
+///   $ ./build/examples/optimize_and_execute
+
+#include <cstdio>
+
+#include "joinopt.h"
+
+int main() {
+  using namespace joinopt;  // NOLINT(build/namespaces) — example brevity.
+
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel facts 1500\n"
+      "rel users 400\n"
+      "rel items 300\n"
+      "rel tags  50\n"
+      "join facts users 0.0025\n"
+      "join facts items 0.0033\n"
+      "join items tags  0.02\n");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  DatabaseGenOptions gen_options;
+  gen_options.seed = 2006;
+  Result<Database> database = GenerateDatabase(*graph, gen_options);
+  if (!database.ok()) {
+    std::fprintf(stderr, "%s\n", database.status().ToString().c_str());
+    return 1;
+  }
+
+  const CoutCostModel cost_model;
+  const DPccp optimal;
+  const DPsizeLinear left_deep;
+  const GreedyOperatorOrdering greedy;
+
+  struct Row {
+    const char* label;
+    Result<OptimizationResult> result;
+  } rows[] = {
+      {"DPccp (optimal)", optimal.Optimize(*graph, cost_model)},
+      {"left-deep DP", left_deep.Optimize(*graph, cost_model)},
+      {"GOO (greedy)", greedy.Optimize(*graph, cost_model)},
+  };
+
+  bool all_identical = true;
+  Result<Table> reference = Status::Internal("unset");
+  for (Row& row : rows) {
+    if (!row.result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", row.label,
+                   row.result.status().ToString().c_str());
+      return 1;
+    }
+    Result<Table> executed = ExecutePlan(row.result->plan, *database);
+    if (!executed.ok()) {
+      std::fprintf(stderr, "%s execution failed: %s\n", row.label,
+                   executed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-16s %-44s est. Cout %12.6g   rows %lld\n", row.label,
+                PlanToExpression(row.result->plan, *graph).c_str(),
+                row.result->cost,
+                static_cast<long long>(executed->row_count()));
+    if (!reference.ok()) {
+      reference = std::move(executed);
+    } else if (executed->CanonicalRows() != reference->CanonicalRows()) {
+      all_identical = false;
+    }
+  }
+
+  std::printf("\nresults identical across join orders: %s\n",
+              all_identical ? "yes" : "NO (bug!)");
+  std::printf("estimated final cardinality: %.6g (actual %lld)\n",
+              rows[0].result->cardinality,
+              static_cast<long long>(reference->row_count()));
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+#include "analytics/brute_force.h"
+
+#include <algorithm>
+
+#include "bitset/subset_iterator.h"
+#include "graph/connectivity.h"
+#include "util/macros.h"
+
+namespace joinopt {
+
+namespace {
+
+uint64_t SubsetSpaceLimit(const QueryGraph& graph) {
+  const int n = graph.relation_count();
+  JOINOPT_CHECK(n >= 1 && n <= 25);  // Oracles are for small test graphs.
+  return (uint64_t{1} << n) - 1;
+}
+
+}  // namespace
+
+std::vector<NodeSet> BruteForceConnectedSubsets(const QueryGraph& graph) {
+  std::vector<NodeSet> result;
+  const uint64_t limit = SubsetSpaceLimit(graph);
+  for (uint64_t mask = 1; mask <= limit; ++mask) {
+    const NodeSet s = NodeSet::FromMask(mask);
+    if (IsConnectedSet(graph, s)) {
+      result.push_back(s);
+    }
+  }
+  return result;
+}
+
+uint64_t BruteForceCsgCount(const QueryGraph& graph) {
+  return BruteForceConnectedSubsets(graph).size();
+}
+
+std::vector<uint64_t> BruteForceCsgCountBySize(const QueryGraph& graph) {
+  std::vector<uint64_t> by_size(graph.relation_count() + 1, 0);
+  for (const NodeSet s : BruteForceConnectedSubsets(graph)) {
+    ++by_size[s.count()];
+  }
+  return by_size;
+}
+
+std::vector<std::pair<NodeSet, NodeSet>> BruteForceCsgCmpPairs(
+    const QueryGraph& graph) {
+  std::vector<std::pair<NodeSet, NodeSet>> pairs;
+  // Every unordered pair (S1, S2) arises exactly once as a split of
+  // S = S1 ∪ S2 where S1 is the part containing min(S).
+  for (const NodeSet s : BruteForceConnectedSubsets(graph)) {
+    if (s.count() < 2) {
+      continue;
+    }
+    for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+      const NodeSet s1 = it.Current();
+      if (!s1.Contains(s.Min())) {
+        continue;  // Normalization: count each unordered split once.
+      }
+      const NodeSet s2 = s - s1;
+      if (!IsConnectedSet(graph, s1) || !IsConnectedSet(graph, s2)) {
+        continue;
+      }
+      if (!graph.AreConnected(s1, s2)) {
+        continue;
+      }
+      pairs.emplace_back(s1, s2);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const std::pair<NodeSet, NodeSet>& a,
+               const std::pair<NodeSet, NodeSet>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  return pairs;
+}
+
+uint64_t BruteForceCcpCountUnordered(const QueryGraph& graph) {
+  return BruteForceCsgCmpPairs(graph).size();
+}
+
+uint64_t BruteForceInnerCounterDPsub(const QueryGraph& graph) {
+  uint64_t total = 0;
+  for (const NodeSet s : BruteForceConnectedSubsets(graph)) {
+    total += (uint64_t{1} << s.count()) - 2;
+  }
+  return total;
+}
+
+uint64_t BruteForceInnerCounterDPsize(const QueryGraph& graph) {
+  const std::vector<uint64_t> by_size = BruteForceCsgCountBySize(graph);
+  const int n = graph.relation_count();
+  uint64_t total = 0;
+  for (int s = 2; s <= n; ++s) {
+    for (int s1 = 1; 2 * s1 <= s; ++s1) {
+      const int s2 = s - s1;
+      const uint64_t c1 = by_size[s1];
+      const uint64_t c2 = by_size[s2];
+      total += (s1 == s2) ? c1 * (c1 - 1) / 2 : c1 * c2;
+    }
+  }
+  return total;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,46 @@
+#ifndef JOINOPT_ANALYTICS_BRUTE_FORCE_H_
+#define JOINOPT_ANALYTICS_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bitset/node_set.h"
+#include "graph/query_graph.h"
+
+namespace joinopt {
+
+/// Definition-level oracles for arbitrary query graphs. Everything here
+/// scans all 2^n subsets (or worse) and exists to cross-check the fast
+/// enumeration algorithms and the closed-form analytics in tests; keep n
+/// small (<= ~16).
+
+/// All non-empty connected subsets, in ascending mask order.
+std::vector<NodeSet> BruteForceConnectedSubsets(const QueryGraph& graph);
+
+/// #csg of the graph.
+uint64_t BruteForceCsgCount(const QueryGraph& graph);
+
+/// Connected-subset counts indexed by size (index 0 unused).
+std::vector<uint64_t> BruteForceCsgCountBySize(const QueryGraph& graph);
+
+/// All UNORDERED csg-cmp-pairs by definition (Section 2.3.1), each
+/// normalized so that the component containing the smaller minimum
+/// element comes first, sorted lexicographically by (first, second) mask.
+std::vector<std::pair<NodeSet, NodeSet>> BruteForceCsgCmpPairs(
+    const QueryGraph& graph);
+
+/// Number of unordered csg-cmp-pairs (the Ono-Lohman count).
+uint64_t BruteForceCcpCountUnordered(const QueryGraph& graph);
+
+/// Predicted DPsub InnerCounter for an arbitrary graph:
+/// Σ_{connected S} (2^|S| − 2).
+uint64_t BruteForceInnerCounterDPsub(const QueryGraph& graph);
+
+/// Predicted (optimized) DPsize InnerCounter for an arbitrary graph,
+/// computed from the per-size connected-subset counts.
+uint64_t BruteForceInnerCounterDPsize(const QueryGraph& graph);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ANALYTICS_BRUTE_FORCE_H_

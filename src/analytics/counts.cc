@@ -1,0 +1,151 @@
+#include "analytics/counts.h"
+
+#include "util/macros.h"
+
+namespace joinopt {
+
+namespace {
+
+constexpr int kMaxAnalyticsN = 30;
+
+void CheckRange(int n) { JOINOPT_CHECK(n >= 1 && n <= kMaxAnalyticsN); }
+
+uint64_t Pow2(int e) {
+  JOINOPT_CHECK(e >= 0 && e < 64);
+  return uint64_t{1} << e;
+}
+
+uint64_t Pow3(int e) {
+  JOINOPT_CHECK(e >= 0 && e <= 40);
+  uint64_t result = 1;
+  for (int i = 0; i < e; ++i) {
+    result *= 3;
+  }
+  return result;
+}
+
+/// Cycles below three nodes degenerate to chains (Figure 3 treats them
+/// that way), mirroring MakeShapeQuery.
+QueryShape Normalize(QueryShape shape, int n) {
+  if (shape == QueryShape::kCycle && n < 3) {
+    return QueryShape::kChain;
+  }
+  return shape;
+}
+
+}  // namespace
+
+uint64_t Binomial(int n, int k) {
+  if (k < 0 || k > n) {
+    return 0;
+  }
+  if (k > n - k) {
+    k = n - k;
+  }
+  unsigned __int128 result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<unsigned>(n - k + i) / static_cast<unsigned>(i);
+  }
+  JOINOPT_CHECK(result <= ~uint64_t{0});
+  return static_cast<uint64_t>(result);
+}
+
+uint64_t ConnectedSubsetCountBySize(QueryShape shape, int n, int k) {
+  CheckRange(n);
+  if (k < 1 || k > n) {
+    return 0;
+  }
+  switch (Normalize(shape, n)) {
+    case QueryShape::kChain:
+      return static_cast<uint64_t>(n - k + 1);
+    case QueryShape::kCycle:
+      return k == n ? 1 : static_cast<uint64_t>(n);
+    case QueryShape::kStar:
+      return k == 1 ? static_cast<uint64_t>(n) : Binomial(n - 1, k - 1);
+    case QueryShape::kClique:
+      return Binomial(n, k);
+  }
+  return 0;
+}
+
+uint64_t CsgCount(QueryShape shape, int n) {
+  CheckRange(n);
+  const uint64_t un = static_cast<uint64_t>(n);
+  switch (Normalize(shape, n)) {
+    case QueryShape::kChain:
+      return un * (un + 1) / 2;
+    case QueryShape::kCycle:
+      return un * un - un + 1;
+    case QueryShape::kStar:
+      return Pow2(n - 1) + un - 1;
+    case QueryShape::kClique:
+      return Pow2(n) - 1;
+  }
+  return 0;
+}
+
+uint64_t CcpCountUnordered(QueryShape shape, int n) {
+  CheckRange(n);
+  const uint64_t un = static_cast<uint64_t>(n);
+  switch (Normalize(shape, n)) {
+    case QueryShape::kChain:
+      return (un * un * un - un) / 6;
+    case QueryShape::kCycle:
+      return (un * un * un - 2 * un * un + un) / 2;
+    case QueryShape::kStar:
+      return n == 1 ? 0 : (un - 1) * Pow2(n - 2);
+    case QueryShape::kClique:
+      return (Pow3(n) - Pow2(n + 1) + 1) / 2;
+  }
+  return 0;
+}
+
+uint64_t CcpCountOrdered(QueryShape shape, int n) {
+  return 2 * CcpCountUnordered(shape, n);
+}
+
+uint64_t PredictedInnerCounterDPsize(QueryShape shape, int n) {
+  CheckRange(n);
+  uint64_t total = 0;
+  for (int s = 2; s <= n; ++s) {
+    for (int s1 = 1; 2 * s1 <= s; ++s1) {
+      const int s2 = s - s1;
+      const uint64_t c1 = ConnectedSubsetCountBySize(shape, n, s1);
+      const uint64_t c2 = ConnectedSubsetCountBySize(shape, n, s2);
+      total += (s1 == s2) ? c1 * (c1 - 1) / 2 : c1 * c2;
+    }
+  }
+  return total;
+}
+
+uint64_t PredictedInnerCounterDPsub(QueryShape shape, int n) {
+  CheckRange(n);
+  const uint64_t un = static_cast<uint64_t>(n);
+  switch (Normalize(shape, n)) {
+    case QueryShape::kChain:
+      // 2^{n+2} - n^2 - 3n - 4 (the paper's Eq. 1 with the OCR'd "n^n"
+      // corrected to n²; verified against Figure 3).
+      return Pow2(n + 2) - un * un - 3 * un - 4;
+    case QueryShape::kCycle:
+      // Eq. 2: n·2^n + 2^n - 2n² - 2.
+      return un * Pow2(n) + Pow2(n) - 2 * un * un - 2;
+    case QueryShape::kStar:
+      // Eq. 3: 2·3^{n-1} - 2^n.
+      return 2 * Pow3(n - 1) - Pow2(n);
+    case QueryShape::kClique:
+      // Eq. 4: 3^n - 2^{n+1} + 1.
+      return Pow3(n) - Pow2(n + 1) + 1;
+  }
+  return 0;
+}
+
+uint64_t PredictedInnerCounterDPccp(QueryShape shape, int n) {
+  return CcpCountUnordered(shape, n);
+}
+
+uint64_t PredictedDPsubConnectednessFailures(QueryShape shape, int n) {
+  CheckRange(n);
+  return Pow2(n) - CsgCount(shape, n) - 1;
+}
+
+}  // namespace joinopt

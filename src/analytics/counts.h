@@ -1,0 +1,61 @@
+#ifndef JOINOPT_ANALYTICS_COUNTS_H_
+#define JOINOPT_ANALYTICS_COUNTS_H_
+
+#include <cstdint>
+
+#include "graph/generators.h"
+
+namespace joinopt {
+
+/// Closed-form search-space analytics for the paper's four query-graph
+/// families (Sections 2.1-2.3). All functions require 1 <= n <= 30 (the
+/// clique values overflow uint64 shortly beyond that) and treat a "cycle"
+/// with n < 3 as a chain, like MakeShapeQuery.
+///
+/// Note on sources: the OCR of the paper garbles several formulas; these
+/// implementations are the corrected forms, each verified against the
+/// paper's Figure 3 table by the test suite (see DESIGN.md §2).
+
+/// C(n, k) without overflow for the supported range.
+uint64_t Binomial(int n, int k);
+
+/// Number of size-k subsets inducing a connected subgraph:
+/// chain: n-k+1; cycle: n (k<n), 1 (k=n); star: n (k=1), C(n-1,k-1);
+/// clique: C(n,k). Returns 0 for k outside [1, n].
+uint64_t ConnectedSubsetCountBySize(QueryShape shape, int n, int k);
+
+/// #csg(n): the number of non-empty connected subsets (Eq. 5/7/9/11).
+uint64_t CsgCount(QueryShape shape, int n);
+
+/// The number of UNORDERED csg-cmp-pairs — the paper's OnoLohmanCounter
+/// and the "#ccp" column of Figure 3:
+/// chain (n³-n)/6; cycle (n³-2n²+n)/2; star (n-1)·2^{n-2};
+/// clique (3^n-2^{n+1}+1)/2.
+uint64_t CcpCountUnordered(QueryShape shape, int n);
+
+/// The number of ORDERED csg-cmp-pairs (#ccp including symmetric pairs,
+/// Eq. 6/8/10/12 corrected): 2 * CcpCountUnordered.
+uint64_t CcpCountOrdered(QueryShape shape, int n);
+
+/// Predicted InnerCounter of the optimized DPsize (Figure 1) at
+/// termination, computed combinatorially from the per-size connected-
+/// subset counts:
+///   Σ_{s=2..n} Σ_{s1=1..⌊s/2⌋} pairs(s1, s-s1)
+/// where pairs(k, k) = C(c(k), 2) and pairs(k, m) = c(k)·c(m) otherwise.
+uint64_t PredictedInnerCounterDPsize(QueryShape shape, int n);
+
+/// Predicted InnerCounter of DPsub (Figure 2) at termination:
+///   Σ_{connected S} (2^|S| - 2),
+/// evaluated in closed form per shape (e.g. chain: 2^{n+2} - n² - 3n - 4).
+uint64_t PredictedInnerCounterDPsub(QueryShape shape, int n);
+
+/// Predicted InnerCounter of DPccp (Figure 4): equals CcpCountUnordered.
+uint64_t PredictedInnerCounterDPccp(QueryShape shape, int n);
+
+/// Predicted number of failures of DPsub's additional connectedness check
+/// (the "(*)" line of Figure 2): 2^n - #csg(n) - 1 (Section 2.2).
+uint64_t PredictedDPsubConnectednessFailures(QueryShape shape, int n);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ANALYTICS_COUNTS_H_

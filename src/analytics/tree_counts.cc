@@ -1,0 +1,59 @@
+#include "analytics/tree_counts.h"
+
+#include <unordered_map>
+
+#include "bitset/node_set.h"
+#include "enumerate/cmp.h"
+
+namespace joinopt {
+
+namespace {
+
+/// Shared DP driver: accumulates per-set tree counts over the csg-cmp
+/// pairs (emitted subsets-before-supersets, so operand counts are final
+/// when used). `orders_per_pair` is 2 for ordered trees, 1 for shapes.
+uint64_t CountTrees(const QueryGraph& graph, unsigned orders_per_pair) {
+  std::unordered_map<NodeSet, unsigned __int128, NodeSetHash> count;
+  count.reserve(256);
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    count[NodeSet::Singleton(i)] = 1;
+  }
+  EnumerateCsgCmpPairs(graph, [&](NodeSet s1, NodeSet s2) {
+    const auto left = count.find(s1);
+    const auto right = count.find(s2);
+    JOINOPT_CHECK(left != count.end() && right != count.end());
+    unsigned __int128& total = count[s1 | s2];
+    total += orders_per_pair * left->second * right->second;
+    JOINOPT_CHECK(total <= ~uint64_t{0});
+  });
+  const auto it = count.find(graph.AllRelations());
+  return it == count.end() ? 0 : static_cast<uint64_t>(it->second);
+}
+
+}  // namespace
+
+uint64_t CountJoinTrees(const QueryGraph& graph) {
+  JOINOPT_CHECK(graph.relation_count() >= 1);
+  return CountTrees(graph, 2);
+}
+
+uint64_t CountJoinTreeShapes(const QueryGraph& graph) {
+  JOINOPT_CHECK(graph.relation_count() >= 1);
+  return CountTrees(graph, 1);
+}
+
+uint64_t ChainJoinTreeCountClosedForm(int n) {
+  JOINOPT_CHECK(n >= 1 && n <= 20);
+  // Catalan(n-1) * 2^(n-1).
+  unsigned __int128 catalan = 1;
+  for (int k = 0; k < n - 1; ++k) {
+    // C_{k+1} = C_k * 2(2k+1) / (k+2).
+    catalan = catalan * 2 * (2 * static_cast<unsigned>(k) + 1) /
+              (static_cast<unsigned>(k) + 2);
+  }
+  const unsigned __int128 total = catalan << (n - 1);
+  JOINOPT_CHECK(total <= ~uint64_t{0});
+  return static_cast<uint64_t>(total);
+}
+
+}  // namespace joinopt

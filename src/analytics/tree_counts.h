@@ -1,0 +1,37 @@
+#ifndef JOINOPT_ANALYTICS_TREE_COUNTS_H_
+#define JOINOPT_ANALYTICS_TREE_COUNTS_H_
+
+#include <cstdint>
+
+#include "graph/query_graph.h"
+
+namespace joinopt {
+
+/// Search-space sizes one level above the paper's counters: not how many
+/// PAIRS the DP touches, but how many complete JOIN TREES the search
+/// space contains. Complements Section 2's analysis (Ono & Lohman's
+/// original paper tabulates these as well).
+
+/// Number of distinct bushy join trees without cross products for the
+/// whole query, counting commuted operands as DIFFERENT trees (i.e.
+/// ordered binary trees, the space a cost model with asymmetric inputs
+/// really ranks):
+///   trees({r}) = 1;
+///   trees(S)   = Σ_{csg-cmp splits (S1,S2) of S} 2·trees(S1)·trees(S2).
+/// Computed by DP over connected subsets; overflow-checked (fails fast
+/// via JOINOPT_CHECK well below uint64 wrap, so keep n modest — the
+/// counts grow super-exponentially).
+uint64_t CountJoinTrees(const QueryGraph& graph);
+
+/// Same, but counting commuted operands once (unordered/shape count).
+uint64_t CountJoinTreeShapes(const QueryGraph& graph);
+
+/// Closed forms for chains [Ono & Lohman]: the number of ordered bushy
+/// cross-product-free trees for a chain of n relations is
+///   n = 1: 1;  n > 1: 2^{n-1} · C_{n-1}   with Catalan C_k.
+/// Exposed for the analytics tests.
+uint64_t ChainJoinTreeCountClosedForm(int n);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ANALYTICS_TREE_COUNTS_H_

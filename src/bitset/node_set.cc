@@ -1,0 +1,28 @@
+#include "bitset/node_set.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace joinopt {
+
+std::string NodeSet::ToString() const {
+  std::ostringstream out;
+  out << *this;
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, NodeSet set) {
+  os << '{';
+  bool first = true;
+  for (int v : set) {
+    if (!first) {
+      os << ", ";
+    }
+    os << v;
+    first = false;
+  }
+  os << '}';
+  return os;
+}
+
+}  // namespace joinopt

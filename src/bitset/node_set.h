@@ -1,0 +1,201 @@
+#ifndef JOINOPT_BITSET_NODE_SET_H_
+#define JOINOPT_BITSET_NODE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+
+#include "util/macros.h"
+
+namespace joinopt {
+
+/// Maximum number of relations a NodeSet can hold.
+inline constexpr int kMaxRelations = 64;
+
+/// A set of relation (query-graph node) indices in [0, 64), represented as
+/// a 64-bit mask.
+///
+/// This is the central data type of the library: dynamic-programming tables
+/// are keyed by NodeSet, the csg-cmp-pair enumeration of Moerkotte &
+/// Neumann operates on NodeSets, and the subset enumeration uses the
+/// Vance-Maier bit trick. All operations are O(1) (word ops / popcount /
+/// count-trailing-zeros).
+///
+/// NodeSet is a value type: trivially copyable, hashable, and totally
+/// ordered by its bit pattern (the order DPsub's integer enumeration uses).
+class NodeSet {
+ public:
+  /// Constructs the empty set.
+  constexpr NodeSet() : bits_(0) {}
+
+  /// Constructs a set from an explicit bit mask.
+  static constexpr NodeSet FromMask(uint64_t mask) { return NodeSet(mask); }
+
+  /// Constructs the singleton set {index}. Requires 0 <= index < 64.
+  static constexpr NodeSet Singleton(int index) {
+    return NodeSet(uint64_t{1} << index);
+  }
+
+  /// Constructs the set {0, 1, ..., n-1}. Requires 0 <= n <= 64.
+  static constexpr NodeSet Prefix(int n) {
+    return NodeSet(n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1);
+  }
+
+  /// Constructs a set from a list of indices, e.g. NodeSet::Of({0, 2, 5}).
+  static constexpr NodeSet Of(std::initializer_list<int> indices) {
+    uint64_t mask = 0;
+    for (int i : indices) {
+      mask |= uint64_t{1} << i;
+    }
+    return NodeSet(mask);
+  }
+
+  /// The raw 64-bit mask.
+  constexpr uint64_t mask() const { return bits_; }
+
+  /// True iff the set is empty.
+  constexpr bool empty() const { return bits_ == 0; }
+
+  /// Number of elements.
+  constexpr int count() const { return std::popcount(bits_); }
+
+  /// True iff `index` is a member. Requires 0 <= index < 64.
+  constexpr bool Contains(int index) const {
+    return (bits_ >> index) & uint64_t{1};
+  }
+
+  /// True iff every element of `other` is also in this set.
+  constexpr bool ContainsAll(NodeSet other) const {
+    return (other.bits_ & ~bits_) == 0;
+  }
+
+  /// True iff the two sets share at least one element.
+  constexpr bool Intersects(NodeSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  /// True iff this is a (possibly equal) subset of `other`.
+  constexpr bool IsSubsetOf(NodeSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  /// The smallest element. Requires a non-empty set.
+  constexpr int Min() const {
+    JOINOPT_DCHECK(!empty());
+    return std::countr_zero(bits_);
+  }
+
+  /// The largest element. Requires a non-empty set.
+  constexpr int Max() const {
+    JOINOPT_DCHECK(!empty());
+    return 63 - std::countl_zero(bits_);
+  }
+
+  /// The singleton containing only the smallest element. Requires a
+  /// non-empty set.
+  constexpr NodeSet LowestBit() const {
+    JOINOPT_DCHECK(!empty());
+    return NodeSet(bits_ & (~bits_ + 1));
+  }
+
+  /// Set algebra.
+  constexpr NodeSet Union(NodeSet other) const {
+    return NodeSet(bits_ | other.bits_);
+  }
+  constexpr NodeSet Intersect(NodeSet other) const {
+    return NodeSet(bits_ & other.bits_);
+  }
+  constexpr NodeSet Minus(NodeSet other) const {
+    return NodeSet(bits_ & ~other.bits_);
+  }
+
+  /// In-place element insertion/removal.
+  constexpr void Add(int index) { bits_ |= uint64_t{1} << index; }
+  constexpr void Remove(int index) { bits_ &= ~(uint64_t{1} << index); }
+
+  /// Operator aliases for the set algebra; `|`, `&`, `-` mirror
+  /// union/intersection/difference.
+  friend constexpr NodeSet operator|(NodeSet a, NodeSet b) {
+    return a.Union(b);
+  }
+  friend constexpr NodeSet operator&(NodeSet a, NodeSet b) {
+    return a.Intersect(b);
+  }
+  friend constexpr NodeSet operator-(NodeSet a, NodeSet b) {
+    return a.Minus(b);
+  }
+  constexpr NodeSet& operator|=(NodeSet b) {
+    bits_ |= b.bits_;
+    return *this;
+  }
+  constexpr NodeSet& operator&=(NodeSet b) {
+    bits_ &= b.bits_;
+    return *this;
+  }
+  constexpr NodeSet& operator-=(NodeSet b) {
+    bits_ &= ~b.bits_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(NodeSet a, NodeSet b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(NodeSet a, NodeSet b) {
+    return a.bits_ != b.bits_;
+  }
+  /// Orders sets by their integer representation (DPsub enumeration order).
+  friend constexpr bool operator<(NodeSet a, NodeSet b) {
+    return a.bits_ < b.bits_;
+  }
+
+  /// Iterates over the elements of the set in ascending order.
+  ///
+  ///   for (int v : set) { ... }
+  class Iterator {
+   public:
+    explicit constexpr Iterator(uint64_t bits) : bits_(bits) {}
+    constexpr int operator*() const { return std::countr_zero(bits_); }
+    constexpr Iterator& operator++() {
+      bits_ &= bits_ - 1;  // Clear the lowest set bit.
+      return *this;
+    }
+    friend constexpr bool operator!=(Iterator a, Iterator b) {
+      return a.bits_ != b.bits_;
+    }
+    friend constexpr bool operator==(Iterator a, Iterator b) {
+      return a.bits_ == b.bits_;
+    }
+
+   private:
+    uint64_t bits_;
+  };
+
+  constexpr Iterator begin() const { return Iterator(bits_); }
+  constexpr Iterator end() const { return Iterator(0); }
+
+  /// "{0, 3, 7}" rendering for logs and tests.
+  std::string ToString() const;
+
+ private:
+  explicit constexpr NodeSet(uint64_t bits) : bits_(bits) {}
+
+  uint64_t bits_;
+};
+
+/// Prints a NodeSet as "{a, b, c}".
+std::ostream& operator<<(std::ostream& os, NodeSet set);
+
+/// Hash functor so NodeSet can key unordered containers.
+struct NodeSetHash {
+  size_t operator()(NodeSet s) const {
+    // Fibonacci hashing; the raw masks of DP subproblems are highly
+    // clustered, so mix before bucketing.
+    return static_cast<size_t>(s.mask() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_BITSET_NODE_SET_H_

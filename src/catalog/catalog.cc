@@ -1,0 +1,68 @@
+#include "catalog/catalog.h"
+
+#include <utility>
+
+namespace joinopt {
+
+Result<int> Catalog::AddRelation(std::string name, double cardinality) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (!(cardinality > 0.0)) {
+    return Status::InvalidArgument("cardinality of '" + name +
+                                   "' must be positive");
+  }
+  if (index_by_name_.contains(name)) {
+    return Status::InvalidArgument("duplicate relation name '" + name + "'");
+  }
+  if (relation_count() >= kMaxRelations) {
+    return Status::OutOfRange("catalog already holds 64 relations");
+  }
+  const int index = relation_count();
+  index_by_name_.emplace(name, index);
+  relations_.push_back(RelationInfo{std::move(name), cardinality});
+  return index;
+}
+
+Status Catalog::AddJoin(std::string_view left, std::string_view right,
+                        double selectivity) {
+  Result<int> left_index = RelationIndex(left);
+  JOINOPT_RETURN_IF_ERROR(left_index.status());
+  Result<int> right_index = RelationIndex(right);
+  JOINOPT_RETURN_IF_ERROR(right_index.status());
+  if (*left_index == *right_index) {
+    return Status::InvalidArgument("cannot join relation '" +
+                                   std::string(left) + "' with itself");
+  }
+  if (!(selectivity > 0.0) || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  joins_.push_back(JoinInfo{*left_index, *right_index, selectivity});
+  return Status::OK();
+}
+
+Result<int> Catalog::RelationIndex(std::string_view name) const {
+  const auto it = index_by_name_.find(std::string(name));
+  if (it == index_by_name_.end()) {
+    return Status::NotFound("unknown relation '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Result<QueryGraph> Catalog::BuildQueryGraph() const {
+  if (relations_.empty()) {
+    return Status::FailedPrecondition("catalog has no relations");
+  }
+  QueryGraph graph;
+  for (const RelationInfo& relation : relations_) {
+    Result<int> added = graph.AddRelation(relation.cardinality, relation.name);
+    JOINOPT_RETURN_IF_ERROR(added.status());
+  }
+  for (const JoinInfo& join : joins_) {
+    JOINOPT_RETURN_IF_ERROR(
+        graph.AddEdge(join.left, join.right, join.selectivity));
+  }
+  return graph;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,61 @@
+#ifndef JOINOPT_CATALOG_CATALOG_H_
+#define JOINOPT_CATALOG_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// A named-relation registry used by the DSL front end and the examples.
+///
+/// The optimizer core works on integer relation indices; Catalog provides
+/// the by-name layer on top: register relations with cardinalities, declare
+/// join predicates between named relations, then lower everything into a
+/// QueryGraph whose node i corresponds to the i-th registered relation.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a relation. Names must be unique and non-empty;
+  /// cardinality must be positive. Returns the relation's index.
+  Result<int> AddRelation(std::string name, double cardinality);
+
+  /// Declares a join predicate between two previously registered relations
+  /// with the given selectivity in (0, 1].
+  Status AddJoin(std::string_view left, std::string_view right,
+                 double selectivity);
+
+  /// Index lookup by name.
+  Result<int> RelationIndex(std::string_view name) const;
+
+  /// Number of registered relations.
+  int relation_count() const { return static_cast<int>(relations_.size()); }
+
+  /// Lowers the catalog into a QueryGraph (relation i of the graph is the
+  /// i-th registered relation). Fails if no relation was registered.
+  Result<QueryGraph> BuildQueryGraph() const;
+
+ private:
+  struct RelationInfo {
+    std::string name;
+    double cardinality;
+  };
+  struct JoinInfo {
+    int left;
+    int right;
+    double selectivity;
+  };
+
+  std::vector<RelationInfo> relations_;
+  std::vector<JoinInfo> joins_;
+  std::unordered_map<std::string, int> index_by_name_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CATALOG_CATALOG_H_

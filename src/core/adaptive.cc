@@ -1,0 +1,35 @@
+#include "core/adaptive.h"
+
+#include "core/dp_cross_products.h"
+#include "core/dpccp.h"
+#include "core/idp.h"
+#include "enumerate/cmp.h"
+#include "graph/connectivity.h"
+
+namespace joinopt {
+
+std::string_view AdaptiveOptimizer::ChooseAlgorithm(
+    const QueryGraph& graph) const {
+  if (graph.relation_count() > 0 && !IsConnectedGraph(graph)) {
+    return "DPsizeCP";
+  }
+  const uint64_t pairs = CountCsgCmpPairsUpTo(graph, exact_pair_budget_ + 1);
+  return pairs <= exact_pair_budget_ ? "DPccp" : "IDP1";
+}
+
+Result<OptimizationResult> AdaptiveOptimizer::Optimize(
+    const QueryGraph& graph, const CostModel& cost_model) const {
+  if (graph.relation_count() == 0) {
+    return Status::InvalidArgument("query graph has no relations");
+  }
+  const std::string_view choice = ChooseAlgorithm(graph);
+  if (choice == "DPsizeCP") {
+    return DPsizeCP().Optimize(graph, cost_model);
+  }
+  if (choice == "DPccp") {
+    return DPccp().Optimize(graph, cost_model);
+  }
+  return IDP1(idp_block_size_).Optimize(graph, cost_model);
+}
+
+}  // namespace joinopt

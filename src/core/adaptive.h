@@ -1,0 +1,45 @@
+#ifndef JOINOPT_CORE_ADAPTIVE_H_
+#define JOINOPT_CORE_ADAPTIVE_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// The productized "algorithm of choice" (the paper's conclusion says
+/// DPccp should be it): a facade that inspects the query and dispatches:
+///
+///   * disconnected graph          -> DPsizeCP (cross products required;
+///                                    only possible for n <= 24),
+///   * #ccp within the exact budget -> DPccp (optimal),
+///   * otherwise                    -> IDP1 (valid, near-optimal, always
+///                                    polynomial per round).
+///
+/// The #ccp gate is computed by running the pair enumeration in counting
+/// mode with an early exit, so the gate itself never exceeds the budget.
+class AdaptiveOptimizer final : public JoinOrderer {
+ public:
+  /// `exact_pair_budget`: run exact DPccp when the query graph has at
+  /// most this many csg-cmp-pairs (default ~ a second of optimization);
+  /// `idp_block_size`: block size handed to IDP1 beyond the budget.
+  explicit AdaptiveOptimizer(uint64_t exact_pair_budget = 20'000'000,
+                             int idp_block_size = 10)
+      : exact_pair_budget_(exact_pair_budget),
+        idp_block_size_(idp_block_size) {}
+
+  std::string_view name() const override { return "Adaptive"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+
+  /// Which underlying algorithm Optimize would use for `graph` (exposed
+  /// for tests and EXPLAIN output): "DPsizeCP", "DPccp", or "IDP1".
+  std::string_view ChooseAlgorithm(const QueryGraph& graph) const;
+
+ private:
+  uint64_t exact_pair_budget_;
+  int idp_block_size_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_ADAPTIVE_H_

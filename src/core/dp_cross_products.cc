@@ -1,0 +1,107 @@
+#include "core/dp_cross_products.h"
+
+#include <vector>
+
+#include "bitset/subset_iterator.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+Result<OptimizationResult> DPsizeCP::Optimize(
+    const QueryGraph& graph, const CostModel& cost_model) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/false));
+  const Stopwatch stopwatch;
+  const int n = graph.relation_count();
+  if (n > 24) {
+    // With cross products every one of the 2^n subsets gets a plan;
+    // beyond ~24 relations the table alone is hopeless.
+    return Status::InvalidArgument(
+        "DPsizeCP materializes all 2^n subsets; refusing n > 24");
+  }
+
+  PlanTable table(n, /*dense_limit=*/24);
+  OptimizerStats stats;
+  internal::SeedLeafPlans(graph, &table, &stats);
+
+  std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
+  for (int i = 0; i < n; ++i) {
+    plans_by_size[1].push_back(NodeSet::Singleton(i));
+  }
+
+  const auto consider = [&](NodeSet s1, NodeSet s2) {
+    ++stats.inner_counter;
+    if (s1.Intersects(s2)) {
+      return;
+    }
+    stats.csg_cmp_pair_counter += 2;
+    const NodeSet combined = s1 | s2;
+    const bool existed = table.Find(combined) != nullptr;
+    internal::CreateJoinTreeBothOrders(graph, cost_model, s1, s2, &table,
+                                       &stats);
+    if (!existed) {
+      plans_by_size[combined.count()].push_back(combined);
+    }
+  };
+
+  for (int s = 2; s <= n; ++s) {
+    for (int s1 = 1; 2 * s1 <= s; ++s1) {
+      const int s2 = s - s1;
+      const std::vector<NodeSet>& left_list = plans_by_size[s1];
+      const std::vector<NodeSet>& right_list = plans_by_size[s2];
+      if (s1 == s2) {
+        for (size_t i = 0; i < left_list.size(); ++i) {
+          for (size_t j = i + 1; j < left_list.size(); ++j) {
+            consider(left_list[i], left_list[j]);
+          }
+        }
+      } else {
+        for (const NodeSet s1_set : left_list) {
+          for (const NodeSet s2_set : right_list) {
+            consider(s1_set, s2_set);
+          }
+        }
+      }
+    }
+  }
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+Result<OptimizationResult> DPsubCP::Optimize(
+    const QueryGraph& graph, const CostModel& cost_model) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/false));
+  const Stopwatch stopwatch;
+  const int n = graph.relation_count();
+  if (n > 24) {
+    return Status::InvalidArgument(
+        "DPsubCP enumerates 3^n splits; refusing n > 24");
+  }
+
+  PlanTable table(n, /*dense_limit=*/24);
+  OptimizerStats stats;
+  internal::SeedLeafPlans(graph, &table, &stats);
+
+  const uint64_t limit = (uint64_t{1} << n) - 1;
+  for (uint64_t mask = 1; mask <= limit; ++mask) {
+    const NodeSet s = NodeSet::FromMask(mask);
+    if (s.count() == 1) {
+      continue;
+    }
+    for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+      ++stats.inner_counter;
+      ++stats.csg_cmp_pair_counter;
+      internal::CreateJoinTree(graph, cost_model, it.Current(),
+                               s - it.Current(), &table, &stats);
+    }
+  }
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+}  // namespace joinopt

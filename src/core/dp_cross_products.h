@@ -1,0 +1,44 @@
+#ifndef JOINOPT_CORE_DP_CROSS_PRODUCTS_H_
+#define JOINOPT_CORE_DP_CROSS_PRODUCTS_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// DPsize over the FULL bushy search space including cross products: the
+/// connectivity tests of Figure 1 are dropped, so every pair of disjoint
+/// subsets is a legal combination. Provided as the baseline the paper
+/// contrasts against (Ono & Lohman observe that admitting cross products
+/// vastly enlarges the search space) and to let users optimize
+/// disconnected query graphs.
+///
+/// Note: optimal plans may contain cross products even for connected
+/// graphs when selectivities make them attractive; validate with
+/// PlanValidationOptions{.forbid_cross_products = false}.
+class DPsizeCP final : public JoinOrderer {
+ public:
+  DPsizeCP() = default;
+
+  std::string_view name() const override { return "DPsizeCP"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+};
+
+/// DPsub over the full bushy search space including cross products — the
+/// original Vance–Maier "rapid bushy" algorithm [SIGMOD '96]: every
+/// integer 1..2^n − 1 is a valid set and every strict-subset split a
+/// valid combination, so the enumeration runs with no tests at all.
+class DPsubCP final : public JoinOrderer {
+ public:
+  DPsubCP() = default;
+
+  std::string_view name() const override { return "DPsubCP"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_DP_CROSS_PRODUCTS_H_

@@ -1,0 +1,47 @@
+#include "core/dpccp.h"
+
+#include <utility>
+
+#include "enumerate/cmp.h"
+#include "graph/bfs_numbering.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+Result<OptimizationResult> DPccp::Optimize(const QueryGraph& graph,
+                                           const CostModel& cost_model) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+  const Stopwatch stopwatch;
+
+  // Establish the BFS-numbering precondition of EnumerateCsg/EnumerateCmp.
+  Result<BfsNumbering> numbering = ComputeBfsNumbering(graph, /*start=*/0);
+  JOINOPT_RETURN_IF_ERROR(numbering.status());
+  const bool identity = numbering->IsIdentity();
+  const QueryGraph relabeled_storage =
+      identity ? QueryGraph() : RelabelGraph(graph, *numbering);
+  const QueryGraph& work_graph = identity ? graph : relabeled_storage;
+
+  PlanTable table = internal::MakeAdaptivePlanTable(work_graph);
+  OptimizerStats stats;
+  internal::SeedLeafPlans(work_graph, &table, &stats);
+
+  EnumerateCsgCmpPairs(work_graph, [&](NodeSet s1, NodeSet s2) {
+    ++stats.inner_counter;
+    ++stats.ono_lohman_counter;
+    internal::CreateJoinTreeBothOrders(work_graph, cost_model, s1, s2, &table,
+                                       &stats);
+  });
+  stats.csg_cmp_pair_counter = 2 * stats.ono_lohman_counter;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+
+  Result<OptimizationResult> result =
+      internal::ExtractResult(work_graph, table, stats);
+  JOINOPT_RETURN_IF_ERROR(result.status());
+  if (!identity) {
+    result->plan.RelabelLeaves(numbering->new_to_old);
+  }
+  return result;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,32 @@
+#ifndef JOINOPT_CORE_DPCCP_H_
+#define JOINOPT_CORE_DPCCP_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// DPccp (Figure 4 of the paper): the paper's new algorithm. It
+/// enumerates exactly the csg-cmp-pairs of the query graph — the lower
+/// bound for any cross-product-free DP join orderer — via EnumerateCsg /
+/// EnumerateCmp (Section 3), and prices both join orders of each pair.
+///
+/// InnerCounter semantics: incremented once per csg-cmp-pair, so at
+/// termination InnerCounter == OnoLohmanCounter == #ccp / 2.
+///
+/// The enumeration's correctness proofs require the nodes to be numbered
+/// breadth-first; DPccp computes a BFS numbering internally, runs on the
+/// relabeled graph, and maps the final plan back to the caller's
+/// numbering, so callers may use any numbering.
+class DPccp final : public JoinOrderer {
+ public:
+  DPccp() = default;
+
+  std::string_view name() const override { return "DPccp"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_DPCCP_H_

@@ -1,0 +1,41 @@
+#ifndef JOINOPT_CORE_DPSIZE_H_
+#define JOINOPT_CORE_DPSIZE_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// DPsize (Figure 1 of the paper): size-driven dynamic programming over
+/// bushy join trees without cross products, in the optimized variant whose
+/// counter formulas the paper reports.
+///
+/// Plans are kept in per-size lists. For target size s the algorithm pairs
+/// plans of sizes (s1, s − s1) for s1 = 1..⌊s/2⌋; for s1 = s2 each
+/// unordered pair of distinct plans is enumerated once (the linked-list
+/// optimization of Section 2.1). Because the size loop is halved, both
+/// operand orders are costed for every surviving pair, so asymmetric cost
+/// models are handled and CsgCmpPairCounter advances by 2 per pair.
+///
+/// InnerCounter semantics: incremented once per enumerated plan pair,
+/// before the disjointness test — matching the Figure 3 values (e.g.
+/// chain n=5 → 73, clique n=5 → 280).
+class DPsize final : public JoinOrderer {
+ public:
+  /// When `use_equal_size_optimization` is false, the s1 = s2 case pairs
+  /// every ordered combination like the unoptimized pseudocode; exposed
+  /// for the ablation benchmark.
+  explicit DPsize(bool use_equal_size_optimization = true)
+      : use_equal_size_optimization_(use_equal_size_optimization) {}
+
+  std::string_view name() const override { return "DPsize"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+
+ private:
+  bool use_equal_size_optimization_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_DPSIZE_H_

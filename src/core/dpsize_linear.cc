@@ -1,0 +1,50 @@
+#include "core/dpsize_linear.h"
+
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+Result<OptimizationResult> DPsizeLinear::Optimize(
+    const QueryGraph& graph, const CostModel& cost_model) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+  const Stopwatch stopwatch;
+  const int n = graph.relation_count();
+
+  PlanTable table = internal::MakeAdaptivePlanTable(graph);
+  OptimizerStats stats;
+  internal::SeedLeafPlans(graph, &table, &stats);
+
+  std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
+  for (int i = 0; i < n; ++i) {
+    plans_by_size[1].push_back(NodeSet::Singleton(i));
+  }
+
+  for (int s = 2; s <= n; ++s) {
+    for (const NodeSet base : plans_by_size[s - 1]) {
+      // Extend only by adjacent relations: left-deep, cross-product-free.
+      for (const int next : graph.Neighborhood(base)) {
+        ++stats.inner_counter;
+        stats.csg_cmp_pair_counter += 2;
+        const NodeSet leaf = NodeSet::Singleton(next);
+        const NodeSet combined = base | leaf;
+        const bool existed = table.Find(combined) != nullptr;
+        // Left-deep: the existing plan stays on the left, the new base
+        // relation joins on the right.
+        internal::CreateJoinTree(graph, cost_model, base, leaf, &table,
+                                 &stats);
+        if (!existed) {
+          plans_by_size[s].push_back(combined);
+        }
+      }
+    }
+  }
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+}  // namespace joinopt

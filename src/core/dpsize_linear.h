@@ -1,0 +1,29 @@
+#ifndef JOINOPT_CORE_DPSIZE_LINEAR_H_
+#define JOINOPT_CORE_DPSIZE_LINEAR_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// Selinger-style dynamic programming restricted to LEFT-DEEP join trees
+/// without cross products [Selinger et al., SIGMOD '79] — the historical
+/// baseline the paper's introduction departs from.
+///
+/// A plan of size s is always "plan of size s−1 ⋈ base relation", with the
+/// base relation on the right; only relations adjacent to the partial
+/// plan are considered (no cross products). The optimal left-deep tree is
+/// generally more expensive than the optimal bushy tree, which the
+/// example programs demonstrate.
+class DPsizeLinear final : public JoinOrderer {
+ public:
+  DPsizeLinear() = default;
+
+  std::string_view name() const override { return "DPsizeLinear"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_DPSIZE_LINEAR_H_

@@ -1,0 +1,62 @@
+#include "core/dpsub.h"
+
+#include "bitset/subset_iterator.h"
+#include "graph/connectivity.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+Result<OptimizationResult> DPsub::Optimize(const QueryGraph& graph,
+                                           const CostModel& cost_model) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+  const Stopwatch stopwatch;
+  const int n = graph.relation_count();
+  if (n >= 40) {
+    // 2^n outer iterations are infeasible long before this bound; fail
+    // fast instead of looping for years.
+    return Status::InvalidArgument(
+        "DPsub enumerates 2^n subsets; refusing n >= 40");
+  }
+
+  PlanTable table(n);
+  OptimizerStats stats;
+  internal::SeedLeafPlans(graph, &table, &stats);
+
+  const uint64_t limit = (uint64_t{1} << n) - 1;
+  for (uint64_t mask = 1; mask <= limit; ++mask) {
+    const NodeSet s = NodeSet::FromMask(mask);
+    if (s.count() == 1) {
+      continue;  // Leaf plans are already seeded; no strict subsets.
+    }
+    if (!IsConnectedSet(graph, s)) {
+      continue;  // The additional check (*) of Figure 2.
+    }
+    for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+      ++stats.inner_counter;
+      const NodeSet s1 = it.Current();
+      const NodeSet s2 = s - s1;
+      // Connectivity of the parts: via table presence (every strict
+      // subset of `s` was finalized in an earlier outer iteration) or via
+      // explicit BFS for the ablation variant.
+      if (use_table_connectivity_test_) {
+        if (table.Find(s1) == nullptr) continue;
+        if (table.Find(s2) == nullptr) continue;
+      } else {
+        if (!IsConnectedSet(graph, s1)) continue;
+        if (!IsConnectedSet(graph, s2)) continue;
+      }
+      if (!graph.AreConnected(s1, s2)) {
+        continue;
+      }
+      ++stats.csg_cmp_pair_counter;
+      internal::CreateJoinTree(graph, cost_model, s1, s2, &table, &stats);
+    }
+  }
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+}  // namespace joinopt

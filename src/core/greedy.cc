@@ -1,0 +1,74 @@
+#include "core/greedy.h"
+
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+Result<OptimizationResult> GreedyOperatorOrdering::Optimize(
+    const QueryGraph& graph, const CostModel& cost_model) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+  const Stopwatch stopwatch;
+  const int n = graph.relation_count();
+
+  // The greedy merges are recorded as plan-table breadcrumbs so the final
+  // tree can be materialized with the shared reconstruction path.
+  PlanTable table = internal::MakeAdaptivePlanTable(graph);
+  OptimizerStats stats;
+  internal::SeedLeafPlans(graph, &table, &stats);
+  const CardinalityEstimator estimator(graph);
+
+  struct Component {
+    NodeSet set;
+    double cardinality;
+  };
+  std::vector<Component> components;
+  components.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    components.push_back({NodeSet::Singleton(i), graph.cardinality(i)});
+  }
+
+  while (components.size() > 1) {
+    // Find the connected pair with the smallest join cardinality.
+    int best_i = -1;
+    int best_j = -1;
+    double best_card = 0.0;
+    for (size_t i = 0; i < components.size(); ++i) {
+      for (size_t j = i + 1; j < components.size(); ++j) {
+        ++stats.inner_counter;
+        if (!graph.AreConnected(components[i].set, components[j].set)) {
+          continue;
+        }
+        const double card = estimator.JoinCardinality(
+            components[i].set, components[i].cardinality, components[j].set,
+            components[j].cardinality);
+        if (best_i < 0 || card < best_card) {
+          best_i = static_cast<int>(i);
+          best_j = static_cast<int>(j);
+          best_card = card;
+        }
+      }
+    }
+    if (best_i < 0) {
+      return Status::Internal(
+          "no joinable component pair; graph connectivity was violated");
+    }
+
+    // Record the merge; CreateJoinTree picks the cheaper operand order.
+    stats.csg_cmp_pair_counter += 2;
+    internal::CreateJoinTreeBothOrders(graph, cost_model,
+                                       components[best_i].set,
+                                       components[best_j].set, &table, &stats);
+    components[best_i] = {components[best_i].set | components[best_j].set,
+                          best_card};
+    components.erase(components.begin() + best_j);
+  }
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+}  // namespace joinopt

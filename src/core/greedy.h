@@ -1,0 +1,29 @@
+#ifndef JOINOPT_CORE_GREEDY_H_
+#define JOINOPT_CORE_GREEDY_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// Greedy Operator Ordering (GOO) [Fegaras '98]: a polynomial-time
+/// heuristic baseline. Starting from one component per relation, it
+/// repeatedly merges the edge-connected pair of components whose join has
+/// the smallest estimated output cardinality, until one component (the
+/// full bushy tree) remains.
+///
+/// Unlike the DP algorithms, GOO does not guarantee optimality; the test
+/// suite checks that its cost is always >= the DP optimum, and the
+/// examples use it to show how far greedy can drift.
+class GreedyOperatorOrdering final : public JoinOrderer {
+ public:
+  GreedyOperatorOrdering() = default;
+
+  std::string_view name() const override { return "GOO"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_GREEDY_H_

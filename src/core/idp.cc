@@ -1,0 +1,147 @@
+#include "core/idp.h"
+
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "cost/cardinality.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+namespace {
+
+/// One IDP component: a set of original relations with its estimated
+/// cardinality. Its best join tree lives in the global plan table.
+struct Component {
+  NodeSet relations;
+  double cardinality;
+};
+
+}  // namespace
+
+Result<OptimizationResult> IDP1::Optimize(const QueryGraph& graph,
+                                          const CostModel& cost_model) const {
+  if (k_ < 2) {
+    return Status::InvalidArgument("IDP1 block size must be >= 2");
+  }
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+  const Stopwatch stopwatch;
+  const int n = graph.relation_count();
+
+  // Global table over ORIGINAL relation sets; each round's DP writes its
+  // decompositions here so the final tree reconstructs in one pass.
+  PlanTable table = internal::MakeAdaptivePlanTable(graph);
+  OptimizerStats stats;
+  internal::SeedLeafPlans(graph, &table, &stats);
+
+  std::vector<Component> components;
+  components.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    components.push_back({NodeSet::Singleton(i), graph.cardinality(i)});
+  }
+
+  while (components.size() > 1) {
+    const int m = static_cast<int>(components.size());
+    const int block = std::min(k_, m);
+
+    // Size-bounded DPsize over the component graph. Plans are keyed by
+    // ORIGINAL relation sets (the union of their components' sets);
+    // operand lookups and the cost bookkeeping reuse the global table.
+    std::vector<std::vector<NodeSet>> plans_by_size(block + 1);
+    // Sets registered in THIS round's size lists. Global-table presence
+    // is the wrong test: an intermediate built (but not collapsed) in an
+    // earlier round must still be re-registered here or it could never
+    // grow further this round.
+    std::unordered_set<uint64_t> round_seen;
+    for (const Component& component : components) {
+      plans_by_size[1].push_back(component.relations);
+      round_seen.insert(component.relations.mask());
+    }
+
+    const auto consider = [&](NodeSet s1, NodeSet s2) {
+      ++stats.inner_counter;
+      if (s1.Intersects(s2)) {
+        return;
+      }
+      if (!graph.AreConnected(s1, s2)) {
+        return;
+      }
+      stats.csg_cmp_pair_counter += 2;
+      const NodeSet combined = s1 | s2;
+      internal::CreateJoinTreeBothOrders(graph, cost_model, s1, s2, &table,
+                                         &stats);
+      if (round_seen.insert(combined.mask()).second) {
+        // Size in COMPONENTS: count of constituent components.
+        int size = 0;
+        for (const Component& component : components) {
+          if (component.relations.IsSubsetOf(combined)) {
+            ++size;
+          }
+        }
+        JOINOPT_DCHECK(size >= 2 && size <= block);
+        plans_by_size[size].push_back(combined);
+      }
+    };
+
+    for (int s = 2; s <= block; ++s) {
+      for (int s1 = 1; 2 * s1 <= s; ++s1) {
+        const int s2 = s - s1;
+        const auto& left_list = plans_by_size[s1];
+        const auto& right_list = plans_by_size[s2];
+        if (s1 == s2) {
+          for (size_t i = 0; i < left_list.size(); ++i) {
+            for (size_t j = i + 1; j < left_list.size(); ++j) {
+              consider(left_list[i], left_list[j]);
+            }
+          }
+        } else {
+          for (const NodeSet a : left_list) {
+            for (const NodeSet b : right_list) {
+              consider(a, b);
+            }
+          }
+        }
+      }
+    }
+
+    if (m <= k_) {
+      break;  // The last DP covered everything: the full plan exists.
+    }
+
+    // Select the cheapest size-`block` plan and collapse it.
+    NodeSet best_set;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const NodeSet candidate : plans_by_size[block]) {
+      const PlanEntry* entry = table.Find(candidate);
+      JOINOPT_DCHECK(entry != nullptr);
+      if (entry->cost < best_cost) {
+        best_cost = entry->cost;
+        best_set = candidate;
+      }
+    }
+    if (best_set.empty()) {
+      // No size-`block` plan: with a connected component graph this
+      // cannot happen (connected graphs have connected subsets of every
+      // size), so treat it as an internal error.
+      return Status::Internal("IDP1 round produced no size-k plan");
+    }
+    const PlanEntry* best_entry = table.Find(best_set);
+    std::vector<Component> next;
+    next.reserve(components.size());
+    next.push_back({best_set, best_entry->cardinality});
+    for (const Component& component : components) {
+      if (!component.relations.IsSubsetOf(best_set)) {
+        next.push_back(component);
+      }
+    }
+    components = std::move(next);
+  }
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,40 @@
+#ifndef JOINOPT_CORE_IDP_H_
+#define JOINOPT_CORE_IDP_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// IDP1 — Iterative Dynamic Programming [Kossmann & Stocker, TODS 2000],
+/// the DP-based heuristic the paper's introduction cites as research
+/// built on Selinger-style DP. Bridges exact DP (exponential, small n)
+/// and greedy (polynomial, any n):
+///
+///   while more than one component remains:
+///     run bushy cross-product-free DP over the component graph, but
+///     only up to plans of size k;
+///     if everything fit in one DP (components <= k), done;
+///     otherwise pick the cheapest size-k plan, collapse it into a
+///     single compound relation, and iterate.
+///
+/// With k >= n IDP1 degenerates to exact DP (and must match DPccp's
+/// optimum — asserted by the tests); with k = 2 it behaves like a
+/// cheapest-pair greedy. Runtime per round is the DPsize cost capped at
+/// size k, so large chains/stars far beyond exact-DP reach stay cheap.
+class IDP1 final : public JoinOrderer {
+ public:
+  /// `k` is the DP block size, >= 2.
+  explicit IDP1(int k) : k_(k) {}
+
+  std::string_view name() const override { return "IDP1"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+
+ private:
+  int k_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_IDP_H_

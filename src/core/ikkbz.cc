@@ -1,0 +1,195 @@
+#include "core/ikkbz.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+namespace {
+
+/// A module of the precedence chain: a sequence of relations treated as
+/// one unit, with the aggregate T (cardinality factor) and C (C_out
+/// contribution) of the sequence.
+struct Module {
+  double t = 1.0;
+  double c = 0.0;
+  std::vector<int> relations;
+
+  /// (T - 1) / C, the ASI rank. C > 0 for every real module.
+  double Rank() const { return (t - 1.0) / c; }
+};
+
+/// Concatenation: C(AB) = C(A) + T(A)·C(B), T(AB) = T(A)·T(B).
+Module Concat(Module a, const Module& b) {
+  a.c += a.t * b.c;
+  a.t *= b.t;
+  a.relations.insert(a.relations.end(), b.relations.begin(),
+                     b.relations.end());
+  return a;
+}
+
+/// Per-root working data: the query tree rooted at some relation.
+struct RootedTree {
+  std::vector<int> parent;          // -1 for the root.
+  std::vector<double> t;            // T_i = sel(edge to parent) * n_i.
+  std::vector<std::vector<int>> children;
+};
+
+RootedTree RootTree(const QueryGraph& graph, int root) {
+  const int n = graph.relation_count();
+  RootedTree tree;
+  tree.parent.assign(n, -1);
+  tree.t.assign(n, 1.0);
+  tree.children.assign(n, {});
+
+  // BFS from the root over the (acyclic) graph.
+  std::vector<int> queue = {root};
+  NodeSet visited = NodeSet::Singleton(root);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const int v = queue[head];
+    for (const int w : graph.Neighbors(v)) {
+      if (visited.Contains(w)) {
+        continue;
+      }
+      visited.Add(w);
+      tree.parent[w] = v;
+      tree.children[v].push_back(w);
+      queue.push_back(w);
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (v != root) {
+      tree.t[v] = graph.cardinality(v) *
+                  graph.SelectivityBetween(NodeSet::Singleton(v),
+                                           NodeSet::Singleton(tree.parent[v]));
+    }
+  }
+  return tree;
+}
+
+/// Linearizes the subtree rooted at `v` into a normalized (rank-
+/// ascending) module chain whose first module contains v.
+/// `comparisons` accumulates into the InnerCounter.
+std::vector<Module> Linearize(const RootedTree& tree, int v,
+                              uint64_t* comparisons) {
+  // Merge the children's chains by ascending rank. Each child chain is
+  // already ascending, so a stable sort by rank is a valid k-way merge
+  // that cannot hoist a descendant above its ancestor.
+  std::vector<Module> merged;
+  for (const int child : tree.children[v]) {
+    std::vector<Module> chain = Linearize(tree, child, comparisons);
+    merged.insert(merged.end(), std::make_move_iterator(chain.begin()),
+                  std::make_move_iterator(chain.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [comparisons](const Module& a, const Module& b) {
+                     ++*comparisons;
+                     return a.Rank() < b.Rank();
+                   });
+
+  // Prepend v's own module and normalize the front: while v (or the
+  // compound it grew into) out-ranks its successor, the successor can
+  // never be scheduled later than v profitably, so fuse them.
+  Module head;
+  head.t = tree.t[v];
+  head.c = tree.t[v];
+  head.relations = {v};
+  std::vector<Module> chain;
+  chain.reserve(merged.size() + 1);
+  chain.push_back(std::move(head));
+  size_t next = 0;
+  while (next < merged.size() && chain.back().Rank() > merged[next].Rank()) {
+    ++*comparisons;
+    chain.back() = Concat(std::move(chain.back()), merged[next]);
+    ++next;
+  }
+  for (; next < merged.size(); ++next) {
+    chain.push_back(std::move(merged[next]));
+  }
+  return chain;
+}
+
+}  // namespace
+
+namespace internal {
+
+Result<std::vector<int>> IkkbzLinearize(const QueryGraph& graph,
+                                        uint64_t* comparisons) {
+  JOINOPT_RETURN_IF_ERROR(
+      ValidateOptimizerInput(graph, /*require_connected=*/true));
+  const int n = graph.relation_count();
+  if (graph.edge_count() != n - 1) {
+    return Status::InvalidArgument(
+        "IKKBZ requires an acyclic (tree) query graph; this one has " +
+        std::to_string(graph.edge_count()) + " edges for " +
+        std::to_string(n) + " relations");
+  }
+  uint64_t local_comparisons = 0;
+  if (comparisons == nullptr) {
+    comparisons = &local_comparisons;
+  }
+
+  // Try every relation as the sequence head; keep the cheapest C_out.
+  std::vector<int> best_sequence;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int root = 0; root < n; ++root) {
+    const RootedTree tree = RootTree(graph, root);
+    const std::vector<Module> chain = Linearize(tree, root, comparisons);
+
+    // Flatten and price: C_out over the left-deep sequence.
+    std::vector<int> sequence;
+    sequence.reserve(n);
+    for (const Module& module : chain) {
+      sequence.insert(sequence.end(), module.relations.begin(),
+                      module.relations.end());
+    }
+    JOINOPT_DCHECK(static_cast<int>(sequence.size()) == n);
+    JOINOPT_DCHECK(sequence[0] == root);
+    double cardinality = graph.cardinality(root);
+    double cost = 0.0;
+    for (int k = 1; k < n; ++k) {
+      cardinality *= tree.t[sequence[k]];
+      cost += cardinality;
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_sequence = std::move(sequence);
+    }
+  }
+  return best_sequence;
+}
+
+}  // namespace internal
+
+Result<OptimizationResult> IKKBZ::Optimize(const QueryGraph& graph,
+                                           const CostModel& cost_model) const {
+  const Stopwatch stopwatch;
+  OptimizerStats stats;
+  Result<std::vector<int>> sequence =
+      internal::IkkbzLinearize(graph, &stats.inner_counter);
+  JOINOPT_RETURN_IF_ERROR(sequence.status());
+  const std::vector<int>& best_sequence = *sequence;
+  const int n = graph.relation_count();
+
+  // Materialize the winning sequence as a left-deep plan, priced under
+  // the CALLER's cost model (the ordering itself is C_out-optimal; see
+  // the class comment).
+  PlanTable table = internal::MakeAdaptivePlanTable(graph);
+  internal::SeedLeafPlans(graph, &table, &stats);
+  NodeSet prefix = NodeSet::Singleton(best_sequence[0]);
+  for (int k = 1; k < n; ++k) {
+    const NodeSet leaf = NodeSet::Singleton(best_sequence[k]);
+    stats.csg_cmp_pair_counter += 2;
+    internal::CreateJoinTree(graph, cost_model, prefix, leaf, &table, &stats);
+    prefix |= leaf;
+  }
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,54 @@
+#ifndef JOINOPT_CORE_IKKBZ_H_
+#define JOINOPT_CORE_IKKBZ_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// IKKBZ [Ibaraki & Kameda '84; Krishnamurthy, Boral & Zaniolo '86]: the
+/// classic POLYNOMIAL-TIME exact algorithm for a restricted problem —
+/// optimal LEFT-DEEP join trees without cross products for TREE query
+/// graphs under an ASI (adjacent-sequence-interchange) cost function.
+/// This implementation minimizes C_out restricted to left-deep trees,
+/// which satisfies ASI; on tree-shaped queries it must therefore match
+/// DPsizeLinear{CoutCostModel} exactly (asserted by the test suite) while
+/// running in O(n² log n) instead of exponential time.
+///
+/// Historical context for this repository: IKKBZ is the other classical
+/// exact join orderer besides Selinger DP, and Moerkotte's group later
+/// combined it with DPccp (linearized DP) — so it rounds out the
+/// algorithm family the paper sits in.
+///
+/// The algorithm: for every candidate first relation, root the query
+/// tree there, assign each node the rank (T − 1) / C with T = s·n, and
+/// repeatedly normalize (merge any child whose rank is below its
+/// parent's into a compound node) until the precedence tree is a chain
+/// ordered by ascending rank; the cheapest chain over all roots wins.
+///
+/// Optimize fails on non-tree graphs (cycles) — use the DP algorithms
+/// there — and on disconnected graphs.
+class IKKBZ final : public JoinOrderer {
+ public:
+  IKKBZ() = default;
+
+  std::string_view name() const override { return "IKKBZ"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+};
+
+namespace internal {
+
+/// The linearization step of IKKBZ, exposed for LinDP: the C_out-optimal
+/// left-deep relation order for a connected TREE query graph (fails on
+/// cyclic or disconnected input). Every prefix of the returned order is
+/// connected. `comparisons`, if non-null, accumulates rank comparisons
+/// (the InnerCounter contribution).
+Result<std::vector<int>> IkkbzLinearize(const QueryGraph& graph,
+                                        uint64_t* comparisons);
+
+}  // namespace internal
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_IKKBZ_H_

@@ -1,0 +1,48 @@
+#ifndef JOINOPT_CORE_KBEST_H_
+#define JOINOPT_CORE_KBEST_H_
+
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// One plan of a k-best result, cheapest first.
+struct RankedPlan {
+  JoinTree plan;
+  double cost = 0.0;
+};
+
+/// K-best join ordering: DPccp's enumeration with a top-k memo per
+/// connected subset instead of a single best entry, yielding the k
+/// cheapest distinct join trees for the whole query (cheapest first).
+///
+/// Use cases: plan robustness studies (how much worse is the runner-up?),
+/// hinting/plan-pinning UIs, and testing — the k = 1 result must equal
+/// DPccp's, and on small queries the full ranking must match a
+/// brute-force enumeration of every ordered tree (both asserted by the
+/// test suite).
+///
+/// Admissibility: the i-th best plan for a set only ever composes
+/// plans within the top-i of its subsets (swapping in a cheaper subplan
+/// yields a different, cheaper tree), so per-set top-k lists suffice.
+/// Cost: DPccp's pair count times k² per pair.
+class KBestJoinOrderer {
+ public:
+  /// `k` >= 1: how many plans to produce.
+  explicit KBestJoinOrderer(int k) : k_(k) {}
+
+  std::string_view name() const { return "KBestDPccp"; }
+
+  /// Returns min(k, number of existing trees) plans, cheapest first.
+  /// Fails on empty or disconnected graphs.
+  Result<std::vector<RankedPlan>> Optimize(const QueryGraph& graph,
+                                           const CostModel& cost_model) const;
+
+ private:
+  int k_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_KBEST_H_

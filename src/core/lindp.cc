@@ -1,0 +1,130 @@
+#include "core/lindp.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/ikkbz.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+namespace {
+
+/// Kruskal union-find for the minimum-selectivity spanning tree.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  bool Union(int a, int b) {
+    const int ra = Find(a);
+    const int rb = Find(b);
+    if (ra == rb) {
+      return false;
+    }
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Spanning tree keeping the most selective (smallest-selectivity)
+/// predicates — the edges that shrink intermediates most, which is what
+/// the linearization should schedule around. Standard LinDP adaptation
+/// for cyclic graphs.
+Result<QueryGraph> MinSelectivitySpanningTree(const QueryGraph& graph) {
+  QueryGraph tree;
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    Result<int> added = tree.AddRelation(graph.cardinality(i), graph.name(i));
+    JOINOPT_RETURN_IF_ERROR(added.status());
+  }
+  std::vector<int> edge_order(graph.edge_count());
+  std::iota(edge_order.begin(), edge_order.end(), 0);
+  std::sort(edge_order.begin(), edge_order.end(), [&graph](int a, int b) {
+    return graph.edges()[a].selectivity < graph.edges()[b].selectivity;
+  });
+  UnionFind components(graph.relation_count());
+  for (const int e : edge_order) {
+    const JoinEdge& edge = graph.edges()[e];
+    if (components.Union(edge.left, edge.right)) {
+      JOINOPT_RETURN_IF_ERROR(
+          tree.AddEdge(edge.left, edge.right, edge.selectivity));
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+Result<OptimizationResult> LinDP::Optimize(const QueryGraph& graph,
+                                           const CostModel& cost_model) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+  const Stopwatch stopwatch;
+  const int n = graph.relation_count();
+  OptimizerStats stats;
+
+  // Step 1: linearize. Trees go straight to IKKBZ; cyclic graphs through
+  // the minimum-selectivity spanning tree.
+  Result<std::vector<int>> order = Status::Internal("unset");
+  if (graph.edge_count() == n - 1) {
+    order = internal::IkkbzLinearize(graph, &stats.inner_counter);
+  } else {
+    Result<QueryGraph> spanning_tree = MinSelectivitySpanningTree(graph);
+    JOINOPT_RETURN_IF_ERROR(spanning_tree.status());
+    order = internal::IkkbzLinearize(*spanning_tree, &stats.inner_counter);
+  }
+  JOINOPT_RETURN_IF_ERROR(order.status());
+
+  // Step 2: interval DP over the order (against the ORIGINAL graph, so
+  // every cyclic edge still contributes its selectivity and adjacency).
+  PlanTable table = internal::MakeAdaptivePlanTable(graph);
+  internal::SeedLeafPlans(graph, &table, &stats);
+
+  // interval_set[i][j] = set of relations order[i..j] inclusive.
+  const auto interval_set = [&order](int i, int j) {
+    NodeSet set;
+    for (int k = i; k <= j; ++k) {
+      set.Add((*order)[k]);
+    }
+    return set;
+  };
+
+  for (int length = 2; length <= n; ++length) {
+    for (int i = 0; i + length - 1 < n; ++i) {
+      const int j = i + length - 1;
+      for (int split = i; split < j; ++split) {
+        ++stats.inner_counter;
+        const NodeSet left = interval_set(i, split);
+        const NodeSet right = interval_set(split + 1, j);
+        // Both halves must already have plans (connected intervals) and
+        // be joined by an edge.
+        if (table.Find(left) == nullptr || table.Find(right) == nullptr) {
+          continue;
+        }
+        if (!graph.AreConnected(left, right)) {
+          continue;
+        }
+        stats.csg_cmp_pair_counter += 2;
+        internal::CreateJoinTreeBothOrders(graph, cost_model, left, right,
+                                           &table, &stats);
+      }
+    }
+  }
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,121 @@
+#ifndef JOINOPT_CORE_OPTIMIZER_H_
+#define JOINOPT_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "graph/query_graph.h"
+#include "plan/join_tree.h"
+#include "plan/plan_table.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// The instrumentation counters of the paper (Figures 1, 2, 4), plus a few
+/// library-level extras. The analytical results of Section 2 are exactly
+/// statements about these counters, and the test suite checks the
+/// implementation against the closed forms through them.
+struct OptimizerStats {
+  /// Number of times the innermost loop body was entered (the paper's
+  /// InnerCounter): candidate pairs enumerated, counted before any
+  /// disjointness/connectivity test.
+  uint64_t inner_counter = 0;
+  /// Number of csg-cmp-pairs that survived all tests, counting (S1,S2)
+  /// and (S2,S1) separately (the paper's CsgCmpPairCounter).
+  uint64_t csg_cmp_pair_counter = 0;
+  /// csg_cmp_pair_counter / 2 (the paper's OnoLohmanCounter).
+  uint64_t ono_lohman_counter = 0;
+  /// Number of CreateJoinTree invocations (plan constructions costed).
+  uint64_t create_join_tree_calls = 0;
+  /// Number of sets with a registered plan at termination (incl. leaves).
+  uint64_t plans_stored = 0;
+  /// Wall-clock optimization time.
+  double elapsed_seconds = 0.0;
+};
+
+/// The output of a join orderer: the chosen plan plus instrumentation.
+struct OptimizationResult {
+  JoinTree plan;
+  /// Total cost of `plan` under the cost model used.
+  double cost = 0.0;
+  /// Estimated result cardinality.
+  double cardinality = 0.0;
+  OptimizerStats stats;
+};
+
+/// Interface shared by every join-ordering algorithm in the library
+/// (DPsize, DPsub, DPccp, the cross-product variants, the left-deep DP,
+/// and the greedy baseline).
+class JoinOrderer {
+ public:
+  virtual ~JoinOrderer() = default;
+
+  /// Stable display name ("DPsize", "DPccp", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Computes a join tree for `graph` under `cost_model`. The exact
+  /// optimizers guarantee an optimal bushy tree in their search space;
+  /// heuristics (GOO) return a valid but possibly suboptimal tree.
+  ///
+  /// Fails when the graph is empty or (for the cross-product-free
+  /// algorithms) disconnected.
+  virtual Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const = 0;
+};
+
+namespace internal {
+
+/// Shared plumbing for the DP algorithm implementations. Not part of the
+/// public API.
+
+/// Validates the common preconditions: at least one relation and (when
+/// `require_connected`) a connected graph.
+Status ValidateOptimizerInput(const QueryGraph& graph, bool require_connected);
+
+/// Builds a plan table with a backend chosen by the graph's search-space
+/// density: a capped connected-subset count decides between the dense
+/// array (stars/cliques: high fill fraction, O(1) access) and the hash
+/// map (chains/cycles at large n: zero-filling 2^n dense slots would
+/// dominate the whole optimization). Used by the enumeration-bounded
+/// algorithms (DPsize, DPccp, ...); DPsub keeps the dense backend
+/// unconditionally since its outer loop touches every mask anyway.
+PlanTable MakeAdaptivePlanTable(const QueryGraph& graph);
+
+/// Seeds `table` with the single-relation plans (cost 0, base
+/// cardinality) and counts them in `stats`.
+void SeedLeafPlans(const QueryGraph& graph, PlanTable* table,
+                   OptimizerStats* stats);
+
+/// The CreateJoinTree step shared by all DPs: prices joining the best
+/// plans for `s1` and `s2` (in that order: s1 = left/build) and updates
+/// the table entry for s1 ∪ s2 if cheaper. Requires both operand entries
+/// to exist. Increments stats->create_join_tree_calls and
+/// stats->plans_stored (via table bookkeeping) as appropriate.
+void CreateJoinTree(const QueryGraph& graph, const CostModel& cost_model,
+                    NodeSet s1, NodeSet s2, PlanTable* table,
+                    OptimizerStats* stats);
+
+/// CreateJoinTree for both operand orders (join commutativity), as DPccp
+/// and the optimized DPsize require.
+inline void CreateJoinTreeBothOrders(const QueryGraph& graph,
+                                     const CostModel& cost_model, NodeSet s1,
+                                     NodeSet s2, PlanTable* table,
+                                     OptimizerStats* stats) {
+  CreateJoinTree(graph, cost_model, s1, s2, table, stats);
+  CreateJoinTree(graph, cost_model, s2, s1, table, stats);
+}
+
+/// Packages the table's plan for all relations of `graph` into an
+/// OptimizationResult. Fails if the table holds no such plan (optimizer
+/// bug or violated precondition).
+Result<OptimizationResult> ExtractResult(const QueryGraph& graph,
+                                         const PlanTable& table,
+                                         OptimizerStats stats);
+
+}  // namespace internal
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_OPTIMIZER_H_

@@ -1,0 +1,104 @@
+#include "core/top_down.h"
+
+#include <unordered_set>
+
+#include "bitset/subset_iterator.h"
+#include "graph/connectivity.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+namespace {
+
+/// Recursion state for one optimization run.
+class TopDownSolver {
+ public:
+  TopDownSolver(const QueryGraph& graph, const CostModel& cost_model,
+                PlanTable* table, OptimizerStats* stats)
+      : graph_(graph), cost_model_(cost_model), table_(table), stats_(stats) {}
+
+  /// Ensures `s` (a connected set) has its optimal plan in the table.
+  void Solve(NodeSet s) {
+    JOINOPT_DCHECK(IsConnectedSet(graph_, s));
+    const PlanEntry* existing = table_->Find(s);
+    if (existing != nullptr && solved_.Contains(s)) {
+      return;
+    }
+    if (s.count() == 1) {
+      return;  // Leaves are seeded.
+    }
+    // Mark first: the split recursion below only descends into strict
+    // subsets, so no cycle is possible, but re-entry via other parents
+    // must see the set as in-progress-or-done only AFTER its own
+    // children are solved; since subsets are strictly smaller, marking
+    // before recursion is safe.
+    solved_.Insert(s);
+
+    // Enumerate unordered splits once: keep the half containing min(s).
+    const int anchor = s.Min();
+    for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+      const NodeSet s1 = it.Current();
+      ++stats_->inner_counter;
+      if (!s1.Contains(anchor)) {
+        continue;
+      }
+      const NodeSet s2 = s - s1;
+      if (!IsConnectedSet(graph_, s1) || !IsConnectedSet(graph_, s2)) {
+        continue;
+      }
+      if (!graph_.AreConnected(s1, s2)) {
+        continue;
+      }
+      stats_->csg_cmp_pair_counter += 2;
+      Solve(s1);
+      Solve(s2);
+      internal::CreateJoinTreeBothOrders(graph_, cost_model_, s1, s2, table_,
+                                         stats_);
+    }
+  }
+
+ private:
+  /// Tracks memoized sets. Table presence alone is not enough: an entry
+  /// appears as soon as the FIRST split is priced, before the remaining
+  /// splits have been tried.
+  class SolvedSet {
+   public:
+    bool Contains(NodeSet s) const { return set_.contains(s.mask()); }
+    void Insert(NodeSet s) { set_.insert(s.mask()); }
+
+   private:
+    std::unordered_set<uint64_t> set_;
+  };
+
+  const QueryGraph& graph_;
+  const CostModel& cost_model_;
+  PlanTable* table_;
+  OptimizerStats* stats_;
+  SolvedSet solved_;
+};
+
+}  // namespace
+
+Result<OptimizationResult> TDBasic::Optimize(
+    const QueryGraph& graph, const CostModel& cost_model) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+  if (graph.relation_count() >= 40) {
+    return Status::InvalidArgument(
+        "TDBasic's split enumeration is exponential; refusing n >= 40");
+  }
+  const Stopwatch stopwatch;
+
+  PlanTable table = internal::MakeAdaptivePlanTable(graph);
+  OptimizerStats stats;
+  internal::SeedLeafPlans(graph, &table, &stats);
+
+  TopDownSolver solver(graph, cost_model, &table, &stats);
+  solver.Solve(graph.AllRelations());
+
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return internal::ExtractResult(graph, table, stats);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,38 @@
+#ifndef JOINOPT_CORE_TOP_DOWN_H_
+#define JOINOPT_CORE_TOP_DOWN_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// TDBasic: naive TOP-DOWN join enumeration with memoization — the
+/// mirror image of the paper's bottom-up algorithms, included as the
+/// baseline of the top-down partition-search line of work (DeHaan &
+/// Tompa SIGMOD'07; Fender & Moerkotte's later minimal-cut algorithms).
+///
+/// BestPlan(S) recurses: for every split (S1, S \ S1) with S1 containing
+/// min(S), both halves connected, and at least one crossing edge, price
+/// BestPlan(S1) ⋈ BestPlan(S2) in both orders. Memoization makes every
+/// set solved once, so the set of CreateJoinTree calls is exactly the
+/// csg-cmp-pairs — the same work as DPccp — but the generate-and-test
+/// split enumeration costs 2^|S| per solved set, which is DPsub's
+/// complexity profile. InnerCounter counts split candidates (one per
+/// strict-subset half, i.e. 2^|S|-1 - 1 per memoized connected set).
+///
+/// The upside of top-down enumeration (not exercised here) is
+/// branch-and-bound pruning; TDBasic exists to cross-check the bottom-up
+/// algorithms from the opposite direction and as the natural base for
+/// such extensions.
+class TDBasic final : public JoinOrderer {
+ public:
+  TDBasic() = default;
+
+  std::string_view name() const override { return "TDBasic"; }
+
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model) const override;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_TOP_DOWN_H_

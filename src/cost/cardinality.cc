@@ -1,0 +1,14 @@
+#include "cost/cardinality.h"
+
+namespace joinopt {
+
+double CardinalityEstimator::EstimateSet(NodeSet s) const {
+  JOINOPT_DCHECK(!s.empty());
+  double cardinality = 1.0;
+  for (int v : s) {
+    cardinality *= graph_->cardinality(v);
+  }
+  return cardinality * graph_->SelectivityWithin(s);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,45 @@
+#ifndef JOINOPT_COST_CARDINALITY_H_
+#define JOINOPT_COST_CARDINALITY_H_
+
+#include "bitset/node_set.h"
+#include "graph/query_graph.h"
+
+namespace joinopt {
+
+/// The textbook independence-assumption cardinality model:
+///
+///   |⋈ S| = ∏_{R ∈ S} |R| · ∏_{(u,v) ∈ E, u,v ∈ S} sel(u, v)
+///
+/// Under this model the estimate for a set is independent of the join order
+/// used to produce it, which is exactly the property dynamic programming
+/// over sets relies on. The incremental form used by the DP combine step,
+///
+///   |S1 ⋈ S2| = |S1| · |S2| · ∏_{edges crossing (S1, S2)} sel
+///
+/// is algebraically identical; JoinCardinality computes it from the two
+/// operand estimates, and EstimateSet recomputes a set's estimate from
+/// scratch (the plan validator uses the latter to cross-check the former).
+class CardinalityEstimator {
+ public:
+  /// The estimator borrows `graph`; the graph must outlive it.
+  explicit CardinalityEstimator(const QueryGraph& graph) : graph_(&graph) {}
+
+  /// From-scratch estimate of |⋈ s|. Requires a non-empty set.
+  double EstimateSet(NodeSet s) const;
+
+  /// Incremental estimate of |S1 ⋈ S2| from operand estimates. The sets
+  /// must be disjoint. If no edge crosses the cut, this degenerates to the
+  /// cross-product cardinality — the cross-product-enabled algorithm
+  /// variants rely on that.
+  double JoinCardinality(NodeSet s1, double card1, NodeSet s2,
+                         double card2) const {
+    return card1 * card2 * graph_->SelectivityBetween(s1, s2);
+  }
+
+ private:
+  const QueryGraph* graph_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COST_CARDINALITY_H_

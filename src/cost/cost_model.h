@@ -1,0 +1,188 @@
+#ifndef JOINOPT_COST_COST_MODEL_H_
+#define JOINOPT_COST_COST_MODEL_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace joinopt {
+
+/// Physical join operator chosen by a cost model. kUnspecified means the
+/// model is purely logical (C_out); the executor then uses its default
+/// (hash join).
+enum class JoinOperator {
+  kUnspecified = 0,
+  kHashJoin,
+  kNestedLoop,
+  kSortMerge,
+};
+
+/// Stable display name ("HashJoin", ...).
+std::string_view JoinOperatorName(JoinOperator op);
+
+/// Interface for join cost models.
+///
+/// A cost model prices a single binary join given the operand and output
+/// cardinality estimates; the optimizer sums join costs over the tree
+/// (leaf scans are free, the convention of the C_out family). The paper's
+/// results are cost-model independent — the counters and runtimes depend
+/// only on the query graph — but a real plan generator needs one, and an
+/// ASYMMETRIC model (e.g. hash join with distinct build/probe costs) is
+/// what makes the commutativity handling in DPsize/DPccp observable.
+///
+/// `left` is the left/outer (or build) input, `right` the right/inner (or
+/// probe) input.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Cost of one join producing `output_card` rows from inputs of
+  /// `left_card` and `right_card` rows. Must be non-negative.
+  virtual double JoinCost(double left_card, double right_card,
+                          double output_card) const = 0;
+
+  /// True when JoinCost(l, r, o) == JoinCost(r, l, o) for all inputs.
+  /// Symmetric models let implementations skip the commuted retry.
+  virtual bool IsSymmetric() const { return false; }
+
+  /// The physical operator whose cost JoinCost models for these inputs.
+  /// The optimizer records it in the plan; the executor dispatches on it.
+  /// Default: kUnspecified (logical model).
+  virtual JoinOperator OperatorFor(double left_card, double right_card,
+                                   double output_card) const {
+    (void)left_card;
+    (void)right_card;
+    (void)output_card;
+    return JoinOperator::kUnspecified;
+  }
+
+  /// Stable display name for reports.
+  virtual std::string_view name() const = 0;
+};
+
+/// C_out [Cluet & Moerkotte]: the cost of a join is its output cardinality;
+/// total cost is the sum of all intermediate-result sizes. The classic
+/// yardstick for join-ordering studies and the default model in this
+/// library's examples and benchmarks.
+class CoutCostModel final : public CostModel {
+ public:
+  double JoinCost(double /*left_card*/, double /*right_card*/,
+                  double output_card) const override {
+    return output_card;
+  }
+  bool IsSymmetric() const override { return true; }
+  std::string_view name() const override { return "Cout"; }
+  // kUnspecified: C_out is a logical model, it prices no operator.
+};
+
+/// In-memory nested-loop join: cost proportional to |L| * |R|.
+class NestedLoopCostModel final : public CostModel {
+ public:
+  double JoinCost(double left_card, double right_card,
+                  double /*output_card*/) const override {
+    return left_card * right_card;
+  }
+  bool IsSymmetric() const override { return true; }
+  JoinOperator OperatorFor(double, double, double) const override {
+    return JoinOperator::kNestedLoop;
+  }
+  std::string_view name() const override { return "NestedLoop"; }
+};
+
+/// Hash join with the build side on the left: cost = c_build * |L| +
+/// c_probe * |R| + |out|. Deliberately asymmetric so that join order
+/// (not just join-tree shape) matters.
+class HashJoinCostModel final : public CostModel {
+ public:
+  /// `build_factor` > `probe_factor` models the usual build-side premium.
+  explicit HashJoinCostModel(double build_factor = 2.0,
+                             double probe_factor = 1.0)
+      : build_factor_(build_factor), probe_factor_(probe_factor) {}
+
+  double JoinCost(double left_card, double right_card,
+                  double output_card) const override {
+    return build_factor_ * left_card + probe_factor_ * right_card +
+           output_card;
+  }
+  bool IsSymmetric() const override { return build_factor_ == probe_factor_; }
+  JoinOperator OperatorFor(double, double, double) const override {
+    return JoinOperator::kHashJoin;
+  }
+  std::string_view name() const override { return "HashJoin"; }
+
+ private:
+  double build_factor_;
+  double probe_factor_;
+};
+
+/// Sort-merge join: cost = |L| log |L| + |R| log |R| + |out| (both inputs
+/// sorted from scratch, then merged).
+class SortMergeCostModel final : public CostModel {
+ public:
+  double JoinCost(double left_card, double right_card,
+                  double output_card) const override;
+  bool IsSymmetric() const override { return true; }
+  JoinOperator OperatorFor(double, double, double) const override {
+    return JoinOperator::kSortMerge;
+  }
+  std::string_view name() const override { return "SortMerge"; }
+};
+
+/// System-R-flavored disk model: block nested-loop join priced in page
+/// I/Os. With P(x) = ceil(rows / rows_per_page):
+///
+///   cost = P(L) + ceil(P(L) / (buffer_pages - 2)) * P(R) + P(out)
+///
+/// The outer (left) input is scanned once; the inner is rescanned once
+/// per outer buffer-load; the result is written out. Strongly
+/// asymmetric: the smaller input belongs on the left.
+class DiskNestedLoopCostModel final : public CostModel {
+ public:
+  /// Requires rows_per_page >= 1 and buffer_pages >= 3 (one input
+  /// window, one inner page, one output page).
+  explicit DiskNestedLoopCostModel(double rows_per_page = 100.0,
+                                   double buffer_pages = 10.0);
+
+  double JoinCost(double left_card, double right_card,
+                  double output_card) const override;
+  bool IsSymmetric() const override { return false; }
+  JoinOperator OperatorFor(double, double, double) const override {
+    return JoinOperator::kNestedLoop;
+  }
+  std::string_view name() const override { return "DiskNestedLoop"; }
+
+ private:
+  double rows_per_page_;
+  double buffer_pages_;
+};
+
+/// Physical-operator choice: the cost of a join is the minimum over a set
+/// of member models (e.g. "pick hash or nested-loop, whichever is
+/// cheaper"). Mirrors what a plan generator with several join
+/// implementations does inside CreateJoinTree.
+class BestOfCostModel final : public CostModel {
+ public:
+  /// Takes ownership of the member models; at least one is required.
+  explicit BestOfCostModel(std::vector<std::unique_ptr<CostModel>> members);
+
+  /// Convenience factory with the standard trio (hash, nested-loop,
+  /// sort-merge).
+  static BestOfCostModel Standard();
+
+  double JoinCost(double left_card, double right_card,
+                  double output_card) const override;
+  bool IsSymmetric() const override;
+  /// The operator of the member whose cost is the minimum — this is the
+  /// physical operator selection a real plan generator performs inside
+  /// CreateJoinTree.
+  JoinOperator OperatorFor(double left_card, double right_card,
+                           double output_card) const override;
+  std::string_view name() const override { return "BestOf"; }
+
+ private:
+  std::vector<std::unique_ptr<CostModel>> members_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COST_COST_MODEL_H_

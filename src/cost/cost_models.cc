@@ -1,0 +1,104 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace joinopt {
+
+std::string_view JoinOperatorName(JoinOperator op) {
+  switch (op) {
+    case JoinOperator::kUnspecified:
+      return "Join";
+    case JoinOperator::kHashJoin:
+      return "HashJoin";
+    case JoinOperator::kNestedLoop:
+      return "NestedLoopJoin";
+    case JoinOperator::kSortMerge:
+      return "SortMergeJoin";
+  }
+  return "Join";
+}
+
+namespace {
+
+/// n log2(n), guarded for n < 1 so tiny estimates don't go negative.
+double SortCost(double n) { return n * std::log2(std::max(n, 2.0)); }
+
+}  // namespace
+
+double SortMergeCostModel::JoinCost(double left_card, double right_card,
+                                    double output_card) const {
+  return SortCost(left_card) + SortCost(right_card) + output_card;
+}
+
+DiskNestedLoopCostModel::DiskNestedLoopCostModel(double rows_per_page,
+                                                 double buffer_pages)
+    : rows_per_page_(rows_per_page), buffer_pages_(buffer_pages) {
+  JOINOPT_CHECK(rows_per_page_ >= 1.0);
+  JOINOPT_CHECK(buffer_pages_ >= 3.0);
+}
+
+double DiskNestedLoopCostModel::JoinCost(double left_card, double right_card,
+                                         double output_card) const {
+  const auto pages = [this](double rows) {
+    return std::ceil(std::max(rows, 1.0) / rows_per_page_);
+  };
+  const double outer = pages(left_card);
+  const double window = buffer_pages_ - 2.0;
+  return outer + std::ceil(outer / window) * pages(right_card) +
+         pages(output_card);
+}
+
+BestOfCostModel::BestOfCostModel(
+    std::vector<std::unique_ptr<CostModel>> members)
+    : members_(std::move(members)) {
+  JOINOPT_CHECK(!members_.empty());
+}
+
+BestOfCostModel BestOfCostModel::Standard() {
+  std::vector<std::unique_ptr<CostModel>> members;
+  members.push_back(std::make_unique<HashJoinCostModel>());
+  members.push_back(std::make_unique<NestedLoopCostModel>());
+  members.push_back(std::make_unique<SortMergeCostModel>());
+  return BestOfCostModel(std::move(members));
+}
+
+double BestOfCostModel::JoinCost(double left_card, double right_card,
+                                 double output_card) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& member : members_) {
+    best = std::min(best, member->JoinCost(left_card, right_card, output_card));
+  }
+  return best;
+}
+
+JoinOperator BestOfCostModel::OperatorFor(double left_card, double right_card,
+                                          double output_card) const {
+  double best = std::numeric_limits<double>::infinity();
+  JoinOperator op = JoinOperator::kUnspecified;
+  for (const auto& member : members_) {
+    const double cost = member->JoinCost(left_card, right_card, output_card);
+    if (cost < best) {
+      best = cost;
+      op = member->OperatorFor(left_card, right_card, output_card);
+    }
+  }
+  return op;
+}
+
+bool BestOfCostModel::IsSymmetric() const {
+  // The minimum of symmetric functions is symmetric; with any asymmetric
+  // member we conservatively report asymmetric.
+  for (const auto& member : members_) {
+    if (!member->IsSymmetric()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace joinopt

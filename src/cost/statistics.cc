@@ -1,0 +1,49 @@
+#include "cost/statistics.h"
+
+#include <algorithm>
+#include <string>
+
+#include "exec/executor.h"
+
+namespace joinopt {
+
+Result<QueryGraph> MeasureStatistics(const QueryGraph& graph,
+                                     const Database& database) {
+  if (static_cast<int>(database.tables.size()) != graph.relation_count()) {
+    return Status::InvalidArgument(
+        "database has " + std::to_string(database.tables.size()) +
+        " tables but the graph has " +
+        std::to_string(graph.relation_count()) + " relations");
+  }
+
+  QueryGraph measured;
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    const int64_t rows = database.tables[i].row_count();
+    if (rows < 1) {
+      return Status::InvalidArgument("relation " + graph.name(i) +
+                                     " is empty; cardinality must be >= 1");
+    }
+    Result<int> added =
+        measured.AddRelation(static_cast<double>(rows), graph.name(i));
+    JOINOPT_RETURN_IF_ERROR(added.status());
+  }
+
+  for (const JoinEdge& edge : graph.edges()) {
+    const Table& left = database.tables[edge.left];
+    const Table& right = database.tables[edge.right];
+    Result<Table> joined = HashJoin(left, right);
+    JOINOPT_RETURN_IF_ERROR(joined.status());
+    const double denominator = static_cast<double>(left.row_count()) *
+                               static_cast<double>(right.row_count());
+    double selectivity =
+        static_cast<double>(joined->row_count()) / denominator;
+    // An empty measured join would zero out every containing estimate;
+    // clamp to "at most one result row".
+    selectivity = std::clamp(selectivity, 1.0 / denominator, 1.0);
+    JOINOPT_RETURN_IF_ERROR(
+        measured.AddEdge(edge.left, edge.right, selectivity));
+  }
+  return measured;
+}
+
+}  // namespace joinopt

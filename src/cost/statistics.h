@@ -1,0 +1,33 @@
+#ifndef JOINOPT_COST_STATISTICS_H_
+#define JOINOPT_COST_STATISTICS_H_
+
+#include "exec/database.h"
+#include "graph/query_graph.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// Closes the optimizer/executor loop from the data side: derives a
+/// query graph's statistics from an actual Database instead of trusting
+/// the annotations.
+///
+/// For every relation the TRUE row count is taken; for every edge the
+/// TRUE join selectivity is computed as
+///
+///   sel(u, v) = |u ⋈ v| / (|u| * |v|)
+///
+/// by joining the two base tables on their shared attribute. Returns a
+/// new QueryGraph with identical topology and measured statistics.
+/// Edges whose measured join is empty get the smallest representable
+/// positive selectivity (a selectivity of 0 would make every containing
+/// plan cost 0 and is rejected by QueryGraph anyway).
+///
+/// Intended uses: re-optimizing with honest statistics (the examples
+/// show estimate drift), and testing that the estimator's independence
+/// assumption is exact at the single-edge level.
+Result<QueryGraph> MeasureStatistics(const QueryGraph& graph,
+                                     const Database& database);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COST_STATISTICS_H_

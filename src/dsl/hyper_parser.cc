@@ -1,0 +1,151 @@
+#include "dsl/hyper_parser.h"
+
+#include <charconv>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace joinopt {
+
+namespace {
+
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    const size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(line.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+Status LineError(int line_number, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line_number) + ": " +
+                                 message);
+}
+
+Result<double> ParseDouble(std::string_view token, int line_number) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return LineError(line_number, "expected a number, got '" +
+                                      std::string(token) + "'");
+  }
+  return value;
+}
+
+/// Resolves "a,b,c" into a node set using the name registry.
+Result<NodeSet> ParseEndpoint(
+    std::string_view token,
+    const std::unordered_map<std::string, int>& index_by_name,
+    int line_number) {
+  NodeSet set;
+  size_t pos = 0;
+  while (pos <= token.size()) {
+    const size_t comma = token.find(',', pos);
+    const std::string_view name =
+        comma == std::string_view::npos ? token.substr(pos)
+                                        : token.substr(pos, comma - pos);
+    if (name.empty()) {
+      return LineError(line_number, "empty relation name in endpoint list");
+    }
+    const auto it = index_by_name.find(std::string(name));
+    if (it == index_by_name.end()) {
+      return LineError(line_number,
+                       "unknown relation '" + std::string(name) + "'");
+    }
+    set.Add(it->second);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return set;
+}
+
+}  // namespace
+
+Result<Hypergraph> ParseHypergraphSpec(std::string_view text) {
+  Hypergraph graph;
+  std::unordered_map<std::string, int> index_by_name;
+  int line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const size_t newline = text.find('\n');
+    std::string_view line =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string_view> tokens = Tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+
+    if (tokens[0] == "rel") {
+      if (tokens.size() != 3) {
+        return LineError(line_number, "expected: rel <name> <cardinality>");
+      }
+      const std::string name(tokens[1]);
+      if (index_by_name.contains(name)) {
+        return LineError(line_number, "duplicate relation '" + name + "'");
+      }
+      Result<double> cardinality = ParseDouble(tokens[2], line_number);
+      JOINOPT_RETURN_IF_ERROR(cardinality.status());
+      Result<int> added = graph.AddRelation(*cardinality, name);
+      if (!added.ok()) {
+        return LineError(line_number, added.status().message());
+      }
+      index_by_name.emplace(name, *added);
+    } else if (tokens[0] == "join" || tokens[0] == "hyperjoin") {
+      if (tokens.size() != 4) {
+        return LineError(line_number,
+                         "expected: " + std::string(tokens[0]) +
+                             " <endpoint> <endpoint> <selectivity>");
+      }
+      Result<NodeSet> left =
+          ParseEndpoint(tokens[1], index_by_name, line_number);
+      JOINOPT_RETURN_IF_ERROR(left.status());
+      Result<NodeSet> right =
+          ParseEndpoint(tokens[2], index_by_name, line_number);
+      JOINOPT_RETURN_IF_ERROR(right.status());
+      if (tokens[0] == "join" &&
+          (left->count() != 1 || right->count() != 1)) {
+        return LineError(line_number,
+                         "'join' takes single relations; use 'hyperjoin' "
+                         "for complex endpoints");
+      }
+      Result<double> selectivity = ParseDouble(tokens[3], line_number);
+      JOINOPT_RETURN_IF_ERROR(selectivity.status());
+      const Status status = graph.AddEdge(*left, *right, *selectivity);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else {
+      return LineError(line_number,
+                       "unknown directive '" + std::string(tokens[0]) +
+                           "' (expected 'rel', 'join', or 'hyperjoin')");
+    }
+  }
+  if (graph.relation_count() == 0) {
+    return Status::InvalidArgument("hypergraph spec declares no relations");
+  }
+  return graph;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,27 @@
+#ifndef JOINOPT_DSL_HYPER_PARSER_H_
+#define JOINOPT_DSL_HYPER_PARSER_H_
+
+#include <string_view>
+
+#include "hyper/hypergraph.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// Parses the hypergraph query-spec language — the plain spec language
+/// plus complex predicates:
+///
+///   rel       <name> <cardinality>
+///   join      <name> <name> <selectivity>          # simple edge
+///   hyperjoin <name[,name...]> <name[,name...]> <selectivity>
+///
+/// e.g. `hyperjoin r1,r2 r3 0.05` declares a predicate usable only once
+/// r1 and r2 are both on one side of a join and r3 on the other (DPhyp
+/// territory). Endpoint lists are comma-separated without spaces; the
+/// two lists must be disjoint. Comments (#) and blank lines as in the
+/// plain spec language; errors carry 1-based line numbers.
+Result<Hypergraph> ParseHypergraphSpec(std::string_view text);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_DSL_HYPER_PARSER_H_

@@ -1,0 +1,113 @@
+#include "dsl/parser.h"
+
+#include <charconv>
+#include <string>
+#include <vector>
+
+namespace joinopt {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    const size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(line.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+Result<double> ParseDouble(std::string_view token, int line_number) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": expected a number, got '" +
+                                   std::string(token) + "'");
+  }
+  return value;
+}
+
+Status LineError(int line_number, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line_number) + ": " +
+                                 message);
+}
+
+}  // namespace
+
+Result<Catalog> ParseQuerySpec(std::string_view text) {
+  Catalog catalog;
+  int line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const size_t newline = text.find('\n');
+    std::string_view line =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    // Strip carriage returns and comments.
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string_view> tokens = Tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+
+    if (tokens[0] == "rel") {
+      if (tokens.size() != 3) {
+        return LineError(line_number, "expected: rel <name> <cardinality>");
+      }
+      Result<double> cardinality = ParseDouble(tokens[2], line_number);
+      JOINOPT_RETURN_IF_ERROR(cardinality.status());
+      Result<int> added =
+          catalog.AddRelation(std::string(tokens[1]), *cardinality);
+      if (!added.ok()) {
+        return LineError(line_number, added.status().message());
+      }
+    } else if (tokens[0] == "join") {
+      if (tokens.size() != 4) {
+        return LineError(line_number,
+                         "expected: join <name> <name> <selectivity>");
+      }
+      Result<double> selectivity = ParseDouble(tokens[3], line_number);
+      JOINOPT_RETURN_IF_ERROR(selectivity.status());
+      const Status status =
+          catalog.AddJoin(tokens[1], tokens[2], *selectivity);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else {
+      return LineError(line_number, "unknown directive '" +
+                                        std::string(tokens[0]) +
+                                        "' (expected 'rel' or 'join')");
+    }
+  }
+  if (catalog.relation_count() == 0) {
+    return Status::InvalidArgument("query spec declares no relations");
+  }
+  return catalog;
+}
+
+Result<QueryGraph> ParseQuerySpecToGraph(std::string_view text) {
+  Result<Catalog> catalog = ParseQuerySpec(text);
+  JOINOPT_RETURN_IF_ERROR(catalog.status());
+  return catalog->BuildQueryGraph();
+}
+
+}  // namespace joinopt

@@ -1,0 +1,34 @@
+#ifndef JOINOPT_DSL_PARSER_H_
+#define JOINOPT_DSL_PARSER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "graph/query_graph.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// Parses the library's tiny query-specification language:
+///
+///   # comment (also: empty lines are skipped)
+///   rel  <name> <cardinality>
+///   join <name> <name> <selectivity>
+///
+/// e.g.
+///
+///   rel orders 1500000
+///   rel customer 150000
+///   join orders customer 0.0000066
+///
+/// Relations must be declared before they appear in a join; cardinalities
+/// must be positive; selectivities must lie in (0, 1]. Errors carry the
+/// 1-based line number.
+Result<Catalog> ParseQuerySpec(std::string_view text);
+
+/// Convenience: parse and lower directly to a QueryGraph.
+Result<QueryGraph> ParseQuerySpecToGraph(std::string_view text);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_DSL_PARSER_H_

@@ -1,0 +1,261 @@
+#include "dsl/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace joinopt {
+
+namespace {
+
+/// Token kinds of the SQL subset.
+enum class TokenKind {
+  kIdentifier,
+  kComma,
+  kDot,
+  kEquals,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // Original spelling (identifiers).
+};
+
+/// Lexes the statement; identifiers keep their case, keyword matching is
+/// done case-insensitively by the parser.
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  while (pos < sql.size()) {
+    const char c = sql[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back({TokenKind::kComma, ","});
+      ++pos;
+      continue;
+    }
+    if (c == '.') {
+      tokens.push_back({TokenKind::kDot, "."});
+      ++pos;
+      continue;
+    }
+    if (c == '=') {
+      tokens.push_back({TokenKind::kEquals, "="});
+      ++pos;
+      continue;
+    }
+    if (c == ';') {
+      tokens.push_back({TokenKind::kSemicolon, ";"});
+      ++pos;
+      continue;
+    }
+    if (c == '*') {  // Select-list star.
+      tokens.push_back({TokenKind::kIdentifier, "*"});
+      ++pos;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos;
+      while (pos < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[pos])) ||
+              sql[pos] == '_')) {
+        ++pos;
+      }
+      tokens.push_back(
+          {TokenKind::kIdentifier, std::string(sql.substr(start, pos - start))});
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in SQL text");
+  }
+  tokens.push_back({TokenKind::kEnd, ""});
+  return tokens;
+}
+
+bool KeywordIs(const Token& token, std::string_view keyword) {
+  if (token.kind != TokenKind::kIdentifier ||
+      token.text.size() != keyword.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(token.text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Cursor over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    const Token& token = Next();
+    if (token.kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected " + std::string(what) +
+                                     ", got '" + token.text + "'");
+    }
+    return token.text;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool AtFrom(const Parser& parser) { return KeywordIs(parser.Peek(), "FROM"); }
+
+/// One side of an equality predicate: alias.column.
+struct ColumnRef {
+  std::string alias;
+  std::string column;
+};
+
+Result<ColumnRef> ParseColumnRef(Parser& parser) {
+  Result<std::string> alias = parser.ExpectIdentifier("a table alias");
+  JOINOPT_RETURN_IF_ERROR(alias.status());
+  if (parser.Peek().kind != TokenKind::kDot) {
+    return Status::InvalidArgument("expected '.' after alias '" + *alias +
+                                   "' (predicates must be alias.column)");
+  }
+  parser.Next();
+  Result<std::string> column = parser.ExpectIdentifier("a column name");
+  JOINOPT_RETURN_IF_ERROR(column.status());
+  return ColumnRef{std::move(*alias), std::move(*column)};
+}
+
+}  // namespace
+
+Result<QueryGraph> ParseSqlJoinQuery(std::string_view sql,
+                                     const Catalog& catalog) {
+  Result<std::vector<Token>> tokens = Lex(sql);
+  JOINOPT_RETURN_IF_ERROR(tokens.status());
+  Parser parser(std::move(*tokens));
+
+  // SELECT <anything> FROM ...
+  if (!KeywordIs(parser.Peek(), "SELECT")) {
+    return Status::InvalidArgument("statement must start with SELECT");
+  }
+  parser.Next();
+  while (!AtFrom(parser)) {
+    if (parser.AtEnd()) {
+      return Status::InvalidArgument("missing FROM clause");
+    }
+    parser.Next();  // The select list is not interpreted.
+  }
+  parser.Next();  // Consume FROM.
+
+  // FROM list: rel [AS alias] (, rel [AS alias])*
+  Result<QueryGraph> catalog_graph = catalog.BuildQueryGraph();
+  JOINOPT_RETURN_IF_ERROR(catalog_graph.status());
+  QueryGraph graph;
+  std::map<std::string, int> node_by_alias;
+  for (;;) {
+    Result<std::string> relation = parser.ExpectIdentifier("a relation name");
+    JOINOPT_RETURN_IF_ERROR(relation.status());
+    Result<int> base = catalog.RelationIndex(*relation);
+    JOINOPT_RETURN_IF_ERROR(base.status());
+
+    std::string alias = *relation;
+    if (KeywordIs(parser.Peek(), "AS")) {
+      parser.Next();
+      Result<std::string> named = parser.ExpectIdentifier("an alias");
+      JOINOPT_RETURN_IF_ERROR(named.status());
+      alias = *named;
+    } else if (parser.Peek().kind == TokenKind::kIdentifier &&
+               !KeywordIs(parser.Peek(), "WHERE")) {
+      alias = parser.Next().text;  // Implicit alias: FROM t t1.
+    }
+    if (node_by_alias.contains(alias)) {
+      return Status::InvalidArgument("duplicate alias '" + alias + "'");
+    }
+
+    Result<int> node =
+        graph.AddRelation(catalog_graph->cardinality(*base), alias);
+    JOINOPT_RETURN_IF_ERROR(node.status());
+    node_by_alias.emplace(alias, *node);
+
+    if (parser.Peek().kind == TokenKind::kComma) {
+      parser.Next();
+      continue;
+    }
+    break;
+  }
+
+  // Optional WHERE with AND-separated equalities.
+  // Accumulate selectivities per node pair (conjuncts multiply).
+  std::map<std::pair<int, int>, double> selectivity_by_pair;
+  if (KeywordIs(parser.Peek(), "WHERE")) {
+    parser.Next();
+    for (;;) {
+      Result<ColumnRef> left = ParseColumnRef(parser);
+      JOINOPT_RETURN_IF_ERROR(left.status());
+      if (parser.Peek().kind != TokenKind::kEquals) {
+        return Status::InvalidArgument(
+            "only equality join predicates are supported");
+      }
+      parser.Next();
+      Result<ColumnRef> right = ParseColumnRef(parser);
+      JOINOPT_RETURN_IF_ERROR(right.status());
+
+      const auto left_node = node_by_alias.find(left->alias);
+      const auto right_node = node_by_alias.find(right->alias);
+      if (left_node == node_by_alias.end()) {
+        return Status::InvalidArgument("unknown alias '" + left->alias + "'");
+      }
+      if (right_node == node_by_alias.end()) {
+        return Status::InvalidArgument("unknown alias '" + right->alias + "'");
+      }
+      if (left_node->second == right_node->second) {
+        return Status::InvalidArgument(
+            "predicate references alias '" + left->alias +
+            "' on both sides; only join predicates are supported");
+      }
+      // Textbook key/foreign-key default selectivity.
+      const double selectivity =
+          1.0 / std::max(graph.cardinality(left_node->second),
+                         graph.cardinality(right_node->second));
+      const std::pair<int, int> key = {
+          std::min(left_node->second, right_node->second),
+          std::max(left_node->second, right_node->second)};
+      auto [it, inserted] = selectivity_by_pair.emplace(key, selectivity);
+      if (!inserted) {
+        it->second *= selectivity;  // Conjunctive predicates multiply.
+      }
+
+      if (KeywordIs(parser.Peek(), "AND")) {
+        parser.Next();
+        continue;
+      }
+      break;
+    }
+  }
+  if (parser.Peek().kind == TokenKind::kSemicolon) {
+    parser.Next();
+  }
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("unexpected trailing token '" +
+                                   parser.Peek().text + "'");
+  }
+
+  for (const auto& [pair, selectivity] : selectivity_by_pair) {
+    JOINOPT_RETURN_IF_ERROR(
+        graph.AddEdge(pair.first, pair.second, std::max(selectivity, 1e-300)));
+  }
+  return graph;
+}
+
+}  // namespace joinopt

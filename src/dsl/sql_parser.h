@@ -1,0 +1,37 @@
+#ifndef JOINOPT_DSL_SQL_PARSER_H_
+#define JOINOPT_DSL_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "graph/query_graph.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// Parses the join-relevant SQL subset into a query graph:
+///
+///   SELECT <anything without FROM>
+///   FROM   rel [AS alias], rel [AS alias], ...
+///   WHERE  a.x = b.y AND c.z = a.w AND ... ;
+///
+/// Semantics:
+///  * every FROM item becomes one query-graph node (so `t AS t1, t AS
+///    t2` is a self join with two nodes), with the base relation's
+///    cardinality taken from `catalog`;
+///  * every equality predicate between two different FROM items becomes
+///    a join edge; its selectivity defaults to the textbook primary-key
+///    estimate 1 / max(|left|, |right|), and multiple predicates between
+///    the same pair multiply;
+///  * keywords are case-insensitive; the select list is not interpreted;
+///    a trailing semicolon is optional.
+///
+/// Rejected with a descriptive error: unknown relations, duplicate
+/// aliases, predicates referencing undeclared aliases or only one side,
+/// non-equality predicates, and empty FROM lists.
+Result<QueryGraph> ParseSqlJoinQuery(std::string_view sql,
+                                     const Catalog& catalog);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_DSL_SQL_PARSER_H_

@@ -1,0 +1,44 @@
+#include "dsl/writer.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace joinopt {
+
+namespace {
+
+/// Shortest representation that parses back to the same double.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  JOINOPT_CHECK(ec == std::errc());
+  return std::string(buffer, ptr);
+}
+
+}  // namespace
+
+std::string WriteQuerySpec(const QueryGraph& graph) {
+  std::string out;
+  out.reserve(64 * static_cast<size_t>(graph.relation_count() +
+                                       graph.edge_count()));
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    out += "rel ";
+    out += graph.name(i);
+    out += ' ';
+    out += FormatDouble(graph.cardinality(i));
+    out += '\n';
+  }
+  for (const JoinEdge& edge : graph.edges()) {
+    out += "join ";
+    out += graph.name(edge.left);
+    out += ' ';
+    out += graph.name(edge.right);
+    out += ' ';
+    out += FormatDouble(edge.selectivity);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,20 @@
+#ifndef JOINOPT_DSL_WRITER_H_
+#define JOINOPT_DSL_WRITER_H_
+
+#include <string>
+
+#include "graph/query_graph.h"
+
+namespace joinopt {
+
+/// Serializes a query graph back into the query-spec language accepted
+/// by ParseQuerySpec: one `rel` line per relation (in index order, so
+/// relation indices survive the round trip) followed by one `join` line
+/// per edge. Numbers are printed with enough precision that
+/// ParseQuerySpecToGraph(WriteQuerySpec(g)) reproduces `g` exactly —
+/// the round-trip property the test suite asserts.
+std::string WriteQuerySpec(const QueryGraph& graph);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_DSL_WRITER_H_

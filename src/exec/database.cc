@@ -1,0 +1,71 @@
+#include "exec/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace joinopt {
+
+namespace {
+
+std::string JoinAttributeName(int u, int v) {
+  if (u > v) {
+    std::swap(u, v);
+  }
+  return "j_" + std::to_string(u) + "_" + std::to_string(v);
+}
+
+}  // namespace
+
+Result<Database> GenerateDatabase(const QueryGraph& graph,
+                                  const DatabaseGenOptions& options) {
+  if (graph.relation_count() == 0) {
+    return Status::InvalidArgument("cannot materialize an empty graph");
+  }
+  if (options.max_rows < 1) {
+    return Status::InvalidArgument("max_rows must be positive");
+  }
+  Random rng(options.seed);
+  Database database;
+  database.tables.reserve(graph.relation_count());
+
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    // Schema: own row id plus one join attribute per incident edge.
+    std::vector<std::string> columns = {"id_" + std::to_string(i)};
+    for (const JoinEdge& edge : graph.edges()) {
+      if (edge.left == i || edge.right == i) {
+        columns.push_back(JoinAttributeName(edge.left, edge.right));
+      }
+    }
+    Result<Table> table = Table::WithColumns(std::move(columns));
+    JOINOPT_RETURN_IF_ERROR(table.status());
+
+    const int64_t rows = std::min<int64_t>(
+        options.max_rows,
+        std::max<int64_t>(1, std::llround(graph.cardinality(i))));
+    table->mutable_column(0).reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      table->mutable_column(0).push_back(r);
+    }
+    int column = 1;
+    for (const JoinEdge& edge : graph.edges()) {
+      if (edge.left != i && edge.right != i) {
+        continue;
+      }
+      // Domain sized so P(match) = 1/domain ≈ the edge's selectivity.
+      const uint64_t domain = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::llround(1.0 / edge.selectivity)));
+      auto& values = table->mutable_column(column);
+      values.reserve(static_cast<size_t>(rows));
+      for (int64_t r = 0; r < rows; ++r) {
+        values.push_back(static_cast<int64_t>(rng.Uniform(domain)));
+      }
+      ++column;
+    }
+    table->set_row_count(rows);
+    database.tables.push_back(std::move(*table));
+  }
+  return database;
+}
+
+}  // namespace joinopt

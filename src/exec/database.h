@@ -1,0 +1,41 @@
+#ifndef JOINOPT_EXEC_DATABASE_H_
+#define JOINOPT_EXEC_DATABASE_H_
+
+#include <vector>
+
+#include "exec/table.h"
+#include "graph/query_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// A synthetic database instantiating a query graph: one Table per
+/// relation. Column naming convention: the predicate of the graph edge
+/// between relations u < v is an equi-join on the attribute
+/// "j_<u>_<v>", present in both tables; every table also carries its own
+/// row id "id_<i>" so join results distinguish source rows.
+struct Database {
+  std::vector<Table> tables;
+};
+
+/// Options for the generator.
+struct DatabaseGenOptions {
+  uint64_t seed = 42;
+  /// Base-table row counts are min(graph cardinality, max_rows) — keeps
+  /// execution of plans over "1e8-row" graphs feasible in tests.
+  int64_t max_rows = 2000;
+};
+
+/// Materializes `graph` into data: relation i gets min(card_i, max_rows)
+/// rows; the join attribute for edge (u, v) with selectivity s is drawn
+/// uniformly from a domain of round(1 / s) values, so that the expected
+/// actual join selectivity matches the graph's annotation
+/// (|u ⋈ v| ≈ |u| · |v| · s). With that, executed row counts track the
+/// optimizer's independence-model estimates on average.
+Result<Database> GenerateDatabase(const QueryGraph& graph,
+                                  const DatabaseGenOptions& options = {});
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_EXEC_DATABASE_H_

@@ -1,0 +1,269 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace joinopt {
+
+namespace {
+
+/// The shared structure of all three join operators: which columns form
+/// the equi-join key and how the output schema is assembled.
+struct JoinLayout {
+  std::vector<int> left_key_columns;
+  std::vector<int> right_key_columns;
+  std::vector<int> right_payload_columns;
+  Result<Table> output = Status::Internal("uninitialized");
+
+  bool IsCrossProduct() const { return left_key_columns.empty(); }
+};
+
+JoinLayout PlanJoin(const Table& left, const Table& right) {
+  JoinLayout layout;
+  for (int rc = 0; rc < right.column_count(); ++rc) {
+    const int lc = left.ColumnIndex(right.column_names()[rc]);
+    if (lc >= 0) {
+      layout.left_key_columns.push_back(lc);
+      layout.right_key_columns.push_back(rc);
+    } else {
+      layout.right_payload_columns.push_back(rc);
+    }
+  }
+  std::vector<std::string> out_columns = left.column_names();
+  for (const int rc : layout.right_payload_columns) {
+    out_columns.push_back(right.column_names()[rc]);
+  }
+  layout.output = Table::WithColumns(std::move(out_columns));
+  return layout;
+}
+
+/// Appends the combined row (left_row ++ right payload) to the output.
+void EmitMatch(const Table& left, const Table& right, const JoinLayout& layout,
+               Table* out, int64_t left_row, int64_t right_row) {
+  for (int c = 0; c < left.column_count(); ++c) {
+    out->mutable_column(c).push_back(left.at(left_row, c));
+  }
+  int out_col = left.column_count();
+  for (const int rc : layout.right_payload_columns) {
+    out->mutable_column(out_col).push_back(right.at(right_row, rc));
+    ++out_col;
+  }
+  out->set_row_count(out->row_count() + 1);
+}
+
+bool KeysEqual(const Table& left, const Table& right, const JoinLayout& layout,
+               int64_t left_row, int64_t right_row) {
+  for (size_t k = 0; k < layout.left_key_columns.size(); ++k) {
+    if (left.at(left_row, layout.left_key_columns[k]) !=
+        right.at(right_row, layout.right_key_columns[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// FNV-1a over a row's key values — good enough for synthetic data.
+struct KeyHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    uint64_t hash = 1469598103934665603ULL;
+    for (const int64_t value : key) {
+      hash ^= static_cast<uint64_t>(value);
+      hash *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(hash);
+  }
+};
+
+std::vector<int64_t> ExtractKey(const Table& table,
+                                const std::vector<int>& columns, int64_t row) {
+  std::vector<int64_t> key;
+  key.reserve(columns.size());
+  for (const int c : columns) {
+    key.push_back(table.at(row, c));
+  }
+  return key;
+}
+
+/// Three-way comparison of key tuples for the sort-merge operator.
+int CompareKeys(const Table& a, const std::vector<int>& a_columns, int64_t ar,
+                const Table& b, const std::vector<int>& b_columns,
+                int64_t br) {
+  for (size_t k = 0; k < a_columns.size(); ++k) {
+    const int64_t av = a.at(ar, a_columns[k]);
+    const int64_t bv = b.at(br, b_columns[k]);
+    if (av < bv) return -1;
+    if (av > bv) return 1;
+  }
+  return 0;
+}
+
+Result<Table> CrossProduct(const Table& left, const Table& right,
+                           JoinLayout layout) {
+  Table out = std::move(*layout.output);
+  for (int64_t lr = 0; lr < left.row_count(); ++lr) {
+    for (int64_t rr = 0; rr < right.row_count(); ++rr) {
+      EmitMatch(left, right, layout, &out, lr, rr);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right) {
+  JoinLayout layout = PlanJoin(left, right);
+  JOINOPT_RETURN_IF_ERROR(layout.output.status());
+  if (layout.IsCrossProduct()) {
+    return CrossProduct(left, right, std::move(layout));
+  }
+  Table out = std::move(*layout.output);
+
+  // Build on the right side, probe with the left.
+  std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, KeyHash>
+      build;
+  build.reserve(static_cast<size_t>(right.row_count()));
+  for (int64_t rr = 0; rr < right.row_count(); ++rr) {
+    build[ExtractKey(right, layout.right_key_columns, rr)].push_back(rr);
+  }
+  for (int64_t lr = 0; lr < left.row_count(); ++lr) {
+    const auto it = build.find(ExtractKey(left, layout.left_key_columns, lr));
+    if (it == build.end()) {
+      continue;
+    }
+    for (const int64_t rr : it->second) {
+      EmitMatch(left, right, layout, &out, lr, rr);
+    }
+  }
+  return out;
+}
+
+Result<Table> NestedLoopJoin(const Table& left, const Table& right) {
+  JoinLayout layout = PlanJoin(left, right);
+  JOINOPT_RETURN_IF_ERROR(layout.output.status());
+  if (layout.IsCrossProduct()) {
+    return CrossProduct(left, right, std::move(layout));
+  }
+  Table out = std::move(*layout.output);
+  for (int64_t lr = 0; lr < left.row_count(); ++lr) {
+    for (int64_t rr = 0; rr < right.row_count(); ++rr) {
+      if (KeysEqual(left, right, layout, lr, rr)) {
+        EmitMatch(left, right, layout, &out, lr, rr);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Table> SortMergeJoin(const Table& left, const Table& right) {
+  JoinLayout layout = PlanJoin(left, right);
+  JOINOPT_RETURN_IF_ERROR(layout.output.status());
+  if (layout.IsCrossProduct()) {
+    return CrossProduct(left, right, std::move(layout));
+  }
+  Table out = std::move(*layout.output);
+
+  // Sort row indices of both inputs by their key tuples.
+  std::vector<int64_t> left_order(static_cast<size_t>(left.row_count()));
+  std::vector<int64_t> right_order(static_cast<size_t>(right.row_count()));
+  std::iota(left_order.begin(), left_order.end(), 0);
+  std::iota(right_order.begin(), right_order.end(), 0);
+  std::sort(left_order.begin(), left_order.end(),
+            [&](int64_t a, int64_t b) {
+              return CompareKeys(left, layout.left_key_columns, a, left,
+                                 layout.left_key_columns, b) < 0;
+            });
+  std::sort(right_order.begin(), right_order.end(),
+            [&](int64_t a, int64_t b) {
+              return CompareKeys(right, layout.right_key_columns, a, right,
+                                 layout.right_key_columns, b) < 0;
+            });
+
+  // Merge with group-wise cartesian emission on equal keys.
+  size_t li = 0;
+  size_t ri = 0;
+  while (li < left_order.size() && ri < right_order.size()) {
+    const int cmp =
+        CompareKeys(left, layout.left_key_columns, left_order[li], right,
+                    layout.right_key_columns, right_order[ri]);
+    if (cmp < 0) {
+      ++li;
+      continue;
+    }
+    if (cmp > 0) {
+      ++ri;
+      continue;
+    }
+    // Find the extent of the equal-key group on both sides.
+    size_t left_end = li + 1;
+    while (left_end < left_order.size() &&
+           CompareKeys(left, layout.left_key_columns, left_order[left_end],
+                       left, layout.left_key_columns, left_order[li]) == 0) {
+      ++left_end;
+    }
+    size_t right_end = ri + 1;
+    while (right_end < right_order.size() &&
+           CompareKeys(right, layout.right_key_columns,
+                       right_order[right_end], right,
+                       layout.right_key_columns, right_order[ri]) == 0) {
+      ++right_end;
+    }
+    for (size_t l = li; l < left_end; ++l) {
+      for (size_t r = ri; r < right_end; ++r) {
+        EmitMatch(left, right, layout, &out, left_order[l], right_order[r]);
+      }
+    }
+    li = left_end;
+    ri = right_end;
+  }
+  return out;
+}
+
+namespace {
+
+Result<Table> DispatchJoin(JoinOperator op, const Table& left,
+                           const Table& right) {
+  switch (op) {
+    case JoinOperator::kNestedLoop:
+      return NestedLoopJoin(left, right);
+    case JoinOperator::kSortMerge:
+      return SortMergeJoin(left, right);
+    case JoinOperator::kHashJoin:
+    case JoinOperator::kUnspecified:
+      return HashJoin(left, right);
+  }
+  return HashJoin(left, right);
+}
+
+Result<Table> ExecuteNode(const JoinTree& tree, int index,
+                          const Database& database) {
+  const JoinTreeNode& node = tree.nodes()[index];
+  if (node.IsLeaf()) {
+    if (node.relation < 0 ||
+        node.relation >= static_cast<int>(database.tables.size())) {
+      return Status::InvalidArgument(
+          "plan references relation " + std::to_string(node.relation) +
+          " absent from the database");
+    }
+    return database.tables[node.relation];
+  }
+  Result<Table> left = ExecuteNode(tree, node.left, database);
+  JOINOPT_RETURN_IF_ERROR(left.status());
+  Result<Table> right = ExecuteNode(tree, node.right, database);
+  JOINOPT_RETURN_IF_ERROR(right.status());
+  return DispatchJoin(node.op, *left, *right);
+}
+
+}  // namespace
+
+Result<Table> ExecutePlan(const JoinTree& tree, const Database& database) {
+  if (tree.nodes().empty()) {
+    return Status::InvalidArgument("empty plan");
+  }
+  return ExecuteNode(tree, tree.root_index(), database);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,39 @@
+#ifndef JOINOPT_EXEC_EXECUTOR_H_
+#define JOINOPT_EXEC_EXECUTOR_H_
+
+#include "exec/database.h"
+#include "exec/table.h"
+#include "plan/join_tree.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// Executes a join tree against a materialized database and returns the
+/// result table.
+///
+/// Each join node runs the physical operator the optimizer's cost model
+/// selected (JoinTreeNode::op): hash join (also the default for
+/// kUnspecified / logical models), nested-loop join, or sort-merge join.
+/// All operators equi-join on ALL columns the two inputs share by name
+/// (the generator gives the two endpoint tables of a graph edge a common
+/// join-attribute column, so cross-product-free plans always join on at
+/// least one column). Inputs sharing no column degenerate to a cross
+/// product, which is what the cross-product-enabled optimizer variants
+/// produce.
+///
+/// Two correctness properties — checked by the test suite — follow: EVERY
+/// valid join tree for the same query produces the same result rows, and
+/// every physical operator produces the same rows for the same tree; the
+/// optimizer's choices affect speed only.
+Result<Table> ExecutePlan(const JoinTree& tree, const Database& database);
+
+/// Single-join building blocks (exposed for tests). Output columns:
+/// left's columns followed by right's non-shared columns; all three
+/// produce identical row multisets.
+Result<Table> HashJoin(const Table& left, const Table& right);
+Result<Table> NestedLoopJoin(const Table& left, const Table& right);
+Result<Table> SortMergeJoin(const Table& left, const Table& right);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_EXEC_EXECUTOR_H_

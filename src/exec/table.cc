@@ -1,0 +1,62 @@
+#include "exec/table.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+namespace joinopt {
+
+Result<Table> Table::WithColumns(std::vector<std::string> column_names) {
+  std::set<std::string> seen;
+  for (const std::string& name : column_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("column names must be non-empty");
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate column name '" + name + "'");
+    }
+  }
+  Table table;
+  table.names_ = std::move(column_names);
+  table.columns_.resize(table.names_.size());
+  return table;
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (int c = 0; c < column_count(); ++c) {
+    if (names_[c] == name) {
+      return c;
+    }
+  }
+  return -1;
+}
+
+void Table::AppendRow(const std::vector<int64_t>& values) {
+  JOINOPT_CHECK(static_cast<int>(values.size()) == column_count());
+  for (int c = 0; c < column_count(); ++c) {
+    columns_[c].push_back(values[c]);
+  }
+  ++rows_;
+}
+
+std::vector<std::vector<int64_t>> Table::CanonicalRows() const {
+  // Column order: ascending name.
+  std::vector<int> order(names_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [this](int a, int b) { return names_[a] < names_[b]; });
+
+  std::vector<std::vector<int64_t>> rows(static_cast<size_t>(rows_));
+  for (int64_t r = 0; r < rows_; ++r) {
+    auto& row = rows[static_cast<size_t>(r)];
+    row.reserve(order.size());
+    for (const int c : order) {
+      row.push_back(columns_[c][static_cast<size_t>(r)]);
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,69 @@
+#ifndef JOINOPT_EXEC_TABLE_H_
+#define JOINOPT_EXEC_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// A tiny columnar table of int64 attributes — just enough substrate to
+/// EXECUTE the join trees the optimizers produce, so that plan
+/// correctness ("every join order yields the same result") and estimate
+/// quality can be checked end to end rather than taken on faith.
+class Table {
+ public:
+  Table() = default;
+
+  /// Creates an empty table with the given column names (must be unique
+  /// and non-empty).
+  static Result<Table> WithColumns(std::vector<std::string> column_names);
+
+  int column_count() const { return static_cast<int>(names_.size()); }
+  int64_t row_count() const { return rows_; }
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  /// Index of the column named `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// The values of column `c`.
+  const std::vector<int64_t>& column(int c) const {
+    JOINOPT_DCHECK(c >= 0 && c < column_count());
+    return columns_[c];
+  }
+
+  /// Cell accessor.
+  int64_t at(int64_t row, int col) const {
+    JOINOPT_DCHECK(row >= 0 && row < rows_);
+    return columns_[col][static_cast<size_t>(row)];
+  }
+
+  /// Appends a row; the value count must equal column_count().
+  void AppendRow(const std::vector<int64_t>& values);
+
+  /// Direct column append (used by the bulk generator / join); caller
+  /// must keep all columns the same length and then call set_row_count.
+  std::vector<int64_t>& mutable_column(int c) {
+    JOINOPT_DCHECK(c >= 0 && c < column_count());
+    return columns_[c];
+  }
+  void set_row_count(int64_t rows) { rows_ = rows; }
+
+  /// Returns all rows as vectors, sorted lexicographically with columns
+  /// reordered by ascending column NAME — a canonical form in which two
+  /// tables holding the same relation (same column names, any column and
+  /// row order) compare equal. Intended for tests.
+  std::vector<std::vector<int64_t>> CanonicalRows() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<int64_t>> columns_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_EXEC_TABLE_H_

@@ -1,0 +1,72 @@
+#include "graph/bfs_numbering.h"
+
+#include <string>
+
+namespace joinopt {
+
+bool BfsNumbering::IsIdentity() const {
+  for (int i = 0; i < static_cast<int>(new_to_old.size()); ++i) {
+    if (new_to_old[i] != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<BfsNumbering> ComputeBfsNumbering(const QueryGraph& graph, int start) {
+  const int n = graph.relation_count();
+  if (n == 0) {
+    return Status::FailedPrecondition("cannot BFS-number an empty graph");
+  }
+  if (start < 0 || start >= n) {
+    return Status::InvalidArgument("BFS start node out of range");
+  }
+
+  BfsNumbering numbering;
+  numbering.new_to_old.reserve(n);
+  numbering.old_to_new.assign(n, -1);
+
+  // Generation-at-a-time BFS over node sets. Within a generation, nodes are
+  // labeled in ascending original index; any intra-generation order yields
+  // a valid BFS numbering per the paper's definition.
+  NodeSet visited;
+  NodeSet frontier = NodeSet::Singleton(start);
+  int next_label = 0;
+  while (!frontier.empty()) {
+    for (int v : frontier) {
+      numbering.old_to_new[v] = next_label;
+      numbering.new_to_old.push_back(v);
+      ++next_label;
+    }
+    visited |= frontier;
+    frontier = graph.Neighborhood(visited);
+  }
+
+  if (next_label != n) {
+    return Status::FailedPrecondition(
+        "query graph is disconnected: only " + std::to_string(next_label) +
+        " of " + std::to_string(n) + " relations reachable from start");
+  }
+  return numbering;
+}
+
+QueryGraph RelabelGraph(const QueryGraph& graph,
+                        const BfsNumbering& numbering) {
+  QueryGraph relabeled;
+  const int n = graph.relation_count();
+  for (int label = 0; label < n; ++label) {
+    const int old = numbering.new_to_old[label];
+    Result<int> added =
+        relabeled.AddRelation(graph.cardinality(old), graph.name(old));
+    JOINOPT_CHECK(added.ok());
+  }
+  for (const JoinEdge& edge : graph.edges()) {
+    const Status status =
+        relabeled.AddEdge(numbering.old_to_new[edge.left],
+                          numbering.old_to_new[edge.right], edge.selectivity);
+    JOINOPT_CHECK(status.ok());
+  }
+  return relabeled;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,61 @@
+#ifndef JOINOPT_GRAPH_BFS_NUMBERING_H_
+#define JOINOPT_GRAPH_BFS_NUMBERING_H_
+
+#include <vector>
+
+#include "bitset/node_set.h"
+#include "graph/query_graph.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// A relabeling of the query graph's nodes produced by a breadth-first
+/// search, as required by the preconditions of EnumerateCsg/EnumerateCmp
+/// (Section 3.4.1 of the paper): label 0 is the start node and each BFS
+/// generation receives a contiguous block of labels.
+///
+/// The mapping is stored both ways so that optimizers can translate sets
+/// between the user's numbering and BFS numbering in O(n).
+struct BfsNumbering {
+  /// new_to_old[label] = original node index carrying that BFS label.
+  std::vector<int> new_to_old;
+  /// old_to_new[node] = BFS label assigned to the original node.
+  std::vector<int> old_to_new;
+
+  /// Translates a set of original node indices into BFS-label space.
+  NodeSet ToBfs(NodeSet original) const {
+    NodeSet result;
+    for (int v : original) {
+      result.Add(old_to_new[v]);
+    }
+    return result;
+  }
+
+  /// Translates a set of BFS labels back to original node indices.
+  NodeSet ToOriginal(NodeSet bfs) const {
+    NodeSet result;
+    for (int v : bfs) {
+      result.Add(new_to_old[v]);
+    }
+    return result;
+  }
+
+  /// True iff the numbering is the identity permutation (the common case
+  /// for generated chain/star graphs, where the remap can be skipped).
+  bool IsIdentity() const;
+};
+
+/// Computes a BFS numbering of `graph` starting at `start`. Fails when the
+/// graph is empty, `start` is out of range, or the graph is disconnected
+/// (nodes unreachable from `start` cannot receive a valid BFS label).
+Result<BfsNumbering> ComputeBfsNumbering(const QueryGraph& graph, int start);
+
+/// Builds a copy of `graph` whose node i is the original node
+/// numbering.new_to_old[i]; cardinalities, names, edges, and selectivities
+/// are carried over. DPccp runs on this relabeled graph and maps results
+/// back through `numbering`.
+QueryGraph RelabelGraph(const QueryGraph& graph, const BfsNumbering& numbering);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_GRAPH_BFS_NUMBERING_H_

@@ -1,0 +1,45 @@
+#include "graph/connectivity.h"
+
+namespace joinopt {
+
+NodeSet ConnectedComponentOf(const QueryGraph& graph, int start,
+                             NodeSet within) {
+  JOINOPT_DCHECK(within.Contains(start));
+  NodeSet reached = NodeSet::Singleton(start);
+  for (;;) {
+    // All unvisited nodes of `within` adjacent to the frontier.
+    const NodeSet expansion = graph.Neighborhood(reached) & within;
+    if (expansion.empty()) {
+      return reached;
+    }
+    reached |= expansion;
+  }
+}
+
+bool IsConnectedSet(const QueryGraph& graph, NodeSet s) {
+  if (s.empty()) {
+    return false;
+  }
+  return ConnectedComponentOf(graph, s.Min(), s) == s;
+}
+
+bool IsConnectedGraph(const QueryGraph& graph) {
+  if (graph.relation_count() == 0) {
+    return false;
+  }
+  return IsConnectedSet(graph, graph.AllRelations());
+}
+
+std::vector<NodeSet> ConnectedComponents(const QueryGraph& graph, NodeSet s) {
+  std::vector<NodeSet> components;
+  NodeSet remaining = s;
+  while (!remaining.empty()) {
+    const NodeSet component =
+        ConnectedComponentOf(graph, remaining.Min(), remaining);
+    components.push_back(component);
+    remaining -= component;
+  }
+  return components;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,32 @@
+#ifndef JOINOPT_GRAPH_CONNECTIVITY_H_
+#define JOINOPT_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "bitset/node_set.h"
+#include "graph/query_graph.h"
+
+namespace joinopt {
+
+/// True iff the subgraph induced by `s` is connected (the paper's
+/// "connected subset" test). The empty set is not connected; singletons
+/// are. Runs a bitset-BFS: O(|s|) neighborhood expansions, each O(|s|)
+/// word operations.
+bool IsConnectedSet(const QueryGraph& graph, NodeSet s);
+
+/// True iff the whole query graph is connected (precondition of every
+/// algorithm in the paper).
+bool IsConnectedGraph(const QueryGraph& graph);
+
+/// The connected component of `start` within the induced subgraph `within`.
+/// Requires `within.Contains(start)`.
+NodeSet ConnectedComponentOf(const QueryGraph& graph, int start,
+                             NodeSet within);
+
+/// Decomposes `s` into its connected components (in ascending order of
+/// their minimum element). The union of the result equals `s`.
+std::vector<NodeSet> ConnectedComponents(const QueryGraph& graph, NodeSet s);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,253 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace joinopt {
+
+namespace {
+
+/// Draws a base cardinality from the configured range, log-uniformly so
+/// that small and large tables are both represented (real catalogs span
+/// orders of magnitude).
+double DrawCardinality(const WorkloadConfig& config, Random& rng) {
+  const double lo = std::log(config.min_cardinality);
+  const double hi = std::log(config.max_cardinality);
+  if (!(hi > lo)) {
+    return config.min_cardinality;
+  }
+  return std::exp(rng.UniformDouble(lo, hi));
+}
+
+/// Draws an edge selectivity, also log-uniformly.
+double DrawSelectivity(const WorkloadConfig& config, Random& rng) {
+  const double lo = std::log(config.min_selectivity);
+  const double hi = std::log(config.max_selectivity);
+  if (!(hi > lo)) {
+    return config.min_selectivity;
+  }
+  return std::exp(rng.UniformDouble(lo, hi));
+}
+
+/// Creates n relations with randomized cardinalities.
+Result<QueryGraph> MakeRelations(int n, const WorkloadConfig& config,
+                                 Random& rng) {
+  if (n < 1 || n > kMaxRelations) {
+    return Status::InvalidArgument("relation count must be in [1, 64], got " +
+                                   std::to_string(n));
+  }
+  QueryGraph graph;
+  for (int i = 0; i < n; ++i) {
+    Result<int> added = graph.AddRelation(DrawCardinality(config, rng));
+    JOINOPT_RETURN_IF_ERROR(added.status());
+  }
+  return graph;
+}
+
+}  // namespace
+
+std::string_view QueryShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kChain:
+      return "chain";
+    case QueryShape::kCycle:
+      return "cycle";
+    case QueryShape::kStar:
+      return "star";
+    case QueryShape::kClique:
+      return "clique";
+  }
+  return "unknown";
+}
+
+Result<QueryGraph> MakeChainQuery(int n, const WorkloadConfig& config) {
+  Random rng(config.seed);
+  Result<QueryGraph> graph = MakeRelations(n, config, rng);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  for (int i = 0; i + 1 < n; ++i) {
+    JOINOPT_RETURN_IF_ERROR(
+        graph->AddEdge(i, i + 1, DrawSelectivity(config, rng)));
+  }
+  return graph;
+}
+
+Result<QueryGraph> MakeCycleQuery(int n, const WorkloadConfig& config) {
+  if (n < 3) {
+    return Status::InvalidArgument(
+        "a cycle needs at least 3 relations; use MakeChainQuery for n < 3");
+  }
+  Random rng(config.seed);
+  Result<QueryGraph> graph = MakeRelations(n, config, rng);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  for (int i = 0; i + 1 < n; ++i) {
+    JOINOPT_RETURN_IF_ERROR(
+        graph->AddEdge(i, i + 1, DrawSelectivity(config, rng)));
+  }
+  JOINOPT_RETURN_IF_ERROR(graph->AddEdge(n - 1, 0, DrawSelectivity(config, rng)));
+  return graph;
+}
+
+Result<QueryGraph> MakeStarQuery(int n, const WorkloadConfig& config) {
+  Random rng(config.seed);
+  Result<QueryGraph> graph = MakeRelations(n, config, rng);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  for (int leaf = 1; leaf < n; ++leaf) {
+    JOINOPT_RETURN_IF_ERROR(
+        graph->AddEdge(0, leaf, DrawSelectivity(config, rng)));
+  }
+  return graph;
+}
+
+Result<QueryGraph> MakeCliqueQuery(int n, const WorkloadConfig& config) {
+  Random rng(config.seed);
+  Result<QueryGraph> graph = MakeRelations(n, config, rng);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      JOINOPT_RETURN_IF_ERROR(
+          graph->AddEdge(u, v, DrawSelectivity(config, rng)));
+    }
+  }
+  return graph;
+}
+
+Result<QueryGraph> MakeShapeQuery(QueryShape shape, int n,
+                                  const WorkloadConfig& config) {
+  switch (shape) {
+    case QueryShape::kChain:
+      return MakeChainQuery(n, config);
+    case QueryShape::kCycle:
+      return n < 3 ? MakeChainQuery(n, config) : MakeCycleQuery(n, config);
+    case QueryShape::kStar:
+      return MakeStarQuery(n, config);
+    case QueryShape::kClique:
+      return MakeCliqueQuery(n, config);
+  }
+  return Status::InvalidArgument("unknown query shape");
+}
+
+Result<QueryGraph> MakeSnowflakeQuery(int arms, int arm_length,
+                                      const WorkloadConfig& config) {
+  if (arms < 1 || arm_length < 1) {
+    return Status::InvalidArgument(
+        "snowflake needs at least one arm of length one");
+  }
+  Random rng(config.seed);
+  Result<QueryGraph> graph =
+      MakeRelations(1 + arms * arm_length, config, rng);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  for (int arm = 0; arm < arms; ++arm) {
+    int previous = 0;  // Each arm hangs off the hub.
+    for (int depth = 0; depth < arm_length; ++depth) {
+      const int node = 1 + arm * arm_length + depth;
+      JOINOPT_RETURN_IF_ERROR(
+          graph->AddEdge(previous, node, DrawSelectivity(config, rng)));
+      previous = node;
+    }
+  }
+  return graph;
+}
+
+Result<QueryGraph> MakeGridQuery(int rows, int cols,
+                                 const WorkloadConfig& config) {
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("grid dimensions must be positive");
+  }
+  Random rng(config.seed);
+  Result<QueryGraph> graph = MakeRelations(rows * cols, config, rng);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  const auto node = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        JOINOPT_RETURN_IF_ERROR(graph->AddEdge(node(r, c), node(r, c + 1),
+                                               DrawSelectivity(config, rng)));
+      }
+      if (r + 1 < rows) {
+        JOINOPT_RETURN_IF_ERROR(graph->AddEdge(node(r, c), node(r + 1, c),
+                                               DrawSelectivity(config, rng)));
+      }
+    }
+  }
+  return graph;
+}
+
+Result<QueryGraph> MakeRandomTreeQuery(int n, const WorkloadConfig& config) {
+  Random rng(config.seed);
+  Result<QueryGraph> graph = MakeRelations(n, config, rng);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  // Random-parent construction: node i attaches to a uniformly random
+  // earlier node, yielding a random (non-uniform-spanning-tree, but well
+  // mixed) tree.
+  for (int i = 1; i < n; ++i) {
+    const int parent = static_cast<int>(rng.Uniform(static_cast<uint64_t>(i)));
+    JOINOPT_RETURN_IF_ERROR(
+        graph->AddEdge(parent, i, DrawSelectivity(config, rng)));
+  }
+  return graph;
+}
+
+Result<QueryGraph> MakeRandomConnectedQuery(int n, int extra_edges,
+                                            const WorkloadConfig& config) {
+  if (extra_edges < 0) {
+    return Status::InvalidArgument("extra_edges must be non-negative");
+  }
+  Result<QueryGraph> graph = MakeRandomTreeQuery(n, config);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  Random rng(config.seed ^ 0xabcdef1234567890ULL);
+  const int max_edges = n * (n - 1) / 2;
+  const int target = std::min(max_edges, (n - 1) + extra_edges);
+  int attempts = 0;
+  while (graph->edge_count() < target && attempts < 64 * max_edges) {
+    ++attempts;
+    const int u = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+    const int v = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+    if (u == v || graph->HasEdge(u, v)) {
+      continue;
+    }
+    JOINOPT_RETURN_IF_ERROR(
+        graph->AddEdge(u, v, DrawSelectivity(config, rng)));
+  }
+  return graph;
+}
+
+QueryGraph ShuffleLabels(const QueryGraph& graph, Random& rng,
+                         std::vector<int>* permutation_out) {
+  const int n = graph.relation_count();
+  std::vector<int> old_to_new(n);
+  for (int i = 0; i < n; ++i) {
+    old_to_new[i] = i;
+  }
+  // Fisher-Yates with our deterministic RNG.
+  for (int i = n - 1; i > 0; --i) {
+    const int j =
+        static_cast<int>(rng.Uniform(static_cast<uint64_t>(i) + 1));
+    std::swap(old_to_new[i], old_to_new[j]);
+  }
+
+  QueryGraph shuffled;
+  std::vector<int> new_to_old(n);
+  for (int old = 0; old < n; ++old) {
+    new_to_old[old_to_new[old]] = old;
+  }
+  for (int label = 0; label < n; ++label) {
+    const int old = new_to_old[label];
+    Result<int> added =
+        shuffled.AddRelation(graph.cardinality(old), graph.name(old));
+    JOINOPT_CHECK(added.ok());
+  }
+  for (const JoinEdge& edge : graph.edges()) {
+    const Status status = shuffled.AddEdge(
+        old_to_new[edge.left], old_to_new[edge.right], edge.selectivity);
+    JOINOPT_CHECK(status.ok());
+  }
+  if (permutation_out != nullptr) {
+    *permutation_out = std::move(old_to_new);
+  }
+  return shuffled;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,89 @@
+#ifndef JOINOPT_GRAPH_GENERATORS_H_
+#define JOINOPT_GRAPH_GENERATORS_H_
+
+#include <string_view>
+
+#include "graph/query_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// The four query-graph families the paper analyzes, plus the extra shapes
+/// the library's own tests and benchmarks use.
+enum class QueryShape {
+  kChain,   ///< R0 - R1 - ... - R{n-1}
+  kCycle,   ///< chain plus the closing edge R{n-1} - R0
+  kStar,    ///< hub R0 joined to every leaf R1..R{n-1}
+  kClique,  ///< every pair of relations joined
+};
+
+/// Stable lower-case name of a shape ("chain", "cycle", "star", "clique").
+std::string_view QueryShapeName(QueryShape shape);
+
+/// Statistics randomization for generated workloads. Every generator draws
+/// base cardinalities and edge selectivities from these ranges using the
+/// given seed, so a (shape, n, config) triple is fully reproducible.
+struct WorkloadConfig {
+  uint64_t seed = 42;          ///< RNG seed for cards and selectivities.
+  double min_cardinality = 10.0;    ///< Inclusive lower bound, >= 1.
+  double max_cardinality = 100000.0;  ///< Upper bound.
+  double min_selectivity = 0.001;     ///< Inclusive lower bound, > 0.
+  double max_selectivity = 0.5;       ///< Upper bound, <= 1.
+};
+
+/// Builds a chain query graph R0 - R1 - ... - R{n-1}. Requires n >= 1.
+Result<QueryGraph> MakeChainQuery(int n, const WorkloadConfig& config = {});
+
+/// Builds a cycle query graph. Requires n >= 3 (a 2-cycle would be a
+/// duplicate edge; the paper's n=2 cycle row degenerates to a chain, which
+/// callers model with MakeChainQuery).
+Result<QueryGraph> MakeCycleQuery(int n, const WorkloadConfig& config = {});
+
+/// Builds a star query graph with hub R0 and leaves R1..R{n-1}.
+/// Requires n >= 1.
+Result<QueryGraph> MakeStarQuery(int n, const WorkloadConfig& config = {});
+
+/// Builds a clique query graph on n relations. Requires n >= 1.
+Result<QueryGraph> MakeCliqueQuery(int n, const WorkloadConfig& config = {});
+
+/// Dispatches to the right Make*Query for `shape`. For kCycle with n < 3
+/// this falls back to a chain, matching how the paper's Figure 3 treats
+/// the degenerate cycle sizes.
+Result<QueryGraph> MakeShapeQuery(QueryShape shape, int n,
+                                  const WorkloadConfig& config = {});
+
+/// Builds a snowflake schema graph: a hub (relation 0) with `arms`
+/// dimension chains of length `arm_length` each — the generalization of
+/// star queries that real warehouse schemas normalize into. Total
+/// relations: 1 + arms * arm_length. Requires arms >= 1, arm_length >= 1.
+Result<QueryGraph> MakeSnowflakeQuery(int arms, int arm_length,
+                                      const WorkloadConfig& config = {});
+
+/// Builds a rows x cols grid graph (each node joined to its right and down
+/// neighbors); a standard "moderately dense" stress shape that is neither
+/// of the paper's extremes. Requires rows, cols >= 1.
+Result<QueryGraph> MakeGridQuery(int rows, int cols,
+                                 const WorkloadConfig& config = {});
+
+/// Builds a uniformly random spanning tree on n relations (random-parent
+/// construction). Requires n >= 1. Uses config.seed for both the topology
+/// and the statistics.
+Result<QueryGraph> MakeRandomTreeQuery(int n, const WorkloadConfig& config = {});
+
+/// Builds a random connected graph: a random spanning tree plus
+/// `extra_edges` additional distinct random edges (silently capped at the
+/// complete graph). Requires n >= 1.
+Result<QueryGraph> MakeRandomConnectedQuery(int n, int extra_edges,
+                                            const WorkloadConfig& config = {});
+
+/// Returns a copy of `graph` whose node indices have been shuffled by a
+/// random permutation drawn from `rng`. Used by tests to verify that the
+/// algorithms are invariant under relabeling (DPccp must renumber
+/// internally). `permutation_out`, if non-null, receives old->new.
+QueryGraph ShuffleLabels(const QueryGraph& graph, Random& rng,
+                         std::vector<int>* permutation_out = nullptr);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_GRAPH_GENERATORS_H_

@@ -1,0 +1,115 @@
+#ifndef JOINOPT_GRAPH_QUERY_GRAPH_H_
+#define JOINOPT_GRAPH_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "bitset/node_set.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// An undirected join edge between two relations, annotated with the join
+/// predicate's selectivity. Joining plans for S1 and S2 multiplies in the
+/// selectivities of all edges crossing the cut (S1, S2).
+struct JoinEdge {
+  int left = 0;          ///< Relation index of one endpoint.
+  int right = 0;         ///< Relation index of the other endpoint.
+  double selectivity = 1.0;  ///< Predicate selectivity in (0, 1].
+};
+
+/// The query graph of a conjunctive join query: one node per relation
+/// (identified by index 0..n-1), one undirected edge per join predicate.
+///
+/// Nodes carry base-table cardinalities and edges carry selectivities; this
+/// is all the optimizer's cardinality estimator and cost models need. The
+/// graph also precomputes per-node neighbor masks so that neighborhoods,
+/// connectivity tests, and cut selectivities are cheap bit operations.
+///
+/// A QueryGraph is immutable once handed to an optimizer; the builder-style
+/// mutators (AddRelation/AddEdge) are for construction only.
+class QueryGraph {
+ public:
+  /// Creates an empty graph. Add relations before edges.
+  QueryGraph() = default;
+
+  /// Creates a graph with `n` relations of the given uniform cardinality
+  /// and no edges. Requires 0 <= n <= kMaxRelations.
+  static Result<QueryGraph> WithRelations(int n, double cardinality = 1000.0);
+
+  /// Adds a relation with the given base cardinality (> 0); returns its
+  /// index. Fails when the graph is full (kMaxRelations).
+  Result<int> AddRelation(double cardinality, std::string name = "");
+
+  /// Adds an undirected join edge between distinct relations `u` and `v`
+  /// with the given selectivity in (0, 1]. Duplicate edges and self-loops
+  /// are rejected.
+  Status AddEdge(int u, int v, double selectivity = 0.1);
+
+  /// Number of relations.
+  int relation_count() const { return static_cast<int>(cardinalities_.size()); }
+
+  /// Number of join edges.
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  /// The set {0, ..., n-1} of all relations.
+  NodeSet AllRelations() const { return NodeSet::Prefix(relation_count()); }
+
+  /// Base cardinality of relation `i`.
+  double cardinality(int i) const {
+    JOINOPT_DCHECK(i >= 0 && i < relation_count());
+    return cardinalities_[i];
+  }
+
+  /// Display name of relation `i` ("R<i>" when none was given).
+  const std::string& name(int i) const {
+    JOINOPT_DCHECK(i >= 0 && i < relation_count());
+    return names_[i];
+  }
+
+  /// All join edges, in insertion order.
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// The set of direct neighbors of node `v` (excluding `v` itself).
+  NodeSet Neighbors(int v) const {
+    JOINOPT_DCHECK(v >= 0 && v < relation_count());
+    return neighbor_masks_[v];
+  }
+
+  /// N(S): all nodes adjacent to some node in S, excluding S itself
+  /// (Section 3.2 of the paper).
+  NodeSet Neighborhood(NodeSet s) const;
+
+  /// True iff some edge crosses the cut (s1, s2), i.e. "S1 connected to
+  /// S2" in the paper's pseudocode. The sets need not be disjoint, but the
+  /// typical caller guarantees it.
+  bool AreConnected(NodeSet s1, NodeSet s2) const {
+    return Neighborhood(s1).Intersects(s2);
+  }
+
+  /// True iff there is an edge directly between nodes u and v.
+  bool HasEdge(int u, int v) const {
+    return u != v && neighbor_masks_[u].Contains(v);
+  }
+
+  /// Product of the selectivities of all edges with one endpoint in `s1`
+  /// and the other in `s2`. Returns 1.0 when no edge crosses (a cross
+  /// product). The sets must be disjoint.
+  double SelectivityBetween(NodeSet s1, NodeSet s2) const;
+
+  /// Product of the selectivities of all edges with both endpoints inside
+  /// `s` (used by the plan validator to recompute |⋈ s| from scratch).
+  double SelectivityWithin(NodeSet s) const;
+
+ private:
+  std::vector<double> cardinalities_;
+  std::vector<std::string> names_;
+  std::vector<JoinEdge> edges_;
+  std::vector<NodeSet> neighbor_masks_;
+  /// edge_ids_[v] lists indices into edges_ of the edges incident to v.
+  std::vector<std::vector<int>> edge_ids_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_GRAPH_QUERY_GRAPH_H_

@@ -1,0 +1,190 @@
+#include "hyper/dphyp.h"
+
+#include <utility>
+
+#include "bitset/subset_iterator.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+namespace {
+
+/// One DPhyp run: holds the table and counters, and implements the five
+/// mutually recursive routines of the SIGMOD'08 paper (Solve, EmitCsg,
+/// EnumerateCsgRec, EmitCsgCmp, EnumerateCmpRec).
+class DPhypRunner {
+ public:
+  DPhypRunner(const Hypergraph& graph, const CostModel& cost_model)
+      : graph_(graph),
+        cost_model_(cost_model),
+        table_(graph.relation_count()) {}
+
+  Result<OptimizationResult> Run() {
+    const Stopwatch stopwatch;
+    SeedLeaves();
+    Solve();
+    stats_.csg_cmp_pair_counter = 2 * stats_.ono_lohman_counter;
+    stats_.elapsed_seconds = stopwatch.ElapsedSeconds();
+
+    Result<JoinTree> tree =
+        JoinTree::FromPlanTable(table_, graph_.AllRelations());
+    if (!tree.ok()) {
+      return Status::FailedPrecondition(
+          "no cross-product-free join tree exists for this hypergraph "
+          "(complex predicates leave the root set undecomposable)");
+    }
+    OptimizationResult result{std::move(*tree), 0.0, 0.0, stats_};
+    result.cost = result.plan.cost();
+    result.cardinality = result.plan.cardinality();
+    return result;
+  }
+
+ private:
+  void SeedLeaves() {
+    for (int i = 0; i < graph_.relation_count(); ++i) {
+      PlanEntry& entry = table_.GetOrCreate(NodeSet::Singleton(i));
+      entry.cost = 0.0;
+      entry.cardinality = graph_.cardinality(i);
+      table_.NotePopulated();
+    }
+    stats_.plans_stored = table_.populated_count();
+  }
+
+  /// Top-level loop: every node is a primary-component start, in
+  /// descending index order (duplicate suppression via B_i, exactly as in
+  /// DPccp's EnumerateCsg).
+  void Solve() {
+    for (int i = graph_.relation_count() - 1; i >= 0; --i) {
+      const NodeSet start = NodeSet::Singleton(i);
+      EmitCsg(start);
+      EnumerateCsgRec(start, NodeSet::Prefix(i + 1));
+    }
+  }
+
+  /// Grows the primary component s1; emits every enlargement that is a
+  /// connected set (= has a plan: all its decompositions were enumerated
+  /// earlier by the subsets-first order) and recurses.
+  void EnumerateCsgRec(NodeSet s1, NodeSet x) {
+    const NodeSet neighborhood = graph_.Neighborhood(s1, x);
+    if (neighborhood.empty()) {
+      return;
+    }
+    for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
+      const NodeSet enlarged = s1 | it.Current();
+      if (table_.Find(enlarged) != nullptr) {
+        EmitCsg(enlarged);
+      }
+    }
+    for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
+      EnumerateCsgRec(s1 | it.Current(), x | neighborhood);
+    }
+  }
+
+  /// Enumerates the complement components of a connected s1.
+  void EmitCsg(NodeSet s1) {
+    const NodeSet x = NodeSet::Prefix(s1.Min() + 1) | s1;
+    const NodeSet neighborhood = graph_.Neighborhood(s1, x);
+    NodeSet remaining = neighborhood;
+    while (!remaining.empty()) {
+      const int v = remaining.Max();
+      const NodeSet s2 = NodeSet::Singleton(v);
+      if (graph_.AreConnected(s1, s2)) {
+        EmitCsgCmp(s1, s2);
+      }
+      // Grow s2 excluding smaller-indexed representatives (B_v(N)), the
+      // corrected EnumerateCmp exclusion (see enumerate/cmp.h).
+      EnumerateCmpRec(s1, s2, x | (neighborhood & NodeSet::Prefix(v + 1)));
+      remaining.Remove(v);
+    }
+  }
+
+  /// Grows the complement component s2; emits every enlargement that is
+  /// connected AND actually joined to s1 by some hyperedge.
+  void EnumerateCmpRec(NodeSet s1, NodeSet s2, NodeSet x) {
+    const NodeSet neighborhood = graph_.Neighborhood(s2, x);
+    if (neighborhood.empty()) {
+      return;
+    }
+    for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
+      const NodeSet enlarged = s2 | it.Current();
+      if (table_.Find(enlarged) != nullptr &&
+          graph_.AreConnected(s1, enlarged)) {
+        EmitCsgCmp(s1, enlarged);
+      }
+    }
+    for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
+      EnumerateCmpRec(s1, s2 | it.Current(), x | neighborhood);
+    }
+  }
+
+  /// The DP combine step: price s1 ⋈ s2 in both orders.
+  void EmitCsgCmp(NodeSet s1, NodeSet s2) {
+    ++stats_.inner_counter;
+    ++stats_.ono_lohman_counter;
+
+    const PlanEntry* left = table_.Find(s1);
+    const PlanEntry* right = table_.Find(s2);
+    JOINOPT_DCHECK(left != nullptr && right != nullptr);
+    const double left_cost = left->cost;
+    const double left_card = left->cardinality;
+    const double right_cost = right->cost;
+    const double right_card = right->cardinality;
+
+    PlanEntry& entry = table_.GetOrCreate(s1 | s2);
+    // |⋈ S| is plan-independent: scan the crossing edges only on first
+    // reach of the set (see core/optimizer.cc for the rationale).
+    double out_card;
+    if (entry.has_plan()) {
+      out_card = entry.cardinality;
+    } else {
+      out_card = left_card * right_card * graph_.SelectivityBetween(s1, s2);
+      entry.cardinality = out_card;
+      table_.NotePopulated();
+      stats_.plans_stored = table_.populated_count();
+    }
+
+    const double cost_lr =
+        left_cost + right_cost +
+        cost_model_.JoinCost(left_card, right_card, out_card);
+    const double cost_rl =
+        left_cost + right_cost +
+        cost_model_.JoinCost(right_card, left_card, out_card);
+    stats_.create_join_tree_calls += 2;
+
+    if (cost_lr < entry.cost) {
+      entry.left = s1;
+      entry.right = s2;
+      entry.cost = cost_lr;
+      entry.op = cost_model_.OperatorFor(left_card, right_card, out_card);
+    }
+    if (cost_rl < entry.cost) {
+      entry.left = s2;
+      entry.right = s1;
+      entry.cost = cost_rl;
+      entry.op = cost_model_.OperatorFor(right_card, left_card, out_card);
+    }
+  }
+
+  const Hypergraph& graph_;
+  const CostModel& cost_model_;
+  PlanTable table_;
+  OptimizerStats stats_;
+};
+
+}  // namespace
+
+Result<OptimizationResult> DPhyp::Optimize(const Hypergraph& graph,
+                                           const CostModel& cost_model) const {
+  if (graph.relation_count() == 0) {
+    return Status::InvalidArgument("hypergraph has no relations");
+  }
+  if (!graph.IsConnected()) {
+    return Status::FailedPrecondition(
+        "hypergraph is disconnected; cross-product-free join trees do not "
+        "exist");
+  }
+  DPhypRunner runner(graph, cost_model);
+  return runner.Run();
+}
+
+}  // namespace joinopt

@@ -1,0 +1,38 @@
+#ifndef JOINOPT_HYPER_DPHYP_H_
+#define JOINOPT_HYPER_DPHYP_H_
+
+#include "core/optimizer.h"
+#include "hyper/hypergraph.h"
+
+namespace joinopt {
+
+/// DPhyp [Moerkotte & Neumann, "Dynamic Programming Strikes Back",
+/// SIGMOD 2008]: the successor of DPccp that generalizes the csg-cmp-pair
+/// enumeration from query graphs to query HYPERgraphs, handling complex
+/// (non-binary) join predicates. Included here as the paper's realized
+/// future work; on hypergraphs lifted from plain query graphs it must
+/// behave exactly like DPccp (same optimum, same pair count) — a property
+/// the test suite asserts.
+///
+/// Counter semantics match DPccp: InnerCounter == OnoLohmanCounter ==
+/// number of csg-cmp-pairs of the hypergraph; both join orders of each
+/// pair are costed.
+///
+/// Note: a connected hypergraph may still admit NO cross-product-free
+/// join tree (complex predicates can make every split of the root set a
+/// cross product); Optimize reports FailedPrecondition in that case.
+class DPhyp {
+ public:
+  DPhyp() = default;
+
+  std::string_view name() const { return "DPhyp"; }
+
+  /// Computes an optimal bushy cross-product-free join tree for the
+  /// hypergraph under the cost model.
+  Result<OptimizationResult> Optimize(const Hypergraph& graph,
+                                      const CostModel& cost_model) const;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_HYPER_DPHYP_H_

@@ -1,0 +1,56 @@
+#ifndef JOINOPT_JOINOPT_H_
+#define JOINOPT_JOINOPT_H_
+
+/// Umbrella header for the joinopt library: dynamic-programming join
+/// ordering after Moerkotte & Neumann (VLDB 2006), with the DPsize,
+/// DPsub, and DPccp algorithms, cross-product and left-deep variants, a
+/// greedy baseline, query-graph generators, cost models, and the
+/// search-space analytics used to reproduce the paper's evaluation.
+
+#include "analytics/brute_force.h"
+#include "analytics/counts.h"
+#include "analytics/tree_counts.h"
+#include "bitset/node_set.h"
+#include "bitset/subset_iterator.h"
+#include "catalog/catalog.h"
+#include "core/dp_cross_products.h"
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsize_linear.h"
+#include "core/dpsub.h"
+#include "core/greedy.h"
+#include "core/optimizer.h"
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "cost/statistics.h"
+#include "core/adaptive.h"
+#include "core/idp.h"
+#include "core/ikkbz.h"
+#include "core/kbest.h"
+#include "core/lindp.h"
+#include "core/top_down.h"
+#include "dsl/parser.h"
+#include "dsl/hyper_parser.h"
+#include "dsl/sql_parser.h"
+#include "dsl/writer.h"
+#include "exec/database.h"
+#include "exec/executor.h"
+#include "exec/table.h"
+#include "enumerate/cmp.h"
+#include "enumerate/csg.h"
+#include "graph/bfs_numbering.h"
+#include "hyper/dphyp.h"
+#include "hyper/hypergraph.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/query_graph.h"
+#include "plan/dot_export.h"
+#include "plan/join_tree.h"
+#include "plan/plan_printer.h"
+#include "plan/plan_table.h"
+#include "plan/plan_validator.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+#endif  // JOINOPT_JOINOPT_H_

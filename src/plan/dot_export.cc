@@ -1,0 +1,60 @@
+#include "plan/dot_export.h"
+
+#include <sstream>
+
+namespace joinopt {
+
+namespace {
+
+/// Escapes a string for use inside a double-quoted DOT label.
+std::string EscapeLabel(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryGraphToDot(const QueryGraph& graph) {
+  std::ostringstream out;
+  out << "graph query_graph {\n"
+      << "  node [shape=ellipse];\n";
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    out << "  r" << i << " [label=\"" << EscapeLabel(graph.name(i)) << "\\n|"
+        << graph.cardinality(i) << "|\"];\n";
+  }
+  for (const JoinEdge& edge : graph.edges()) {
+    out << "  r" << edge.left << " -- r" << edge.right << " [label=\""
+        << edge.selectivity << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string PlanToDot(const JoinTree& tree, const QueryGraph& graph) {
+  std::ostringstream out;
+  out << "digraph plan {\n"
+      << "  node [shape=box];\n";
+  for (size_t i = 0; i < tree.nodes().size(); ++i) {
+    const JoinTreeNode& node = tree.nodes()[i];
+    if (node.IsLeaf()) {
+      out << "  n" << i << " [label=\"" << EscapeLabel(graph.name(node.relation))
+          << "\\nrows=" << node.cardinality << "\"];\n";
+    } else {
+      out << "  n" << i << " [shape=ellipse, label=\"⋈\\nrows="
+          << node.cardinality << "\\ncost=" << node.cost << "\"];\n";
+      out << "  n" << i << " -> n" << node.left << ";\n";
+      out << "  n" << i << " -> n" << node.right << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace joinopt

@@ -1,0 +1,23 @@
+#ifndef JOINOPT_PLAN_DOT_EXPORT_H_
+#define JOINOPT_PLAN_DOT_EXPORT_H_
+
+#include <string>
+
+#include "graph/query_graph.h"
+#include "plan/join_tree.h"
+
+namespace joinopt {
+
+/// Renders the query graph in Graphviz DOT format: one node per relation
+/// (labelled "name\ncard"), one undirected edge per join predicate
+/// (labelled with its selectivity).
+std::string QueryGraphToDot(const QueryGraph& graph);
+
+/// Renders a join tree in Graphviz DOT format: leaves are relation scans
+/// (boxes), inner nodes are joins labelled with estimated rows and
+/// cumulative cost.
+std::string PlanToDot(const JoinTree& tree, const QueryGraph& graph);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_PLAN_DOT_EXPORT_H_

@@ -1,0 +1,125 @@
+#include "plan/join_tree.h"
+
+#include <algorithm>
+
+namespace joinopt {
+
+Result<JoinTree> JoinTree::FromPlanTable(const PlanTable& table,
+                                         NodeSet root_set) {
+  if (root_set.empty()) {
+    return Status::InvalidArgument("cannot build a plan for the empty set");
+  }
+  JoinTree tree;
+  Result<int> root = tree.Build(table, root_set);
+  JOINOPT_RETURN_IF_ERROR(root.status());
+  JOINOPT_DCHECK(*root == tree.root_index());
+  return tree;
+}
+
+Result<int> JoinTree::Build(const PlanTable& table, NodeSet set) {
+  const PlanEntry* entry = table.Find(set);
+  if (entry == nullptr) {
+    return Status::Internal("plan table holds no entry for " + set.ToString());
+  }
+
+  JoinTreeNode node;
+  node.relations = set;
+  node.cardinality = entry->cardinality;
+  node.cost = entry->cost;
+
+  if (entry->IsLeaf()) {
+    if (set.count() != 1) {
+      return Status::Internal("leaf entry for non-singleton set " +
+                              set.ToString());
+    }
+    node.relation = set.Min();
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  if ((entry->left | entry->right) != set ||
+      entry->left.Intersects(entry->right) || entry->left.empty() ||
+      entry->right.empty()) {
+    return Status::Internal("inconsistent decomposition for " +
+                            set.ToString());
+  }
+  Result<int> left = Build(table, entry->left);
+  JOINOPT_RETURN_IF_ERROR(left.status());
+  Result<int> right = Build(table, entry->right);
+  JOINOPT_RETURN_IF_ERROR(right.status());
+  node.left = *left;
+  node.right = *right;
+  node.op = entry->op;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Result<JoinTree> JoinTree::FromNodes(std::vector<JoinTreeNode> nodes) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("a join tree needs at least one node");
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const JoinTreeNode& node = nodes[i];
+    if (node.IsLeaf()) {
+      continue;
+    }
+    if (node.left < 0 || node.right < 0 ||
+        node.left >= static_cast<int>(i) ||
+        node.right >= static_cast<int>(i)) {
+      return Status::InvalidArgument(
+          "children must precede their parent (node " + std::to_string(i) +
+          ")");
+    }
+  }
+  JoinTree tree;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
+int JoinTree::LeafCount() const {
+  return static_cast<int>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const JoinTreeNode& n) { return n.IsLeaf(); }));
+}
+
+int JoinTree::JoinCount() const {
+  return static_cast<int>(nodes_.size()) - LeafCount();
+}
+
+int JoinTree::Height() const {
+  // Children precede parents in nodes_, so one forward pass suffices.
+  std::vector<int> height(nodes_.size(), 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const JoinTreeNode& node = nodes_[i];
+    if (!node.IsLeaf()) {
+      height[i] = 1 + std::max(height[node.left], height[node.right]);
+    }
+  }
+  return nodes_.empty() ? 0 : height.back();
+}
+
+bool JoinTree::IsLeftDeep() const {
+  for (const JoinTreeNode& node : nodes_) {
+    if (!node.IsLeaf() && !nodes_[node.right].IsLeaf()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void JoinTree::RelabelLeaves(const std::vector<int>& new_to_old) {
+  for (JoinTreeNode& node : nodes_) {
+    if (node.IsLeaf()) {
+      node.relation = new_to_old[node.relation];
+      node.relations = NodeSet::Singleton(node.relation);
+    }
+  }
+  // Rebuild interior sets bottom-up (children precede parents).
+  for (JoinTreeNode& node : nodes_) {
+    if (!node.IsLeaf()) {
+      node.relations = nodes_[node.left].relations | nodes_[node.right].relations;
+    }
+  }
+}
+
+}  // namespace joinopt

@@ -1,0 +1,107 @@
+#ifndef JOINOPT_PLAN_JOIN_TREE_H_
+#define JOINOPT_PLAN_JOIN_TREE_H_
+
+#include <vector>
+
+#include "bitset/node_set.h"
+#include "cost/cost_model.h"
+#include "graph/query_graph.h"
+#include "plan/plan_table.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// One node of a materialized join tree. Nodes live in the owning
+/// JoinTree's vector and refer to children by index; -1 marks "no child"
+/// (leaves).
+struct JoinTreeNode {
+  /// The relations covered by this subtree.
+  NodeSet relations;
+  /// Estimated output cardinality of this subtree.
+  double cardinality = 0.0;
+  /// Cumulative cost of this subtree (0 for leaves).
+  double cost = 0.0;
+  /// For leaves: the relation index. -1 for joins.
+  int relation = -1;
+  /// Child indices into JoinTree::nodes(); -1 for leaves.
+  int left = -1;
+  int right = -1;
+  /// Physical operator for join nodes (kUnspecified under logical cost
+  /// models); meaningless for leaves.
+  JoinOperator op = JoinOperator::kUnspecified;
+
+  bool IsLeaf() const { return relation >= 0; }
+};
+
+/// An immutable, value-semantic join tree materialized from a PlanTable.
+///
+/// The DP algorithms leave only decomposition breadcrumbs in the table;
+/// FromPlanTable follows them from the root set down and assembles the
+/// explicit tree the caller can print, validate, or hand to an executor.
+class JoinTree {
+ public:
+  /// Reconstructs the best plan for `root_set` from `table`. Fails when
+  /// the table holds no plan for `root_set` or the breadcrumbs are
+  /// inconsistent (a child set without an entry — an optimizer bug).
+  static Result<JoinTree> FromPlanTable(const PlanTable& table,
+                                        NodeSet root_set);
+
+  /// Wraps an explicitly assembled node vector (used by the k-best
+  /// enumerator, which materializes trees from its own memo). Children
+  /// must precede their parents; the root is the last node. Fails on an
+  /// empty vector or malformed child indices.
+  static Result<JoinTree> FromNodes(std::vector<JoinTreeNode> nodes);
+
+  /// All nodes; the root is the last element.
+  const std::vector<JoinTreeNode>& nodes() const { return nodes_; }
+
+  /// The root node. Requires a non-empty tree.
+  const JoinTreeNode& root() const {
+    JOINOPT_DCHECK(!nodes_.empty());
+    return nodes_.back();
+  }
+
+  /// Index of the root node.
+  int root_index() const { return static_cast<int>(nodes_.size()) - 1; }
+
+  /// The set of relations joined by the whole tree.
+  NodeSet relations() const { return root().relations; }
+
+  /// Total plan cost.
+  double cost() const { return root().cost; }
+
+  /// Estimated result cardinality.
+  double cardinality() const { return root().cardinality; }
+
+  /// Number of leaves (base relations).
+  int LeafCount() const;
+
+  /// Number of join (inner) nodes.
+  int JoinCount() const;
+
+  /// Height of the tree: 0 for a single leaf, else 1 + max child height.
+  int Height() const;
+
+  /// True iff every join has at least one leaf as its right child, i.e.
+  /// the tree is left-deep (the Selinger search space).
+  bool IsLeftDeep() const;
+
+  /// Relabels every leaf's relation index through `new_to_old`
+  /// (leaf.relation = new_to_old[leaf.relation]) and rebuilds the interior
+  /// `relations` sets. DPccp uses this to translate a plan computed in
+  /// BFS-label space back to the user's numbering.
+  void RelabelLeaves(const std::vector<int>& new_to_old);
+
+ private:
+  JoinTree() = default;
+
+  /// Recursive reconstruction helper; returns the index of the subtree
+  /// root for `set`, or an error.
+  Result<int> Build(const PlanTable& table, NodeSet set);
+
+  std::vector<JoinTreeNode> nodes_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_PLAN_JOIN_TREE_H_

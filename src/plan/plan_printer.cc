@@ -1,0 +1,93 @@
+#include "plan/plan_printer.h"
+
+#include <sstream>
+
+namespace joinopt {
+
+namespace {
+
+void AppendExpression(const JoinTree& tree,
+                      const std::vector<std::string>& names, int index,
+                      std::string* out) {
+  const JoinTreeNode& node = tree.nodes()[index];
+  if (node.IsLeaf()) {
+    *out += names[node.relation];
+    return;
+  }
+  *out += '(';
+  AppendExpression(tree, names, node.left, out);
+  *out += " ⋈ ";  // U+22C8 BOWTIE
+  AppendExpression(tree, names, node.right, out);
+  *out += ')';
+}
+
+void AppendExplain(const JoinTree& tree, const std::vector<std::string>& names,
+                   int index, int depth, std::ostringstream* out) {
+  const JoinTreeNode& node = tree.nodes()[index];
+  for (int i = 0; i < depth; ++i) {
+    *out << "  ";
+  }
+  if (node.IsLeaf()) {
+    *out << "Scan " << names[node.relation] << "  [rows=" << node.cardinality
+         << "]\n";
+    return;
+  }
+  *out << JoinOperatorName(node.op) << "  [cost=" << node.cost
+       << " rows=" << node.cardinality << "]\n";
+  AppendExplain(tree, names, node.left, depth + 1, out);
+  AppendExplain(tree, names, node.right, depth + 1, out);
+}
+
+std::vector<std::string> Names(const QueryGraph& graph) {
+  std::vector<std::string> names;
+  names.reserve(graph.relation_count());
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    names.push_back(graph.name(i));
+  }
+  return names;
+}
+
+std::vector<std::string> Names(const Hypergraph& graph) {
+  std::vector<std::string> names;
+  names.reserve(graph.relation_count());
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    names.push_back(graph.name(i));
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string PlanToExpression(const JoinTree& tree,
+                             const std::vector<std::string>& names) {
+  std::string out;
+  AppendExpression(tree, names, tree.root_index(), &out);
+  return out;
+}
+
+std::string PlanToExpression(const JoinTree& tree, const QueryGraph& graph) {
+  return PlanToExpression(tree, Names(graph));
+}
+
+std::string PlanToExpression(const JoinTree& tree, const Hypergraph& graph) {
+  return PlanToExpression(tree, Names(graph));
+}
+
+std::string PlanToExplainString(const JoinTree& tree,
+                                const std::vector<std::string>& names) {
+  std::ostringstream out;
+  AppendExplain(tree, names, tree.root_index(), 0, &out);
+  return out.str();
+}
+
+std::string PlanToExplainString(const JoinTree& tree,
+                                const QueryGraph& graph) {
+  return PlanToExplainString(tree, Names(graph));
+}
+
+std::string PlanToExplainString(const JoinTree& tree,
+                                const Hypergraph& graph) {
+  return PlanToExplainString(tree, Names(graph));
+}
+
+}  // namespace joinopt

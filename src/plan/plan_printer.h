@@ -1,0 +1,38 @@
+#ifndef JOINOPT_PLAN_PLAN_PRINTER_H_
+#define JOINOPT_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "hyper/hypergraph.h"
+#include "plan/join_tree.h"
+
+namespace joinopt {
+
+/// Renders a join tree as a one-line expression using relation names, e.g.
+/// "((R0 ⋈ R1) ⋈ (R2 ⋈ R3))". Deterministic, intended for tests and logs.
+std::string PlanToExpression(const JoinTree& tree, const QueryGraph& graph);
+
+/// Overloads for hypergraph plans (DPhyp output) and bare name tables.
+std::string PlanToExpression(const JoinTree& tree, const Hypergraph& graph);
+std::string PlanToExpression(const JoinTree& tree,
+                             const std::vector<std::string>& names);
+
+/// Renders a join tree as an indented multi-line explain string:
+///
+///   Join  [cost=1234.5 rows=42]
+///     Join  [cost=200.0 rows=7]
+///       Scan R0  [rows=1000]
+///       Scan R1  [rows=500]
+///     Scan R2  [rows=10]
+std::string PlanToExplainString(const JoinTree& tree, const QueryGraph& graph);
+
+/// Overloads as for PlanToExpression.
+std::string PlanToExplainString(const JoinTree& tree, const Hypergraph& graph);
+std::string PlanToExplainString(const JoinTree& tree,
+                                const std::vector<std::string>& names);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_PLAN_PLAN_PRINTER_H_

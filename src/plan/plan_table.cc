@@ -1,0 +1,55 @@
+#include "plan/plan_table.h"
+
+#include "util/macros.h"
+
+namespace joinopt {
+
+PlanTable::PlanTable(int relation_count, int dense_limit) {
+  JOINOPT_CHECK(relation_count >= 0 && relation_count <= kMaxRelations);
+  if (relation_count <= dense_limit && relation_count < 63) {
+    dense_.resize(uint64_t{1} << relation_count);
+  } else {
+    // Sparse: reserve for the common (chain-like) case; rehashing is fine.
+    sparse_.reserve(1024);
+  }
+}
+
+const PlanEntry* PlanTable::Find(NodeSet s) const {
+  if (!dense_.empty()) {
+    JOINOPT_DCHECK(s.mask() < dense_.size());
+    const PlanEntry& entry = dense_[s.mask()];
+    return entry.has_plan() ? &entry : nullptr;
+  }
+  const auto it = sparse_.find(s);
+  if (it == sparse_.end() || !it->second.has_plan()) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+PlanEntry& PlanTable::GetOrCreate(NodeSet s) {
+  if (!dense_.empty()) {
+    JOINOPT_DCHECK(s.mask() < dense_.size());
+    return dense_[s.mask()];
+  }
+  return sparse_[s];
+}
+
+void PlanTable::ForEach(
+    const std::function<void(NodeSet, const PlanEntry&)>& fn) const {
+  if (!dense_.empty()) {
+    for (uint64_t mask = 0; mask < dense_.size(); ++mask) {
+      if (dense_[mask].has_plan()) {
+        fn(NodeSet::FromMask(mask), dense_[mask]);
+      }
+    }
+    return;
+  }
+  for (const auto& [set, entry] : sparse_) {
+    if (entry.has_plan()) {
+      fn(set, entry);
+    }
+  }
+}
+
+}  // namespace joinopt

@@ -1,0 +1,94 @@
+#ifndef JOINOPT_PLAN_PLAN_TABLE_H_
+#define JOINOPT_PLAN_PLAN_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "bitset/node_set.h"
+#include "cost/cost_model.h"
+
+namespace joinopt {
+
+/// One memo entry of the dynamic-programming table: the best plan found so
+/// far for a set of relations, stored as its decomposition into the two
+/// child sets (empty for base relations). The full join tree is
+/// reconstructed from these breadcrumbs once the DP finishes.
+struct PlanEntry {
+  /// Best-known children; both empty for a leaf (single relation).
+  NodeSet left;
+  NodeSet right;
+  /// Total cost of the best plan (sum of join costs in its subtree).
+  double cost = std::numeric_limits<double>::infinity();
+  /// Estimated output cardinality of the set (plan-independent under the
+  /// independence model).
+  double cardinality = 0.0;
+  /// Physical operator chosen by the cost model for the best plan's root
+  /// join (kUnspecified for leaves and logical cost models).
+  JoinOperator op = JoinOperator::kUnspecified;
+
+  /// True once any plan has been registered for the set.
+  bool has_plan() const { return cost < std::numeric_limits<double>::infinity(); }
+  /// True iff the entry is a base relation.
+  bool IsLeaf() const { return left.empty() && right.empty() && has_plan(); }
+};
+
+/// The `BestPlan` table of the paper: a map from relation sets to their
+/// best plan entry.
+///
+/// Two backends:
+///  * dense — a flat vector indexed by the set's mask, used when
+///    2^n entries fit the configured budget. O(1) access with no hashing;
+///    this is what makes DPsub's tight loop fast on cliques.
+///  * sparse — a hash map, used for larger n where the search space is
+///    necessarily sparse (chains/stars at n > ~24).
+///
+/// The backend is an internal detail; the API is identical. Entry pointers
+/// are stable in the dense backend and NOT stable across mutation in the
+/// sparse backend — callers must re-Find after any mutation (the DP
+/// algorithms in this library follow that rule).
+class PlanTable {
+ public:
+  /// Creates a table for sets over `relation_count` relations. The dense
+  /// backend is chosen when relation_count <= dense_limit.
+  explicit PlanTable(int relation_count, int dense_limit = 20);
+
+  PlanTable(const PlanTable&) = delete;
+  PlanTable& operator=(const PlanTable&) = delete;
+  PlanTable(PlanTable&&) = default;
+  PlanTable& operator=(PlanTable&&) = default;
+
+  /// Returns the entry for `s` or nullptr when no plan is registered.
+  const PlanEntry* Find(NodeSet s) const;
+
+  /// Mutable lookup; creates an empty (cost = inf) entry when absent.
+  PlanEntry& GetOrCreate(NodeSet s);
+
+  /// Number of sets with a registered plan.
+  uint64_t populated_count() const { return populated_count_; }
+
+  /// Marks `s` as populated (called by GetOrCreate callers when they first
+  /// set a real cost). Internal bookkeeping for populated_count().
+  void NotePopulated() { ++populated_count_; }
+
+  /// True when the dense backend is active (exposed for tests/ablation).
+  bool is_dense() const { return !dense_.empty(); }
+
+  /// Invokes `fn(set, entry)` for every populated entry, in unspecified
+  /// order.
+  void ForEach(
+      const std::function<void(NodeSet, const PlanEntry&)>& fn) const;
+
+ private:
+  // Dense backend: entry for mask m lives at dense_[m]. Empty when sparse.
+  std::vector<PlanEntry> dense_;
+  // Sparse backend.
+  std::unordered_map<NodeSet, PlanEntry, NodeSetHash> sparse_;
+  uint64_t populated_count_ = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_PLAN_PLAN_TABLE_H_

@@ -1,0 +1,95 @@
+#include "plan/plan_validator.h"
+
+#include <cmath>
+#include <string>
+
+#include "cost/cardinality.h"
+
+namespace joinopt {
+
+namespace {
+
+bool Close(double actual, double expected, double rel_tol) {
+  const double diff = std::fabs(actual - expected);
+  const double scale = std::fmax(std::fabs(actual), std::fabs(expected));
+  return diff <= rel_tol * std::fmax(scale, 1.0);
+}
+
+}  // namespace
+
+Status ValidatePlan(const JoinTree& tree, const QueryGraph& graph,
+                    const CostModel& cost_model,
+                    const PlanValidationOptions& options) {
+  if (tree.nodes().empty()) {
+    return Status::InvalidArgument("empty join tree");
+  }
+  const CardinalityEstimator estimator(graph);
+
+  NodeSet seen_leaves;
+  for (size_t i = 0; i < tree.nodes().size(); ++i) {
+    const JoinTreeNode& node = tree.nodes()[i];
+    const std::string where = " (node " + std::to_string(i) + ")";
+
+    if (node.IsLeaf()) {
+      if (node.relation < 0 || node.relation >= graph.relation_count()) {
+        return Status::Internal("leaf relation index out of range" + where);
+      }
+      if (node.relations != NodeSet::Singleton(node.relation)) {
+        return Status::Internal("leaf set does not match its relation" + where);
+      }
+      if (seen_leaves.Contains(node.relation)) {
+        return Status::Internal("relation appears in two leaves" + where);
+      }
+      seen_leaves.Add(node.relation);
+      if (node.cost != 0.0) {
+        return Status::Internal("leaf has non-zero cost" + where);
+      }
+      if (!Close(node.cardinality, graph.cardinality(node.relation),
+                 options.relative_tolerance)) {
+        return Status::Internal("leaf cardinality mismatch" + where);
+      }
+      continue;
+    }
+
+    // Interior (join) node.
+    const int node_count = static_cast<int>(tree.nodes().size());
+    if (node.left < 0 || node.left >= node_count || node.right < 0 ||
+        node.right >= node_count) {
+      return Status::Internal("child index out of range" + where);
+    }
+    const JoinTreeNode& left = tree.nodes()[node.left];
+    const JoinTreeNode& right = tree.nodes()[node.right];
+    if (left.relations.Intersects(right.relations)) {
+      return Status::Internal("children overlap" + where);
+    }
+    if ((left.relations | right.relations) != node.relations) {
+      return Status::Internal("children do not partition the parent" + where);
+    }
+    if (options.forbid_cross_products &&
+        !graph.AreConnected(left.relations, right.relations)) {
+      return Status::Internal("cross product: no edge between " +
+                              left.relations.ToString() + " and " +
+                              right.relations.ToString() + where);
+    }
+
+    const double expected_card = estimator.JoinCardinality(
+        left.relations, left.cardinality, right.relations, right.cardinality);
+    if (!Close(node.cardinality, expected_card, options.relative_tolerance)) {
+      return Status::Internal("cardinality mismatch" + where);
+    }
+    const double expected_cost =
+        left.cost + right.cost +
+        cost_model.JoinCost(left.cardinality, right.cardinality,
+                            node.cardinality);
+    if (!Close(node.cost, expected_cost, options.relative_tolerance)) {
+      return Status::Internal("cost mismatch" + where);
+    }
+  }
+
+  if (seen_leaves != tree.relations()) {
+    return Status::Internal("leaves do not cover the root's relation set");
+  }
+  return Status::OK();
+}
+
+}  // namespace joinopt

@@ -1,0 +1,38 @@
+#ifndef JOINOPT_PLAN_PLAN_VALIDATOR_H_
+#define JOINOPT_PLAN_PLAN_VALIDATOR_H_
+
+#include "cost/cost_model.h"
+#include "graph/query_graph.h"
+#include "plan/join_tree.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// Options for ValidatePlan.
+struct PlanValidationOptions {
+  /// When true, every join must have at least one query-graph edge between
+  /// its two inputs (the "no cross products" invariant of the paper).
+  bool forbid_cross_products = true;
+  /// Relative tolerance when comparing recomputed cardinalities/costs
+  /// against the values stored in the tree.
+  double relative_tolerance = 1e-9;
+};
+
+/// Structural and semantic validation of a join tree against its query
+/// graph and cost model. Checks:
+///   * every leaf is a distinct base relation of the graph,
+///   * child relation-sets are disjoint and union to the parent's set,
+///   * the root covers exactly the requested relations,
+///   * no join is a cross product (unless allowed),
+///   * stored cardinalities match the independence-model estimate,
+///   * stored costs match leaf-cost-0 + sum of JoinCost over the tree.
+///
+/// This is the oracle used by the test suite to cross-check every
+/// optimizer's output.
+Status ValidatePlan(const JoinTree& tree, const QueryGraph& graph,
+                    const CostModel& cost_model,
+                    const PlanValidationOptions& options = {});
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_PLAN_PLAN_VALIDATOR_H_

@@ -1,0 +1,29 @@
+#ifndef JOINOPT_UTIL_MACROS_H_
+#define JOINOPT_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// JOINOPT_CHECK(cond): aborts with a diagnostic when `cond` is false, in
+/// all build modes. Use for invariants whose violation would make continuing
+/// unsafe (e.g. out-of-bounds plan-table access).
+#define JOINOPT_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "JOINOPT_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+/// JOINOPT_DCHECK(cond): like JOINOPT_CHECK but compiled out in NDEBUG
+/// builds. Use for hot-path invariants.
+#ifdef NDEBUG
+#define JOINOPT_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define JOINOPT_DCHECK(cond) JOINOPT_CHECK(cond)
+#endif
+
+#endif  // JOINOPT_UTIL_MACROS_H_

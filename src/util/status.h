@@ -1,0 +1,149 @@
+#ifndef JOINOPT_UTIL_STATUS_H_
+#define JOINOPT_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace joinopt {
+
+/// Error categories used across the library. Kept deliberately small; the
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after absl::Status.
+///
+/// The library does not throw exceptions (per the database-engine coding
+/// guides); every fallible public API returns a Status or a Result<T>.
+/// Status is cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code must
+  /// not carry a message; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "<Code>: <message>" rendering for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, modeled after absl::StatusOr<T>.
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of a non-OK Result aborts in debug builds and is undefined in
+/// release builds; call ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    JOINOPT_DCHECK(!status_.ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must only be called when ok().
+  const T& value() const& {
+    JOINOPT_DCHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    JOINOPT_DCHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    JOINOPT_DCHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace joinopt
+
+/// Propagates a non-OK status from an expression, absl-style.
+#define JOINOPT_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::joinopt::Status joinopt_status_tmp_ = (expr);  \
+    if (!joinopt_status_tmp_.ok()) {                 \
+      return joinopt_status_tmp_;                    \
+    }                                                \
+  } while (false)
+
+#endif  // JOINOPT_UTIL_STATUS_H_

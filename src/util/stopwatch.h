@@ -1,0 +1,38 @@
+#ifndef JOINOPT_UTIL_STOPWATCH_H_
+#define JOINOPT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace joinopt {
+
+/// A monotonic wall-clock stopwatch used by the optimizer instrumentation
+/// and the benchmark harness.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds as a double.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_UTIL_STOPWATCH_H_

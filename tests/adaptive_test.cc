@@ -1,0 +1,100 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/counts.h"
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "enumerate/cmp.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+TEST(CountCsgCmpPairsUpToTest, UncappedMatchesClosedForms) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {2, 5, 9, 12}) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(graph.ok());
+      EXPECT_EQ(CountCsgCmpPairsUpTo(*graph, ~uint64_t{0}),
+                CcpCountUnordered(shape, n))
+          << QueryShapeName(shape) << n;
+    }
+  }
+}
+
+TEST(CountCsgCmpPairsUpToTest, CapStopsEarly) {
+  Result<QueryGraph> graph = MakeCliqueQuery(10);  // #ccp = 28501.
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(CountCsgCmpPairsUpTo(*graph, 1000), 1000u);
+  EXPECT_EQ(CountCsgCmpPairsUpTo(*graph, 0), 0u);
+  EXPECT_EQ(CountCsgCmpPairsUpTo(*graph, 1u << 20), 28501u);
+}
+
+TEST(AdaptiveOptimizerTest, ChoosesDPccpForSmallQueries) {
+  const AdaptiveOptimizer optimizer;
+  Result<QueryGraph> graph = MakeCliqueQuery(10);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(optimizer.ChooseAlgorithm(*graph), "DPccp");
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  // Exact: matches DPccp bit for bit.
+  Result<OptimizationResult> exact = DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(result->cost, exact->cost);
+}
+
+TEST(AdaptiveOptimizerTest, ChoosesIDPBeyondTheBudget) {
+  // A tight budget forces the heuristic path even on a modest clique.
+  const AdaptiveOptimizer optimizer(/*exact_pair_budget=*/1000,
+                                    /*idp_block_size=*/6);
+  Result<QueryGraph> graph = MakeCliqueQuery(10);  // #ccp = 28501 > 1000.
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(optimizer.ChooseAlgorithm(*graph), "IDP1");
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok());
+  Result<OptimizationResult> exact = DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GE(result->cost, exact->cost * (1 - 1e-12));
+}
+
+TEST(AdaptiveOptimizerTest, ChoosesCrossProductsWhenDisconnected) {
+  Result<QueryGraph> graph = QueryGraph::WithRelations(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph->AddEdge(2, 3).ok());
+  const AdaptiveOptimizer optimizer;
+  EXPECT_EQ(optimizer.ChooseAlgorithm(*graph), "DPsizeCP");
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  PlanValidationOptions options;
+  options.forbid_cross_products = false;
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel(), options).ok());
+}
+
+TEST(AdaptiveOptimizerTest, HandlesHugeChainViaExactPath) {
+  // A 64-relation chain has only 43680 pairs — exact remains affordable
+  // even though n is far beyond DPsub/DPsize territory.
+  Result<QueryGraph> graph = MakeChainQuery(64);
+  ASSERT_TRUE(graph.ok());
+  const AdaptiveOptimizer optimizer;
+  EXPECT_EQ(optimizer.ChooseAlgorithm(*graph), "DPccp");
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.LeafCount(), 64);
+}
+
+TEST(AdaptiveOptimizerTest, RejectsEmptyGraph) {
+  EXPECT_FALSE(AdaptiveOptimizer().Optimize(QueryGraph(), CoutCostModel()).ok());
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,183 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsub.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+/// The central cross-algorithm property of the paper: DPsize, DPsub, and
+/// DPccp search the same space (bushy trees without cross products), so
+/// on every query graph and cost model they must agree on
+///   * the optimal cost,
+///   * the number of surviving csg-cmp-pairs (the OnoLohmanCounter), and
+///   * the number of plans stored (#csg of the graph).
+/// This file sweeps that property across graph families, sizes, seeds,
+/// and cost models.
+
+struct Case {
+  std::string label;
+  QueryGraph graph;
+};
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {2, 3, 5, 8, 10}) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      JOINOPT_CHECK(graph.ok());
+      cases.push_back({std::string(QueryShapeName(shape)) + std::to_string(n),
+                       std::move(*graph)});
+    }
+  }
+  for (const int rows : {2, 3}) {
+    Result<QueryGraph> grid = MakeGridQuery(rows, 4);
+    JOINOPT_CHECK(grid.ok());
+    cases.push_back({"grid" + std::to_string(rows) + "x4", std::move(*grid)});
+  }
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> tree = MakeRandomTreeQuery(9, config);
+    JOINOPT_CHECK(tree.ok());
+    cases.push_back({"tree_seed" + std::to_string(seed), std::move(*tree)});
+    Result<QueryGraph> dense = MakeRandomConnectedQuery(8, 8, config);
+    JOINOPT_CHECK(dense.ok());
+    cases.push_back({"dense_seed" + std::to_string(seed), std::move(*dense)});
+  }
+  return cases;
+}
+
+std::vector<std::unique_ptr<CostModel>> AllCostModels() {
+  std::vector<std::unique_ptr<CostModel>> models;
+  models.push_back(std::make_unique<CoutCostModel>());
+  models.push_back(std::make_unique<NestedLoopCostModel>());
+  models.push_back(std::make_unique<HashJoinCostModel>(2.0, 1.0));
+  models.push_back(std::make_unique<SortMergeCostModel>());
+  models.push_back(std::make_unique<DiskNestedLoopCostModel>());
+  models.push_back(
+      std::make_unique<BestOfCostModel>(BestOfCostModel::Standard()));
+  return models;
+}
+
+TEST(AlgorithmEquivalenceTest, AllThreeAlgorithmsAgreeEverywhere) {
+  const DPsize dpsize;
+  const DPsub dpsub;
+  const DPccp dpccp;
+  const std::vector<std::unique_ptr<CostModel>> models = AllCostModels();
+
+  for (const Case& test_case : AllCases()) {
+    for (const auto& model : models) {
+      Result<OptimizationResult> size_result =
+          dpsize.Optimize(test_case.graph, *model);
+      Result<OptimizationResult> sub_result =
+          dpsub.Optimize(test_case.graph, *model);
+      Result<OptimizationResult> ccp_result =
+          dpccp.Optimize(test_case.graph, *model);
+      ASSERT_TRUE(size_result.ok()) << test_case.label;
+      ASSERT_TRUE(sub_result.ok()) << test_case.label;
+      ASSERT_TRUE(ccp_result.ok()) << test_case.label;
+
+      const std::string context =
+          test_case.label + " under " + std::string(model->name());
+      // Same optimum (allow for float associativity noise).
+      EXPECT_NEAR(size_result->cost / ccp_result->cost, 1.0, 1e-9) << context;
+      EXPECT_NEAR(sub_result->cost / ccp_result->cost, 1.0, 1e-9) << context;
+
+      // Same surviving-pair count: a pure graph property.
+      EXPECT_EQ(size_result->stats.ono_lohman_counter,
+                ccp_result->stats.ono_lohman_counter)
+          << context;
+      EXPECT_EQ(sub_result->stats.ono_lohman_counter,
+                ccp_result->stats.ono_lohman_counter)
+          << context;
+
+      // Same table population: one plan per connected subset.
+      EXPECT_EQ(size_result->stats.plans_stored,
+                ccp_result->stats.plans_stored)
+          << context;
+      EXPECT_EQ(sub_result->stats.plans_stored,
+                ccp_result->stats.plans_stored)
+          << context;
+
+      // All plans validate against their cost model.
+      EXPECT_TRUE(
+          ValidatePlan(size_result->plan, test_case.graph, *model).ok())
+          << context;
+      EXPECT_TRUE(ValidatePlan(sub_result->plan, test_case.graph, *model).ok())
+          << context;
+      EXPECT_TRUE(ValidatePlan(ccp_result->plan, test_case.graph, *model).ok())
+          << context;
+    }
+  }
+}
+
+TEST(AlgorithmEquivalenceTest, DPccpNeverExceedsOthersInnerCounter) {
+  // #ccp/2 is the lower bound for any DP enumeration (Section 2.3);
+  // DPccp attains it, so its inner counter can never exceed the others'.
+  const DPsize dpsize;
+  const DPsub dpsub;
+  const DPccp dpccp;
+  const CoutCostModel model;
+  for (const Case& test_case : AllCases()) {
+    Result<OptimizationResult> size_result =
+        dpsize.Optimize(test_case.graph, model);
+    Result<OptimizationResult> sub_result =
+        dpsub.Optimize(test_case.graph, model);
+    Result<OptimizationResult> ccp_result =
+        dpccp.Optimize(test_case.graph, model);
+    ASSERT_TRUE(size_result.ok() && sub_result.ok() && ccp_result.ok());
+    EXPECT_LE(ccp_result->stats.inner_counter,
+              size_result->stats.inner_counter)
+        << test_case.label;
+    EXPECT_LE(ccp_result->stats.inner_counter, sub_result->stats.inner_counter)
+        << test_case.label;
+    // And DPccp does exactly the lower bound: inner == surviving pairs.
+    EXPECT_EQ(ccp_result->stats.inner_counter,
+              ccp_result->stats.ono_lohman_counter)
+        << test_case.label;
+  }
+}
+
+TEST(AlgorithmEquivalenceTest, LabelShufflingIsInvisible) {
+  // Optimal cost is invariant under relabeling for every algorithm.
+  const DPsize dpsize;
+  const DPsub dpsub;
+  const DPccp dpccp;
+  const CoutCostModel model;
+  Random rng(4242);
+  for (const uint64_t seed : {31u, 32u, 33u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(8, 4, config);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> reference = dpccp.Optimize(*graph, model);
+    ASSERT_TRUE(reference.ok());
+    for (int round = 0; round < 3; ++round) {
+      const QueryGraph shuffled = ShuffleLabels(*graph, rng);
+      for (const JoinOrderer* optimizer :
+           {static_cast<const JoinOrderer*>(&dpsize),
+            static_cast<const JoinOrderer*>(&dpsub),
+            static_cast<const JoinOrderer*>(&dpccp)}) {
+        Result<OptimizationResult> result =
+            optimizer->Optimize(shuffled, model);
+        ASSERT_TRUE(result.ok()) << optimizer->name();
+        EXPECT_NEAR(result->cost / reference->cost, 1.0, 1e-9)
+            << optimizer->name() << " seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,151 @@
+#include "analytics/counts.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/brute_force.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(10, 5), 252u);
+  EXPECT_EQ(Binomial(5, 6), 0u);
+  EXPECT_EQ(Binomial(5, -1), 0u);
+}
+
+TEST(BinomialTest, LargeValuesExact) {
+  EXPECT_EQ(Binomial(40, 20), 137846528820ull);
+  EXPECT_EQ(Binomial(60, 30), 118264581564861424ull);
+}
+
+TEST(AnalyticsTest, CsgCountClosedForms) {
+  // Eq. 5: chain n(n+1)/2.
+  EXPECT_EQ(CsgCount(QueryShape::kChain, 5), 15u);
+  // Eq. 7: cycle n² - n + 1.
+  EXPECT_EQ(CsgCount(QueryShape::kCycle, 5), 21u);
+  // Eq. 9: star 2^{n-1} + n - 1.
+  EXPECT_EQ(CsgCount(QueryShape::kStar, 5), 20u);
+  // Eq. 11: clique 2^n - 1.
+  EXPECT_EQ(CsgCount(QueryShape::kClique, 5), 31u);
+}
+
+TEST(AnalyticsTest, CsgCountMatchesBruteForce) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (int n = 2; n <= 12; ++n) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(graph.ok());
+      EXPECT_EQ(CsgCount(shape, n), BruteForceCsgCount(*graph))
+          << QueryShapeName(shape) << n;
+    }
+  }
+}
+
+TEST(AnalyticsTest, ConnectedSubsetCountBySizeSumsToCsgCount) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {2, 5, 9, 14}) {
+      uint64_t total = 0;
+      for (int k = 1; k <= n; ++k) {
+        total += ConnectedSubsetCountBySize(shape, n, k);
+      }
+      EXPECT_EQ(total, CsgCount(shape, n)) << QueryShapeName(shape) << n;
+    }
+  }
+}
+
+TEST(AnalyticsTest, ConnectedSubsetCountBySizeMatchesBruteForce) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {3, 6, 10}) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(graph.ok());
+      const std::vector<uint64_t> by_size = BruteForceCsgCountBySize(*graph);
+      for (int k = 1; k <= n; ++k) {
+        EXPECT_EQ(ConnectedSubsetCountBySize(shape, n, k), by_size[k])
+            << QueryShapeName(shape) << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(AnalyticsTest, CcpCountMatchesBruteForce) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (int n = 2; n <= 11; ++n) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(graph.ok());
+      EXPECT_EQ(CcpCountUnordered(shape, n), BruteForceCcpCountUnordered(*graph))
+          << QueryShapeName(shape) << n;
+      EXPECT_EQ(CcpCountOrdered(shape, n), 2 * CcpCountUnordered(shape, n));
+    }
+  }
+}
+
+TEST(AnalyticsTest, DegenerateCycleFallsBackToChain) {
+  EXPECT_EQ(CsgCount(QueryShape::kCycle, 2), CsgCount(QueryShape::kChain, 2));
+  EXPECT_EQ(CcpCountUnordered(QueryShape::kCycle, 2),
+            CcpCountUnordered(QueryShape::kChain, 2));
+  EXPECT_EQ(PredictedInnerCounterDPsub(QueryShape::kCycle, 2),
+            PredictedInnerCounterDPsub(QueryShape::kChain, 2));
+}
+
+TEST(AnalyticsTest, SingleRelationEdgeCases) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kStar, QueryShape::kClique}) {
+    EXPECT_EQ(CsgCount(shape, 1), 1u) << QueryShapeName(shape);
+    EXPECT_EQ(CcpCountUnordered(shape, 1), 0u);
+    EXPECT_EQ(PredictedInnerCounterDPsize(shape, 1), 0u);
+    EXPECT_EQ(PredictedInnerCounterDPsub(shape, 1), 0u);
+  }
+}
+
+TEST(AnalyticsTest, DPsubFailureCountFormula) {
+  // Section 2.2: failures of the (*) check = 2^n - #csg - 1.
+  EXPECT_EQ(PredictedDPsubConnectednessFailures(QueryShape::kChain, 5),
+            32u - 15u - 1u);
+  EXPECT_EQ(PredictedDPsubConnectednessFailures(QueryShape::kClique, 5), 0u);
+}
+
+TEST(AnalyticsTest, AsymptoticOrderingsFromThePaper) {
+  // Section 2.4's qualitative conclusions, as inequalities at n = 18:
+  // DPsize beats DPsub on chains/cycles, loses on stars/cliques, and
+  // both dominate #ccp by orders of magnitude except DPsub on cliques.
+  const int n = 18;
+  EXPECT_LT(PredictedInnerCounterDPsize(QueryShape::kChain, n),
+            PredictedInnerCounterDPsub(QueryShape::kChain, n));
+  EXPECT_LT(PredictedInnerCounterDPsize(QueryShape::kCycle, n),
+            PredictedInnerCounterDPsub(QueryShape::kCycle, n));
+  EXPECT_GT(PredictedInnerCounterDPsize(QueryShape::kStar, n),
+            PredictedInnerCounterDPsub(QueryShape::kStar, n));
+  EXPECT_GT(PredictedInnerCounterDPsize(QueryShape::kClique, n),
+            PredictedInnerCounterDPsub(QueryShape::kClique, n));
+  // DPsub on cliques is exactly the ordered-pair count (its enumeration
+  // wastes nothing there): I = #ccp (ordered) = 2 * OnoLohman.
+  EXPECT_EQ(PredictedInnerCounterDPsub(QueryShape::kClique, n),
+            CcpCountOrdered(QueryShape::kClique, n));
+  // On chains the DP-variants are orders of magnitude above the bound.
+  EXPECT_GT(PredictedInnerCounterDPsub(QueryShape::kChain, n),
+            100 * CcpCountUnordered(QueryShape::kChain, n));
+}
+
+TEST(AnalyticsTest, Figure3SpotChecks) {
+  // A few cells transcribed straight from the paper (more in
+  // counter_formula_test.cc).
+  EXPECT_EQ(PredictedInnerCounterDPsub(QueryShape::kChain, 20), 4193840u);
+  EXPECT_EQ(PredictedInnerCounterDPsize(QueryShape::kStar, 20),
+            59892991338u);
+  EXPECT_EQ(CcpCountUnordered(QueryShape::kClique, 20), 1742343625u);
+}
+
+}  // namespace
+}  // namespace joinopt

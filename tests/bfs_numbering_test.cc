@@ -1,0 +1,160 @@
+#include "graph/bfs_numbering.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+/// Checks the formal BFS-numbering property of Section 3.4.1: label 0 is
+/// the start node and the k-th neighbor generation occupies a contiguous
+/// label block after generation k-1.
+void ExpectValidBfsNumbering(const QueryGraph& graph,
+                             const BfsNumbering& numbering, int start) {
+  const int n = graph.relation_count();
+  ASSERT_EQ(static_cast<int>(numbering.new_to_old.size()), n);
+  ASSERT_EQ(static_cast<int>(numbering.old_to_new.size()), n);
+  EXPECT_EQ(numbering.new_to_old[0], start);
+
+  // The two maps must be mutually inverse permutations.
+  for (int label = 0; label < n; ++label) {
+    EXPECT_EQ(numbering.old_to_new[numbering.new_to_old[label]], label);
+  }
+
+  // Walk generations and check label contiguity.
+  NodeSet visited = NodeSet::Singleton(start);
+  int next_label = 1;
+  NodeSet generation = graph.Neighborhood(visited);
+  while (!generation.empty()) {
+    std::vector<int> labels;
+    for (int v : generation) {
+      labels.push_back(numbering.old_to_new[v]);
+    }
+    std::sort(labels.begin(), labels.end());
+    for (const int label : labels) {
+      EXPECT_EQ(label, next_label) << "generation labels not contiguous";
+      ++next_label;
+    }
+    visited |= generation;
+    generation = graph.Neighborhood(visited);
+  }
+  EXPECT_EQ(next_label, n);
+}
+
+TEST(BfsNumberingTest, ChainFromEndIsIdentity) {
+  Result<QueryGraph> graph = MakeChainQuery(6);
+  ASSERT_TRUE(graph.ok());
+  Result<BfsNumbering> numbering = ComputeBfsNumbering(*graph, 0);
+  ASSERT_TRUE(numbering.ok());
+  EXPECT_TRUE(numbering->IsIdentity());
+  ExpectValidBfsNumbering(*graph, *numbering, 0);
+}
+
+TEST(BfsNumberingTest, ChainFromMiddle) {
+  Result<QueryGraph> graph = MakeChainQuery(5);
+  ASSERT_TRUE(graph.ok());
+  Result<BfsNumbering> numbering = ComputeBfsNumbering(*graph, 2);
+  ASSERT_TRUE(numbering.ok());
+  EXPECT_FALSE(numbering->IsIdentity());
+  ExpectValidBfsNumbering(*graph, *numbering, 2);
+}
+
+TEST(BfsNumberingTest, StarFromHub) {
+  Result<QueryGraph> graph = MakeStarQuery(6);
+  ASSERT_TRUE(graph.ok());
+  Result<BfsNumbering> numbering = ComputeBfsNumbering(*graph, 0);
+  ASSERT_TRUE(numbering.ok());
+  EXPECT_TRUE(numbering->IsIdentity());
+}
+
+TEST(BfsNumberingTest, StarFromLeaf) {
+  Result<QueryGraph> graph = MakeStarQuery(5);
+  ASSERT_TRUE(graph.ok());
+  Result<BfsNumbering> numbering = ComputeBfsNumbering(*graph, 3);
+  ASSERT_TRUE(numbering.ok());
+  ExpectValidBfsNumbering(*graph, *numbering, 3);
+  // Generation 1 is exactly the hub.
+  EXPECT_EQ(numbering->old_to_new[0], 1);
+}
+
+TEST(BfsNumberingTest, RandomGraphsAllStartNodes) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(9, 5, config);
+    ASSERT_TRUE(graph.ok());
+    for (int start = 0; start < 9; ++start) {
+      Result<BfsNumbering> numbering = ComputeBfsNumbering(*graph, start);
+      ASSERT_TRUE(numbering.ok());
+      ExpectValidBfsNumbering(*graph, *numbering, start);
+    }
+  }
+}
+
+TEST(BfsNumberingTest, FailsOnDisconnectedGraph) {
+  Result<QueryGraph> graph = QueryGraph::WithRelations(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph->AddEdge(2, 3).ok());
+  const Result<BfsNumbering> numbering = ComputeBfsNumbering(*graph, 0);
+  EXPECT_FALSE(numbering.ok());
+  EXPECT_EQ(numbering.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BfsNumberingTest, FailsOnEmptyGraphOrBadStart) {
+  const QueryGraph empty;
+  EXPECT_FALSE(ComputeBfsNumbering(empty, 0).ok());
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(ComputeBfsNumbering(*graph, 3).ok());
+  EXPECT_FALSE(ComputeBfsNumbering(*graph, -1).ok());
+}
+
+TEST(BfsNumberingTest, SetTranslationRoundTrips) {
+  Result<QueryGraph> graph = MakeChainQuery(5);
+  ASSERT_TRUE(graph.ok());
+  Result<BfsNumbering> numbering = ComputeBfsNumbering(*graph, 2);
+  ASSERT_TRUE(numbering.ok());
+  for (uint64_t mask = 1; mask < 32; ++mask) {
+    const NodeSet original = NodeSet::FromMask(mask);
+    EXPECT_EQ(numbering->ToOriginal(numbering->ToBfs(original)), original);
+  }
+}
+
+TEST(BfsNumberingTest, RelabelGraphPreservesStructureAndStats) {
+  Result<QueryGraph> graph = MakeCycleQuery(6);
+  ASSERT_TRUE(graph.ok());
+  Result<BfsNumbering> numbering = ComputeBfsNumbering(*graph, 3);
+  ASSERT_TRUE(numbering.ok());
+  const QueryGraph relabeled = RelabelGraph(*graph, *numbering);
+
+  ASSERT_EQ(relabeled.relation_count(), graph->relation_count());
+  ASSERT_EQ(relabeled.edge_count(), graph->edge_count());
+  // Node `label` of the relabeled graph is original node new_to_old[label].
+  for (int label = 0; label < 6; ++label) {
+    const int old = numbering->new_to_old[label];
+    EXPECT_DOUBLE_EQ(relabeled.cardinality(label), graph->cardinality(old));
+    EXPECT_EQ(relabeled.name(label), graph->name(old));
+  }
+  // Adjacency is preserved under the permutation.
+  for (int u = 0; u < 6; ++u) {
+    for (int v = 0; v < 6; ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(
+          relabeled.HasEdge(numbering->old_to_new[u], numbering->old_to_new[v]),
+          graph->HasEdge(u, v));
+    }
+  }
+  // The relabeled graph satisfies the BFS precondition from node 0.
+  Result<BfsNumbering> renumbering = ComputeBfsNumbering(relabeled, 0);
+  ASSERT_TRUE(renumbering.ok());
+  EXPECT_TRUE(IsConnectedGraph(relabeled));
+}
+
+}  // namespace
+}  // namespace joinopt

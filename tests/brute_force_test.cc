@@ -1,0 +1,89 @@
+#include "analytics/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+TEST(BruteForceTest, ChainConnectedSubsets) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<NodeSet> subsets = BruteForceConnectedSubsets(*graph);
+  // {0}, {1}, {0,1}, {2}, {1,2}, {0,1,2} in ascending mask order.
+  EXPECT_EQ(subsets,
+            (std::vector<NodeSet>{NodeSet::Of({0}), NodeSet::Of({1}),
+                                  NodeSet::Of({0, 1}), NodeSet::Of({2}),
+                                  NodeSet::Of({1, 2}), NodeSet::Of({0, 1, 2})}));
+}
+
+TEST(BruteForceTest, CsgCountBySize) {
+  Result<QueryGraph> graph = MakeChainQuery(4);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<uint64_t> by_size = BruteForceCsgCountBySize(*graph);
+  ASSERT_EQ(by_size.size(), 5u);
+  EXPECT_EQ(by_size[1], 4u);
+  EXPECT_EQ(by_size[2], 3u);
+  EXPECT_EQ(by_size[3], 2u);
+  EXPECT_EQ(by_size[4], 1u);
+}
+
+TEST(BruteForceTest, CsgCmpPairsOfTinyChain) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  const auto pairs = BruteForceCsgCmpPairs(*graph);
+  // ({0},{1}), ({0},{1,2}), ({0,1},{2}), ({1},{2}) — 4 = (27-3)/6.
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0].first, NodeSet::Of({0}));
+  EXPECT_EQ(pairs[0].second, NodeSet::Of({1}));
+  EXPECT_EQ(pairs[1].first, NodeSet::Of({0}));
+  EXPECT_EQ(pairs[1].second, NodeSet::Of({1, 2}));
+  EXPECT_EQ(pairs[2].first, NodeSet::Of({1}));
+  EXPECT_EQ(pairs[2].second, NodeSet::Of({2}));
+  EXPECT_EQ(pairs[3].first, NodeSet::Of({0, 1}));
+  EXPECT_EQ(pairs[3].second, NodeSet::Of({2}));
+}
+
+TEST(BruteForceTest, PairComponentsAreAlwaysValid) {
+  WorkloadConfig config;
+  config.seed = 8;
+  Result<QueryGraph> graph = MakeRandomConnectedQuery(8, 5, config);
+  ASSERT_TRUE(graph.ok());
+  for (const auto& [s1, s2] : BruteForceCsgCmpPairs(*graph)) {
+    EXPECT_FALSE(s1.Intersects(s2));
+    EXPECT_TRUE(graph->AreConnected(s1, s2));
+    EXPECT_LT(s1.Min(), s2.Min());  // Normalization convention.
+  }
+}
+
+TEST(BruteForceTest, StarPairCount) {
+  Result<QueryGraph> graph = MakeStarQuery(6);
+  ASSERT_TRUE(graph.ok());
+  // (n-1)·2^{n-2} = 5 · 16 = 80.
+  EXPECT_EQ(BruteForceCcpCountUnordered(*graph), 80u);
+}
+
+TEST(BruteForceTest, DisconnectedGraphHandled) {
+  // Oracles are definition-level and do not require global connectivity.
+  Result<QueryGraph> graph = QueryGraph::WithRelations(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph->AddEdge(2, 3).ok());
+  EXPECT_EQ(BruteForceCsgCount(*graph), 6u);  // 4 singletons + 2 pairs.
+  EXPECT_EQ(BruteForceCcpCountUnordered(*graph), 2u);
+}
+
+TEST(BruteForceTest, InnerCounterPredictorsOnKnownShapes) {
+  Result<QueryGraph> chain = MakeChainQuery(5);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(BruteForceInnerCounterDPsize(*chain), 73u);  // Figure 3.
+  EXPECT_EQ(BruteForceInnerCounterDPsub(*chain), 84u);
+  Result<QueryGraph> clique = MakeCliqueQuery(5);
+  ASSERT_TRUE(clique.ok());
+  EXPECT_EQ(BruteForceInnerCounterDPsize(*clique), 280u);
+  EXPECT_EQ(BruteForceInnerCounterDPsub(*clique), 180u);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,98 @@
+#include "cost/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+QueryGraph SimpleChain() {
+  // 0 -(0.1)- 1 -(0.5)- 2 with cards 100, 200, 400.
+  QueryGraph graph;
+  EXPECT_TRUE(graph.AddRelation(100.0).ok());
+  EXPECT_TRUE(graph.AddRelation(200.0).ok());
+  EXPECT_TRUE(graph.AddRelation(400.0).ok());
+  EXPECT_TRUE(graph.AddEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(graph.AddEdge(1, 2, 0.5).ok());
+  return graph;
+}
+
+TEST(CardinalityTest, SingletonEstimateIsBaseCardinality) {
+  const QueryGraph graph = SimpleChain();
+  const CardinalityEstimator estimator(graph);
+  EXPECT_DOUBLE_EQ(estimator.EstimateSet(NodeSet::Of({0})), 100.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimateSet(NodeSet::Of({2})), 400.0);
+}
+
+TEST(CardinalityTest, PairEstimateAppliesSelectivity) {
+  const QueryGraph graph = SimpleChain();
+  const CardinalityEstimator estimator(graph);
+  EXPECT_DOUBLE_EQ(estimator.EstimateSet(NodeSet::Of({0, 1})),
+                   100.0 * 200.0 * 0.1);
+  EXPECT_DOUBLE_EQ(estimator.EstimateSet(NodeSet::Of({1, 2})),
+                   200.0 * 400.0 * 0.5);
+}
+
+TEST(CardinalityTest, DisconnectedSetIsCrossProduct) {
+  const QueryGraph graph = SimpleChain();
+  const CardinalityEstimator estimator(graph);
+  EXPECT_DOUBLE_EQ(estimator.EstimateSet(NodeSet::Of({0, 2})), 100.0 * 400.0);
+}
+
+TEST(CardinalityTest, FullSetEstimate) {
+  const QueryGraph graph = SimpleChain();
+  const CardinalityEstimator estimator(graph);
+  EXPECT_DOUBLE_EQ(estimator.EstimateSet(NodeSet::Of({0, 1, 2})),
+                   100.0 * 200.0 * 400.0 * 0.1 * 0.5);
+}
+
+TEST(CardinalityTest, JoinCardinalityMatchesFromScratch) {
+  const QueryGraph graph = SimpleChain();
+  const CardinalityEstimator estimator(graph);
+  const double left = estimator.EstimateSet(NodeSet::Of({0, 1}));
+  const double right = estimator.EstimateSet(NodeSet::Of({2}));
+  EXPECT_DOUBLE_EQ(
+      estimator.JoinCardinality(NodeSet::Of({0, 1}), left, NodeSet::Of({2}),
+                                right),
+      estimator.EstimateSet(NodeSet::Of({0, 1, 2})));
+}
+
+TEST(CardinalityTest, OrderIndependenceProperty) {
+  // The independence model must yield the same estimate for a set no
+  // matter how it is split — the invariant DP over sets relies on.
+  WorkloadConfig config;
+  config.seed = 5;
+  Result<QueryGraph> graph = MakeRandomConnectedQuery(7, 5, config);
+  ASSERT_TRUE(graph.ok());
+  const CardinalityEstimator estimator(*graph);
+
+  const NodeSet full = graph->AllRelations();
+  const double reference = estimator.EstimateSet(full);
+  // Split the full set along every 1-vs-rest and 2-vs-rest boundary.
+  for (uint64_t mask = 1; mask < (1u << 7) - 1; ++mask) {
+    const NodeSet s1 = NodeSet::FromMask(mask);
+    const NodeSet s2 = full - s1;
+    if (s2.empty()) continue;
+    const double combined =
+        estimator.JoinCardinality(s1, estimator.EstimateSet(s1), s2,
+                                  estimator.EstimateSet(s2));
+    EXPECT_NEAR(combined / reference, 1.0, 1e-9) << s1.ToString();
+  }
+}
+
+TEST(CardinalityTest, CliqueMultipliesAllInternalEdges) {
+  QueryGraph graph;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(graph.AddRelation(10.0).ok());
+  }
+  ASSERT_TRUE(graph.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(graph.AddEdge(0, 2, 0.5).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2, 0.5).ok());
+  const CardinalityEstimator estimator(graph);
+  EXPECT_DOUBLE_EQ(estimator.EstimateSet(NodeSet::Of({0, 1, 2})),
+                   10.0 * 10.0 * 10.0 * 0.5 * 0.5 * 0.5);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,84 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+
+namespace joinopt {
+namespace {
+
+TEST(CatalogTest, AddAndLookupRelations) {
+  Catalog catalog;
+  Result<int> orders = catalog.AddRelation("orders", 1000.0);
+  Result<int> customer = catalog.AddRelation("customer", 200.0);
+  ASSERT_TRUE(orders.ok());
+  ASSERT_TRUE(customer.ok());
+  EXPECT_EQ(*orders, 0);
+  EXPECT_EQ(*customer, 1);
+  EXPECT_EQ(catalog.relation_count(), 2);
+
+  Result<int> found = catalog.RelationIndex("customer");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 1);
+  EXPECT_EQ(catalog.RelationIndex("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RejectsBadRelations) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.AddRelation("", 10.0).ok());
+  EXPECT_FALSE(catalog.AddRelation("t", 0.0).ok());
+  EXPECT_FALSE(catalog.AddRelation("t", -1.0).ok());
+  ASSERT_TRUE(catalog.AddRelation("t", 10.0).ok());
+  EXPECT_FALSE(catalog.AddRelation("t", 20.0).ok());  // Duplicate name.
+}
+
+TEST(CatalogTest, AddJoinValidation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("a", 10.0).ok());
+  ASSERT_TRUE(catalog.AddRelation("b", 10.0).ok());
+  EXPECT_FALSE(catalog.AddJoin("a", "missing", 0.5).ok());
+  EXPECT_FALSE(catalog.AddJoin("a", "a", 0.5).ok());
+  EXPECT_FALSE(catalog.AddJoin("a", "b", 0.0).ok());
+  EXPECT_FALSE(catalog.AddJoin("a", "b", 2.0).ok());
+  EXPECT_TRUE(catalog.AddJoin("a", "b", 0.5).ok());
+}
+
+TEST(CatalogTest, BuildQueryGraph) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("fact", 1e6).ok());
+  ASSERT_TRUE(catalog.AddRelation("dim1", 100.0).ok());
+  ASSERT_TRUE(catalog.AddRelation("dim2", 50.0).ok());
+  ASSERT_TRUE(catalog.AddJoin("fact", "dim1", 0.01).ok());
+  ASSERT_TRUE(catalog.AddJoin("fact", "dim2", 0.02).ok());
+
+  Result<QueryGraph> graph = catalog.BuildQueryGraph();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 3);
+  EXPECT_EQ(graph->edge_count(), 2);
+  EXPECT_EQ(graph->name(0), "fact");
+  EXPECT_DOUBLE_EQ(graph->cardinality(0), 1e6);
+  EXPECT_TRUE(graph->HasEdge(0, 1));
+  EXPECT_TRUE(graph->HasEdge(0, 2));
+  EXPECT_FALSE(graph->HasEdge(1, 2));
+  EXPECT_TRUE(IsConnectedGraph(*graph));
+}
+
+TEST(CatalogTest, BuildFailsWhenEmpty) {
+  const Catalog catalog;
+  EXPECT_EQ(catalog.BuildQueryGraph().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CatalogTest, BuildSurfacesDuplicateJoin) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("a", 10.0).ok());
+  ASSERT_TRUE(catalog.AddRelation("b", 10.0).ok());
+  ASSERT_TRUE(catalog.AddJoin("a", "b", 0.5).ok());
+  ASSERT_TRUE(catalog.AddJoin("b", "a", 0.25).ok());  // Accepted here...
+  // ...but rejected at graph-build time (duplicate undirected edge).
+  EXPECT_FALSE(catalog.BuildQueryGraph().ok());
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,108 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+QueryGraph TwoTriangles() {
+  // Two disjoint triangles: {0,1,2} and {3,4,5}.
+  Result<QueryGraph> graph = QueryGraph::WithRelations(6);
+  EXPECT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->AddEdge(0, 1).ok());
+  EXPECT_TRUE(graph->AddEdge(1, 2).ok());
+  EXPECT_TRUE(graph->AddEdge(0, 2).ok());
+  EXPECT_TRUE(graph->AddEdge(3, 4).ok());
+  EXPECT_TRUE(graph->AddEdge(4, 5).ok());
+  EXPECT_TRUE(graph->AddEdge(3, 5).ok());
+  return std::move(*graph);
+}
+
+TEST(ConnectivityTest, EmptySetIsNotConnected) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(IsConnectedSet(*graph, NodeSet()));
+}
+
+TEST(ConnectivityTest, SingletonIsConnected) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(IsConnectedSet(*graph, NodeSet::Singleton(i)));
+  }
+}
+
+TEST(ConnectivityTest, ChainSubsets) {
+  Result<QueryGraph> graph = MakeChainQuery(5);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(IsConnectedSet(*graph, NodeSet::Of({1, 2, 3})));
+  EXPECT_TRUE(IsConnectedSet(*graph, NodeSet::Of({0, 1})));
+  EXPECT_FALSE(IsConnectedSet(*graph, NodeSet::Of({0, 2})));
+  EXPECT_FALSE(IsConnectedSet(*graph, NodeSet::Of({0, 1, 3, 4})));
+  EXPECT_TRUE(IsConnectedSet(*graph, NodeSet::Of({0, 1, 2, 3, 4})));
+}
+
+TEST(ConnectivityTest, StarSubsetsRequireTheHub) {
+  Result<QueryGraph> graph = MakeStarQuery(5);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(IsConnectedSet(*graph, NodeSet::Of({0, 2, 4})));
+  EXPECT_FALSE(IsConnectedSet(*graph, NodeSet::Of({1, 2})));
+  EXPECT_FALSE(IsConnectedSet(*graph, NodeSet::Of({1, 2, 3, 4})));
+}
+
+TEST(ConnectivityTest, CliqueEverySubsetConnected) {
+  Result<QueryGraph> graph = MakeCliqueQuery(5);
+  ASSERT_TRUE(graph.ok());
+  for (uint64_t mask = 1; mask < 32; ++mask) {
+    EXPECT_TRUE(IsConnectedSet(*graph, NodeSet::FromMask(mask))) << mask;
+  }
+}
+
+TEST(ConnectivityTest, WholeGraphConnectivity) {
+  Result<QueryGraph> chain = MakeChainQuery(6);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(IsConnectedGraph(*chain));
+  EXPECT_FALSE(IsConnectedGraph(TwoTriangles()));
+  EXPECT_FALSE(IsConnectedGraph(QueryGraph()));  // Empty graph.
+}
+
+TEST(ConnectivityTest, SingleRelationGraphIsConnected) {
+  Result<QueryGraph> graph = QueryGraph::WithRelations(1);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(IsConnectedGraph(*graph));
+}
+
+TEST(ConnectivityTest, ConnectedComponentOfRespectsWithin) {
+  Result<QueryGraph> graph = MakeChainQuery(5);
+  ASSERT_TRUE(graph.ok());
+  // Within {0,1,3,4}, node 0's component is {0,1} (2 is excluded).
+  EXPECT_EQ(ConnectedComponentOf(*graph, 0, NodeSet::Of({0, 1, 3, 4})),
+            NodeSet::Of({0, 1}));
+  EXPECT_EQ(ConnectedComponentOf(*graph, 4, NodeSet::Of({0, 1, 3, 4})),
+            NodeSet::Of({3, 4}));
+}
+
+TEST(ConnectivityTest, ConnectedComponentsPartition) {
+  const QueryGraph graph = TwoTriangles();
+  const std::vector<NodeSet> components =
+      ConnectedComponents(graph, graph.AllRelations());
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], NodeSet::Of({0, 1, 2}));
+  EXPECT_EQ(components[1], NodeSet::Of({3, 4, 5}));
+}
+
+TEST(ConnectivityTest, ConnectedComponentsOfSubset) {
+  Result<QueryGraph> graph = MakeChainQuery(7);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<NodeSet> components =
+      ConnectedComponents(*graph, NodeSet::Of({0, 2, 3, 6}));
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], NodeSet::Of({0}));
+  EXPECT_EQ(components[1], NodeSet::Of({2, 3}));
+  EXPECT_EQ(components[2], NodeSet::Of({6}));
+}
+
+}  // namespace
+}  // namespace joinopt

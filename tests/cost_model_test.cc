@@ -1,0 +1,93 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(CostModelTest, CoutIsOutputCardinality) {
+  const CoutCostModel model;
+  EXPECT_DOUBLE_EQ(model.JoinCost(10.0, 20.0, 55.0), 55.0);
+  EXPECT_TRUE(model.IsSymmetric());
+  EXPECT_EQ(model.name(), "Cout");
+}
+
+TEST(CostModelTest, NestedLoopIsProductOfInputs) {
+  const NestedLoopCostModel model;
+  EXPECT_DOUBLE_EQ(model.JoinCost(10.0, 20.0, 5.0), 200.0);
+  EXPECT_TRUE(model.IsSymmetric());
+}
+
+TEST(CostModelTest, HashJoinIsAsymmetric) {
+  const HashJoinCostModel model(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(model.JoinCost(10.0, 20.0, 5.0), 2.0 * 10 + 20 + 5);
+  EXPECT_DOUBLE_EQ(model.JoinCost(20.0, 10.0, 5.0), 2.0 * 20 + 10 + 5);
+  EXPECT_NE(model.JoinCost(10.0, 20.0, 5.0), model.JoinCost(20.0, 10.0, 5.0));
+  EXPECT_FALSE(model.IsSymmetric());
+}
+
+TEST(CostModelTest, HashJoinEqualFactorsIsSymmetric) {
+  const HashJoinCostModel model(1.0, 1.0);
+  EXPECT_TRUE(model.IsSymmetric());
+}
+
+TEST(CostModelTest, SortMergeUsesNLogN) {
+  const SortMergeCostModel model;
+  const double expected =
+      1000.0 * std::log2(1000.0) + 500.0 * std::log2(500.0) + 100.0;
+  EXPECT_DOUBLE_EQ(model.JoinCost(1000.0, 500.0, 100.0), expected);
+  EXPECT_TRUE(model.IsSymmetric());
+}
+
+TEST(CostModelTest, SortMergeGuardsTinyInputs) {
+  const SortMergeCostModel model;
+  // log2 of sub-1 cardinalities must not produce negative costs.
+  EXPECT_GE(model.JoinCost(0.5, 0.5, 0.25), 0.0);
+}
+
+TEST(CostModelTest, DiskNestedLoopPagesMath) {
+  // 100 rows/page, 10 buffer pages -> window of 8 outer pages per pass.
+  const DiskNestedLoopCostModel model(100.0, 10.0);
+  // L = 1000 rows = 10 pages; R = 500 rows = 5 pages; out = 100 = 1 page.
+  // cost = 10 + ceil(10/8)*5 + 1 = 10 + 10 + 1 = 21.
+  EXPECT_DOUBLE_EQ(model.JoinCost(1000.0, 500.0, 100.0), 21.0);
+  // Swapped: 5 + ceil(5/8)*10 + 1 = 16 — smaller input on the left wins.
+  EXPECT_DOUBLE_EQ(model.JoinCost(500.0, 1000.0, 100.0), 16.0);
+  EXPECT_FALSE(model.IsSymmetric());
+  EXPECT_EQ(model.OperatorFor(1, 1, 1), JoinOperator::kNestedLoop);
+}
+
+TEST(CostModelTest, DiskNestedLoopGuardsTinyInputs) {
+  const DiskNestedLoopCostModel model;
+  // Sub-row cardinalities still cost at least a page per stream.
+  EXPECT_GE(model.JoinCost(0.1, 0.1, 0.01), 3.0);
+}
+
+TEST(CostModelTest, BestOfTakesTheMinimum) {
+  const BestOfCostModel model = BestOfCostModel::Standard();
+  const double hash = HashJoinCostModel().JoinCost(100.0, 100.0, 10.0);
+  const double nlj = NestedLoopCostModel().JoinCost(100.0, 100.0, 10.0);
+  const double smj = SortMergeCostModel().JoinCost(100.0, 100.0, 10.0);
+  EXPECT_DOUBLE_EQ(model.JoinCost(100.0, 100.0, 10.0),
+                   std::min({hash, nlj, smj}));
+}
+
+TEST(CostModelTest, BestOfPrefersNestedLoopForTinyInputs) {
+  const BestOfCostModel model = BestOfCostModel::Standard();
+  // 2 x 2 rows: NLJ costs 4, hash costs 2*2+2+1 = 7.
+  EXPECT_DOUBLE_EQ(model.JoinCost(2.0, 2.0, 1.0), 4.0);
+}
+
+TEST(CostModelTest, BestOfSymmetryReporting) {
+  std::vector<std::unique_ptr<CostModel>> symmetric_members;
+  symmetric_members.push_back(std::make_unique<CoutCostModel>());
+  symmetric_members.push_back(std::make_unique<NestedLoopCostModel>());
+  const BestOfCostModel symmetric(std::move(symmetric_members));
+  EXPECT_TRUE(symmetric.IsSymmetric());
+  EXPECT_FALSE(BestOfCostModel::Standard().IsSymmetric());
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,191 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analytics/brute_force.h"
+#include "analytics/counts.h"
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsub.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+/// The paper's analytical contribution (Section 2) states closed forms
+/// for the InnerCounter of DPsize and DPsub and for #ccp, per graph
+/// family. These tests are the heart of the reproduction: they check the
+/// measured counters of the actual implementations against
+///   (a) the closed forms in src/analytics, and
+///   (b) the literal Figure 3 values.
+
+struct ShapeCase {
+  QueryShape shape;
+  int n;
+};
+
+class CounterFormulaTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(CounterFormulaTest, MeasuredCountersMatchClosedForms) {
+  const auto [shape, n] = GetParam();
+  Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel model;
+
+  Result<OptimizationResult> size_result = DPsize().Optimize(*graph, model);
+  Result<OptimizationResult> sub_result = DPsub().Optimize(*graph, model);
+  Result<OptimizationResult> ccp_result = DPccp().Optimize(*graph, model);
+  ASSERT_TRUE(size_result.ok());
+  ASSERT_TRUE(sub_result.ok());
+  ASSERT_TRUE(ccp_result.ok());
+
+  EXPECT_EQ(size_result->stats.inner_counter,
+            PredictedInnerCounterDPsize(shape, n));
+  EXPECT_EQ(sub_result->stats.inner_counter,
+            PredictedInnerCounterDPsub(shape, n));
+  EXPECT_EQ(ccp_result->stats.inner_counter,
+            PredictedInnerCounterDPccp(shape, n));
+
+  const uint64_t ccp = CcpCountUnordered(shape, n);
+  EXPECT_EQ(size_result->stats.ono_lohman_counter, ccp);
+  EXPECT_EQ(sub_result->stats.ono_lohman_counter, ccp);
+  EXPECT_EQ(ccp_result->stats.ono_lohman_counter, ccp);
+
+  const uint64_t csg = CsgCount(shape, n);
+  EXPECT_EQ(size_result->stats.plans_stored, csg);
+  EXPECT_EQ(sub_result->stats.plans_stored, csg);
+  EXPECT_EQ(ccp_result->stats.plans_stored, csg);
+}
+
+std::vector<ShapeCase> SweepCases() {
+  std::vector<ShapeCase> cases;
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (int n = 2; n <= 13; ++n) {
+      cases.push_back({shape, n});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapesAndSizes, CounterFormulaTest, ::testing::ValuesIn(SweepCases()),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) {
+      return std::string(QueryShapeName(info.param.shape)) +
+             std::to_string(info.param.n);
+    });
+
+/// Figure 3 verbatim. Rows: n = 2, 5, 10, 15 (the n = 20 DPsize/DPsub
+/// cells are checked against the formulas only — running them takes
+/// minutes and belongs to the benchmarks, not the unit tests).
+struct Fig3Row {
+  QueryShape shape;
+  int n;
+  uint64_t ccp;
+  uint64_t dpsub;
+  uint64_t dpsize;
+};
+
+constexpr Fig3Row kFig3[] = {
+    {QueryShape::kChain, 2, 1, 2, 1},
+    {QueryShape::kChain, 5, 20, 84, 73},
+    {QueryShape::kChain, 10, 165, 3962, 1135},
+    {QueryShape::kChain, 15, 560, 130798, 5628},
+    {QueryShape::kChain, 20, 1330, 4193840, 17545},
+    {QueryShape::kCycle, 2, 1, 2, 1},
+    {QueryShape::kCycle, 5, 40, 140, 120},
+    {QueryShape::kCycle, 10, 405, 11062, 2225},
+    {QueryShape::kCycle, 15, 1470, 523836, 11760},
+    {QueryShape::kCycle, 20, 3610, 22019294, 37900},
+    {QueryShape::kStar, 2, 1, 2, 1},
+    {QueryShape::kStar, 5, 32, 130, 110},
+    {QueryShape::kStar, 10, 2304, 38342, 57888},
+    {QueryShape::kStar, 15, 114688, 9533170, 57305929},
+    {QueryShape::kStar, 20, 4980736, 2323474358, 59892991338},
+    {QueryShape::kClique, 2, 1, 2, 1},
+    {QueryShape::kClique, 5, 90, 180, 280},
+    {QueryShape::kClique, 10, 28501, 57002, 306991},
+    {QueryShape::kClique, 15, 7141686, 14283372, 307173877},
+    {QueryShape::kClique, 20, 1742343625, 3484687250, 309338182241},
+};
+
+TEST(Figure3Test, ClosedFormsReproduceEveryCell) {
+  for (const Fig3Row& row : kFig3) {
+    const std::string context =
+        std::string(QueryShapeName(row.shape)) + " n=" + std::to_string(row.n);
+    EXPECT_EQ(CcpCountUnordered(row.shape, row.n), row.ccp) << context;
+    EXPECT_EQ(PredictedInnerCounterDPsub(row.shape, row.n), row.dpsub)
+        << context;
+    EXPECT_EQ(PredictedInnerCounterDPsize(row.shape, row.n), row.dpsize)
+        << context;
+  }
+}
+
+TEST(Figure3Test, MeasuredCountersReproduceRowsUpTo15) {
+  const CoutCostModel model;
+  for (const Fig3Row& row : kFig3) {
+    if (row.n > 15) {
+      continue;  // Minutes of runtime; covered by bench/fig3_search_space.
+    }
+    // DPsub at clique-15 is ~14M iterations — fine; star-15 ~9.5M — fine.
+    // DPsize at star/clique-15 is ~3·10^8 pair enumerations, too slow for
+    // a unit test, so cap DPsize at n <= 12 for the dense shapes.
+    const std::string context =
+        std::string(QueryShapeName(row.shape)) + " n=" + std::to_string(row.n);
+    Result<QueryGraph> graph = MakeShapeQuery(row.shape, row.n);
+    ASSERT_TRUE(graph.ok());
+
+    Result<OptimizationResult> sub_result = DPsub().Optimize(*graph, model);
+    ASSERT_TRUE(sub_result.ok()) << context;
+    EXPECT_EQ(sub_result->stats.inner_counter, row.dpsub) << context;
+    EXPECT_EQ(sub_result->stats.ono_lohman_counter, row.ccp) << context;
+
+    const bool dpsize_feasible =
+        row.shape == QueryShape::kChain || row.shape == QueryShape::kCycle ||
+        row.n <= 12;
+    if (dpsize_feasible) {
+      Result<OptimizationResult> size_result =
+          DPsize().Optimize(*graph, model);
+      ASSERT_TRUE(size_result.ok()) << context;
+      EXPECT_EQ(size_result->stats.inner_counter, row.dpsize) << context;
+      EXPECT_EQ(size_result->stats.ono_lohman_counter, row.ccp) << context;
+    }
+
+    Result<OptimizationResult> ccp_result = DPccp().Optimize(*graph, model);
+    ASSERT_TRUE(ccp_result.ok()) << context;
+    EXPECT_EQ(ccp_result->stats.inner_counter, row.ccp) << context;
+  }
+}
+
+TEST(CounterFormulaTest, GenericGraphsMatchBruteForcePredictions) {
+  // Beyond the paper's four families: on arbitrary connected graphs the
+  // combinatorial predictors (derived from connected-subset counts) must
+  // still equal the measured counters.
+  const CoutCostModel model;
+  for (const uint64_t seed : {41u, 42u, 43u, 44u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(9, 4, config);
+    ASSERT_TRUE(graph.ok());
+
+    Result<OptimizationResult> size_result = DPsize().Optimize(*graph, model);
+    Result<OptimizationResult> sub_result = DPsub().Optimize(*graph, model);
+    Result<OptimizationResult> ccp_result = DPccp().Optimize(*graph, model);
+    ASSERT_TRUE(size_result.ok() && sub_result.ok() && ccp_result.ok());
+
+    EXPECT_EQ(size_result->stats.inner_counter,
+              BruteForceInnerCounterDPsize(*graph))
+        << seed;
+    EXPECT_EQ(sub_result->stats.inner_counter,
+              BruteForceInnerCounterDPsub(*graph))
+        << seed;
+    EXPECT_EQ(ccp_result->stats.inner_counter,
+              BruteForceCcpCountUnordered(*graph))
+        << seed;
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

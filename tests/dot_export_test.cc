@@ -1,0 +1,55 @@
+#include "plan/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+
+namespace joinopt {
+namespace {
+
+TEST(DotExportTest, QueryGraphDotContainsNodesAndEdges) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel orders 1000\nrel customer 100\njoin orders customer 0.01\n");
+  ASSERT_TRUE(graph.ok());
+  const std::string dot = QueryGraphToDot(*graph);
+  EXPECT_NE(dot.find("graph query_graph {"), std::string::npos);
+  EXPECT_NE(dot.find("orders"), std::string::npos);
+  EXPECT_NE(dot.find("customer"), std::string::npos);
+  EXPECT_NE(dot.find("r0 -- r1"), std::string::npos);
+  EXPECT_NE(dot.find("0.01"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExportTest, PlanDotHasOneEdgePerChildLink) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 100\nrel b 50\nrel c 10\njoin a b 0.1\njoin b c 0.2\n");
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  const std::string dot = PlanToDot(result->plan, *graph);
+  EXPECT_NE(dot.find("digraph plan {"), std::string::npos);
+  // 2 joins -> 4 parent->child edges.
+  size_t arrows = 0;
+  for (size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 4u);
+  // All three relation names appear as leaf labels.
+  EXPECT_NE(dot.find("\"a\\n"), std::string::npos);
+  EXPECT_NE(dot.find("\"b\\n"), std::string::npos);
+  EXPECT_NE(dot.find("\"c\\n"), std::string::npos);
+}
+
+TEST(DotExportTest, LabelsAreEscaped) {
+  QueryGraph graph;
+  ASSERT_TRUE(graph.AddRelation(10.0, "weird\"name").ok());
+  const std::string dot = QueryGraphToDot(graph);
+  EXPECT_NE(dot.find("weird\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,152 @@
+#include "core/dpccp.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/counts.h"
+#include "core/dpsub.h"
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+TEST(DPccpTest, SingleRelation) {
+  Result<QueryGraph> graph = MakeChainQuery(1);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+  EXPECT_EQ(result->stats.inner_counter, 0u);
+}
+
+TEST(DPccpTest, RejectsEmptyAndDisconnected) {
+  EXPECT_FALSE(DPccp().Optimize(QueryGraph(), CoutCostModel()).ok());
+  Result<QueryGraph> graph = QueryGraph::WithRelations(2);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(DPccp().Optimize(*graph, CoutCostModel()).ok());
+}
+
+TEST(DPccpTest, InnerCounterEqualsOnoLohmanBound) {
+  // The defining property of DPccp: no wasted inner-loop iterations.
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {2, 5, 9}) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(graph.ok());
+      Result<OptimizationResult> result =
+          DPccp().Optimize(*graph, CoutCostModel());
+      ASSERT_TRUE(result.ok());
+      const uint64_t expected = CcpCountUnordered(shape, n);
+      EXPECT_EQ(result->stats.inner_counter, expected)
+          << QueryShapeName(shape) << " n=" << n;
+      EXPECT_EQ(result->stats.ono_lohman_counter, expected);
+      EXPECT_EQ(result->stats.csg_cmp_pair_counter, 2 * expected);
+      EXPECT_EQ(result->stats.create_join_tree_calls, 2 * expected);
+    }
+  }
+}
+
+TEST(DPccpTest, OptimalOnHandCraftedBushyCase) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 10000\nrel b 10\nrel c 10\nrel d 10000\n"
+      "join a b 0.01\njoin b c 0.5\njoin c d 0.01\n");
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 502000.0);
+  EXPECT_FALSE(result->plan.IsLeftDeep());
+}
+
+TEST(DPccpTest, HandlesNonBfsNumberedInput) {
+  // A chain presented in scrambled numbering: DPccp must renumber
+  // internally and still return a valid optimal plan in the caller's
+  // numbering.
+  Result<QueryGraph> chain = MakeChainQuery(7);
+  ASSERT_TRUE(chain.ok());
+  Random rng(99);
+  for (int round = 0; round < 5; ++round) {
+    const QueryGraph shuffled = ShuffleLabels(*chain, rng);
+    Result<OptimizationResult> scrambled =
+        DPccp().Optimize(shuffled, CoutCostModel());
+    Result<OptimizationResult> reference =
+        DPccp().Optimize(*chain, CoutCostModel());
+    ASSERT_TRUE(scrambled.ok());
+    ASSERT_TRUE(reference.ok());
+    EXPECT_DOUBLE_EQ(scrambled->cost, reference->cost);
+    EXPECT_EQ(scrambled->stats.inner_counter,
+              reference->stats.inner_counter);
+    EXPECT_EQ(scrambled->plan.relations(), shuffled.AllRelations());
+    EXPECT_TRUE(ValidatePlan(scrambled->plan, shuffled, CoutCostModel()).ok());
+  }
+}
+
+TEST(DPccpTest, CyclesRequireInternalRenumbering) {
+  // The natural numbering of a cycle is NOT breadth-first; this exercises
+  // the RelabelGraph path end to end.
+  Result<QueryGraph> graph = MakeCycleQuery(8);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> ccp = DPccp().Optimize(*graph, CoutCostModel());
+  Result<OptimizationResult> sub = DPsub().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(ccp.ok());
+  ASSERT_TRUE(sub.ok());
+  EXPECT_DOUBLE_EQ(ccp->cost, sub->cost);
+  EXPECT_EQ(ccp->stats.ono_lohman_counter, sub->stats.ono_lohman_counter);
+  EXPECT_EQ(ccp->stats.inner_counter, CcpCountUnordered(QueryShape::kCycle, 8));
+  EXPECT_TRUE(ValidatePlan(ccp->plan, *graph, CoutCostModel()).ok());
+}
+
+TEST(DPccpTest, AsymmetricCostModel) {
+  Result<QueryGraph> graph = MakeStarQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const HashJoinCostModel model(5.0, 1.0);
+  Result<OptimizationResult> ccp = DPccp().Optimize(*graph, model);
+  Result<OptimizationResult> sub = DPsub().Optimize(*graph, model);
+  ASSERT_TRUE(ccp.ok());
+  ASSERT_TRUE(sub.ok());
+  EXPECT_DOUBLE_EQ(ccp->cost, sub->cost);
+  EXPECT_TRUE(ValidatePlan(ccp->plan, *graph, model).ok());
+}
+
+TEST(DPccpTest, PlansStoredEqualsCsgCount) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kStar, QueryShape::kClique}) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, 8);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> result =
+        DPccp().Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->stats.plans_stored, CsgCount(shape, 8))
+        << QueryShapeName(shape);
+  }
+}
+
+TEST(DPccpTest, LargeChainStaysCheap) {
+  // A 30-relation chain is far beyond DPsub's reach (2^30 outer
+  // iterations) but trivial for DPccp (#ccp = (30³-30)/6 = 4495).
+  Result<QueryGraph> graph = MakeChainQuery(30);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.inner_counter, 4495u);
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok());
+}
+
+TEST(DPccpTest, SixtyFourRelationChain) {
+  // The full bitset width. #ccp = (64³ - 64)/6 = 43680.
+  Result<QueryGraph> graph = MakeChainQuery(64);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.inner_counter, 43680u);
+  EXPECT_EQ(result->plan.LeafCount(), 64);
+}
+
+}  // namespace
+}  // namespace joinopt

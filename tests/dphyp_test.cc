@@ -1,0 +1,250 @@
+#include "hyper/dphyp.h"
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/counts.h"
+#include "bitset/subset_iterator.h"
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+/// Definition-level reference DP over a hypergraph: enumerates every
+/// subset ascending, every split, and keeps the best cost for connected
+/// combinations. Deliberately naive (O(3^n) with per-split connectivity
+/// scans); the oracle DPhyp is judged against.
+struct ReferenceResult {
+  std::optional<double> cost;
+  uint64_t unordered_pairs = 0;
+};
+
+ReferenceResult ReferenceHyperDP(const Hypergraph& graph,
+                                 const CostModel& cost_model) {
+  const int n = graph.relation_count();
+  const uint64_t limit = (uint64_t{1} << n) - 1;
+  std::vector<double> best(limit + 1, -1.0);  // -1 = no plan.
+  std::vector<double> card(limit + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    best[uint64_t{1} << i] = 0.0;
+    card[uint64_t{1} << i] = graph.cardinality(i);
+  }
+  ReferenceResult result;
+  for (uint64_t mask = 1; mask <= limit; ++mask) {
+    const NodeSet s = NodeSet::FromMask(mask);
+    if (s.count() < 2) {
+      continue;
+    }
+    for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+      const NodeSet s1 = it.Current();
+      const NodeSet s2 = s - s1;
+      if (best[s1.mask()] < 0 || best[s2.mask()] < 0) {
+        continue;
+      }
+      if (!graph.IsConnectedSet(s1) || !graph.IsConnectedSet(s2)) {
+        continue;  // Plan-existence and connectivity coincide except in
+                   // pathological cases; test both to be safe.
+      }
+      if (!graph.AreConnected(s1, s2)) {
+        continue;
+      }
+      if (s1.Contains(s.Min())) {
+        ++result.unordered_pairs;  // Count each unordered split once.
+      }
+      const double out_card = card[s1.mask()] * card[s2.mask()] *
+                              graph.SelectivityBetween(s1, s2);
+      const double cost =
+          best[s1.mask()] + best[s2.mask()] +
+          std::min(cost_model.JoinCost(card[s1.mask()], card[s2.mask()],
+                                       out_card),
+                   cost_model.JoinCost(card[s2.mask()], card[s1.mask()],
+                                       out_card));
+      if (best[mask] < 0 || cost < best[mask]) {
+        best[mask] = cost;
+        card[mask] = out_card;
+      }
+    }
+  }
+  if (best[limit] >= 0) {
+    result.cost = best[limit];
+  }
+  return result;
+}
+
+/// A deterministic random hypergraph: a random spanning tree of simple
+/// edges plus a few complex edges.
+Hypergraph RandomHypergraph(int n, int complex_edges, uint64_t seed) {
+  Random rng(seed);
+  Hypergraph graph;
+  for (int i = 0; i < n; ++i) {
+    JOINOPT_CHECK(
+        graph.AddRelation(10.0 + static_cast<double>(rng.Uniform(10000))).ok());
+  }
+  for (int i = 1; i < n; ++i) {
+    const int parent = static_cast<int>(rng.Uniform(static_cast<uint64_t>(i)));
+    JOINOPT_CHECK(
+        graph.AddSimpleEdge(parent, i, rng.UniformDouble(0.001, 0.5)).ok());
+  }
+  int added = 0;
+  int attempts = 0;
+  while (added < complex_edges && attempts < 200) {
+    ++attempts;
+    // Random disjoint endpoint sets of size 1-3 / 1-2.
+    NodeSet left;
+    NodeSet right;
+    const int left_size = 1 + static_cast<int>(rng.Uniform(3));
+    const int right_size = 1 + static_cast<int>(rng.Uniform(2));
+    for (int k = 0; k < left_size; ++k) {
+      left.Add(static_cast<int>(rng.Uniform(static_cast<uint64_t>(n))));
+    }
+    for (int k = 0; k < right_size; ++k) {
+      right.Add(static_cast<int>(rng.Uniform(static_cast<uint64_t>(n))));
+    }
+    if (left.empty() || right.empty() || left.Intersects(right)) {
+      continue;
+    }
+    if (graph.AddEdge(left, right, rng.UniformDouble(0.01, 0.9)).ok()) {
+      ++added;
+    }
+  }
+  return graph;
+}
+
+TEST(DPhypTest, RejectsEmptyAndDisconnected) {
+  const DPhyp dphyp;
+  EXPECT_FALSE(dphyp.Optimize(Hypergraph(), CoutCostModel()).ok());
+  Hypergraph disconnected;
+  ASSERT_TRUE(disconnected.AddRelation(10.0).ok());
+  ASSERT_TRUE(disconnected.AddRelation(10.0).ok());
+  EXPECT_FALSE(dphyp.Optimize(disconnected, CoutCostModel()).ok());
+}
+
+TEST(DPhypTest, SingleRelation) {
+  Hypergraph graph;
+  ASSERT_TRUE(graph.AddRelation(42.0).ok());
+  Result<OptimizationResult> result =
+      DPhyp().Optimize(graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+  EXPECT_EQ(result->stats.inner_counter, 0u);
+}
+
+TEST(DPhypTest, DegeneratesToDPccpOnSimpleGraphs) {
+  // The headline property: on hypergraphs lifted from query graphs,
+  // DPhyp enumerates exactly the csg-cmp-pairs and finds the DPccp
+  // optimum — for every shape, including cycles (non-BFS numbering).
+  const DPhyp dphyp;
+  const DPccp dpccp;
+  const CoutCostModel model;
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {2, 5, 9}) {
+      Result<QueryGraph> simple = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(simple.ok());
+      const Hypergraph hyper = Hypergraph::FromQueryGraph(*simple);
+      Result<OptimizationResult> hyper_result = dphyp.Optimize(hyper, model);
+      Result<OptimizationResult> ccp_result = dpccp.Optimize(*simple, model);
+      ASSERT_TRUE(hyper_result.ok()) << QueryShapeName(shape) << n;
+      ASSERT_TRUE(ccp_result.ok());
+      EXPECT_NEAR(hyper_result->cost / ccp_result->cost, 1.0, 1e-9)
+          << QueryShapeName(shape) << n;
+      EXPECT_EQ(hyper_result->stats.inner_counter, CcpCountUnordered(shape, n))
+          << QueryShapeName(shape) << n;
+      EXPECT_EQ(hyper_result->stats.plans_stored,
+                ccp_result->stats.plans_stored);
+    }
+  }
+}
+
+TEST(DPhypTest, ComplexEdgeForcesGrouping) {
+  // simple 0-1, 1-2 plus complex ({0,1},{3}): relation 3 can only join
+  // after 0 and 1 are together.
+  Hypergraph graph;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(graph.AddRelation(100.0 * (i + 1)).ok());
+  }
+  ASSERT_TRUE(graph.AddSimpleEdge(0, 1, 0.1).ok());
+  ASSERT_TRUE(graph.AddSimpleEdge(1, 2, 0.2).ok());
+  ASSERT_TRUE(graph.AddEdge(NodeSet::Of({0, 1}), NodeSet::Of({3}), 0.05).ok());
+
+  Result<OptimizationResult> result =
+      DPhyp().Optimize(graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  // Every join with relation 3 on one side must have {0,1} complete on
+  // the other.
+  for (const JoinTreeNode& node : result->plan.nodes()) {
+    if (node.IsLeaf()) continue;
+    const NodeSet left = result->plan.nodes()[node.left].relations;
+    const NodeSet right = result->plan.nodes()[node.right].relations;
+    if (right == NodeSet::Of({3})) {
+      EXPECT_TRUE(left.ContainsAll(NodeSet::Of({0, 1})));
+    }
+    if (left == NodeSet::Of({3})) {
+      EXPECT_TRUE(right.ContainsAll(NodeSet::Of({0, 1})));
+    }
+  }
+  const ReferenceResult reference = ReferenceHyperDP(graph, CoutCostModel());
+  ASSERT_TRUE(reference.cost.has_value());
+  EXPECT_NEAR(result->cost, *reference.cost, *reference.cost * 1e-9);
+  EXPECT_EQ(result->stats.inner_counter, reference.unordered_pairs);
+}
+
+TEST(DPhypTest, UndecomposableHypergraphReported) {
+  Hypergraph graph;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(graph.AddRelation(10.0).ok());
+  }
+  ASSERT_TRUE(graph.AddEdge(NodeSet::Of({0}), NodeSet::Of({1, 2})).ok());
+  ASSERT_TRUE(graph.AddEdge(NodeSet::Of({1}), NodeSet::Of({0, 2})).ok());
+  const Result<OptimizationResult> result =
+      DPhyp().Optimize(graph, CoutCostModel());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DPhypTest, MatchesReferenceDPOnRandomHypergraphs) {
+  const DPhyp dphyp;
+  const CoutCostModel cout_model;
+  const HashJoinCostModel hash_model(2.0, 1.0);
+  int solvable = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Hypergraph graph = RandomHypergraph(7, 3, seed);
+    for (const CostModel* model :
+         {static_cast<const CostModel*>(&cout_model),
+          static_cast<const CostModel*>(&hash_model)}) {
+      const ReferenceResult reference = ReferenceHyperDP(graph, *model);
+      Result<OptimizationResult> result = dphyp.Optimize(graph, *model);
+      if (reference.cost.has_value()) {
+        ++solvable;
+        ASSERT_TRUE(result.ok()) << "seed " << seed;
+        EXPECT_NEAR(result->cost / *reference.cost, 1.0, 1e-9)
+            << "seed " << seed << " model " << model->name();
+        EXPECT_EQ(result->stats.inner_counter, reference.unordered_pairs)
+            << "seed " << seed;
+      } else {
+        EXPECT_FALSE(result.ok()) << "seed " << seed;
+      }
+    }
+  }
+  EXPECT_GT(solvable, 10);  // The corpus must actually exercise DPhyp.
+}
+
+TEST(DPhypTest, LargerMixedHypergraph) {
+  const Hypergraph graph = RandomHypergraph(12, 4, 777);
+  const ReferenceResult reference = ReferenceHyperDP(graph, CoutCostModel());
+  Result<OptimizationResult> result =
+      DPhyp().Optimize(graph, CoutCostModel());
+  ASSERT_EQ(result.ok(), reference.cost.has_value());
+  if (result.ok()) {
+    EXPECT_NEAR(result->cost / *reference.cost, 1.0, 1e-9);
+    EXPECT_EQ(result->stats.inner_counter, reference.unordered_pairs);
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,90 @@
+#include "core/dpsize_linear.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+TEST(DPsizeLinearTest, AlwaysProducesLeftDeepTrees) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, 8);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> result =
+        DPsizeLinear().Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(result.ok()) << QueryShapeName(shape);
+    EXPECT_TRUE(result->plan.IsLeftDeep()) << QueryShapeName(shape);
+    EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok());
+    EXPECT_EQ(result->plan.Height(), 7);  // Left-deep: height = n-1.
+  }
+}
+
+TEST(DPsizeLinearTest, NeverBeatsBushyOptimum) {
+  const DPsizeLinear linear;
+  const DPccp bushy;
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(8, 4, config);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> linear_result =
+        linear.Optimize(*graph, CoutCostModel());
+    Result<OptimizationResult> bushy_result =
+        bushy.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(linear_result.ok());
+    ASSERT_TRUE(bushy_result.ok());
+    EXPECT_GE(linear_result->cost, bushy_result->cost * (1 - 1e-12));
+  }
+}
+
+TEST(DPsizeLinearTest, OptimalAmongLeftDeepOnKnownCase) {
+  // Chain a(1000) - b(10) - c(1000): both left-deep orders cost the same
+  // 101000 under Cout (see dpsize_test); the linear DP must find it.
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 1000\nrel b 10\nrel c 1000\njoin a b 0.1\njoin b c 0.1\n");
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPsizeLinear().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 101000.0);
+}
+
+TEST(DPsizeLinearTest, StrictlyWorseWhenBushyWins) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 10000\nrel b 10\nrel c 10\nrel d 10000\n"
+      "join a b 0.01\njoin b c 0.5\njoin c d 0.01\n");
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> linear =
+      DPsizeLinear().Optimize(*graph, CoutCostModel());
+  Result<OptimizationResult> bushy = DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(linear.ok());
+  ASSERT_TRUE(bushy.ok());
+  EXPECT_DOUBLE_EQ(bushy->cost, 502000.0);
+  EXPECT_GT(linear->cost, bushy->cost);
+}
+
+TEST(DPsizeLinearTest, RejectsDisconnected) {
+  Result<QueryGraph> graph = QueryGraph::WithRelations(3);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  EXPECT_FALSE(DPsizeLinear().Optimize(*graph, CoutCostModel()).ok());
+}
+
+TEST(DPsizeLinearTest, SingleRelation) {
+  Result<QueryGraph> graph = MakeChainQuery(1);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPsizeLinear().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+}
+
+}  // namespace
+}  // namespace joinopt

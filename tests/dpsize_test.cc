@@ -1,0 +1,158 @@
+#include "core/dpsize.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "graph/generators.h"
+#include "plan/plan_printer.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+TEST(DPsizeTest, SingleRelation) {
+  Result<QueryGraph> graph = MakeChainQuery(1);
+  ASSERT_TRUE(graph.ok());
+  const DPsize optimizer;
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+  EXPECT_EQ(result->plan.LeafCount(), 1);
+  EXPECT_EQ(result->stats.inner_counter, 0u);
+  EXPECT_EQ(result->stats.csg_cmp_pair_counter, 0u);
+}
+
+TEST(DPsizeTest, TwoRelations) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 100\nrel b 50\njoin a b 0.1\n");
+  ASSERT_TRUE(graph.ok());
+  const DPsize optimizer;
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 100.0 * 50.0 * 0.1);
+  EXPECT_EQ(result->stats.inner_counter, 1u);
+  EXPECT_EQ(result->stats.ono_lohman_counter, 1u);
+  EXPECT_EQ(result->stats.create_join_tree_calls, 2u);  // Both orders.
+}
+
+TEST(DPsizeTest, RejectsEmptyGraph) {
+  const QueryGraph graph;
+  EXPECT_FALSE(DPsize().Optimize(graph, CoutCostModel()).ok());
+}
+
+TEST(DPsizeTest, RejectsDisconnectedGraph) {
+  Result<QueryGraph> graph = QueryGraph::WithRelations(3);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  const Result<OptimizationResult> result =
+      DPsize().Optimize(*graph, CoutCostModel());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DPsizeTest, KnownOptimalPlanOnHandCraftedChain) {
+  // Chain a(1000) - b(10) - c(1000) with sel 0.1 both: the optimal Cout
+  // bushy/linear plan joins the cheap middle pairs first; total cost of
+  // ((a ⋈ b) ⋈ c) = 1000 + 100000... compute: |ab| = 1000*10*0.1 = 1000,
+  // |abc| = 1000*1000*0.1 = 100000 -> cost 101000. (b ⋈ c) first is
+  // symmetric. Cross-product-free alternatives are only those two.
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 1000\nrel b 10\nrel c 1000\njoin a b 0.1\njoin b c 0.1\n");
+  ASSERT_TRUE(graph.ok());
+  const DPsize optimizer;
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 101000.0);
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok());
+}
+
+TEST(DPsizeTest, PicksBushyWhenBushyWins) {
+  // Star-ish chain where a bushy tree beats every left-deep tree under
+  // Cout: chain of 4 with big ends and small middle.
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 10000\nrel b 10\nrel c 10\nrel d 10000\n"
+      "join a b 0.01\njoin b c 0.5\njoin c d 0.01\n");
+  ASSERT_TRUE(graph.ok());
+  const DPsize optimizer;
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  // (a ⋈ b) = 1000, (c ⋈ d) = 1000, join = 1000*1000*0.5 = 500000:
+  // total 502000. Left-deep alternatives are more expensive (e.g.
+  // ((a⋈b)⋈c)⋈d = 1000 + 5000 + 500000 = 506000).
+  EXPECT_DOUBLE_EQ(result->cost, 502000.0);
+  EXPECT_FALSE(result->plan.IsLeftDeep());
+}
+
+TEST(DPsizeTest, AsymmetricCostModelPicksCheaperOrder) {
+  // With a hash join whose build side is expensive, the small relation
+  // must end up on the left (build) side.
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel big 100000\nrel small 10\njoin big small 0.001\n");
+  ASSERT_TRUE(graph.ok());
+  const HashJoinCostModel model(10.0, 1.0);
+  Result<OptimizationResult> result = DPsize().Optimize(*graph, model);
+  ASSERT_TRUE(result.ok());
+  const JoinTreeNode& root = result->plan.root();
+  EXPECT_EQ(result->plan.nodes()[root.left].relations, NodeSet::Of({1}))
+      << PlanToExpression(result->plan, *graph);
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, model).ok());
+}
+
+TEST(DPsizeTest, EqualSizeOptimizationDoesNotChangeResult) {
+  const DPsize optimized(/*use_equal_size_optimization=*/true);
+  const DPsize unoptimized(/*use_equal_size_optimization=*/false);
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(8, 3, config);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> a = optimized.Optimize(*graph, CoutCostModel());
+    Result<OptimizationResult> b =
+        unoptimized.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a->cost, b->cost);
+    // The unoptimized variant enumerates strictly more pairs whenever an
+    // equal-size split exists.
+    EXPECT_GE(b->stats.inner_counter, a->stats.inner_counter);
+  }
+}
+
+TEST(DPsizeTest, StatsAreInternallyConsistent) {
+  Result<QueryGraph> graph = MakeStarQuery(6);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPsize().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  const OptimizerStats& stats = result->stats;
+  EXPECT_EQ(stats.ono_lohman_counter * 2, stats.csg_cmp_pair_counter);
+  EXPECT_EQ(stats.create_join_tree_calls, stats.csg_cmp_pair_counter);
+  EXPECT_GE(stats.inner_counter, stats.ono_lohman_counter);
+  // Plans exist for exactly the connected sets: #csg(star, 6) =
+  // 2^5 + 6 - 1 = 37.
+  EXPECT_EQ(stats.plans_stored, 37u);
+  EXPECT_GE(stats.elapsed_seconds, 0.0);
+}
+
+TEST(DPsizeTest, PlanCoversAllRelationsOnEveryShape) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, 7);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> result =
+        DPsize().Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(result.ok()) << QueryShapeName(shape);
+    EXPECT_EQ(result->plan.relations(), graph->AllRelations());
+    EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok())
+        << QueryShapeName(shape);
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

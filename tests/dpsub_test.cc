@@ -1,0 +1,111 @@
+#include "core/dpsub.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+TEST(DPsubTest, SingleRelation) {
+  Result<QueryGraph> graph = MakeChainQuery(1);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPsub().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+  EXPECT_EQ(result->stats.inner_counter, 0u);
+}
+
+TEST(DPsubTest, TwoRelations) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 100\nrel b 50\njoin a b 0.1\n");
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPsub().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 500.0);
+  // Figure 3: chain n=2 -> DPsub inner counter 2 (both splits of {a, b}).
+  EXPECT_EQ(result->stats.inner_counter, 2u);
+  EXPECT_EQ(result->stats.csg_cmp_pair_counter, 2u);
+  EXPECT_EQ(result->stats.ono_lohman_counter, 1u);
+}
+
+TEST(DPsubTest, RejectsEmptyAndDisconnected) {
+  EXPECT_FALSE(DPsub().Optimize(QueryGraph(), CoutCostModel()).ok());
+  Result<QueryGraph> graph = QueryGraph::WithRelations(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph->AddEdge(2, 3).ok());
+  EXPECT_FALSE(DPsub().Optimize(*graph, CoutCostModel()).ok());
+}
+
+TEST(DPsubTest, RefusesAbsurdlyLargeN) {
+  Result<QueryGraph> graph = MakeChainQuery(41);
+  ASSERT_TRUE(graph.ok());
+  const Result<OptimizationResult> result =
+      DPsub().Optimize(*graph, CoutCostModel());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DPsubTest, MatchesDPsizeCostEverywhere) {
+  const DPsub dpsub;
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, 8);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> result = dpsub.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(result.ok()) << QueryShapeName(shape);
+    EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok());
+  }
+}
+
+TEST(DPsubTest, ConnectivityTestVariantsAgree) {
+  const DPsub with_table(/*use_table_connectivity_test=*/true);
+  const DPsub with_bfs(/*use_table_connectivity_test=*/false);
+  for (const uint64_t seed : {5u, 6u, 7u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(9, 6, config);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> a = with_table.Optimize(*graph, CoutCostModel());
+    Result<OptimizationResult> b = with_bfs.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a->cost, b->cost);
+    EXPECT_EQ(a->stats.inner_counter, b->stats.inner_counter);
+    EXPECT_EQ(a->stats.csg_cmp_pair_counter, b->stats.csg_cmp_pair_counter);
+  }
+}
+
+TEST(DPsubTest, AsymmetricCostModelHandledByNaturalBothOrders) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel big 100000\nrel mid 1000\nrel small 10\n"
+      "join big mid 0.001\njoin mid small 0.01\n");
+  ASSERT_TRUE(graph.ok());
+  const HashJoinCostModel model(10.0, 1.0);
+  Result<OptimizationResult> result = DPsub().Optimize(*graph, model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, model).ok());
+  // One CreateJoinTree per surviving ordered pair — never doubled.
+  EXPECT_EQ(result->stats.create_join_tree_calls,
+            result->stats.csg_cmp_pair_counter);
+}
+
+TEST(DPsubTest, PlansStoredEqualsCsgCount) {
+  Result<QueryGraph> graph = MakeCycleQuery(7);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPsub().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  // #csg(cycle, 7) = 49 - 7 + 1 = 43.
+  EXPECT_EQ(result->stats.plans_stored, 43u);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,109 @@
+#include "dsl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "graph/connectivity.h"
+
+namespace joinopt {
+namespace {
+
+TEST(DslParserTest, ParsesMinimalSpec) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 100\n"
+      "rel b 200\n"
+      "join a b 0.25\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 2);
+  EXPECT_EQ(graph->edge_count(), 1);
+  EXPECT_EQ(graph->name(0), "a");
+  EXPECT_DOUBLE_EQ(graph->cardinality(1), 200.0);
+  EXPECT_DOUBLE_EQ(graph->edges()[0].selectivity, 0.25);
+}
+
+TEST(DslParserTest, SkipsCommentsAndBlankLines) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "# a comment line\n"
+      "\n"
+      "rel a 100   # trailing comment\n"
+      "   \t  \n"
+      "rel b 50\n"
+      "join a b 0.5  # another\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 2);
+  EXPECT_EQ(graph->edge_count(), 1);
+}
+
+TEST(DslParserTest, HandlesCarriageReturnsAndMissingTrailingNewline) {
+  Result<QueryGraph> graph =
+      ParseQuerySpecToGraph("rel a 10\r\nrel b 20\r\njoin a b 0.1");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 2);
+}
+
+TEST(DslParserTest, ScientificNotationCardinalities) {
+  Result<QueryGraph> graph =
+      ParseQuerySpecToGraph("rel fact 1.5e6\nrel dim 1e2\njoin fact dim 1e-4\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(graph->cardinality(0), 1.5e6);
+  EXPECT_DOUBLE_EQ(graph->edges()[0].selectivity, 1e-4);
+}
+
+TEST(DslParserTest, ErrorsCarryLineNumbers) {
+  const Result<Catalog> bad_token = ParseQuerySpec("rel a 10\nrel b ten\n");
+  ASSERT_FALSE(bad_token.ok());
+  EXPECT_NE(bad_token.status().message().find("line 2"), std::string::npos);
+
+  const Result<Catalog> bad_directive = ParseQuerySpec("table a 10\n");
+  ASSERT_FALSE(bad_directive.ok());
+  EXPECT_NE(bad_directive.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(bad_directive.status().message().find("table"), std::string::npos);
+
+  const Result<Catalog> bad_arity = ParseQuerySpec("rel a\n");
+  ASSERT_FALSE(bad_arity.ok());
+  EXPECT_NE(bad_arity.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(DslParserTest, RejectsUnknownRelationInJoin) {
+  const Result<Catalog> result =
+      ParseQuerySpec("rel a 10\njoin a ghost 0.5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(DslParserTest, RejectsEmptySpec) {
+  EXPECT_FALSE(ParseQuerySpec("").ok());
+  EXPECT_FALSE(ParseQuerySpec("# only comments\n\n").ok());
+}
+
+TEST(DslParserTest, RejectsDuplicateRelation) {
+  EXPECT_FALSE(ParseQuerySpec("rel a 10\nrel a 20\n").ok());
+}
+
+TEST(DslParserTest, RejectsBadSelectivity) {
+  EXPECT_FALSE(ParseQuerySpec("rel a 10\nrel b 10\njoin a b 0\n").ok());
+  EXPECT_FALSE(ParseQuerySpec("rel a 10\nrel b 10\njoin a b 1.5\n").ok());
+}
+
+TEST(DslParserTest, ParsedGraphIsOptimizable) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "# TPC-H-ish 4-relation join\n"
+      "rel lineitem 6000000\n"
+      "rel orders 1500000\n"
+      "rel customer 150000\n"
+      "rel nation 25\n"
+      "join lineitem orders 1.6667e-7\n"
+      "join orders customer 6.6667e-6\n"
+      "join customer nation 0.04\n");
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(IsConnectedGraph(*graph));
+  Result<OptimizationResult> result =
+      DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.LeafCount(), 4);
+  EXPECT_GT(result->cost, 0.0);
+}
+
+}  // namespace
+}  // namespace joinopt

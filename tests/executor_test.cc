@@ -1,0 +1,228 @@
+#include "exec/executor.h"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dp_cross_products.h"
+#include "core/dpccp.h"
+#include "core/dpsize_linear.h"
+#include "core/greedy.h"
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+TEST(HashJoinTest, JoinsOnSharedColumn) {
+  Result<Table> left = Table::WithColumns({"id_l", "k"});
+  Result<Table> right = Table::WithColumns({"k", "id_r"});
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  left->AppendRow({0, 7});
+  left->AppendRow({1, 8});
+  left->AppendRow({2, 7});
+  right->AppendRow({7, 100});
+  right->AppendRow({9, 200});
+  right->AppendRow({7, 300});
+
+  Result<Table> joined = HashJoin(*left, *right);
+  ASSERT_TRUE(joined.ok());
+  // k=7 matches: left rows {0, 2} x right rows {100, 300} -> 4 rows.
+  EXPECT_EQ(joined->row_count(), 4);
+  EXPECT_EQ(joined->column_count(), 3);  // id_l, k, id_r (k deduped).
+  EXPECT_EQ(joined->ColumnIndex("k"), 1);
+  for (int64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(joined->at(r, joined->ColumnIndex("k")), 7);
+  }
+}
+
+TEST(HashJoinTest, NoSharedColumnIsCrossProduct) {
+  Result<Table> left = Table::WithColumns({"a"});
+  Result<Table> right = Table::WithColumns({"b"});
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  left->AppendRow({1});
+  left->AppendRow({2});
+  right->AppendRow({10});
+  right->AppendRow({20});
+  right->AppendRow({30});
+  Result<Table> joined = HashJoin(*left, *right);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->row_count(), 6);
+  EXPECT_EQ(joined->column_count(), 2);
+}
+
+TEST(HashJoinTest, MultiColumnKey) {
+  Result<Table> left = Table::WithColumns({"k1", "k2", "l"});
+  Result<Table> right = Table::WithColumns({"k1", "k2", "r"});
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  left->AppendRow({1, 1, 0});
+  left->AppendRow({1, 2, 1});
+  right->AppendRow({1, 1, 5});
+  right->AppendRow({2, 1, 6});
+  Result<Table> joined = HashJoin(*left, *right);
+  ASSERT_TRUE(joined.ok());
+  // Only (1, 1) matches on both key columns.
+  ASSERT_EQ(joined->row_count(), 1);
+  EXPECT_EQ(joined->at(0, joined->ColumnIndex("l")), 0);
+  EXPECT_EQ(joined->at(0, joined->ColumnIndex("r")), 5);
+}
+
+TEST(ExecutorTest, GeneratedDatabaseShape) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 50\nrel b 30\nrel c 10\njoin a b 0.1\njoin b c 0.25\n");
+  ASSERT_TRUE(graph.ok());
+  Result<Database> database = GenerateDatabase(*graph);
+  ASSERT_TRUE(database.ok());
+  ASSERT_EQ(database->tables.size(), 3u);
+  EXPECT_EQ(database->tables[0].row_count(), 50);
+  EXPECT_EQ(database->tables[2].row_count(), 10);
+  // Table b carries its id plus both join attributes.
+  EXPECT_EQ(database->tables[1].column_count(), 3);
+  EXPECT_GE(database->tables[1].ColumnIndex("j_0_1"), 0);
+  EXPECT_GE(database->tables[1].ColumnIndex("j_1_2"), 0);
+  // Cardinality capping.
+  Result<QueryGraph> huge = ParseQuerySpecToGraph("rel big 1e9\n");
+  ASSERT_TRUE(huge.ok());
+  DatabaseGenOptions options;
+  options.max_rows = 100;
+  Result<Database> capped = GenerateDatabase(*huge, options);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->tables[0].row_count(), 100);
+}
+
+TEST(ExecutorTest, ExecutesAHandCheckableJoin) {
+  // a(4 rows) ⋈ b(4 rows) on a domain-2 attribute: every pair with equal
+  // attribute values matches.
+  Result<QueryGraph> graph =
+      ParseQuerySpecToGraph("rel a 4\nrel b 4\njoin a b 0.5\n");
+  ASSERT_TRUE(graph.ok());
+  Result<Database> database = GenerateDatabase(*graph);
+  ASSERT_TRUE(database.ok());
+
+  const CoutCostModel model;
+  Result<OptimizationResult> plan = DPccp().Optimize(*graph, model);
+  ASSERT_TRUE(plan.ok());
+  Result<Table> result = ExecutePlan(plan->plan, *database);
+  ASSERT_TRUE(result.ok());
+
+  // Count the expected matches directly.
+  const Table& a = database->tables[0];
+  const Table& b = database->tables[1];
+  const int a_key = a.ColumnIndex("j_0_1");
+  const int b_key = b.ColumnIndex("j_0_1");
+  int64_t expected = 0;
+  for (int64_t i = 0; i < a.row_count(); ++i) {
+    for (int64_t j = 0; j < b.row_count(); ++j) {
+      expected += a.at(i, a_key) == b.at(j, b_key) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(result->row_count(), expected);
+  EXPECT_EQ(result->column_count(), 3);  // id_0, j_0_1, id_1.
+}
+
+TEST(ExecutorTest, AllJoinOrdersProduceTheSameResult) {
+  // The fundamental property the optimizer relies on: join order changes
+  // cost, never the result. Execute the DPccp, left-deep, and greedy
+  // plans on random graphs and compare canonical row sets.
+  const CoutCostModel model;
+  const DPccp dpccp;
+  const DPsizeLinear linear;
+  const GreedyOperatorOrdering greedy;
+  for (const uint64_t seed : {1u, 2u, 3u, 4u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    config.min_cardinality = 5;
+    config.max_cardinality = 40;
+    config.min_selectivity = 0.05;
+    config.max_selectivity = 0.5;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(6, 3, config);
+    ASSERT_TRUE(graph.ok());
+    DatabaseGenOptions gen_options;
+    gen_options.seed = seed * 31;
+    Result<Database> database = GenerateDatabase(*graph, gen_options);
+    ASSERT_TRUE(database.ok());
+
+    std::optional<std::vector<std::vector<int64_t>>> reference;
+    for (const JoinOrderer* orderer :
+         {static_cast<const JoinOrderer*>(&dpccp),
+          static_cast<const JoinOrderer*>(&linear),
+          static_cast<const JoinOrderer*>(&greedy)}) {
+      Result<OptimizationResult> plan = orderer->Optimize(*graph, model);
+      ASSERT_TRUE(plan.ok()) << orderer->name();
+      Result<Table> result = ExecutePlan(plan->plan, *database);
+      ASSERT_TRUE(result.ok()) << orderer->name();
+      auto canonical = result->CanonicalRows();
+      if (!reference.has_value()) {
+        reference = std::move(canonical);
+      } else {
+        EXPECT_EQ(canonical, *reference)
+            << orderer->name() << " diverged on seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, CrossProductPlansExecuteToo) {
+  // A disconnected query: only the CP optimizer can plan it, and the
+  // executor must fall back to a cross product for the island.
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 3\nrel b 4\nrel c 5\njoin a b 0.5\n");
+  ASSERT_TRUE(graph.ok());
+  Result<Database> database = GenerateDatabase(*graph);
+  ASSERT_TRUE(database.ok());
+  Result<OptimizationResult> plan =
+      DPsubCP().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(plan.ok());
+  Result<Table> result = ExecutePlan(plan->plan, *database);
+  ASSERT_TRUE(result.ok());
+  // |a ⋈ b| rows times all 5 of c.
+  Result<OptimizationResult> ab_only = DPccp().Optimize(
+      *ParseQuerySpecToGraph("rel a 3\nrel b 4\njoin a b 0.5\n"),
+      CoutCostModel());
+  ASSERT_TRUE(ab_only.ok());
+  EXPECT_EQ(result->row_count() % 5, 0);
+}
+
+TEST(ExecutorTest, ActualCardinalityTracksEstimateOnAverage) {
+  // With domain-based generation the estimate is the expectation of the
+  // actual join size; on a few hundred rows they should agree within a
+  // loose factor.
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 500\nrel b 500\njoin a b 0.01\n");
+  ASSERT_TRUE(graph.ok());
+  DatabaseGenOptions options;
+  options.seed = 7;
+  Result<Database> database = GenerateDatabase(*graph, options);
+  ASSERT_TRUE(database.ok());
+  Result<OptimizationResult> plan = DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(plan.ok());
+  Result<Table> result = ExecutePlan(plan->plan, *database);
+  ASSERT_TRUE(result.ok());
+  const double estimated = plan->cardinality;  // 500*500*0.01 = 2500.
+  const double actual = static_cast<double>(result->row_count());
+  EXPECT_GT(actual, estimated * 0.6);
+  EXPECT_LT(actual, estimated * 1.4);
+}
+
+TEST(ExecutorTest, RejectsForeignPlan) {
+  // A plan over more relations than the database has.
+  Result<QueryGraph> big = MakeChainQuery(4);
+  ASSERT_TRUE(big.ok());
+  Result<OptimizationResult> plan = DPccp().Optimize(*big, CoutCostModel());
+  ASSERT_TRUE(plan.ok());
+  Result<QueryGraph> small = MakeChainQuery(2);
+  ASSERT_TRUE(small.ok());
+  Result<Database> database = GenerateDatabase(*small);
+  ASSERT_TRUE(database.ok());
+  EXPECT_FALSE(ExecutePlan(plan->plan, *database).ok());
+}
+
+}  // namespace
+}  // namespace joinopt

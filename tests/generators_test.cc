@@ -1,0 +1,235 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+
+namespace joinopt {
+namespace {
+
+void ExpectStatsInRange(const QueryGraph& graph, const WorkloadConfig& config) {
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    EXPECT_GE(graph.cardinality(i), config.min_cardinality * 0.999);
+    EXPECT_LE(graph.cardinality(i), config.max_cardinality * 1.001);
+  }
+  for (const JoinEdge& edge : graph.edges()) {
+    EXPECT_GE(edge.selectivity, config.min_selectivity * 0.999);
+    EXPECT_LE(edge.selectivity, config.max_selectivity * 1.001);
+  }
+}
+
+TEST(GeneratorsTest, ChainShape) {
+  Result<QueryGraph> graph = MakeChainQuery(6);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 6);
+  EXPECT_EQ(graph->edge_count(), 5);
+  EXPECT_TRUE(IsConnectedGraph(*graph));
+  for (int i = 0; i + 1 < 6; ++i) {
+    EXPECT_TRUE(graph->HasEdge(i, i + 1));
+  }
+  EXPECT_FALSE(graph->HasEdge(0, 5));
+  ExpectStatsInRange(*graph, WorkloadConfig{});
+}
+
+TEST(GeneratorsTest, SingleRelationChain) {
+  Result<QueryGraph> graph = MakeChainQuery(1);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 1);
+  EXPECT_EQ(graph->edge_count(), 0);
+}
+
+TEST(GeneratorsTest, CycleShape) {
+  Result<QueryGraph> graph = MakeCycleQuery(5);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 5);
+  EXPECT_TRUE(graph->HasEdge(4, 0));
+  EXPECT_TRUE(IsConnectedGraph(*graph));
+  // Every node has degree exactly 2.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(graph->Neighbors(i).count(), 2) << i;
+  }
+}
+
+TEST(GeneratorsTest, CycleRejectsTinyN) {
+  EXPECT_FALSE(MakeCycleQuery(2).ok());
+  EXPECT_FALSE(MakeCycleQuery(1).ok());
+}
+
+TEST(GeneratorsTest, StarShape) {
+  Result<QueryGraph> graph = MakeStarQuery(6);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 5);
+  EXPECT_EQ(graph->Neighbors(0).count(), 5);
+  for (int leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_EQ(graph->Neighbors(leaf), NodeSet::Of({0}));
+  }
+}
+
+TEST(GeneratorsTest, CliqueShape) {
+  Result<QueryGraph> graph = MakeCliqueQuery(5);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(graph->Neighbors(i).count(), 4);
+  }
+}
+
+TEST(GeneratorsTest, ShapeDispatch) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, 5);
+    ASSERT_TRUE(graph.ok()) << QueryShapeName(shape);
+    EXPECT_EQ(graph->relation_count(), 5);
+    EXPECT_TRUE(IsConnectedGraph(*graph));
+  }
+}
+
+TEST(GeneratorsTest, ShapeDispatchDegenerateCycle) {
+  // Cycle with n=2 silently becomes a chain (Figure 3 convention).
+  Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kCycle, 2);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 1);
+}
+
+TEST(GeneratorsTest, ShapeNames) {
+  EXPECT_EQ(QueryShapeName(QueryShape::kChain), "chain");
+  EXPECT_EQ(QueryShapeName(QueryShape::kCycle), "cycle");
+  EXPECT_EQ(QueryShapeName(QueryShape::kStar), "star");
+  EXPECT_EQ(QueryShapeName(QueryShape::kClique), "clique");
+}
+
+TEST(GeneratorsTest, GridShape) {
+  Result<QueryGraph> graph = MakeGridQuery(3, 4);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 12);
+  // Grid edges: rows*(cols-1) + (rows-1)*cols = 9 + 8 = 17.
+  EXPECT_EQ(graph->edge_count(), 17);
+  EXPECT_TRUE(IsConnectedGraph(*graph));
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(graph->Neighbors(0).count(), 2);
+  EXPECT_EQ(graph->Neighbors(1).count(), 3);
+  EXPECT_EQ(graph->Neighbors(5).count(), 4);
+}
+
+TEST(GeneratorsTest, SnowflakeShape) {
+  Result<QueryGraph> graph = MakeSnowflakeQuery(3, 2);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 7);  // hub + 3*2.
+  EXPECT_EQ(graph->edge_count(), 6);      // A tree.
+  EXPECT_TRUE(IsConnectedGraph(*graph));
+  EXPECT_EQ(graph->Neighbors(0).count(), 3);  // Hub touches each arm head.
+  // Arm heads: 1 and 3 and 5; arm tails: 2, 4, 6 with degree 1.
+  EXPECT_TRUE(graph->HasEdge(0, 1));
+  EXPECT_TRUE(graph->HasEdge(1, 2));
+  EXPECT_FALSE(graph->HasEdge(0, 2));
+  EXPECT_EQ(graph->Neighbors(2).count(), 1);
+}
+
+TEST(GeneratorsTest, SnowflakeDegeneratesToStar) {
+  // arm_length = 1 is exactly a star.
+  Result<QueryGraph> graph = MakeSnowflakeQuery(5, 1);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 6);
+  EXPECT_EQ(graph->Neighbors(0).count(), 5);
+}
+
+TEST(GeneratorsTest, SnowflakeRejectsBadArguments) {
+  EXPECT_FALSE(MakeSnowflakeQuery(0, 2).ok());
+  EXPECT_FALSE(MakeSnowflakeQuery(2, 0).ok());
+  EXPECT_FALSE(MakeSnowflakeQuery(10, 10).ok());  // 101 > 64 relations.
+}
+
+TEST(GeneratorsTest, GridRejectsBadDimensions) {
+  EXPECT_FALSE(MakeGridQuery(0, 4).ok());
+  EXPECT_FALSE(MakeGridQuery(3, -1).ok());
+}
+
+TEST(GeneratorsTest, RandomTreeIsATree) {
+  for (const uint64_t seed : {1u, 7u, 23u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomTreeQuery(10, config);
+    ASSERT_TRUE(graph.ok());
+    EXPECT_EQ(graph->edge_count(), 9);
+    EXPECT_TRUE(IsConnectedGraph(*graph));
+  }
+}
+
+TEST(GeneratorsTest, RandomConnectedHasRequestedEdges) {
+  WorkloadConfig config;
+  config.seed = 3;
+  Result<QueryGraph> graph = MakeRandomConnectedQuery(8, 5, config);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 12);  // (n-1) + extra.
+  EXPECT_TRUE(IsConnectedGraph(*graph));
+}
+
+TEST(GeneratorsTest, RandomConnectedCapsAtCompleteGraph) {
+  Result<QueryGraph> graph = MakeRandomConnectedQuery(5, 100);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 10);  // C(5,2).
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  config.seed = 77;
+  Result<QueryGraph> a = MakeRandomConnectedQuery(8, 4, config);
+  Result<QueryGraph> b = MakeRandomConnectedQuery(8, 4, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->edge_count(), b->edge_count());
+  for (int i = 0; i < a->edge_count(); ++i) {
+    EXPECT_EQ(a->edges()[i].left, b->edges()[i].left);
+    EXPECT_EQ(a->edges()[i].right, b->edges()[i].right);
+    EXPECT_DOUBLE_EQ(a->edges()[i].selectivity, b->edges()[i].selectivity);
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a->cardinality(i), b->cardinality(i));
+  }
+}
+
+TEST(GeneratorsTest, DifferentSeedsChangeStatistics) {
+  WorkloadConfig a_config;
+  a_config.seed = 1;
+  WorkloadConfig b_config;
+  b_config.seed = 2;
+  Result<QueryGraph> a = MakeChainQuery(6, a_config);
+  Result<QueryGraph> b = MakeChainQuery(6, b_config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = false;
+  for (int i = 0; i < 6; ++i) {
+    any_difference |= a->cardinality(i) != b->cardinality(i);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorsTest, RejectsOutOfRangeN) {
+  EXPECT_FALSE(MakeChainQuery(0).ok());
+  EXPECT_FALSE(MakeChainQuery(65).ok());
+  EXPECT_FALSE(MakeStarQuery(-2).ok());
+}
+
+TEST(GeneratorsTest, ShuffleLabelsPreservesStructure) {
+  Result<QueryGraph> graph = MakeStarQuery(7);
+  ASSERT_TRUE(graph.ok());
+  Random rng(11);
+  std::vector<int> old_to_new;
+  const QueryGraph shuffled = ShuffleLabels(*graph, rng, &old_to_new);
+  ASSERT_EQ(static_cast<int>(old_to_new.size()), 7);
+  EXPECT_EQ(shuffled.relation_count(), 7);
+  EXPECT_EQ(shuffled.edge_count(), 6);
+  for (int u = 0; u < 7; ++u) {
+    EXPECT_DOUBLE_EQ(shuffled.cardinality(old_to_new[u]),
+                     graph->cardinality(u));
+    for (int v = 0; v < 7; ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(shuffled.HasEdge(old_to_new[u], old_to_new[v]),
+                graph->HasEdge(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

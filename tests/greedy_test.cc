@@ -1,0 +1,96 @@
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+TEST(GreedyTest, ProducesValidPlansOnAllShapes) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, 9);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> result =
+        GreedyOperatorOrdering().Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(result.ok()) << QueryShapeName(shape);
+    EXPECT_EQ(result->plan.relations(), graph->AllRelations());
+    EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok())
+        << QueryShapeName(shape);
+  }
+}
+
+TEST(GreedyTest, NeverBeatsTheOptimum) {
+  const GreedyOperatorOrdering greedy;
+  const DPccp exact;
+  int suboptimal_cases = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(9, 5, config);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> greedy_result =
+        greedy.Optimize(*graph, CoutCostModel());
+    Result<OptimizationResult> exact_result =
+        exact.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(greedy_result.ok());
+    ASSERT_TRUE(exact_result.ok());
+    EXPECT_GE(greedy_result->cost, exact_result->cost * (1 - 1e-12))
+        << "seed " << seed;
+    if (greedy_result->cost > exact_result->cost * (1 + 1e-9)) {
+      ++suboptimal_cases;
+    }
+  }
+  // Greedy should actually be suboptimal on at least one of the twelve
+  // random instances — otherwise this test exercises nothing.
+  EXPECT_GT(suboptimal_cases, 0);
+}
+
+TEST(GreedyTest, OptimalOnTwoRelations) {
+  Result<QueryGraph> graph =
+      ParseQuerySpecToGraph("rel a 10\nrel b 20\njoin a b 0.5\n");
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      GreedyOperatorOrdering().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 100.0);
+}
+
+TEST(GreedyTest, SingleRelation) {
+  Result<QueryGraph> graph = MakeChainQuery(1);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      GreedyOperatorOrdering().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+}
+
+TEST(GreedyTest, RejectsDisconnected) {
+  Result<QueryGraph> graph = QueryGraph::WithRelations(4);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph->AddEdge(2, 3).ok());
+  EXPECT_FALSE(GreedyOperatorOrdering().Optimize(*graph, CoutCostModel()).ok());
+}
+
+TEST(GreedyTest, PolynomialWorkOnLargeChain) {
+  // Greedy must handle sizes DP cannot: inner counter is O(n^3), far
+  // from exponential.
+  Result<QueryGraph> graph = MakeChainQuery(40);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      GreedyOperatorOrdering().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.LeafCount(), 40);
+  EXPECT_LT(result->stats.inner_counter, 41u * 41u * 41u);
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok());
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,75 @@
+#include "dsl/hyper_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "hyper/dphyp.h"
+
+namespace joinopt {
+namespace {
+
+TEST(HyperParserTest, SimpleEdgesOnly) {
+  Result<Hypergraph> graph = ParseHypergraphSpec(
+      "rel a 100\nrel b 50\njoin a b 0.1\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relation_count(), 2);
+  EXPECT_EQ(graph->edge_count(), 1);
+  EXPECT_TRUE(graph->edges()[0].IsSimple());
+  EXPECT_DOUBLE_EQ(graph->edges()[0].selectivity, 0.1);
+}
+
+TEST(HyperParserTest, ComplexEdge) {
+  Result<Hypergraph> graph = ParseHypergraphSpec(
+      "rel a 10\nrel b 20\nrel c 30\nrel d 40\n"
+      "join a b 0.5\n"
+      "hyperjoin a,b c,d 0.05\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edge_count(), 2);
+  const HyperEdge& complex = graph->edges()[1];
+  EXPECT_FALSE(complex.IsSimple());
+  EXPECT_EQ(complex.left, NodeSet::Of({0, 1}));
+  EXPECT_EQ(complex.right, NodeSet::Of({2, 3}));
+}
+
+TEST(HyperParserTest, HyperjoinWithSingletonsIsAllowed) {
+  Result<Hypergraph> graph = ParseHypergraphSpec(
+      "rel a 10\nrel b 20\nhyperjoin a b 0.5\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->edges()[0].IsSimple());
+}
+
+TEST(HyperParserTest, Errors) {
+  const auto expect_error = [](std::string_view spec,
+                               std::string_view needle) {
+    const Result<Hypergraph> result = ParseHypergraphSpec(spec);
+    ASSERT_FALSE(result.ok()) << spec;
+    EXPECT_NE(result.status().message().find(needle), std::string::npos)
+        << result.status().ToString();
+  };
+  expect_error("", "no relations");
+  expect_error("rel a 10\nrel a 20\n", "duplicate");
+  expect_error("rel a 10\njoin a ghost 0.5\n", "unknown relation");
+  expect_error("rel a 10\nrel b 20\njoin a,b a 0.5\n", "single relations");
+  expect_error("rel a 10\nrel b 20\nhyperjoin a,b b 0.5\n", "disjoint");
+  expect_error("rel a 10\nrel b 20\nhyperjoin a, b 0.5\n", "empty relation");
+  expect_error("rel a 10\nfrobnicate a 1\n", "unknown directive");
+  expect_error("rel a ten\n", "expected a number");
+}
+
+TEST(HyperParserTest, ParsedHypergraphRunsThroughDPhyp) {
+  Result<Hypergraph> graph = ParseHypergraphSpec(
+      "# R3 joins only once R0 and R1 are assembled\n"
+      "rel r0 100\nrel r1 200\nrel r2 300\nrel r3 50\n"
+      "join r0 r1 0.1\n"
+      "join r1 r2 0.05\n"
+      "hyperjoin r0,r1 r3 0.01\n");
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPhyp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.LeafCount(), 4);
+  EXPECT_GT(result->cost, 0.0);
+}
+
+}  // namespace
+}  // namespace joinopt

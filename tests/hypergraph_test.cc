@@ -1,0 +1,162 @@
+#include "hyper/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+Hypergraph TriangleWithComplexEdge() {
+  // Nodes 0..3; simple 0-1, 1-2; complex ({0, 1}, {3}).
+  Hypergraph graph;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(graph.AddRelation(100.0).ok());
+  }
+  EXPECT_TRUE(graph.AddSimpleEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(graph.AddSimpleEdge(1, 2, 0.2).ok());
+  EXPECT_TRUE(graph.AddEdge(NodeSet::Of({0, 1}), NodeSet::Of({3}), 0.5).ok());
+  return graph;
+}
+
+TEST(HypergraphTest, AddRelationAndEdgeValidation) {
+  Hypergraph graph;
+  EXPECT_FALSE(graph.AddRelation(0.0).ok());
+  ASSERT_TRUE(graph.AddRelation(10.0).ok());
+  ASSERT_TRUE(graph.AddRelation(20.0).ok());
+  EXPECT_FALSE(graph.AddEdge(NodeSet(), NodeSet::Of({1})).ok());
+  EXPECT_FALSE(graph.AddEdge(NodeSet::Of({0}), NodeSet::Of({0})).ok());
+  EXPECT_FALSE(graph.AddEdge(NodeSet::Of({0}), NodeSet::Of({2})).ok());
+  EXPECT_FALSE(graph.AddEdge(NodeSet::Of({0}), NodeSet::Of({1}), 0.0).ok());
+  EXPECT_TRUE(graph.AddEdge(NodeSet::Of({0}), NodeSet::Of({1}), 0.5).ok());
+  EXPECT_EQ(graph.edge_count(), 1);
+  EXPECT_TRUE(graph.edges()[0].IsSimple());
+}
+
+TEST(HypergraphTest, FromQueryGraphRoundTrip) {
+  Result<QueryGraph> simple = MakeCycleQuery(5);
+  ASSERT_TRUE(simple.ok());
+  const Hypergraph hyper = Hypergraph::FromQueryGraph(*simple);
+  EXPECT_EQ(hyper.relation_count(), 5);
+  EXPECT_EQ(hyper.edge_count(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(hyper.cardinality(i), simple->cardinality(i));
+    EXPECT_EQ(hyper.name(i), simple->name(i));
+  }
+  for (const HyperEdge& edge : hyper.edges()) {
+    EXPECT_TRUE(edge.IsSimple());
+  }
+  EXPECT_TRUE(hyper.IsConnected());
+}
+
+TEST(HypergraphTest, NeighborhoodSimpleEdgesMatchQueryGraph) {
+  Result<QueryGraph> simple = MakeChainQuery(5);
+  ASSERT_TRUE(simple.ok());
+  const Hypergraph hyper = Hypergraph::FromQueryGraph(*simple);
+  for (uint64_t mask = 1; mask < 32; ++mask) {
+    const NodeSet s = NodeSet::FromMask(mask);
+    EXPECT_EQ(hyper.Neighborhood(s, NodeSet()), simple->Neighborhood(s))
+        << s.ToString();
+  }
+}
+
+TEST(HypergraphTest, NeighborhoodComplexEdgeUsesRepresentative) {
+  Hypergraph graph;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(graph.AddRelation(10.0).ok());
+  }
+  ASSERT_TRUE(graph.AddEdge(NodeSet::Of({0}), NodeSet::Of({2, 3})).ok());
+  // From {0}: the far side {2, 3} contributes only min = 2.
+  EXPECT_EQ(graph.Neighborhood(NodeSet::Of({0}), NodeSet()), NodeSet::Of({2}));
+  // Excluding 2 suppresses the whole far side (no partial membership).
+  EXPECT_EQ(graph.Neighborhood(NodeSet::Of({0}), NodeSet::Of({2})), NodeSet());
+  // From the far side: requires the WHOLE of {2, 3} to be inside s.
+  EXPECT_EQ(graph.Neighborhood(NodeSet::Of({2}), NodeSet()), NodeSet());
+  EXPECT_EQ(graph.Neighborhood(NodeSet::Of({2, 3}), NodeSet()),
+            NodeSet::Of({0}));
+}
+
+TEST(HypergraphTest, AreConnectedRequiresFullContainment) {
+  const Hypergraph graph = TriangleWithComplexEdge();
+  EXPECT_TRUE(graph.AreConnected(NodeSet::Of({0}), NodeSet::Of({1})));
+  EXPECT_TRUE(graph.AreConnected(NodeSet::Of({0, 1}), NodeSet::Of({3})));
+  EXPECT_TRUE(graph.AreConnected(NodeSet::Of({0, 1, 2}), NodeSet::Of({3})));
+  // {0} alone does not satisfy the complex edge's left side.
+  EXPECT_FALSE(graph.AreConnected(NodeSet::Of({0}), NodeSet::Of({3})));
+  EXPECT_FALSE(graph.AreConnected(NodeSet::Of({1}), NodeSet::Of({3})));
+  EXPECT_FALSE(graph.AreConnected(NodeSet::Of({0}), NodeSet::Of({2})));
+}
+
+TEST(HypergraphTest, IsConnectedSetWithComplexEdges) {
+  const Hypergraph graph = TriangleWithComplexEdge();
+  EXPECT_TRUE(graph.IsConnectedSet(NodeSet::Of({0})));
+  EXPECT_TRUE(graph.IsConnectedSet(NodeSet::Of({0, 1})));
+  EXPECT_TRUE(graph.IsConnectedSet(NodeSet::Of({0, 1, 2})));
+  EXPECT_TRUE(graph.IsConnectedSet(NodeSet::Of({0, 1, 3})));
+  EXPECT_TRUE(graph.IsConnectedSet(NodeSet::Of({0, 1, 2, 3})));
+  // {0, 3}: the complex edge needs 1 as well.
+  EXPECT_FALSE(graph.IsConnectedSet(NodeSet::Of({0, 3})));
+  EXPECT_FALSE(graph.IsConnectedSet(NodeSet::Of({1, 3})));
+  EXPECT_FALSE(graph.IsConnectedSet(NodeSet::Of({2, 3})));
+  EXPECT_FALSE(graph.IsConnectedSet(NodeSet::Of({0, 2})));
+  EXPECT_FALSE(graph.IsConnectedSet(NodeSet()));
+  EXPECT_TRUE(graph.IsConnected());
+}
+
+TEST(HypergraphTest, PathologicallyConnectedButUndecomposable) {
+  // Connected via crossing complex edges, yet no csg-cmp split exists.
+  Hypergraph graph;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(graph.AddRelation(10.0).ok());
+  }
+  ASSERT_TRUE(graph.AddEdge(NodeSet::Of({0}), NodeSet::Of({1, 2})).ok());
+  ASSERT_TRUE(graph.AddEdge(NodeSet::Of({1}), NodeSet::Of({0, 2})).ok());
+  EXPECT_TRUE(graph.IsConnected());
+  EXPECT_FALSE(graph.IsConnectedSet(NodeSet::Of({1, 2})));
+  EXPECT_FALSE(graph.IsConnectedSet(NodeSet::Of({0, 2})));
+  EXPECT_FALSE(graph.IsConnectedSet(NodeSet::Of({0, 1})));
+}
+
+TEST(HypergraphTest, SelectivitySemantics) {
+  const Hypergraph graph = TriangleWithComplexEdge();
+  // Join ({0,1}, {3}): exactly the complex edge becomes evaluable.
+  EXPECT_DOUBLE_EQ(
+      graph.SelectivityBetween(NodeSet::Of({0, 1}), NodeSet::Of({3})), 0.5);
+  // Join ({0}, {1}): only the simple 0-1 edge.
+  EXPECT_DOUBLE_EQ(graph.SelectivityBetween(NodeSet::Of({0}), NodeSet::Of({1})),
+                   0.1);
+  // Join ({0,3}, {1}): completes both 0-1 and the complex edge.
+  EXPECT_DOUBLE_EQ(
+      graph.SelectivityBetween(NodeSet::Of({0, 3}), NodeSet::Of({1})),
+      0.1 * 0.5);
+  // Within the full set: all three predicates.
+  EXPECT_DOUBLE_EQ(graph.SelectivityWithin(NodeSet::Of({0, 1, 2, 3})),
+                   0.1 * 0.2 * 0.5);
+}
+
+TEST(HypergraphTest, SelectivityOrderIndependence) {
+  // card(S) computed via any split sequence must agree (the DP invariant).
+  const Hypergraph graph = TriangleWithComplexEdge();
+  const NodeSet full = graph.AllRelations();
+  double base = 1.0;
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    base *= graph.cardinality(i);
+  }
+  const double reference = base * graph.SelectivityWithin(full);
+  for (uint64_t mask = 1; mask < 15; ++mask) {
+    const NodeSet s1 = NodeSet::FromMask(mask);
+    const NodeSet s2 = full - s1;
+    double left = 1.0;
+    for (int v : s1) left *= graph.cardinality(v);
+    left *= graph.SelectivityWithin(s1);
+    double right = 1.0;
+    for (int v : s2) right *= graph.cardinality(v);
+    right *= graph.SelectivityWithin(s2);
+    EXPECT_NEAR(left * right * graph.SelectivityBetween(s1, s2), reference,
+                reference * 1e-9)
+        << s1.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

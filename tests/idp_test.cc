@@ -1,0 +1,110 @@
+#include "core/idp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "core/greedy.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+TEST(IDP1Test, RejectsBadBlockSizeAndInput) {
+  Result<QueryGraph> graph = MakeChainQuery(4);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(IDP1(1).Optimize(*graph, CoutCostModel()).ok());
+  EXPECT_FALSE(IDP1(4).Optimize(QueryGraph(), CoutCostModel()).ok());
+  Result<QueryGraph> disconnected = QueryGraph::WithRelations(3);
+  ASSERT_TRUE(disconnected.ok());
+  ASSERT_TRUE(disconnected->AddEdge(0, 1).ok());
+  EXPECT_FALSE(IDP1(4).Optimize(*disconnected, CoutCostModel()).ok());
+}
+
+TEST(IDP1Test, FullBlockSizeMatchesExactDP) {
+  // k >= n: one DP round covering everything — must equal DPccp.
+  const DPccp exact;
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, 8);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> idp_result =
+        IDP1(8).Optimize(*graph, CoutCostModel());
+    Result<OptimizationResult> exact_result =
+        exact.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(idp_result.ok()) << QueryShapeName(shape);
+    ASSERT_TRUE(exact_result.ok());
+    EXPECT_NEAR(idp_result->cost / exact_result->cost, 1.0, 1e-9)
+        << QueryShapeName(shape);
+    EXPECT_TRUE(ValidatePlan(idp_result->plan, *graph, CoutCostModel()).ok());
+  }
+}
+
+TEST(IDP1Test, SmallBlocksProduceValidPlansBoundedByOptimum) {
+  const DPccp exact;
+  for (const int k : {2, 3, 5}) {
+    for (const uint64_t seed : {1u, 2u, 3u, 4u}) {
+      WorkloadConfig config;
+      config.seed = seed;
+      Result<QueryGraph> graph = MakeRandomConnectedQuery(9, 4, config);
+      ASSERT_TRUE(graph.ok());
+      Result<OptimizationResult> idp_result =
+          IDP1(k).Optimize(*graph, CoutCostModel());
+      Result<OptimizationResult> exact_result =
+          exact.Optimize(*graph, CoutCostModel());
+      ASSERT_TRUE(idp_result.ok()) << "k=" << k << " seed=" << seed;
+      ASSERT_TRUE(exact_result.ok());
+      EXPECT_GE(idp_result->cost, exact_result->cost * (1 - 1e-12));
+      EXPECT_TRUE(
+          ValidatePlan(idp_result->plan, *graph, CoutCostModel()).ok())
+          << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(IDP1Test, LargerBlocksAreNoWorseOnAverage) {
+  // Not guaranteed per-instance, but on a batch the total cost with
+  // k = 6 must not exceed the total with k = 2 (k = 2 is the crudest).
+  double total_k2 = 0;
+  double total_k6 = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(10, 5, config);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> k2 = IDP1(2).Optimize(*graph, CoutCostModel());
+    Result<OptimizationResult> k6 = IDP1(6).Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(k2.ok());
+    ASSERT_TRUE(k6.ok());
+    total_k2 += k2->cost;
+    total_k6 += k6->cost;
+  }
+  EXPECT_LE(total_k6, total_k2 * (1 + 1e-9));
+}
+
+TEST(IDP1Test, ScalesToSizesExactDPCannotReach) {
+  // A 48-relation chain with k = 7: rounds of small DPs, cheap inner
+  // counter, valid plan.
+  Result<QueryGraph> graph = MakeChainQuery(48);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      IDP1(7).Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.LeafCount(), 48);
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok());
+  EXPECT_LT(result->stats.inner_counter, 1'000'000u);
+}
+
+TEST(IDP1Test, DenseGraphWithModerateBlock) {
+  Result<QueryGraph> graph = MakeCliqueQuery(12);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      IDP1(5).Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidatePlan(result->plan, *graph, CoutCostModel()).ok());
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,162 @@
+#include "plan/join_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+/// Builds a plan table describing ((R0 ⋈ R1) ⋈ R2) by hand.
+PlanTable HandBuiltTable() {
+  PlanTable table(3);
+  for (int i = 0; i < 3; ++i) {
+    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
+    leaf.cost = 0.0;
+    leaf.cardinality = 100.0 * (i + 1);
+    table.NotePopulated();
+  }
+  PlanEntry& pair = table.GetOrCreate(NodeSet::Of({0, 1}));
+  pair.left = NodeSet::Of({0});
+  pair.right = NodeSet::Of({1});
+  pair.cost = 10.0;
+  pair.cardinality = 50.0;
+  table.NotePopulated();
+  PlanEntry& all = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
+  all.left = NodeSet::Of({0, 1});
+  all.right = NodeSet::Of({2});
+  all.cost = 25.0;
+  all.cardinality = 20.0;
+  table.NotePopulated();
+  return table;
+}
+
+TEST(JoinTreeTest, ReconstructsHandBuiltPlan) {
+  const PlanTable table = HandBuiltTable();
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->relations(), NodeSet::Of({0, 1, 2}));
+  EXPECT_DOUBLE_EQ(tree->cost(), 25.0);
+  EXPECT_DOUBLE_EQ(tree->cardinality(), 20.0);
+  EXPECT_EQ(tree->LeafCount(), 3);
+  EXPECT_EQ(tree->JoinCount(), 2);
+  EXPECT_EQ(tree->Height(), 2);
+  EXPECT_TRUE(tree->IsLeftDeep());
+  EXPECT_EQ(static_cast<int>(tree->nodes().size()), 5);
+
+  // Children precede parents; the root is last.
+  const JoinTreeNode& root = tree->root();
+  EXPECT_FALSE(root.IsLeaf());
+  EXPECT_EQ(tree->nodes()[root.left].relations, NodeSet::Of({0, 1}));
+  EXPECT_EQ(tree->nodes()[root.right].relations, NodeSet::Of({2}));
+}
+
+TEST(JoinTreeTest, SingleLeafTree) {
+  PlanTable table(1);
+  PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(0));
+  leaf.cost = 0.0;
+  leaf.cardinality = 10.0;
+  table.NotePopulated();
+
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->LeafCount(), 1);
+  EXPECT_EQ(tree->JoinCount(), 0);
+  EXPECT_EQ(tree->Height(), 0);
+  EXPECT_TRUE(tree->IsLeftDeep());
+  EXPECT_TRUE(tree->root().IsLeaf());
+  EXPECT_EQ(tree->root().relation, 0);
+  EXPECT_DOUBLE_EQ(tree->cost(), 0.0);
+}
+
+TEST(JoinTreeTest, FailsForMissingEntry) {
+  const PlanTable table = HandBuiltTable();
+  const Result<JoinTree> tree =
+      JoinTree::FromPlanTable(table, NodeSet::Of({0, 2}));
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInternal);
+}
+
+TEST(JoinTreeTest, FailsForEmptyRootSet) {
+  const PlanTable table = HandBuiltTable();
+  EXPECT_FALSE(JoinTree::FromPlanTable(table, NodeSet()).ok());
+}
+
+TEST(JoinTreeTest, FailsForCorruptDecomposition) {
+  PlanTable table(3);
+  for (int i = 0; i < 3; ++i) {
+    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
+    leaf.cost = 0.0;
+    leaf.cardinality = 1.0;
+    table.NotePopulated();
+  }
+  // Children overlap the parent incorrectly: {0,1} vs {1,2} for {0,1,2}.
+  PlanEntry& bad = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
+  bad.left = NodeSet::Of({0, 1});
+  bad.right = NodeSet::Of({1, 2});
+  bad.cost = 1.0;
+  bad.cardinality = 1.0;
+  table.NotePopulated();
+  EXPECT_FALSE(JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2})).ok());
+}
+
+TEST(JoinTreeTest, BushyTreeIsNotLeftDeep) {
+  // ((0 ⋈ 1) ⋈ (2 ⋈ 3)) — a genuinely bushy shape.
+  PlanTable table(4);
+  for (int i = 0; i < 4; ++i) {
+    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
+    leaf.cost = 0.0;
+    leaf.cardinality = 1.0;
+    table.NotePopulated();
+  }
+  const auto add_join = [&table](NodeSet left, NodeSet right) {
+    PlanEntry& entry = table.GetOrCreate(left | right);
+    entry.left = left;
+    entry.right = right;
+    entry.cost = 1.0;
+    entry.cardinality = 1.0;
+    table.NotePopulated();
+  };
+  add_join(NodeSet::Of({0}), NodeSet::Of({1}));
+  add_join(NodeSet::Of({2}), NodeSet::Of({3}));
+  add_join(NodeSet::Of({0, 1}), NodeSet::Of({2, 3}));
+
+  Result<JoinTree> tree =
+      JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2, 3}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->IsLeftDeep());
+  EXPECT_EQ(tree->Height(), 2);
+  EXPECT_EQ(tree->JoinCount(), 3);
+}
+
+TEST(JoinTreeTest, RelabelLeavesAppliesPermutation) {
+  const PlanTable table = HandBuiltTable();
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
+  ASSERT_TRUE(tree.ok());
+  // Permutation: label 0 -> original 2, 1 -> 0, 2 -> 1.
+  tree->RelabelLeaves({2, 0, 1});
+  EXPECT_EQ(tree->relations(), NodeSet::Of({0, 1, 2}));
+  const JoinTreeNode& root = tree->root();
+  EXPECT_EQ(tree->nodes()[root.left].relations, NodeSet::Of({0, 2}));
+  EXPECT_EQ(tree->nodes()[root.right].relations, NodeSet::Of({1}));
+}
+
+TEST(JoinTreeTest, HeightOfChainPlanOnCoutModel) {
+  // Sanity on a real optimizer output: a 6-relation chain plan has
+  // between 1 (balanced, impossible here) and 5 (left-deep) levels.
+  Result<QueryGraph> graph = MakeChainQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  const DPccp optimizer;
+  Result<OptimizationResult> result = optimizer.Optimize(*graph, cost_model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->plan.Height(), 3);
+  EXPECT_LE(result->plan.Height(), 5);
+  EXPECT_EQ(result->plan.LeafCount(), 6);
+  EXPECT_EQ(result->plan.JoinCount(), 5);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,179 @@
+#include "core/kbest.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitset/subset_iterator.h"
+#include "core/dpccp.h"
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "plan/plan_printer.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+/// Brute-force oracle: the costs of ALL ordered cross-product-free join
+/// trees of the query, ascending.
+std::vector<double> AllTreeCosts(const QueryGraph& graph,
+                                 const CostModel& cost_model) {
+  const CardinalityEstimator estimator(graph);
+  struct Enumerator {
+    const QueryGraph& graph;
+    const CardinalityEstimator& estimator;
+    const CostModel& cost_model;
+
+    // Returns (cost, cardinality) of every ordered tree for `s`.
+    std::vector<std::pair<double, double>> Trees(NodeSet s) {
+      if (s.count() == 1) {
+        return {{0.0, graph.cardinality(s.Min())}};
+      }
+      std::vector<std::pair<double, double>> result;
+      for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+        const NodeSet s1 = it.Current();
+        const NodeSet s2 = s - s1;
+        if (!IsConnectedSet(graph, s1) || !IsConnectedSet(graph, s2)) {
+          continue;
+        }
+        if (!graph.AreConnected(s1, s2)) {
+          continue;
+        }
+        for (const auto& [left_cost, left_card] : Trees(s1)) {
+          for (const auto& [right_cost, right_card] : Trees(s2)) {
+            const double out_card =
+                estimator.JoinCardinality(s1, left_card, s2, right_card);
+            result.emplace_back(
+                left_cost + right_cost +
+                    cost_model.JoinCost(left_card, right_card, out_card),
+                out_card);
+          }
+        }
+      }
+      return result;
+    }
+  };
+  Enumerator enumerator{graph, estimator, cost_model};
+  std::vector<double> costs;
+  for (const auto& [cost, card] : enumerator.Trees(graph.AllRelations())) {
+    costs.push_back(cost);
+  }
+  std::sort(costs.begin(), costs.end());
+  return costs;
+}
+
+TEST(KBestTest, RejectsBadInput) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(KBestJoinOrderer(0).Optimize(*graph, CoutCostModel()).ok());
+  EXPECT_FALSE(
+      KBestJoinOrderer(3).Optimize(QueryGraph(), CoutCostModel()).ok());
+}
+
+TEST(KBestTest, KOneMatchesDPccp) {
+  const KBestJoinOrderer kbest(1);
+  const DPccp exact;
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    Result<QueryGraph> graph = MakeShapeQuery(shape, 7);
+    ASSERT_TRUE(graph.ok());
+    Result<std::vector<RankedPlan>> plans =
+        kbest.Optimize(*graph, CoutCostModel());
+    Result<OptimizationResult> reference =
+        exact.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(plans.ok()) << QueryShapeName(shape);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ(plans->size(), 1u);
+    EXPECT_NEAR((*plans)[0].cost / reference->cost, 1.0, 1e-12)
+        << QueryShapeName(shape);
+  }
+}
+
+TEST(KBestTest, RankingMatchesBruteForceOnSmallGraphs) {
+  const KBestJoinOrderer kbest(10);
+  for (const uint64_t seed : {1u, 2u, 3u, 4u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(5, 2, config);
+    ASSERT_TRUE(graph.ok());
+    Result<std::vector<RankedPlan>> plans =
+        kbest.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(plans.ok());
+    const std::vector<double> oracle = AllTreeCosts(*graph, CoutCostModel());
+    const size_t expected = std::min<size_t>(10, oracle.size());
+    ASSERT_EQ(plans->size(), expected) << seed;
+    for (size_t i = 0; i < expected; ++i) {
+      EXPECT_NEAR((*plans)[i].cost, oracle[i],
+                  1e-9 * std::max(1.0, oracle[i]))
+          << "rank " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST(KBestTest, PlansAreSortedDistinctAndValid) {
+  Result<QueryGraph> graph = MakeCycleQuery(6);
+  ASSERT_TRUE(graph.ok());
+  Result<std::vector<RankedPlan>> plans =
+      KBestJoinOrderer(8).Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 8u);
+  std::set<std::string> expressions;
+  for (size_t i = 0; i < plans->size(); ++i) {
+    const RankedPlan& ranked = (*plans)[i];
+    if (i > 0) {
+      EXPECT_GE(ranked.cost, (*plans)[i - 1].cost);
+    }
+    EXPECT_TRUE(ValidatePlan(ranked.plan, *graph, CoutCostModel()).ok())
+        << i;
+    expressions.insert(PlanToExpression(ranked.plan, *graph));
+  }
+  // All eight trees are structurally distinct.
+  EXPECT_EQ(expressions.size(), 8u);
+}
+
+TEST(KBestTest, ReturnsFewerWhenSpaceIsSmaller) {
+  // A 2-relation query has exactly 2 ordered trees.
+  Result<QueryGraph> graph = MakeChainQuery(2);
+  ASSERT_TRUE(graph.ok());
+  Result<std::vector<RankedPlan>> plans =
+      KBestJoinOrderer(10).Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 2u);
+}
+
+TEST(KBestTest, WorksWithAsymmetricCostModels) {
+  Result<QueryGraph> graph = MakeStarQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const HashJoinCostModel model(4.0, 1.0);
+  Result<std::vector<RankedPlan>> plans =
+      KBestJoinOrderer(5).Optimize(*graph, model);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 5u);
+  const std::vector<double> oracle = AllTreeCosts(*graph, model);
+  for (size_t i = 0; i < plans->size(); ++i) {
+    EXPECT_NEAR((*plans)[i].cost, oracle[i], 1e-9 * oracle[i]) << i;
+    EXPECT_TRUE(ValidatePlan((*plans)[i].plan, *graph, model).ok());
+  }
+}
+
+TEST(KBestTest, ScrambledNumberingHandled) {
+  Result<QueryGraph> chain = MakeChainQuery(6);
+  ASSERT_TRUE(chain.ok());
+  Random rng(5);
+  const QueryGraph shuffled = ShuffleLabels(*chain, rng);
+  Result<std::vector<RankedPlan>> plans =
+      KBestJoinOrderer(3).Optimize(shuffled, CoutCostModel());
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 3u);
+  for (const RankedPlan& ranked : *plans) {
+    EXPECT_TRUE(ValidatePlan(ranked.plan, shuffled, CoutCostModel()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,185 @@
+#include "bitset/node_set.h"
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(NodeSetTest, DefaultIsEmpty) {
+  const NodeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mask(), 0u);
+}
+
+TEST(NodeSetTest, SingletonBasics) {
+  const NodeSet s = NodeSet::Singleton(5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Min(), 5);
+  EXPECT_EQ(s.Max(), 5);
+  EXPECT_EQ(s.mask(), uint64_t{1} << 5);
+}
+
+TEST(NodeSetTest, SingletonAtBit63) {
+  const NodeSet s = NodeSet::Singleton(63);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.Min(), 63);
+  EXPECT_EQ(s.Max(), 63);
+}
+
+TEST(NodeSetTest, PrefixCoversExactlyFirstN) {
+  const NodeSet s = NodeSet::Prefix(4);
+  EXPECT_EQ(s.count(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(s.Contains(i)) << i;
+  }
+  EXPECT_FALSE(s.Contains(4));
+}
+
+TEST(NodeSetTest, PrefixZeroIsEmpty) { EXPECT_TRUE(NodeSet::Prefix(0).empty()); }
+
+TEST(NodeSetTest, PrefixFullWidth) {
+  const NodeSet s = NodeSet::Prefix(64);
+  EXPECT_EQ(s.count(), 64);
+  EXPECT_EQ(s.mask(), ~uint64_t{0});
+}
+
+TEST(NodeSetTest, OfBuildsFromList) {
+  const NodeSet s = NodeSet::Of({0, 2, 7});
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_EQ(s.Min(), 0);
+  EXPECT_EQ(s.Max(), 7);
+}
+
+TEST(NodeSetTest, UnionIntersectionDifference) {
+  const NodeSet a = NodeSet::Of({0, 1, 2});
+  const NodeSet b = NodeSet::Of({2, 3});
+  EXPECT_EQ(a | b, NodeSet::Of({0, 1, 2, 3}));
+  EXPECT_EQ(a & b, NodeSet::Of({2}));
+  EXPECT_EQ(a - b, NodeSet::Of({0, 1}));
+  EXPECT_EQ(b - a, NodeSet::Of({3}));
+}
+
+TEST(NodeSetTest, CompoundAssignmentOperators) {
+  NodeSet s = NodeSet::Of({0, 1});
+  s |= NodeSet::Of({2});
+  EXPECT_EQ(s, NodeSet::Of({0, 1, 2}));
+  s &= NodeSet::Of({1, 2, 3});
+  EXPECT_EQ(s, NodeSet::Of({1, 2}));
+  s -= NodeSet::Of({1});
+  EXPECT_EQ(s, NodeSet::Of({2}));
+}
+
+TEST(NodeSetTest, IntersectsAndSubset) {
+  const NodeSet a = NodeSet::Of({1, 3});
+  const NodeSet b = NodeSet::Of({3, 5});
+  const NodeSet c = NodeSet::Of({0, 2});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(NodeSet::Of({1}).IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.ContainsAll(NodeSet::Of({1})));
+  EXPECT_FALSE(a.ContainsAll(b));
+  // The empty set is a subset of everything and intersects nothing.
+  EXPECT_TRUE(NodeSet().IsSubsetOf(c));
+  EXPECT_FALSE(NodeSet().Intersects(c));
+}
+
+TEST(NodeSetTest, AddRemove) {
+  NodeSet s;
+  s.Add(3);
+  s.Add(9);
+  EXPECT_EQ(s, NodeSet::Of({3, 9}));
+  s.Remove(3);
+  EXPECT_EQ(s, NodeSet::Of({9}));
+  s.Remove(9);
+  EXPECT_TRUE(s.empty());
+  // Removing an absent element is a no-op.
+  s.Remove(5);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSetTest, LowestBit) {
+  const NodeSet s = NodeSet::Of({4, 6, 9});
+  EXPECT_EQ(s.LowestBit(), NodeSet::Singleton(4));
+}
+
+TEST(NodeSetTest, MinMax) {
+  const NodeSet s = NodeSet::Of({7, 12, 40, 63});
+  EXPECT_EQ(s.Min(), 7);
+  EXPECT_EQ(s.Max(), 63);
+}
+
+TEST(NodeSetTest, IterationAscending) {
+  const NodeSet s = NodeSet::Of({1, 5, 17, 42});
+  std::vector<int> elements;
+  for (int v : s) {
+    elements.push_back(v);
+  }
+  EXPECT_EQ(elements, (std::vector<int>{1, 5, 17, 42}));
+}
+
+TEST(NodeSetTest, IterationOfEmptySet) {
+  int count = 0;
+  for (int v : NodeSet()) {
+    (void)v;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+TEST(NodeSetTest, OrderingMatchesMaskOrder) {
+  EXPECT_LT(NodeSet::Of({0}), NodeSet::Of({1}));
+  EXPECT_LT(NodeSet::Of({0, 1}), NodeSet::Of({2}));
+  // Every proper subset is numerically smaller than its superset — the
+  // property DPsub's ascending enumeration relies on.
+  const NodeSet super = NodeSet::Of({1, 3, 6});
+  const NodeSet sub = NodeSet::Of({1, 6});
+  EXPECT_LT(sub, super);
+}
+
+TEST(NodeSetTest, ToStringFormat) {
+  EXPECT_EQ(NodeSet().ToString(), "{}");
+  EXPECT_EQ(NodeSet::Of({3}).ToString(), "{3}");
+  EXPECT_EQ(NodeSet::Of({0, 2, 5}).ToString(), "{0, 2, 5}");
+}
+
+TEST(NodeSetTest, StreamOperator) {
+  std::ostringstream os;
+  os << NodeSet::Of({1, 2});
+  EXPECT_EQ(os.str(), "{1, 2}");
+}
+
+TEST(NodeSetTest, HashSpreadsClusteredMasks) {
+  // Not a strict requirement, just a sanity check that nearby masks do
+  // not collide wholesale.
+  NodeSetHash hash;
+  std::set<size_t> hashes;
+  for (uint64_t mask = 1; mask <= 64; ++mask) {
+    hashes.insert(hash(NodeSet::FromMask(mask)));
+  }
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(NodeSetTest, ConstexprUsable) {
+  constexpr NodeSet s = NodeSet::Of({0, 1});
+  static_assert(s.count() == 2);
+  static_assert(s.Contains(1));
+  static_assert(!s.Contains(2));
+  EXPECT_EQ(s.count(), 2);
+}
+
+}  // namespace
+}  // namespace joinopt

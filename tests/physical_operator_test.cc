@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+#include "plan/plan_printer.h"
+
+namespace joinopt {
+namespace {
+
+TEST(JoinOperatorTest, Names) {
+  EXPECT_EQ(JoinOperatorName(JoinOperator::kUnspecified), "Join");
+  EXPECT_EQ(JoinOperatorName(JoinOperator::kHashJoin), "HashJoin");
+  EXPECT_EQ(JoinOperatorName(JoinOperator::kNestedLoop), "NestedLoopJoin");
+  EXPECT_EQ(JoinOperatorName(JoinOperator::kSortMerge), "SortMergeJoin");
+}
+
+TEST(JoinOperatorTest, ModelsReportTheirOperator) {
+  EXPECT_EQ(CoutCostModel().OperatorFor(1, 1, 1), JoinOperator::kUnspecified);
+  EXPECT_EQ(NestedLoopCostModel().OperatorFor(1, 1, 1),
+            JoinOperator::kNestedLoop);
+  EXPECT_EQ(HashJoinCostModel().OperatorFor(1, 1, 1),
+            JoinOperator::kHashJoin);
+  EXPECT_EQ(SortMergeCostModel().OperatorFor(1, 1, 1),
+            JoinOperator::kSortMerge);
+}
+
+TEST(JoinOperatorTest, BestOfPicksArgminOperator) {
+  const BestOfCostModel model = BestOfCostModel::Standard();
+  // Tiny inputs: NLJ (l*r = 4) beats hash (2*2+2+1 = 7) and sort-merge.
+  EXPECT_EQ(model.OperatorFor(2, 2, 1), JoinOperator::kNestedLoop);
+  // Large inputs: hash (2l + r + o) beats NLJ (l*r) and sort-merge
+  // (n log n both sides).
+  EXPECT_EQ(model.OperatorFor(1e6, 1e6, 10), JoinOperator::kHashJoin);
+}
+
+TEST(JoinOperatorTest, OptimizerRecordsOperatorsInPlan) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel big1 100000\nrel big2 100000\nrel tiny 2\n"
+      "join big1 big2 1e-5\njoin big2 tiny 0.5\n");
+  ASSERT_TRUE(graph.ok());
+  const BestOfCostModel model = BestOfCostModel::Standard();
+  Result<OptimizationResult> result = DPccp().Optimize(*graph, model);
+  ASSERT_TRUE(result.ok());
+  bool saw_join = false;
+  for (const JoinTreeNode& node : result->plan.nodes()) {
+    if (!node.IsLeaf()) {
+      saw_join = true;
+      EXPECT_NE(node.op, JoinOperator::kUnspecified);
+    }
+  }
+  EXPECT_TRUE(saw_join);
+  // The explain output names concrete operators; no join line is the
+  // bare "Join" of kUnspecified (which would start the line directly).
+  const std::string explain = PlanToExplainString(result->plan, *graph);
+  EXPECT_FALSE(explain.starts_with("Join  [")) << explain;
+  EXPECT_EQ(explain.find("\nJoin  ["), std::string::npos) << explain;
+  EXPECT_EQ(explain.find(" Join  ["), std::string::npos) << explain;
+}
+
+TEST(JoinOperatorTest, LogicalModelLeavesOperatorUnspecified) {
+  Result<QueryGraph> graph = MakeChainQuery(4);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  for (const JoinTreeNode& node : result->plan.nodes()) {
+    if (!node.IsLeaf()) {
+      EXPECT_EQ(node.op, JoinOperator::kUnspecified);
+    }
+  }
+}
+
+/// The three operator implementations must agree row-for-row.
+TEST(JoinOperatorTest, AllOperatorsProduceIdenticalResults) {
+  Result<Table> left = Table::WithColumns({"id_l", "k", "k2"});
+  Result<Table> right = Table::WithColumns({"k", "k2", "id_r"});
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  Random rng(33);
+  for (int64_t i = 0; i < 60; ++i) {
+    left->AppendRow({i, static_cast<int64_t>(rng.Uniform(5)),
+                     static_cast<int64_t>(rng.Uniform(3))});
+  }
+  for (int64_t i = 0; i < 80; ++i) {
+    right->AppendRow({static_cast<int64_t>(rng.Uniform(5)),
+                      static_cast<int64_t>(rng.Uniform(3)), i});
+  }
+  Result<Table> hash = HashJoin(*left, *right);
+  Result<Table> nlj = NestedLoopJoin(*left, *right);
+  Result<Table> smj = SortMergeJoin(*left, *right);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(nlj.ok());
+  ASSERT_TRUE(smj.ok());
+  EXPECT_GT(hash->row_count(), 0);
+  EXPECT_EQ(hash->CanonicalRows(), nlj->CanonicalRows());
+  EXPECT_EQ(hash->CanonicalRows(), smj->CanonicalRows());
+}
+
+TEST(JoinOperatorTest, OperatorsHandleEmptyInputs) {
+  Result<Table> left = Table::WithColumns({"k", "a"});
+  Result<Table> right = Table::WithColumns({"k", "b"});
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  right->AppendRow({1, 2});
+  for (const auto& join : {HashJoin, NestedLoopJoin, SortMergeJoin}) {
+    Result<Table> out = join(*left, *right);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->row_count(), 0);
+  }
+}
+
+TEST(JoinOperatorTest, ExecutorDispatchesOnPlanOperators) {
+  // Optimize under BestOf so the plan carries concrete operators, then
+  // execute; result must equal executing the same tree with a logical
+  // model's plan (hash-join default) — operators are interchangeable.
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 40\nrel b 30\nrel c 20\njoin a b 0.1\njoin b c 0.2\n");
+  ASSERT_TRUE(graph.ok());
+  Result<Database> database = GenerateDatabase(*graph);
+  ASSERT_TRUE(database.ok());
+
+  const BestOfCostModel physical = BestOfCostModel::Standard();
+  const CoutCostModel logical;
+  Result<OptimizationResult> physical_plan = DPccp().Optimize(*graph, physical);
+  Result<OptimizationResult> logical_plan = DPccp().Optimize(*graph, logical);
+  ASSERT_TRUE(physical_plan.ok());
+  ASSERT_TRUE(logical_plan.ok());
+
+  Result<Table> physical_rows = ExecutePlan(physical_plan->plan, *database);
+  Result<Table> logical_rows = ExecutePlan(logical_plan->plan, *database);
+  ASSERT_TRUE(physical_rows.ok());
+  ASSERT_TRUE(logical_rows.ok());
+  EXPECT_EQ(physical_rows->CanonicalRows(), logical_rows->CanonicalRows());
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,110 @@
+#include "plan/plan_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+/// A fixed 3-relation plan: ((a ⋈ b) ⋈ c).
+struct Fixture {
+  QueryGraph graph;
+  JoinTree tree;
+};
+
+Fixture MakeFixture() {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 100\n"
+      "rel b 10\n"
+      "rel c 1000\n"
+      "join a b 0.1\n"
+      "join b c 0.001\n");
+  EXPECT_TRUE(graph.ok());
+
+  PlanTable table(3);
+  const double cards[] = {100.0, 10.0, 1000.0};
+  for (int i = 0; i < 3; ++i) {
+    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
+    leaf.cost = 0.0;
+    leaf.cardinality = cards[i];
+    table.NotePopulated();
+  }
+  PlanEntry& ab = table.GetOrCreate(NodeSet::Of({0, 1}));
+  ab.left = NodeSet::Of({0});
+  ab.right = NodeSet::Of({1});
+  ab.cost = 100.0;
+  ab.cardinality = 100.0;
+  table.NotePopulated();
+  PlanEntry& abc = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
+  abc.left = NodeSet::Of({0, 1});
+  abc.right = NodeSet::Of({2});
+  abc.cost = 200.0;
+  abc.cardinality = 100.0;
+  table.NotePopulated();
+
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
+  EXPECT_TRUE(tree.ok());
+  return Fixture{std::move(*graph), std::move(*tree)};
+}
+
+TEST(PlanPrinterTest, ExpressionUsesNamesAndParens) {
+  const Fixture fixture = MakeFixture();
+  EXPECT_EQ(PlanToExpression(fixture.tree, fixture.graph), "((a ⋈ b) ⋈ c)");
+}
+
+TEST(PlanPrinterTest, SingleLeafExpression) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph("rel solo 42\n");
+  ASSERT_TRUE(graph.ok());
+  PlanTable table(1);
+  PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(0));
+  leaf.cost = 0.0;
+  leaf.cardinality = 42.0;
+  table.NotePopulated();
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(PlanToExpression(*tree, *graph), "solo");
+}
+
+TEST(PlanPrinterTest, ExplainShowsScansAndJoins) {
+  const Fixture fixture = MakeFixture();
+  const std::string explain =
+      PlanToExplainString(fixture.tree, fixture.graph);
+  EXPECT_NE(explain.find("Join  [cost=200 rows=100]"), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("Scan a  [rows=100]"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("Scan b  [rows=10]"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("Scan c  [rows=1000]"), std::string::npos) << explain;
+  // Indentation: scans of the inner join are two levels deep.
+  EXPECT_NE(explain.find("    Scan a"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("  Scan c"), std::string::npos) << explain;
+}
+
+TEST(PlanPrinterTest, OptimizerOutputIsPrintable) {
+  Result<QueryGraph> graph = MakeStarQuery(5);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  const DPccp optimizer;
+  Result<OptimizationResult> result = optimizer.Optimize(*graph, cost_model);
+  ASSERT_TRUE(result.ok());
+  const std::string expr = PlanToExpression(result->plan, *graph);
+  // Every relation name appears exactly once.
+  for (int i = 0; i < 5; ++i) {
+    const std::string name = graph->name(i);
+    const size_t first = expr.find(name);
+    ASSERT_NE(first, std::string::npos) << expr;
+  }
+  // 4 joins -> 4 bowties.
+  size_t bowties = 0;
+  for (size_t pos = expr.find("⋈"); pos != std::string::npos;
+       pos = expr.find("⋈", pos + 1)) {
+    ++bowties;
+  }
+  EXPECT_EQ(bowties, 4u);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,168 @@
+#include "plan/plan_table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+TEST(PlanEntryTest, DefaultHasNoPlan) {
+  const PlanEntry entry;
+  EXPECT_FALSE(entry.has_plan());
+  EXPECT_FALSE(entry.IsLeaf());
+}
+
+TEST(PlanEntryTest, LeafDetection) {
+  PlanEntry entry;
+  entry.cost = 0.0;
+  entry.cardinality = 100.0;
+  EXPECT_TRUE(entry.has_plan());
+  EXPECT_TRUE(entry.IsLeaf());
+  entry.left = NodeSet::Of({0});
+  entry.right = NodeSet::Of({1});
+  EXPECT_FALSE(entry.IsLeaf());
+}
+
+TEST(PlanTableTest, BackendSelection) {
+  EXPECT_TRUE(PlanTable(10).is_dense());
+  EXPECT_TRUE(PlanTable(20).is_dense());
+  EXPECT_FALSE(PlanTable(21).is_dense());
+  EXPECT_FALSE(PlanTable(10, /*dense_limit=*/5).is_dense());
+}
+
+class PlanTableBackendTest : public ::testing::TestWithParam<bool> {
+ protected:
+  // Dense when GetParam() is true, sparse otherwise.
+  PlanTable MakeTable(int n) {
+    return PlanTable(n, GetParam() ? 20 : 0);
+  }
+};
+
+TEST_P(PlanTableBackendTest, FindOnEmptyTableReturnsNull) {
+  PlanTable table = MakeTable(6);
+  EXPECT_EQ(table.Find(NodeSet::Of({0})), nullptr);
+  EXPECT_EQ(table.Find(NodeSet::Of({1, 3})), nullptr);
+  EXPECT_EQ(table.populated_count(), 0u);
+}
+
+TEST_P(PlanTableBackendTest, GetOrCreateThenFind) {
+  PlanTable table = MakeTable(6);
+  const NodeSet s = NodeSet::Of({2, 4});
+  PlanEntry& entry = table.GetOrCreate(s);
+  // An entry without a real cost is still "absent" for Find.
+  EXPECT_EQ(table.Find(s), nullptr);
+  entry.cost = 42.0;
+  entry.cardinality = 7.0;
+  table.NotePopulated();
+  const PlanEntry* found = table.Find(s);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->cost, 42.0);
+  EXPECT_EQ(table.populated_count(), 1u);
+}
+
+TEST_P(PlanTableBackendTest, DistinctSetsAreIndependent) {
+  PlanTable table = MakeTable(8);
+  for (int i = 0; i < 8; ++i) {
+    PlanEntry& entry = table.GetOrCreate(NodeSet::Singleton(i));
+    entry.cost = static_cast<double>(i);
+    entry.cardinality = 1.0;
+    table.NotePopulated();
+  }
+  for (int i = 0; i < 8; ++i) {
+    const PlanEntry* entry = table.Find(NodeSet::Singleton(i));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_DOUBLE_EQ(entry->cost, static_cast<double>(i));
+  }
+  EXPECT_EQ(table.populated_count(), 8u);
+}
+
+TEST_P(PlanTableBackendTest, UpdateKeepsBestPlan) {
+  PlanTable table = MakeTable(4);
+  const NodeSet s = NodeSet::Of({0, 1});
+  PlanEntry& entry = table.GetOrCreate(s);
+  entry.cost = 100.0;
+  table.NotePopulated();
+  // A cheaper plan replaces; DP algorithms implement the comparison, the
+  // table just stores.
+  PlanEntry& again = table.GetOrCreate(s);
+  EXPECT_DOUBLE_EQ(again.cost, 100.0);
+  again.cost = 50.0;
+  EXPECT_DOUBLE_EQ(table.Find(s)->cost, 50.0);
+  EXPECT_EQ(table.populated_count(), 1u);
+}
+
+TEST_P(PlanTableBackendTest, ForEachVisitsExactlyPopulatedEntries) {
+  PlanTable table = MakeTable(5);
+  const std::vector<NodeSet> sets = {NodeSet::Of({0}), NodeSet::Of({1, 2}),
+                                     NodeSet::Of({0, 1, 2, 3, 4})};
+  for (const NodeSet s : sets) {
+    PlanEntry& entry = table.GetOrCreate(s);
+    entry.cost = 1.0;
+    table.NotePopulated();
+  }
+  // This one stays unpopulated (cost still infinity).
+  table.GetOrCreate(NodeSet::Of({3}));
+
+  uint64_t visited = 0;
+  NodeSet all_visited;
+  table.ForEach([&](NodeSet s, const PlanEntry& entry) {
+    EXPECT_TRUE(entry.has_plan());
+    all_visited |= s;
+    ++visited;
+  });
+  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(all_visited, NodeSet::Of({0, 1, 2, 3, 4}));
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseAndSparse, PlanTableBackendTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Dense" : "Sparse";
+                         });
+
+TEST(AdaptivePlanTableTest, BackendTracksSearchSpaceDensity) {
+  // Small n: always dense (the table is tiny either way).
+  Result<QueryGraph> small = MakeChainQuery(10);
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(internal::MakeAdaptivePlanTable(*small).is_dense());
+
+  // Large sparse shapes: the 2^n dense fill would dominate the run.
+  Result<QueryGraph> chain = MakeChainQuery(20);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_FALSE(internal::MakeAdaptivePlanTable(*chain).is_dense());
+  Result<QueryGraph> cycle = MakeCycleQuery(20);
+  ASSERT_TRUE(cycle.ok());
+  EXPECT_FALSE(internal::MakeAdaptivePlanTable(*cycle).is_dense());
+
+  // Large dense shapes: #csg is a big fraction of 2^n.
+  Result<QueryGraph> star = MakeStarQuery(20);
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(internal::MakeAdaptivePlanTable(*star).is_dense());
+  Result<QueryGraph> clique = MakeCliqueQuery(18);
+  ASSERT_TRUE(clique.ok());
+  EXPECT_TRUE(internal::MakeAdaptivePlanTable(*clique).is_dense());
+
+  // Beyond the addressable dense range: forced sparse.
+  Result<QueryGraph> huge = MakeChainQuery(40);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_FALSE(internal::MakeAdaptivePlanTable(*huge).is_dense());
+}
+
+TEST(PlanTableTest, DensePointersAreStable) {
+  PlanTable table(10);
+  PlanEntry& first = table.GetOrCreate(NodeSet::Of({0}));
+  first.cost = 1.0;
+  table.NotePopulated();
+  // Creating many more entries must not move the dense slot.
+  for (uint64_t mask = 2; mask < 512; ++mask) {
+    table.GetOrCreate(NodeSet::FromMask(mask)).cost = 2.0;
+    table.NotePopulated();
+  }
+  EXPECT_DOUBLE_EQ(first.cost, 1.0);
+  EXPECT_EQ(table.Find(NodeSet::Of({0})), &first);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,158 @@
+#include "plan/plan_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "cost/cardinality.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+PlanTable ValidChainTable(const QueryGraph& graph) {
+  // ((0 ⋈ 1) ⋈ 2) with honest Cout costs and independence cardinalities.
+  const CardinalityEstimator estimator(graph);
+  const CoutCostModel cost_model;
+  PlanTable table(3);
+  for (int i = 0; i < 3; ++i) {
+    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
+    leaf.cost = 0.0;
+    leaf.cardinality = graph.cardinality(i);
+    table.NotePopulated();
+  }
+  const double card01 = estimator.EstimateSet(NodeSet::Of({0, 1}));
+  PlanEntry& pair = table.GetOrCreate(NodeSet::Of({0, 1}));
+  pair.left = NodeSet::Of({0});
+  pair.right = NodeSet::Of({1});
+  pair.cardinality = card01;
+  pair.cost = cost_model.JoinCost(graph.cardinality(0), graph.cardinality(1),
+                                  card01);
+  table.NotePopulated();
+  const double card012 = estimator.EstimateSet(NodeSet::Of({0, 1, 2}));
+  PlanEntry& all = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
+  all.left = NodeSet::Of({0, 1});
+  all.right = NodeSet::Of({2});
+  all.cardinality = card012;
+  all.cost =
+      pair.cost + cost_model.JoinCost(card01, graph.cardinality(2), card012);
+  table.NotePopulated();
+  return table;
+}
+
+TEST(PlanValidatorTest, AcceptsHonestPlan) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  const PlanTable table = ValidChainTable(*graph);
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(ValidatePlan(*tree, *graph, CoutCostModel()).ok());
+}
+
+TEST(PlanValidatorTest, RejectsWrongCost) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  PlanTable table = ValidChainTable(*graph);
+  table.GetOrCreate(NodeSet::Of({0, 1, 2})).cost *= 2.0;
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
+  ASSERT_TRUE(tree.ok());
+  const Status status = ValidatePlan(*tree, *graph, CoutCostModel());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cost mismatch"), std::string::npos);
+}
+
+TEST(PlanValidatorTest, RejectsWrongCardinality) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  PlanTable table = ValidChainTable(*graph);
+  table.GetOrCreate(NodeSet::Of({0, 1})).cardinality += 1000.0;
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(ValidatePlan(*tree, *graph, CoutCostModel()).ok());
+}
+
+TEST(PlanValidatorTest, RejectsCrossProductWhenForbidden) {
+  // Chain 0-1-2: the join ({0}, {2}) has no edge.
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  const CardinalityEstimator estimator(*graph);
+  const CoutCostModel cost_model;
+  PlanTable table(3);
+  for (int i = 0; i < 3; ++i) {
+    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
+    leaf.cost = 0.0;
+    leaf.cardinality = graph->cardinality(i);
+    table.NotePopulated();
+  }
+  const double card02 = graph->cardinality(0) * graph->cardinality(2);
+  PlanEntry& cross = table.GetOrCreate(NodeSet::Of({0, 2}));
+  cross.left = NodeSet::Of({0});
+  cross.right = NodeSet::Of({2});
+  cross.cardinality = card02;
+  cross.cost = cost_model.JoinCost(graph->cardinality(0),
+                                   graph->cardinality(2), card02);
+  table.NotePopulated();
+  const double card_all = estimator.EstimateSet(NodeSet::Of({0, 1, 2}));
+  PlanEntry& all = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
+  all.left = NodeSet::Of({0, 2});
+  all.right = NodeSet::Of({1});
+  all.cardinality = card_all;
+  all.cost =
+      cross.cost + cost_model.JoinCost(card02, graph->cardinality(1), card_all);
+  table.NotePopulated();
+
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
+  ASSERT_TRUE(tree.ok());
+
+  const Status strict = ValidatePlan(*tree, *graph, cost_model);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_NE(strict.message().find("cross product"), std::string::npos);
+
+  PlanValidationOptions relaxed;
+  relaxed.forbid_cross_products = false;
+  EXPECT_TRUE(ValidatePlan(*tree, *graph, cost_model, relaxed).ok());
+}
+
+TEST(PlanValidatorTest, RejectsEmptyTree) {
+  Result<QueryGraph> graph = MakeChainQuery(2);
+  ASSERT_TRUE(graph.ok());
+  // No public way to produce an empty JoinTree; validate the guard via a
+  // default-constructed vector route is impossible, so this checks the
+  // validator on a real single-leaf tree instead (must pass).
+  PlanTable table(2);
+  PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(1));
+  leaf.cost = 0.0;
+  leaf.cardinality = graph->cardinality(1);
+  table.NotePopulated();
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({1}));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(ValidatePlan(*tree, *graph, CoutCostModel()).ok());
+}
+
+TEST(PlanValidatorTest, AcceptsEveryOptimizerOutputOnRandomGraphs) {
+  const CoutCostModel cout_model;
+  const HashJoinCostModel hash_model;
+  const DPccp dpccp;
+  const DPsize dpsize;
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(8, 4, config);
+    ASSERT_TRUE(graph.ok());
+    for (const CostModel* model :
+         {static_cast<const CostModel*>(&cout_model),
+          static_cast<const CostModel*>(&hash_model)}) {
+      for (const JoinOrderer* optimizer :
+           {static_cast<const JoinOrderer*>(&dpccp),
+            static_cast<const JoinOrderer*>(&dpsize)}) {
+        Result<OptimizationResult> result = optimizer->Optimize(*graph, *model);
+        ASSERT_TRUE(result.ok());
+        EXPECT_TRUE(ValidatePlan(result->plan, *graph, *model).ok())
+            << optimizer->name() << " seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,139 @@
+#include "graph/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "bitset/node_set.h"
+
+namespace joinopt {
+namespace {
+
+QueryGraph Chain4() {
+  // 0 - 1 - 2 - 3 with distinct selectivities.
+  Result<QueryGraph> graph = QueryGraph::WithRelations(4, 100.0);
+  EXPECT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->AddEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(graph->AddEdge(1, 2, 0.2).ok());
+  EXPECT_TRUE(graph->AddEdge(2, 3, 0.5).ok());
+  return std::move(*graph);
+}
+
+TEST(QueryGraphTest, EmptyGraph) {
+  const QueryGraph graph;
+  EXPECT_EQ(graph.relation_count(), 0);
+  EXPECT_EQ(graph.edge_count(), 0);
+  EXPECT_TRUE(graph.AllRelations().empty());
+}
+
+TEST(QueryGraphTest, WithRelationsValidatesCount) {
+  EXPECT_FALSE(QueryGraph::WithRelations(-1).ok());
+  EXPECT_FALSE(QueryGraph::WithRelations(65).ok());
+  EXPECT_TRUE(QueryGraph::WithRelations(64).ok());
+}
+
+TEST(QueryGraphTest, AddRelationAssignsIndicesAndDefaults) {
+  QueryGraph graph;
+  Result<int> first = graph.AddRelation(10.0);
+  Result<int> second = graph.AddRelation(20.0, "orders");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, 0);
+  EXPECT_EQ(*second, 1);
+  EXPECT_EQ(graph.name(0), "R0");
+  EXPECT_EQ(graph.name(1), "orders");
+  EXPECT_DOUBLE_EQ(graph.cardinality(0), 10.0);
+  EXPECT_DOUBLE_EQ(graph.cardinality(1), 20.0);
+}
+
+TEST(QueryGraphTest, AddRelationRejectsNonPositiveCardinality) {
+  QueryGraph graph;
+  EXPECT_FALSE(graph.AddRelation(0.0).ok());
+  EXPECT_FALSE(graph.AddRelation(-5.0).ok());
+}
+
+TEST(QueryGraphTest, AddRelationRejectsOverflowPast64) {
+  Result<QueryGraph> graph = QueryGraph::WithRelations(64);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->AddRelation(10.0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(QueryGraphTest, AddEdgeValidation) {
+  Result<QueryGraph> graph = QueryGraph::WithRelations(3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(graph->AddEdge(0, 0, 0.5).ok());   // Self-loop.
+  EXPECT_FALSE(graph->AddEdge(0, 3, 0.5).ok());   // Out of range.
+  EXPECT_FALSE(graph->AddEdge(-1, 1, 0.5).ok());  // Out of range.
+  EXPECT_FALSE(graph->AddEdge(0, 1, 0.0).ok());   // Selectivity 0.
+  EXPECT_FALSE(graph->AddEdge(0, 1, 1.5).ok());   // Selectivity > 1.
+  EXPECT_TRUE(graph->AddEdge(0, 1, 1.0).ok());    // Selectivity 1 is legal.
+  EXPECT_FALSE(graph->AddEdge(1, 0, 0.5).ok());   // Duplicate (undirected).
+}
+
+TEST(QueryGraphTest, NeighborsAndHasEdge) {
+  const QueryGraph graph = Chain4();
+  EXPECT_EQ(graph.Neighbors(0), NodeSet::Of({1}));
+  EXPECT_EQ(graph.Neighbors(1), NodeSet::Of({0, 2}));
+  EXPECT_EQ(graph.Neighbors(2), NodeSet::Of({1, 3}));
+  EXPECT_TRUE(graph.HasEdge(1, 2));
+  EXPECT_TRUE(graph.HasEdge(2, 1));
+  EXPECT_FALSE(graph.HasEdge(0, 2));
+  EXPECT_FALSE(graph.HasEdge(1, 1));
+}
+
+TEST(QueryGraphTest, NeighborhoodOfSetExcludesTheSet) {
+  const QueryGraph graph = Chain4();
+  EXPECT_EQ(graph.Neighborhood(NodeSet::Of({1, 2})), NodeSet::Of({0, 3}));
+  EXPECT_EQ(graph.Neighborhood(NodeSet::Of({0})), NodeSet::Of({1}));
+  EXPECT_EQ(graph.Neighborhood(NodeSet::Of({0, 1, 2, 3})), NodeSet());
+  EXPECT_EQ(graph.Neighborhood(NodeSet()), NodeSet());
+}
+
+TEST(QueryGraphTest, AreConnectedMatchesCutEdges) {
+  const QueryGraph graph = Chain4();
+  EXPECT_TRUE(graph.AreConnected(NodeSet::Of({0, 1}), NodeSet::Of({2, 3})));
+  EXPECT_TRUE(graph.AreConnected(NodeSet::Of({0}), NodeSet::Of({1})));
+  EXPECT_FALSE(graph.AreConnected(NodeSet::Of({0}), NodeSet::Of({2, 3})));
+  EXPECT_FALSE(graph.AreConnected(NodeSet::Of({0}), NodeSet::Of({3})));
+}
+
+TEST(QueryGraphTest, SelectivityBetweenMultipliesCrossingEdges) {
+  const QueryGraph graph = Chain4();
+  EXPECT_DOUBLE_EQ(graph.SelectivityBetween(NodeSet::Of({0}), NodeSet::Of({1})),
+                   0.1);
+  EXPECT_DOUBLE_EQ(
+      graph.SelectivityBetween(NodeSet::Of({0, 1}), NodeSet::Of({2, 3})), 0.2);
+  // No crossing edge -> neutral element (cross product).
+  EXPECT_DOUBLE_EQ(graph.SelectivityBetween(NodeSet::Of({0}), NodeSet::Of({3})),
+                   1.0);
+}
+
+TEST(QueryGraphTest, SelectivityBetweenWithMultipleCrossingEdges) {
+  // Triangle: the cut ({0}, {1, 2}) is crossed by two edges.
+  Result<QueryGraph> graph = QueryGraph::WithRelations(3);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->AddEdge(0, 1, 0.1).ok());
+  ASSERT_TRUE(graph->AddEdge(0, 2, 0.2).ok());
+  ASSERT_TRUE(graph->AddEdge(1, 2, 0.5).ok());
+  EXPECT_DOUBLE_EQ(
+      graph->SelectivityBetween(NodeSet::Of({0}), NodeSet::Of({1, 2})),
+      0.1 * 0.2);
+}
+
+TEST(QueryGraphTest, SelectivityWithinMultipliesInternalEdges) {
+  const QueryGraph graph = Chain4();
+  EXPECT_DOUBLE_EQ(graph.SelectivityWithin(NodeSet::Of({0, 1, 2})), 0.1 * 0.2);
+  EXPECT_DOUBLE_EQ(graph.SelectivityWithin(NodeSet::Of({0, 1, 2, 3})),
+                   0.1 * 0.2 * 0.5);
+  EXPECT_DOUBLE_EQ(graph.SelectivityWithin(NodeSet::Of({0, 3})), 1.0);
+  EXPECT_DOUBLE_EQ(graph.SelectivityWithin(NodeSet::Of({1})), 1.0);
+}
+
+TEST(QueryGraphTest, EdgesPreservedInInsertionOrder) {
+  const QueryGraph graph = Chain4();
+  ASSERT_EQ(graph.edge_count(), 3);
+  EXPECT_EQ(graph.edges()[1].left, 1);
+  EXPECT_EQ(graph.edges()[1].right, 2);
+  EXPECT_DOUBLE_EQ(graph.edges()[1].selectivity, 0.2);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,109 @@
+#include "util/random.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(RandomTest, SameSeedSameStream) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, UniformStaysInBound) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformBoundOneIsAlwaysZero) {
+  Random rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(RandomTest, UniformHitsAllValues) {
+  Random rng(99);
+  std::vector<int> histogram(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++histogram[rng.Uniform(8)];
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GT(histogram[i], 300) << "bucket " << i;  // ~500 expected.
+  }
+}
+
+TEST(RandomTest, UniformInRangeInclusive) {
+  Random rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, UniformDoubleRespectsRange) {
+  Random rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble(2.5, 4.0);
+    EXPECT_GE(d, 2.5);
+    EXPECT_LT(d, 4.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace joinopt

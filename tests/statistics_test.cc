@@ -1,0 +1,123 @@
+#include "cost/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "dsl/parser.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+TEST(MeasureStatisticsTest, RejectsMismatchedDatabase) {
+  Result<QueryGraph> graph = MakeChainQuery(3);
+  ASSERT_TRUE(graph.ok());
+  const Database empty;
+  EXPECT_FALSE(MeasureStatistics(*graph, empty).ok());
+}
+
+TEST(MeasureStatisticsTest, CardinalitiesAreTrueRowCounts) {
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(
+      "rel a 1e9\nrel b 50\njoin a b 0.1\n");  // a's card capped by gen.
+  ASSERT_TRUE(graph.ok());
+  DatabaseGenOptions options;
+  options.max_rows = 200;
+  Result<Database> database = GenerateDatabase(*graph, options);
+  ASSERT_TRUE(database.ok());
+  Result<QueryGraph> measured = MeasureStatistics(*graph, *database);
+  ASSERT_TRUE(measured.ok());
+  EXPECT_DOUBLE_EQ(measured->cardinality(0), 200.0);
+  EXPECT_DOUBLE_EQ(measured->cardinality(1), 50.0);
+  EXPECT_EQ(measured->name(0), "a");
+  EXPECT_EQ(measured->edge_count(), 1);
+}
+
+TEST(MeasureStatisticsTest, SelectivityIsExactJoinFraction) {
+  Result<QueryGraph> graph =
+      ParseQuerySpecToGraph("rel a 100\nrel b 100\njoin a b 0.25\n");
+  ASSERT_TRUE(graph.ok());
+  Result<Database> database = GenerateDatabase(*graph);
+  ASSERT_TRUE(database.ok());
+  Result<QueryGraph> measured = MeasureStatistics(*graph, *database);
+  ASSERT_TRUE(measured.ok());
+
+  // Recompute the true fraction directly.
+  Result<Table> joined =
+      HashJoin(database->tables[0], database->tables[1]);
+  ASSERT_TRUE(joined.ok());
+  const double expected =
+      static_cast<double>(joined->row_count()) / (100.0 * 100.0);
+  EXPECT_DOUBLE_EQ(measured->edges()[0].selectivity, expected);
+  // And it should be in the ballpark of the annotated 0.25 (domain 4).
+  EXPECT_GT(expected, 0.1);
+  EXPECT_LT(expected, 0.45);
+}
+
+TEST(MeasureStatisticsTest, PairEstimatesBecomeExactAfterMeasuring) {
+  // After measuring, the independence estimate for any single edge's
+  // 2-way join equals the executed row count EXACTLY.
+  Result<QueryGraph> graph = MakeChainQuery(4);
+  ASSERT_TRUE(graph.ok());
+  Result<Database> database = GenerateDatabase(*graph);
+  ASSERT_TRUE(database.ok());
+  Result<QueryGraph> measured = MeasureStatistics(*graph, *database);
+  ASSERT_TRUE(measured.ok());
+
+  for (const JoinEdge& edge : measured->edges()) {
+    Result<Table> joined = HashJoin(database->tables[edge.left],
+                                    database->tables[edge.right]);
+    ASSERT_TRUE(joined.ok());
+    const double estimate = measured->cardinality(edge.left) *
+                            measured->cardinality(edge.right) *
+                            edge.selectivity;
+    EXPECT_NEAR(estimate, static_cast<double>(joined->row_count()), 1e-6);
+  }
+}
+
+TEST(MeasureStatisticsTest, EmptyJoinClampsToPositiveSelectivity) {
+  // Force a guaranteed-empty join: two single-row tables with different
+  // attribute values. Build the database by hand.
+  Result<QueryGraph> graph =
+      ParseQuerySpecToGraph("rel a 1\nrel b 1\njoin a b 0.5\n");
+  ASSERT_TRUE(graph.ok());
+  Database database;
+  Result<Table> a = Table::WithColumns({"id_0", "j_0_1"});
+  Result<Table> b = Table::WithColumns({"j_0_1", "id_1"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  a->AppendRow({0, 1});
+  b->AppendRow({2, 0});
+  database.tables.push_back(std::move(*a));
+  database.tables.push_back(std::move(*b));
+
+  Result<QueryGraph> measured = MeasureStatistics(*graph, database);
+  ASSERT_TRUE(measured.ok());
+  EXPECT_GT(measured->edges()[0].selectivity, 0.0);
+  EXPECT_LE(measured->edges()[0].selectivity, 1.0);
+}
+
+TEST(MeasureStatisticsTest, ReoptimizingWithMeasuredStatsIsOptimizable) {
+  WorkloadConfig config;
+  config.seed = 9;
+  config.min_cardinality = 20;
+  config.max_cardinality = 200;
+  config.min_selectivity = 0.02;
+  config.max_selectivity = 0.3;
+  Result<QueryGraph> graph = MakeRandomConnectedQuery(6, 3, config);
+  ASSERT_TRUE(graph.ok());
+  Result<Database> database = GenerateDatabase(*graph);
+  ASSERT_TRUE(database.ok());
+  Result<QueryGraph> measured = MeasureStatistics(*graph, *database);
+  ASSERT_TRUE(measured.ok());
+  Result<OptimizationResult> result =
+      DPccp().Optimize(*measured, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->cost, 0.0);
+}
+
+}  // namespace
+}  // namespace joinopt

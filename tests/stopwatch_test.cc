@@ -1,0 +1,51 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+// Prevents the busy loops below from being optimized away.
+volatile double benchmark_sink_ = 0;
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  const Stopwatch stopwatch;
+  const int64_t first = stopwatch.ElapsedNanos();
+  EXPECT_GE(first, 0);
+  int64_t previous = first;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t now = stopwatch.ElapsedNanos();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(StopwatchTest, SecondsMatchNanos) {
+  const Stopwatch stopwatch;
+  // Burn a little time.
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += i;
+  }
+  benchmark_sink_ = sink;
+  const double seconds = stopwatch.ElapsedSeconds();
+  const int64_t nanos = stopwatch.ElapsedNanos();
+  EXPECT_GT(nanos, 0);
+  EXPECT_LE(seconds, static_cast<double>(nanos) * 1e-9 + 1e-6);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch stopwatch;
+  double sink = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    sink += i;
+  }
+  benchmark_sink_ = sink;
+  const int64_t before = stopwatch.ElapsedNanos();
+  stopwatch.Restart();
+  const int64_t after = stopwatch.ElapsedNanos();
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace joinopt

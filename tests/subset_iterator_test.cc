@@ -1,0 +1,127 @@
+#include "bitset/subset_iterator.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitset/node_set.h"
+
+namespace joinopt {
+namespace {
+
+std::vector<NodeSet> AllSubsets(NodeSet superset) {
+  std::vector<NodeSet> result;
+  for (SubsetIterator it(superset); !it.Done(); it.Next()) {
+    result.push_back(it.Current());
+  }
+  return result;
+}
+
+std::vector<NodeSet> ProperSubsets(NodeSet superset) {
+  std::vector<NodeSet> result;
+  for (ProperSubsetIterator it(superset); !it.Done(); it.Next()) {
+    result.push_back(it.Current());
+  }
+  return result;
+}
+
+TEST(SubsetIteratorTest, EmptySupersetYieldsNothing) {
+  EXPECT_TRUE(AllSubsets(NodeSet()).empty());
+}
+
+TEST(SubsetIteratorTest, SingletonYieldsItself) {
+  const NodeSet s = NodeSet::Singleton(3);
+  EXPECT_EQ(AllSubsets(s), std::vector<NodeSet>{s});
+}
+
+TEST(SubsetIteratorTest, TwoElementSet) {
+  const NodeSet s = NodeSet::Of({1, 4});
+  EXPECT_EQ(AllSubsets(s),
+            (std::vector<NodeSet>{NodeSet::Of({1}), NodeSet::Of({4}),
+                                  NodeSet::Of({1, 4})}));
+}
+
+TEST(SubsetIteratorTest, CountIsTwoToTheKMinusOne) {
+  const NodeSet s = NodeSet::Of({0, 2, 5, 9, 13});
+  EXPECT_EQ(AllSubsets(s).size(), 31u);  // 2^5 - 1 non-empty subsets.
+}
+
+TEST(SubsetIteratorTest, AllResultsAreDistinctNonEmptySubsets) {
+  const NodeSet s = NodeSet::Of({1, 3, 4, 8});
+  std::set<uint64_t> seen;
+  for (const NodeSet subset : AllSubsets(s)) {
+    EXPECT_FALSE(subset.empty());
+    EXPECT_TRUE(subset.IsSubsetOf(s));
+    EXPECT_TRUE(seen.insert(subset.mask()).second) << "duplicate subset";
+  }
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(SubsetIteratorTest, AscendingMaskOrder) {
+  // Ascending numeric order is the DP-validity property: subsets come
+  // before supersets.
+  const NodeSet s = NodeSet::Of({0, 3, 6, 7});
+  uint64_t previous = 0;
+  for (const NodeSet subset : AllSubsets(s)) {
+    EXPECT_GT(subset.mask(), previous);
+    previous = subset.mask();
+  }
+}
+
+TEST(SubsetIteratorTest, LastSubsetIsTheSupersetItself) {
+  const NodeSet s = NodeSet::Of({2, 4, 11});
+  EXPECT_EQ(AllSubsets(s).back(), s);
+}
+
+TEST(SubsetIteratorTest, HandlesHighBits) {
+  const NodeSet s = NodeSet::Of({62, 63});
+  EXPECT_EQ(AllSubsets(s),
+            (std::vector<NodeSet>{NodeSet::Of({62}), NodeSet::Of({63}),
+                                  NodeSet::Of({62, 63})}));
+}
+
+TEST(ProperSubsetIteratorTest, EmptyYieldsNothing) {
+  EXPECT_TRUE(ProperSubsets(NodeSet()).empty());
+}
+
+TEST(ProperSubsetIteratorTest, SingletonYieldsNothing) {
+  EXPECT_TRUE(ProperSubsets(NodeSet::Singleton(7)).empty());
+}
+
+TEST(ProperSubsetIteratorTest, ExcludesSupersetItself) {
+  const NodeSet s = NodeSet::Of({1, 2, 6});
+  const std::vector<NodeSet> subsets = ProperSubsets(s);
+  EXPECT_EQ(subsets.size(), 6u);  // 2^3 - 2: DPsub's iteration count.
+  for (const NodeSet subset : subsets) {
+    EXPECT_NE(subset, s);
+    EXPECT_FALSE(subset.empty());
+    EXPECT_TRUE(subset.IsSubsetOf(s));
+  }
+}
+
+TEST(ProperSubsetIteratorTest, ComplementPairingCoversEverySplit) {
+  // Every iteration defines the split (S1, S \ S1); together with the
+  // complement each unordered split must appear exactly twice.
+  const NodeSet s = NodeSet::Of({0, 1, 4, 9});
+  std::multiset<uint64_t> splits;
+  for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+    const NodeSet s1 = it.Current();
+    const NodeSet s2 = s - s1;
+    splits.insert(std::min(s1.mask(), s2.mask()));
+  }
+  EXPECT_EQ(splits.size(), 14u);
+  for (const uint64_t key : splits) {
+    EXPECT_EQ(splits.count(key), 2u);
+  }
+}
+
+TEST(ProperSubsetIteratorTest, MatchesDPsubIterationCountFormula) {
+  for (int k = 2; k <= 10; ++k) {
+    const NodeSet s = NodeSet::Prefix(k);
+    EXPECT_EQ(ProperSubsets(s).size(), (uint64_t{1} << k) - 2) << k;
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

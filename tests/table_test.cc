@@ -1,0 +1,66 @@
+#include "exec/table.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(TableTest, WithColumnsValidation) {
+  EXPECT_TRUE(Table::WithColumns({"a", "b"}).ok());
+  EXPECT_FALSE(Table::WithColumns({"a", "a"}).ok());
+  EXPECT_FALSE(Table::WithColumns({""}).ok());
+  EXPECT_TRUE(Table::WithColumns({}).ok());
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Result<Table> table = Table::WithColumns({"x", "y"});
+  ASSERT_TRUE(table.ok());
+  table->AppendRow({1, 10});
+  table->AppendRow({2, 20});
+  EXPECT_EQ(table->row_count(), 2);
+  EXPECT_EQ(table->column_count(), 2);
+  EXPECT_EQ(table->at(0, 0), 1);
+  EXPECT_EQ(table->at(1, 1), 20);
+  EXPECT_EQ(table->ColumnIndex("y"), 1);
+  EXPECT_EQ(table->ColumnIndex("z"), -1);
+}
+
+TEST(TableTest, CanonicalRowsSortsRowsAndColumns) {
+  // Same logical content with different column order and row order must
+  // canonicalize identically.
+  Result<Table> a = Table::WithColumns({"b", "a"});
+  ASSERT_TRUE(a.ok());
+  a->AppendRow({2, 1});  // (b=2, a=1)
+  a->AppendRow({4, 3});
+
+  Result<Table> b = Table::WithColumns({"a", "b"});
+  ASSERT_TRUE(b.ok());
+  b->AppendRow({3, 4});
+  b->AppendRow({1, 2});
+
+  EXPECT_EQ(a->CanonicalRows(), b->CanonicalRows());
+}
+
+TEST(TableTest, CanonicalRowsDistinguishesContent) {
+  Result<Table> a = Table::WithColumns({"a"});
+  Result<Table> b = Table::WithColumns({"a"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  a->AppendRow({1});
+  b->AppendRow({2});
+  EXPECT_NE(a->CanonicalRows(), b->CanonicalRows());
+}
+
+TEST(TableTest, MutableColumnBulkFill) {
+  Result<Table> table = Table::WithColumns({"v"});
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 5; ++i) {
+    table->mutable_column(0).push_back(i * i);
+  }
+  table->set_row_count(5);
+  EXPECT_EQ(table->row_count(), 5);
+  EXPECT_EQ(table->at(3, 0), 9);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,97 @@
+#include "core/top_down.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dpccp.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+TEST(TDBasicTest, RejectsBadInput) {
+  EXPECT_FALSE(TDBasic().Optimize(QueryGraph(), CoutCostModel()).ok());
+  Result<QueryGraph> disconnected = QueryGraph::WithRelations(3);
+  ASSERT_TRUE(disconnected.ok());
+  ASSERT_TRUE(disconnected->AddEdge(0, 1).ok());
+  EXPECT_FALSE(TDBasic().Optimize(*disconnected, CoutCostModel()).ok());
+  Result<QueryGraph> huge = MakeChainQuery(41);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_FALSE(TDBasic().Optimize(*huge, CoutCostModel()).ok());
+}
+
+TEST(TDBasicTest, SingleRelation) {
+  Result<QueryGraph> graph = MakeChainQuery(1);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> result =
+      TDBasic().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+}
+
+TEST(TDBasicTest, MatchesBottomUpOnAllShapes) {
+  // Top-down with memoization prices exactly the csg-cmp-pairs, so both
+  // the optimum AND the surviving-pair counter must equal DPccp's.
+  const TDBasic top_down;
+  const DPccp bottom_up;
+  const CoutCostModel cout_model;
+  const HashJoinCostModel hash_model(2.0, 1.0);
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {2, 5, 8, 11}) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(graph.ok());
+      for (const CostModel* model :
+           {static_cast<const CostModel*>(&cout_model),
+            static_cast<const CostModel*>(&hash_model)}) {
+        Result<OptimizationResult> td = top_down.Optimize(*graph, *model);
+        Result<OptimizationResult> bu = bottom_up.Optimize(*graph, *model);
+        ASSERT_TRUE(td.ok()) << QueryShapeName(shape) << n;
+        ASSERT_TRUE(bu.ok());
+        EXPECT_NEAR(td->cost / bu->cost, 1.0, 1e-9)
+            << QueryShapeName(shape) << n;
+        EXPECT_EQ(td->stats.ono_lohman_counter, bu->stats.ono_lohman_counter)
+            << QueryShapeName(shape) << n;
+        EXPECT_TRUE(ValidatePlan(td->plan, *graph, *model).ok());
+      }
+    }
+  }
+}
+
+TEST(TDBasicTest, MatchesBottomUpOnRandomGraphs) {
+  const TDBasic top_down;
+  const DPccp bottom_up;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(9, 5, config);
+    ASSERT_TRUE(graph.ok());
+    Result<OptimizationResult> td =
+        top_down.Optimize(*graph, CoutCostModel());
+    Result<OptimizationResult> bu =
+        bottom_up.Optimize(*graph, CoutCostModel());
+    ASSERT_TRUE(td.ok());
+    ASSERT_TRUE(bu.ok());
+    EXPECT_NEAR(td->cost / bu->cost, 1.0, 1e-9) << seed;
+    EXPECT_EQ(td->stats.ono_lohman_counter, bu->stats.ono_lohman_counter)
+        << seed;
+    EXPECT_EQ(td->stats.plans_stored, bu->stats.plans_stored) << seed;
+  }
+}
+
+TEST(TDBasicTest, InnerCounterHasDPsubProfile) {
+  // TDBasic's split generate-and-test costs ~2^|S| per memoized set —
+  // far above the #ccp bound on sparse graphs, like DPsub.
+  Result<QueryGraph> graph = MakeChainQuery(12);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> td = TDBasic().Optimize(*graph, CoutCostModel());
+  Result<OptimizationResult> bu = DPccp().Optimize(*graph, CoutCostModel());
+  ASSERT_TRUE(td.ok());
+  ASSERT_TRUE(bu.ok());
+  EXPECT_GT(td->stats.inner_counter, 10 * bu->stats.inner_counter);
+}
+
+}  // namespace
+}  // namespace joinopt

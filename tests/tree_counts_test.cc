@@ -1,0 +1,116 @@
+#include "analytics/tree_counts.h"
+
+#include <gtest/gtest.h>
+
+#include "bitset/subset_iterator.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace {
+
+TEST(TreeCountsTest, TinyCases) {
+  Result<QueryGraph> single = MakeChainQuery(1);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(CountJoinTrees(*single), 1u);
+  EXPECT_EQ(CountJoinTreeShapes(*single), 1u);
+
+  Result<QueryGraph> pair = MakeChainQuery(2);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(CountJoinTrees(*pair), 2u);   // a⋈b and b⋈a.
+  EXPECT_EQ(CountJoinTreeShapes(*pair), 1u);
+}
+
+TEST(TreeCountsTest, ThreeChainByHand) {
+  // Splits of {a,b,c}: (a | bc) and (ab | c). Ordered: 2·(1·2)+2·(2·1)=8;
+  // shapes: 1+1 = 2 = Catalan(2).
+  Result<QueryGraph> chain = MakeChainQuery(3);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(CountJoinTrees(*chain), 8u);
+  EXPECT_EQ(CountJoinTreeShapes(*chain), 2u);
+}
+
+TEST(TreeCountsTest, ChainsMatchClosedForm) {
+  for (int n = 1; n <= 14; ++n) {
+    Result<QueryGraph> chain = MakeChainQuery(n);
+    ASSERT_TRUE(chain.ok());
+    EXPECT_EQ(CountJoinTrees(*chain), ChainJoinTreeCountClosedForm(n)) << n;
+  }
+  // Spot values: Catalan(4)·2^4 = 14·16 = 224 at n = 5.
+  EXPECT_EQ(ChainJoinTreeCountClosedForm(5), 224u);
+}
+
+TEST(TreeCountsTest, OrderedIsShapesTimesTwoPerJoin) {
+  // Every shape yields exactly 2^{n-1} ordered trees (one flip per join).
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {3, 5, 8}) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(graph.ok());
+      const uint64_t shapes = CountJoinTreeShapes(*graph);
+      const uint64_t ordered = CountJoinTrees(*graph);
+      EXPECT_EQ(ordered, shapes << (n - 1))
+          << QueryShapeName(shape) << n;
+    }
+  }
+}
+
+TEST(TreeCountsTest, StarTreesAreLeftDeepPermutations) {
+  // In a star every cross-product-free tree adds one leaf at a time (no
+  // two leaves are connected), so the shapes are exactly the (n-1)!
+  // orderings of the leaves around the hub... divided by nothing — each
+  // permutation of leaf attachments gives a distinct shape.
+  Result<QueryGraph> star = MakeStarQuery(5);
+  ASSERT_TRUE(star.ok());
+  // shapes = 4! = 24; ordered = 24 · 2^4 = 384.
+  EXPECT_EQ(CountJoinTreeShapes(*star), 24u);
+  EXPECT_EQ(CountJoinTrees(*star), 384u);
+}
+
+TEST(TreeCountsTest, DenserGraphsHaveMoreTrees) {
+  Result<QueryGraph> chain = MakeChainQuery(8);
+  Result<QueryGraph> cycle = MakeCycleQuery(8);
+  Result<QueryGraph> clique = MakeCliqueQuery(8);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(cycle.ok());
+  ASSERT_TRUE(clique.ok());
+  const uint64_t chain_trees = CountJoinTrees(*chain);
+  const uint64_t cycle_trees = CountJoinTrees(*cycle);
+  const uint64_t clique_trees = CountJoinTrees(*clique);
+  EXPECT_LT(chain_trees, cycle_trees);
+  EXPECT_LT(cycle_trees, clique_trees);
+}
+
+TEST(TreeCountsTest, CountMatchesExplicitEnumerationOnRandomGraphs) {
+  // Oracle: count trees by explicit recursive enumeration over splits.
+  struct Oracle {
+    const QueryGraph& graph;
+    uint64_t Count(NodeSet s) {
+      if (s.count() == 1) return 1;
+      uint64_t total = 0;
+      for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+        const NodeSet s1 = it.Current();
+        const NodeSet s2 = s - s1;  // Ordered split: each direction once.
+        if (!IsConnectedSet(graph, s1) || !IsConnectedSet(graph, s2)) {
+          continue;
+        }
+        if (!graph.AreConnected(s1, s2)) continue;
+        total += Count(s1) * Count(s2);
+      }
+      return total;
+    }
+  };
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    WorkloadConfig config;
+    config.seed = seed;
+    Result<QueryGraph> graph = MakeRandomConnectedQuery(7, 3, config);
+    ASSERT_TRUE(graph.ok());
+    Oracle oracle{*graph};
+    EXPECT_EQ(CountJoinTrees(*graph), oracle.Count(graph->AllRelations()))
+        << seed;
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,351 @@
+/// joinopt_cli — the library's command-line front end.
+///
+///   joinopt_cli explain  <spec-file|-> [algo] [cost]   optimize & explain
+///   joinopt_cli dot      <spec-file|-> [plan|graph]    Graphviz output
+///   joinopt_cli generate <shape> <n> [seed]            emit a query spec
+///   joinopt_cli counters <shape> <n>                   measured vs predicted
+///
+/// shapes: chain cycle star clique
+/// algos:  DPccp (default) DPsize DPsub DPhyp TDBasic GOO linear IDP Adaptive
+/// costs:  cout (default) bestof hash nlj smj
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "dsl/writer.h"
+#include "joinopt.h"
+
+namespace joinopt {
+namespace {
+
+Result<std::string> ReadAll(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+Result<QueryShape> ParseShape(const std::string& name) {
+  if (name == "chain") return QueryShape::kChain;
+  if (name == "cycle") return QueryShape::kCycle;
+  if (name == "star") return QueryShape::kStar;
+  if (name == "clique") return QueryShape::kClique;
+  return Status::InvalidArgument("unknown shape '" + name +
+                                 "' (chain|cycle|star|clique)");
+}
+
+Result<std::unique_ptr<CostModel>> MakeCostModel(const std::string& name) {
+  if (name == "cout") {
+    return std::unique_ptr<CostModel>(std::make_unique<CoutCostModel>());
+  }
+  if (name == "bestof") {
+    return std::unique_ptr<CostModel>(
+        std::make_unique<BestOfCostModel>(BestOfCostModel::Standard()));
+  }
+  if (name == "hash") {
+    return std::unique_ptr<CostModel>(std::make_unique<HashJoinCostModel>());
+  }
+  if (name == "nlj") {
+    return std::unique_ptr<CostModel>(
+        std::make_unique<NestedLoopCostModel>());
+  }
+  if (name == "smj") {
+    return std::unique_ptr<CostModel>(std::make_unique<SortMergeCostModel>());
+  }
+  return Status::InvalidArgument("unknown cost model '" + name +
+                                 "' (cout|bestof|hash|nlj|smj)");
+}
+
+Result<std::unique_ptr<JoinOrderer>> MakeOrderer(const std::string& name) {
+  if (name == "DPccp") {
+    return std::unique_ptr<JoinOrderer>(std::make_unique<DPccp>());
+  }
+  if (name == "DPsize") {
+    return std::unique_ptr<JoinOrderer>(std::make_unique<DPsize>());
+  }
+  if (name == "DPsub") {
+    return std::unique_ptr<JoinOrderer>(std::make_unique<DPsub>());
+  }
+  if (name == "TDBasic") {
+    return std::unique_ptr<JoinOrderer>(std::make_unique<TDBasic>());
+  }
+  if (name == "GOO") {
+    return std::unique_ptr<JoinOrderer>(
+        std::make_unique<GreedyOperatorOrdering>());
+  }
+  if (name == "linear") {
+    return std::unique_ptr<JoinOrderer>(std::make_unique<DPsizeLinear>());
+  }
+  if (name == "IDP") {
+    return std::unique_ptr<JoinOrderer>(std::make_unique<IDP1>(8));
+  }
+  if (name == "Adaptive") {
+    return std::unique_ptr<JoinOrderer>(std::make_unique<AdaptiveOptimizer>());
+  }
+  return Status::InvalidArgument(
+      "unknown algorithm '" + name +
+      "' (DPccp|DPsize|DPsub|DPhyp|TDBasic|GOO|linear|IDP|Adaptive)");
+}
+
+int Explain(const std::string& path, const std::string& algo,
+            const std::string& cost) {
+  Result<std::string> text = ReadAll(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(*text);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<CostModel>> cost_model = MakeCostModel(cost);
+  if (!cost_model.ok()) {
+    std::fprintf(stderr, "%s\n", cost_model.status().ToString().c_str());
+    return 2;
+  }
+
+  // DPhyp runs through the hypergraph lift; everything else through the
+  // JoinOrderer interface.
+  Result<OptimizationResult> result = Status::Internal("unset");
+  if (algo == "DPhyp") {
+    const Hypergraph hyper = Hypergraph::FromQueryGraph(*graph);
+    result = DPhyp().Optimize(hyper, **cost_model);
+  } else {
+    Result<std::unique_ptr<JoinOrderer>> orderer = MakeOrderer(algo);
+    if (!orderer.ok()) {
+      std::fprintf(stderr, "%s\n", orderer.status().ToString().c_str());
+      return 2;
+    }
+    result = (*orderer)->Optimize(*graph, **cost_model);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "optimization failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- %s, cost model %s\n\n%s\n", algo.c_str(), cost.c_str(),
+              PlanToExplainString(result->plan, *graph).c_str());
+  std::printf("expression: %s\ncost: %.6g  rows: %.6g  pairs: %llu\n",
+              PlanToExpression(result->plan, *graph).c_str(), result->cost,
+              result->cardinality,
+              static_cast<unsigned long long>(
+                  result->stats.ono_lohman_counter));
+  return 0;
+}
+
+int Dot(const std::string& path, const std::string& what) {
+  Result<std::string> text = ReadAll(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(*text);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  if (what == "graph") {
+    std::fputs(QueryGraphToDot(*graph).c_str(), stdout);
+    return 0;
+  }
+  const CoutCostModel cost_model;
+  Result<OptimizationResult> result = DPccp().Optimize(*graph, cost_model);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(PlanToDot(result->plan, *graph).c_str(), stdout);
+  return 0;
+}
+
+int Generate(const std::string& shape_name, int n, uint64_t seed) {
+  Result<QueryShape> shape = ParseShape(shape_name);
+  if (!shape.ok()) {
+    std::fprintf(stderr, "%s\n", shape.status().ToString().c_str());
+    return 2;
+  }
+  WorkloadConfig config;
+  config.seed = seed;
+  Result<QueryGraph> graph = MakeShapeQuery(*shape, n, config);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(WriteQuerySpec(*graph).c_str(), stdout);
+  return 0;
+}
+
+int Counters(const std::string& shape_name, int n) {
+  Result<QueryShape> shape = ParseShape(shape_name);
+  if (!shape.ok()) {
+    std::fprintf(stderr, "%s\n", shape.status().ToString().c_str());
+    return 2;
+  }
+  if (n < 2 || n > 14) {
+    std::fprintf(stderr, "n must be in [2, 14] for the measured run\n");
+    return 2;
+  }
+  Result<QueryGraph> graph = MakeShapeQuery(*shape, n);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const CoutCostModel cost_model;
+  const DPsize dpsize;
+  const DPsub dpsub;
+  const DPccp dpccp;
+  std::printf("%s n=%d   #csg=%llu  #ccp=%llu\n", shape_name.c_str(), n,
+              static_cast<unsigned long long>(CsgCount(*shape, n)),
+              static_cast<unsigned long long>(CcpCountUnordered(*shape, n)));
+  std::printf("%-8s  %14s  %14s\n", "algo", "measured", "predicted");
+  const struct {
+    const JoinOrderer* orderer;
+    uint64_t predicted;
+  } rows[] = {
+      {&dpsize, PredictedInnerCounterDPsize(*shape, n)},
+      {&dpsub, PredictedInnerCounterDPsub(*shape, n)},
+      {&dpccp, PredictedInnerCounterDPccp(*shape, n)},
+  };
+  for (const auto& row : rows) {
+    Result<OptimizationResult> result =
+        row.orderer->Optimize(*graph, cost_model);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed\n",
+                   std::string(row.orderer->name()).c_str());
+      return 1;
+    }
+    std::printf("%-8s  %14llu  %14llu%s\n",
+                std::string(row.orderer->name()).c_str(),
+                static_cast<unsigned long long>(result->stats.inner_counter),
+                static_cast<unsigned long long>(row.predicted),
+                result->stats.inner_counter == row.predicted ? ""
+                                                             : "  MISMATCH");
+  }
+  return 0;
+}
+
+int Sql(const std::string& catalog_path, const std::string& query,
+        const std::string& algo) {
+  Result<std::string> text = ReadAll(catalog_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<Catalog> catalog = ParseQuerySpec(*text);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog error: %s\n",
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  Result<QueryGraph> graph = ParseSqlJoinQuery(query, *catalog);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "SQL error: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<JoinOrderer>> orderer = MakeOrderer(algo);
+  if (!orderer.ok()) {
+    std::fprintf(stderr, "%s\n", orderer.status().ToString().c_str());
+    return 2;
+  }
+  const BestOfCostModel cost_model = BestOfCostModel::Standard();
+  Result<OptimizationResult> result =
+      (*orderer)->Optimize(*graph, cost_model);
+  if (!result.ok()) {
+    std::fprintf(stderr, "optimization failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\nexpression: %s\ncost: %.6g  rows: %.6g\n",
+              PlanToExplainString(result->plan, *graph).c_str(),
+              PlanToExpression(result->plan, *graph).c_str(), result->cost,
+              result->cardinality);
+  return 0;
+}
+
+int Hyper(const std::string& path) {
+  Result<std::string> text = ReadAll(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<Hypergraph> graph = ParseHypergraphSpec(*text);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const CoutCostModel cost_model;
+  Result<OptimizationResult> result = DPhyp().Optimize(*graph, cost_model);
+  if (!result.ok()) {
+    std::fprintf(stderr, "DPhyp failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- DPhyp over %d relations, %d (hyper)edges\n\n%s\n"
+              "expression: %s\ncost: %.6g  pairs: %llu\n",
+              graph->relation_count(), graph->edge_count(),
+              PlanToExplainString(result->plan, *graph).c_str(),
+              PlanToExpression(result->plan, *graph).c_str(), result->cost,
+              static_cast<unsigned long long>(
+                  result->stats.ono_lohman_counter));
+  return 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s explain  <spec-file|-> [algo] [cost]\n"
+               "  %s hyper    <hyperspec-file|->\n"
+               "  %s sql      <catalog-spec-file|-> \"SELECT ...\" [algo]\n"
+               "  %s dot      <spec-file|-> [plan|graph]\n"
+               "  %s generate <shape> <n> [seed]\n"
+               "  %s counters <shape> <n>\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+}  // namespace joinopt
+
+int main(int argc, char** argv) {
+  using namespace joinopt;  // NOLINT(build/namespaces) — tool brevity.
+  if (argc < 2) {
+    return Usage(argv[0]);
+  }
+  const std::string command = argv[1];
+  if (command == "explain" && argc >= 3) {
+    return Explain(argv[2], argc > 3 ? argv[3] : "DPccp",
+                   argc > 4 ? argv[4] : "cout");
+  }
+  if (command == "hyper" && argc >= 3) {
+    return Hyper(argv[2]);
+  }
+  if (command == "sql" && argc >= 4) {
+    return Sql(argv[2], argv[3], argc > 4 ? argv[4] : "DPccp");
+  }
+  if (command == "dot" && argc >= 3) {
+    return Dot(argv[2], argc > 3 ? argv[3] : "plan");
+  }
+  if (command == "generate" && argc >= 4) {
+    return Generate(argv[2], std::atoi(argv[3]),
+                    argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42);
+  }
+  if (command == "counters" && argc >= 4) {
+    return Counters(argv[2], std::atoi(argv[3]));
+  }
+  return Usage(argv[0]);
+}
