@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_estimates.dir/ext_estimates.cc.o"
+  "CMakeFiles/ext_estimates.dir/ext_estimates.cc.o.d"
+  "ext_estimates"
+  "ext_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

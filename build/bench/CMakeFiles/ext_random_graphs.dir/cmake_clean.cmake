@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_random_graphs.dir/ext_random_graphs.cc.o"
+  "CMakeFiles/ext_random_graphs.dir/ext_random_graphs.cc.o.d"
+  "ext_random_graphs"
+  "ext_random_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_random_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

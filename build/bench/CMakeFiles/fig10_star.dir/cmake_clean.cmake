@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_star.dir/fig10_star.cc.o"
+  "CMakeFiles/fig10_star.dir/fig10_star.cc.o.d"
+  "fig10_star"
+  "fig10_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

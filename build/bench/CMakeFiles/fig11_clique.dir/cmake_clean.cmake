@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_clique.dir/fig11_clique.cc.o"
+  "CMakeFiles/fig11_clique.dir/fig11_clique.cc.o.d"
+  "fig11_clique"
+  "fig11_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_absolute.dir/fig12_absolute.cc.o"
+  "CMakeFiles/fig12_absolute.dir/fig12_absolute.cc.o.d"
+  "fig12_absolute"
+  "fig12_absolute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_absolute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

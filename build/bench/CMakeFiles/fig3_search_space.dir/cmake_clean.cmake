@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_search_space.dir/fig3_search_space.cc.o"
+  "CMakeFiles/fig3_search_space.dir/fig3_search_space.cc.o.d"
+  "fig3_search_space"
+  "fig3_search_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

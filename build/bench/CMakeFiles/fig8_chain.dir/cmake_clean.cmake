@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_chain.dir/fig8_chain.cc.o"
+  "CMakeFiles/fig8_chain.dir/fig8_chain.cc.o.d"
+  "fig8_chain"
+  "fig8_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

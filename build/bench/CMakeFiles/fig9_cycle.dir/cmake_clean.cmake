@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cycle.dir/fig9_cycle.cc.o"
+  "CMakeFiles/fig9_cycle.dir/fig9_cycle.cc.o.d"
+  "fig9_cycle"
+  "fig9_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bitset.dir/micro_bitset.cc.o"
+  "CMakeFiles/micro_bitset.dir/micro_bitset.cc.o.d"
+  "micro_bitset"
+  "micro_bitset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bitset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_enumeration.dir/micro_enumeration.cc.o"
+  "CMakeFiles/micro_enumeration.dir/micro_enumeration.cc.o.d"
+  "micro_enumeration"
+  "micro_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

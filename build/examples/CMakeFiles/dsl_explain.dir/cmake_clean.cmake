@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_explain.dir/dsl_explain.cc.o"
+  "CMakeFiles/dsl_explain.dir/dsl_explain.cc.o.d"
+  "dsl_explain"
+  "dsl_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

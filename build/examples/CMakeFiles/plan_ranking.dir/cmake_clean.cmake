@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_ranking.dir/plan_ranking.cc.o"
+  "CMakeFiles/plan_ranking.dir/plan_ranking.cc.o.d"
+  "plan_ranking"
+  "plan_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

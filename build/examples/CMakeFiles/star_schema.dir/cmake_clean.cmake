@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema.dir/star_schema.cc.o"
+  "CMakeFiles/star_schema.dir/star_schema.cc.o.d"
+  "star_schema"
+  "star_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/brute_force.cc" "src/CMakeFiles/joinopt.dir/analytics/brute_force.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/analytics/brute_force.cc.o.d"
+  "/root/repo/src/analytics/counts.cc" "src/CMakeFiles/joinopt.dir/analytics/counts.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/analytics/counts.cc.o.d"
+  "/root/repo/src/analytics/tree_counts.cc" "src/CMakeFiles/joinopt.dir/analytics/tree_counts.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/analytics/tree_counts.cc.o.d"
+  "/root/repo/src/bitset/node_set.cc" "src/CMakeFiles/joinopt.dir/bitset/node_set.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/bitset/node_set.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/joinopt.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/core/adaptive.cc" "src/CMakeFiles/joinopt.dir/core/adaptive.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/adaptive.cc.o.d"
+  "/root/repo/src/core/dp_cross_products.cc" "src/CMakeFiles/joinopt.dir/core/dp_cross_products.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/dp_cross_products.cc.o.d"
+  "/root/repo/src/core/dpccp.cc" "src/CMakeFiles/joinopt.dir/core/dpccp.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/dpccp.cc.o.d"
+  "/root/repo/src/core/dpsize.cc" "src/CMakeFiles/joinopt.dir/core/dpsize.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/dpsize.cc.o.d"
+  "/root/repo/src/core/dpsize_linear.cc" "src/CMakeFiles/joinopt.dir/core/dpsize_linear.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/dpsize_linear.cc.o.d"
+  "/root/repo/src/core/dpsub.cc" "src/CMakeFiles/joinopt.dir/core/dpsub.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/dpsub.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/CMakeFiles/joinopt.dir/core/greedy.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/greedy.cc.o.d"
+  "/root/repo/src/core/idp.cc" "src/CMakeFiles/joinopt.dir/core/idp.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/idp.cc.o.d"
+  "/root/repo/src/core/ikkbz.cc" "src/CMakeFiles/joinopt.dir/core/ikkbz.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/ikkbz.cc.o.d"
+  "/root/repo/src/core/kbest.cc" "src/CMakeFiles/joinopt.dir/core/kbest.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/kbest.cc.o.d"
+  "/root/repo/src/core/lindp.cc" "src/CMakeFiles/joinopt.dir/core/lindp.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/lindp.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/joinopt.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/top_down.cc" "src/CMakeFiles/joinopt.dir/core/top_down.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/core/top_down.cc.o.d"
+  "/root/repo/src/cost/cardinality.cc" "src/CMakeFiles/joinopt.dir/cost/cardinality.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/cost/cardinality.cc.o.d"
+  "/root/repo/src/cost/cost_models.cc" "src/CMakeFiles/joinopt.dir/cost/cost_models.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/cost/cost_models.cc.o.d"
+  "/root/repo/src/cost/statistics.cc" "src/CMakeFiles/joinopt.dir/cost/statistics.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/cost/statistics.cc.o.d"
+  "/root/repo/src/dsl/hyper_parser.cc" "src/CMakeFiles/joinopt.dir/dsl/hyper_parser.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/dsl/hyper_parser.cc.o.d"
+  "/root/repo/src/dsl/parser.cc" "src/CMakeFiles/joinopt.dir/dsl/parser.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/dsl/parser.cc.o.d"
+  "/root/repo/src/dsl/sql_parser.cc" "src/CMakeFiles/joinopt.dir/dsl/sql_parser.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/dsl/sql_parser.cc.o.d"
+  "/root/repo/src/dsl/writer.cc" "src/CMakeFiles/joinopt.dir/dsl/writer.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/dsl/writer.cc.o.d"
+  "/root/repo/src/enumerate/cmp.cc" "src/CMakeFiles/joinopt.dir/enumerate/cmp.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/enumerate/cmp.cc.o.d"
+  "/root/repo/src/enumerate/csg.cc" "src/CMakeFiles/joinopt.dir/enumerate/csg.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/enumerate/csg.cc.o.d"
+  "/root/repo/src/exec/database.cc" "src/CMakeFiles/joinopt.dir/exec/database.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/exec/database.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/joinopt.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/table.cc" "src/CMakeFiles/joinopt.dir/exec/table.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/exec/table.cc.o.d"
+  "/root/repo/src/graph/bfs_numbering.cc" "src/CMakeFiles/joinopt.dir/graph/bfs_numbering.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/graph/bfs_numbering.cc.o.d"
+  "/root/repo/src/graph/connectivity.cc" "src/CMakeFiles/joinopt.dir/graph/connectivity.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/graph/connectivity.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/joinopt.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/query_graph.cc" "src/CMakeFiles/joinopt.dir/graph/query_graph.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/graph/query_graph.cc.o.d"
+  "/root/repo/src/hyper/dphyp.cc" "src/CMakeFiles/joinopt.dir/hyper/dphyp.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/hyper/dphyp.cc.o.d"
+  "/root/repo/src/hyper/hypergraph.cc" "src/CMakeFiles/joinopt.dir/hyper/hypergraph.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/hyper/hypergraph.cc.o.d"
+  "/root/repo/src/plan/dot_export.cc" "src/CMakeFiles/joinopt.dir/plan/dot_export.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/plan/dot_export.cc.o.d"
+  "/root/repo/src/plan/join_tree.cc" "src/CMakeFiles/joinopt.dir/plan/join_tree.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/plan/join_tree.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/CMakeFiles/joinopt.dir/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/plan/plan_printer.cc.o.d"
+  "/root/repo/src/plan/plan_table.cc" "src/CMakeFiles/joinopt.dir/plan/plan_table.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/plan/plan_table.cc.o.d"
+  "/root/repo/src/plan/plan_validator.cc" "src/CMakeFiles/joinopt.dir/plan/plan_validator.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/plan/plan_validator.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/joinopt.dir/util/random.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/joinopt.dir/util/status.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

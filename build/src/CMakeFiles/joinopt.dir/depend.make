@@ -1,0 +1,2 @@
+# Empty dependencies file for joinopt.
+# This may be replaced when dependencies are built.

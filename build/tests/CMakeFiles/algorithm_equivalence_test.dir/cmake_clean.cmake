@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_equivalence_test.dir/algorithm_equivalence_test.cc.o"
+  "CMakeFiles/algorithm_equivalence_test.dir/algorithm_equivalence_test.cc.o.d"
+  "algorithm_equivalence_test"
+  "algorithm_equivalence_test.pdb"
+  "algorithm_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

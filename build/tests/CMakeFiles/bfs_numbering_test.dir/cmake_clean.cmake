@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_numbering_test.dir/bfs_numbering_test.cc.o"
+  "CMakeFiles/bfs_numbering_test.dir/bfs_numbering_test.cc.o.d"
+  "bfs_numbering_test"
+  "bfs_numbering_test.pdb"
+  "bfs_numbering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_numbering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_formula_test.dir/counter_formula_test.cc.o"
+  "CMakeFiles/counter_formula_test.dir/counter_formula_test.cc.o.d"
+  "counter_formula_test"
+  "counter_formula_test.pdb"
+  "counter_formula_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_cross_products_test.dir/dp_cross_products_test.cc.o"
+  "CMakeFiles/dp_cross_products_test.dir/dp_cross_products_test.cc.o.d"
+  "dp_cross_products_test"
+  "dp_cross_products_test.pdb"
+  "dp_cross_products_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_cross_products_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

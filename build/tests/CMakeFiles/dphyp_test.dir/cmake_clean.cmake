@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphyp_test.dir/dphyp_test.cc.o"
+  "CMakeFiles/dphyp_test.dir/dphyp_test.cc.o.d"
+  "dphyp_test"
+  "dphyp_test.pdb"
+  "dphyp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphyp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

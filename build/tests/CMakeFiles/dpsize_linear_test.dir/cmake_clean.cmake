@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpsize_linear_test.dir/dpsize_linear_test.cc.o"
+  "CMakeFiles/dpsize_linear_test.dir/dpsize_linear_test.cc.o.d"
+  "dpsize_linear_test"
+  "dpsize_linear_test.pdb"
+  "dpsize_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpsize_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpsize_test.dir/dpsize_test.cc.o"
+  "CMakeFiles/dpsize_test.dir/dpsize_test.cc.o.d"
+  "dpsize_test"
+  "dpsize_test.pdb"
+  "dpsize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpsize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpsub_test.dir/dpsub_test.cc.o"
+  "CMakeFiles/dpsub_test.dir/dpsub_test.cc.o.d"
+  "dpsub_test"
+  "dpsub_test.pdb"
+  "dpsub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpsub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_fuzz_test.dir/dsl_fuzz_test.cc.o"
+  "CMakeFiles/dsl_fuzz_test.dir/dsl_fuzz_test.cc.o.d"
+  "dsl_fuzz_test"
+  "dsl_fuzz_test.pdb"
+  "dsl_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

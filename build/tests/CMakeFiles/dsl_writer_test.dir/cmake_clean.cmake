@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_writer_test.dir/dsl_writer_test.cc.o"
+  "CMakeFiles/dsl_writer_test.dir/dsl_writer_test.cc.o.d"
+  "dsl_writer_test"
+  "dsl_writer_test.pdb"
+  "dsl_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

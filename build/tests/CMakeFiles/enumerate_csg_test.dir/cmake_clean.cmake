@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumerate_csg_test.dir/enumerate_csg_test.cc.o"
+  "CMakeFiles/enumerate_csg_test.dir/enumerate_csg_test.cc.o.d"
+  "enumerate_csg_test"
+  "enumerate_csg_test.pdb"
+  "enumerate_csg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumerate_csg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_small_graph_test.dir/exhaustive_small_graph_test.cc.o"
+  "CMakeFiles/exhaustive_small_graph_test.dir/exhaustive_small_graph_test.cc.o.d"
+  "exhaustive_small_graph_test"
+  "exhaustive_small_graph_test.pdb"
+  "exhaustive_small_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_small_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_parser_test.dir/hyper_parser_test.cc.o"
+  "CMakeFiles/hyper_parser_test.dir/hyper_parser_test.cc.o.d"
+  "hyper_parser_test"
+  "hyper_parser_test.pdb"
+  "hyper_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idp_test.dir/idp_test.cc.o"
+  "CMakeFiles/idp_test.dir/idp_test.cc.o.d"
+  "idp_test"
+  "idp_test.pdb"
+  "idp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

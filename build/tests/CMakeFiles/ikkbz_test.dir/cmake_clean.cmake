@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikkbz_test.dir/ikkbz_test.cc.o"
+  "CMakeFiles/ikkbz_test.dir/ikkbz_test.cc.o.d"
+  "ikkbz_test"
+  "ikkbz_test.pdb"
+  "ikkbz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikkbz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbest_test.dir/kbest_test.cc.o"
+  "CMakeFiles/kbest_test.dir/kbest_test.cc.o.d"
+  "kbest_test"
+  "kbest_test.pdb"
+  "kbest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

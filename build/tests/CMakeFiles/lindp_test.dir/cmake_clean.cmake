@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lindp_test.dir/lindp_test.cc.o"
+  "CMakeFiles/lindp_test.dir/lindp_test.cc.o.d"
+  "lindp_test"
+  "lindp_test.pdb"
+  "lindp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lindp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

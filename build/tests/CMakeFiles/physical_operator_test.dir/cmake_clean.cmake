@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physical_operator_test.dir/physical_operator_test.cc.o"
+  "CMakeFiles/physical_operator_test.dir/physical_operator_test.cc.o.d"
+  "physical_operator_test"
+  "physical_operator_test.pdb"
+  "physical_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physical_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_counts_test.dir/tree_counts_test.cc.o"
+  "CMakeFiles/tree_counts_test.dir/tree_counts_test.cc.o.d"
+  "tree_counts_test"
+  "tree_counts_test.pdb"
+  "tree_counts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_counts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

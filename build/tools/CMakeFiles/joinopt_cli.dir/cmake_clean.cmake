@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinopt_cli.dir/joinopt_cli.cc.o"
+  "CMakeFiles/joinopt_cli.dir/joinopt_cli.cc.o.d"
+  "joinopt_cli"
+  "joinopt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

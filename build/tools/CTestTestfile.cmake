@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate_counters "/root/repo/build/tools/joinopt_cli" "counters" "star" "8")
+set_tests_properties(cli_generate_counters PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/joinopt_cli")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explain_tpch "/root/repo/build/tools/joinopt_cli" "explain" "/root/repo/tools/../examples/queries/tpch_like.spec" "Adaptive" "bestof")
+set_tests_properties(cli_explain_tpch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explain_star "/root/repo/build/tools/joinopt_cli" "explain" "/root/repo/tools/../examples/queries/star_warehouse.spec" "DPhyp" "cout")
+set_tests_properties(cli_explain_star PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sql "/root/repo/build/tools/joinopt_cli" "sql" "/root/repo/tools/../examples/queries/tpch_like.spec" "SELECT * FROM lineitem l, orders o WHERE l.ok = o.ok")
+set_tests_properties(cli_sql PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
