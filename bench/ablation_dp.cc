@@ -11,9 +11,6 @@
 #include <string>
 
 #include "common.h"
-#include "core/dpccp.h"
-#include "core/dpsize.h"
-#include "core/dpsub.h"
 #include "cost/cost_model.h"
 #include "graph/generators.h"
 #include "plan/plan_table.h"
@@ -23,19 +20,29 @@
 namespace joinopt {
 namespace {
 
+/// MeasureSeconds + the machine-readable JSON line (JOINOPT_BENCH_JSON),
+/// keyed by the registry name so ablation variants stay distinguishable.
+double MeasureCell(const std::string& algorithm, const char* shape, int n,
+                   const QueryGraph& graph, const CostModel& cost_model) {
+  OptimizerStats stats;
+  const double seconds =
+      bench::MeasureSeconds(bench::Orderer(algorithm), graph, cost_model,
+                            &stats);
+  bench::EmitBenchJson(algorithm, shape, n, stats, seconds);
+  return seconds;
+}
+
 void AblateDPsizeEqualSizeOptimization() {
   std::printf("\n[1] DPsize equal-size optimization (clique queries)\n");
   std::printf("%4s  %14s  %14s  %8s\n", "n", "optimized_s", "unoptimized_s",
               "speedup");
   const CoutCostModel cost_model;
-  const DPsize optimized(true);
-  const DPsize unoptimized(false);
   for (const int n : {8, 10, 12}) {
     Result<QueryGraph> graph = MakeCliqueQuery(n);
     JOINOPT_CHECK(graph.ok());
-    const double with = bench::MeasureSeconds(optimized, *graph, cost_model);
+    const double with = MeasureCell("DPsize", "clique", n, *graph, cost_model);
     const double without =
-        bench::MeasureSeconds(unoptimized, *graph, cost_model);
+        MeasureCell("DPsizeBasic", "clique", n, *graph, cost_model);
     std::printf("%4d  %14s  %14s  %7.2fx\n", n,
                 bench::FormatSeconds(with).c_str(),
                 bench::FormatSeconds(without).c_str(), without / with);
@@ -46,15 +53,13 @@ void AblateDPsubConnectivityTest() {
   std::printf("\n[2] DPsub connectivity test (chain queries)\n");
   std::printf("%4s  %14s  %14s  %8s\n", "n", "table_s", "bfs_s", "speedup");
   const CoutCostModel cost_model;
-  const DPsub table_variant(true);
-  const DPsub bfs_variant(false);
   for (const int n : {12, 15, 18}) {
     Result<QueryGraph> graph = MakeChainQuery(n);
     JOINOPT_CHECK(graph.ok());
     const double with_table =
-        bench::MeasureSeconds(table_variant, *graph, cost_model);
+        MeasureCell("DPsub", "chain", n, *graph, cost_model);
     const double with_bfs =
-        bench::MeasureSeconds(bfs_variant, *graph, cost_model);
+        MeasureCell("DPsubBFS", "chain", n, *graph, cost_model);
     std::printf("%4d  %14s  %14s  %7.2fx\n", n,
                 bench::FormatSeconds(with_table).c_str(),
                 bench::FormatSeconds(with_bfs).c_str(), with_bfs / with_table);
@@ -66,14 +71,14 @@ void AblateDPccpRenumbering() {
   std::printf("%4s  %14s  %14s  %8s\n", "n", "prenumbered_s", "shuffled_s",
               "overhead");
   const CoutCostModel cost_model;
-  const DPccp dpccp;
   Random rng(7);
   for (const int n : {16, 24, 32}) {
     Result<QueryGraph> graph = MakeChainQuery(n);
     JOINOPT_CHECK(graph.ok());
     const QueryGraph shuffled = ShuffleLabels(*graph, rng);
-    const double pre = bench::MeasureSeconds(dpccp, *graph, cost_model);
-    const double shuf = bench::MeasureSeconds(dpccp, shuffled, cost_model);
+    const double pre = MeasureCell("DPccp", "chain", n, *graph, cost_model);
+    const double shuf =
+        MeasureCell("DPccp", "chain_shuffled", n, shuffled, cost_model);
     std::printf("%4d  %14s  %14s  %7.2fx\n", n,
                 bench::FormatSeconds(pre).c_str(),
                 bench::FormatSeconds(shuf).c_str(), shuf / pre);

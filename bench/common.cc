@@ -5,9 +5,6 @@
 #include <cstdlib>
 
 #include "analytics/counts.h"
-#include "core/dpccp.h"
-#include "core/dpsize.h"
-#include "core/dpsub.h"
 #include "cost/cost_model.h"
 #include "util/stopwatch.h"
 
@@ -31,8 +28,18 @@ uint64_t InnerCounterBudget() {
   return budget;
 }
 
+const JoinOrderer& Orderer(const std::string& name) {
+  const JoinOrderer* orderer = OptimizerRegistry::Get(name);
+  if (orderer == nullptr) {
+    std::fprintf(stderr, "benchmark requested unregistered orderer: %s\n",
+                 name.c_str());
+    std::abort();
+  }
+  return *orderer;
+}
+
 double MeasureSeconds(const JoinOrderer& orderer, const QueryGraph& graph,
-                      const CostModel& cost_model) {
+                      const CostModel& cost_model, OptimizerStats* last_stats) {
   constexpr double kTargetSeconds = 0.2;
   const Stopwatch total;
   int runs = 0;
@@ -44,6 +51,9 @@ double MeasureSeconds(const JoinOrderer& orderer, const QueryGraph& graph,
                    std::string(orderer.name()).c_str(),
                    result.status().ToString().c_str());
       std::abort();
+    }
+    if (last_stats != nullptr) {
+      *last_stats = result->stats;
     }
     ++runs;
   } while (total.ElapsedSeconds() < kTargetSeconds);
@@ -64,6 +74,38 @@ std::optional<uint64_t> PredictedInner(const std::string& algorithm,
   return std::nullopt;
 }
 
+void EmitBenchJson(const std::string& algorithm, const std::string& shape,
+                   int n, const OptimizerStats& stats, double seconds) {
+  const char* sink = std::getenv("JOINOPT_BENCH_JSON");
+  if (sink == nullptr || sink[0] == '\0') {
+    return;
+  }
+  std::FILE* out = stdout;
+  const bool to_stdout = std::string(sink) == "-";
+  if (!to_stdout) {
+    out = std::fopen(sink, "a");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot append to JOINOPT_BENCH_JSON sink %s\n",
+                   sink);
+      return;
+    }
+  }
+  std::fprintf(
+      out,
+      "{\"algorithm\":\"%s\",\"shape\":\"%s\",\"n\":%d,"
+      "\"inner_counter\":%" PRIu64 ",\"csg_cmp_pair_counter\":%" PRIu64
+      ",\"ono_lohman_counter\":%" PRIu64 ",\"create_join_tree_calls\":%" PRIu64
+      ",\"plans_stored\":%" PRIu64 ",\"elapsed_s\":%.9g}\n",
+      algorithm.c_str(), shape.c_str(), n, stats.inner_counter,
+      stats.csg_cmp_pair_counter, stats.ono_lohman_counter,
+      stats.create_join_tree_calls, stats.plans_stored, seconds);
+  if (to_stdout) {
+    std::fflush(out);
+  } else {
+    std::fclose(out);
+  }
+}
+
 std::string FormatSeconds(double seconds) {
   char buffer[64];
   if (seconds < 1e-3) {
@@ -81,13 +123,14 @@ std::string FormatSeconds(double seconds) {
 void RunRelativePerformanceFigure(const std::string& figure, QueryShape shape,
                                   int max_n) {
   const CoutCostModel cost_model;
-  const DPsize dpsize;
-  const DPsub dpsub;
-  const DPccp dpccp;
+  const JoinOrderer& dpsize = Orderer("DPsize");
+  const JoinOrderer& dpsub = Orderer("DPsub");
+  const JoinOrderer& dpccp = Orderer("DPccp");
   const uint64_t budget = InnerCounterBudget();
+  const std::string shape_name = std::string(QueryShapeName(shape));
 
   std::printf("%s: runtime relative to DPccp, %s queries (budget %.2g)\n",
-              figure.c_str(), std::string(QueryShapeName(shape)).c_str(),
+              figure.c_str(), shape_name.c_str(),
               static_cast<double>(budget));
   std::printf("%4s  %12s  %12s  %10s  %14s\n", "n", "DPsize/DPccp",
               "DPsub/DPccp", "DPccp", "DPccp_time_s");
@@ -99,11 +142,16 @@ void RunRelativePerformanceFigure(const std::string& figure, QueryShape shape,
                    graph.status().ToString().c_str());
       std::abort();
     }
-    const double ccp_seconds = MeasureSeconds(dpccp, *graph, cost_model);
+    OptimizerStats stats;
+    const double ccp_seconds =
+        MeasureSeconds(dpccp, *graph, cost_model, &stats);
+    EmitBenchJson("DPccp", shape_name, n, stats, ccp_seconds);
 
     std::string size_cell = "skipped";
     if (*PredictedInner("DPsize", shape, n) <= budget) {
-      const double size_seconds = MeasureSeconds(dpsize, *graph, cost_model);
+      const double size_seconds =
+          MeasureSeconds(dpsize, *graph, cost_model, &stats);
+      EmitBenchJson("DPsize", shape_name, n, stats, size_seconds);
       char buffer[32];
       std::snprintf(buffer, sizeof(buffer), "%.3g",
                     size_seconds / ccp_seconds);
@@ -111,7 +159,9 @@ void RunRelativePerformanceFigure(const std::string& figure, QueryShape shape,
     }
     std::string sub_cell = "skipped";
     if (*PredictedInner("DPsub", shape, n) <= budget) {
-      const double sub_seconds = MeasureSeconds(dpsub, *graph, cost_model);
+      const double sub_seconds =
+          MeasureSeconds(dpsub, *graph, cost_model, &stats);
+      EmitBenchJson("DPsub", shape_name, n, stats, sub_seconds);
       char buffer[32];
       std::snprintf(buffer, sizeof(buffer), "%.3g", sub_seconds / ccp_seconds);
       sub_cell = buffer;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/optimizer.h"
+#include "core/registry.h"
 #include "graph/generators.h"
 
 namespace joinopt {
@@ -19,22 +20,39 @@ namespace bench {
 /// everything).
 uint64_t InnerCounterBudget();
 
+/// Looks up `name` in the OptimizerRegistry; aborts the process with a
+/// diagnostic when it is not registered. Benchmarks only request names
+/// they know exist, so a miss is a programming error.
+const JoinOrderer& Orderer(const std::string& name);
+
 /// Measures one optimizer on one graph: runs Optimize repeatedly until
 /// ~0.2 s of cumulative runtime (at least once) and returns the mean
 /// wall-clock seconds per optimization. Aborts the process on optimizer
-/// failure — benchmark inputs are all valid by construction.
+/// failure — benchmark inputs are all valid by construction. When
+/// `last_stats` is non-null, the final run's stats are stored there.
 double MeasureSeconds(const JoinOrderer& orderer, const QueryGraph& graph,
-                      const CostModel& cost_model);
+                      const CostModel& cost_model,
+                      OptimizerStats* last_stats = nullptr);
 
 /// Predicted InnerCounter for gating, per algorithm name ("DPsize",
 /// "DPsub", "DPccp"). Other names get no prediction (never skipped).
 std::optional<uint64_t> PredictedInner(const std::string& algorithm,
                                        QueryShape shape, int n);
 
+/// Emits one machine-readable JSON line describing a measured benchmark
+/// cell — {"algorithm", "shape", "n", counters, "elapsed_s"} — to the
+/// sink named by the environment variable JOINOPT_BENCH_JSON: "-" means
+/// stdout, any other value is a file path opened in append mode. No-op
+/// when the variable is unset, so human-readable output stays clean by
+/// default.
+void EmitBenchJson(const std::string& algorithm, const std::string& shape,
+                   int n, const OptimizerStats& stats, double seconds);
+
 /// Runs the relative-performance experiment behind Figures 8-11: for each
 /// n in [2, max_n], times DPsize, DPsub, and DPccp on `shape` and prints
 /// one row with the runtimes normalized to DPccp ( = 1.0), skipping cells
-/// over budget. `figure` is the caption label.
+/// over budget. `figure` is the caption label. Each measured cell is also
+/// reported through EmitBenchJson.
 void RunRelativePerformanceFigure(const std::string& figure, QueryShape shape,
                                   int max_n);
 

@@ -13,7 +13,6 @@
 #include <cstdio>
 
 #include "common.h"
-#include "core/dpccp.h"
 #include "cost/cost_model.h"
 #include "cost/statistics.h"
 #include "exec/executor.h"
@@ -54,7 +53,7 @@ int main() {
   using namespace joinopt;  // NOLINT(build/namespaces)
 
   const CoutCostModel cost_model;
-  const DPccp optimizer;
+  const JoinOrderer& optimizer = bench::Orderer("DPccp");
   std::printf(
       "Estimate quality on random connected graphs (n = 8, 4 extra "
       "edges)\n%6s  %16s  %16s  %14s\n",

@@ -9,10 +9,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common.h"
-#include "core/dpccp.h"
-#include "core/dpsize_linear.h"
-#include "core/greedy.h"
 #include "core/idp.h"
 #include "cost/cost_model.h"
 #include "graph/generators.h"
@@ -21,19 +20,22 @@ int main() {
   using namespace joinopt;  // NOLINT(build/namespaces)
 
   const CoutCostModel cost_model;
-  const DPccp exact;
-  const DPsizeLinear left_deep;
-  const GreedyOperatorOrdering greedy;
-  const IDP1 idp2(2);
-  const IDP1 idp4(4);
-  const IDP1 idp8(8);
+  // Block sizes beyond IDP1's registry default are registered on the fly —
+  // the Register hook exists exactly for parameterized variants like this.
+  OptimizerRegistry::Register("IDP1(k=2)", std::make_unique<IDP1>(2));
+  OptimizerRegistry::Register("IDP1(k=4)", std::make_unique<IDP1>(4));
+  OptimizerRegistry::Register("IDP1(k=8)", std::make_unique<IDP1>(8));
+  const JoinOrderer& exact = bench::Orderer("DPccp");
 
   const struct {
     const JoinOrderer* orderer;
     const char* label;
   } contenders[] = {
-      {&left_deep, "left-deep"}, {&greedy, "GOO"},   {&idp2, "IDP1(k=2)"},
-      {&idp4, "IDP1(k=4)"},      {&idp8, "IDP1(k=8)"},
+      {&bench::Orderer("DPsizeLinear"), "left-deep"},
+      {&bench::Orderer("GOO"), "GOO"},
+      {&bench::Orderer("IDP1(k=2)"), "IDP1(k=2)"},
+      {&bench::Orderer("IDP1(k=4)"), "IDP1(k=4)"},
+      {&bench::Orderer("IDP1(k=8)"), "IDP1(k=8)"},
   };
 
   std::printf(

@@ -7,12 +7,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string>
 
 #include "analytics/brute_force.h"
 #include "common.h"
-#include "core/dpccp.h"
-#include "core/dpsize.h"
-#include "core/dpsub.h"
 #include "cost/cost_model.h"
 #include "graph/generators.h"
 
@@ -21,9 +19,9 @@ int main() {
 
   constexpr int kRelations = 14;
   const CoutCostModel cost_model;
-  const DPsize dpsize;
-  const DPsub dpsub;
-  const DPccp dpccp;
+  const JoinOrderer& dpsize = bench::Orderer("DPsize");
+  const JoinOrderer& dpsub = bench::Orderer("DPsub");
+  const JoinOrderer& dpccp = bench::Orderer("DPccp");
 
   std::printf(
       "Random connected graphs, n = %d, density sweep (seed-averaged x3)\n",
@@ -55,9 +53,18 @@ int main() {
       inner_size += size_result->stats.inner_counter;
       inner_sub += sub_result->stats.inner_counter;
       inner_ccp += ccp_result->stats.inner_counter;
-      time_size += bench::MeasureSeconds(dpsize, *graph, cost_model);
-      time_sub += bench::MeasureSeconds(dpsub, *graph, cost_model);
-      time_ccp += bench::MeasureSeconds(dpccp, *graph, cost_model);
+      const std::string shape = "random+" + std::to_string(extra);
+      OptimizerStats stats;
+      double seconds = bench::MeasureSeconds(dpsize, *graph, cost_model,
+                                             &stats);
+      bench::EmitBenchJson("DPsize", shape, kRelations, stats, seconds);
+      time_size += seconds;
+      seconds = bench::MeasureSeconds(dpsub, *graph, cost_model, &stats);
+      bench::EmitBenchJson("DPsub", shape, kRelations, stats, seconds);
+      time_sub += seconds;
+      seconds = bench::MeasureSeconds(dpccp, *graph, cost_model, &stats);
+      bench::EmitBenchJson("DPccp", shape, kRelations, stats, seconds);
+      time_ccp += seconds;
     }
     std::printf("%12d  %10" PRIu64 " | %12" PRIu64 " %12" PRIu64 " %12" PRIu64
                 " | %10s %10s %10s\n",

@@ -14,9 +14,6 @@
 #include <string>
 
 #include "common.h"
-#include "core/dpccp.h"
-#include "core/dpsize.h"
-#include "core/dpsub.h"
 #include "cost/cost_model.h"
 #include "graph/generators.h"
 
@@ -25,21 +22,21 @@ namespace {
 
 void PrintRow(const QueryGraph& graph, QueryShape shape, int n) {
   const CoutCostModel cost_model;
-  const DPsize dpsize;
-  const DPsub dpsub;
-  const DPccp dpccp;
   const uint64_t budget = bench::InnerCounterBudget();
 
-  const auto cell = [&](const JoinOrderer& orderer,
-                        const std::string& algorithm) -> std::string {
+  const auto cell = [&](const std::string& algorithm) -> std::string {
     if (*bench::PredictedInner(algorithm, shape, n) > budget) {
       return "skipped";
     }
-    return bench::FormatSeconds(
-        bench::MeasureSeconds(orderer, graph, cost_model));
+    OptimizerStats stats;
+    const double seconds = bench::MeasureSeconds(bench::Orderer(algorithm),
+                                                 graph, cost_model, &stats);
+    bench::EmitBenchJson(algorithm, std::string(QueryShapeName(shape)), n,
+                         stats, seconds);
+    return bench::FormatSeconds(seconds);
   };
-  std::printf("%4d  %12s  %12s  %12s\n", n, cell(dpsize, "DPsize").c_str(),
-              cell(dpsub, "DPsub").c_str(), cell(dpccp, "DPccp").c_str());
+  std::printf("%4d  %12s  %12s  %12s\n", n, cell("DPsize").c_str(),
+              cell("DPsub").c_str(), cell("DPccp").c_str());
   std::fflush(stdout);
 }
 

@@ -13,9 +13,6 @@
 
 #include "analytics/counts.h"
 #include "common.h"
-#include "core/dpccp.h"
-#include "core/dpsize.h"
-#include "core/dpsub.h"
 #include "cost/cost_model.h"
 #include "graph/generators.h"
 
@@ -24,8 +21,8 @@ namespace {
 
 constexpr int kSizes[] = {2, 5, 10, 15, 20};
 
-std::string MeasuredOrDash(const JoinOrderer& orderer, QueryShape shape,
-                           int n, const std::string& algorithm) {
+std::string MeasuredOrDash(const std::string& algorithm, QueryShape shape,
+                           int n) {
   const uint64_t predicted =
       *bench::PredictedInner(algorithm, shape, n);
   if (predicted > bench::InnerCounterBudget()) {
@@ -34,15 +31,15 @@ std::string MeasuredOrDash(const JoinOrderer& orderer, QueryShape shape,
   Result<QueryGraph> graph = MakeShapeQuery(shape, n);
   JOINOPT_CHECK(graph.ok());
   const CoutCostModel cost_model;
-  Result<OptimizationResult> result = orderer.Optimize(*graph, cost_model);
+  Result<OptimizationResult> result =
+      bench::Orderer(algorithm).Optimize(*graph, cost_model);
   JOINOPT_CHECK(result.ok());
+  bench::EmitBenchJson(algorithm, std::string(QueryShapeName(shape)), n,
+                       result->stats, result->stats.elapsed_seconds);
   return std::to_string(result->stats.inner_counter);
 }
 
 void PrintShape(QueryShape shape) {
-  const DPsize dpsize;
-  const DPsub dpsub;
-  const DPccp dpccp;
   std::printf("\n%s queries\n", std::string(QueryShapeName(shape)).c_str());
   std::printf("%4s  %14s  %14s  %14s | %14s  %14s  %14s\n", "n", "#ccp",
               "DPsub", "DPsize", "meas #ccp", "meas DPsub", "meas DPsize");
@@ -52,9 +49,9 @@ void PrintShape(QueryShape shape) {
         " | %14s  %14s  %14s\n",
         n, CcpCountUnordered(shape, n), PredictedInnerCounterDPsub(shape, n),
         PredictedInnerCounterDPsize(shape, n),
-        MeasuredOrDash(dpccp, shape, n, "DPccp").c_str(),
-        MeasuredOrDash(dpsub, shape, n, "DPsub").c_str(),
-        MeasuredOrDash(dpsize, shape, n, "DPsize").c_str());
+        MeasuredOrDash("DPccp", shape, n).c_str(),
+        MeasuredOrDash("DPsub", shape, n).c_str(),
+        MeasuredOrDash("DPsize", shape, n).c_str());
     std::fflush(stdout);
   }
 }

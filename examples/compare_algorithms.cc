@@ -25,9 +25,6 @@ int main(int argc, char** argv) {
   }
 
   const CoutCostModel cost_model;
-  const DPsize dpsize;
-  const DPsub dpsub;
-  const DPccp dpccp;
 
   std::printf(
       "Search-space analysis at n = %d (measured vs closed-form predicted)\n",
@@ -50,9 +47,12 @@ int main(int argc, char** argv) {
       const JoinOrderer* orderer;
       uint64_t predicted;
     } rows[] = {
-        {&dpsize, PredictedInnerCounterDPsize(shape, n)},
-        {&dpsub, PredictedInnerCounterDPsub(shape, n)},
-        {&dpccp, PredictedInnerCounterDPccp(shape, n)},
+        {OptimizerRegistry::Get("DPsize"),
+         PredictedInnerCounterDPsize(shape, n)},
+        {OptimizerRegistry::Get("DPsub"),
+         PredictedInnerCounterDPsub(shape, n)},
+        {OptimizerRegistry::Get("DPccp"),
+         PredictedInnerCounterDPccp(shape, n)},
     };
     double reference_cost = -1.0;
     for (const auto& row : rows) {

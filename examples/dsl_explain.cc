@@ -55,27 +55,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const DPccp dpccp;
-  const DPsize dpsize;
-  const DPsub dpsub;
-  const GreedyOperatorOrdering goo;
-  const DPsizeLinear linear;
-  const JoinOrderer* orderer = &dpccp;
-  if (argc > 2) {
-    const std::string name = argv[2];
-    if (name == "DPsize") {
-      orderer = &dpsize;
-    } else if (name == "DPsub") {
-      orderer = &dpsub;
-    } else if (name == "GOO") {
-      orderer = &goo;
-    } else if (name == "linear") {
-      orderer = &linear;
-    } else if (name != "DPccp") {
-      std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
-      return 2;
-    }
+  // Any registry name works; "linear" is kept as a legacy alias.
+  std::string name = argc > 2 ? argv[2] : "DPccp";
+  if (name == "linear") {
+    name = "DPsizeLinear";
   }
+  Result<const JoinOrderer*> lookup = OptimizerRegistry::GetOrError(name);
+  if (!lookup.ok()) {
+    std::fprintf(stderr, "%s\n", lookup.status().ToString().c_str());
+    return 2;
+  }
+  const JoinOrderer* orderer = *lookup;
 
   const BestOfCostModel cost_model = BestOfCostModel::Standard();
   Result<OptimizationResult> result = orderer->Optimize(*graph, cost_model);

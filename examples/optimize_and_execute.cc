@@ -34,17 +34,17 @@ int main() {
   }
 
   const CoutCostModel cost_model;
-  const DPccp optimal;
-  const DPsizeLinear left_deep;
-  const GreedyOperatorOrdering greedy;
+  const JoinOrderer* optimal = OptimizerRegistry::Get("DPccp");
+  const JoinOrderer* left_deep = OptimizerRegistry::Get("DPsizeLinear");
+  const JoinOrderer* greedy = OptimizerRegistry::Get("GOO");
 
   struct Row {
     const char* label;
     Result<OptimizationResult> result;
   } rows[] = {
-      {"DPccp (optimal)", optimal.Optimize(*graph, cost_model)},
-      {"left-deep DP", left_deep.Optimize(*graph, cost_model)},
-      {"GOO (greedy)", greedy.Optimize(*graph, cost_model)},
+      {"DPccp (optimal)", optimal->Optimize(*graph, cost_model)},
+      {"left-deep DP", left_deep->Optimize(*graph, cost_model)},
+      {"GOO (greedy)", greedy->Optimize(*graph, cost_model)},
   };
 
   bool all_identical = true;

@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
   }
 
   const BestOfCostModel cost_model = BestOfCostModel::Standard();
+  // KBestJoinOrderer returns a ranking, not a single plan, so it lives
+  // outside the JoinOrderer registry and is constructed directly.
   Result<std::vector<RankedPlan>> plans =
       KBestJoinOrderer(k).Optimize(*graph, cost_model);
   if (!plans.ok()) {
@@ -41,7 +43,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   // Sanity: the ranking's head must be the DPccp optimum.
-  Result<OptimizationResult> optimum = DPccp().Optimize(*graph, cost_model);
+  Result<OptimizationResult> optimum =
+      OptimizerRegistry::Get("DPccp")->Optimize(*graph, cost_model);
   if (!optimum.ok() ||
       (*plans)[0].cost > optimum->cost * (1 + 1e-9)) {
     std::fprintf(stderr, "ranking head does not match the optimum!\n");

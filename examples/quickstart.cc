@@ -38,10 +38,11 @@ int main() {
   }
 
   // Optimize with DPccp (the paper's algorithm of choice) under the
-  // classic C_out cost model.
+  // classic C_out cost model. Algorithms come from the registry; run
+  // `joinopt_cli list` or OptimizerRegistry::Names() for the full menu.
   const CoutCostModel cost_model;
-  const DPccp optimizer;
-  Result<OptimizationResult> result = optimizer.Optimize(graph, cost_model);
+  const JoinOrderer* optimizer = OptimizerRegistry::Get("DPccp");
+  Result<OptimizationResult> result = optimizer->Optimize(graph, cost_model);
   if (!result.ok()) {
     std::fprintf(stderr, "optimization failed: %s\n",
                  result.status().ToString().c_str());

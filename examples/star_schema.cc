@@ -57,20 +57,11 @@ int main(int argc, char** argv) {
               graph->relation_count());
 
   const CoutCostModel cost_model;
-  const DPccp dpccp;
-  const DPsub dpsub;
-  const DPsize dpsize;
-  const DPsizeLinear left_deep;
-  const GreedyOperatorOrdering greedy;
 
   std::printf("%-14s  %14s  %16s  %12s\n", "algorithm", "cost(Cout)",
               "inner_counter", "time_s");
-  for (const JoinOrderer* orderer :
-       {static_cast<const JoinOrderer*>(&dpccp),
-        static_cast<const JoinOrderer*>(&dpsub),
-        static_cast<const JoinOrderer*>(&dpsize),
-        static_cast<const JoinOrderer*>(&left_deep),
-        static_cast<const JoinOrderer*>(&greedy)}) {
+  for (const char* name : {"DPccp", "DPsub", "DPsize", "DPsizeLinear", "GOO"}) {
+    const JoinOrderer* orderer = OptimizerRegistry::Get(name);
     // DPsize on big stars explodes (Figure 10); skip above 14 relations.
     if (orderer->name() == "DPsize" && graph->relation_count() > 14) {
       std::printf("%-14s  %14s\n", "DPsize", "(skipped: see Figure 10)");
@@ -89,7 +80,8 @@ int main(int argc, char** argv) {
                 result->stats.elapsed_seconds);
   }
 
-  Result<OptimizationResult> best = dpccp.Optimize(*graph, cost_model);
+  Result<OptimizationResult> best =
+      OptimizerRegistry::Get("DPccp")->Optimize(*graph, cost_model);
   if (best.ok()) {
     std::printf("\nDPccp plan:\n%s",
                 PlanToExplainString(best->plan, *graph).c_str());

@@ -1,12 +1,41 @@
 #include "core/adaptive.h"
 
+#include <string>
+#include <vector>
+
 #include "core/dp_cross_products.h"
 #include "core/dpccp.h"
+#include "core/greedy.h"
 #include "core/idp.h"
 #include "enumerate/cmp.h"
 #include "graph/connectivity.h"
 
 namespace joinopt {
+
+namespace {
+
+/// Runs one ladder rung in its own single-use context. Each attempt needs
+/// a FRESH context: the governor's limit state is sticky, so a tripped
+/// budget would otherwise poison every later rung.
+Result<OptimizationResult> RunRung(std::string_view algorithm,
+                                   int idp_block_size, const QueryGraph& graph,
+                                   const CostModel& cost_model,
+                                   const OptimizeOptions& options) {
+  OptimizerContext sub(graph, cost_model, options);
+  if (algorithm == "DPsizeCP") {
+    return DPsizeCP().Optimize(sub);
+  }
+  if (algorithm == "DPccp") {
+    return DPccp().Optimize(sub);
+  }
+  if (algorithm == "IDP1") {
+    return IDP1(idp_block_size).Optimize(sub);
+  }
+  JOINOPT_DCHECK(algorithm == "GOO");
+  return GreedyOperatorOrdering().Optimize(sub);
+}
+
+}  // namespace
 
 std::string_view AdaptiveOptimizer::ChooseAlgorithm(
     const QueryGraph& graph) const {
@@ -18,18 +47,63 @@ std::string_view AdaptiveOptimizer::ChooseAlgorithm(
 }
 
 Result<OptimizationResult> AdaptiveOptimizer::Optimize(
-    const QueryGraph& graph, const CostModel& cost_model) const {
-  if (graph.relation_count() == 0) {
-    return Status::InvalidArgument("query graph has no relations");
-  }
+    OptimizerContext& ctx) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/false));
+  const QueryGraph& graph = ctx.graph();
+  const CostModel& cost_model = ctx.cost_model();
+  const OptimizeOptions& options = ctx.options();
+
+  // The degradation ladder: the gate's choice first, then successively
+  // cheaper algorithms when a resource limit trips.
+  std::vector<std::string_view> ladder;
   const std::string_view choice = ChooseAlgorithm(graph);
+  ladder.push_back(choice);
   if (choice == "DPsizeCP") {
-    return DPsizeCP().Optimize(graph, cost_model);
+    // Cross products required: no heuristic in the library handles
+    // disconnected graphs, so degrade by rerunning DPsizeCP unlimited
+    // (bounded in practice by its own n <= 24 gate).
+    ladder.push_back("DPsizeCP");
+  } else {
+    if (choice != "IDP1") {
+      ladder.push_back("IDP1");
+    }
+    ladder.push_back("GOO");
   }
-  if (choice == "DPccp") {
-    return DPccp().Optimize(graph, cost_model);
+
+  std::string fallback_from;
+  Result<OptimizationResult> result = Status::Internal("unset");
+  for (size_t rung = 0; rung < ladder.size(); ++rung) {
+    const bool last = rung + 1 == ladder.size();
+    OptimizeOptions rung_options = options;
+    if (last && rung > 0) {
+      // Final rung: strip the limits (tracing and counter reporting stay)
+      // — another kBudgetExceeded would leave the caller with no plan.
+      rung_options.memo_entry_budget = 0;
+      rung_options.deadline_seconds = 0.0;
+    }
+    result =
+        RunRung(ladder[rung], idp_block_size_, graph, cost_model, rung_options);
+    if (result.ok() || last ||
+        result.status().code() != StatusCode::kBudgetExceeded) {
+      break;
+    }
+    if (!fallback_from.empty()) {
+      fallback_from += ",";
+    }
+    fallback_from += ladder[rung];
+    if (JOINOPT_UNLIKELY(options.trace != nullptr)) {
+      options.trace->OnFallback(ladder[rung], ladder[rung + 1],
+                                result.status());
+    }
   }
-  return IDP1(idp_block_size_).Optimize(graph, cost_model);
+  JOINOPT_RETURN_IF_ERROR(result.status());
+
+  result->stats.fallback_from = fallback_from;
+  // Charge the gate and every abandoned attempt to the reported time.
+  result->stats.elapsed_seconds = ctx.ElapsedSeconds();
+  ctx.stats() = result->stats;
+  return result;
 }
 
 }  // namespace joinopt

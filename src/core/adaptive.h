@@ -16,6 +16,16 @@ namespace joinopt {
 ///
 /// The #ccp gate is computed by running the pair enumeration in counting
 /// mode with an early exit, so the gate itself never exceeds the budget.
+///
+/// Graceful degradation: when the chosen algorithm aborts with
+/// kBudgetExceeded (a memo budget or deadline from OptimizeOptions), the
+/// facade falls back down the ladder choice -> IDP1 -> GOO instead of
+/// failing; the final rung runs with the limits stripped so the caller
+/// always gets SOME plan. (Disconnected graphs have no heuristic rung in
+/// the library, so there the ladder is DPsizeCP -> DPsizeCP unlimited.)
+/// Every abandoned attempt is appended to OptimizerStats::fallback_from
+/// and reported through TraceSink::OnFallback; stats.algorithm names the
+/// algorithm that actually produced the plan.
 class AdaptiveOptimizer final : public JoinOrderer {
  public:
   /// `exact_pair_budget`: run exact DPccp when the query graph has at
@@ -28,11 +38,12 @@ class AdaptiveOptimizer final : public JoinOrderer {
 
   std::string_view name() const override { return "Adaptive"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 
-  /// Which underlying algorithm Optimize would use for `graph` (exposed
-  /// for tests and EXPLAIN output): "DPsizeCP", "DPccp", or "IDP1".
+  /// Which underlying algorithm Optimize would try first for `graph`
+  /// (exposed for tests and EXPLAIN output): "DPsizeCP", "DPccp", or
+  /// "IDP1".
   std::string_view ChooseAlgorithm(const QueryGraph& graph) const;
 
  private:

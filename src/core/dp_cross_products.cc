@@ -3,15 +3,13 @@
 #include <vector>
 
 #include "bitset/subset_iterator.h"
-#include "util/stopwatch.h"
 
 namespace joinopt {
 
-Result<OptimizationResult> DPsizeCP::Optimize(
-    const QueryGraph& graph, const CostModel& cost_model) const {
+Result<OptimizationResult> DPsizeCP::Optimize(OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/false));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/false));
+  const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
   if (n > 24) {
     // With cross products every one of the 2^n subsets gets a plan;
@@ -20,45 +18,56 @@ Result<OptimizationResult> DPsizeCP::Optimize(
         "DPsizeCP materializes all 2^n subsets; refusing n > 24");
   }
 
-  PlanTable table(n, /*dense_limit=*/24);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(graph, &table, &stats);
+  ctx.InstallTable(PlanTable(n, /*dense_limit=*/24));
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  bool live = internal::SeedLeafPlans(ctx);
 
   std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
   for (int i = 0; i < n; ++i) {
     plans_by_size[1].push_back(NodeSet::Singleton(i));
   }
 
-  const auto consider = [&](NodeSet s1, NodeSet s2) {
+  const auto consider = [&](NodeSet s1, NodeSet s2) -> bool {
     ++stats.inner_counter;
     if (s1.Intersects(s2)) {
-      return;
+      return !ctx.Tick();
     }
     stats.csg_cmp_pair_counter += 2;
+    ctx.TraceCsgCmpPair(s1, s2);
     const NodeSet combined = s1 | s2;
     const bool existed = table.Find(combined) != nullptr;
-    internal::CreateJoinTreeBothOrders(graph, cost_model, s1, s2, &table,
-                                       &stats);
+    if (!internal::CreateJoinTreeBothOrders(ctx, s1, s2)) {
+      return false;
+    }
     if (!existed) {
       plans_by_size[combined.count()].push_back(combined);
     }
+    return !ctx.Tick();
   };
 
-  for (int s = 2; s <= n; ++s) {
-    for (int s1 = 1; 2 * s1 <= s; ++s1) {
+  for (int s = 2; live && s <= n; ++s) {
+    for (int s1 = 1; live && 2 * s1 <= s; ++s1) {
       const int s2 = s - s1;
       const std::vector<NodeSet>& left_list = plans_by_size[s1];
       const std::vector<NodeSet>& right_list = plans_by_size[s2];
       if (s1 == s2) {
-        for (size_t i = 0; i < left_list.size(); ++i) {
+        for (size_t i = 0; live && i < left_list.size(); ++i) {
           for (size_t j = i + 1; j < left_list.size(); ++j) {
-            consider(left_list[i], left_list[j]);
+            if (!consider(left_list[i], left_list[j])) {
+              live = false;
+              break;
+            }
           }
         }
       } else {
-        for (const NodeSet s1_set : left_list) {
+        for (size_t i = 0; live && i < left_list.size(); ++i) {
+          const NodeSet s1_set = left_list[i];
           for (const NodeSet s2_set : right_list) {
-            consider(s1_set, s2_set);
+            if (!consider(s1_set, s2_set)) {
+              live = false;
+              break;
+            }
           }
         }
       }
@@ -66,27 +75,28 @@ Result<OptimizationResult> DPsizeCP::Optimize(
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
-Result<OptimizationResult> DPsubCP::Optimize(
-    const QueryGraph& graph, const CostModel& cost_model) const {
+Result<OptimizationResult> DPsubCP::Optimize(OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/false));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/false));
+  const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
   if (n > 24) {
     return Status::InvalidArgument(
         "DPsubCP enumerates 3^n splits; refusing n > 24");
   }
 
-  PlanTable table(n, /*dense_limit=*/24);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(graph, &table, &stats);
+  ctx.InstallTable(PlanTable(n, /*dense_limit=*/24));
+  OptimizerStats& stats = ctx.stats();
+  bool live = internal::SeedLeafPlans(ctx);
 
   const uint64_t limit = (uint64_t{1} << n) - 1;
-  for (uint64_t mask = 1; mask <= limit; ++mask) {
+  for (uint64_t mask = 1; live && mask <= limit; ++mask) {
     const NodeSet s = NodeSet::FromMask(mask);
     if (s.count() == 1) {
       continue;
@@ -94,14 +104,23 @@ Result<OptimizationResult> DPsubCP::Optimize(
     for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
       ++stats.inner_counter;
       ++stats.csg_cmp_pair_counter;
-      internal::CreateJoinTree(graph, cost_model, it.Current(),
-                               s - it.Current(), &table, &stats);
+      const NodeSet s1 = it.Current();
+      ctx.TraceCsgCmpPair(s1, s - s1);
+      if (!internal::CreateJoinTree(ctx, s1, s - s1)) {
+        live = false;
+        break;
+      }
+    }
+    if (ctx.Tick()) {
+      live = false;
     }
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

@@ -21,8 +21,8 @@ class DPsizeCP final : public JoinOrderer {
 
   std::string_view name() const override { return "DPsizeCP"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 };
 
 /// DPsub over the full bushy search space including cross products — the
@@ -35,8 +35,8 @@ class DPsubCP final : public JoinOrderer {
 
   std::string_view name() const override { return "DPsubCP"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 };
 
 }  // namespace joinopt

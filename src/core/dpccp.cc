@@ -4,15 +4,13 @@
 
 #include "enumerate/cmp.h"
 #include "graph/bfs_numbering.h"
-#include "util/stopwatch.h"
 
 namespace joinopt {
 
-Result<OptimizationResult> DPccp::Optimize(const QueryGraph& graph,
-                                           const CostModel& cost_model) const {
+Result<OptimizationResult> DPccp::Optimize(OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
 
   // Establish the BFS-numbering precondition of EnumerateCsg/EnumerateCmp.
   Result<BfsNumbering> numbering = ComputeBfsNumbering(graph, /*start=*/0);
@@ -20,23 +18,28 @@ Result<OptimizationResult> DPccp::Optimize(const QueryGraph& graph,
   const bool identity = numbering->IsIdentity();
   const QueryGraph relabeled_storage =
       identity ? QueryGraph() : RelabelGraph(graph, *numbering);
-  const QueryGraph& work_graph = identity ? graph : relabeled_storage;
+  const WorkGraphScope scope(ctx, identity ? graph : relabeled_storage);
+  const QueryGraph& work_graph = ctx.work_graph();
 
-  PlanTable table = internal::MakeAdaptivePlanTable(work_graph);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(work_graph, &table, &stats);
-
-  EnumerateCsgCmpPairs(work_graph, [&](NodeSet s1, NodeSet s2) {
-    ++stats.inner_counter;
-    ++stats.ono_lohman_counter;
-    internal::CreateJoinTreeBothOrders(work_graph, cost_model, s1, s2, &table,
-                                       &stats);
-  });
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(work_graph));
+  OptimizerStats& stats = ctx.stats();
+  if (internal::SeedLeafPlans(ctx)) {
+    EnumerateCsgCmpPairsUntil(work_graph, [&](NodeSet s1, NodeSet s2) {
+      ++stats.inner_counter;
+      ++stats.ono_lohman_counter;
+      ctx.TraceCsgCmpPair(s1, s2);
+      if (!internal::CreateJoinTreeBothOrders(ctx, s1, s2)) {
+        return false;  // Memo budget tripped: unwind the enumeration.
+      }
+      return !ctx.Tick();
+    });
+  }
   stats.csg_cmp_pair_counter = 2 * stats.ono_lohman_counter;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
 
-  Result<OptimizationResult> result =
-      internal::ExtractResult(work_graph, table, stats);
+  Result<OptimizationResult> result = internal::ExtractResult(ctx);
   JOINOPT_RETURN_IF_ERROR(result.status());
   if (!identity) {
     result->plan.RelabelLeaves(numbering->new_to_old);

@@ -23,8 +23,8 @@ class DPccp final : public JoinOrderer {
 
   std::string_view name() const override { return "DPccp"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 };
 
 }  // namespace joinopt

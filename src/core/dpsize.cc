@@ -2,20 +2,18 @@
 
 #include <vector>
 
-#include "util/stopwatch.h"
-
 namespace joinopt {
 
-Result<OptimizationResult> DPsize::Optimize(const QueryGraph& graph,
-                                            const CostModel& cost_model) const {
+Result<OptimizationResult> DPsize::Optimize(OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
 
-  PlanTable table = internal::MakeAdaptivePlanTable(graph);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(graph, &table, &stats);
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  bool live = internal::SeedLeafPlans(ctx);
 
   // plans_by_size[s] lists the sets (all connected) that have a plan of
   // size s, in creation order — the "linked list of plans of equal size"
@@ -27,45 +25,56 @@ Result<OptimizationResult> DPsize::Optimize(const QueryGraph& graph,
   }
 
   // Pairs (s1, s2): prices s1 ⋈ s2 in both orders, registering the result
-  // set in its size list on first creation.
-  const auto consider = [&](NodeSet s1, NodeSet s2) {
+  // set in its size list on first creation. Returns false when a resource
+  // limit tripped and the enumeration must stop.
+  const auto consider = [&](NodeSet s1, NodeSet s2) -> bool {
     ++stats.inner_counter;
     if (s1.Intersects(s2)) {
-      return;
+      return !ctx.Tick();
     }
     if (!graph.AreConnected(s1, s2)) {
-      return;
+      return !ctx.Tick();
     }
     stats.csg_cmp_pair_counter += 2;
+    ctx.TraceCsgCmpPair(s1, s2);
     const NodeSet combined = s1 | s2;
     const bool existed = table.Find(combined) != nullptr;
-    internal::CreateJoinTreeBothOrders(graph, cost_model, s1, s2, &table,
-                                       &stats);
+    if (!internal::CreateJoinTreeBothOrders(ctx, s1, s2)) {
+      return false;
+    }
     if (!existed) {
       plans_by_size[combined.count()].push_back(combined);
     }
+    return !ctx.Tick();
   };
 
-  for (int s = 2; s <= n; ++s) {
-    for (int s1 = 1; 2 * s1 <= s; ++s1) {
+  for (int s = 2; live && s <= n; ++s) {
+    for (int s1 = 1; live && 2 * s1 <= s; ++s1) {
       const int s2 = s - s1;
       const std::vector<NodeSet>& left_list = plans_by_size[s1];
       const std::vector<NodeSet>& right_list = plans_by_size[s2];
       if (s1 == s2 && use_equal_size_optimization_) {
         // Each unordered pair of distinct equal-size plans once: pair
         // every plan with its successors in the list.
-        for (size_t i = 0; i < left_list.size(); ++i) {
+        for (size_t i = 0; live && i < left_list.size(); ++i) {
           for (size_t j = i + 1; j < left_list.size(); ++j) {
-            consider(left_list[i], left_list[j]);
+            if (!consider(left_list[i], left_list[j])) {
+              live = false;
+              break;
+            }
           }
         }
       } else {
-        for (const NodeSet s1_set : left_list) {
+        for (size_t i = 0; live && i < left_list.size(); ++i) {
+          const NodeSet s1_set = left_list[i];
           for (const NodeSet s2_set : right_list) {
             if (s1 == s2 && s1_set == s2_set) {
               continue;  // Unoptimized equal-size case: skip self-pairs.
             }
-            consider(s1_set, s2_set);
+            if (!consider(s1_set, s2_set)) {
+              live = false;
+              break;
+            }
           }
         }
       }
@@ -73,8 +82,10 @@ Result<OptimizationResult> DPsize::Optimize(const QueryGraph& graph,
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

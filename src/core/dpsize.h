@@ -29,8 +29,8 @@ class DPsize final : public JoinOrderer {
 
   std::string_view name() const override { return "DPsize"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 
  private:
   bool use_equal_size_optimization_;

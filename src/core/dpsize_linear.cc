@@ -2,49 +2,56 @@
 
 #include <vector>
 
-#include "util/stopwatch.h"
-
 namespace joinopt {
 
-Result<OptimizationResult> DPsizeLinear::Optimize(
-    const QueryGraph& graph, const CostModel& cost_model) const {
+Result<OptimizationResult> DPsizeLinear::Optimize(OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
 
-  PlanTable table = internal::MakeAdaptivePlanTable(graph);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(graph, &table, &stats);
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  bool live = internal::SeedLeafPlans(ctx);
 
   std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
   for (int i = 0; i < n; ++i) {
     plans_by_size[1].push_back(NodeSet::Singleton(i));
   }
 
-  for (int s = 2; s <= n; ++s) {
-    for (const NodeSet base : plans_by_size[s - 1]) {
+  for (int s = 2; live && s <= n; ++s) {
+    for (size_t b = 0; live && b < plans_by_size[s - 1].size(); ++b) {
+      const NodeSet base = plans_by_size[s - 1][b];
       // Extend only by adjacent relations: left-deep, cross-product-free.
       for (const int next : graph.Neighborhood(base)) {
         ++stats.inner_counter;
         stats.csg_cmp_pair_counter += 2;
         const NodeSet leaf = NodeSet::Singleton(next);
+        ctx.TraceCsgCmpPair(base, leaf);
         const NodeSet combined = base | leaf;
         const bool existed = table.Find(combined) != nullptr;
         // Left-deep: the existing plan stays on the left, the new base
         // relation joins on the right.
-        internal::CreateJoinTree(graph, cost_model, base, leaf, &table,
-                                 &stats);
+        if (!internal::CreateJoinTree(ctx, base, leaf)) {
+          live = false;
+          break;
+        }
         if (!existed) {
           plans_by_size[s].push_back(combined);
         }
+      }
+      if (ctx.Tick()) {
+        live = false;
       }
     }
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

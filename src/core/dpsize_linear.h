@@ -20,8 +20,8 @@ class DPsizeLinear final : public JoinOrderer {
 
   std::string_view name() const override { return "DPsizeLinear"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 };
 
 }  // namespace joinopt

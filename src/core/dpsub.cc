@@ -2,15 +2,13 @@
 
 #include "bitset/subset_iterator.h"
 #include "graph/connectivity.h"
-#include "util/stopwatch.h"
 
 namespace joinopt {
 
-Result<OptimizationResult> DPsub::Optimize(const QueryGraph& graph,
-                                           const CostModel& cost_model) const {
+Result<OptimizationResult> DPsub::Optimize(OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
   if (n >= 40) {
     // 2^n outer iterations are infeasible long before this bound; fail
@@ -19,12 +17,13 @@ Result<OptimizationResult> DPsub::Optimize(const QueryGraph& graph,
         "DPsub enumerates 2^n subsets; refusing n >= 40");
   }
 
-  PlanTable table(n);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(graph, &table, &stats);
+  ctx.InstallTable(PlanTable(n));
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  bool live = internal::SeedLeafPlans(ctx);
 
   const uint64_t limit = (uint64_t{1} << n) - 1;
-  for (uint64_t mask = 1; mask <= limit; ++mask) {
+  for (uint64_t mask = 1; live && mask <= limit; ++mask) {
     const NodeSet s = NodeSet::FromMask(mask);
     if (s.count() == 1) {
       continue;  // Leaf plans are already seeded; no strict subsets.
@@ -50,13 +49,25 @@ Result<OptimizationResult> DPsub::Optimize(const QueryGraph& graph,
         continue;
       }
       ++stats.csg_cmp_pair_counter;
-      internal::CreateJoinTree(graph, cost_model, s1, s2, &table, &stats);
+      ctx.TraceCsgCmpPair(s1, s2);
+      if (!internal::CreateJoinTree(ctx, s1, s2)) {
+        live = false;
+        break;
+      }
+    }
+    // The deadline tick stays out of the subset loop: one check per outer
+    // mask keeps the paper's hot loop untouched, and a single mask's
+    // subsets bound the overrun (n < 40 caps them at one inner sweep).
+    if (ctx.Tick()) {
+      live = false;
     }
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

@@ -31,8 +31,8 @@ class DPsub final : public JoinOrderer {
 
   std::string_view name() const override { return "DPsub"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 
  private:
   bool use_table_connectivity_test_;

@@ -2,23 +2,21 @@
 
 #include <vector>
 
-#include "util/stopwatch.h"
-
 namespace joinopt {
 
 Result<OptimizationResult> GreedyOperatorOrdering::Optimize(
-    const QueryGraph& graph, const CostModel& cost_model) const {
+    OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
 
   // The greedy merges are recorded as plan-table breadcrumbs so the final
   // tree can be materialized with the shared reconstruction path.
-  PlanTable table = internal::MakeAdaptivePlanTable(graph);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(graph, &table, &stats);
-  const CardinalityEstimator estimator(graph);
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  OptimizerStats& stats = ctx.stats();
+  bool live = internal::SeedLeafPlans(ctx);
+  const CardinalityEstimator& estimator = ctx.estimator();
 
   struct Component {
     NodeSet set;
@@ -30,7 +28,7 @@ Result<OptimizationResult> GreedyOperatorOrdering::Optimize(
     components.push_back({NodeSet::Singleton(i), graph.cardinality(i)});
   }
 
-  while (components.size() > 1) {
+  while (live && components.size() > 1) {
     // Find the connected pair with the smallest join cardinality.
     int best_i = -1;
     int best_j = -1;
@@ -58,17 +56,25 @@ Result<OptimizationResult> GreedyOperatorOrdering::Optimize(
 
     // Record the merge; CreateJoinTree picks the cheaper operand order.
     stats.csg_cmp_pair_counter += 2;
-    internal::CreateJoinTreeBothOrders(graph, cost_model,
-                                       components[best_i].set,
-                                       components[best_j].set, &table, &stats);
+    ctx.TraceCsgCmpPair(components[best_i].set, components[best_j].set);
+    if (!internal::CreateJoinTreeBothOrders(ctx, components[best_i].set,
+                                            components[best_j].set)) {
+      live = false;
+      break;
+    }
     components[best_i] = {components[best_i].set | components[best_j].set,
                           best_card};
     components.erase(components.begin() + best_j);
+    if (ctx.Tick()) {
+      live = false;
+    }
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "cost/cardinality.h"
-#include "util/stopwatch.h"
 
 namespace joinopt {
 
@@ -20,21 +19,21 @@ struct Component {
 
 }  // namespace
 
-Result<OptimizationResult> IDP1::Optimize(const QueryGraph& graph,
-                                          const CostModel& cost_model) const {
+Result<OptimizationResult> IDP1::Optimize(OptimizerContext& ctx) const {
   if (k_ < 2) {
     return Status::InvalidArgument("IDP1 block size must be >= 2");
   }
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
 
   // Global table over ORIGINAL relation sets; each round's DP writes its
   // decompositions here so the final tree reconstructs in one pass.
-  PlanTable table = internal::MakeAdaptivePlanTable(graph);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(graph, &table, &stats);
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  bool live = internal::SeedLeafPlans(ctx);
 
   std::vector<Component> components;
   components.reserve(n);
@@ -42,7 +41,7 @@ Result<OptimizationResult> IDP1::Optimize(const QueryGraph& graph,
     components.push_back({NodeSet::Singleton(i), graph.cardinality(i)});
   }
 
-  while (components.size() > 1) {
+  while (live && components.size() > 1) {
     const int m = static_cast<int>(components.size());
     const int block = std::min(k_, m);
 
@@ -60,18 +59,20 @@ Result<OptimizationResult> IDP1::Optimize(const QueryGraph& graph,
       round_seen.insert(component.relations.mask());
     }
 
-    const auto consider = [&](NodeSet s1, NodeSet s2) {
+    const auto consider = [&](NodeSet s1, NodeSet s2) -> bool {
       ++stats.inner_counter;
       if (s1.Intersects(s2)) {
-        return;
+        return !ctx.Tick();
       }
       if (!graph.AreConnected(s1, s2)) {
-        return;
+        return !ctx.Tick();
       }
       stats.csg_cmp_pair_counter += 2;
+      ctx.TraceCsgCmpPair(s1, s2);
       const NodeSet combined = s1 | s2;
-      internal::CreateJoinTreeBothOrders(graph, cost_model, s1, s2, &table,
-                                         &stats);
+      if (!internal::CreateJoinTreeBothOrders(ctx, s1, s2)) {
+        return false;
+      }
       if (round_seen.insert(combined.mask()).second) {
         // Size in COMPONENTS: count of constituent components.
         int size = 0;
@@ -83,27 +84,38 @@ Result<OptimizationResult> IDP1::Optimize(const QueryGraph& graph,
         JOINOPT_DCHECK(size >= 2 && size <= block);
         plans_by_size[size].push_back(combined);
       }
+      return !ctx.Tick();
     };
 
-    for (int s = 2; s <= block; ++s) {
-      for (int s1 = 1; 2 * s1 <= s; ++s1) {
+    for (int s = 2; live && s <= block; ++s) {
+      for (int s1 = 1; live && 2 * s1 <= s; ++s1) {
         const int s2 = s - s1;
         const auto& left_list = plans_by_size[s1];
         const auto& right_list = plans_by_size[s2];
         if (s1 == s2) {
-          for (size_t i = 0; i < left_list.size(); ++i) {
+          for (size_t i = 0; live && i < left_list.size(); ++i) {
             for (size_t j = i + 1; j < left_list.size(); ++j) {
-              consider(left_list[i], left_list[j]);
+              if (!consider(left_list[i], left_list[j])) {
+                live = false;
+                break;
+              }
             }
           }
         } else {
-          for (const NodeSet a : left_list) {
+          for (size_t i = 0; live && i < left_list.size(); ++i) {
+            const NodeSet a = left_list[i];
             for (const NodeSet b : right_list) {
-              consider(a, b);
+              if (!consider(a, b)) {
+                live = false;
+                break;
+              }
             }
           }
         }
       }
+    }
+    if (!live) {
+      break;
     }
 
     if (m <= k_) {
@@ -140,8 +152,10 @@ Result<OptimizationResult> IDP1::Optimize(const QueryGraph& graph,
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

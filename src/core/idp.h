@@ -28,8 +28,8 @@ class IDP1 final : public JoinOrderer {
 
   std::string_view name() const override { return "IDP1"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 
  private:
   int k_;

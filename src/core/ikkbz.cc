@@ -4,8 +4,6 @@
 #include <limits>
 #include <vector>
 
-#include "util/stopwatch.h"
-
 namespace joinopt {
 
 namespace {
@@ -164,10 +162,11 @@ Result<std::vector<int>> IkkbzLinearize(const QueryGraph& graph,
 
 }  // namespace internal
 
-Result<OptimizationResult> IKKBZ::Optimize(const QueryGraph& graph,
-                                           const CostModel& cost_model) const {
-  const Stopwatch stopwatch;
-  OptimizerStats stats;
+Result<OptimizationResult> IKKBZ::Optimize(OptimizerContext& ctx) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
+  OptimizerStats& stats = ctx.stats();
   Result<std::vector<int>> sequence =
       internal::IkkbzLinearize(graph, &stats.inner_counter);
   JOINOPT_RETURN_IF_ERROR(sequence.status());
@@ -177,19 +176,24 @@ Result<OptimizationResult> IKKBZ::Optimize(const QueryGraph& graph,
   // Materialize the winning sequence as a left-deep plan, priced under
   // the CALLER's cost model (the ordering itself is C_out-optimal; see
   // the class comment).
-  PlanTable table = internal::MakeAdaptivePlanTable(graph);
-  internal::SeedLeafPlans(graph, &table, &stats);
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  bool live = internal::SeedLeafPlans(ctx);
   NodeSet prefix = NodeSet::Singleton(best_sequence[0]);
-  for (int k = 1; k < n; ++k) {
+  for (int k = 1; live && k < n; ++k) {
     const NodeSet leaf = NodeSet::Singleton(best_sequence[k]);
     stats.csg_cmp_pair_counter += 2;
-    internal::CreateJoinTree(graph, cost_model, prefix, leaf, &table, &stats);
+    ctx.TraceCsgCmpPair(prefix, leaf);
+    if (!internal::CreateJoinTree(ctx, prefix, leaf)) {
+      live = false;
+    }
     prefix |= leaf;
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

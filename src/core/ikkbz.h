@@ -33,8 +33,8 @@ class IKKBZ final : public JoinOrderer {
 
   std::string_view name() const override { return "IKKBZ"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 };
 
 namespace internal {

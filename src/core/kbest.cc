@@ -72,12 +72,21 @@ int BuildTree(const Memo& memo, NodeSet set, int rank,
 }  // namespace
 
 Result<std::vector<RankedPlan>> KBestJoinOrderer::Optimize(
-    const QueryGraph& graph, const CostModel& cost_model) const {
+    const QueryGraph& graph, const CostModel& cost_model,
+    const OptimizeOptions& options) const {
+  OptimizerContext ctx(graph, cost_model, options);
+  return Optimize(ctx);
+}
+
+Result<std::vector<RankedPlan>> KBestJoinOrderer::Optimize(
+    OptimizerContext& ctx) const {
   if (k_ < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
+  const CostModel& cost_model = ctx.cost_model();
 
   // BFS-renumber like DPccp (the enumeration precondition).
   Result<BfsNumbering> numbering = ComputeBfsNumbering(graph, /*start=*/0);
@@ -85,7 +94,9 @@ Result<std::vector<RankedPlan>> KBestJoinOrderer::Optimize(
   const bool identity = numbering->IsIdentity();
   const QueryGraph relabeled_storage =
       identity ? QueryGraph() : RelabelGraph(graph, *numbering);
-  const QueryGraph& work_graph = identity ? graph : relabeled_storage;
+  const WorkGraphScope scope(ctx, identity ? graph : relabeled_storage);
+  const QueryGraph& work_graph = ctx.work_graph();
+  OptimizerStats& stats = ctx.stats();
 
   Memo memo;
   memo.reserve(256);
@@ -96,14 +107,22 @@ Result<std::vector<RankedPlan>> KBestJoinOrderer::Optimize(
                                        JoinOperator::kUnspecified});
   }
 
-  const CardinalityEstimator estimator(work_graph);
-  EnumerateCsgCmpPairs(work_graph, [&](NodeSet s1, NodeSet s2) {
+  const CardinalityEstimator& estimator = ctx.estimator();
+  EnumerateCsgCmpPairsUntil(work_graph, [&](NodeSet s1, NodeSet s2) {
+    ++stats.inner_counter;
+    ++stats.ono_lohman_counter;
+    ctx.TraceCsgCmpPair(s1, s2);
     const SetPlans& left = memo.at(s1);
     const SetPlans& right = memo.at(s2);
     SetPlans& combined = memo[s1 | s2];
     if (combined.cardinality == 0.0) {
       combined.cardinality = estimator.JoinCardinality(
           s1, left.cardinality, s2, right.cardinality);
+      // The memo plays the plan table's role here, so the memo budget
+      // counts its entries.
+      if (!ctx.WithinMemoBudget(memo.size())) {
+        return false;
+      }
     }
     for (int li = 0; li < static_cast<int>(left.ranked.size()); ++li) {
       for (int ri = 0; ri < static_cast<int>(right.ranked.size()); ++ri) {
@@ -130,7 +149,13 @@ Result<std::vector<RankedPlan>> KBestJoinOrderer::Optimize(
               k_);
       }
     }
+    return !ctx.Tick();
   });
+  stats.csg_cmp_pair_counter = 2 * stats.ono_lohman_counter;
+  stats.plans_stored = memo.size();
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
 
   const auto root = memo.find(work_graph.AllRelations());
   if (root == memo.end() || root->second.ranked.empty()) {

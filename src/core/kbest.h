@@ -35,9 +35,19 @@ class KBestJoinOrderer {
   std::string_view name() const { return "KBestDPccp"; }
 
   /// Returns min(k, number of existing trees) plans, cheapest first.
-  /// Fails on empty or disconnected graphs.
-  Result<std::vector<RankedPlan>> Optimize(const QueryGraph& graph,
-                                           const CostModel& cost_model) const;
+  /// Fails on empty or disconnected graphs, and with kBudgetExceeded when
+  /// a limit in ctx.options() trips (the memo budget counts this
+  /// orderer's per-set top-k memo entries).
+  ///
+  /// KBestJoinOrderer is not a JoinOrderer — it returns a ranking, not a
+  /// single plan — but it threads the same OptimizerContext so budgets,
+  /// deadlines, and traces apply uniformly.
+  Result<std::vector<RankedPlan>> Optimize(OptimizerContext& ctx) const;
+
+  /// Convenience overload building a single-use context.
+  Result<std::vector<RankedPlan>> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model,
+      const OptimizeOptions& options = OptimizeOptions()) const;
 
  private:
   int k_;

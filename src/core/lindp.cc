@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "core/ikkbz.h"
-#include "util/stopwatch.h"
 
 namespace joinopt {
 
@@ -66,13 +65,12 @@ Result<QueryGraph> MinSelectivitySpanningTree(const QueryGraph& graph) {
 
 }  // namespace
 
-Result<OptimizationResult> LinDP::Optimize(const QueryGraph& graph,
-                                           const CostModel& cost_model) const {
+Result<OptimizationResult> LinDP::Optimize(OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
-  const Stopwatch stopwatch;
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
-  OptimizerStats stats;
+  OptimizerStats& stats = ctx.stats();
 
   // Step 1: linearize. Trees go straight to IKKBZ; cyclic graphs through
   // the minimum-selectivity spanning tree.
@@ -88,8 +86,9 @@ Result<OptimizationResult> LinDP::Optimize(const QueryGraph& graph,
 
   // Step 2: interval DP over the order (against the ORIGINAL graph, so
   // every cyclic edge still contributes its selectivity and adjacency).
-  PlanTable table = internal::MakeAdaptivePlanTable(graph);
-  internal::SeedLeafPlans(graph, &table, &stats);
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  PlanTable& table = ctx.table();
+  bool live = internal::SeedLeafPlans(ctx);
 
   // interval_set[i][j] = set of relations order[i..j] inclusive.
   const auto interval_set = [&order](int i, int j) {
@@ -100,8 +99,8 @@ Result<OptimizationResult> LinDP::Optimize(const QueryGraph& graph,
     return set;
   };
 
-  for (int length = 2; length <= n; ++length) {
-    for (int i = 0; i + length - 1 < n; ++i) {
+  for (int length = 2; live && length <= n; ++length) {
+    for (int i = 0; live && i + length - 1 < n; ++i) {
       const int j = i + length - 1;
       for (int split = i; split < j; ++split) {
         ++stats.inner_counter;
@@ -116,15 +115,23 @@ Result<OptimizationResult> LinDP::Optimize(const QueryGraph& graph,
           continue;
         }
         stats.csg_cmp_pair_counter += 2;
-        internal::CreateJoinTreeBothOrders(graph, cost_model, left, right,
-                                           &table, &stats);
+        ctx.TraceCsgCmpPair(left, right);
+        if (!internal::CreateJoinTreeBothOrders(ctx, left, right)) {
+          live = false;
+          break;
+        }
+      }
+      if (ctx.Tick()) {
+        live = false;
       }
     }
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

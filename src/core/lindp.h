@@ -30,8 +30,8 @@ class LinDP final : public JoinOrderer {
 
   std::string_view name() const override { return "LinDP"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 };
 
 }  // namespace joinopt

@@ -1,11 +1,20 @@
 #include "core/optimizer.h"
 
+#include <string>
 #include <utility>
 
 #include "enumerate/csg.h"
 #include "graph/connectivity.h"
 
 namespace joinopt {
+
+Result<OptimizationResult> JoinOrderer::Optimize(
+    const QueryGraph& graph, const CostModel& cost_model,
+    const OptimizeOptions& options) const {
+  OptimizerContext ctx(graph, cost_model, options);
+  return Optimize(ctx);
+}
+
 namespace internal {
 
 PlanTable MakeAdaptivePlanTable(const QueryGraph& graph) {
@@ -37,69 +46,99 @@ Status ValidateOptimizerInput(const QueryGraph& graph,
   return Status::OK();
 }
 
-void SeedLeafPlans(const QueryGraph& graph, PlanTable* table,
-                   OptimizerStats* stats) {
+Status BeginOptimize(OptimizerContext& ctx, std::string_view algorithm,
+                     bool require_connected) {
+  JOINOPT_RETURN_IF_ERROR(
+      ValidateOptimizerInput(ctx.graph(), require_connected));
+  ctx.stats().algorithm = std::string(algorithm);
+  if (JOINOPT_UNLIKELY(ctx.has_trace())) {
+    ctx.options().trace->OnAlgorithmStart(algorithm, ctx.graph());
+  }
+  return Status::OK();
+}
+
+bool SeedLeafPlans(OptimizerContext& ctx) {
+  const QueryGraph& graph = ctx.work_graph();
+  PlanTable& table = ctx.table();
   for (int i = 0; i < graph.relation_count(); ++i) {
-    PlanEntry& entry = table->GetOrCreate(NodeSet::Singleton(i));
+    const NodeSet leaf = NodeSet::Singleton(i);
+    PlanEntry& entry = table.GetOrCreate(leaf);
     entry.left = NodeSet();
     entry.right = NodeSet();
     entry.cost = 0.0;
     entry.cardinality = graph.cardinality(i);
-    table->NotePopulated();
+    table.NotePopulated();
+    ctx.TracePlanInserted(leaf, 0.0, entry.cardinality);
   }
-  stats->plans_stored = table->populated_count();
+  ctx.stats().plans_stored = table.populated_count();
+  return ctx.WithinMemoBudget(table.populated_count());
 }
 
-void CreateJoinTree(const QueryGraph& graph, const CostModel& cost_model,
-                    NodeSet s1, NodeSet s2, PlanTable* table,
-                    OptimizerStats* stats) {
-  ++stats->create_join_tree_calls;
+bool CreateJoinTree(OptimizerContext& ctx, NodeSet s1, NodeSet s2) {
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  ++stats.create_join_tree_calls;
 
-  const PlanEntry* left = table->Find(s1);
-  const PlanEntry* right = table->Find(s2);
-  JOINOPT_DCHECK(left != nullptr && right != nullptr);
-  // Copy the operand fields before GetOrCreate: the sparse backend may
-  // rehash and invalidate `left`/`right`.
+  const PlanTable::ConstRef left = table.FindRef(s1);
+  const PlanTable::ConstRef right = table.FindRef(s2);
+  JOINOPT_DCHECK(left && right);
+  // Copy the operand fields before GetOrCreate: the sparse backend
+  // invalidates outstanding entry references on mutation. ConstRef turns
+  // a violation of that rule into a debug-build abort instead of silent
+  // garbage.
   const double left_cost = left->cost;
   const double left_card = left->cardinality;
   const double right_cost = right->cost;
   const double right_card = right->cardinality;
 
   const NodeSet combined = s1 | s2;
-  PlanEntry& entry = table->GetOrCreate(combined);
+  PlanEntry& entry = table.GetOrCreate(combined);
   // Under the independence model |⋈ S| is plan-independent, so the
   // crossing-edge selectivity scan runs only the FIRST time a set is
   // reached; later combinations reuse the stored estimate. On dense
   // graphs (clique-20: 1.7e9 pairs, 1e6 sets) this is the difference
   // between minutes and seconds.
   double out_card;
+  bool keep_going = true;
   if (entry.has_plan()) {
     out_card = entry.cardinality;
   } else {
-    const CardinalityEstimator estimator(graph);
-    out_card = estimator.JoinCardinality(s1, left_card, s2, right_card);
+    out_card =
+        ctx.estimator().JoinCardinality(s1, left_card, s2, right_card);
     entry.cardinality = out_card;
-    table->NotePopulated();
-    stats->plans_stored = table->populated_count();
+    table.NotePopulated();
+    stats.plans_stored = table.populated_count();
+    keep_going = ctx.WithinMemoBudget(table.populated_count());
   }
 
   const double cost =
       left_cost + right_cost +
-      cost_model.JoinCost(left_card, right_card, out_card);
+      ctx.cost_model().JoinCost(left_card, right_card, out_card);
   if (cost < entry.cost) {
     entry.left = s1;
     entry.right = s2;
     entry.cost = cost;
-    entry.op = cost_model.OperatorFor(left_card, right_card, out_card);
+    entry.op = ctx.cost_model().OperatorFor(left_card, right_card, out_card);
+    ctx.TracePlanInserted(combined, cost, out_card);
+  } else {
+    ctx.TracePruned(combined, cost, entry.cost);
   }
+  return keep_going;
 }
 
-Result<OptimizationResult> ExtractResult(const QueryGraph& graph,
-                                         const PlanTable& table,
-                                         OptimizerStats stats) {
-  Result<JoinTree> tree = JoinTree::FromPlanTable(table, graph.AllRelations());
+Result<OptimizationResult> ExtractResult(OptimizerContext& ctx) {
+  Result<JoinTree> tree =
+      JoinTree::FromPlanTable(ctx.table(), ctx.work_graph().AllRelations());
   JOINOPT_RETURN_IF_ERROR(tree.status());
-  OptimizationResult result{std::move(*tree), 0.0, 0.0, stats};
+  OptimizerStats stats = ctx.stats();
+  stats.elapsed_seconds = ctx.ElapsedSeconds();
+  if (JOINOPT_UNLIKELY(!ctx.options().collect_counters)) {
+    stats.inner_counter = 0;
+    stats.csg_cmp_pair_counter = 0;
+    stats.ono_lohman_counter = 0;
+    stats.create_join_tree_calls = 0;
+  }
+  OptimizationResult result{std::move(*tree), 0.0, 0.0, std::move(stats)};
   result.cost = result.plan.cost();
   result.cardinality = result.plan.cardinality();
   return result;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "core/optimizer_context.h"
 #include "cost/cardinality.h"
 #include "cost/cost_model.h"
 #include "graph/query_graph.h"
@@ -12,28 +13,6 @@
 #include "util/status.h"
 
 namespace joinopt {
-
-/// The instrumentation counters of the paper (Figures 1, 2, 4), plus a few
-/// library-level extras. The analytical results of Section 2 are exactly
-/// statements about these counters, and the test suite checks the
-/// implementation against the closed forms through them.
-struct OptimizerStats {
-  /// Number of times the innermost loop body was entered (the paper's
-  /// InnerCounter): candidate pairs enumerated, counted before any
-  /// disjointness/connectivity test.
-  uint64_t inner_counter = 0;
-  /// Number of csg-cmp-pairs that survived all tests, counting (S1,S2)
-  /// and (S2,S1) separately (the paper's CsgCmpPairCounter).
-  uint64_t csg_cmp_pair_counter = 0;
-  /// csg_cmp_pair_counter / 2 (the paper's OnoLohmanCounter).
-  uint64_t ono_lohman_counter = 0;
-  /// Number of CreateJoinTree invocations (plan constructions costed).
-  uint64_t create_join_tree_calls = 0;
-  /// Number of sets with a registered plan at termination (incl. leaves).
-  uint64_t plans_stored = 0;
-  /// Wall-clock optimization time.
-  double elapsed_seconds = 0.0;
-};
 
 /// The output of a join orderer: the chosen plan plus instrumentation.
 struct OptimizationResult {
@@ -47,7 +26,12 @@ struct OptimizationResult {
 
 /// Interface shared by every join-ordering algorithm in the library
 /// (DPsize, DPsub, DPccp, the cross-product variants, the left-deep DP,
-/// and the greedy baseline).
+/// the heuristics, and the adaptive facade).
+///
+/// Implementations are stateless apart from construction-time
+/// configuration; all per-run state lives in the OptimizerContext, so one
+/// orderer instance can serve concurrent runs (the OptimizerRegistry
+/// hands out shared instances on that basis).
 class JoinOrderer {
  public:
   virtual ~JoinOrderer() = default;
@@ -55,14 +39,26 @@ class JoinOrderer {
   /// Stable display name ("DPsize", "DPccp", ...).
   virtual std::string_view name() const = 0;
 
-  /// Computes a join tree for `graph` under `cost_model`. The exact
-  /// optimizers guarantee an optimal bushy tree in their search space;
-  /// heuristics (GOO) return a valid but possibly suboptimal tree.
+  /// Computes a join tree for ctx.graph() under ctx.cost_model(),
+  /// honoring the resource limits and trace sink in ctx.options(). The
+  /// exact optimizers guarantee an optimal bushy tree in their search
+  /// space; heuristics (GOO, IDP, ...) return a valid but possibly
+  /// suboptimal tree.
   ///
-  /// Fails when the graph is empty or (for the cross-product-free
-  /// algorithms) disconnected.
-  virtual Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const = 0;
+  /// Fails with InvalidArgument/FailedPrecondition when the graph is
+  /// empty or violates an algorithm precondition (e.g. disconnected input
+  /// to a cross-product-free DP), and with kBudgetExceeded when a memo
+  /// budget or deadline tripped before a plan was found. The context is
+  /// single-use; construct a fresh one per call.
+  virtual Result<OptimizationResult> Optimize(OptimizerContext& ctx) const = 0;
+
+  /// Convenience overload: builds a single-use context from the
+  /// arguments. This is the drop-in replacement for the historical
+  /// two-argument signature — existing `Optimize(graph, cost_model)`
+  /// call sites compile unchanged and run unbounded, exactly as before.
+  Result<OptimizationResult> Optimize(
+      const QueryGraph& graph, const CostModel& cost_model,
+      const OptimizeOptions& options = OptimizeOptions()) const;
 };
 
 namespace internal {
@@ -74,6 +70,11 @@ namespace internal {
 /// `require_connected`) a connected graph.
 Status ValidateOptimizerInput(const QueryGraph& graph, bool require_connected);
 
+/// Run prologue shared by every orderer: validates ctx.graph(), stamps
+/// ctx.stats().algorithm, and fires TraceSink::OnAlgorithmStart.
+Status BeginOptimize(OptimizerContext& ctx, std::string_view algorithm,
+                     bool require_connected);
+
 /// Builds a plan table with a backend chosen by the graph's search-space
 /// density: a capped connected-subset count decides between the dense
 /// array (stars/cliques: high fill fraction, O(1) access) and the hash
@@ -83,36 +84,33 @@ Status ValidateOptimizerInput(const QueryGraph& graph, bool require_connected);
 /// unconditionally since its outer loop touches every mask anyway.
 PlanTable MakeAdaptivePlanTable(const QueryGraph& graph);
 
-/// Seeds `table` with the single-relation plans (cost 0, base
-/// cardinality) and counts them in `stats`.
-void SeedLeafPlans(const QueryGraph& graph, PlanTable* table,
-                   OptimizerStats* stats);
+/// Seeds ctx.table() with the single-relation plans of ctx.work_graph()
+/// (cost 0, base cardinality) and counts them in ctx.stats(). Returns
+/// false when the leaf seeds alone exceed the memo budget.
+bool SeedLeafPlans(OptimizerContext& ctx);
 
 /// The CreateJoinTree step shared by all DPs: prices joining the best
 /// plans for `s1` and `s2` (in that order: s1 = left/build) and updates
 /// the table entry for s1 ∪ s2 if cheaper. Requires both operand entries
-/// to exist. Increments stats->create_join_tree_calls and
-/// stats->plans_stored (via table bookkeeping) as appropriate.
-void CreateJoinTree(const QueryGraph& graph, const CostModel& cost_model,
-                    NodeSet s1, NodeSet s2, PlanTable* table,
-                    OptimizerStats* stats);
+/// to exist. Increments stats counters and fires the insert/prune trace
+/// hooks. Returns false when populating a new entry tripped the memo
+/// budget (or a limit had already tripped) — the caller must stop
+/// enumerating and return ctx.limit_status().
+bool CreateJoinTree(OptimizerContext& ctx, NodeSet s1, NodeSet s2);
 
 /// CreateJoinTree for both operand orders (join commutativity), as DPccp
 /// and the optimized DPsize require.
-inline void CreateJoinTreeBothOrders(const QueryGraph& graph,
-                                     const CostModel& cost_model, NodeSet s1,
-                                     NodeSet s2, PlanTable* table,
-                                     OptimizerStats* stats) {
-  CreateJoinTree(graph, cost_model, s1, s2, table, stats);
-  CreateJoinTree(graph, cost_model, s2, s1, table, stats);
+inline bool CreateJoinTreeBothOrders(OptimizerContext& ctx, NodeSet s1,
+                                     NodeSet s2) {
+  const bool ok = CreateJoinTree(ctx, s1, s2);
+  return CreateJoinTree(ctx, s2, s1) && ok;
 }
 
-/// Packages the table's plan for all relations of `graph` into an
-/// OptimizationResult. Fails if the table holds no such plan (optimizer
-/// bug or violated precondition).
-Result<OptimizationResult> ExtractResult(const QueryGraph& graph,
-                                         const PlanTable& table,
-                                         OptimizerStats stats);
+/// Packages the table's plan for all relations of ctx.work_graph() into
+/// an OptimizationResult, stamping elapsed time and applying the
+/// collect_counters reporting toggle. Fails if the table holds no such
+/// plan (optimizer bug or violated precondition).
+Result<OptimizationResult> ExtractResult(OptimizerContext& ctx);
 
 }  // namespace internal
 

@@ -1,0 +1,37 @@
+#include "core/optimizer_context.h"
+
+#include <cstdio>
+
+namespace joinopt {
+
+bool ResourceGovernor::TickSlow() {
+  tick_countdown_ = kTickInterval;
+  if (exhausted_ || unlimited_deadline_) {
+    return exhausted_;
+  }
+  const double elapsed = stopwatch_.ElapsedSeconds();
+  if (elapsed > options_.deadline_seconds) {
+    exhausted_ = true;
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "optimization deadline of %.6g s exceeded (elapsed %.6g s)",
+                  options_.deadline_seconds, elapsed);
+    limit_status_ = Status::BudgetExceeded(msg);
+  }
+  return exhausted_;
+}
+
+bool ResourceGovernor::TripMemoBudget(uint64_t populated) {
+  if (!exhausted_) {
+    exhausted_ = true;
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "memo-entry budget of %llu exceeded (%llu entries populated)",
+                  static_cast<unsigned long long>(options_.memo_entry_budget),
+                  static_cast<unsigned long long>(populated));
+    limit_status_ = Status::BudgetExceeded(msg);
+  }
+  return true;
+}
+
+}  // namespace joinopt

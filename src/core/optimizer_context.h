@@ -1,0 +1,279 @@
+#ifndef JOINOPT_CORE_OPTIMIZER_CONTEXT_H_
+#define JOINOPT_CORE_OPTIMIZER_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bitset/node_set.h"
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "graph/query_graph.h"
+#include "plan/plan_table.h"
+#include "util/macros.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+
+/// The instrumentation counters of the paper (Figures 1, 2, 4), plus a few
+/// library-level extras. The analytical results of Section 2 are exactly
+/// statements about these counters, and the test suite checks the
+/// implementation against the closed forms through them.
+struct OptimizerStats {
+  /// Number of times the innermost loop body was entered (the paper's
+  /// InnerCounter): candidate pairs enumerated, counted before any
+  /// disjointness/connectivity test.
+  uint64_t inner_counter = 0;
+  /// Number of csg-cmp-pairs that survived all tests, counting (S1,S2)
+  /// and (S2,S1) separately (the paper's CsgCmpPairCounter).
+  uint64_t csg_cmp_pair_counter = 0;
+  /// csg_cmp_pair_counter / 2 (the paper's OnoLohmanCounter).
+  uint64_t ono_lohman_counter = 0;
+  /// Number of CreateJoinTree invocations (plan constructions costed).
+  uint64_t create_join_tree_calls = 0;
+  /// Number of sets with a registered plan at termination (incl. leaves).
+  uint64_t plans_stored = 0;
+  /// Wall-clock optimization time.
+  double elapsed_seconds = 0.0;
+  /// Name of the algorithm that produced the result. For AdaptiveOptimizer
+  /// this is the algorithm that actually ran to completion.
+  std::string algorithm;
+  /// Comma-separated names of algorithms that were started but abandoned
+  /// after tripping a resource limit before a fallback produced this
+  /// result (AdaptiveOptimizer's graceful degradation). Empty otherwise.
+  std::string fallback_from;
+};
+
+/// Observability seam for the optimization pipeline. Subclass and install
+/// via OptimizeOptions::trace to watch the DP unfold; the default
+/// implementations do nothing, and all call sites guard on a null sink so
+/// the untraced hot loops pay a single predicted branch.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// An orderer started on `graph` (after input validation).
+  virtual void OnAlgorithmStart(std::string_view algorithm,
+                                const QueryGraph& graph) {
+    (void)algorithm;
+    (void)graph;
+  }
+  /// A csg-cmp-pair survived all disjointness/connectivity tests. Sets are
+  /// in the orderer's working numbering (DPccp and k-best renumber
+  /// internally; see OptimizerContext::work_graph).
+  virtual void OnCsgCmpPair(NodeSet s1, NodeSet s2) {
+    (void)s1;
+    (void)s2;
+  }
+  /// A memo entry for `s` was created or improved.
+  virtual void OnPlanInserted(NodeSet s, double cost, double cardinality) {
+    (void)s;
+    (void)cost;
+    (void)cardinality;
+  }
+  /// A candidate plan for `s` was priced and rejected (>= best known).
+  virtual void OnPruned(NodeSet s, double rejected_cost, double best_cost) {
+    (void)s;
+    (void)rejected_cost;
+    (void)best_cost;
+  }
+  /// AdaptiveOptimizer abandoned `from` (which failed with `why`) and is
+  /// retrying with `to`.
+  virtual void OnFallback(std::string_view from, std::string_view to,
+                          const Status& why) {
+    (void)from;
+    (void)to;
+    (void)why;
+  }
+};
+
+/// Knobs shared by every join orderer. The zero value of each limit means
+/// "unlimited", so a default-constructed OptimizeOptions reproduces the
+/// historical unbounded behavior.
+struct OptimizeOptions {
+  /// Maximum number of populated memo entries (including the leaf seeds)
+  /// before the run aborts with kBudgetExceeded. 0 = unlimited. This is
+  /// the memory lever: a PlanEntry is ~56 bytes, so a budget of 2^20
+  /// caps the table near 60 MB regardless of query shape.
+  uint64_t memo_entry_budget = 0;
+  /// Wall-clock deadline for the run, in seconds. 0 = unlimited. Checked
+  /// on an amortized schedule (one clock read per ~8k enumeration steps),
+  /// so overrun is bounded by the cost of that many inner iterations.
+  double deadline_seconds = 0.0;
+  /// When false, the paper counters (inner/csg-cmp/Ono-Lohman/
+  /// CreateJoinTree) are zeroed in the returned stats. The bookkeeping
+  /// itself is branch-free increments cheaper than a per-step toggle
+  /// test, so this only controls reporting, not collection.
+  bool collect_counters = true;
+  /// Optional observability sink; nullptr (the default) keeps every trace
+  /// call site on its null fast path. The sink must outlive the run.
+  TraceSink* trace = nullptr;
+};
+
+/// Budget and deadline enforcement shared by OptimizerContext and the
+/// optimizers that do not operate on a QueryGraph (DPhyp). Limit state is
+/// sticky: once a limit trips, exhausted() stays true and limit_status()
+/// carries the kBudgetExceeded explanation.
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(const OptimizeOptions& options)
+      : options_(options), unlimited_deadline_(options.deadline_seconds <= 0) {}
+
+  /// Amortized deadline check for hot loops: a countdown decrement on the
+  /// fast path, a clock read once every kTickInterval calls. Returns the
+  /// sticky exhausted flag so one call per iteration covers both limits.
+  bool Tick() {
+    if (JOINOPT_LIKELY(--tick_countdown_ != 0)) {
+      return exhausted_;
+    }
+    return TickSlow();
+  }
+
+  /// Memo-budget check, called whenever a new memo entry was populated
+  /// with `populated` the new total. Returns false once the budget is
+  /// exceeded (sticky, like Tick).
+  bool WithinMemoBudget(uint64_t populated) {
+    if (JOINOPT_LIKELY(options_.memo_entry_budget == 0 ||
+                       populated <= options_.memo_entry_budget)) {
+      return !exhausted_;
+    }
+    return !TripMemoBudget(populated);
+  }
+
+  /// True once any limit has tripped.
+  bool exhausted() const { return exhausted_; }
+
+  /// kBudgetExceeded with the triggering limit, or OK while within limits.
+  const Status& limit_status() const { return limit_status_; }
+
+  const OptimizeOptions& options() const { return options_; }
+
+  double ElapsedSeconds() const { return stopwatch_.ElapsedSeconds(); }
+
+ private:
+  bool TickSlow();
+  bool TripMemoBudget(uint64_t populated);
+
+  static constexpr uint32_t kTickInterval = 8192;
+
+  OptimizeOptions options_;
+  Stopwatch stopwatch_;
+  uint32_t tick_countdown_ = kTickInterval;
+  bool unlimited_deadline_;
+  bool exhausted_ = false;
+  Status limit_status_;
+};
+
+/// Everything one optimization run needs, bundled: the query, the cost
+/// model, the memo, the stats, the cardinality estimator, and the resource
+/// governor. A context is single-use — construct one per Optimize call
+/// (the two-argument JoinOrderer::Optimize convenience overload does
+/// exactly that).
+///
+/// Algorithms that renumber relations internally (DPccp, k-best) install
+/// the relabeled graph as the *work graph*; the memo, the estimator, and
+/// every trace callback then speak the working numbering, while graph()
+/// keeps returning the caller's original graph.
+class OptimizerContext {
+ public:
+  /// Borrows `graph` and `cost_model` (and options.trace, when set); all
+  /// must outlive the context.
+  OptimizerContext(const QueryGraph& graph, const CostModel& cost_model,
+                   const OptimizeOptions& options = OptimizeOptions())
+      : graph_(&graph),
+        work_graph_(&graph),
+        cost_model_(&cost_model),
+        estimator_(graph),
+        table_(0),
+        governor_(options) {}
+
+  OptimizerContext(const OptimizerContext&) = delete;
+  OptimizerContext& operator=(const OptimizerContext&) = delete;
+
+  const QueryGraph& graph() const { return *graph_; }
+  const CostModel& cost_model() const { return *cost_model_; }
+  const OptimizeOptions& options() const { return governor_.options(); }
+
+  OptimizerStats& stats() { return stats_; }
+  const OptimizerStats& stats() const { return stats_; }
+
+  /// The graph the DP currently enumerates over: the input graph, unless
+  /// an algorithm installed a relabeled copy via SetWorkGraph.
+  const QueryGraph& work_graph() const { return *work_graph_; }
+
+  /// Points the context (and its estimator) at a relabeled graph. Use
+  /// WorkGraphScope instead of calling this directly — the installed
+  /// graph is typically a local of Optimize and must not outlive it.
+  void SetWorkGraph(const QueryGraph& graph) {
+    work_graph_ = &graph;
+    estimator_ = CardinalityEstimator(graph);
+  }
+  void ResetWorkGraph() { SetWorkGraph(*graph_); }
+
+  const CardinalityEstimator& estimator() const { return estimator_; }
+
+  PlanTable& table() { return table_; }
+  const PlanTable& table() const { return table_; }
+  void InstallTable(PlanTable table) { table_ = std::move(table); }
+
+  ResourceGovernor& governor() { return governor_; }
+
+  /// Limit shorthands (see ResourceGovernor).
+  bool Tick() { return governor_.Tick(); }
+  bool WithinMemoBudget(uint64_t populated) {
+    return governor_.WithinMemoBudget(populated);
+  }
+  bool exhausted() const { return governor_.exhausted(); }
+  const Status& limit_status() const { return governor_.limit_status(); }
+  double ElapsedSeconds() const { return governor_.ElapsedSeconds(); }
+
+  /// Trace shorthands with the null-sink fast path inlined.
+  bool has_trace() const { return options().trace != nullptr; }
+  void TraceCsgCmpPair(NodeSet s1, NodeSet s2) {
+    if (JOINOPT_UNLIKELY(has_trace())) {
+      options().trace->OnCsgCmpPair(s1, s2);
+    }
+  }
+  void TracePlanInserted(NodeSet s, double cost, double cardinality) {
+    if (JOINOPT_UNLIKELY(has_trace())) {
+      options().trace->OnPlanInserted(s, cost, cardinality);
+    }
+  }
+  void TracePruned(NodeSet s, double rejected_cost, double best_cost) {
+    if (JOINOPT_UNLIKELY(has_trace())) {
+      options().trace->OnPruned(s, rejected_cost, best_cost);
+    }
+  }
+
+ private:
+  const QueryGraph* graph_;
+  const QueryGraph* work_graph_;
+  const CostModel* cost_model_;
+  CardinalityEstimator estimator_;
+  PlanTable table_;
+  OptimizerStats stats_;
+  ResourceGovernor governor_;
+};
+
+/// RAII guard for OptimizerContext::SetWorkGraph: restores the context to
+/// the original graph on scope exit, so a relabeled local graph can never
+/// dangle inside a caller-owned context.
+class WorkGraphScope {
+ public:
+  WorkGraphScope(OptimizerContext& ctx, const QueryGraph& work_graph)
+      : ctx_(ctx) {
+    ctx_.SetWorkGraph(work_graph);
+  }
+  ~WorkGraphScope() { ctx_.ResetWorkGraph(); }
+
+  WorkGraphScope(const WorkGraphScope&) = delete;
+  WorkGraphScope& operator=(const WorkGraphScope&) = delete;
+
+ private:
+  OptimizerContext& ctx_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_OPTIMIZER_CONTEXT_H_

@@ -1,0 +1,120 @@
+#include "core/registry.h"
+
+#include <map>
+#include <utility>
+
+#include "core/adaptive.h"
+#include "core/dp_cross_products.h"
+#include "core/dpccp.h"
+#include "core/dpsize.h"
+#include "core/dpsize_linear.h"
+#include "core/dpsub.h"
+#include "core/greedy.h"
+#include "core/idp.h"
+#include "core/ikkbz.h"
+#include "core/lindp.h"
+#include "core/top_down.h"
+#include "hyper/dphyp.h"
+
+namespace joinopt {
+
+namespace {
+
+/// Presents DPhyp as a JoinOrderer: lifts the query graph to a
+/// hypergraph (every binary edge becomes a simple hyperedge) and runs
+/// the hypergraph DP, which must match DPccp exactly on such inputs.
+class DPhypAdapter final : public JoinOrderer {
+ public:
+  std::string_view name() const override { return "DPhyp"; }
+
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override {
+    JOINOPT_RETURN_IF_ERROR(
+        internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+    const Hypergraph hyper = Hypergraph::FromQueryGraph(ctx.graph());
+    Result<OptimizationResult> result =
+        DPhyp().Optimize(hyper, ctx.cost_model(), ctx.options());
+    if (result.ok()) {
+      ctx.stats() = result->stats;
+    }
+    return result;
+  }
+};
+
+// Transparent comparison lets Get() look up a string_view without
+// materializing a std::string per call.
+using OrdererMap =
+    std::map<std::string, std::unique_ptr<const JoinOrderer>, std::less<>>;
+
+OrdererMap BuildBuiltins() {
+  OrdererMap map;
+  map.emplace("DPsize", std::make_unique<DPsize>());
+  map.emplace("DPsizeBasic",
+              std::make_unique<DPsize>(/*use_equal_size_optimization=*/false));
+  map.emplace("DPsub", std::make_unique<DPsub>());
+  map.emplace("DPsubBFS",
+              std::make_unique<DPsub>(/*use_table_connectivity_test=*/false));
+  map.emplace("DPccp", std::make_unique<DPccp>());
+  map.emplace("DPsizeLinear", std::make_unique<DPsizeLinear>());
+  map.emplace("DPsizeCP", std::make_unique<DPsizeCP>());
+  map.emplace("DPsubCP", std::make_unique<DPsubCP>());
+  map.emplace("GOO", std::make_unique<GreedyOperatorOrdering>());
+  map.emplace("IDP1", std::make_unique<IDP1>(/*k=*/10));
+  map.emplace("IKKBZ", std::make_unique<IKKBZ>());
+  map.emplace("LinDP", std::make_unique<LinDP>());
+  map.emplace("TDBasic", std::make_unique<TDBasic>());
+  map.emplace("DPhyp", std::make_unique<DPhypAdapter>());
+  map.emplace("Adaptive", std::make_unique<AdaptiveOptimizer>());
+  return map;
+}
+
+OrdererMap& Registry() {
+  static OrdererMap& map = *new OrdererMap(BuildBuiltins());
+  return map;
+}
+
+}  // namespace
+
+const JoinOrderer* OptimizerRegistry::Get(std::string_view name) {
+  const OrdererMap& map = Registry();
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+Result<const JoinOrderer*> OptimizerRegistry::GetOrError(
+    std::string_view name) {
+  const JoinOrderer* orderer = Get(name);
+  if (orderer != nullptr) {
+    return orderer;
+  }
+  std::string known;
+  for (const std::string& candidate : Names()) {
+    if (!known.empty()) {
+      known += ", ";
+    }
+    known += candidate;
+  }
+  return Status::InvalidArgument("unknown join orderer \"" +
+                                 std::string(name) + "\"; registered: " +
+                                 known);
+}
+
+std::vector<std::string> OptimizerRegistry::Names() {
+  std::vector<std::string> names;
+  const OrdererMap& map = Registry();
+  names.reserve(map.size());
+  for (const auto& [name, orderer] : map) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool OptimizerRegistry::Register(std::string name,
+                                 std::unique_ptr<JoinOrderer> orderer) {
+  if (orderer == nullptr) {
+    return false;
+  }
+  return Registry().emplace(std::move(name), std::move(orderer)).second;
+}
+
+}  // namespace joinopt

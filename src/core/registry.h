@@ -1,0 +1,61 @@
+#ifndef JOINOPT_CORE_REGISTRY_H_
+#define JOINOPT_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// Central catalog of the library's join orderers, keyed by name. Every
+/// driver (benchmarks, the CLI, the examples, conformance tests) obtains
+/// its algorithms here instead of hard-coding constructor calls, so a new
+/// orderer registered once becomes visible everywhere at once.
+///
+/// Built-in entries (shared, stateless, default-configured instances):
+///
+///   DPsize, DPsub, DPccp, DPsizeLinear  — the paper's algorithms
+///   DPsizeBasic, DPsubBFS               — ablation variants (unoptimized
+///                                         equal-size pairing / BFS
+///                                         connectivity test); note their
+///                                         name() still reports the base
+///                                         algorithm, only the key differs
+///   DPsizeCP, DPsubCP                   — cross-product search space
+///   GOO, IDP1, IKKBZ, LinDP             — heuristics / linearized DP
+///   TDBasic                             — top-down enumeration
+///   DPhyp                               — via an adapter lifting the
+///                                         query graph with
+///                                         Hypergraph::FromQueryGraph
+///   Adaptive                            — the dispatching facade
+///
+/// KBestJoinOrderer is absent: it returns a ranking, not a single plan,
+/// so it does not satisfy the JoinOrderer interface.
+///
+/// Instances are shared and must stay stateless across Optimize calls
+/// (all per-run state lives in the OptimizerContext), which makes
+/// registry lookups and the returned orderers safe for concurrent use.
+class OptimizerRegistry {
+ public:
+  /// Returns the orderer registered under `name`, or nullptr if unknown.
+  static const JoinOrderer* Get(std::string_view name);
+
+  /// Like Get, but reports unknown names as InvalidArgument listing the
+  /// registered names.
+  static Result<const JoinOrderer*> GetOrError(std::string_view name);
+
+  /// All registered names in sorted order.
+  static std::vector<std::string> Names();
+
+  /// Adds an orderer under `name` (e.g. a differently-parameterized IDP1
+  /// or an out-of-library extension). Returns false and leaves the
+  /// registry unchanged when the name is already taken. Not thread-safe
+  /// against concurrent lookups; register during startup.
+  static bool Register(std::string name, std::unique_ptr<JoinOrderer> orderer);
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_REGISTRY_H_

@@ -4,7 +4,6 @@
 
 #include "bitset/subset_iterator.h"
 #include "graph/connectivity.h"
-#include "util/stopwatch.h"
 
 namespace joinopt {
 
@@ -13,19 +12,20 @@ namespace {
 /// Recursion state for one optimization run.
 class TopDownSolver {
  public:
-  TopDownSolver(const QueryGraph& graph, const CostModel& cost_model,
-                PlanTable* table, OptimizerStats* stats)
-      : graph_(graph), cost_model_(cost_model), table_(table), stats_(stats) {}
+  explicit TopDownSolver(OptimizerContext& ctx)
+      : ctx_(ctx), graph_(ctx.graph()), stats_(ctx.stats()) {}
 
   /// Ensures `s` (a connected set) has its optimal plan in the table.
-  void Solve(NodeSet s) {
+  /// Returns false when a resource limit tripped and the recursion must
+  /// unwind.
+  bool Solve(NodeSet s) {
     JOINOPT_DCHECK(IsConnectedSet(graph_, s));
-    const PlanEntry* existing = table_->Find(s);
+    const PlanEntry* existing = ctx_.table().Find(s);
     if (existing != nullptr && solved_.Contains(s)) {
-      return;
+      return true;
     }
     if (s.count() == 1) {
-      return;  // Leaves are seeded.
+      return true;  // Leaves are seeded.
     }
     // Mark first: the split recursion below only descends into strict
     // subsets, so no cycle is possible, but re-entry via other parents
@@ -38,7 +38,7 @@ class TopDownSolver {
     const int anchor = s.Min();
     for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
       const NodeSet s1 = it.Current();
-      ++stats_->inner_counter;
+      ++stats_.inner_counter;
       if (!s1.Contains(anchor)) {
         continue;
       }
@@ -49,12 +49,19 @@ class TopDownSolver {
       if (!graph_.AreConnected(s1, s2)) {
         continue;
       }
-      stats_->csg_cmp_pair_counter += 2;
-      Solve(s1);
-      Solve(s2);
-      internal::CreateJoinTreeBothOrders(graph_, cost_model_, s1, s2, table_,
-                                         stats_);
+      stats_.csg_cmp_pair_counter += 2;
+      ctx_.TraceCsgCmpPair(s1, s2);
+      if (!Solve(s1) || !Solve(s2)) {
+        return false;
+      }
+      if (!internal::CreateJoinTreeBothOrders(ctx_, s1, s2)) {
+        return false;
+      }
+      if (ctx_.Tick()) {
+        return false;
+      }
     }
+    return true;
   }
 
  private:
@@ -70,35 +77,35 @@ class TopDownSolver {
     std::unordered_set<uint64_t> set_;
   };
 
+  OptimizerContext& ctx_;
   const QueryGraph& graph_;
-  const CostModel& cost_model_;
-  PlanTable* table_;
-  OptimizerStats* stats_;
+  OptimizerStats& stats_;
   SolvedSet solved_;
 };
 
 }  // namespace
 
-Result<OptimizationResult> TDBasic::Optimize(
-    const QueryGraph& graph, const CostModel& cost_model) const {
+Result<OptimizationResult> TDBasic::Optimize(OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
-      internal::ValidateOptimizerInput(graph, /*require_connected=*/true));
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
   if (graph.relation_count() >= 40) {
     return Status::InvalidArgument(
         "TDBasic's split enumeration is exponential; refusing n >= 40");
   }
-  const Stopwatch stopwatch;
 
-  PlanTable table = internal::MakeAdaptivePlanTable(graph);
-  OptimizerStats stats;
-  internal::SeedLeafPlans(graph, &table, &stats);
-
-  TopDownSolver solver(graph, cost_model, &table, &stats);
-  solver.Solve(graph.AllRelations());
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  OptimizerStats& stats = ctx.stats();
+  if (internal::SeedLeafPlans(ctx)) {
+    TopDownSolver solver(ctx);
+    solver.Solve(graph.AllRelations());
+  }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  stats.elapsed_seconds = stopwatch.ElapsedSeconds();
-  return internal::ExtractResult(graph, table, stats);
+  if (ctx.exhausted()) {
+    return ctx.limit_status();
+  }
+  return internal::ExtractResult(ctx);
 }
 
 }  // namespace joinopt

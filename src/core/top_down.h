@@ -29,8 +29,8 @@ class TDBasic final : public JoinOrderer {
 
   std::string_view name() const override { return "TDBasic"; }
 
-  Result<OptimizationResult> Optimize(
-      const QueryGraph& graph, const CostModel& cost_model) const override;
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
 };
 
 }  // namespace joinopt

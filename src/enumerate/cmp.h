@@ -62,6 +62,44 @@ void EnumerateCsgCmpPairs(const QueryGraph& graph, EmitPair&& emit) {
   });
 }
 
+/// EnumerateCmp with early termination: `emit` returns false to stop.
+/// Returns false when the enumeration was stopped.
+template <typename Emit>
+bool EnumerateCmpUntil(const QueryGraph& graph, NodeSet s1, Emit&& emit) {
+  JOINOPT_DCHECK(!s1.empty());
+  const NodeSet x = NodeSet::Prefix(s1.Min() + 1) | s1;
+  const NodeSet neighborhood = graph.Neighborhood(s1) - x;
+  if (neighborhood.empty()) {
+    return true;
+  }
+  NodeSet remaining = neighborhood;
+  while (!remaining.empty()) {
+    const int i = remaining.Max();
+    const NodeSet start = NodeSet::Singleton(i);
+    if (!emit(start)) {
+      return false;
+    }
+    const NodeSet b_i_of_n = neighborhood & NodeSet::Prefix(i + 1);
+    if (!EnumerateCsgRecUntil(graph, start, x | b_i_of_n, emit)) {
+      return false;
+    }
+    remaining.Remove(i);
+  }
+  return true;
+}
+
+/// EnumerateCsgCmpPairs with early termination: emit(s1, s2) returns
+/// false to unwind the whole enumeration immediately — this is what lets
+/// a resource budget abort DPccp on a hostile clique without walking the
+/// remaining ~2^n pairs. Returns false when stopped.
+template <typename EmitPair>
+bool EnumerateCsgCmpPairsUntil(const QueryGraph& graph, EmitPair&& emit) {
+  return EnumerateCsgUntil(graph, [&graph, &emit](NodeSet s1) {
+    return EnumerateCmpUntil(graph, s1,
+                             [&emit, s1](NodeSet s2) { return emit(s1, s2); });
+  });
+}
+
 /// Materializing convenience wrapper for tests/tools.
 std::vector<std::pair<NodeSet, NodeSet>> CollectCsgCmpPairs(
     const QueryGraph& graph);

@@ -39,6 +39,31 @@ void EnumerateCsgRec(const QueryGraph& graph, NodeSet s, NodeSet x,
   }
 }
 
+/// EnumerateCsgRec with early termination: `emit` returns false to stop
+/// the whole enumeration (resource budgets, first-match searches). The
+/// function returns false when the enumeration was stopped. The void
+/// variant above stays separate so its hot loop carries no result checks.
+template <typename Emit>
+bool EnumerateCsgRecUntil(const QueryGraph& graph, NodeSet s, NodeSet x,
+                          Emit&& emit) {
+  const NodeSet neighborhood = graph.Neighborhood(s) - x;
+  if (neighborhood.empty()) {
+    return true;
+  }
+  for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
+    if (!emit(s | it.Current())) {
+      return false;
+    }
+  }
+  for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
+    if (!EnumerateCsgRecUntil(graph, s | it.Current(), x | neighborhood,
+                              emit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// EnumerateCsg (Moerkotte & Neumann, Section 3.2): emits every non-empty
 /// set of nodes that induces a connected subgraph of `graph`, exactly
 /// once, in an order valid for dynamic programming.
@@ -56,6 +81,23 @@ void EnumerateCsg(const QueryGraph& graph, Emit&& emit) {
     emit(start);
     EnumerateCsgRec(graph, start, NodeSet::Prefix(i + 1), emit);
   }
+}
+
+/// EnumerateCsg with early termination (see EnumerateCsgRecUntil).
+/// Returns false when `emit` stopped the enumeration.
+template <typename Emit>
+bool EnumerateCsgUntil(const QueryGraph& graph, Emit&& emit) {
+  const int n = graph.relation_count();
+  for (int i = n - 1; i >= 0; --i) {
+    const NodeSet start = NodeSet::Singleton(i);
+    if (!emit(start)) {
+      return false;
+    }
+    if (!EnumerateCsgRecUntil(graph, start, NodeSet::Prefix(i + 1), emit)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Materializing convenience wrapper: all connected subsets, in emission

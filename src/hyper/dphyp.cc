@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "bitset/subset_iterator.h"
-#include "util/stopwatch.h"
 
 namespace joinopt {
 
@@ -11,20 +10,29 @@ namespace {
 
 /// One DPhyp run: holds the table and counters, and implements the five
 /// mutually recursive routines of the SIGMOD'08 paper (Solve, EmitCsg,
-/// EnumerateCsgRec, EmitCsgCmp, EnumerateCmpRec).
+/// EnumerateCsgRec, EmitCsgCmp, EnumerateCmpRec). Every routine returns
+/// false when a resource limit tripped, unwinding the recursion
+/// immediately instead of walking the remaining enumeration.
 class DPhypRunner {
  public:
-  DPhypRunner(const Hypergraph& graph, const CostModel& cost_model)
+  DPhypRunner(const Hypergraph& graph, const CostModel& cost_model,
+              const OptimizeOptions& options)
       : graph_(graph),
         cost_model_(cost_model),
-        table_(graph.relation_count()) {}
+        table_(graph.relation_count()),
+        governor_(options),
+        trace_(options.trace) {}
 
   Result<OptimizationResult> Run() {
-    const Stopwatch stopwatch;
-    SeedLeaves();
-    Solve();
+    stats_.algorithm = "DPhyp";
+    if (SeedLeaves()) {
+      Solve();
+    }
     stats_.csg_cmp_pair_counter = 2 * stats_.ono_lohman_counter;
-    stats_.elapsed_seconds = stopwatch.ElapsedSeconds();
+    stats_.elapsed_seconds = governor_.ElapsedSeconds();
+    if (governor_.exhausted()) {
+      return governor_.limit_status();
+    }
 
     Result<JoinTree> tree =
         JoinTree::FromPlanTable(table_, graph_.AllRelations());
@@ -33,6 +41,12 @@ class DPhypRunner {
           "no cross-product-free join tree exists for this hypergraph "
           "(complex predicates leave the root set undecomposable)");
     }
+    if (!governor_.options().collect_counters) {
+      stats_.inner_counter = 0;
+      stats_.csg_cmp_pair_counter = 0;
+      stats_.ono_lohman_counter = 0;
+      stats_.create_join_tree_calls = 0;
+    }
     OptimizationResult result{std::move(*tree), 0.0, 0.0, stats_};
     result.cost = result.plan.cost();
     result.cardinality = result.plan.cardinality();
@@ -40,48 +54,62 @@ class DPhypRunner {
   }
 
  private:
-  void SeedLeaves() {
+  bool SeedLeaves() {
     for (int i = 0; i < graph_.relation_count(); ++i) {
       PlanEntry& entry = table_.GetOrCreate(NodeSet::Singleton(i));
       entry.cost = 0.0;
       entry.cardinality = graph_.cardinality(i);
       table_.NotePopulated();
+      if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
+        trace_->OnPlanInserted(NodeSet::Singleton(i), 0.0, entry.cardinality);
+      }
     }
     stats_.plans_stored = table_.populated_count();
+    return governor_.WithinMemoBudget(table_.populated_count());
   }
 
   /// Top-level loop: every node is a primary-component start, in
   /// descending index order (duplicate suppression via B_i, exactly as in
   /// DPccp's EnumerateCsg).
-  void Solve() {
+  bool Solve() {
     for (int i = graph_.relation_count() - 1; i >= 0; --i) {
       const NodeSet start = NodeSet::Singleton(i);
-      EmitCsg(start);
-      EnumerateCsgRec(start, NodeSet::Prefix(i + 1));
+      if (!EmitCsg(start)) {
+        return false;
+      }
+      if (!EnumerateCsgRec(start, NodeSet::Prefix(i + 1))) {
+        return false;
+      }
     }
+    return true;
   }
 
   /// Grows the primary component s1; emits every enlargement that is a
   /// connected set (= has a plan: all its decompositions were enumerated
   /// earlier by the subsets-first order) and recurses.
-  void EnumerateCsgRec(NodeSet s1, NodeSet x) {
+  bool EnumerateCsgRec(NodeSet s1, NodeSet x) {
     const NodeSet neighborhood = graph_.Neighborhood(s1, x);
     if (neighborhood.empty()) {
-      return;
+      return true;
     }
     for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
       const NodeSet enlarged = s1 | it.Current();
       if (table_.Find(enlarged) != nullptr) {
-        EmitCsg(enlarged);
+        if (!EmitCsg(enlarged)) {
+          return false;
+        }
       }
     }
     for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
-      EnumerateCsgRec(s1 | it.Current(), x | neighborhood);
+      if (!EnumerateCsgRec(s1 | it.Current(), x | neighborhood)) {
+        return false;
+      }
     }
+    return true;
   }
 
   /// Enumerates the complement components of a connected s1.
-  void EmitCsg(NodeSet s1) {
+  bool EmitCsg(NodeSet s1) {
     const NodeSet x = NodeSet::Prefix(s1.Min() + 1) | s1;
     const NodeSet neighborhood = graph_.Neighborhood(s1, x);
     NodeSet remaining = neighborhood;
@@ -89,38 +117,53 @@ class DPhypRunner {
       const int v = remaining.Max();
       const NodeSet s2 = NodeSet::Singleton(v);
       if (graph_.AreConnected(s1, s2)) {
-        EmitCsgCmp(s1, s2);
+        if (!EmitCsgCmp(s1, s2)) {
+          return false;
+        }
       }
       // Grow s2 excluding smaller-indexed representatives (B_v(N)), the
       // corrected EnumerateCmp exclusion (see enumerate/cmp.h).
-      EnumerateCmpRec(s1, s2, x | (neighborhood & NodeSet::Prefix(v + 1)));
+      if (!EnumerateCmpRec(s1, s2,
+                           x | (neighborhood & NodeSet::Prefix(v + 1)))) {
+        return false;
+      }
       remaining.Remove(v);
     }
+    return true;
   }
 
   /// Grows the complement component s2; emits every enlargement that is
   /// connected AND actually joined to s1 by some hyperedge.
-  void EnumerateCmpRec(NodeSet s1, NodeSet s2, NodeSet x) {
+  bool EnumerateCmpRec(NodeSet s1, NodeSet s2, NodeSet x) {
     const NodeSet neighborhood = graph_.Neighborhood(s2, x);
     if (neighborhood.empty()) {
-      return;
+      return true;
     }
     for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
       const NodeSet enlarged = s2 | it.Current();
       if (table_.Find(enlarged) != nullptr &&
           graph_.AreConnected(s1, enlarged)) {
-        EmitCsgCmp(s1, enlarged);
+        if (!EmitCsgCmp(s1, enlarged)) {
+          return false;
+        }
       }
     }
     for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
-      EnumerateCmpRec(s1, s2 | it.Current(), x | neighborhood);
+      if (!EnumerateCmpRec(s1, s2 | it.Current(), x | neighborhood)) {
+        return false;
+      }
     }
+    return true;
   }
 
-  /// The DP combine step: price s1 ⋈ s2 in both orders.
-  void EmitCsgCmp(NodeSet s1, NodeSet s2) {
+  /// The DP combine step: price s1 ⋈ s2 in both orders. Returns false
+  /// when a resource limit tripped.
+  bool EmitCsgCmp(NodeSet s1, NodeSet s2) {
     ++stats_.inner_counter;
     ++stats_.ono_lohman_counter;
+    if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
+      trace_->OnCsgCmpPair(s1, s2);
+    }
 
     const PlanEntry* left = table_.Find(s1);
     const PlanEntry* right = table_.Find(s2);
@@ -130,6 +173,7 @@ class DPhypRunner {
     const double right_cost = right->cost;
     const double right_card = right->cardinality;
 
+    bool keep_going = true;
     PlanEntry& entry = table_.GetOrCreate(s1 | s2);
     // |⋈ S| is plan-independent: scan the crossing edges only on first
     // reach of the set (see core/optimizer.cc for the rationale).
@@ -141,6 +185,7 @@ class DPhypRunner {
       entry.cardinality = out_card;
       table_.NotePopulated();
       stats_.plans_stored = table_.populated_count();
+      keep_going = governor_.WithinMemoBudget(table_.populated_count());
     }
 
     const double cost_lr =
@@ -156,25 +201,39 @@ class DPhypRunner {
       entry.right = s2;
       entry.cost = cost_lr;
       entry.op = cost_model_.OperatorFor(left_card, right_card, out_card);
+      if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
+        trace_->OnPlanInserted(s1 | s2, cost_lr, out_card);
+      }
+    } else if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
+      trace_->OnPruned(s1 | s2, cost_lr, entry.cost);
     }
     if (cost_rl < entry.cost) {
       entry.left = s2;
       entry.right = s1;
       entry.cost = cost_rl;
       entry.op = cost_model_.OperatorFor(right_card, left_card, out_card);
+      if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
+        trace_->OnPlanInserted(s1 | s2, cost_rl, out_card);
+      }
+    } else if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
+      trace_->OnPruned(s1 | s2, cost_rl, entry.cost);
     }
+    return keep_going && !governor_.Tick();
   }
 
   const Hypergraph& graph_;
   const CostModel& cost_model_;
   PlanTable table_;
   OptimizerStats stats_;
+  ResourceGovernor governor_;
+  TraceSink* trace_;
 };
 
 }  // namespace
 
-Result<OptimizationResult> DPhyp::Optimize(const Hypergraph& graph,
-                                           const CostModel& cost_model) const {
+Result<OptimizationResult> DPhyp::Optimize(
+    const Hypergraph& graph, const CostModel& cost_model,
+    const OptimizeOptions& options) const {
   if (graph.relation_count() == 0) {
     return Status::InvalidArgument("hypergraph has no relations");
   }
@@ -183,7 +242,7 @@ Result<OptimizationResult> DPhyp::Optimize(const Hypergraph& graph,
         "hypergraph is disconnected; cross-product-free join trees do not "
         "exist");
   }
-  DPhypRunner runner(graph, cost_model);
+  DPhypRunner runner(graph, cost_model, options);
   return runner.Run();
 }
 

@@ -21,6 +21,14 @@ namespace joinopt {
 /// Note: a connected hypergraph may still admit NO cross-product-free
 /// join tree (complex predicates can make every split of the root set a
 /// cross product); Optimize reports FailedPrecondition in that case.
+///
+/// DPhyp is not a JoinOrderer (its input is a Hypergraph, not a
+/// QueryGraph), but it honors the same OptimizeOptions: memo budgets and
+/// deadlines abort with kBudgetExceeded, and the pair/insert/prune trace
+/// hooks fire with the hypergraph's node numbering (OnAlgorithmStart is
+/// skipped — there is no QueryGraph to report). The registry exposes
+/// DPhyp to QueryGraph callers through an adapter that lifts via
+/// Hypergraph::FromQueryGraph.
 class DPhyp {
  public:
   DPhyp() = default;
@@ -28,9 +36,10 @@ class DPhyp {
   std::string_view name() const { return "DPhyp"; }
 
   /// Computes an optimal bushy cross-product-free join tree for the
-  /// hypergraph under the cost model.
-  Result<OptimizationResult> Optimize(const Hypergraph& graph,
-                                      const CostModel& cost_model) const;
+  /// hypergraph under the cost model, subject to the limits in `options`.
+  Result<OptimizationResult> Optimize(
+      const Hypergraph& graph, const CostModel& cost_model,
+      const OptimizeOptions& options = OptimizeOptions()) const;
 };
 
 }  // namespace joinopt

@@ -20,6 +20,8 @@
 #include "core/dpsub.h"
 #include "core/greedy.h"
 #include "core/optimizer.h"
+#include "core/optimizer_context.h"
+#include "core/registry.h"
 #include "cost/cardinality.h"
 #include "cost/cost_model.h"
 #include "cost/statistics.h"

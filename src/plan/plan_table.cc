@@ -32,7 +32,13 @@ PlanEntry& PlanTable::GetOrCreate(NodeSet s) {
     JOINOPT_DCHECK(s.mask() < dense_.size());
     return dense_[s.mask()];
   }
-  return sparse_[s];
+  const auto [it, inserted] = sparse_.try_emplace(s);
+  if (inserted) {
+    // Insertion may rehash; outstanding entry pointers are void per the
+    // stability rule, and ConstRef's debug check keys off this counter.
+    ++generation_;
+  }
+  return it->second;
 }
 
 void PlanTable::ForEach(

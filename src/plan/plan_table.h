@@ -9,6 +9,7 @@
 
 #include "bitset/node_set.h"
 #include "cost/cost_model.h"
+#include "util/macros.h"
 
 namespace joinopt {
 
@@ -48,7 +49,9 @@ struct PlanEntry {
 /// The backend is an internal detail; the API is identical. Entry pointers
 /// are stable in the dense backend and NOT stable across mutation in the
 /// sparse backend — callers must re-Find after any mutation (the DP
-/// algorithms in this library follow that rule).
+/// algorithms in this library follow that rule). FindRef returns a handle
+/// that enforces the rule in debug builds via the table's generation
+/// counter; prefer it over Find in new code.
 class PlanTable {
  public:
   /// Creates a table for sets over `relation_count` relations. The dense
@@ -60,8 +63,59 @@ class PlanTable {
   PlanTable(PlanTable&&) = default;
   PlanTable& operator=(PlanTable&&) = default;
 
+  /// A debug-checked borrow of a table entry. In debug builds every
+  /// dereference asserts that the table has not mutated (same generation)
+  /// since the handle was taken — catching the stale-sparse-pointer bug
+  /// class at the use site instead of as silent garbage. In NDEBUG builds
+  /// this compiles down to a raw pointer.
+  class ConstRef {
+   public:
+    ConstRef() = default;
+
+    /// True when the lookup found a populated entry.
+    explicit operator bool() const { return entry_ != nullptr; }
+
+    const PlanEntry& operator*() const {
+      AssertFresh();
+      return *entry_;
+    }
+    const PlanEntry* operator->() const {
+      AssertFresh();
+      return entry_;
+    }
+
+   private:
+    friend class PlanTable;
+    ConstRef(const PlanEntry* entry, const PlanTable* table)
+        : entry_(entry) {
+#ifndef NDEBUG
+      table_ = table;
+      generation_ = table != nullptr ? table->generation() : 0;
+#else
+      (void)table;
+#endif
+    }
+
+    void AssertFresh() const {
+      JOINOPT_DCHECK(entry_ != nullptr);
+#ifndef NDEBUG
+      JOINOPT_DCHECK(table_ == nullptr ||
+                     generation_ == table_->generation());
+#endif
+    }
+
+    const PlanEntry* entry_ = nullptr;
+#ifndef NDEBUG
+    const PlanTable* table_ = nullptr;
+    uint64_t generation_ = 0;
+#endif
+  };
+
   /// Returns the entry for `s` or nullptr when no plan is registered.
   const PlanEntry* Find(NodeSet s) const;
+
+  /// Find, returning a debug-checked handle instead of a raw pointer.
+  ConstRef FindRef(NodeSet s) const { return ConstRef(Find(s), this); }
 
   /// Mutable lookup; creates an empty (cost = inf) entry when absent.
   PlanEntry& GetOrCreate(NodeSet s);
@@ -76,6 +130,13 @@ class PlanTable {
   /// True when the dense backend is active (exposed for tests/ablation).
   bool is_dense() const { return !dense_.empty(); }
 
+  /// Mutation-generation counter backing the ConstRef staleness check.
+  /// The sparse backend bumps it on every entry insertion (the mutations
+  /// after which the documented pointer-stability rule voids outstanding
+  /// entry pointers); the dense backend, whose entries never move, keeps
+  /// it at zero.
+  uint64_t generation() const { return generation_; }
+
   /// Invokes `fn(set, entry)` for every populated entry, in unspecified
   /// order.
   void ForEach(
@@ -87,6 +148,7 @@ class PlanTable {
   // Sparse backend.
   std::unordered_map<NodeSet, PlanEntry, NodeSetHash> sparse_;
   uint64_t populated_count_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace joinopt

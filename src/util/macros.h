@@ -26,4 +26,14 @@
 #define JOINOPT_DCHECK(cond) JOINOPT_CHECK(cond)
 #endif
 
+/// Branch-prediction hints for hot-path checks that almost always go one
+/// way (e.g. the null-trace-sink fast path, the amortized deadline tick).
+#if defined(__GNUC__) || defined(__clang__)
+#define JOINOPT_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define JOINOPT_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#else
+#define JOINOPT_LIKELY(x) (x)
+#define JOINOPT_UNLIKELY(x) (x)
+#endif
+
 #endif  // JOINOPT_UTIL_MACROS_H_

@@ -18,6 +18,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kBudgetExceeded:
+      return "BudgetExceeded";
   }
   return "Unknown";
 }

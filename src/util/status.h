@@ -20,6 +20,9 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  /// An optimization run hit a resource limit (memo-entry budget or
+  /// wall-clock deadline) from OptimizeOptions before finding a plan.
+  kBudgetExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -65,6 +68,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status BudgetExceeded(std::string msg) {
+    return Status(StatusCode::kBudgetExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

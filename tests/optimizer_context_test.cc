@@ -1,0 +1,257 @@
+#include "core/optimizer_context.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "core/registry.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+
+namespace joinopt {
+namespace {
+
+/// TraceSink that records every callback, for asserting hook contracts.
+class CountingSink final : public TraceSink {
+ public:
+  void OnAlgorithmStart(std::string_view algorithm,
+                        const QueryGraph& graph) override {
+    started.push_back(std::string(algorithm));
+    last_graph_size = graph.relation_count();
+  }
+  void OnCsgCmpPair(NodeSet, NodeSet) override { ++pairs; }
+  void OnPlanInserted(NodeSet, double, double) override { ++inserts; }
+  void OnPruned(NodeSet, double, double) override { ++prunes; }
+  void OnFallback(std::string_view from, std::string_view to,
+                  const Status& why) override {
+    fallbacks.push_back(std::string(from) + "->" + std::string(to));
+    last_fallback_status = why;
+  }
+
+  std::vector<std::string> started;
+  std::vector<std::string> fallbacks;
+  Status last_fallback_status;
+  int last_graph_size = 0;
+  uint64_t pairs = 0;
+  uint64_t inserts = 0;
+  uint64_t prunes = 0;
+};
+
+TEST(OptimizeOptionsTest, DefaultsAreUnlimited) {
+  const OptimizeOptions options;
+  EXPECT_EQ(options.memo_entry_budget, 0u);
+  EXPECT_EQ(options.deadline_seconds, 0.0);
+  EXPECT_TRUE(options.collect_counters);
+  EXPECT_EQ(options.trace, nullptr);
+}
+
+TEST(ResourceGovernorTest, UnlimitedNeverTrips) {
+  ResourceGovernor governor((OptimizeOptions()));
+  for (int i = 0; i < 100'000; ++i) {
+    EXPECT_FALSE(governor.Tick());
+  }
+  EXPECT_TRUE(governor.WithinMemoBudget(1u << 30));
+  EXPECT_FALSE(governor.exhausted());
+  EXPECT_TRUE(governor.limit_status().ok());
+}
+
+TEST(ResourceGovernorTest, MemoBudgetIsSticky) {
+  OptimizeOptions options;
+  options.memo_entry_budget = 10;
+  ResourceGovernor governor(options);
+  EXPECT_TRUE(governor.WithinMemoBudget(10));
+  EXPECT_FALSE(governor.WithinMemoBudget(11));
+  EXPECT_TRUE(governor.exhausted());
+  // Sticky: dropping back under the budget does not reset the state.
+  EXPECT_FALSE(governor.WithinMemoBudget(1));
+  EXPECT_TRUE(governor.Tick());
+  EXPECT_EQ(governor.limit_status().code(), StatusCode::kBudgetExceeded);
+}
+
+TEST(ResourceGovernorTest, ExpiredDeadlineTripsOnSlowTick) {
+  OptimizeOptions options;
+  options.deadline_seconds = 1e-12;  // Any clock read exceeds this.
+  ResourceGovernor governor(options);
+  bool tripped = false;
+  // The deadline is only consulted every kTickInterval calls; well before
+  // twice that many ticks it must have fired.
+  for (int i = 0; i < 20'000 && !tripped; ++i) {
+    tripped = governor.Tick();
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(governor.limit_status().code(), StatusCode::kBudgetExceeded);
+  EXPECT_NE(governor.limit_status().message().find("deadline"),
+            std::string::npos);
+}
+
+/// The ISSUE's hostile query: a 20-clique has ~2^20 connected subgraphs,
+/// so a tiny memo budget must abort every exhaustive enumerator — quickly
+/// and deterministically, not after minutes of unbounded work.
+TEST(OptimizerBudgetTest, ExhaustiveEnumeratorsRespectMemoBudget) {
+  Result<QueryGraph> clique = MakeCliqueQuery(20);
+  ASSERT_TRUE(clique.ok());
+  const CoutCostModel cost_model;
+  OptimizeOptions options;
+  options.memo_entry_budget = 64;
+  for (const char* name : {"DPccp", "DPsub", "DPsize", "DPhyp", "TDBasic"}) {
+    OptimizerContext ctx(*clique, cost_model, options);
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(name)->Optimize(ctx);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kBudgetExceeded) << name;
+    EXPECT_NE(result.status().message().find("memo-entry budget"),
+              std::string::npos)
+        << name;
+  }
+}
+
+TEST(OptimizerBudgetTest, ExpiredDeadlineAbortsTheRun) {
+  Result<QueryGraph> clique = MakeCliqueQuery(14);
+  ASSERT_TRUE(clique.ok());
+  const CoutCostModel cost_model;
+  OptimizeOptions options;
+  options.deadline_seconds = 1e-12;
+  for (const char* name : {"DPsub", "DPccp"}) {
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(name)->Optimize(*clique, cost_model, options);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kBudgetExceeded) << name;
+  }
+}
+
+TEST(OptimizerBudgetTest, GenerousLimitsChangeNothing) {
+  Result<QueryGraph> cycle = MakeCycleQuery(9);
+  ASSERT_TRUE(cycle.ok());
+  const CoutCostModel cost_model;
+  Result<OptimizationResult> unlimited =
+      OptimizerRegistry::Get("DPccp")->Optimize(*cycle, cost_model);
+  ASSERT_TRUE(unlimited.ok());
+
+  OptimizeOptions options;
+  options.memo_entry_budget = 1u << 20;
+  options.deadline_seconds = 3600.0;
+  Result<OptimizationResult> limited =
+      OptimizerRegistry::Get("DPccp")->Optimize(*cycle, cost_model, options);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_DOUBLE_EQ(limited->cost, unlimited->cost);
+  EXPECT_EQ(limited->stats.ono_lohman_counter,
+            unlimited->stats.ono_lohman_counter);
+  EXPECT_EQ(limited->stats.plans_stored, unlimited->stats.plans_stored);
+}
+
+TEST(OptimizerTraceTest, HooksFireWithConsistentCounts) {
+  Result<QueryGraph> chain = MakeChainQuery(5);
+  ASSERT_TRUE(chain.ok());
+  const CoutCostModel cost_model;
+  CountingSink sink;
+  OptimizeOptions options;
+  options.trace = &sink;
+  Result<OptimizationResult> result =
+      OptimizerRegistry::Get("DPccp")->Optimize(*chain, cost_model, options);
+  ASSERT_TRUE(result.ok());
+
+  ASSERT_EQ(sink.started.size(), 1u);
+  EXPECT_EQ(sink.started[0], "DPccp");
+  EXPECT_EQ(sink.last_graph_size, 5);
+  // DPccp reports each unordered pair once.
+  EXPECT_EQ(sink.pairs, result->stats.ono_lohman_counter);
+  // Every costed candidate is either inserted or pruned: both orders of
+  // every pair, plus one insert per leaf seed.
+  EXPECT_EQ(sink.inserts + sink.prunes,
+            result->stats.csg_cmp_pair_counter + 5);
+  EXPECT_GE(sink.inserts, result->stats.plans_stored);
+  EXPECT_TRUE(sink.fallbacks.empty());
+}
+
+TEST(OptimizerTraceTest, CountersCanBeSuppressed) {
+  Result<QueryGraph> chain = MakeChainQuery(8);
+  ASSERT_TRUE(chain.ok());
+  const CoutCostModel cost_model;
+  OptimizeOptions options;
+  options.collect_counters = false;
+  Result<OptimizationResult> result =
+      OptimizerRegistry::Get("DPccp")->Optimize(*chain, cost_model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.inner_counter, 0u);
+  EXPECT_EQ(result->stats.csg_cmp_pair_counter, 0u);
+  EXPECT_EQ(result->stats.ono_lohman_counter, 0u);
+  EXPECT_EQ(result->stats.create_join_tree_calls, 0u);
+  // The toggle only suppresses reporting; the result itself is unchanged.
+  Result<OptimizationResult> reference =
+      OptimizerRegistry::Get("DPccp")->Optimize(*chain, cost_model);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_DOUBLE_EQ(result->cost, reference->cost);
+}
+
+TEST(AdaptiveFallbackTest, DegradesGracefullyUnderMemoBudget) {
+  Result<QueryGraph> chain = MakeChainQuery(30);
+  ASSERT_TRUE(chain.ok());
+  const CoutCostModel cost_model;
+  CountingSink sink;
+  OptimizeOptions options;
+  options.memo_entry_budget = 40;  // Below even the 30 leaf seeds + DP.
+  options.trace = &sink;
+  const AdaptiveOptimizer optimizer;
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*chain, cost_model, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(ValidatePlan(result->plan, *chain, cost_model).ok());
+  // The exact pick and IDP1 both trip the budget; GOO (run with limits
+  // stripped) completes and the abandoned rungs are recorded.
+  EXPECT_EQ(result->stats.algorithm, "GOO");
+  EXPECT_EQ(result->stats.fallback_from, "DPccp,IDP1");
+  ASSERT_EQ(sink.fallbacks.size(), 2u);
+  EXPECT_EQ(sink.fallbacks[0], "DPccp->IDP1");
+  EXPECT_EQ(sink.fallbacks[1], "IDP1->GOO");
+  EXPECT_EQ(sink.last_fallback_status.code(), StatusCode::kBudgetExceeded);
+}
+
+TEST(AdaptiveFallbackTest, NoFallbackWithinLimits) {
+  Result<QueryGraph> cycle = MakeCycleQuery(8);
+  ASSERT_TRUE(cycle.ok());
+  const CoutCostModel cost_model;
+  const AdaptiveOptimizer optimizer;
+  Result<OptimizationResult> result =
+      optimizer.Optimize(*cycle, cost_model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.fallback_from, "");
+  EXPECT_EQ(result->stats.algorithm, "DPccp");
+}
+
+TEST(AdaptiveFallbackTest, DisconnectedGraphRetriesCrossProductsUnlimited) {
+  QueryGraph graph;
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(graph.AddRelation(100.0 + i).ok());
+  }
+  ASSERT_TRUE(graph.AddEdge(0, 1, 0.1).ok());  // Two components.
+  const CoutCostModel cost_model;
+  OptimizeOptions options;
+  options.memo_entry_budget = 20;
+  const AdaptiveOptimizer optimizer;
+  Result<OptimizationResult> result =
+      optimizer.Optimize(graph, cost_model, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.algorithm, "DPsizeCP");
+  EXPECT_EQ(result->stats.fallback_from, "DPsizeCP");
+}
+
+TEST(WorkGraphScopeTest, RestoresOriginalGraphOnExit) {
+  Result<QueryGraph> chain = MakeChainQuery(4);
+  Result<QueryGraph> star = MakeStarQuery(5);
+  ASSERT_TRUE(chain.ok() && star.ok());
+  const CoutCostModel cost_model;
+  OptimizerContext ctx(*chain, cost_model);
+  EXPECT_EQ(&ctx.work_graph(), &ctx.graph());
+  {
+    const WorkGraphScope scope(ctx, *star);
+    EXPECT_EQ(&ctx.work_graph(), &*star);
+    EXPECT_EQ(&ctx.graph(), &*chain);  // The input graph is unaffected.
+  }
+  EXPECT_EQ(&ctx.work_graph(), &ctx.graph());
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -150,6 +150,56 @@ TEST(AdaptivePlanTableTest, BackendTracksSearchSpaceDensity) {
   EXPECT_FALSE(internal::MakeAdaptivePlanTable(*huge).is_dense());
 }
 
+TEST(PlanTableTest, GenerationTracksSparseMutations) {
+  // Dense backend: entries never move, so the generation stays at zero.
+  PlanTable dense(10);
+  EXPECT_EQ(dense.generation(), 0u);
+  dense.GetOrCreate(NodeSet::Of({0, 1}));
+  dense.GetOrCreate(NodeSet::Of({2}));
+  EXPECT_EQ(dense.generation(), 0u);
+
+  // Sparse backend: every new key may rehash and move entries, so each
+  // insertion bumps the generation; re-touching an existing key does not.
+  PlanTable sparse(10, /*dense_limit=*/0);
+  EXPECT_EQ(sparse.generation(), 0u);
+  sparse.GetOrCreate(NodeSet::Of({0, 1}));
+  const uint64_t after_first = sparse.generation();
+  EXPECT_GT(after_first, 0u);
+  sparse.GetOrCreate(NodeSet::Of({0, 1}));
+  EXPECT_EQ(sparse.generation(), after_first);
+  sparse.GetOrCreate(NodeSet::Of({2, 3}));
+  EXPECT_GT(sparse.generation(), after_first);
+}
+
+TEST_P(PlanTableBackendTest, FindRefBehavesLikeFind) {
+  PlanTable table = MakeTable(6);
+  EXPECT_FALSE(table.FindRef(NodeSet::Of({1, 2})));
+  PlanEntry& entry = table.GetOrCreate(NodeSet::Of({1, 2}));
+  entry.cost = 9.0;
+  entry.cardinality = 3.0;
+  table.NotePopulated();
+  const PlanTable::ConstRef ref = table.FindRef(NodeSet::Of({1, 2}));
+  ASSERT_TRUE(ref);
+  EXPECT_DOUBLE_EQ(ref->cost, 9.0);
+  EXPECT_DOUBLE_EQ((*ref).cardinality, 3.0);
+}
+
+#ifndef NDEBUG
+TEST(PlanTableDeathTest, StaleSparseRefAssertsInDebugBuilds) {
+  PlanTable table(10, /*dense_limit=*/0);
+  PlanEntry& entry = table.GetOrCreate(NodeSet::Of({0}));
+  entry.cost = 1.0;
+  entry.cardinality = 1.0;
+  table.NotePopulated();
+  PlanTable::ConstRef ref = table.FindRef(NodeSet::Of({0}));
+  ASSERT_TRUE(ref);
+  // A subsequent insertion voids the handle per the documented
+  // pointer-stability rule; dereferencing it must now trip the check.
+  table.GetOrCreate(NodeSet::Of({1}));
+  EXPECT_DEATH((void)ref->cost, "JOINOPT_CHECK failed");
+}
+#endif  // NDEBUG
+
 TEST(PlanTableTest, DensePointersAreStable) {
   PlanTable table(10);
   PlanEntry& first = table.GetOrCreate(NodeSet::Of({0}));

@@ -1,0 +1,176 @@
+#include "core/registry.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/idp.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "plan/plan_validator.h"
+#include "util/macros.h"
+
+namespace joinopt {
+namespace {
+
+/// Every orderer the registry must ship with. Kept as an explicit list so
+/// that adding an algorithm without registering it (or silently dropping a
+/// registration) fails here instead of surfacing as a missing bench row.
+const char* const kBuiltins[] = {
+    "Adaptive", "DPccp",        "DPhyp",    "DPsize", "DPsizeBasic",
+    "DPsizeCP", "DPsizeLinear", "DPsub",    "DPsubBFS", "DPsubCP",
+    "GOO",      "IDP1",         "IKKBZ",    "LinDP",  "TDBasic",
+};
+
+TEST(OptimizerRegistryTest, AllBuiltinsRegistered) {
+  for (const char* name : kBuiltins) {
+    EXPECT_NE(OptimizerRegistry::Get(name), nullptr) << name;
+  }
+}
+
+TEST(OptimizerRegistryTest, NamesAreSortedAndCoverBuiltins) {
+  const std::vector<std::string> names = OptimizerRegistry::Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* builtin : kBuiltins) {
+    EXPECT_NE(std::find(names.begin(), names.end(), builtin), names.end())
+        << builtin;
+  }
+  // Every listed name resolves back through Get.
+  for (const std::string& name : names) {
+    EXPECT_NE(OptimizerRegistry::Get(name), nullptr) << name;
+  }
+}
+
+TEST(OptimizerRegistryTest, UnknownNameIsNullAndGetOrErrorExplains) {
+  EXPECT_EQ(OptimizerRegistry::Get("NoSuchOrderer"), nullptr);
+  const Result<const JoinOrderer*> lookup =
+      OptimizerRegistry::GetOrError("NoSuchOrderer");
+  ASSERT_FALSE(lookup.ok());
+  EXPECT_EQ(lookup.status().code(), StatusCode::kInvalidArgument);
+  // The error names the bad input and lists the alternatives.
+  EXPECT_NE(lookup.status().message().find("NoSuchOrderer"),
+            std::string::npos);
+  EXPECT_NE(lookup.status().message().find("DPccp"), std::string::npos);
+}
+
+TEST(OptimizerRegistryTest, RegisterRejectsDuplicatesAndNull) {
+  EXPECT_FALSE(
+      OptimizerRegistry::Register("DPccp", std::make_unique<IDP1>(5)));
+  EXPECT_FALSE(OptimizerRegistry::Register("NullOrderer", nullptr));
+  EXPECT_EQ(OptimizerRegistry::Get("NullOrderer"), nullptr);
+
+  // A fresh name sticks and becomes visible through every accessor. The
+  // registry is process-wide, so use a name no other test claims.
+  ASSERT_TRUE(
+      OptimizerRegistry::Register("RegistryTestIDP1k3",
+                                  std::make_unique<IDP1>(3)));
+  const JoinOrderer* registered = OptimizerRegistry::Get("RegistryTestIDP1k3");
+  ASSERT_NE(registered, nullptr);
+  EXPECT_EQ(registered->name(), "IDP1");
+  const std::vector<std::string> names = OptimizerRegistry::Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "RegistryTestIDP1k3"),
+            names.end());
+}
+
+/// Conformance sweep: every registered orderer must produce a valid plan
+/// on every standard shape, and its cost must sit in the right relation to
+/// the cross-product-free optimum:
+///   * exact enumerators agree with it,
+///   * heuristics may only be worse,
+///   * cross-product enumerators may only be better (larger search space).
+/// IKKBZ is the one partial algorithm — it requires acyclic graphs and may
+/// reject cycles/cliques outright.
+
+enum class CostClass { kExact, kAtLeastOptimal, kAtMostOptimal };
+
+CostClass ClassOf(const std::string& name) {
+  if (name == "DPsize" || name == "DPsizeBasic" || name == "DPsub" ||
+      name == "DPsubBFS" || name == "DPccp" || name == "TDBasic" ||
+      name == "DPhyp" || name == "Adaptive") {
+    return CostClass::kExact;
+  }
+  if (name == "DPsizeCP" || name == "DPsubCP") {
+    return CostClass::kAtMostOptimal;
+  }
+  return CostClass::kAtLeastOptimal;
+}
+
+TEST(OptimizerRegistryTest, ConformanceAcrossShapes) {
+  const CoutCostModel cost_model;
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kCycle, QueryShape::kStar,
+        QueryShape::kClique}) {
+    for (const int n : {2, 5, 9}) {
+      Result<QueryGraph> graph = MakeShapeQuery(shape, n);
+      ASSERT_TRUE(graph.ok());
+      const std::string label =
+          std::string(QueryShapeName(shape)) + std::to_string(n);
+
+      Result<OptimizationResult> reference =
+          OptimizerRegistry::Get("DPccp")->Optimize(*graph, cost_model);
+      ASSERT_TRUE(reference.ok()) << label;
+      const double optimum = reference->cost;
+
+      for (const std::string& name : OptimizerRegistry::Names()) {
+        const JoinOrderer* orderer = OptimizerRegistry::Get(name);
+        ASSERT_NE(orderer, nullptr);
+        Result<OptimizationResult> result =
+            orderer->Optimize(*graph, cost_model);
+        if (!result.ok()) {
+          // Only IKKBZ's acyclicity precondition excuses a failure.
+          EXPECT_EQ(name, "IKKBZ") << label << ": " << name << " failed: "
+                                   << result.status().ToString();
+          EXPECT_TRUE(shape == QueryShape::kCycle ||
+                      shape == QueryShape::kClique)
+              << label;
+          continue;
+        }
+        PlanValidationOptions validation;
+        validation.forbid_cross_products = ClassOf(name) != CostClass::kAtMostOptimal;
+        EXPECT_TRUE(
+            ValidatePlan(result->plan, *graph, cost_model, validation).ok())
+            << label << "/" << name;
+        switch (ClassOf(name)) {
+          case CostClass::kExact:
+            EXPECT_NEAR(result->cost, optimum, optimum * 1e-9)
+                << label << "/" << name;
+            break;
+          case CostClass::kAtLeastOptimal:
+            EXPECT_GE(result->cost, optimum * (1 - 1e-9))
+                << label << "/" << name;
+            break;
+          case CostClass::kAtMostOptimal:
+            EXPECT_LE(result->cost, optimum * (1 + 1e-9))
+                << label << "/" << name;
+            break;
+        }
+      }
+    }
+  }
+}
+
+/// The exact enumerators must also agree on the enumeration invariants the
+/// paper proves: plans_stored = #csg + is moot for ablation keys, but the
+/// Ono-Lohman count is algorithm-independent.
+TEST(OptimizerRegistryTest, ExactEnumeratorsAgreeOnOnoLohmanCount) {
+  const CoutCostModel cost_model;
+  Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kCycle, 8);
+  ASSERT_TRUE(graph.ok());
+  Result<OptimizationResult> reference =
+      OptimizerRegistry::Get("DPccp")->Optimize(*graph, cost_model);
+  ASSERT_TRUE(reference.ok());
+  for (const char* name : {"DPsub", "DPhyp"}) {
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(name)->Optimize(*graph, cost_model);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result->stats.ono_lohman_counter,
+              reference->stats.ono_lohman_counter)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

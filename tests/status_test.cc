@@ -25,7 +25,17 @@ TEST(StatusTest, FactoryHelpers) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::BudgetExceeded("x").code(), StatusCode::kBudgetExceeded);
   EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, BudgetExceededRoundTrips) {
+  const Status s = Status::BudgetExceeded("memo-entry budget of 64 exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(),
+            "BudgetExceeded: memo-entry budget of 64 exceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kBudgetExceeded),
+            "BudgetExceeded");
 }
 
 TEST(StatusTest, MessagePreserved) {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: configure, build, and run the full test suite twice —
+# once plain (RelWithDebInfo, the shipping configuration) and once under
+# ASan+UBSan (Debug, so assertions and the plan-table generation checks
+# are live). Intended both for automation and as the one command to run
+# before sending a change:
+#
+#   tools/ci.sh            # both passes
+#   tools/ci.sh plain      # just the plain pass
+#   tools/ci.sh sanitize   # just the sanitizer pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  local label="$1" build_dir="$2"
+  shift 2
+  echo "=== ${label}: configure (${build_dir}) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== ${label}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ${label}: test ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+mode="${1:-all}"
+case "${mode}" in
+  plain | sanitize | all) ;;
+  *)
+    echo "usage: $0 [plain|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+if [[ "${mode}" == plain || "${mode}" == all ]]; then
+  run_pass "plain" build
+fi
+if [[ "${mode}" == sanitize || "${mode}" == all ]]; then
+  run_pass "sanitize" build-sanitize \
+    -DCMAKE_BUILD_TYPE=Debug -DJOINOPT_SANITIZE=ON
+fi
+
+echo "=== CI green (${mode}) ==="

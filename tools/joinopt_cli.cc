@@ -4,10 +4,17 @@
 ///   joinopt_cli dot      <spec-file|-> [plan|graph]    Graphviz output
 ///   joinopt_cli generate <shape> <n> [seed]            emit a query spec
 ///   joinopt_cli counters <shape> <n>                   measured vs predicted
+///   joinopt_cli list                                   registered algorithms
 ///
 /// shapes: chain cycle star clique
-/// algos:  DPccp (default) DPsize DPsub DPhyp TDBasic GOO linear IDP Adaptive
+/// algos:  any name from `joinopt_cli list` (default DPccp); the legacy
+///         aliases "linear" (DPsizeLinear) and "IDP" (IDP1) still work
 /// costs:  cout (default) bestof hash nlj smj
+///
+/// Optimization limits come from the environment: JOINOPT_DEADLINE_S
+/// (wall-clock seconds) and JOINOPT_MEMO_BUDGET (max memo entries). A
+/// tripped limit reports BudgetExceeded unless the algorithm degrades
+/// gracefully (Adaptive falls back and reports what it fell back from).
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,35 +76,28 @@ Result<std::unique_ptr<CostModel>> MakeCostModel(const std::string& name) {
                                  "' (cout|bestof|hash|nlj|smj)");
 }
 
-Result<std::unique_ptr<JoinOrderer>> MakeOrderer(const std::string& name) {
-  if (name == "DPccp") {
-    return std::unique_ptr<JoinOrderer>(std::make_unique<DPccp>());
-  }
-  if (name == "DPsize") {
-    return std::unique_ptr<JoinOrderer>(std::make_unique<DPsize>());
-  }
-  if (name == "DPsub") {
-    return std::unique_ptr<JoinOrderer>(std::make_unique<DPsub>());
-  }
-  if (name == "TDBasic") {
-    return std::unique_ptr<JoinOrderer>(std::make_unique<TDBasic>());
-  }
-  if (name == "GOO") {
-    return std::unique_ptr<JoinOrderer>(
-        std::make_unique<GreedyOperatorOrdering>());
-  }
+/// Resolves a CLI algorithm name against the registry, honoring the
+/// pre-registry aliases.
+Result<const JoinOrderer*> LookupOrderer(const std::string& name) {
+  std::string key = name;
   if (name == "linear") {
-    return std::unique_ptr<JoinOrderer>(std::make_unique<DPsizeLinear>());
+    key = "DPsizeLinear";
+  } else if (name == "IDP") {
+    key = "IDP1";
   }
-  if (name == "IDP") {
-    return std::unique_ptr<JoinOrderer>(std::make_unique<IDP1>(8));
+  return OptimizerRegistry::GetOrError(key);
+}
+
+/// Optimization limits from the environment; unset means unlimited.
+OptimizeOptions OptionsFromEnv() {
+  OptimizeOptions options;
+  if (const char* env = std::getenv("JOINOPT_DEADLINE_S")) {
+    options.deadline_seconds = std::atof(env);
   }
-  if (name == "Adaptive") {
-    return std::unique_ptr<JoinOrderer>(std::make_unique<AdaptiveOptimizer>());
+  if (const char* env = std::getenv("JOINOPT_MEMO_BUDGET")) {
+    options.memo_entry_budget = std::strtoull(env, nullptr, 10);
   }
-  return Status::InvalidArgument(
-      "unknown algorithm '" + name +
-      "' (DPccp|DPsize|DPsub|DPhyp|TDBasic|GOO|linear|IDP|Adaptive)");
+  return options;
 }
 
 int Explain(const std::string& path, const std::string& algo,
@@ -117,21 +117,13 @@ int Explain(const std::string& path, const std::string& algo,
     std::fprintf(stderr, "%s\n", cost_model.status().ToString().c_str());
     return 2;
   }
-
-  // DPhyp runs through the hypergraph lift; everything else through the
-  // JoinOrderer interface.
-  Result<OptimizationResult> result = Status::Internal("unset");
-  if (algo == "DPhyp") {
-    const Hypergraph hyper = Hypergraph::FromQueryGraph(*graph);
-    result = DPhyp().Optimize(hyper, **cost_model);
-  } else {
-    Result<std::unique_ptr<JoinOrderer>> orderer = MakeOrderer(algo);
-    if (!orderer.ok()) {
-      std::fprintf(stderr, "%s\n", orderer.status().ToString().c_str());
-      return 2;
-    }
-    result = (*orderer)->Optimize(*graph, **cost_model);
+  Result<const JoinOrderer*> orderer = LookupOrderer(algo);
+  if (!orderer.ok()) {
+    std::fprintf(stderr, "%s\n", orderer.status().ToString().c_str());
+    return 2;
   }
+  Result<OptimizationResult> result =
+      (*orderer)->Optimize(*graph, **cost_model, OptionsFromEnv());
   if (!result.ok()) {
     std::fprintf(stderr, "optimization failed: %s\n",
                  result.status().ToString().c_str());
@@ -144,6 +136,11 @@ int Explain(const std::string& path, const std::string& algo,
               result->cardinality,
               static_cast<unsigned long long>(
                   result->stats.ono_lohman_counter));
+  if (!result->stats.fallback_from.empty()) {
+    std::printf("note: %s fell back from %s (resource limit) and used %s\n",
+                algo.c_str(), result->stats.fallback_from.c_str(),
+                result->stats.algorithm.c_str());
+  }
   return 0;
 }
 
@@ -163,7 +160,13 @@ int Dot(const std::string& path, const std::string& what) {
     return 0;
   }
   const CoutCostModel cost_model;
-  Result<OptimizationResult> result = DPccp().Optimize(*graph, cost_model);
+  Result<const JoinOrderer*> orderer = LookupOrderer("DPccp");
+  if (!orderer.ok()) {
+    std::fprintf(stderr, "%s\n", orderer.status().ToString().c_str());
+    return 2;
+  }
+  Result<OptimizationResult> result =
+      (*orderer)->Optimize(*graph, cost_model, OptionsFromEnv());
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -205,31 +208,31 @@ int Counters(const std::string& shape_name, int n) {
     return 1;
   }
   const CoutCostModel cost_model;
-  const DPsize dpsize;
-  const DPsub dpsub;
-  const DPccp dpccp;
   std::printf("%s n=%d   #csg=%llu  #ccp=%llu\n", shape_name.c_str(), n,
               static_cast<unsigned long long>(CsgCount(*shape, n)),
               static_cast<unsigned long long>(CcpCountUnordered(*shape, n)));
   std::printf("%-8s  %14s  %14s\n", "algo", "measured", "predicted");
   const struct {
-    const JoinOrderer* orderer;
+    const char* algorithm;
     uint64_t predicted;
   } rows[] = {
-      {&dpsize, PredictedInnerCounterDPsize(*shape, n)},
-      {&dpsub, PredictedInnerCounterDPsub(*shape, n)},
-      {&dpccp, PredictedInnerCounterDPccp(*shape, n)},
+      {"DPsize", PredictedInnerCounterDPsize(*shape, n)},
+      {"DPsub", PredictedInnerCounterDPsub(*shape, n)},
+      {"DPccp", PredictedInnerCounterDPccp(*shape, n)},
   };
   for (const auto& row : rows) {
+    Result<const JoinOrderer*> orderer = LookupOrderer(row.algorithm);
+    if (!orderer.ok()) {
+      std::fprintf(stderr, "%s\n", orderer.status().ToString().c_str());
+      return 2;
+    }
     Result<OptimizationResult> result =
-        row.orderer->Optimize(*graph, cost_model);
+        (*orderer)->Optimize(*graph, cost_model);
     if (!result.ok()) {
-      std::fprintf(stderr, "%s failed\n",
-                   std::string(row.orderer->name()).c_str());
+      std::fprintf(stderr, "%s failed\n", row.algorithm);
       return 1;
     }
-    std::printf("%-8s  %14llu  %14llu%s\n",
-                std::string(row.orderer->name()).c_str(),
+    std::printf("%-8s  %14llu  %14llu%s\n", row.algorithm,
                 static_cast<unsigned long long>(result->stats.inner_counter),
                 static_cast<unsigned long long>(row.predicted),
                 result->stats.inner_counter == row.predicted ? ""
@@ -257,14 +260,14 @@ int Sql(const std::string& catalog_path, const std::string& query,
                  graph.status().ToString().c_str());
     return 1;
   }
-  Result<std::unique_ptr<JoinOrderer>> orderer = MakeOrderer(algo);
+  Result<const JoinOrderer*> orderer = LookupOrderer(algo);
   if (!orderer.ok()) {
     std::fprintf(stderr, "%s\n", orderer.status().ToString().c_str());
     return 2;
   }
   const BestOfCostModel cost_model = BestOfCostModel::Standard();
   Result<OptimizationResult> result =
-      (*orderer)->Optimize(*graph, cost_model);
+      (*orderer)->Optimize(*graph, cost_model, OptionsFromEnv());
   if (!result.ok()) {
     std::fprintf(stderr, "optimization failed: %s\n",
                  result.status().ToString().c_str());
@@ -289,7 +292,8 @@ int Hyper(const std::string& path) {
     return 1;
   }
   const CoutCostModel cost_model;
-  Result<OptimizationResult> result = DPhyp().Optimize(*graph, cost_model);
+  Result<OptimizationResult> result =
+      DPhyp().Optimize(*graph, cost_model, OptionsFromEnv());
   if (!result.ok()) {
     std::fprintf(stderr, "DPhyp failed: %s\n",
                  result.status().ToString().c_str());
@@ -305,6 +309,13 @@ int Hyper(const std::string& path) {
   return 0;
 }
 
+int List() {
+  for (const std::string& name : OptimizerRegistry::Names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
@@ -313,8 +324,10 @@ int Usage(const char* argv0) {
                "  %s sql      <catalog-spec-file|-> \"SELECT ...\" [algo]\n"
                "  %s dot      <spec-file|-> [plan|graph]\n"
                "  %s generate <shape> <n> [seed]\n"
-               "  %s counters <shape> <n>\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               "  %s counters <shape> <n>\n"
+               "  %s list\n"
+               "limits: JOINOPT_DEADLINE_S=<s> JOINOPT_MEMO_BUDGET=<entries>\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -346,6 +359,9 @@ int main(int argc, char** argv) {
   }
   if (command == "counters" && argc >= 4) {
     return Counters(argv[2], std::atoi(argv[3]));
+  }
+  if (command == "list") {
+    return List();
   }
   return Usage(argv[0]);
 }
