@@ -1,6 +1,11 @@
 #include "catalog/catalog.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
+
+#include "testing/adversarial.h"
+#include "testing/fault_injection.h"
 
 namespace joinopt {
 
@@ -8,9 +13,9 @@ Result<int> Catalog::AddRelation(std::string name, double cardinality) {
   if (name.empty()) {
     return Status::InvalidArgument("relation name must be non-empty");
   }
-  if (!(cardinality > 0.0)) {
+  if (!(cardinality > 0.0) || !std::isfinite(cardinality)) {
     return Status::InvalidArgument("cardinality of '" + name +
-                                   "' must be positive");
+                                   "' must be finite and positive");
   }
   if (index_by_name_.contains(name)) {
     return Status::InvalidArgument("duplicate relation name '" + name + "'");
@@ -49,10 +54,50 @@ Result<int> Catalog::RelationIndex(std::string_view name) const {
   return it->second;
 }
 
-Result<QueryGraph> Catalog::BuildQueryGraph() const {
+Status Catalog::Validate() const {
   if (relations_.empty()) {
-    return Status::FailedPrecondition("catalog has no relations");
+    return Status::InvalidCatalog("catalog has no relations");
   }
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    const RelationInfo& relation = relations_[i];
+    if (relation.name.empty()) {
+      return Status::InvalidCatalog("relation " + std::to_string(i) +
+                                    " has an empty name");
+    }
+    const auto it = index_by_name_.find(relation.name);
+    if (it == index_by_name_.end() || it->second != static_cast<int>(i)) {
+      return Status::InvalidCatalog("relation name '" + relation.name +
+                                    "' is not uniquely indexed");
+    }
+    if (!(relation.cardinality > 0.0) || !std::isfinite(relation.cardinality)) {
+      return Status::InvalidCatalog(
+          "relation '" + relation.name + "' has cardinality " +
+          std::to_string(relation.cardinality) +
+          "; must be finite and positive");
+    }
+  }
+  for (const JoinInfo& join : joins_) {
+    if (join.left < 0 || join.left >= relation_count() || join.right < 0 ||
+        join.right >= relation_count()) {
+      return Status::InvalidCatalog("join references an unknown relation");
+    }
+    if (join.left == join.right) {
+      return Status::InvalidCatalog("relation '" +
+                                    relations_[join.left].name +
+                                    "' is joined with itself");
+    }
+    if (!(join.selectivity > 0.0) || join.selectivity > 1.0) {
+      return Status::InvalidCatalog(
+          "join " + relations_[join.left].name + "-" +
+          relations_[join.right].name + " has selectivity " +
+          std::to_string(join.selectivity) + "; must be in (0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryGraph> Catalog::BuildQueryGraph() const {
+  JOINOPT_RETURN_IF_ERROR(Validate());
   QueryGraph graph;
   for (const RelationInfo& relation : relations_) {
     Result<int> added = graph.AddRelation(relation.cardinality, relation.name);
@@ -61,6 +106,16 @@ Result<QueryGraph> Catalog::BuildQueryGraph() const {
   for (const JoinInfo& join : joins_) {
     JOINOPT_RETURN_IF_ERROR(
         graph.AddEdge(join.left, join.right, join.selectivity));
+  }
+  // Test-only: the "catalog returns adversarial statistics" fault point.
+  // Fires after validation on purpose — it models a catalog whose checks
+  // passed but whose stats pipeline later handed the optimizer garbage,
+  // which the optimizer prologue must catch (kDegenerateStatistics).
+  if (JOINOPT_UNLIKELY(testing::FaultInjector::Instance().enabled()) &&
+      testing::FaultInjector::Instance().ShouldFire(
+          testing::FaultPoint::kAdversarialStats)) {
+    testing::StatsCorruptor::SetCardinality(
+        graph, 0, std::numeric_limits<double>::quiet_NaN());
   }
   return graph;
 }

@@ -22,7 +22,8 @@ class Catalog {
   Catalog() = default;
 
   /// Registers a relation. Names must be unique and non-empty;
-  /// cardinality must be positive. Returns the relation's index.
+  /// cardinality must be finite and positive. Returns the relation's
+  /// index.
   Result<int> AddRelation(std::string name, double cardinality);
 
   /// Declares a join predicate between two previously registered relations
@@ -36,8 +37,23 @@ class Catalog {
   /// Number of registered relations.
   int relation_count() const { return static_cast<int>(relations_.size()); }
 
+  /// Holistic re-validation of everything the mutators enforced
+  /// incrementally: at least one relation, unique non-empty names, finite
+  /// positive cardinalities, join endpoints in range, selectivities in
+  /// (0, 1]. Failures are kInvalidCatalog. Every loader (DSL, SQL front
+  /// end) calls this before handing the catalog out, so a catalog that
+  /// reaches an optimizer has one documented invariant regardless of how
+  /// it was built or what later code (statistics refresh, fault
+  /// injection) touched it.
+  Status Validate() const;
+
   /// Lowers the catalog into a QueryGraph (relation i of the graph is the
-  /// i-th registered relation). Fails if no relation was registered.
+  /// i-th registered relation). Validates first; fails with
+  /// kInvalidCatalog if the catalog is malformed. When the
+  /// kAdversarialStats fault point is armed (test-only), the returned
+  /// graph's statistics are deliberately corrupted AFTER validation — the
+  /// downstream optimizer prologue must then reject the graph with
+  /// kDegenerateStatistics.
   Result<QueryGraph> BuildQueryGraph() const;
 
  private:

@@ -93,8 +93,13 @@ Result<OptimizationResult> AdaptiveOptimizer::Optimize(
     }
     fallback_from += ladder[rung];
     if (JOINOPT_UNLIKELY(options.trace != nullptr)) {
-      options.trace->OnFallback(ladder[rung], ladder[rung + 1],
-                                result.status());
+      ctx.governor().GuardedTrace([&] {
+        options.trace->OnFallback(ladder[rung], ladder[rung + 1],
+                                  result.status());
+      });
+      if (JOINOPT_UNLIKELY(ctx.exhausted())) {
+        return ctx.limit_status();
+      }
     }
   }
   JOINOPT_RETURN_IF_ERROR(result.status());

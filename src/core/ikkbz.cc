@@ -1,8 +1,11 @@
 #include "core/ikkbz.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
+
+#include "cost/saturation.h"
 
 namespace joinopt {
 
@@ -16,8 +19,15 @@ struct Module {
   double c = 0.0;
   std::vector<int> relations;
 
-  /// (T - 1) / C, the ASI rank. C > 0 for every real module.
-  double Rank() const { return (t - 1.0) / c; }
+  /// (T - 1) / C, the ASI rank. C > 0 for every real module. Saturated
+  /// statistics can drive T and C to the ceiling together, where the
+  /// quotient degenerates to NaN — mapped to a neutral 0 rank, because a
+  /// NaN in the comparator below would break stable_sort's strict weak
+  /// ordering (undefined behavior, not just a bad ordering).
+  double Rank() const {
+    const double rank = (t - 1.0) / c;
+    return std::isnan(rank) ? 0.0 : rank;
+  }
 };
 
 /// Concatenation: C(AB) = C(A) + T(A)·C(B), T(AB) = T(A)·T(B).
@@ -149,8 +159,9 @@ Result<std::vector<int>> IkkbzLinearize(const QueryGraph& graph,
     double cardinality = graph.cardinality(root);
     double cost = 0.0;
     for (int k = 1; k < n; ++k) {
-      cardinality *= tree.t[sequence[k]];
-      cost += cardinality;
+      // Saturation keeps inf/NaN out of the best-root comparison below.
+      cardinality = SaturateCardinality(cardinality * tree.t[sequence[k]]);
+      cost = SaturateCost(cost + cardinality);
     }
     if (cost < best_cost) {
       best_cost = cost;

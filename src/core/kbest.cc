@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cost/cardinality.h"
+#include "cost/saturation.h"
 #include "enumerate/cmp.h"
 #include "graph/bfs_numbering.h"
 #include "graph/connectivity.h"
@@ -116,8 +117,9 @@ Result<std::vector<RankedPlan>> KBestJoinOrderer::Optimize(
     const SetPlans& right = memo.at(s2);
     SetPlans& combined = memo[s1 | s2];
     if (combined.cardinality == 0.0) {
-      combined.cardinality = estimator.JoinCardinality(
-          s1, left.cardinality, s2, right.cardinality);
+      // Canonical per-set estimate, matching CreateJoinTree (the
+      // incremental join formula is split-dependent under saturation).
+      combined.cardinality = estimator.EstimateSet(s1 | s2);
       // The memo plays the plan table's role here, so the memo budget
       // counts its entries.
       if (!ctx.WithinMemoBudget(memo.size())) {
@@ -131,18 +133,20 @@ Result<std::vector<RankedPlan>> KBestJoinOrderer::Optimize(
         // Both operand orders.
         Offer(&combined,
               RankedEntry{
-                  subtree_cost + cost_model.JoinCost(left.cardinality,
-                                                     right.cardinality,
-                                                     combined.cardinality),
+                  SaturateCost(subtree_cost +
+                               cost_model.JoinCost(left.cardinality,
+                                                   right.cardinality,
+                                                   combined.cardinality)),
                   s1, s2, li, ri,
                   cost_model.OperatorFor(left.cardinality, right.cardinality,
                                          combined.cardinality)},
               k_);
         Offer(&combined,
               RankedEntry{
-                  subtree_cost + cost_model.JoinCost(right.cardinality,
-                                                     left.cardinality,
-                                                     combined.cardinality),
+                  SaturateCost(subtree_cost +
+                               cost_model.JoinCost(right.cardinality,
+                                                   left.cardinality,
+                                                   combined.cardinality)),
                   s2, s1, ri, li,
                   cost_model.OperatorFor(right.cardinality, left.cardinality,
                                          combined.cardinality)},

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "cost/saturation.h"
 #include "enumerate/csg.h"
 #include "graph/connectivity.h"
 
@@ -38,6 +39,7 @@ Status ValidateOptimizerInput(const QueryGraph& graph,
   if (graph.relation_count() == 0) {
     return Status::InvalidArgument("query graph has no relations");
   }
+  JOINOPT_RETURN_IF_ERROR(ValidateGraphStatistics(graph));
   if (require_connected && !IsConnectedGraph(graph)) {
     return Status::FailedPrecondition(
         "query graph is disconnected; cross-product-free join trees do not "
@@ -52,7 +54,11 @@ Status BeginOptimize(OptimizerContext& ctx, std::string_view algorithm,
       ValidateOptimizerInput(ctx.graph(), require_connected));
   ctx.stats().algorithm = std::string(algorithm);
   if (JOINOPT_UNLIKELY(ctx.has_trace())) {
-    ctx.options().trace->OnAlgorithmStart(algorithm, ctx.graph());
+    ctx.governor().GuardedTrace(
+        [&] { ctx.options().trace->OnAlgorithmStart(algorithm, ctx.graph()); });
+    if (JOINOPT_UNLIKELY(ctx.exhausted())) {
+      return ctx.limit_status();
+    }
   }
   return Status::OK();
 }
@@ -94,26 +100,34 @@ bool CreateJoinTree(OptimizerContext& ctx, NodeSet s1, NodeSet s2) {
   const NodeSet combined = s1 | s2;
   PlanEntry& entry = table.GetOrCreate(combined);
   // Under the independence model |⋈ S| is plan-independent, so the
-  // crossing-edge selectivity scan runs only the FIRST time a set is
-  // reached; later combinations reuse the stored estimate. On dense
-  // graphs (clique-20: 1.7e9 pairs, 1e6 sets) this is the difference
-  // between minutes and seconds.
+  // selectivity scan runs only the FIRST time a set is reached; later
+  // combinations reuse the stored estimate. On dense graphs (clique-20:
+  // 1.7e9 pairs, 1e6 sets) this is the difference between minutes and
+  // seconds. The estimate is the CANONICAL per-set product (EstimateSet,
+  // fixed evaluation order) rather than the incremental
+  // card(s1)·card(s2)·sel(s1,s2): algebraically identical, but under
+  // ceiling-clamped saturation the incremental form depends on which
+  // split reached the set first, which would let different enumeration
+  // orders — and the plan validator — disagree on the same set.
   double out_card;
   bool keep_going = true;
   if (entry.has_plan()) {
     out_card = entry.cardinality;
   } else {
-    out_card =
-        ctx.estimator().JoinCardinality(s1, left_card, s2, right_card);
+    out_card = ctx.estimator().EstimateSet(combined);
     entry.cardinality = out_card;
     table.NotePopulated();
     stats.plans_stored = table.populated_count();
     keep_going = ctx.WithinMemoBudget(table.populated_count());
   }
 
-  const double cost =
+  // Saturated: with ceiling-clamped costs `cost < entry.cost` stays a
+  // meaningful comparison even when adversarial statistics overflow —
+  // inf would freeze entries at "unimprovable" and NaN would corrupt the
+  // min (see cost/saturation.h).
+  const double cost = SaturateCost(
       left_cost + right_cost +
-      ctx.cost_model().JoinCost(left_card, right_card, out_card);
+      ctx.cost_model().JoinCost(left_card, right_card, out_card));
   if (cost < entry.cost) {
     entry.left = s1;
     entry.right = s2;

@@ -2,7 +2,38 @@
 
 #include <cstdio>
 
+#include "testing/fault_injection.h"
+
 namespace joinopt {
+
+ResourceGovernor::ResourceGovernor(const OptimizeOptions& options)
+    : options_(options),
+      unlimited_deadline_(options.deadline_seconds <= 0),
+      fault_mode_(testing::FaultInjector::Instance().enabled()) {}
+
+void ResourceGovernor::NoteDeadlineFault() {
+  testing::FaultInjector& injector = testing::FaultInjector::Instance();
+  if (!exhausted_ &&
+      injector.ShouldFire(testing::FaultPoint::kDeadline)) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "fault injection: deadline fired at enumeration tick %llu",
+                  static_cast<unsigned long long>(
+                      injector.arrivals(testing::FaultPoint::kDeadline)));
+    InjectFailure(Status::BudgetExceeded(msg));
+  }
+}
+
+void ResourceGovernor::NoteAllocFault(uint64_t populated) {
+  if (!exhausted_ && testing::FaultInjector::Instance().ShouldFire(
+                         testing::FaultPoint::kArenaAlloc)) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "fault injection: memo arena allocation failed at entry %llu",
+                  static_cast<unsigned long long>(populated));
+    InjectFailure(Status::Internal(msg));
+  }
+}
 
 bool ResourceGovernor::TickSlow() {
   tick_countdown_ = kTickInterval;

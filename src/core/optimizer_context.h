@@ -117,13 +117,17 @@ struct OptimizeOptions {
 /// carries the kBudgetExceeded explanation.
 class ResourceGovernor {
  public:
-  explicit ResourceGovernor(const OptimizeOptions& options)
-      : options_(options), unlimited_deadline_(options.deadline_seconds <= 0) {}
+  explicit ResourceGovernor(const OptimizeOptions& options);
 
   /// Amortized deadline check for hot loops: a countdown decrement on the
   /// fast path, a clock read once every kTickInterval calls. Returns the
   /// sticky exhausted flag so one call per iteration covers both limits.
+  /// With fault injection armed (test-only), every tick also consults the
+  /// kDeadline fault point so a deadline can fire at an exact step.
   bool Tick() {
+    if (JOINOPT_UNLIKELY(fault_mode_)) {
+      NoteDeadlineFault();
+    }
     if (JOINOPT_LIKELY(--tick_countdown_ != 0)) {
       return exhausted_;
     }
@@ -132,8 +136,13 @@ class ResourceGovernor {
 
   /// Memo-budget check, called whenever a new memo entry was populated
   /// with `populated` the new total. Returns false once the budget is
-  /// exceeded (sticky, like Tick).
+  /// exceeded (sticky, like Tick). With fault injection armed this is
+  /// also the kArenaAlloc point: a scheduled allocation failure trips the
+  /// governor with kInternal.
   bool WithinMemoBudget(uint64_t populated) {
+    if (JOINOPT_UNLIKELY(fault_mode_)) {
+      NoteAllocFault(populated);
+    }
     if (JOINOPT_LIKELY(options_.memo_entry_budget == 0 ||
                        populated <= options_.memo_entry_budget)) {
       return !exhausted_;
@@ -141,10 +150,35 @@ class ResourceGovernor {
     return !TripMemoBudget(populated);
   }
 
+  /// Trips the governor with an externally detected failure (an injected
+  /// fault, a trace sink that threw). Sticky like the limits; the first
+  /// failure wins.
+  void InjectFailure(Status status) {
+    if (!exhausted_) {
+      exhausted_ = true;
+      limit_status_ = std::move(status);
+    }
+  }
+
+  /// Runs a user trace callback, containing any escaping exception: the
+  /// library itself is exception-free, but a TraceSink is user code. An
+  /// exception trips the governor with kInternal, so the run unwinds
+  /// through the normal limit path instead of crashing.
+  template <typename Fn>
+  void GuardedTrace(Fn&& fn) {
+    try {
+      fn();
+    } catch (...) {
+      InjectFailure(Status::Internal(
+          "user trace sink threw an exception; optimization aborted"));
+    }
+  }
+
   /// True once any limit has tripped.
   bool exhausted() const { return exhausted_; }
 
-  /// kBudgetExceeded with the triggering limit, or OK while within limits.
+  /// kBudgetExceeded with the triggering limit (kInternal for injected
+  /// failures), or OK while within limits.
   const Status& limit_status() const { return limit_status_; }
 
   const OptimizeOptions& options() const { return options_; }
@@ -154,6 +188,8 @@ class ResourceGovernor {
  private:
   bool TickSlow();
   bool TripMemoBudget(uint64_t populated);
+  void NoteDeadlineFault();
+  void NoteAllocFault(uint64_t populated);
 
   static constexpr uint32_t kTickInterval = 8192;
 
@@ -161,6 +197,9 @@ class ResourceGovernor {
   Stopwatch stopwatch_;
   uint32_t tick_countdown_ = kTickInterval;
   bool unlimited_deadline_;
+  /// Cached FaultInjector::enabled() so un-faulted runs pay one predicted
+  /// branch per tick.
+  bool fault_mode_;
   bool exhausted_ = false;
   Status limit_status_;
 };
@@ -228,21 +267,39 @@ class OptimizerContext {
   const Status& limit_status() const { return governor_.limit_status(); }
   double ElapsedSeconds() const { return governor_.ElapsedSeconds(); }
 
-  /// Trace shorthands with the null-sink fast path inlined.
+  /// Re-arms a context for another Optimize call. The context is
+  /// single-use by default because the governor's limit state is sticky
+  /// and the memo carries the previous run; this resets both (fresh
+  /// governor under `options`, empty table, zeroed stats) without
+  /// re-binding the graph or cost model — the recovery path after a
+  /// kBudgetExceeded run (see the re-entrancy tests).
+  void ResetForRerun(const OptimizeOptions& options = OptimizeOptions()) {
+    governor_ = ResourceGovernor(options);
+    stats_ = OptimizerStats();
+    table_ = PlanTable(0);
+    ResetWorkGraph();
+  }
+
+  /// Trace shorthands with the null-sink fast path inlined. Dispatch is
+  /// exception-guarded: a throwing sink trips the governor with kInternal
+  /// instead of propagating (see ResourceGovernor::GuardedTrace).
   bool has_trace() const { return options().trace != nullptr; }
   void TraceCsgCmpPair(NodeSet s1, NodeSet s2) {
     if (JOINOPT_UNLIKELY(has_trace())) {
-      options().trace->OnCsgCmpPair(s1, s2);
+      governor_.GuardedTrace(
+          [&] { options().trace->OnCsgCmpPair(s1, s2); });
     }
   }
   void TracePlanInserted(NodeSet s, double cost, double cardinality) {
     if (JOINOPT_UNLIKELY(has_trace())) {
-      options().trace->OnPlanInserted(s, cost, cardinality);
+      governor_.GuardedTrace(
+          [&] { options().trace->OnPlanInserted(s, cost, cardinality); });
     }
   }
   void TracePruned(NodeSet s, double rejected_cost, double best_cost) {
     if (JOINOPT_UNLIKELY(has_trace())) {
-      options().trace->OnPruned(s, rejected_cost, best_cost);
+      governor_.GuardedTrace(
+          [&] { options().trace->OnPruned(s, rejected_cost, best_cost); });
     }
   }
 

@@ -8,7 +8,7 @@ double CardinalityEstimator::EstimateSet(NodeSet s) const {
   for (int v : s) {
     cardinality *= graph_->cardinality(v);
   }
-  return cardinality * graph_->SelectivityWithin(s);
+  return SaturateCardinality(cardinality * graph_->SelectivityWithin(s));
 }
 
 }  // namespace joinopt

@@ -2,6 +2,7 @@
 #define JOINOPT_COST_CARDINALITY_H_
 
 #include "bitset/node_set.h"
+#include "cost/saturation.h"
 #include "graph/query_graph.h"
 
 namespace joinopt {
@@ -18,22 +19,33 @@ namespace joinopt {
 ///
 /// is algebraically identical; JoinCardinality computes it from the two
 /// operand estimates, and EstimateSet recomputes a set's estimate from
-/// scratch (the plan validator uses the latter to cross-check the former).
+/// scratch in a fixed evaluation order.
+///
+/// The two forms part ways once saturation clamps (cost/saturation.h):
+/// the incremental form then depends on which split reached the set
+/// first, i.e. on enumeration order. The memoizing DPs and the plan
+/// validator therefore use EstimateSet — the canonical, split-invariant
+/// value — and JoinCardinality remains for order-insensitive uses
+/// (greedy pair selection, cross-product variants).
 class CardinalityEstimator {
  public:
   /// The estimator borrows `graph`; the graph must outlive it.
   explicit CardinalityEstimator(const QueryGraph& graph) : graph_(&graph) {}
 
-  /// From-scratch estimate of |⋈ s|. Requires a non-empty set.
+  /// From-scratch estimate of |⋈ s|. Requires a non-empty set. Saturated
+  /// into [0, kCardinalityCeiling]; see cost/saturation.h.
   double EstimateSet(NodeSet s) const;
 
   /// Incremental estimate of |S1 ⋈ S2| from operand estimates. The sets
   /// must be disjoint. If no edge crosses the cut, this degenerates to the
   /// cross-product cardinality — the cross-product-enabled algorithm
-  /// variants rely on that.
+  /// variants rely on that. Saturated into [0, kCardinalityCeiling] so
+  /// overflowing statistics can never feed inf/NaN into a plan-cost
+  /// comparison.
   double JoinCardinality(NodeSet s1, double card1, NodeSet s2,
                          double card2) const {
-    return card1 * card2 * graph_->SelectivityBetween(s1, s2);
+    return SaturateCardinality(card1 * card2 *
+                               graph_->SelectivityBetween(s1, s2));
   }
 
  private:

@@ -1,0 +1,53 @@
+#ifndef JOINOPT_COST_SATURATION_H_
+#define JOINOPT_COST_SATURATION_H_
+
+#include "util/macros.h"
+
+namespace joinopt {
+
+/// Finite ceiling for every cardinality and cost the optimizer computes.
+///
+/// Adversarial-but-legal statistics (cardinalities near DBL_MAX,
+/// selectivities near DBL_MIN) make the DP's products and sums overflow
+/// to inf, and inf poisons plan-cost comparisons: `inf < inf` is false,
+/// so a memo entry whose first candidate overflowed can never be
+/// improved, and a whole run can terminate "successfully" with no plan
+/// for the root set. Saturating at a large finite ceiling keeps every
+/// comparison a total order over reachable values: saturated plans stay
+/// comparable (ties break toward the incumbent, as everywhere else in
+/// the DP) and the run always completes with a structurally valid tree.
+///
+/// The ceiling is far above any meaningful estimate (1e300, within a
+/// factor ~1e8 of DBL_MAX) so saturation only engages on degenerate
+/// inputs; ordinary workloads never observe it.
+inline constexpr double kCardinalityCeiling = 1e300;
+inline constexpr double kCostCeiling = 1e300;
+
+/// Clamps a computed cardinality or cost into [0, ceiling]. NaN (which
+/// compares false against everything) maps to the ceiling: it can only
+/// arise from degenerate arithmetic on already-saturated operands (e.g.
+/// ceiling * 0), and pricing such a plan as maximally expensive keeps it
+/// comparable without letting it win.
+inline double SaturateCardinality(double x) {
+  if (JOINOPT_UNLIKELY(!(x < kCardinalityCeiling))) {
+    return kCardinalityCeiling;  // Catches +inf, NaN, and >= ceiling.
+  }
+  if (JOINOPT_UNLIKELY(x < 0.0)) {
+    return 0.0;
+  }
+  return x;
+}
+
+inline double SaturateCost(double x) {
+  if (JOINOPT_UNLIKELY(!(x < kCostCeiling))) {
+    return kCostCeiling;
+  }
+  if (JOINOPT_UNLIKELY(x < 0.0)) {
+    return 0.0;
+  }
+  return x;
+}
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COST_SATURATION_H_

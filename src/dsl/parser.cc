@@ -101,6 +101,10 @@ Result<Catalog> ParseQuerySpec(std::string_view text) {
   if (catalog.relation_count() == 0) {
     return Status::InvalidArgument("query spec declares no relations");
   }
+  // Line-level checks above catch each error where it happens; this is
+  // the loader-boundary contract check (kInvalidCatalog) every loader
+  // runs before handing a catalog out.
+  JOINOPT_RETURN_IF_ERROR(catalog.Validate());
   return catalog;
 }
 

@@ -1,5 +1,6 @@
 #include "graph/query_graph.h"
 
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -22,8 +23,8 @@ Result<int> QueryGraph::AddRelation(double cardinality, std::string name) {
   if (relation_count() >= kMaxRelations) {
     return Status::OutOfRange("graph already holds 64 relations");
   }
-  if (!(cardinality > 0.0)) {
-    return Status::InvalidArgument("cardinality must be positive");
+  if (!(cardinality > 0.0) || !std::isfinite(cardinality)) {
+    return Status::InvalidArgument("cardinality must be finite and positive");
   }
   const int index = relation_count();
   cardinalities_.push_back(cardinality);
@@ -95,6 +96,27 @@ double QueryGraph::SelectivityWithin(NodeSet s) const {
     }
   }
   return product;
+}
+
+Status ValidateGraphStatistics(const QueryGraph& graph) {
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    const double card = graph.cardinality(i);
+    if (!(card > 0.0) || !std::isfinite(card)) {
+      return Status::DegenerateStatistics(
+          "relation '" + graph.name(i) + "' has cardinality " +
+          std::to_string(card) + "; must be finite and positive");
+    }
+  }
+  for (const JoinEdge& edge : graph.edges()) {
+    // !(s > 0) also catches NaN; s > 1 catches +inf.
+    if (!(edge.selectivity > 0.0) || edge.selectivity > 1.0) {
+      return Status::DegenerateStatistics(
+          "edge " + graph.name(edge.left) + "-" + graph.name(edge.right) +
+          " has selectivity " + std::to_string(edge.selectivity) +
+          "; must be in (0, 1]");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace joinopt

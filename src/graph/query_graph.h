@@ -9,6 +9,10 @@
 
 namespace joinopt {
 
+namespace testing {
+class StatsCorruptor;  // Validation-bypassing backdoor; see src/testing.
+}  // namespace testing
+
 /// An undirected join edge between two relations, annotated with the join
 /// predicate's selectivity. Joining plans for S1 and S2 multiplies in the
 /// selectivities of all edges crossing the cut (S1, S2).
@@ -37,8 +41,8 @@ class QueryGraph {
   /// and no edges. Requires 0 <= n <= kMaxRelations.
   static Result<QueryGraph> WithRelations(int n, double cardinality = 1000.0);
 
-  /// Adds a relation with the given base cardinality (> 0); returns its
-  /// index. Fails when the graph is full (kMaxRelations).
+  /// Adds a relation with the given base cardinality (finite and > 0);
+  /// returns its index. Fails when the graph is full (kMaxRelations).
   Result<int> AddRelation(double cardinality, std::string name = "");
 
   /// Adds an undirected join edge between distinct relations `u` and `v`
@@ -102,6 +106,8 @@ class QueryGraph {
   double SelectivityWithin(NodeSet s) const;
 
  private:
+  friend class testing::StatsCorruptor;
+
   std::vector<double> cardinalities_;
   std::vector<std::string> names_;
   std::vector<JoinEdge> edges_;
@@ -109,6 +115,17 @@ class QueryGraph {
   /// edge_ids_[v] lists indices into edges_ of the edges incident to v.
   std::vector<std::vector<int>> edge_ids_;
 };
+
+/// Re-checks every statistic the optimizers will price plans with:
+/// cardinalities must be finite and strictly positive, selectivities in
+/// (0, 1]. The builder mutators enforce this at insertion, so a graph
+/// built through the public API always passes; the check exists because
+/// statistics can also arrive from outside the builders (a corrupted or
+/// fault-injected catalog, a deserialized graph, a future stats refresh)
+/// and a single inf/NaN silently poisons every cost comparison
+/// downstream. Every optimizer prologue calls this; failures are
+/// kDegenerateStatistics.
+Status ValidateGraphStatistics(const QueryGraph& graph);
 
 }  // namespace joinopt
 

@@ -1,8 +1,10 @@
 #include "hyper/dphyp.h"
 
+#include <cmath>
 #include <utility>
 
 #include "bitset/subset_iterator.h"
+#include "cost/saturation.h"
 
 namespace joinopt {
 
@@ -61,7 +63,10 @@ class DPhypRunner {
       entry.cardinality = graph_.cardinality(i);
       table_.NotePopulated();
       if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
-        trace_->OnPlanInserted(NodeSet::Singleton(i), 0.0, entry.cardinality);
+        governor_.GuardedTrace([&] {
+          trace_->OnPlanInserted(NodeSet::Singleton(i), 0.0,
+                                 entry.cardinality);
+        });
       }
     }
     stats_.plans_stored = table_.populated_count();
@@ -162,7 +167,7 @@ class DPhypRunner {
     ++stats_.inner_counter;
     ++stats_.ono_lohman_counter;
     if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
-      trace_->OnCsgCmpPair(s1, s2);
+      governor_.GuardedTrace([&] { trace_->OnCsgCmpPair(s1, s2); });
     }
 
     const PlanEntry* left = table_.Find(s1);
@@ -175,25 +180,35 @@ class DPhypRunner {
 
     bool keep_going = true;
     PlanEntry& entry = table_.GetOrCreate(s1 | s2);
-    // |⋈ S| is plan-independent: scan the crossing edges only on first
-    // reach of the set (see core/optimizer.cc for the rationale).
+    // |⋈ S| is plan-independent: estimate only on first reach of the
+    // set, and use the CANONICAL per-set product (same evaluation order
+    // as CardinalityEstimator::EstimateSet over the lifted query graph)
+    // so saturated estimates agree bit-for-bit with the graph-based DPs
+    // and the plan validator (see core/optimizer.cc for the rationale).
     double out_card;
     if (entry.has_plan()) {
       out_card = entry.cardinality;
     } else {
-      out_card = left_card * right_card * graph_.SelectivityBetween(s1, s2);
+      const NodeSet combined = s1 | s2;
+      double product = 1.0;
+      for (const int v : combined) {
+        product *= graph_.cardinality(v);
+      }
+      out_card =
+          SaturateCardinality(product * graph_.SelectivityWithin(combined));
       entry.cardinality = out_card;
       table_.NotePopulated();
       stats_.plans_stored = table_.populated_count();
       keep_going = governor_.WithinMemoBudget(table_.populated_count());
     }
 
-    const double cost_lr =
+    // Saturated like core CreateJoinTree; see cost/saturation.h.
+    const double cost_lr = SaturateCost(
         left_cost + right_cost +
-        cost_model_.JoinCost(left_card, right_card, out_card);
-    const double cost_rl =
+        cost_model_.JoinCost(left_card, right_card, out_card));
+    const double cost_rl = SaturateCost(
         left_cost + right_cost +
-        cost_model_.JoinCost(right_card, left_card, out_card);
+        cost_model_.JoinCost(right_card, left_card, out_card));
     stats_.create_join_tree_calls += 2;
 
     if (cost_lr < entry.cost) {
@@ -202,10 +217,12 @@ class DPhypRunner {
       entry.cost = cost_lr;
       entry.op = cost_model_.OperatorFor(left_card, right_card, out_card);
       if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
-        trace_->OnPlanInserted(s1 | s2, cost_lr, out_card);
+        governor_.GuardedTrace(
+            [&] { trace_->OnPlanInserted(s1 | s2, cost_lr, out_card); });
       }
     } else if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
-      trace_->OnPruned(s1 | s2, cost_lr, entry.cost);
+      governor_.GuardedTrace(
+          [&] { trace_->OnPruned(s1 | s2, cost_lr, entry.cost); });
     }
     if (cost_rl < entry.cost) {
       entry.left = s2;
@@ -213,10 +230,12 @@ class DPhypRunner {
       entry.cost = cost_rl;
       entry.op = cost_model_.OperatorFor(right_card, left_card, out_card);
       if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
-        trace_->OnPlanInserted(s1 | s2, cost_rl, out_card);
+        governor_.GuardedTrace(
+            [&] { trace_->OnPlanInserted(s1 | s2, cost_rl, out_card); });
       }
     } else if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
-      trace_->OnPruned(s1 | s2, cost_rl, entry.cost);
+      governor_.GuardedTrace(
+          [&] { trace_->OnPruned(s1 | s2, cost_rl, entry.cost); });
     }
     return keep_going && !governor_.Tick();
   }
@@ -231,12 +250,40 @@ class DPhypRunner {
 
 }  // namespace
 
+namespace {
+
+/// Hypergraph twin of ValidateGraphStatistics: rejects non-finite /
+/// non-positive cardinalities and out-of-range selectivities before they
+/// reach a plan-cost comparison.
+Status ValidateHypergraphStatistics(const Hypergraph& graph) {
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    const double card = graph.cardinality(i);
+    if (!(card > 0.0) || !std::isfinite(card)) {
+      return Status::DegenerateStatistics(
+          "relation '" + graph.name(i) + "' has cardinality " +
+          std::to_string(card) + "; must be finite and positive");
+    }
+  }
+  for (const HyperEdge& edge : graph.edges()) {
+    if (!(edge.selectivity > 0.0) || edge.selectivity > 1.0) {
+      return Status::DegenerateStatistics(
+          "hyperedge " + edge.left.ToString() + "-" + edge.right.ToString() +
+          " has selectivity " + std::to_string(edge.selectivity) +
+          "; must be in (0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<OptimizationResult> DPhyp::Optimize(
     const Hypergraph& graph, const CostModel& cost_model,
     const OptimizeOptions& options) const {
   if (graph.relation_count() == 0) {
     return Status::InvalidArgument("hypergraph has no relations");
   }
+  JOINOPT_RETURN_IF_ERROR(ValidateHypergraphStatistics(graph));
   if (!graph.IsConnected()) {
     return Status::FailedPrecondition(
         "hypergraph is disconnected; cross-product-free join trees do not "

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "cost/cardinality.h"
+#include "cost/saturation.h"
 
 namespace joinopt {
 
@@ -72,15 +73,19 @@ Status ValidatePlan(const JoinTree& tree, const QueryGraph& graph,
                               right.relations.ToString() + where);
     }
 
-    const double expected_card = estimator.JoinCardinality(
-        left.relations, left.cardinality, right.relations, right.cardinality);
+    // EstimateSet, not the incremental join formula: the optimizers
+    // memoize the canonical per-set product, and under saturation the
+    // incremental form is split-dependent (see CreateJoinTree).
+    const double expected_card = estimator.EstimateSet(node.relations);
     if (!Close(node.cardinality, expected_card, options.relative_tolerance)) {
       return Status::Internal("cardinality mismatch" + where);
     }
-    const double expected_cost =
+    // Saturated exactly like the optimizers' combine step, so plans
+    // built under ceiling-clamped arithmetic revalidate bit-for-bit.
+    const double expected_cost = SaturateCost(
         left.cost + right.cost +
         cost_model.JoinCost(left.cardinality, right.cardinality,
-                            node.cardinality);
+                            node.cardinality));
     if (!Close(node.cost, expected_cost, options.relative_tolerance)) {
       return Status::Internal("cost mismatch" + where);
     }

@@ -1,0 +1,44 @@
+#include "testing/adversarial.h"
+
+#include <cmath>
+#include <limits>
+
+namespace joinopt {
+namespace testing {
+
+void ApplyExtremeStatistics(QueryGraph& graph, Random& rng) {
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    // Log-uniform over [1, 1e305]: most draws land deep in overflow
+    // territory once a handful are multiplied together.
+    const double exponent = rng.UniformDouble(0.0, 305.0);
+    StatsCorruptor::SetCardinality(graph, i, std::pow(10.0, exponent));
+  }
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    const double exponent = rng.UniformDouble(-305.0, 0.0);
+    // pow(10, 0) == 1.0 keeps the upper bound legal.
+    StatsCorruptor::SetSelectivity(graph, e, std::pow(10.0, exponent));
+  }
+}
+
+void CorruptOneStatistic(QueryGraph& graph, Random& rng) {
+  constexpr double kBadCardinalities[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(), 0.0, -42.0};
+  constexpr double kBadSelectivities[] = {
+      std::numeric_limits<double>::quiet_NaN(), 0.0, 1.5, -0.25};
+  const bool corrupt_edge =
+      graph.edge_count() > 0 && rng.Bernoulli(0.5);
+  if (corrupt_edge) {
+    const int edge = static_cast<int>(rng.Uniform(graph.edge_count()));
+    StatsCorruptor::SetSelectivity(graph, edge,
+                                   kBadSelectivities[rng.Uniform(4)]);
+  } else {
+    const int relation =
+        static_cast<int>(rng.Uniform(graph.relation_count()));
+    StatsCorruptor::SetCardinality(graph, relation,
+                                   kBadCardinalities[rng.Uniform(4)]);
+  }
+}
+
+}  // namespace testing
+}  // namespace joinopt

@@ -1,0 +1,82 @@
+#ifndef JOINOPT_TESTING_ADVERSARIAL_H_
+#define JOINOPT_TESTING_ADVERSARIAL_H_
+
+#include <stdexcept>
+
+#include "core/optimizer_context.h"
+#include "graph/query_graph.h"
+#include "testing/fault_injection.h"
+#include "util/random.h"
+
+namespace joinopt {
+namespace testing {
+
+/// Validation-bypassing statistics writer. QueryGraph's builders reject
+/// non-finite cardinalities and out-of-range selectivities at insertion,
+/// which is exactly right for production — and exactly wrong for testing
+/// the downstream defenses (ValidateGraphStatistics, saturation). This
+/// friend-class backdoor plants the illegal values those defenses exist
+/// to catch. Test-only by construction: it lives in src/testing and no
+/// library code calls it except the kAdversarialStats fault point.
+class StatsCorruptor {
+ public:
+  /// Overwrites relation `i`'s cardinality with an arbitrary double
+  /// (NaN, inf, 0, negative — anything).
+  static void SetCardinality(QueryGraph& graph, int i, double value) {
+    graph.cardinalities_[i] = value;
+  }
+
+  /// Overwrites edge `edge_id`'s selectivity with an arbitrary double.
+  static void SetSelectivity(QueryGraph& graph, int edge_id, double value) {
+    graph.edges_[edge_id].selectivity = value;
+  }
+};
+
+/// Rewrites `graph`'s statistics with legal-but-extreme values drawn from
+/// `rng`: cardinalities up to 1e305 and selectivities down to 1e-305.
+/// Every value passes ValidateGraphStatistics, but products overflow /
+/// underflow almost immediately — the workload the saturating arithmetic
+/// in cost/saturation.h exists for.
+void ApplyExtremeStatistics(QueryGraph& graph, Random& rng);
+
+/// Plants one illegal statistic (chosen by `rng`: NaN, +inf, 0, or a
+/// negative cardinality; 0, >1, or NaN selectivity) into `graph`. Every
+/// optimizer must then fail with kDegenerateStatistics.
+void CorruptOneStatistic(QueryGraph& graph, Random& rng);
+
+/// The exception a hostile TraceSink throws; distinct type so tests can
+/// assert nothing swallows it into a catch(std::runtime_error) elsewhere.
+class TraceSinkError : public std::runtime_error {
+ public:
+  TraceSinkError() : std::runtime_error("injected trace-sink failure") {}
+};
+
+/// A TraceSink that throws TraceSinkError when the kTraceSink fault point
+/// fires (every callback counts one arrival). The library contract under
+/// test: the optimizer converts the escape into kInternal and never
+/// crashes, leaks, or corrupts the memo.
+class ThrowingTraceSink : public TraceSink {
+ public:
+  void OnAlgorithmStart(std::string_view, const QueryGraph&) override {
+    MaybeThrow();
+  }
+  void OnCsgCmpPair(NodeSet, NodeSet) override { MaybeThrow(); }
+  void OnPlanInserted(NodeSet, double, double) override { MaybeThrow(); }
+  void OnPruned(NodeSet, double, double) override { MaybeThrow(); }
+  void OnFallback(std::string_view, std::string_view,
+                  const Status&) override {
+    MaybeThrow();
+  }
+
+ private:
+  static void MaybeThrow() {
+    if (FaultInjector::Instance().ShouldFire(FaultPoint::kTraceSink)) {
+      throw TraceSinkError();
+    }
+  }
+};
+
+}  // namespace testing
+}  // namespace joinopt
+
+#endif  // JOINOPT_TESTING_ADVERSARIAL_H_

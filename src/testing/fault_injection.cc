@@ -1,0 +1,114 @@
+#include "testing/fault_injection.h"
+
+#include <cstdlib>
+
+namespace joinopt {
+namespace testing {
+
+namespace {
+
+/// SplitMix64: the step schedule for seed mode. Deliberately independent
+/// of util/random.h so reseeding the workload generators cannot shift
+/// fault schedules (and vice versa).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t EnvU64(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : 0;
+}
+
+FaultConfig ConfigFromEnv() {
+  FaultConfig config;
+  config.seed = EnvU64("JOINOPT_FAULT_SEED");
+  config.at(FaultPoint::kArenaAlloc) = EnvU64("JOINOPT_FAULT_ALLOC_AT");
+  config.at(FaultPoint::kTraceSink) = EnvU64("JOINOPT_FAULT_TRACE_AT");
+  config.at(FaultPoint::kDeadline) = EnvU64("JOINOPT_FAULT_DEADLINE_AT");
+  config.at(FaultPoint::kAdversarialStats) = EnvU64("JOINOPT_FAULT_STATS_AT");
+  return config;
+}
+
+}  // namespace
+
+std::string_view FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kArenaAlloc:
+      return "arena_alloc";
+    case FaultPoint::kTraceSink:
+      return "trace_sink";
+    case FaultPoint::kDeadline:
+      return "deadline";
+    case FaultPoint::kAdversarialStats:
+      return "adversarial_stats";
+  }
+  return "unknown";
+}
+
+bool FaultConfig::armed() const {
+  if (seed != 0) {
+    return true;
+  }
+  for (const uint64_t step : fire_at) {
+    if (step != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+FaultInjector::FaultInjector() { Configure(ConfigFromEnv()); }
+
+void FaultInjector::Configure(const FaultConfig& config) {
+  config_ = config;
+  if (config_.seed != 0) {
+    // Materialize the seed-derived steps so config() reports the actual
+    // schedule and explicit steps keep priority over the seed.
+    for (int p = 0; p < kFaultPointCount; ++p) {
+      if (config_.fire_at[p] == 0) {
+        const uint64_t horizon =
+            config_.seed_horizon != 0 ? config_.seed_horizon : 1;
+        config_.fire_at[p] =
+            1 + SplitMix64(config_.seed * kFaultPointCount + p) % horizon;
+      }
+    }
+  }
+  for (int p = 0; p < kFaultPointCount; ++p) {
+    arrivals_[p] = 0;
+    fired_[p] = false;
+  }
+  enabled_ = config_.armed();
+}
+
+void FaultInjector::Disable() { Configure(FaultConfig()); }
+
+bool FaultInjector::ShouldFire(FaultPoint point) {
+  const int p = static_cast<int>(point);
+  ++arrivals_[p];
+  if (fired_[p] || config_.fire_at[p] == 0 ||
+      arrivals_[p] != config_.fire_at[p]) {
+    return false;
+  }
+  fired_[p] = true;
+  return true;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultConfig& config)
+    : previous_(FaultInjector::Instance().config()) {
+  FaultInjector::Instance().Configure(config);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::Instance().Configure(previous_);
+}
+
+}  // namespace testing
+}  // namespace joinopt

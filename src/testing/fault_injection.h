@@ -1,0 +1,131 @@
+#ifndef JOINOPT_TESTING_FAULT_INJECTION_H_
+#define JOINOPT_TESTING_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace joinopt {
+namespace testing {
+
+/// The library's fault-injection points. Each names a place where a
+/// production deployment can fail mid-run and where the library promises
+/// a typed Status instead of a crash:
+///
+///   kArenaAlloc        populating a new memo entry fails (allocation
+///                      failure / arena exhaustion). Consulted by
+///                      ResourceGovernor::WithinMemoBudget, so it covers
+///                      every orderer including DPhyp.
+///   kTraceSink         a user-installed TraceSink throws. Consulted by
+///                      testing::ThrowingTraceSink; the library-side
+///                      handling (catch + kInternal) lives in
+///                      OptimizerContext / DPhyp regardless of this knob.
+///   kDeadline          the wall clock fires at an exact enumeration
+///                      step. Consulted by ResourceGovernor::Tick,
+///                      bypassing the amortized 8k-step countdown so the
+///                      trip point is deterministic.
+///   kAdversarialStats  the catalog hands the optimizer degenerate
+///                      statistics. Consulted by
+///                      Catalog::BuildQueryGraph, which corrupts one
+///                      cardinality to NaN after lowering — downstream
+///                      validation must reject it as
+///                      kDegenerateStatistics.
+enum class FaultPoint : int {
+  kArenaAlloc = 0,
+  kTraceSink,
+  kDeadline,
+  kAdversarialStats,
+};
+inline constexpr int kFaultPointCount = 4;
+
+/// Returns the stable lower_snake name of a point ("arena_alloc", ...).
+std::string_view FaultPointName(FaultPoint point);
+
+/// A deterministic fault schedule: for each point, the 1-based arrival
+/// count at which it fires (0 = never). When `seed` is non-zero, every
+/// point left at 0 gets a pseudo-random firing step derived from
+/// (seed, point) in [1, seed_horizon] — the "seed-scheduled" mode the
+/// differential fuzzer sweeps.
+struct FaultConfig {
+  uint64_t seed = 0;
+  uint64_t seed_horizon = 4096;
+  uint64_t fire_at[kFaultPointCount] = {0, 0, 0, 0};
+
+  uint64_t& at(FaultPoint point) { return fire_at[static_cast<int>(point)]; }
+
+  /// True when any point can ever fire.
+  bool armed() const;
+};
+
+/// Process-wide deterministic fault injector.
+///
+/// Disabled (the default) it costs the instrumented code paths one
+/// predicted branch on a cached bool. Tests arm it through
+/// ScopedFaultInjection; standalone binaries arm it through the
+/// environment, read once at first use:
+///
+///   JOINOPT_FAULT_SEED=<u64>        seed-schedule all points
+///   JOINOPT_FAULT_ALLOC_AT=<k>      fire kArenaAlloc on its k-th arrival
+///   JOINOPT_FAULT_TRACE_AT=<k>      fire kTraceSink on its k-th arrival
+///   JOINOPT_FAULT_DEADLINE_AT=<k>   fire kDeadline on its k-th arrival
+///   JOINOPT_FAULT_STATS_AT=<k>      fire kAdversarialStats on its k-th
+///                                   arrival
+///
+/// Counters are plain (not atomic): fault-injected runs are a test-only
+/// mode and must be single-threaded.
+class FaultInjector {
+ public:
+  /// The process-wide instance. First call reads the JOINOPT_FAULT_*
+  /// environment knobs.
+  static FaultInjector& Instance();
+
+  /// Installs a schedule and resets all arrival counters.
+  void Configure(const FaultConfig& config);
+
+  /// Disarms all points and resets counters.
+  void Disable();
+
+  /// True when any point is armed. Instrumented code caches this at
+  /// run start to keep its fast path branch-predictable.
+  bool enabled() const { return enabled_; }
+
+  /// Counts one arrival at `point`; true exactly when the arrival count
+  /// hits the scheduled firing step. Each point fires at most once per
+  /// Configure (a fired fault does not repeat on later arrivals).
+  bool ShouldFire(FaultPoint point);
+
+  /// Arrivals at `point` since the last Configure/Disable.
+  uint64_t arrivals(FaultPoint point) const {
+    return arrivals_[static_cast<int>(point)];
+  }
+
+  /// The resolved schedule (seed-derived steps already materialized).
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultInjector();
+
+  FaultConfig config_;
+  uint64_t arrivals_[kFaultPointCount] = {0, 0, 0, 0};
+  bool fired_[kFaultPointCount] = {false, false, false, false};
+  bool enabled_ = false;
+};
+
+/// RAII schedule installer for tests: arms the injector on construction,
+/// restores the previous schedule (usually: disabled) on destruction.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultConfig previous_;
+};
+
+}  // namespace testing
+}  // namespace joinopt
+
+#endif  // JOINOPT_TESTING_FAULT_INJECTION_H_

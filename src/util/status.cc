@@ -20,6 +20,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kBudgetExceeded:
       return "BudgetExceeded";
+    case StatusCode::kInvalidCatalog:
+      return "InvalidCatalog";
+    case StatusCode::kDegenerateStatistics:
+      return "DegenerateStatistics";
   }
   return "Unknown";
 }

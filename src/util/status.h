@@ -23,6 +23,15 @@ enum class StatusCode {
   /// An optimization run hit a resource limit (memo-entry budget or
   /// wall-clock deadline) from OptimizeOptions before finding a plan.
   kBudgetExceeded,
+  /// A catalog failed holistic validation (Catalog::Validate): bad
+  /// cardinalities/selectivities, dangling join endpoints, or duplicate
+  /// names. Raised at load time, before any optimizer runs.
+  kInvalidCatalog,
+  /// A query graph carries statistics an optimizer cannot price safely:
+  /// non-finite or non-positive cardinalities, or selectivities outside
+  /// (0, 1]. Raised by the optimizer prologue so inf/NaN never reach a
+  /// plan-cost comparison.
+  kDegenerateStatistics,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -71,6 +80,12 @@ class Status {
   }
   static Status BudgetExceeded(std::string msg) {
     return Status(StatusCode::kBudgetExceeded, std::move(msg));
+  }
+  static Status InvalidCatalog(std::string msg) {
+    return Status(StatusCode::kInvalidCatalog, std::move(msg));
+  }
+  static Status DegenerateStatistics(std::string msg) {
+    return Status(StatusCode::kDegenerateStatistics, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -1,0 +1,231 @@
+/// Adversarial-statistics regression suite: every join orderer, under
+/// every cost model, must either (a) reject illegal statistics with
+/// kDegenerateStatistics before optimizing, or (b) absorb legal-but-
+/// extreme statistics through the saturating arithmetic and still
+/// produce a finite, validator-clean plan. No input in this file may
+/// crash, abort, or produce inf/NaN in a result.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/saturation.h"
+#include "gtest/gtest.h"
+#include "joinopt.h"
+#include "testing/adversarial.h"
+
+namespace joinopt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<std::unique_ptr<const CostModel>> AllCostModels() {
+  std::vector<std::unique_ptr<const CostModel>> models;
+  models.push_back(std::make_unique<CoutCostModel>());
+  models.push_back(
+      std::make_unique<BestOfCostModel>(BestOfCostModel::Standard()));
+  models.push_back(std::make_unique<HashJoinCostModel>());
+  models.push_back(std::make_unique<NestedLoopCostModel>());
+  models.push_back(std::make_unique<SortMergeCostModel>());
+  return models;
+}
+
+TEST(SaturationTest, ClampsOverflowInfAndNaN) {
+  EXPECT_EQ(SaturateCardinality(kInf), kCardinalityCeiling);
+  EXPECT_EQ(SaturateCardinality(kNaN), kCardinalityCeiling);
+  EXPECT_EQ(SaturateCardinality(1e308), kCardinalityCeiling);
+  EXPECT_EQ(SaturateCardinality(-3.0), 0.0);
+  EXPECT_EQ(SaturateCardinality(42.0), 42.0);
+  EXPECT_EQ(SaturateCost(kInf), kCostCeiling);
+  EXPECT_EQ(SaturateCost(kNaN), kCostCeiling);
+  EXPECT_EQ(SaturateCost(7.5), 7.5);
+}
+
+TEST(ValidateGraphStatisticsTest, AcceptsBoundaryLegalValues) {
+  QueryGraph graph;
+  ASSERT_TRUE(graph.AddRelation(1.0, "a").ok());    // Smallest legal card.
+  ASSERT_TRUE(graph.AddRelation(1e308, "b").ok());  // Huge but finite.
+  ASSERT_TRUE(graph.AddEdge(0, 1, 1.0).ok());       // Boundary selectivity.
+  EXPECT_TRUE(ValidateGraphStatistics(graph).ok());
+}
+
+TEST(ValidateGraphStatisticsTest, RejectsEveryIllegalStatistic) {
+  const double bad_cards[] = {kNaN, kInf, -kInf, 0.0, -42.0};
+  for (const double bad : bad_cards) {
+    QueryGraph graph;
+    ASSERT_TRUE(graph.AddRelation(10.0, "a").ok());
+    ASSERT_TRUE(graph.AddRelation(10.0, "b").ok());
+    ASSERT_TRUE(graph.AddEdge(0, 1, 0.5).ok());
+    testing::StatsCorruptor::SetCardinality(graph, 1, bad);
+    const Status status = ValidateGraphStatistics(graph);
+    EXPECT_EQ(status.code(), StatusCode::kDegenerateStatistics)
+        << "cardinality " << bad << ": " << status.ToString();
+  }
+  const double bad_sels[] = {kNaN, kInf, 0.0, -0.25, 1.0000001, 1.5};
+  for (const double bad : bad_sels) {
+    QueryGraph graph;
+    ASSERT_TRUE(graph.AddRelation(10.0, "a").ok());
+    ASSERT_TRUE(graph.AddRelation(10.0, "b").ok());
+    ASSERT_TRUE(graph.AddEdge(0, 1, 0.5).ok());
+    testing::StatsCorruptor::SetSelectivity(graph, 0, bad);
+    const Status status = ValidateGraphStatistics(graph);
+    EXPECT_EQ(status.code(), StatusCode::kDegenerateStatistics)
+        << "selectivity " << bad << ": " << status.ToString();
+  }
+}
+
+/// Every registered orderer must refuse corrupted statistics with
+/// kDegenerateStatistics — the prologue runs before any algorithm-
+/// specific precondition, so even shape-restricted orderers (IKKBZ)
+/// report the statistics problem, not a shape problem.
+TEST(AdversarialStatsTest, AllOrderersRejectCorruptStatistics) {
+  const double bad_values[] = {kNaN, kInf, 0.0, -1.0, -kInf};
+  const CoutCostModel cost_model;
+  for (const double bad : bad_values) {
+    Result<QueryGraph> drawn = MakeChainQuery(5);
+    ASSERT_TRUE(drawn.ok());
+    QueryGraph graph = std::move(*drawn);
+    testing::StatsCorruptor::SetCardinality(graph, 2, bad);
+    for (const std::string& name : OptimizerRegistry::Names()) {
+      const JoinOrderer* orderer = OptimizerRegistry::Get(name);
+      Result<OptimizationResult> result =
+          orderer->Optimize(graph, cost_model);
+      ASSERT_FALSE(result.ok()) << name << " accepted cardinality " << bad;
+      EXPECT_EQ(result.status().code(), StatusCode::kDegenerateStatistics)
+          << name << " with cardinality " << bad << ": "
+          << result.status().ToString();
+    }
+  }
+}
+
+TEST(AdversarialStatsTest, AllOrderersRejectOutOfRangeSelectivity) {
+  const double bad_sels[] = {kNaN, 0.0, 1.5, -0.25};
+  const CoutCostModel cost_model;
+  for (const double bad : bad_sels) {
+    Result<QueryGraph> drawn = MakeChainQuery(5);
+    ASSERT_TRUE(drawn.ok());
+    QueryGraph graph = std::move(*drawn);
+    testing::StatsCorruptor::SetSelectivity(graph, 1, bad);
+    for (const std::string& name : OptimizerRegistry::Names()) {
+      Result<OptimizationResult> result =
+          OptimizerRegistry::Get(name)->Optimize(graph, cost_model);
+      ASSERT_FALSE(result.ok()) << name << " accepted selectivity " << bad;
+      EXPECT_EQ(result.status().code(), StatusCode::kDegenerateStatistics)
+          << name << " with selectivity " << bad << ": "
+          << result.status().ToString();
+    }
+  }
+}
+
+/// Legal-but-extreme statistics: cardinalities near the double range
+/// limit and selectivities near the underflow limit. Every orderer under
+/// every cost model must terminate with a finite, below-ceiling cost and
+/// a structurally valid plan — the saturating arithmetic absorbs the
+/// overflow instead of comparing inf against inf.
+TEST(AdversarialStatsTest, ExtremeLegalStatisticsStayFiniteEverywhere) {
+  Result<QueryGraph> drawn = MakeChainQuery(6);
+  ASSERT_TRUE(drawn.ok());
+  QueryGraph graph = std::move(*drawn);
+  Random rng(20060912);
+  testing::ApplyExtremeStatistics(graph, rng);
+  ASSERT_TRUE(ValidateGraphStatistics(graph).ok());
+
+  const std::vector<std::unique_ptr<const CostModel>> models =
+      AllCostModels();
+  for (const std::string& name : OptimizerRegistry::Names()) {
+    const JoinOrderer* orderer = OptimizerRegistry::Get(name);
+    for (const auto& model : models) {
+      Result<OptimizationResult> result = orderer->Optimize(graph, *model);
+      ASSERT_TRUE(result.ok())
+          << name << ": " << result.status().ToString();
+      EXPECT_TRUE(std::isfinite(result->cost)) << name;
+      EXPECT_LE(result->cost, kCostCeiling) << name;
+      EXPECT_TRUE(std::isfinite(result->cardinality)) << name;
+      PlanValidationOptions validation;
+      // The cross-product variants may legally pick cross products, and
+      // under these statistics a cross product can genuinely win.
+      validation.forbid_cross_products = name.find("CP") == std::string::npos;
+      const Status valid =
+          ValidatePlan(result->plan, graph, *model, validation);
+      EXPECT_TRUE(valid.ok()) << name << ": " << valid.ToString();
+    }
+  }
+}
+
+/// The worst case for naive arithmetic: every product overflows at the
+/// first join (1e308 · 1e308). The exact DPs must still agree with each
+/// other — the canonical per-set estimates make saturated values
+/// enumeration-order-independent.
+TEST(AdversarialStatsTest, ImmediateOverflowStillAgreesAcrossExactDPs) {
+  Result<QueryGraph> drawn = MakeCliqueQuery(5);
+  ASSERT_TRUE(drawn.ok());
+  QueryGraph graph = std::move(*drawn);
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    testing::StatsCorruptor::SetCardinality(graph, i, 1e308);
+  }
+  const CoutCostModel cost_model;
+  const char* const exact[] = {"DPsize", "DPsub", "DPccp", "DPhyp"};
+  double first_cost = -1.0;
+  for (const char* name : exact) {
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(name)->Optimize(graph, cost_model);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_TRUE(std::isfinite(result->cost)) << name;
+    if (first_cost < 0.0) {
+      first_cost = result->cost;
+    } else {
+      EXPECT_EQ(result->cost, first_cost) << name;
+    }
+  }
+}
+
+/// Underflow-rescale pattern: a clamped intermediate multiplied back
+/// down by tiny selectivities. The memoized estimate must equal the
+/// validator's recomputation (split-invariance of EstimateSet).
+TEST(AdversarialStatsTest, RescaledSaturationRevalidates) {
+  Result<QueryGraph> drawn = MakeStarQuery(5);
+  ASSERT_TRUE(drawn.ok());
+  QueryGraph graph = std::move(*drawn);
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    testing::StatsCorruptor::SetCardinality(graph, i, 1e200);
+  }
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    testing::StatsCorruptor::SetSelectivity(graph, e, 1e-250);
+  }
+  const BestOfCostModel cost_model = BestOfCostModel::Standard();
+  for (const char* name : {"DPsize", "DPsub", "DPccp", "DPhyp", "GOO"}) {
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(name)->Optimize(graph, cost_model);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    const Status valid = ValidatePlan(result->plan, graph, cost_model);
+    EXPECT_TRUE(valid.ok()) << name << ": " << valid.ToString();
+  }
+}
+
+/// Catalog loaders reject illegal statistics at the boundary with
+/// kInvalidCatalog — before a QueryGraph is ever built.
+TEST(AdversarialStatsTest, LoadersRejectIllegalStatisticsAsInvalidCatalog) {
+  // AddRelation rejects non-finite/non-positive cardinalities inline.
+  Catalog catalog;
+  EXPECT_FALSE(catalog.AddRelation("a", kNaN).ok());
+  EXPECT_FALSE(catalog.AddRelation("a", kInf).ok());
+  EXPECT_FALSE(catalog.AddRelation("a", 0.0).ok());
+  // The DSL loader surfaces Validate() failures as kInvalidCatalog; inf
+  // parses as a number but fails catalog validation.
+  Result<Catalog> parsed = ParseQuerySpec("rel a inf\nrel b 10\n");
+  if (!parsed.ok()) {
+    // Either the line-level check or Validate() may catch it first;
+    // both are load-time rejections.
+    EXPECT_TRUE(parsed.status().code() == StatusCode::kInvalidArgument ||
+                parsed.status().code() == StatusCode::kInvalidCatalog)
+        << parsed.status().ToString();
+  } else {
+    ADD_FAILURE() << "loader accepted an infinite cardinality";
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -66,8 +66,11 @@ TEST(CatalogTest, BuildQueryGraph) {
 
 TEST(CatalogTest, BuildFailsWhenEmpty) {
   const Catalog catalog;
+  // Build validates first, so the empty catalog is a load-time
+  // kInvalidCatalog, not a generic precondition failure.
   EXPECT_EQ(catalog.BuildQueryGraph().status().code(),
-            StatusCode::kFailedPrecondition);
+            StatusCode::kInvalidCatalog);
+  EXPECT_EQ(catalog.Validate().code(), StatusCode::kInvalidCatalog);
 }
 
 TEST(CatalogTest, BuildSurfacesDuplicateJoin) {

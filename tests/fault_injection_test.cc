@@ -1,0 +1,226 @@
+/// Tests for the deterministic fault-injection subsystem (src/testing)
+/// and the library's promised reaction to each fault point: a typed
+/// Status, never a crash — and a context that can be reset and reused
+/// after the interrupted run.
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "joinopt.h"
+#include "testing/adversarial.h"
+#include "testing/fault_injection.h"
+
+namespace joinopt {
+namespace {
+
+using testing::FaultConfig;
+using testing::FaultInjector;
+using testing::FaultPoint;
+using testing::ScopedFaultInjection;
+
+TEST(FaultInjectorTest, FiresExactlyOnceAtTheScheduledArrival) {
+  FaultConfig config;
+  config.at(FaultPoint::kArenaAlloc) = 3;
+  ScopedFaultInjection scoped(config);
+  FaultInjector& injector = FaultInjector::Instance();
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kArenaAlloc));  // 1st
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kArenaAlloc));  // 2nd
+  EXPECT_TRUE(injector.ShouldFire(FaultPoint::kArenaAlloc));   // 3rd: fire
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kArenaAlloc));  // Never again.
+  EXPECT_EQ(injector.arrivals(FaultPoint::kArenaAlloc), 4u);
+  // Other points are not armed and never fire.
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kDeadline));
+}
+
+TEST(FaultInjectorTest, SeedModeMaterializesAStepForEveryPoint) {
+  FaultConfig config;
+  config.seed = 99;
+  config.seed_horizon = 16;
+  ScopedFaultInjection scoped(config);
+  const FaultConfig& resolved = FaultInjector::Instance().config();
+  for (int p = 0; p < testing::kFaultPointCount; ++p) {
+    EXPECT_GE(resolved.fire_at[p], 1u) << testing::FaultPointName(
+        static_cast<FaultPoint>(p));
+    EXPECT_LE(resolved.fire_at[p], 16u);
+  }
+  // Same seed, same schedule (determinism across Configure calls).
+  FaultInjector::Instance().Configure(config);
+  for (int p = 0; p < testing::kFaultPointCount; ++p) {
+    EXPECT_EQ(FaultInjector::Instance().config().fire_at[p],
+              resolved.fire_at[p]);
+  }
+}
+
+TEST(FaultInjectorTest, ScopedInjectionRestoresThePreviousSchedule) {
+  ASSERT_FALSE(FaultInjector::Instance().enabled());
+  {
+    FaultConfig config;
+    config.at(FaultPoint::kTraceSink) = 1;
+    ScopedFaultInjection scoped(config);
+    EXPECT_TRUE(FaultInjector::Instance().enabled());
+  }
+  EXPECT_FALSE(FaultInjector::Instance().enabled());
+}
+
+TEST(FaultInjectionTest, AllocationFaultYieldsInternalNotACrash) {
+  Result<QueryGraph> graph = MakeChainQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  FaultConfig config;
+  config.at(FaultPoint::kArenaAlloc) = 3;
+  ScopedFaultInjection scoped(config);
+  for (const char* name : {"DPsize", "DPsub", "DPccp", "DPhyp"}) {
+    FaultInjector::Instance().Configure(config);  // Reset arrivals per run.
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(name)->Optimize(*graph, cost_model);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal) << name;
+    EXPECT_NE(result.status().message().find("fault injection"),
+              std::string::npos)
+        << name << ": " << result.status().ToString();
+  }
+}
+
+TEST(FaultInjectionTest, DeadlineFaultYieldsBudgetExceededAtAnExactTick) {
+  Result<QueryGraph> graph = MakeCliqueQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  FaultConfig config;
+  config.at(FaultPoint::kDeadline) = 7;
+  ScopedFaultInjection scoped(config);
+  for (const char* name : {"DPsize", "DPsub", "DPccp", "DPhyp"}) {
+    FaultInjector::Instance().Configure(config);
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(name)->Optimize(*graph, cost_model);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kBudgetExceeded) << name;
+    EXPECT_NE(result.status().message().find("deadline fired"),
+              std::string::npos)
+        << name << ": " << result.status().ToString();
+  }
+}
+
+TEST(FaultInjectionTest, ThrowingTraceSinkIsContainedAsInternal) {
+  Result<QueryGraph> graph = MakeCycleQuery(5);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  testing::ThrowingTraceSink sink;
+  OptimizeOptions options;
+  options.trace = &sink;
+  FaultConfig config;
+  config.at(FaultPoint::kTraceSink) = 4;
+  ScopedFaultInjection scoped(config);
+  for (const char* name : {"DPsize", "DPsub", "DPccp", "DPhyp"}) {
+    FaultInjector::Instance().Configure(config);
+    Result<OptimizationResult> result = OptimizerRegistry::Get(name)->Optimize(
+        *graph, cost_model, options);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal) << name;
+    EXPECT_NE(result.status().message().find("trace sink"),
+              std::string::npos)
+        << name << ": " << result.status().ToString();
+  }
+}
+
+TEST(FaultInjectionTest, CatalogStatsFaultIsCaughtDownstream) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("a", 100.0).ok());
+  ASSERT_TRUE(catalog.AddRelation("b", 200.0).ok());
+  ASSERT_TRUE(catalog.AddJoin("a", "b", 0.1).ok());
+  ASSERT_TRUE(catalog.Validate().ok());
+
+  FaultConfig config;
+  config.at(FaultPoint::kAdversarialStats) = 1;
+  ScopedFaultInjection scoped(config);
+  // Validation passes — the corruption happens after it, modeling a
+  // statistics pipeline that hands the optimizer garbage post-check.
+  Result<QueryGraph> graph = catalog.BuildQueryGraph();
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  Result<OptimizationResult> result =
+      OptimizerRegistry::Get("DPccp")->Optimize(*graph, cost_model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDegenerateStatistics);
+}
+
+/// The re-entrancy contract: after an interrupted run — genuine budget
+/// trip or injected fault — ResetForRerun() must yield a context that
+/// produces exactly the plan a fresh context produces.
+TEST(ReentrancyTest, ContextIsReusableAfterBudgetExceeded) {
+  Result<QueryGraph> graph = MakeCliqueQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  const JoinOrderer* dpccp = OptimizerRegistry::Get("DPccp");
+
+  OptimizeOptions tiny;
+  tiny.memo_entry_budget = 3;
+  OptimizerContext ctx(*graph, cost_model, tiny);
+  Result<OptimizationResult> limited = dpccp->Optimize(ctx);
+  ASSERT_FALSE(limited.ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kBudgetExceeded);
+
+  ctx.ResetForRerun();
+  EXPECT_FALSE(ctx.exhausted());
+  EXPECT_EQ(ctx.table().populated_count(), 0u);
+  Result<OptimizationResult> rerun = dpccp->Optimize(ctx);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+
+  Result<OptimizationResult> fresh = dpccp->Optimize(*graph, cost_model);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(rerun->cost, fresh->cost);
+  EXPECT_EQ(rerun->cardinality, fresh->cardinality);
+  EXPECT_TRUE(ValidatePlan(rerun->plan, *graph, cost_model).ok());
+}
+
+TEST(ReentrancyTest, ContextIsReusableAfterInjectedFault) {
+  Result<QueryGraph> graph = MakeStarQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  const JoinOrderer* dpsub = OptimizerRegistry::Get("DPsub");
+
+  std::unique_ptr<OptimizerContext> ctx;
+  {
+    FaultConfig config;
+    config.at(FaultPoint::kArenaAlloc) = 2;
+    ScopedFaultInjection scoped(config);
+    // Construct inside the scope: the governor caches the injector's
+    // armed state at construction.
+    ctx = std::make_unique<OptimizerContext>(*graph, cost_model);
+    Result<OptimizationResult> faulted = dpsub->Optimize(*ctx);
+    ASSERT_FALSE(faulted.ok());
+    EXPECT_EQ(faulted.status().code(), StatusCode::kInternal);
+  }
+
+  ctx->ResetForRerun();
+  Result<OptimizationResult> rerun = dpsub->Optimize(*ctx);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  Result<OptimizationResult> fresh = dpsub->Optimize(*graph, cost_model);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(rerun->cost, fresh->cost);
+}
+
+/// ResetForRerun accepts new options, so a budget-tripped run can be
+/// retried with a raised budget on the same context.
+TEST(ReentrancyTest, ResetForRerunAcceptsNewOptions) {
+  Result<QueryGraph> graph = MakeChainQuery(8);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  const JoinOrderer* dpsize = OptimizerRegistry::Get("DPsize");
+
+  OptimizeOptions tiny;
+  tiny.memo_entry_budget = 2;
+  OptimizerContext ctx(*graph, cost_model, tiny);
+  ASSERT_FALSE(dpsize->Optimize(ctx).ok());
+
+  OptimizeOptions roomy;
+  roomy.memo_entry_budget = 1u << 20;
+  ctx.ResetForRerun(roomy);
+  EXPECT_EQ(ctx.options().memo_entry_budget, roomy.memo_entry_budget);
+  Result<OptimizationResult> rerun = dpsize->Optimize(ctx);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+}
+
+}  // namespace
+}  // namespace joinopt

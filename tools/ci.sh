@@ -22,6 +22,14 @@ run_pass() {
   cmake --build "${build_dir}" -j "${jobs}"
   echo "=== ${label}: test ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  echo "=== ${label}: fuzz smoke ==="
+  # Fixed seeds so a red run is reproducible verbatim. 500 iterations
+  # cycle the differential fuzzer through all six round types (plain,
+  # extreme, degenerate statistics, and the three fault injections);
+  # under the sanitize pass this doubles as a leak/UB sweep of every
+  # error path.
+  "${build_dir}/tools/joinopt_fuzz" --iters 500 --seed 1
+  "${build_dir}/tools/joinopt_fuzz" --iters 500 --seed 20060912
 }
 
 mode="${1:-all}"

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Exercises joinopt_cli's exit-code contract (see the header of
+# joinopt_cli.cc): each failure class maps to a distinct, stable nonzero
+# code, diagnostics go to stderr, stdout stays clean on failure.
+#
+# Usage: cli_errors_test.sh <path-to-joinopt_cli>
+set -u
+
+CLI="${1:?usage: cli_errors_test.sh <path-to-joinopt_cli>}"
+TMPDIR_LOCAL="$(mktemp -d)"
+trap 'rm -rf "${TMPDIR_LOCAL}"' EXIT
+
+fails=0
+
+# expect <name> <want-code> <want-stderr-substring> -- cmd...
+# Extra environment goes via `env` inside the command.
+expect() {
+  local name="$1" want_code="$2" want_substr="$3"
+  shift 3
+  [ "$1" = "--" ] && shift
+  local out err code
+  out="${TMPDIR_LOCAL}/${name}.out"
+  err="${TMPDIR_LOCAL}/${name}.err"
+  "$@" >"${out}" 2>"${err}"
+  code=$?
+  if [ "${code}" -ne "${want_code}" ]; then
+    echo "FAIL ${name}: exit code ${code}, want ${want_code}" >&2
+    sed 's/^/    stderr: /' "${err}" >&2
+    fails=$((fails + 1))
+    return
+  fi
+  if [ -n "${want_substr}" ] && ! grep -q "${want_substr}" "${err}"; then
+    echo "FAIL ${name}: stderr does not mention '${want_substr}'" >&2
+    sed 's/^/    stderr: /' "${err}" >&2
+    fails=$((fails + 1))
+    return
+  fi
+  if [ "${want_code}" -ne 0 ] && [ -s "${out}" ]; then
+    echo "FAIL ${name}: failure wrote to stdout" >&2
+    fails=$((fails + 1))
+    return
+  fi
+  echo "ok ${name}"
+}
+
+# Fixture specs.
+GOOD="${TMPDIR_LOCAL}/good.spec"
+printf 'rel a 100\nrel b 200\nrel c 50\njoin a b 0.1\njoin b c 0.5\n' \
+  > "${GOOD}"
+DISCONNECTED="${TMPDIR_LOCAL}/disconnected.spec"
+printf 'rel a 100\nrel b 200\n' > "${DISCONNECTED}"
+MALFORMED="${TMPDIR_LOCAL}/malformed.spec"
+printf 'rel a banana\n' > "${MALFORMED}"
+
+expect success 0 "" -- "${CLI}" explain "${GOOD}"
+expect usage_no_args 2 "usage" -- "${CLI}"
+expect usage_bad_command 2 "usage" -- "${CLI}" frobnicate
+expect unknown_algorithm 2 "unknown join orderer" -- \
+  "${CLI}" explain "${GOOD}" NoSuchAlgo
+expect unknown_cost_model 2 "unknown cost model" -- \
+  "${CLI}" explain "${GOOD}" DPccp nosuchcost
+expect missing_file 3 "NotFound" -- "${CLI}" explain "${TMPDIR_LOCAL}/absent"
+expect malformed_spec 3 "InvalidArgument" -- "${CLI}" explain "${MALFORMED}"
+expect disconnected_graph 7 "FailedPrecondition" -- \
+  "${CLI}" explain "${DISCONNECTED}"
+expect budget_exceeded 6 "BudgetExceeded" -- \
+  env JOINOPT_MEMO_BUDGET=1 "${CLI}" explain "${GOOD}"
+# Fault injection: the catalog hands the optimizer corrupted statistics;
+# the optimizer prologue must reject them as DegenerateStatistics.
+expect degenerate_stats 5 "DegenerateStatistics" -- \
+  env JOINOPT_FAULT_STATS_AT=1 "${CLI}" explain "${GOOD}"
+# Fault injection: the first memo-entry population fails (Internal).
+expect injected_alloc_failure 8 "Internal" -- \
+  env JOINOPT_FAULT_ALLOC_AT=1 "${CLI}" explain "${GOOD}"
+
+if [ "${fails}" -ne 0 ]; then
+  echo "${fails} exit-code contract check(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code contract checks passed"

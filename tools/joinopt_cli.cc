@@ -15,6 +15,19 @@
 /// (wall-clock seconds) and JOINOPT_MEMO_BUDGET (max memo entries). A
 /// tripped limit reports BudgetExceeded unless the algorithm degrades
 /// gracefully (Adaptive falls back and reports what it fell back from).
+/// The JOINOPT_FAULT_* knobs (see src/testing/fault_injection.h) arm the
+/// deterministic fault injector for crash-safety testing.
+///
+/// Exit codes (all diagnostics go to stderr):
+///   0  success
+///   2  usage error: bad command line, unknown algorithm/cost/shape
+///   3  input error: file not readable, spec/SQL unparsable
+///   4  catalog failed validation (InvalidCatalog)
+///   5  optimizer rejected degenerate statistics (DegenerateStatistics)
+///   6  resource budget or deadline exceeded (BudgetExceeded)
+///   7  algorithm precondition violated, e.g. disconnected graph
+///      (FailedPrecondition)
+///   8  internal error (Internal and anything unclassified)
 
 #include <cstdio>
 #include <cstdlib>
@@ -100,17 +113,52 @@ OptimizeOptions OptionsFromEnv() {
   return options;
 }
 
+/// The exit-code contract from the file header: every StatusCode maps to
+/// a distinct, stable nonzero code so scripts can branch on the failure
+/// class without parsing stderr.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return 3;
+    case StatusCode::kInvalidCatalog:
+      return 4;
+    case StatusCode::kDegenerateStatistics:
+      return 5;
+    case StatusCode::kBudgetExceeded:
+      return 6;
+    case StatusCode::kFailedPrecondition:
+      return 7;
+    case StatusCode::kInternal:
+    case StatusCode::kUnimplemented:
+      return 8;
+  }
+  return 8;
+}
+
+/// Prints `status` (optionally under a context prefix) to stderr and
+/// returns its exit code.
+int Fail(const Status& status, const char* prefix = nullptr) {
+  if (prefix != nullptr) {
+    std::fprintf(stderr, "%s: %s\n", prefix, status.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  }
+  return ExitCodeFor(status);
+}
+
 int Explain(const std::string& path, const std::string& algo,
             const std::string& cost) {
   Result<std::string> text = ReadAll(path);
   if (!text.ok()) {
-    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-    return 1;
+    return Fail(text.status());
   }
   Result<QueryGraph> graph = ParseQuerySpecToGraph(*text);
   if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
+    return Fail(graph.status());
   }
   Result<std::unique_ptr<CostModel>> cost_model = MakeCostModel(cost);
   if (!cost_model.ok()) {
@@ -125,9 +173,7 @@ int Explain(const std::string& path, const std::string& algo,
   Result<OptimizationResult> result =
       (*orderer)->Optimize(*graph, **cost_model, OptionsFromEnv());
   if (!result.ok()) {
-    std::fprintf(stderr, "optimization failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
+    return Fail(result.status(), "optimization failed");
   }
   std::printf("-- %s, cost model %s\n\n%s\n", algo.c_str(), cost.c_str(),
               PlanToExplainString(result->plan, *graph).c_str());
@@ -147,13 +193,11 @@ int Explain(const std::string& path, const std::string& algo,
 int Dot(const std::string& path, const std::string& what) {
   Result<std::string> text = ReadAll(path);
   if (!text.ok()) {
-    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-    return 1;
+    return Fail(text.status());
   }
   Result<QueryGraph> graph = ParseQuerySpecToGraph(*text);
   if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
+    return Fail(graph.status());
   }
   if (what == "graph") {
     std::fputs(QueryGraphToDot(*graph).c_str(), stdout);
@@ -168,8 +212,7 @@ int Dot(const std::string& path, const std::string& what) {
   Result<OptimizationResult> result =
       (*orderer)->Optimize(*graph, cost_model, OptionsFromEnv());
   if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
+    return Fail(result.status());
   }
   std::fputs(PlanToDot(result->plan, *graph).c_str(), stdout);
   return 0;
@@ -185,8 +228,7 @@ int Generate(const std::string& shape_name, int n, uint64_t seed) {
   config.seed = seed;
   Result<QueryGraph> graph = MakeShapeQuery(*shape, n, config);
   if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
+    return Fail(graph.status());
   }
   std::fputs(WriteQuerySpec(*graph).c_str(), stdout);
   return 0;
@@ -204,8 +246,7 @@ int Counters(const std::string& shape_name, int n) {
   }
   Result<QueryGraph> graph = MakeShapeQuery(*shape, n);
   if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
+    return Fail(graph.status());
   }
   const CoutCostModel cost_model;
   std::printf("%s n=%d   #csg=%llu  #ccp=%llu\n", shape_name.c_str(), n,
@@ -229,8 +270,7 @@ int Counters(const std::string& shape_name, int n) {
     Result<OptimizationResult> result =
         (*orderer)->Optimize(*graph, cost_model);
     if (!result.ok()) {
-      std::fprintf(stderr, "%s failed\n", row.algorithm);
-      return 1;
+      return Fail(result.status(), row.algorithm);
     }
     std::printf("%-8s  %14llu  %14llu%s\n", row.algorithm,
                 static_cast<unsigned long long>(result->stats.inner_counter),
@@ -245,20 +285,15 @@ int Sql(const std::string& catalog_path, const std::string& query,
         const std::string& algo) {
   Result<std::string> text = ReadAll(catalog_path);
   if (!text.ok()) {
-    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-    return 1;
+    return Fail(text.status());
   }
   Result<Catalog> catalog = ParseQuerySpec(*text);
   if (!catalog.ok()) {
-    std::fprintf(stderr, "catalog error: %s\n",
-                 catalog.status().ToString().c_str());
-    return 1;
+    return Fail(catalog.status(), "catalog error");
   }
   Result<QueryGraph> graph = ParseSqlJoinQuery(query, *catalog);
   if (!graph.ok()) {
-    std::fprintf(stderr, "SQL error: %s\n",
-                 graph.status().ToString().c_str());
-    return 1;
+    return Fail(graph.status(), "SQL error");
   }
   Result<const JoinOrderer*> orderer = LookupOrderer(algo);
   if (!orderer.ok()) {
@@ -269,9 +304,7 @@ int Sql(const std::string& catalog_path, const std::string& query,
   Result<OptimizationResult> result =
       (*orderer)->Optimize(*graph, cost_model, OptionsFromEnv());
   if (!result.ok()) {
-    std::fprintf(stderr, "optimization failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
+    return Fail(result.status(), "optimization failed");
   }
   std::printf("%s\nexpression: %s\ncost: %.6g  rows: %.6g\n",
               PlanToExplainString(result->plan, *graph).c_str(),
@@ -283,21 +316,17 @@ int Sql(const std::string& catalog_path, const std::string& query,
 int Hyper(const std::string& path) {
   Result<std::string> text = ReadAll(path);
   if (!text.ok()) {
-    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-    return 1;
+    return Fail(text.status());
   }
   Result<Hypergraph> graph = ParseHypergraphSpec(*text);
   if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
+    return Fail(graph.status());
   }
   const CoutCostModel cost_model;
   Result<OptimizationResult> result =
       DPhyp().Optimize(*graph, cost_model, OptionsFromEnv());
   if (!result.ok()) {
-    std::fprintf(stderr, "DPhyp failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
+    return Fail(result.status(), "DPhyp failed");
   }
   std::printf("-- DPhyp over %d relations, %d (hyper)edges\n\n%s\n"
               "expression: %s\ncost: %.6g  pairs: %llu\n",
@@ -326,7 +355,11 @@ int Usage(const char* argv0) {
                "  %s generate <shape> <n> [seed]\n"
                "  %s counters <shape> <n>\n"
                "  %s list\n"
-               "limits: JOINOPT_DEADLINE_S=<s> JOINOPT_MEMO_BUDGET=<entries>\n",
+               "limits: JOINOPT_DEADLINE_S=<s> JOINOPT_MEMO_BUDGET=<entries>\n"
+               "faults: JOINOPT_FAULT_SEED / JOINOPT_FAULT_{ALLOC,TRACE,"
+               "DEADLINE,STATS}_AT\n"
+               "exit codes: 0 ok, 2 usage, 3 input, 4 catalog, 5 stats,\n"
+               "            6 budget, 7 precondition, 8 internal\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }

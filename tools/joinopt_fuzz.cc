@@ -1,0 +1,364 @@
+/// joinopt_fuzz — the crash-safety differential fuzzer.
+///
+///   joinopt_fuzz [--iters N] [--seed S] [--verbose]
+///
+/// Each iteration draws a random connected query graph (chain, cycle,
+/// star, clique, snowflake, grid, or random-connected; 2..10 relations)
+/// and puts it through one of six rounds, cycling deterministically:
+///
+///   plain        legal statistics. DPsize, DPsub, DPccp, and DPhyp must
+///                all succeed, agree on the optimal cost, and produce
+///                PlanValidator-clean trees.
+///   extreme      legal-but-extreme statistics (cardinalities up to
+///                1e305, selectivities down to 1e-305) that overflow
+///                naive arithmetic immediately. Same oracle as `plain`,
+///                except exact cross-algorithm cost equality is relaxed
+///                once costs saturate at the ceiling (different join
+///                orders reach a set first with different clamped
+///                cardinalities, so tie-breaking legitimately diverges);
+///                what remains asserted is: finite, validator-clean,
+///                never inf/NaN.
+///   degenerate   one illegal statistic (NaN/inf/0/negative cardinality,
+///                out-of-range selectivity) planted behind the builders'
+///                backs. Every algorithm must refuse with
+///                kDegenerateStatistics — no crash, no garbage plan.
+///   fault-alloc  kArenaAlloc scheduled: populating some memo entry
+///                fails. The run must end in success (fault scheduled
+///                past the run's length) or a structured
+///                kInternal/kBudgetExceeded — and the same context must
+///                produce the correct optimal plan on a subsequent
+///                un-faulted ResetForRerun.
+///   fault-clock  kDeadline scheduled at an exact governor tick; same
+///                oracle as fault-alloc.
+///   fault-trace  a TraceSink that throws on a scheduled callback; the
+///                library must contain the exception as kInternal, and
+///                the context must again be reusable.
+///
+/// Every 7th iteration additionally round-trips the graph through the
+/// DSL (WriteQuerySpec -> ParseQuerySpec -> BuildQueryGraph) with the
+/// kAdversarialStats fault armed: the catalog validates clean, then
+/// hands the optimizer a corrupted graph, which the optimizer prologue
+/// must reject as kDegenerateStatistics.
+///
+/// Exit code 0 when all iterations pass; 1 on the first violated oracle
+/// (with a reproducer line: seed + iteration). Runs under ASan/UBSan in
+/// tools/ci.sh.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/saturation.h"
+#include "joinopt.h"
+#include "testing/adversarial.h"
+#include "testing/fault_injection.h"
+
+namespace joinopt {
+namespace {
+
+const char* const kAlgorithms[] = {"DPsize", "DPsub", "DPccp", "DPhyp"};
+constexpr int kAlgorithmCount = 4;
+
+/// Costs at or beyond this magnitude are treated as "saturated": the
+/// ceiling clamp makes the optimum depend on enumeration order, so the
+/// differential oracle downgrades from equality to finiteness.
+constexpr double kSaturationRegime = 1e250;
+
+struct FuzzFailure {
+  bool failed = false;
+  std::string detail;
+};
+
+#define FUZZ_CHECK(cond, ...)                                  \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      char fuzz_msg_[512];                                     \
+      std::snprintf(fuzz_msg_, sizeof(fuzz_msg_), __VA_ARGS__); \
+      failure->failed = true;                                  \
+      failure->detail = fuzz_msg_;                             \
+      return;                                                  \
+    }                                                          \
+  } while (false)
+
+/// Draws one of the seven graph families with random size and random
+/// (legal) statistics.
+Result<QueryGraph> DrawGraph(Random& rng, std::string* family) {
+  WorkloadConfig config;
+  config.seed = rng.NextUint64();
+  switch (rng.Uniform(7)) {
+    case 0:
+      *family = "chain";
+      return MakeChainQuery(2 + static_cast<int>(rng.Uniform(9)), config);
+    case 1:
+      *family = "cycle";
+      return MakeCycleQuery(3 + static_cast<int>(rng.Uniform(8)), config);
+    case 2:
+      *family = "star";
+      return MakeStarQuery(2 + static_cast<int>(rng.Uniform(9)), config);
+    case 3:
+      *family = "clique";
+      return MakeCliqueQuery(2 + static_cast<int>(rng.Uniform(7)), config);
+    case 4:
+      *family = "snowflake";
+      return MakeSnowflakeQuery(2 + static_cast<int>(rng.Uniform(2)),
+                                1 + static_cast<int>(rng.Uniform(3)), config);
+    case 5:
+      *family = "grid";
+      return MakeGridQuery(2 + static_cast<int>(rng.Uniform(2)),
+                           2 + static_cast<int>(rng.Uniform(2)), config);
+    default: {
+      *family = "random";
+      const int n = 2 + static_cast<int>(rng.Uniform(9));
+      return MakeRandomConnectedQuery(n, static_cast<int>(rng.Uniform(n)),
+                                      config);
+    }
+  }
+}
+
+/// The differential oracle: all four algorithms succeed, their plans
+/// validate, and their costs agree (up to saturation).
+void CheckAgreement(const QueryGraph& graph, const CostModel& cost_model,
+                    FuzzFailure* failure) {
+  double costs[kAlgorithmCount];
+  for (int a = 0; a < kAlgorithmCount; ++a) {
+    const JoinOrderer* orderer = OptimizerRegistry::Get(kAlgorithms[a]);
+    FUZZ_CHECK(orderer != nullptr, "%s missing from registry", kAlgorithms[a]);
+    Result<OptimizationResult> result = orderer->Optimize(graph, cost_model);
+    FUZZ_CHECK(result.ok(), "%s failed: %s", kAlgorithms[a],
+               result.status().ToString().c_str());
+    FUZZ_CHECK(std::isfinite(result->cost) && result->cost <= kCostCeiling,
+               "%s produced non-finite or above-ceiling cost %g",
+               kAlgorithms[a], result->cost);
+    FUZZ_CHECK(std::isfinite(result->cardinality),
+               "%s produced non-finite cardinality %g", kAlgorithms[a],
+               result->cardinality);
+    PlanValidationOptions validation;
+    validation.relative_tolerance = 1e-6;
+    const Status valid =
+        ValidatePlan(result->plan, graph, cost_model, validation);
+    FUZZ_CHECK(valid.ok(), "%s plan failed validation: %s", kAlgorithms[a],
+               valid.ToString().c_str());
+    costs[a] = result->cost;
+  }
+  double min_cost = costs[0];
+  double max_cost = costs[0];
+  for (int a = 1; a < kAlgorithmCount; ++a) {
+    min_cost = std::min(min_cost, costs[a]);
+    max_cost = std::max(max_cost, costs[a]);
+  }
+  if (min_cost < kSaturationRegime) {
+    // Exact regime: the four enumerations explore the same bushy
+    // cross-product-free space, so their optima must coincide.
+    const double rel = (max_cost - min_cost) / std::max(min_cost, 1e-300);
+    FUZZ_CHECK(rel <= 1e-6,
+               "cost disagreement: min %.17g max %.17g (rel %.3g) "
+               "[DPsize %.17g DPsub %.17g DPccp %.17g DPhyp %.17g]",
+               min_cost, max_cost, rel, costs[0], costs[1], costs[2],
+               costs[3]);
+  }
+}
+
+/// Degenerate oracle: every algorithm refuses with kDegenerateStatistics.
+void CheckAllReject(const QueryGraph& graph, const CostModel& cost_model,
+                    FuzzFailure* failure) {
+  for (int a = 0; a < kAlgorithmCount; ++a) {
+    const JoinOrderer* orderer = OptimizerRegistry::Get(kAlgorithms[a]);
+    Result<OptimizationResult> result = orderer->Optimize(graph, cost_model);
+    FUZZ_CHECK(!result.ok(),
+               "%s accepted a graph with a corrupted statistic",
+               kAlgorithms[a]);
+    FUZZ_CHECK(result.status().code() == StatusCode::kDegenerateStatistics,
+               "%s rejected corrupted stats with %s, want "
+               "DegenerateStatistics",
+               kAlgorithms[a], result.status().ToString().c_str());
+  }
+}
+
+/// Fault-injection oracle: the faulted run either completes or fails
+/// with the structured status for its fault point, and the SAME context
+/// then produces the correct plan on an un-faulted rerun.
+void CheckFaultedRun(const QueryGraph& graph, const CostModel& cost_model,
+                     testing::FaultPoint point, Random& rng,
+                     FuzzFailure* failure) {
+  const JoinOrderer* orderer =
+      OptimizerRegistry::Get(kAlgorithms[rng.Uniform(kAlgorithmCount)]);
+  testing::FaultConfig fault;
+  fault.at(point) = 1 + rng.Uniform(256);
+
+  testing::ThrowingTraceSink sink;
+  OptimizeOptions options;
+  if (point == testing::FaultPoint::kTraceSink) {
+    options.trace = &sink;
+  }
+
+  std::unique_ptr<OptimizerContext> ctx;
+  Result<OptimizationResult> faulted = Status::Internal("never ran");
+  {
+    testing::ScopedFaultInjection scoped(fault);
+    // Construct inside the scope: the governor caches the injector's
+    // armed state at construction.
+    ctx = std::make_unique<OptimizerContext>(graph, cost_model, options);
+    faulted = orderer->Optimize(*ctx);
+  }
+  if (!faulted.ok()) {
+    const StatusCode code = faulted.status().code();
+    FUZZ_CHECK(code == StatusCode::kInternal ||
+                   code == StatusCode::kBudgetExceeded,
+               "%s under %s fault failed with %s, want Internal or "
+               "BudgetExceeded",
+               std::string(orderer->name()).c_str(),
+               std::string(testing::FaultPointName(point)).c_str(),
+               faulted.status().ToString().c_str());
+  }
+
+  // Re-entrancy: the interrupted context, reset, must match a fresh one.
+  ctx->ResetForRerun();
+  Result<OptimizationResult> rerun = orderer->Optimize(*ctx);
+  FUZZ_CHECK(rerun.ok(), "%s rerun after %s fault failed: %s",
+             std::string(orderer->name()).c_str(),
+             std::string(testing::FaultPointName(point)).c_str(),
+             rerun.status().ToString().c_str());
+  Result<OptimizationResult> baseline =
+      orderer->Optimize(graph, cost_model);
+  FUZZ_CHECK(baseline.ok(), "%s baseline failed: %s",
+             std::string(orderer->name()).c_str(),
+             baseline.status().ToString().c_str());
+  FUZZ_CHECK(rerun->cost == baseline->cost,
+             "%s rerun cost %.17g != fresh-context cost %.17g after %s fault",
+             std::string(orderer->name()).c_str(), rerun->cost,
+             baseline->cost,
+             std::string(testing::FaultPointName(point)).c_str());
+}
+
+/// Catalog round trip with the kAdversarialStats point armed: validation
+/// passes, the handed-out graph is corrupted, the optimizer prologue
+/// must catch it.
+void CheckCatalogStatsFault(const QueryGraph& graph,
+                            const CostModel& cost_model,
+                            FuzzFailure* failure) {
+  Result<Catalog> catalog = ParseQuerySpec(WriteQuerySpec(graph));
+  FUZZ_CHECK(catalog.ok(), "spec round trip failed: %s",
+             catalog.status().ToString().c_str());
+  testing::FaultConfig fault;
+  fault.at(testing::FaultPoint::kAdversarialStats) = 1;
+  testing::ScopedFaultInjection scoped(fault);
+  Result<QueryGraph> corrupted = catalog->BuildQueryGraph();
+  FUZZ_CHECK(corrupted.ok(),
+             "BuildQueryGraph failed under stats fault (validation runs "
+             "before corruption): %s",
+             corrupted.status().ToString().c_str());
+  CheckAllReject(*corrupted, cost_model, failure);
+}
+
+int Run(uint64_t seed, uint64_t iterations, bool verbose) {
+  const CoutCostModel cout_model;
+  const BestOfCostModel bestof_model = BestOfCostModel::Standard();
+  uint64_t mode_counts[6] = {0, 0, 0, 0, 0, 0};
+  static const char* const kModeNames[6] = {
+      "plain",       "extreme",     "degenerate",
+      "fault-alloc", "fault-clock", "fault-trace"};
+
+  for (uint64_t i = 0; i < iterations; ++i) {
+    Random rng(seed * 1000003 + i);
+    std::string family;
+    Result<QueryGraph> drawn = DrawGraph(rng, &family);
+    if (!drawn.ok()) {
+      std::fprintf(stderr,
+                   "iteration %" PRIu64 " (seed %" PRIu64
+                   "): generator failed: %s\n",
+                   i, seed, drawn.status().ToString().c_str());
+      return 1;
+    }
+    QueryGraph graph = std::move(*drawn);
+    // Alternate cost models so both linear (Cout) and operator-min
+    // (BestOf) accumulation go through the saturation path.
+    const CostModel& cost_model =
+        (i % 2 == 0) ? static_cast<const CostModel&>(cout_model)
+                     : static_cast<const CostModel&>(bestof_model);
+
+    const int mode = static_cast<int>(i % 6);
+    ++mode_counts[mode];
+    FuzzFailure failure;
+    switch (mode) {
+      case 0:
+        CheckAgreement(graph, cost_model, &failure);
+        break;
+      case 1:
+        testing::ApplyExtremeStatistics(graph, rng);
+        CheckAgreement(graph, cost_model, &failure);
+        break;
+      case 2:
+        testing::CorruptOneStatistic(graph, rng);
+        CheckAllReject(graph, cost_model, &failure);
+        break;
+      case 3:
+        CheckFaultedRun(graph, cost_model, testing::FaultPoint::kArenaAlloc,
+                        rng, &failure);
+        break;
+      case 4:
+        CheckFaultedRun(graph, cost_model, testing::FaultPoint::kDeadline,
+                        rng, &failure);
+        break;
+      default:
+        CheckFaultedRun(graph, cost_model, testing::FaultPoint::kTraceSink,
+                        rng, &failure);
+        break;
+    }
+    if (!failure.failed && mode != 2 && i % 7 == 0) {
+      CheckCatalogStatsFault(graph, cost_model, &failure);
+    }
+    if (failure.failed) {
+      std::fprintf(stderr,
+                   "FAIL iteration %" PRIu64 " mode=%s family=%s n=%d "
+                   "(reproduce: joinopt_fuzz --seed %" PRIu64
+                   " --iters %" PRIu64 ")\n  %s\n",
+                   i, kModeNames[mode], family.c_str(),
+                   graph.relation_count(), seed, i + 1,
+                   failure.detail.c_str());
+      return 1;
+    }
+    if (verbose && (i + 1) % 100 == 0) {
+      std::fprintf(stderr, "... %" PRIu64 "/%" PRIu64 " iterations\n", i + 1,
+                   iterations);
+    }
+  }
+  std::printf("joinopt_fuzz: %" PRIu64
+              " iterations clean (seed %" PRIu64
+              "; plain %" PRIu64 ", extreme %" PRIu64 ", degenerate %" PRIu64
+              ", fault-alloc %" PRIu64 ", fault-clock %" PRIu64
+              ", fault-trace %" PRIu64 ")\n",
+              iterations, seed, mode_counts[0], mode_counts[1],
+              mode_counts[2], mode_counts[3], mode_counts[4],
+              mode_counts[5]);
+  return 0;
+}
+
+}  // namespace
+}  // namespace joinopt
+
+int main(int argc, char** argv) {
+  uint64_t iterations = 500;
+  uint64_t seed = 20060912;  // VLDB 2006 session date; arbitrary but fixed.
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iterations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--iters N] [--seed S] [--verbose]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return joinopt::Run(seed, iterations, verbose);
+}
