@@ -95,10 +95,12 @@ void EmitBenchJson(const std::string& algorithm, const std::string& shape,
       "{\"algorithm\":\"%s\",\"shape\":\"%s\",\"n\":%d,"
       "\"inner_counter\":%" PRIu64 ",\"csg_cmp_pair_counter\":%" PRIu64
       ",\"ono_lohman_counter\":%" PRIu64 ",\"create_join_tree_calls\":%" PRIu64
-      ",\"plans_stored\":%" PRIu64 ",\"elapsed_s\":%.9g}\n",
+      ",\"plans_stored\":%" PRIu64 ",\"elapsed_s\":%.9g"
+      ",\"best_effort\":%s,\"memo_coverage\":%.9g}\n",
       algorithm.c_str(), shape.c_str(), n, stats.inner_counter,
       stats.csg_cmp_pair_counter, stats.ono_lohman_counter,
-      stats.create_join_tree_calls, stats.plans_stored, seconds);
+      stats.create_join_tree_calls, stats.plans_stored, seconds,
+      stats.best_effort ? "true" : "false", stats.memo_coverage);
   if (to_stdout) {
     std::fflush(out);
   } else {

@@ -40,7 +40,8 @@ std::optional<uint64_t> PredictedInner(const std::string& algorithm,
                                        QueryShape shape, int n);
 
 /// Emits one machine-readable JSON line describing a measured benchmark
-/// cell — {"algorithm", "shape", "n", counters, "elapsed_s"} — to the
+/// cell — {"algorithm", "shape", "n", counters, "elapsed_s",
+/// "best_effort", "memo_coverage"} — to the
 /// sink named by the environment variable JOINOPT_BENCH_JSON: "-" means
 /// stdout, any other value is a file path opened in append mode. No-op
 /// when the variable is unset, so human-readable output stays clean by

@@ -1,41 +1,13 @@
 #include "core/adaptive.h"
 
-#include <string>
-#include <vector>
+#include <cstdlib>
+#include <utility>
 
-#include "core/dp_cross_products.h"
-#include "core/dpccp.h"
-#include "core/greedy.h"
-#include "core/idp.h"
+#include "core/policy.h"
 #include "enumerate/cmp.h"
 #include "graph/connectivity.h"
 
 namespace joinopt {
-
-namespace {
-
-/// Runs one ladder rung in its own single-use context. Each attempt needs
-/// a FRESH context: the governor's limit state is sticky, so a tripped
-/// budget would otherwise poison every later rung.
-Result<OptimizationResult> RunRung(std::string_view algorithm,
-                                   int idp_block_size, const QueryGraph& graph,
-                                   const CostModel& cost_model,
-                                   const OptimizeOptions& options) {
-  OptimizerContext sub(graph, cost_model, options);
-  if (algorithm == "DPsizeCP") {
-    return DPsizeCP().Optimize(sub);
-  }
-  if (algorithm == "DPccp") {
-    return DPccp().Optimize(sub);
-  }
-  if (algorithm == "IDP1") {
-    return IDP1(idp_block_size).Optimize(sub);
-  }
-  JOINOPT_DCHECK(algorithm == "GOO");
-  return GreedyOperatorOrdering().Optimize(sub);
-}
-
-}  // namespace
 
 std::string_view AdaptiveOptimizer::ChooseAlgorithm(
     const QueryGraph& graph) const {
@@ -50,65 +22,38 @@ Result<OptimizationResult> AdaptiveOptimizer::Optimize(
     OptimizerContext& ctx) const {
   JOINOPT_RETURN_IF_ERROR(
       internal::BeginOptimize(ctx, name(), /*require_connected=*/false));
-  const QueryGraph& graph = ctx.graph();
-  const CostModel& cost_model = ctx.cost_model();
-  const OptimizeOptions& options = ctx.options();
 
-  // The degradation ladder: the gate's choice first, then successively
-  // cheaper algorithms when a resource limit trips.
-  std::vector<std::string_view> ladder;
-  const std::string_view choice = ChooseAlgorithm(graph);
-  ladder.push_back(choice);
+  // A JOINOPT_POLICY override replaces the gate's built-in ladder
+  // entirely; a malformed policy is a hard InvalidArgument rather than a
+  // silent fall-through to defaults.
+  const char* env = std::getenv("JOINOPT_POLICY");
+  if (env != nullptr && *env != '\0') {
+    Result<DegradationPolicy> policy = DegradationPolicy::Parse(env);
+    JOINOPT_RETURN_IF_ERROR(policy.status());
+    return RunDegradationPolicy(*policy, ctx);
+  }
+
+  // The built-in ladder, expressed as a policy: the gate's choice first,
+  // then successively cheaper algorithms when a resource limit trips.
+  // Disconnected graphs have no heuristic rung in the library, so there
+  // the ladder is DPsizeCP -> DPsizeCP (the executor strips the limits
+  // off the final step, reproducing the historical unlimited rerun;
+  // DPsizeCP stays bounded in practice by its own n <= 24 gate).
+  const std::string_view choice = ChooseAlgorithm(ctx.graph());
+  const bool salvage = ctx.options().salvage_on_interrupt;
+  DegradationPolicy policy;
   if (choice == "DPsizeCP") {
-    // Cross products required: no heuristic in the library handles
-    // disconnected graphs, so degrade by rerunning DPsizeCP unlimited
-    // (bounded in practice by its own n <= 24 gate).
-    ladder.push_back("DPsizeCP");
+    policy.Append(PolicyStep{.algorithm = "DPsizeCP", .salvage = salvage});
+    policy.Append(PolicyStep{.algorithm = "DPsizeCP"});
   } else {
     if (choice != "IDP1") {
-      ladder.push_back("IDP1");
+      policy.Append(PolicyStep{.algorithm = "DPccp", .salvage = salvage});
     }
-    ladder.push_back("GOO");
+    policy.Append(PolicyStep{
+        .algorithm = "IDP1", .k = idp_block_size_, .salvage = salvage});
+    policy.Append(PolicyStep{.algorithm = "GOO"});
   }
-
-  std::string fallback_from;
-  Result<OptimizationResult> result = Status::Internal("unset");
-  for (size_t rung = 0; rung < ladder.size(); ++rung) {
-    const bool last = rung + 1 == ladder.size();
-    OptimizeOptions rung_options = options;
-    if (last && rung > 0) {
-      // Final rung: strip the limits (tracing and counter reporting stay)
-      // — another kBudgetExceeded would leave the caller with no plan.
-      rung_options.memo_entry_budget = 0;
-      rung_options.deadline_seconds = 0.0;
-    }
-    result =
-        RunRung(ladder[rung], idp_block_size_, graph, cost_model, rung_options);
-    if (result.ok() || last ||
-        result.status().code() != StatusCode::kBudgetExceeded) {
-      break;
-    }
-    if (!fallback_from.empty()) {
-      fallback_from += ",";
-    }
-    fallback_from += ladder[rung];
-    if (JOINOPT_UNLIKELY(options.trace != nullptr)) {
-      ctx.governor().GuardedTrace([&] {
-        options.trace->OnFallback(ladder[rung], ladder[rung + 1],
-                                  result.status());
-      });
-      if (JOINOPT_UNLIKELY(ctx.exhausted())) {
-        return ctx.limit_status();
-      }
-    }
-  }
-  JOINOPT_RETURN_IF_ERROR(result.status());
-
-  result->stats.fallback_from = fallback_from;
-  // Charge the gate and every abandoned attempt to the reported time.
-  result->stats.elapsed_seconds = ctx.ElapsedSeconds();
-  ctx.stats() = result->stats;
-  return result;
+  return RunDegradationPolicy(policy, ctx);
 }
 
 }  // namespace joinopt

@@ -75,10 +75,7 @@ Result<OptimizationResult> DPsizeCP::Optimize(OptimizerContext& ctx) const {
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  if (ctx.exhausted()) {
-    return ctx.limit_status();
-  }
-  return internal::ExtractResult(ctx);
+  return internal::FinishOptimize(ctx, /*allow_cross_products=*/true);
 }
 
 Result<OptimizationResult> DPsubCP::Optimize(OptimizerContext& ctx) const {
@@ -117,10 +114,7 @@ Result<OptimizationResult> DPsubCP::Optimize(OptimizerContext& ctx) const {
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  if (ctx.exhausted()) {
-    return ctx.limit_status();
-  }
-  return internal::ExtractResult(ctx);
+  return internal::FinishOptimize(ctx, /*allow_cross_products=*/true);
 }
 
 }  // namespace joinopt

@@ -35,11 +35,11 @@ Result<OptimizationResult> DPccp::Optimize(OptimizerContext& ctx) const {
     });
   }
   stats.csg_cmp_pair_counter = 2 * stats.ono_lohman_counter;
-  if (ctx.exhausted()) {
-    return ctx.limit_status();
-  }
 
-  Result<OptimizationResult> result = internal::ExtractResult(ctx);
+  // FinishOptimize runs inside the WorkGraphScope: the memo (and any
+  // salvaged completion of it) speaks the BFS numbering, and the relabel
+  // below applies to best-effort plans exactly like exact ones.
+  Result<OptimizationResult> result = internal::FinishOptimize(ctx);
   JOINOPT_RETURN_IF_ERROR(result.status());
   if (!identity) {
     result->plan.RelabelLeaves(numbering->new_to_old);

@@ -64,10 +64,7 @@ Result<OptimizationResult> DPsub::Optimize(OptimizerContext& ctx) const {
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  if (ctx.exhausted()) {
-    return ctx.limit_status();
-  }
-  return internal::ExtractResult(ctx);
+  return internal::FinishOptimize(ctx);
 }
 
 }  // namespace joinopt

@@ -152,7 +152,43 @@ Result<OptimizationResult> ExtractResult(OptimizerContext& ctx) {
     stats.ono_lohman_counter = 0;
     stats.create_join_tree_calls = 0;
   }
-  OptimizationResult result{std::move(*tree), 0.0, 0.0, std::move(stats)};
+  OptimizationResult result{std::move(*tree), 0.0, 0.0, std::move(stats),
+                            DegradationReport()};
+  result.cost = result.plan.cost();
+  result.cardinality = result.plan.cardinality();
+  return result;
+}
+
+Result<OptimizationResult> FinishOptimize(OptimizerContext& ctx,
+                                          bool allow_cross_products) {
+  if (JOINOPT_LIKELY(!ctx.exhausted())) {
+    return ExtractResult(ctx);
+  }
+  if (!ctx.options().salvage_on_interrupt) {
+    return ctx.limit_status();
+  }
+  const QueryGraph& graph = ctx.work_graph();
+  Result<MemoSalvage::Outcome> salvaged = MemoSalvage::Run(
+      ctx.table(), graph.AllRelations(), ctx.cost_model(),
+      [&graph](NodeSet s1, NodeSet s2) { return graph.AreConnected(s1, s2); },
+      [&ctx](NodeSet s) { return ctx.estimator().EstimateSet(s); },
+      allow_cross_products, ctx.limit_status());
+  if (!salvaged.ok()) {
+    return ctx.limit_status();
+  }
+  OptimizerStats stats = ctx.stats();
+  stats.plans_stored = ctx.table().populated_count();
+  stats.elapsed_seconds = ctx.ElapsedSeconds();
+  stats.best_effort = true;
+  stats.memo_coverage = salvaged->report.memo_coverage;
+  if (JOINOPT_UNLIKELY(!ctx.options().collect_counters)) {
+    stats.inner_counter = 0;
+    stats.csg_cmp_pair_counter = 0;
+    stats.ono_lohman_counter = 0;
+    stats.create_join_tree_calls = 0;
+  }
+  OptimizationResult result{std::move(salvaged->plan), 0.0, 0.0,
+                            std::move(stats), std::move(salvaged->report)};
   result.cost = result.plan.cost();
   result.cardinality = result.plan.cardinality();
   return result;

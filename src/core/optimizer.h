@@ -9,6 +9,7 @@
 #include "cost/cost_model.h"
 #include "graph/query_graph.h"
 #include "plan/join_tree.h"
+#include "plan/memo_salvage.h"
 #include "plan/plan_table.h"
 #include "util/status.h"
 
@@ -22,6 +23,10 @@ struct OptimizationResult {
   /// Estimated result cardinality.
   double cardinality = 0.0;
   OptimizerStats stats;
+  /// How the plan degraded when the run was interrupted and salvaged
+  /// (OptimizeOptions::salvage_on_interrupt). Inert (best_effort false)
+  /// on exact results.
+  DegradationReport degradation;
 };
 
 /// Interface shared by every join-ordering algorithm in the library
@@ -111,6 +116,18 @@ inline bool CreateJoinTreeBothOrders(OptimizerContext& ctx, NodeSet s1,
 /// collect_counters reporting toggle. Fails if the table holds no such
 /// plan (optimizer bug or violated precondition).
 Result<OptimizationResult> ExtractResult(OptimizerContext& ctx);
+
+/// Run epilogue shared by every memo-based orderer. On a clean run this
+/// is ExtractResult; on an interrupted run (ctx.exhausted()) it returns
+/// ctx.limit_status() — unless the caller opted into anytime mode
+/// (OptimizeOptions::salvage_on_interrupt), in which case the partial
+/// memo is completed into a best-effort plan via MemoSalvage, tagged in
+/// stats and result.degradation. Must run while any WorkGraphScope is
+/// still active: the salvage speaks the memo's numbering, and the caller
+/// relabels the returned plan exactly like an exact result. Salvage
+/// failure (nothing usable in the memo) falls back to the limit status.
+Result<OptimizationResult> FinishOptimize(OptimizerContext& ctx,
+                                          bool allow_cross_products = false);
 
 }  // namespace internal
 

@@ -43,6 +43,13 @@ struct OptimizerStats {
   /// after tripping a resource limit before a fallback produced this
   /// result (AdaptiveOptimizer's graceful degradation). Empty otherwise.
   std::string fallback_from;
+  /// True when the plan was completed by MemoSalvage after an interrupted
+  /// run rather than by the algorithm finishing (anytime mode; see
+  /// plan/memo_salvage.h and OptimizeOptions::salvage_on_interrupt).
+  bool best_effort = false;
+  /// Fraction of the plan the memo had already decided when the run was
+  /// interrupted, in [0, 1]; 1.0 on exact results.
+  double memo_coverage = 1.0;
 };
 
 /// Observability seam for the optimization pipeline. Subclass and install
@@ -109,6 +116,13 @@ struct OptimizeOptions {
   /// Optional observability sink; nullptr (the default) keeps every trace
   /// call site on its null fast path. The sink must outlive the run.
   TraceSink* trace = nullptr;
+  /// Anytime mode: when a limit (memo budget, deadline) or an injected
+  /// fault interrupts the run, complete a best-effort plan from the
+  /// partial memo via MemoSalvage instead of failing with the bare limit
+  /// status. The result is tagged stats.best_effort with a populated
+  /// DegradationReport. Off by default: exact algorithms keep their
+  /// fail-fast contract unless the caller opts into degraded answers.
+  bool salvage_on_interrupt = false;
 };
 
 /// Budget and deadline enforcement shared by OptimizerContext and the

@@ -1,0 +1,97 @@
+#ifndef JOINOPT_CORE_POLICY_H_
+#define JOINOPT_CORE_POLICY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// One rung of a degradation policy: which algorithm to run and how much
+/// of the caller's resource envelope to give it. Scales apply to the base
+/// OptimizeOptions the policy runs under; zero ("unlimited") limits stay
+/// zero regardless of scale.
+struct PolicyStep {
+  /// Registry name of the orderer ("DPccp", "IDP1", "GOO", ...).
+  std::string algorithm;
+  /// Fraction of the base memo_entry_budget this step may use (attribute
+  /// `budget=`). Scaled budgets are clamped to at least one entry so a
+  /// small fraction can never round down to 0 = unlimited.
+  double budget_scale = 1.0;
+  /// Fraction of the base deadline_seconds this step may use (`deadline=`).
+  double deadline_slice = 1.0;
+  /// Extra attempts after a resource-limit or injected-fault failure
+  /// (`retries=`), each with the step's limits doubled (exponential
+  /// backoff in budget space).
+  int retries = 0;
+  /// IDP1 block-size override (`k=`); 0 keeps the registry default. Only
+  /// meaningful for the IDP1 step.
+  int k = 0;
+  /// Anytime mode for this step (`-> salvage` in the grammar): an
+  /// interrupted run completes a best-effort plan from the partial memo
+  /// instead of falling through to the next step.
+  bool salvage = false;
+};
+
+/// An ordered list of PolicySteps — the declarative replacement for
+/// AdaptiveOptimizer's historical hard-coded ladder. The textual grammar
+/// (JOINOPT_POLICY, CLI):
+///
+///   policy  := step (" -> " step)*
+///   step    := NAME attrs? | "salvage"
+///   attrs   := "[" attr ("," attr)* "]"
+///   attr    := "budget=" FLOAT | "deadline=" FLOAT
+///            | "retries=" INT | "k=" INT
+///
+/// "salvage" is a pseudo-step that arms anytime salvage on the step
+/// before it. Example (the library default):
+///
+///   DPccp -> salvage -> IDP1[k=5] -> GOO
+///
+/// reads: try exact DPccp; if a limit trips, salvage a best-effort plan
+/// from its memo; if even salvage cannot complete a plan, rerun with
+/// IDP1 (block size 5), then GOO (the final step runs limits-stripped so
+/// the caller always gets SOME plan).
+class DegradationPolicy {
+ public:
+  /// The documented default: `DPccp -> salvage -> IDP1[k=5] -> GOO`.
+  static DegradationPolicy Default();
+
+  /// Parses the grammar above. Fails with InvalidArgument on syntax
+  /// errors, unknown algorithm names (checked against the registry),
+  /// out-of-range attributes, or a leading "salvage".
+  static Result<DegradationPolicy> Parse(std::string_view text);
+
+  /// Parse(JOINOPT_POLICY) when the variable is set and non-empty,
+  /// Default() otherwise.
+  static Result<DegradationPolicy> FromEnv();
+
+  void Append(PolicyStep step) { steps_.push_back(std::move(step)); }
+
+  const std::vector<PolicyStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// Round-trips through Parse (modulo whitespace).
+  std::string ToString() const;
+
+ private:
+  std::vector<PolicyStep> steps_;
+};
+
+/// Executes `policy` for ctx's query: each step runs in a sub-context
+/// re-armed via ResetForRerun with the step's scaled limits, retrying
+/// with doubled limits up to `retries` times on kBudgetExceeded /
+/// kInternal, and falling through to the next step on kBudgetExceeded.
+/// The final step, when reached after a failure, runs limits-stripped.
+/// Abandoned steps are appended to stats.fallback_from and reported via
+/// TraceSink::OnFallback, exactly like the historical Adaptive ladder;
+/// best-effort results get the policy string stamped into their
+/// DegradationReport. ctx.stats() mirrors the returned stats.
+Result<OptimizationResult> RunDegradationPolicy(const DegradationPolicy& policy,
+                                                OptimizerContext& ctx);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_POLICY_H_

@@ -102,10 +102,7 @@ Result<OptimizationResult> TDBasic::Optimize(OptimizerContext& ctx) const {
   }
 
   stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
-  if (ctx.exhausted()) {
-    return ctx.limit_status();
-  }
-  return internal::ExtractResult(ctx);
+  return internal::FinishOptimize(ctx);
 }
 
 }  // namespace joinopt

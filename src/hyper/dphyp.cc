@@ -5,6 +5,7 @@
 
 #include "bitset/subset_iterator.h"
 #include "cost/saturation.h"
+#include "plan/memo_salvage.h"
 
 namespace joinopt {
 
@@ -33,7 +34,7 @@ class DPhypRunner {
     stats_.csg_cmp_pair_counter = 2 * stats_.ono_lohman_counter;
     stats_.elapsed_seconds = governor_.ElapsedSeconds();
     if (governor_.exhausted()) {
-      return governor_.limit_status();
+      return Salvage();
     }
 
     Result<JoinTree> tree =
@@ -43,19 +44,59 @@ class DPhypRunner {
           "no cross-product-free join tree exists for this hypergraph "
           "(complex predicates leave the root set undecomposable)");
     }
-    if (!governor_.options().collect_counters) {
-      stats_.inner_counter = 0;
-      stats_.csg_cmp_pair_counter = 0;
-      stats_.ono_lohman_counter = 0;
-      stats_.create_join_tree_calls = 0;
-    }
-    OptimizationResult result{std::move(*tree), 0.0, 0.0, stats_};
+    ToggleCounters();
+    OptimizationResult result{std::move(*tree), 0.0, 0.0, stats_,
+                              DegradationReport()};
     result.cost = result.plan.cost();
     result.cardinality = result.plan.cardinality();
     return result;
   }
 
  private:
+  void ToggleCounters() {
+    if (!governor_.options().collect_counters) {
+      stats_.inner_counter = 0;
+      stats_.csg_cmp_pair_counter = 0;
+      stats_.ono_lohman_counter = 0;
+      stats_.create_join_tree_calls = 0;
+    }
+  }
+
+  /// Anytime epilogue: the hypergraph twin of internal::FinishOptimize.
+  /// Completes a best-effort plan from the partial memo when the caller
+  /// opted in; otherwise (or when salvage itself cannot complete a plan,
+  /// e.g. complex hyperedges leave the remaining fragments unjoinable)
+  /// returns the limit status unchanged.
+  Result<OptimizationResult> Salvage() {
+    if (!governor_.options().salvage_on_interrupt) {
+      return governor_.limit_status();
+    }
+    Result<MemoSalvage::Outcome> salvaged = MemoSalvage::Run(
+        table_, graph_.AllRelations(), cost_model_,
+        [this](NodeSet s1, NodeSet s2) { return graph_.AreConnected(s1, s2); },
+        [this](NodeSet s) {
+          // The same canonical estimate EmitCsgCmp stores on first reach.
+          double product = 1.0;
+          for (const int v : s) {
+            product *= graph_.cardinality(v);
+          }
+          return SaturateCardinality(product * graph_.SelectivityWithin(s));
+        },
+        /*allow_cross_products=*/false, governor_.limit_status());
+    if (!salvaged.ok()) {
+      return governor_.limit_status();
+    }
+    stats_.plans_stored = table_.populated_count();
+    stats_.best_effort = true;
+    stats_.memo_coverage = salvaged->report.memo_coverage;
+    ToggleCounters();
+    OptimizationResult result{std::move(salvaged->plan), 0.0, 0.0, stats_,
+                              std::move(salvaged->report)};
+    result.cost = result.plan.cost();
+    result.cardinality = result.plan.cardinality();
+    return result;
+  }
+
   bool SeedLeaves() {
     for (int i = 0; i < graph_.relation_count(); ++i) {
       PlanEntry& entry = table_.GetOrCreate(NodeSet::Singleton(i));

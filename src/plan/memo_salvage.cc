@@ -1,0 +1,187 @@
+#include "plan/memo_salvage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "cost/saturation.h"
+
+namespace joinopt {
+
+namespace {
+
+/// One fragment of the interrupted memo, or one component of the greedy
+/// composition: a set with the cost/cardinality of its best table plan.
+struct Fragment {
+  NodeSet set;
+  double cost = 0.0;
+  double cardinality = 0.0;
+};
+
+/// Cover preference: largest fragment first (it embodies the most DP
+/// work), cheapest on ties, then by mask for cross-platform determinism.
+bool CoverOrder(const Fragment& a, const Fragment& b) {
+  if (a.set.count() != b.set.count()) {
+    return a.set.count() > b.set.count();
+  }
+  if (a.cost != b.cost) {
+    return a.cost < b.cost;
+  }
+  return a.set.mask() < b.set.mask();
+}
+
+}  // namespace
+
+std::string DegradationReport::ToString() const {
+  if (!best_effort) {
+    return "exact (no degradation)";
+  }
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "best-effort: %s interrupted the run; salvaged %d fragment%s "
+                "from %llu memo entries (coverage %.3f), cost %.6g",
+                std::string(StatusCodeToString(trigger)).c_str(),
+                fragments_used, fragments_used == 1 ? "" : "s",
+                static_cast<unsigned long long>(memo_entries), memo_coverage,
+                salvage_cost);
+  std::string text = buffer;
+  if (!trigger_message.empty()) {
+    text += " [" + trigger_message + "]";
+  }
+  if (!policy.empty()) {
+    text += " [policy: " + policy + "]";
+  }
+  return text;
+}
+
+Result<MemoSalvage::Outcome> MemoSalvage::Run(
+    PlanTable& table, NodeSet all_relations, const CostModel& cost_model,
+    const ConnectedFn& connected, const EstimateFn& estimate_set,
+    bool allow_cross_products, const Status& trigger) {
+  DegradationReport report;
+  report.best_effort = true;
+  report.trigger = trigger.code();
+  report.trigger_message = trigger.message();
+  report.memo_entries = table.populated_count();
+
+  // Every populated entry is a complete, costed plan for its set (the DPs
+  // store decompositions bottom-up), so the memo is a pool of candidate
+  // fragments.
+  std::vector<Fragment> candidates;
+  candidates.reserve(static_cast<size_t>(table.populated_count()));
+  table.ForEach([&](NodeSet set, const PlanEntry& entry) {
+    if (entry.has_plan() && set.IsSubsetOf(all_relations)) {
+      candidates.push_back({set, entry.cost, entry.cardinality});
+    }
+  });
+  std::sort(candidates.begin(), candidates.end(), CoverOrder);
+
+  // Greedy disjoint cover of all relations, largest fragments first. The
+  // leaf seeds are always present (every orderer seeds all of them before
+  // enumerating), so the cover completes whenever the memo is usable at
+  // all.
+  std::vector<Fragment> components;
+  NodeSet covered;
+  for (const Fragment& fragment : candidates) {
+    if (fragment.set.Intersects(covered)) {
+      continue;
+    }
+    components.push_back(fragment);
+    covered |= fragment.set;
+    if (covered == all_relations) {
+      break;
+    }
+  }
+  if (covered != all_relations || components.empty()) {
+    return trigger;
+  }
+  report.fragments_used = static_cast<int>(components.size());
+  const int n = all_relations.count();
+  report.memo_coverage =
+      n > 1 ? static_cast<double>(n - report.fragments_used) / (n - 1) : 1.0;
+
+  // GOO-style composition: repeatedly merge the connected pair with the
+  // smallest estimated output cardinality (falling back to the smallest
+  // cross product only when allowed and no real join remains). Each merge
+  // is priced in both operand orders and written back into the table so
+  // the final tree reconstructs through the ordinary breadcrumb path.
+  while (components.size() > 1) {
+    size_t best_i = 0;
+    size_t best_j = 0;
+    double best_card = 0.0;
+    bool best_joined = false;
+    bool found = false;
+    for (size_t i = 0; i < components.size(); ++i) {
+      for (size_t j = i + 1; j < components.size(); ++j) {
+        const bool joined = connected(components[i].set, components[j].set);
+        if (!joined && !allow_cross_products) {
+          continue;
+        }
+        const double card =
+            estimate_set(components[i].set | components[j].set);
+        // Real joins always beat cross products; among peers, smallest
+        // output wins.
+        if (!found || (joined && !best_joined) ||
+            (joined == best_joined && card < best_card)) {
+          best_i = i;
+          best_j = j;
+          best_card = card;
+          best_joined = joined;
+          found = true;
+        }
+      }
+    }
+    if (!found || (!best_joined && !allow_cross_products)) {
+      // No mergeable pair: possible for hypergraphs whose complex edges
+      // leave the remaining fragments unjoinable without a cross product.
+      return trigger;
+    }
+
+    const Fragment left = components[best_i];
+    const Fragment right = components[best_j];
+    const NodeSet combined = left.set | right.set;
+    PlanEntry& entry = table.GetOrCreate(combined);
+    double out_card;
+    if (entry.has_plan()) {
+      out_card = entry.cardinality;
+    } else {
+      out_card = best_card;
+      entry.cardinality = out_card;
+      table.NotePopulated();
+    }
+    const double cost_lr =
+        SaturateCost(left.cost + right.cost +
+                     cost_model.JoinCost(left.cardinality, right.cardinality,
+                                         out_card));
+    const double cost_rl =
+        SaturateCost(left.cost + right.cost +
+                     cost_model.JoinCost(right.cardinality, left.cardinality,
+                                         out_card));
+    if (cost_lr <= cost_rl && cost_lr < entry.cost) {
+      entry.left = left.set;
+      entry.right = right.set;
+      entry.cost = cost_lr;
+      entry.op = cost_model.OperatorFor(left.cardinality, right.cardinality,
+                                        out_card);
+    } else if (cost_rl < cost_lr && cost_rl < entry.cost) {
+      entry.left = right.set;
+      entry.right = left.set;
+      entry.cost = cost_rl;
+      entry.op = cost_model.OperatorFor(right.cardinality, left.cardinality,
+                                        out_card);
+    }
+    components[best_i] = {combined, entry.cost, entry.cardinality};
+    components.erase(components.begin() + best_j);
+  }
+
+  Result<JoinTree> tree = JoinTree::FromPlanTable(table, all_relations);
+  if (!tree.ok()) {
+    return trigger;
+  }
+  report.salvage_cost = tree->cost();
+  return Outcome{std::move(*tree), std::move(report)};
+}
+
+}  // namespace joinopt

@@ -1,0 +1,98 @@
+#ifndef JOINOPT_PLAN_MEMO_SALVAGE_H_
+#define JOINOPT_PLAN_MEMO_SALVAGE_H_
+
+#include <functional>
+#include <string>
+
+#include "bitset/node_set.h"
+#include "cost/cost_model.h"
+#include "plan/join_tree.h"
+#include "plan/plan_table.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// What happened when an optimization run could not finish exactly: the
+/// limit that tripped, how much of the memo was usable, and what the
+/// salvage pass had to do to still produce a plan. Attached to every
+/// best-effort OptimizationResult (and empty/inert on exact results).
+struct DegradationReport {
+  /// True iff the plan was completed by MemoSalvage rather than by the
+  /// DP running to the end.
+  bool best_effort = false;
+  /// The Status code of the interruption (kBudgetExceeded for budgets,
+  /// deadlines, and injected deadline faults; kInternal for allocation
+  /// failures and throwing trace sinks). kOk on exact results.
+  StatusCode trigger = StatusCode::kOk;
+  /// The interruption's human-readable explanation.
+  std::string trigger_message;
+  /// How much of the plan the memo already decided, in [0, 1]:
+  /// (n - fragments_used) / (n - 1) for n relations. 1.0 means the memo
+  /// held a full plan (the salvaged plan IS the DP's optimum); 0.0 means
+  /// only the leaf seeds survived and the whole tree is greedy.
+  double memo_coverage = 1.0;
+  /// Number of disjoint memo fragments the greedy cover started from
+  /// (1 when the memo already covered all relations).
+  int fragments_used = 0;
+  /// Populated memo entries at the moment of interruption.
+  uint64_t memo_entries = 0;
+  /// Cost of the salvaged plan (equals the result's cost).
+  double salvage_cost = 0.0;
+  /// The degradation-policy trail that led here (empty when the orderer
+  /// was invoked directly rather than through a policy).
+  std::string policy;
+
+  /// One-line rendering for logs / the CLI's stderr report.
+  std::string ToString() const;
+};
+
+/// Completes a full plan from a partially filled DP memo.
+///
+/// Every populated PlanTable entry is a valid, costed plan for its set
+/// (the DPs build bottom-up and only ever store complete decompositions),
+/// so an interrupted memo is a forest of optimal-for-their-set fragments.
+/// Salvage picks a disjoint cover of all relations preferring the largest
+/// (then cheapest) fragments, then composes them GOO-style: repeatedly
+/// join the connected fragment pair with the smallest estimated output
+/// cardinality, writing each merge back into the table so the final tree
+/// reconstructs through the ordinary FromPlanTable path.
+///
+/// The table is mutated (merge entries are added); the caller's run is
+/// over at this point, so that is safe — and intentional, because the
+/// decomposition breadcrumbs must live in the table for reconstruction.
+class MemoSalvage {
+ public:
+  /// True iff joining the two sets is a real join (some edge crosses the
+  /// cut). Salvage never introduces a cross product unless
+  /// `allow_cross_products` is set and no connected pair remains.
+  using ConnectedFn = std::function<bool(NodeSet, NodeSet)>;
+  /// The CANONICAL per-set cardinality estimate (the same fixed-order
+  /// product the DP used — CardinalityEstimator::EstimateSet for query
+  /// graphs, the lifted product x SelectivityWithin for hypergraphs), so
+  /// salvaged plans agree bit-for-bit with the memo and the validator
+  /// even under saturation.
+  using EstimateFn = std::function<double(NodeSet)>;
+
+  struct Outcome {
+    JoinTree plan;
+    DegradationReport report;
+  };
+
+  /// Runs the salvage pass over `table` for `all_relations` (the work
+  /// graph's full set, in the table's numbering). `trigger` is the limit
+  /// Status that interrupted the DP; it is recorded in the report.
+  ///
+  /// Fails (with `trigger`'s code) when no plan can be completed: an
+  /// empty cover (nothing usable in the memo) or, without
+  /// `allow_cross_products`, no connected fragment pair left to merge
+  /// (possible for hypergraphs whose root set is undecomposable).
+  static Result<Outcome> Run(PlanTable& table, NodeSet all_relations,
+                             const CostModel& cost_model,
+                             const ConnectedFn& connected,
+                             const EstimateFn& estimate_set,
+                             bool allow_cross_products, const Status& trigger);
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_PLAN_MEMO_SALVAGE_H_

@@ -61,8 +61,12 @@ bool FaultConfig::armed() const {
 }
 
 FaultInjector& FaultInjector::Instance() {
-  static FaultInjector* instance = new FaultInjector();
-  return *instance;
+  // One injector per thread: schedules, arrival counters, and the armed
+  // flag are all thread-local, so concurrent optimizations (the soak
+  // harness) inject faults independently without synchronization and
+  // without cross-thread schedule interference.
+  thread_local FaultInjector instance;
+  return instance;
 }
 
 FaultInjector::FaultInjector() { Configure(ConfigFromEnv()); }

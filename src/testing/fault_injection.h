@@ -57,12 +57,12 @@ struct FaultConfig {
   bool armed() const;
 };
 
-/// Process-wide deterministic fault injector.
+/// Per-thread deterministic fault injector.
 ///
 /// Disabled (the default) it costs the instrumented code paths one
 /// predicted branch on a cached bool. Tests arm it through
 /// ScopedFaultInjection; standalone binaries arm it through the
-/// environment, read once at first use:
+/// environment, read once at each thread's first use:
 ///
 ///   JOINOPT_FAULT_SEED=<u64>        seed-schedule all points
 ///   JOINOPT_FAULT_ALLOC_AT=<k>      fire kArenaAlloc on its k-th arrival
@@ -71,12 +71,14 @@ struct FaultConfig {
 ///   JOINOPT_FAULT_STATS_AT=<k>      fire kAdversarialStats on its k-th
 ///                                   arrival
 ///
-/// Counters are plain (not atomic): fault-injected runs are a test-only
-/// mode and must be single-threaded.
+/// Instance() is thread_local: schedules and arrival counters never cross
+/// threads, so concurrent optimizations (the soak harness) can each run
+/// their own fault schedule without synchronization. Counters stay plain
+/// (not atomic) on that basis.
 class FaultInjector {
  public:
-  /// The process-wide instance. First call reads the JOINOPT_FAULT_*
-  /// environment knobs.
+  /// This thread's instance. The first call on each thread reads the
+  /// JOINOPT_FAULT_* environment knobs.
   static FaultInjector& Instance();
 
   /// Installs a schedule and resets all arrival counters.

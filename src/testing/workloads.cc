@@ -1,0 +1,42 @@
+#include "testing/workloads.h"
+
+#include "graph/generators.h"
+
+namespace joinopt {
+namespace testing {
+
+Result<QueryGraph> DrawWorkloadGraph(Random& rng, std::string* family) {
+  WorkloadConfig config;
+  config.seed = rng.NextUint64();
+  switch (rng.Uniform(7)) {
+    case 0:
+      *family = "chain";
+      return MakeChainQuery(2 + static_cast<int>(rng.Uniform(9)), config);
+    case 1:
+      *family = "cycle";
+      return MakeCycleQuery(3 + static_cast<int>(rng.Uniform(8)), config);
+    case 2:
+      *family = "star";
+      return MakeStarQuery(2 + static_cast<int>(rng.Uniform(9)), config);
+    case 3:
+      *family = "clique";
+      return MakeCliqueQuery(2 + static_cast<int>(rng.Uniform(7)), config);
+    case 4:
+      *family = "snowflake";
+      return MakeSnowflakeQuery(2 + static_cast<int>(rng.Uniform(2)),
+                                1 + static_cast<int>(rng.Uniform(3)), config);
+    case 5:
+      *family = "grid";
+      return MakeGridQuery(2 + static_cast<int>(rng.Uniform(2)),
+                           2 + static_cast<int>(rng.Uniform(2)), config);
+    default: {
+      *family = "random";
+      const int n = 2 + static_cast<int>(rng.Uniform(9));
+      return MakeRandomConnectedQuery(n, static_cast<int>(rng.Uniform(n)),
+                                      config);
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace joinopt

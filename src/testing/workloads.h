@@ -1,0 +1,24 @@
+#ifndef JOINOPT_TESTING_WORKLOADS_H_
+#define JOINOPT_TESTING_WORKLOADS_H_
+
+#include <string>
+
+#include "graph/query_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace testing {
+
+/// Draws one of the seven graph families (chain, cycle, star, clique,
+/// snowflake, grid, random-connected) with random size and random legal
+/// statistics — the shared query stream of the differential fuzzer and
+/// the concurrent soak harness. `family` receives the drawn family name.
+/// Sizes stay small enough (2..10 relations) that an exact DPccp
+/// baseline per query is cheap.
+Result<QueryGraph> DrawWorkloadGraph(Random& rng, std::string* family);
+
+}  // namespace testing
+}  // namespace joinopt
+
+#endif  // JOINOPT_TESTING_WORKLOADS_H_

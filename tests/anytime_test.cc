@@ -1,0 +1,193 @@
+/// The anytime-optimization contract (see DESIGN.md): when a run is
+/// interrupted mid-enumeration and the caller opted into salvage, every
+/// exact DP must return a COMPLETE, validator-clean join tree assembled
+/// from the partial memo, tagged best-effort with a populated
+/// DegradationReport — never a bare kBudgetExceeded, never a crash.
+///
+/// The sweep interrupts each exact DP at three deterministic points of
+/// its enumeration — the first governor tick, the middle one, and the
+/// very last one — across all seven workload graph families. The fault
+/// injector's kDeadline point makes the trip step exact: a prepass with
+/// an unreachable firing step counts the ticks, then the real runs fire
+/// at tick 1, T/2, and T.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "joinopt.h"
+#include "testing/fault_injection.h"
+
+namespace joinopt {
+namespace {
+
+using testing::FaultConfig;
+using testing::FaultInjector;
+using testing::FaultPoint;
+using testing::ScopedFaultInjection;
+
+/// A firing step no run ever reaches: the prepass arms the deadline
+/// point with it so arrivals are counted without tripping.
+constexpr uint64_t kNeverFires = uint64_t{1} << 40;
+
+const char* const kExactDPs[] = {"DPsize", "DPsub", "DPccp", "DPhyp"};
+
+struct Family {
+  std::string name;
+  QueryGraph graph;
+};
+
+std::vector<Family> AllFamilies() {
+  WorkloadConfig config;
+  config.seed = 20060912;
+  std::vector<Family> families;
+  auto add = [&families](const char* name, Result<QueryGraph> graph) {
+    EXPECT_TRUE(graph.ok()) << name << ": " << graph.status().ToString();
+    if (graph.ok()) {
+      families.push_back({name, *std::move(graph)});
+    }
+  };
+  add("chain-8", MakeChainQuery(8, config));
+  add("cycle-7", MakeCycleQuery(7, config));
+  add("star-7", MakeStarQuery(7, config));
+  add("clique-6", MakeCliqueQuery(6, config));
+  add("snowflake-3x2", MakeSnowflakeQuery(3, 2, config));
+  add("grid-3x3", MakeGridQuery(3, 3, config));
+  add("random-8", MakeRandomConnectedQuery(8, 6, config));
+  return families;
+}
+
+/// Runs `algorithm` with the deadline fault armed at `fire_at` ticks and
+/// salvage enabled; returns the result.
+Result<OptimizationResult> RunInterrupted(const char* algorithm,
+                                          const QueryGraph& graph,
+                                          const CostModel& cost_model,
+                                          uint64_t fire_at) {
+  FaultConfig config;
+  config.at(FaultPoint::kDeadline) = fire_at;
+  ScopedFaultInjection scoped(config);
+  OptimizeOptions options;
+  options.salvage_on_interrupt = true;
+  return OptimizerRegistry::Get(algorithm)->Optimize(graph, cost_model,
+                                                     options);
+}
+
+TEST(AnytimeTest, EveryExactDPSalvagesAtFirstMiddleAndLastTick) {
+  const CoutCostModel cost_model;
+  for (const Family& family : AllFamilies()) {
+    Result<OptimizationResult> exact =
+        OptimizerRegistry::Get("DPccp")->Optimize(family.graph, cost_model);
+    ASSERT_TRUE(exact.ok()) << family.name;
+    const double optimum = exact->cost;
+
+    for (const char* algorithm : kExactDPs) {
+      // Prepass: count the governor ticks of an uninterrupted run, and
+      // keep its inner counter — if an interrupted run reaches the same
+      // count, every cost comparison happened before the trip and the
+      // memo is complete.
+      uint64_t total_ticks = 0;
+      uint64_t clean_inner = 0;
+      double clean_cost = 0.0;
+      {
+        FaultConfig config;
+        config.at(FaultPoint::kDeadline) = kNeverFires;
+        ScopedFaultInjection scoped(config);
+        Result<OptimizationResult> clean =
+            OptimizerRegistry::Get(algorithm)->Optimize(family.graph,
+                                                        cost_model);
+        ASSERT_TRUE(clean.ok()) << family.name << "/" << algorithm;
+        total_ticks =
+            FaultInjector::Instance().arrivals(FaultPoint::kDeadline);
+        clean_inner = clean->stats.inner_counter;
+        clean_cost = clean->cost;
+      }
+      ASSERT_GE(total_ticks, 1u) << family.name << "/" << algorithm;
+
+      uint64_t trip_points[] = {1, (total_ticks + 1) / 2, total_ticks};
+      for (const uint64_t fire_at : trip_points) {
+        SCOPED_TRACE(family.name + std::string("/") + algorithm +
+                     " interrupted at tick " + std::to_string(fire_at) +
+                     " of " + std::to_string(total_ticks));
+        Result<OptimizationResult> salvaged =
+            RunInterrupted(algorithm, family.graph, cost_model, fire_at);
+        // The contract: a complete best-effort plan, not a bare error.
+        ASSERT_TRUE(salvaged.ok()) << salvaged.status().ToString();
+        EXPECT_TRUE(salvaged->stats.best_effort);
+        EXPECT_TRUE(salvaged->degradation.best_effort);
+        EXPECT_EQ(salvaged->degradation.trigger, StatusCode::kBudgetExceeded);
+        EXPECT_FALSE(salvaged->degradation.trigger_message.empty());
+        EXPECT_GE(salvaged->degradation.fragments_used, 1);
+        EXPECT_GT(salvaged->degradation.memo_entries, 0u);
+        EXPECT_GE(salvaged->degradation.memo_coverage, 0.0);
+        EXPECT_LE(salvaged->degradation.memo_coverage, 1.0);
+        EXPECT_TRUE(
+            ValidatePlan(salvaged->plan, family.graph, cost_model).ok());
+        // A salvaged plan is a real plan for the full query, so the true
+        // optimum bounds it from below.
+        EXPECT_GE(salvaged->cost, optimum - 1e-9 * std::max(1.0, optimum));
+        // At the last tick the memo always has SOME plan for the root
+        // set (full coverage) — though not necessarily the optimal one,
+        // since the trip can land before the final cost comparisons.
+        if (fire_at == total_ticks) {
+          EXPECT_EQ(salvaged->degradation.memo_coverage, 1.0);
+        }
+        // When the interruption lands after the enumeration finished
+        // (every pair was compared: same inner counter as the clean
+        // run), salvage reduces to plain extraction and the "degraded"
+        // plan IS the optimum. Note memo_coverage == 1.0 alone does NOT
+        // imply this: the root set gets its first (possibly suboptimal)
+        // plan long before its last decomposition is priced.
+        if (salvaged->stats.inner_counter == clean_inner) {
+          EXPECT_EQ(salvaged->degradation.memo_coverage, 1.0);
+          EXPECT_EQ(salvaged->cost, clean_cost);
+        }
+      }
+    }
+  }
+}
+
+/// Without the opt-in, the same interruptions keep the historical
+/// fail-fast contract: a bare kBudgetExceeded, no degraded plan.
+TEST(AnytimeTest, SalvageStaysOptInUnderInterruption) {
+  const CoutCostModel cost_model;
+  Result<QueryGraph> graph = MakeCliqueQuery(6);
+  ASSERT_TRUE(graph.ok());
+  for (const char* algorithm : kExactDPs) {
+    FaultConfig config;
+    config.at(FaultPoint::kDeadline) = 5;
+    ScopedFaultInjection scoped(config);
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(algorithm)->Optimize(*graph, cost_model);
+    ASSERT_FALSE(result.ok()) << algorithm;
+    EXPECT_EQ(result.status().code(), StatusCode::kBudgetExceeded)
+        << algorithm;
+  }
+}
+
+/// Memo-budget trips (not just deadline trips) salvage the same way:
+/// the leaves are always seeded before the first budget check, so even a
+/// budget too small for a single join pair yields a complete plan.
+TEST(AnytimeTest, MemoBudgetTripSalvagesFromLeavesOnly) {
+  const CoutCostModel cost_model;
+  Result<QueryGraph> graph = MakeChainQuery(8);
+  ASSERT_TRUE(graph.ok());
+  for (const char* algorithm : kExactDPs) {
+    OptimizeOptions options;
+    options.memo_entry_budget = 1;  // Tripped right after leaf seeding.
+    options.salvage_on_interrupt = true;
+    Result<OptimizationResult> result =
+        OptimizerRegistry::Get(algorithm)->Optimize(*graph, cost_model,
+                                                    options);
+    ASSERT_TRUE(result.ok()) << algorithm << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result->stats.best_effort) << algorithm;
+    EXPECT_EQ(result->degradation.trigger, StatusCode::kBudgetExceeded)
+        << algorithm;
+    EXPECT_TRUE(ValidatePlan(result->plan, *graph, cost_model).ok())
+        << algorithm;
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

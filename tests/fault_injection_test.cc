@@ -201,6 +201,78 @@ TEST(ReentrancyTest, ContextIsReusableAfterInjectedFault) {
   EXPECT_EQ(rerun->cost, fresh->cost);
 }
 
+/// The hypergraph path has its own prologue (graph lifting, statistics
+/// validation, a runner-owned memo and governor): a context that routed
+/// through the DPhyp adapter must honor the same re-entrancy contract as
+/// the graph DPs — no stale lifted-graph or runner state may leak into
+/// the rerun.
+TEST(ReentrancyTest, HypergraphContextIsReusableAfterInjectedFault) {
+  Result<QueryGraph> graph = MakeCycleQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  const JoinOrderer* dphyp = OptimizerRegistry::Get("DPhyp");
+
+  std::unique_ptr<OptimizerContext> ctx;
+  {
+    FaultConfig config;
+    config.at(FaultPoint::kArenaAlloc) = 4;
+    ScopedFaultInjection scoped(config);
+    ctx = std::make_unique<OptimizerContext>(*graph, cost_model);
+    Result<OptimizationResult> faulted = dphyp->Optimize(*ctx);
+    ASSERT_FALSE(faulted.ok());
+    EXPECT_EQ(faulted.status().code(), StatusCode::kInternal);
+  }
+
+  ctx->ResetForRerun();
+  Result<OptimizationResult> rerun = dphyp->Optimize(*ctx);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->stats.algorithm, "DPhyp");
+  EXPECT_FALSE(rerun->stats.best_effort);
+  EXPECT_TRUE(ValidatePlan(rerun->plan, *graph, cost_model).ok());
+
+  Result<OptimizationResult> fresh = dphyp->Optimize(*graph, cost_model);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(rerun->cost, fresh->cost);
+  EXPECT_EQ(rerun->cardinality, fresh->cardinality);
+  // The lifted hypergraph DP must still agree with DPccp on the rerun
+  // (to rounding: DPccp estimates on a BFS-relabeled graph, so the
+  // product evaluation order differs in the last ULPs).
+  Result<OptimizationResult> ccp =
+      OptimizerRegistry::Get("DPccp")->Optimize(*graph, cost_model);
+  ASSERT_TRUE(ccp.ok());
+  EXPECT_NEAR(rerun->cost, ccp->cost, 1e-9 * ccp->cost);
+}
+
+/// Same contract after a salvaged (best-effort) hypergraph run: the
+/// degraded result must not poison the context for an exact rerun.
+TEST(ReentrancyTest, HypergraphContextIsReusableAfterSalvagedRun) {
+  Result<QueryGraph> graph = MakeCliqueQuery(6);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  const JoinOrderer* dphyp = OptimizerRegistry::Get("DPhyp");
+
+  OptimizeOptions tiny;
+  tiny.memo_entry_budget = 8;
+  tiny.salvage_on_interrupt = true;
+  OptimizerContext ctx(*graph, cost_model, tiny);
+  Result<OptimizationResult> degraded = dphyp->Optimize(ctx);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->stats.best_effort);
+  EXPECT_TRUE(degraded->degradation.best_effort);
+  EXPECT_LT(degraded->degradation.memo_coverage, 1.0);
+  EXPECT_TRUE(ValidatePlan(degraded->plan, *graph, cost_model).ok());
+
+  ctx.ResetForRerun();
+  Result<OptimizationResult> rerun = dphyp->Optimize(ctx);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_FALSE(rerun->stats.best_effort);
+  Result<OptimizationResult> fresh = dphyp->Optimize(*graph, cost_model);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(rerun->cost, fresh->cost);
+  // The salvaged plan is complete, so its cost bounds the optimum above.
+  EXPECT_GE(degraded->cost, fresh->cost);
+}
+
 /// ResetForRerun accepts new options, so a budget-tripped run can be
 /// retried with a raised budget on the same context.
 TEST(ReentrancyTest, ResetForRerunAcceptsNewOptions) {

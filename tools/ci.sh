@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: configure, build, and run the full test suite twice —
-# once plain (RelWithDebInfo, the shipping configuration) and once under
+# Tier-1 CI gate: configure, build, and run the full test suite three
+# times — plain (RelWithDebInfo, the shipping configuration), under
 # ASan+UBSan (Debug, so assertions and the plan-table generation checks
-# are live). Intended both for automation and as the one command to run
-# before sending a change:
+# are live), and under TSan (Debug), which builds only the concurrent
+# soak harness and runs a ~60s multi-threaded anytime-optimization soak.
+# Intended both for automation and as the one command to run before
+# sending a change:
 #
-#   tools/ci.sh            # both passes
+#   tools/ci.sh            # all three passes
 #   tools/ci.sh plain      # just the plain pass
-#   tools/ci.sh sanitize   # just the sanitizer pass
+#   tools/ci.sh sanitize   # just the ASan+UBSan pass
+#   tools/ci.sh tsan       # just the TSan soak pass
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,13 +33,34 @@ run_pass() {
   # error path.
   "${build_dir}/tools/joinopt_fuzz" --iters 500 --seed 1
   "${build_dir}/tools/joinopt_fuzz" --iters 500 --seed 20060912
+  echo "=== ${label}: soak smoke ==="
+  # The concurrent anytime soak: mixed graph families, randomized budget
+  # / deadline / fault trips, per-thread fault injectors. Any crash,
+  # invalid plan, or cross-query state leak fails the run.
+  "${build_dir}/tools/joinopt_soak" --threads 8 --queries 500
+}
+
+run_tsan_pass() {
+  local build_dir="build-tsan"
+  echo "=== tsan: configure (${build_dir}) ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Debug -DJOINOPT_SANITIZE=thread
+  echo "=== tsan: build joinopt_soak ==="
+  cmake --build "${build_dir}" -j "${jobs}" --target joinopt_soak
+  echo "=== tsan: concurrent soak (~60s) ==="
+  # TSan halts the process on the first data race (halt_on_error via
+  # -fno-sanitize-recover=all), so a clean exit here certifies the
+  # thread_local fault injector and the shared registry/statics are
+  # race-free under 8-way concurrent optimization.
+  "${build_dir}/tools/joinopt_soak" --threads 8 --queries 500 \
+    --seed 20060912
 }
 
 mode="${1:-all}"
 case "${mode}" in
-  plain | sanitize | all) ;;
+  plain | sanitize | tsan | all) ;;
   *)
-    echo "usage: $0 [plain|sanitize|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|all]" >&2
     exit 2
     ;;
 esac
@@ -47,6 +71,9 @@ fi
 if [[ "${mode}" == sanitize || "${mode}" == all ]]; then
   run_pass "sanitize" build-sanitize \
     -DCMAKE_BUILD_TYPE=Debug -DJOINOPT_SANITIZE=ON
+fi
+if [[ "${mode}" == tsan || "${mode}" == all ]]; then
+  run_tsan_pass
 fi
 
 echo "=== CI green (${mode}) ==="

@@ -73,6 +73,32 @@ expect degenerate_stats 5 "DegenerateStatistics" -- \
 expect injected_alloc_failure 8 "Internal" -- \
   env JOINOPT_FAULT_ALLOC_AT=1 "${CLI}" explain "${GOOD}"
 
+# --best-effort: the same tripped budget now salvages a complete plan.
+# Exit 9 is the one nonzero code that DOES write stdout (the plan), so it
+# gets its own check instead of expect().
+be_out="${TMPDIR_LOCAL}/best_effort.out"
+be_err="${TMPDIR_LOCAL}/best_effort.err"
+env JOINOPT_MEMO_BUDGET=1 "${CLI}" explain --best-effort "${GOOD}" \
+  >"${be_out}" 2>"${be_err}"
+be_code=$?
+if [ "${be_code}" -ne 9 ]; then
+  echo "FAIL best_effort: exit code ${be_code}, want 9" >&2
+  sed 's/^/    stderr: /' "${be_err}" >&2
+  fails=$((fails + 1))
+elif ! [ -s "${be_out}" ]; then
+  echo "FAIL best_effort: salvaged plan missing from stdout" >&2
+  fails=$((fails + 1))
+elif ! grep -q "best-effort" "${be_err}"; then
+  echo "FAIL best_effort: degradation report missing from stderr" >&2
+  sed 's/^/    stderr: /' "${be_err}" >&2
+  fails=$((fails + 1))
+else
+  echo "ok best_effort"
+fi
+# Without the flag the same limit still fails hard: salvage is opt-in.
+expect budget_without_flag 6 "BudgetExceeded" -- \
+  env JOINOPT_MEMO_BUDGET=1 "${CLI}" explain "${GOOD}"
+
 if [ "${fails}" -ne 0 ]; then
   echo "${fails} exit-code contract check(s) failed" >&2
   exit 1

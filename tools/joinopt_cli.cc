@@ -15,8 +15,14 @@
 /// (wall-clock seconds) and JOINOPT_MEMO_BUDGET (max memo entries). A
 /// tripped limit reports BudgetExceeded unless the algorithm degrades
 /// gracefully (Adaptive falls back and reports what it fell back from).
-/// The JOINOPT_FAULT_* knobs (see src/testing/fault_injection.h) arm the
-/// deterministic fault injector for crash-safety testing.
+/// With --best-effort, a tripped limit instead salvages a complete plan
+/// from the partial memo: the plan goes to stdout exactly like a normal
+/// result, the degradation report goes to stderr, and the process exits
+/// with code 9 so scripts can tell a salvaged answer from an optimal one.
+/// JOINOPT_POLICY overrides the Adaptive degradation ladder (see
+/// src/core/policy.h for the grammar). The JOINOPT_FAULT_* knobs (see
+/// src/testing/fault_injection.h) arm the deterministic fault injector
+/// for crash-safety testing.
 ///
 /// Exit codes (all diagnostics go to stderr):
 ///   0  success
@@ -28,6 +34,8 @@
 ///   7  algorithm precondition violated, e.g. disconnected graph
 ///      (FailedPrecondition)
 ///   8  internal error (Internal and anything unclassified)
+///   9  success, but the plan is best-effort (--best-effort salvage; the
+///      plan is on stdout, the degradation report on stderr)
 
 #include <cstdio>
 #include <cstdlib>
@@ -101,6 +109,10 @@ Result<const JoinOrderer*> LookupOrderer(const std::string& name) {
   return OptimizerRegistry::GetOrError(key);
 }
 
+/// Set by the --best-effort flag: arm partial-memo salvage so a tripped
+/// limit degrades to a complete (suboptimal) plan instead of exit 6.
+bool g_best_effort = false;
+
 /// Optimization limits from the environment; unset means unlimited.
 OptimizeOptions OptionsFromEnv() {
   OptimizeOptions options;
@@ -110,7 +122,19 @@ OptimizeOptions OptionsFromEnv() {
   if (const char* env = std::getenv("JOINOPT_MEMO_BUDGET")) {
     options.memo_entry_budget = std::strtoull(env, nullptr, 10);
   }
+  options.salvage_on_interrupt = g_best_effort;
   return options;
+}
+
+/// Epilogue for commands that print a plan: reports a salvaged result on
+/// stderr and converts it to the dedicated exit code. The plan itself has
+/// already gone to stdout, so `... || [ $? -eq 9 ]` keeps the output.
+int FinishPlanCommand(const OptimizationResult& result) {
+  if (!result.stats.best_effort) {
+    return 0;
+  }
+  std::fprintf(stderr, "%s\n", result.degradation.ToString().c_str());
+  return 9;
 }
 
 /// The exit-code contract from the file header: every StatusCode maps to
@@ -187,7 +211,7 @@ int Explain(const std::string& path, const std::string& algo,
                 algo.c_str(), result->stats.fallback_from.c_str(),
                 result->stats.algorithm.c_str());
   }
-  return 0;
+  return FinishPlanCommand(*result);
 }
 
 int Dot(const std::string& path, const std::string& what) {
@@ -215,7 +239,7 @@ int Dot(const std::string& path, const std::string& what) {
     return Fail(result.status());
   }
   std::fputs(PlanToDot(result->plan, *graph).c_str(), stdout);
-  return 0;
+  return FinishPlanCommand(*result);
 }
 
 int Generate(const std::string& shape_name, int n, uint64_t seed) {
@@ -310,7 +334,7 @@ int Sql(const std::string& catalog_path, const std::string& query,
               PlanToExplainString(result->plan, *graph).c_str(),
               PlanToExpression(result->plan, *graph).c_str(), result->cost,
               result->cardinality);
-  return 0;
+  return FinishPlanCommand(*result);
 }
 
 int Hyper(const std::string& path) {
@@ -335,7 +359,7 @@ int Hyper(const std::string& path) {
               PlanToExpression(result->plan, *graph).c_str(), result->cost,
               static_cast<unsigned long long>(
                   result->stats.ono_lohman_counter));
-  return 0;
+  return FinishPlanCommand(*result);
 }
 
 int List() {
@@ -355,11 +379,16 @@ int Usage(const char* argv0) {
                "  %s generate <shape> <n> [seed]\n"
                "  %s counters <shape> <n>\n"
                "  %s list\n"
+               "flags:  --best-effort  salvage a complete plan from the\n"
+               "        partial memo when a limit trips (exit 9, report on\n"
+               "        stderr) instead of failing with exit 6\n"
                "limits: JOINOPT_DEADLINE_S=<s> JOINOPT_MEMO_BUDGET=<entries>\n"
+               "policy: JOINOPT_POLICY=<ladder> (Adaptive; see DESIGN.md)\n"
                "faults: JOINOPT_FAULT_SEED / JOINOPT_FAULT_{ALLOC,TRACE,"
                "DEADLINE,STATS}_AT\n"
                "exit codes: 0 ok, 2 usage, 3 input, 4 catalog, 5 stats,\n"
-               "            6 budget, 7 precondition, 8 internal\n",
+               "            6 budget, 7 precondition, 8 internal,\n"
+               "            9 best-effort plan\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -369,6 +398,17 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   using namespace joinopt;  // NOLINT(build/namespaces) — tool brevity.
+  // Strip --best-effort wherever it appears so the flag composes with
+  // every command's positional arguments.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--best-effort") {
+      g_best_effort = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   if (argc < 2) {
     return Usage(argv[0]);
   }

@@ -58,6 +58,7 @@
 #include "joinopt.h"
 #include "testing/adversarial.h"
 #include "testing/fault_injection.h"
+#include "testing/workloads.h"
 
 namespace joinopt {
 namespace {
@@ -85,41 +86,6 @@ struct FuzzFailure {
       return;                                                  \
     }                                                          \
   } while (false)
-
-/// Draws one of the seven graph families with random size and random
-/// (legal) statistics.
-Result<QueryGraph> DrawGraph(Random& rng, std::string* family) {
-  WorkloadConfig config;
-  config.seed = rng.NextUint64();
-  switch (rng.Uniform(7)) {
-    case 0:
-      *family = "chain";
-      return MakeChainQuery(2 + static_cast<int>(rng.Uniform(9)), config);
-    case 1:
-      *family = "cycle";
-      return MakeCycleQuery(3 + static_cast<int>(rng.Uniform(8)), config);
-    case 2:
-      *family = "star";
-      return MakeStarQuery(2 + static_cast<int>(rng.Uniform(9)), config);
-    case 3:
-      *family = "clique";
-      return MakeCliqueQuery(2 + static_cast<int>(rng.Uniform(7)), config);
-    case 4:
-      *family = "snowflake";
-      return MakeSnowflakeQuery(2 + static_cast<int>(rng.Uniform(2)),
-                                1 + static_cast<int>(rng.Uniform(3)), config);
-    case 5:
-      *family = "grid";
-      return MakeGridQuery(2 + static_cast<int>(rng.Uniform(2)),
-                           2 + static_cast<int>(rng.Uniform(2)), config);
-    default: {
-      *family = "random";
-      const int n = 2 + static_cast<int>(rng.Uniform(9));
-      return MakeRandomConnectedQuery(n, static_cast<int>(rng.Uniform(n)),
-                                      config);
-    }
-  }
-}
 
 /// The differential oracle: all four algorithms succeed, their plans
 /// validate, and their costs agree (up to saturation).
@@ -267,7 +233,7 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
   for (uint64_t i = 0; i < iterations; ++i) {
     Random rng(seed * 1000003 + i);
     std::string family;
-    Result<QueryGraph> drawn = DrawGraph(rng, &family);
+    Result<QueryGraph> drawn = testing::DrawWorkloadGraph(rng, &family);
     if (!drawn.ok()) {
       std::fprintf(stderr,
                    "iteration %" PRIu64 " (seed %" PRIu64

@@ -1,0 +1,376 @@
+/// joinopt_soak — the concurrent anytime-optimization soak harness.
+///
+///   joinopt_soak [--threads N] [--queries N] [--seed S] [--verbose]
+///
+/// N worker threads pull queries off a shared seeded stream (all seven
+/// graph families via testing::DrawWorkloadGraph) and optimize each with
+/// a randomly drawn algorithm (the four exact DPs plus the Adaptive
+/// facade) under randomly drawn pressure: tight per-query deadlines,
+/// small memo budgets, and randomized fault-injection schedules
+/// (allocation, clock, trace-sink), all with anytime salvage armed.
+/// The per-query RNG depends only on (seed, query index), never on the
+/// thread that happens to run it, so any failure reproduces
+/// single-threaded with the printed seed.
+///
+/// Oracles, checked for every query:
+///
+///   * no crash, ever — any escaped exception or signal fails CI;
+///   * every successful result is either exact (cost equals a clean
+///     DPccp baseline computed on the same thread) or a validator-clean
+///     best-effort plan with a populated DegradationReport whose cost is
+///     >= the baseline optimum;
+///   * failures are confined to the typed degradation codes
+///     (kBudgetExceeded / kInternal);
+///   * no cross-query state leakage: every worker re-runs a fixed
+///     sentinel query at intervals and must reproduce the exact cost the
+///     main thread computed before the workers started (the fault
+///     injector, governor, and memo are all per-run/per-thread state —
+///     any bleed shows up here);
+///   * liveness: a watchdog thread aborts the process with diagnostics
+///     when no worker makes progress for 30 seconds.
+///
+/// Exit code 0 when the whole stream completes clean; 1 on the first
+/// violated oracle (with the query index + seed reproducer); 2 on usage
+/// errors; 3 on a watchdog stall. Runs under ThreadSanitizer in
+/// tools/ci.sh (JOINOPT_SANITIZE=thread).
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "joinopt.h"
+#include "testing/adversarial.h"
+#include "testing/fault_injection.h"
+#include "testing/workloads.h"
+
+namespace joinopt {
+namespace {
+
+const char* const kAlgorithms[] = {"DPsize", "DPsub", "DPccp", "DPhyp",
+                                   "Adaptive"};
+constexpr int kAlgorithmCount = 5;
+
+/// Relative tolerance for cost comparisons: the baseline and the checked
+/// run price identical trees through identical arithmetic, so this only
+/// absorbs the validator-style reassociation noise.
+constexpr double kCostTolerance = 1e-6;
+
+/// The sentinel query for leak detection: fixed family, size, and seed.
+constexpr uint64_t kSentinelSeed = 4242;
+
+struct SoakConfig {
+  int threads = 8;
+  uint64_t queries = 500;
+  uint64_t seed = 20060912;
+  bool verbose = false;
+};
+
+struct SharedState {
+  std::atomic<uint64_t> next_query{0};
+  /// Monotone progress counter the watchdog watches.
+  std::atomic<uint64_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::atomic<bool> done{false};
+  std::mutex failure_mutex;
+  std::string failure_detail;
+
+  void Fail(std::string detail) {
+    const std::lock_guard<std::mutex> lock(failure_mutex);
+    if (!failed.exchange(true)) {
+      failure_detail = std::move(detail);
+    }
+  }
+};
+
+Result<QueryGraph> MakeSentinelQuery() {
+  WorkloadConfig config;
+  config.seed = kSentinelSeed;
+  return MakeChainQuery(6, config);
+}
+
+/// One worker's view of the run: its RNG is re-seeded per query from the
+/// query index, so the stream is thread-assignment independent.
+class Worker {
+ public:
+  Worker(const SoakConfig& config, SharedState& shared, double sentinel_cost)
+      : config_(config), shared_(shared), sentinel_cost_(sentinel_cost) {}
+
+  void Run() {
+    const Result<QueryGraph> sentinel = MakeSentinelQuery();
+    if (!sentinel.ok()) {
+      shared_.Fail("sentinel generator failed: " +
+                   sentinel.status().ToString());
+      return;
+    }
+    while (!shared_.failed.load(std::memory_order_relaxed)) {
+      const uint64_t q =
+          shared_.next_query.fetch_add(1, std::memory_order_relaxed);
+      if (q >= config_.queries) {
+        break;
+      }
+      RunQuery(q);
+      shared_.completed.fetch_add(1, std::memory_order_relaxed);
+      if (q % 50 == 17) {
+        CheckSentinel(*sentinel, q);
+      }
+    }
+  }
+
+ private:
+  void RunQuery(uint64_t q) {
+    Random rng(config_.seed * 1000003 + q);
+    std::string family;
+    Result<QueryGraph> drawn = testing::DrawWorkloadGraph(rng, &family);
+    if (!drawn.ok()) {
+      FailQuery(q, family, "generator failed: " + drawn.status().ToString());
+      return;
+    }
+    const QueryGraph& graph = *drawn;
+    const CoutCostModel cost_model;
+    const JoinOrderer* orderer =
+        OptimizerRegistry::Get(kAlgorithms[rng.Uniform(kAlgorithmCount)]);
+    if (orderer == nullptr) {
+      FailQuery(q, family, "algorithm missing from registry");
+      return;
+    }
+
+    // Draw this query's pressure: deadlines and budgets tight enough to
+    // trip mid-run on the larger graphs, plus at most one fault point.
+    OptimizeOptions options;
+    options.salvage_on_interrupt = true;
+    if (rng.Bernoulli(0.5)) {
+      options.memo_entry_budget = 4 + rng.Uniform(60);
+    }
+    if (rng.Bernoulli(0.3)) {
+      options.deadline_seconds = rng.UniformDouble(1e-7, 2e-3);
+    }
+    testing::FaultConfig fault;
+    switch (rng.Uniform(4)) {
+      case 0:
+        fault.at(testing::FaultPoint::kArenaAlloc) = 1 + rng.Uniform(512);
+        break;
+      case 1:
+        fault.at(testing::FaultPoint::kDeadline) = 1 + rng.Uniform(512);
+        break;
+      case 2:
+        fault.at(testing::FaultPoint::kTraceSink) = 1 + rng.Uniform(64);
+        break;
+      default:
+        break;  // One in four queries runs fault-free.
+    }
+    testing::ThrowingTraceSink sink;
+    if (fault.at(testing::FaultPoint::kTraceSink) != 0) {
+      options.trace = &sink;
+    }
+
+    Result<OptimizationResult> result = Status::Internal("never ran");
+    {
+      // The injector is thread_local, so this schedule is invisible to
+      // every other worker. Construct the context inside the scope: the
+      // governor caches the armed flag at construction.
+      testing::ScopedFaultInjection scoped(fault);
+      OptimizerContext ctx(graph, cost_model, options);
+      result = orderer->Optimize(ctx);
+    }
+
+    // Clean exact baseline on this thread (fault scope already restored).
+    const JoinOrderer* baseline_orderer = OptimizerRegistry::Get("DPccp");
+    Result<OptimizationResult> baseline =
+        baseline_orderer->Optimize(graph, cost_model);
+    if (!baseline.ok()) {
+      FailQuery(q, family,
+                "clean DPccp baseline failed: " + baseline.status().ToString());
+      return;
+    }
+
+    if (!result.ok()) {
+      const StatusCode code = result.status().code();
+      if (code != StatusCode::kBudgetExceeded &&
+          code != StatusCode::kInternal) {
+        FailQuery(q, family,
+                  std::string(orderer->name()) +
+                      " failed outside the degradation codes: " +
+                      result.status().ToString());
+      }
+      return;
+    }
+
+    const Status valid = ValidatePlan(result->plan, graph, cost_model);
+    if (!valid.ok()) {
+      FailQuery(q, family,
+                std::string(orderer->name()) +
+                    " plan failed validation: " + valid.ToString());
+      return;
+    }
+    const double floor = baseline->cost * (1.0 - kCostTolerance);
+    if (result->cost < floor) {
+      FailQuery(q, family,
+                std::string(orderer->name()) + " cost " +
+                    std::to_string(result->cost) +
+                    " beat the exact optimum " +
+                    std::to_string(baseline->cost));
+      return;
+    }
+    if (result->stats.best_effort) {
+      if (!result->degradation.best_effort ||
+          result->degradation.trigger == StatusCode::kOk) {
+        FailQuery(q, family, "best-effort result with an empty "
+                             "DegradationReport");
+        return;
+      }
+    } else if (result->stats.fallback_from.empty() &&
+               std::string(orderer->name()) != "GOO" &&
+               result->stats.algorithm != "IDP1" &&
+               result->stats.algorithm != "GOO") {
+      // Exact completion by an exact DP: must match the baseline optimum.
+      const double ceiling = baseline->cost * (1.0 + kCostTolerance);
+      if (result->cost > ceiling) {
+        FailQuery(q, family,
+                  result->stats.algorithm + " completed exactly with cost " +
+                      std::to_string(result->cost) + " but the optimum is " +
+                      std::to_string(baseline->cost));
+        return;
+      }
+    }
+  }
+
+  /// Re-runs the fixed sentinel with clean options; any deviation from
+  /// the pre-computed cost means one query's state leaked into another.
+  void CheckSentinel(const QueryGraph& sentinel, uint64_t after_query) {
+    const CoutCostModel cost_model;
+    const JoinOrderer* orderer = OptimizerRegistry::Get("DPccp");
+    Result<OptimizationResult> result =
+        orderer->Optimize(sentinel, cost_model);
+    if (!result.ok()) {
+      shared_.Fail("sentinel query failed after query " +
+                   std::to_string(after_query) + ": " +
+                   result.status().ToString());
+      return;
+    }
+    if (result->cost != sentinel_cost_ || result->stats.best_effort) {
+      char buffer[192];
+      std::snprintf(buffer, sizeof(buffer),
+                    "cross-query state leak: sentinel cost %.17g != %.17g "
+                    "after query %" PRIu64,
+                    result->cost, sentinel_cost_, after_query);
+      shared_.Fail(buffer);
+    }
+  }
+
+  void FailQuery(uint64_t q, const std::string& family, std::string detail) {
+    shared_.Fail("query " + std::to_string(q) + " (family " + family +
+                 ", reproduce: joinopt_soak --threads 1 --seed " +
+                 std::to_string(config_.seed) + " --queries " +
+                 std::to_string(q + 1) + "): " + std::move(detail));
+  }
+
+  const SoakConfig& config_;
+  SharedState& shared_;
+  double sentinel_cost_;
+};
+
+/// Aborts the process when the workers stop making progress: a deadlock
+/// or livelock under TSan/faults must fail loudly, not hang CI.
+void Watchdog(SharedState& shared) {
+  constexpr auto kStallLimit = std::chrono::seconds(30);
+  uint64_t last_completed = shared.completed.load();
+  auto last_change = std::chrono::steady_clock::now();
+  while (!shared.done.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const uint64_t now_completed = shared.completed.load();
+    const auto now = std::chrono::steady_clock::now();
+    if (now_completed != last_completed) {
+      last_completed = now_completed;
+      last_change = now;
+    } else if (now - last_change > kStallLimit) {
+      std::fprintf(stderr,
+                   "joinopt_soak: WATCHDOG: no progress for 30s at %" PRIu64
+                   " completed queries; aborting\n",
+                   now_completed);
+      std::_Exit(3);
+    }
+  }
+}
+
+int Run(const SoakConfig& config) {
+  // Pre-compute the sentinel optimum (and force registry construction)
+  // on the main thread before any worker exists.
+  const Result<QueryGraph> sentinel = MakeSentinelQuery();
+  if (!sentinel.ok()) {
+    std::fprintf(stderr, "joinopt_soak: sentinel generator failed: %s\n",
+                 sentinel.status().ToString().c_str());
+    return 1;
+  }
+  const CoutCostModel cost_model;
+  const Result<OptimizationResult> sentinel_result =
+      OptimizerRegistry::Get("DPccp")->Optimize(*sentinel, cost_model);
+  if (!sentinel_result.ok()) {
+    std::fprintf(stderr, "joinopt_soak: sentinel baseline failed: %s\n",
+                 sentinel_result.status().ToString().c_str());
+    return 1;
+  }
+
+  SharedState shared;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> threads;
+  workers.reserve(config.threads);
+  threads.reserve(config.threads);
+  std::thread watchdog(Watchdog, std::ref(shared));
+  for (int t = 0; t < config.threads; ++t) {
+    workers.push_back(
+        std::make_unique<Worker>(config, shared, sentinel_result->cost));
+    threads.emplace_back(&Worker::Run, workers.back().get());
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  shared.done.store(true);
+  watchdog.join();
+
+  if (shared.failed.load()) {
+    std::fprintf(stderr, "joinopt_soak: FAIL %s\n",
+                 shared.failure_detail.c_str());
+    return 1;
+  }
+  std::printf("joinopt_soak: %" PRIu64 " queries x %d threads clean (seed %"
+              PRIu64 ")\n",
+              config.queries, config.threads, config.seed);
+  return 0;
+}
+
+}  // namespace
+}  // namespace joinopt
+
+int main(int argc, char** argv) {
+  joinopt::SoakConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      config.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      config.queries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      config.verbose = true;
+    } else {
+      std::fprintf(
+          stderr, "usage: %s [--threads N] [--queries N] [--seed S]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+  if (config.threads < 1 || config.threads > 256) {
+    std::fprintf(stderr, "joinopt_soak: --threads must be in [1, 256]\n");
+    return 2;
+  }
+  return joinopt::Run(config);
+}
