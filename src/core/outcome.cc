@@ -1,0 +1,133 @@
+#include "core/outcome.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace joinopt {
+
+namespace {
+
+/// The replay contract is bit-for-bit, so compare representations: this
+/// treats two NaNs with the same payload as equal (plain == would not)
+/// and distinguishes +0 from -0 (both survive serialization unchanged).
+bool BitEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+void AppendDiff(std::string& out, const char* field, const std::string& got,
+                const std::string& want) {
+  if (!out.empty()) {
+    out += '\n';
+  }
+  out += field;
+  out += ": observed ";
+  out += got;
+  out += ", expected ";
+  out += want;
+}
+
+std::string FormatG17(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string FormatU64(uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+}  // namespace
+
+bool operator==(const OutcomeSignature& a, const OutcomeSignature& b) {
+  return a.status == b.status && BitEqual(a.cost, b.cost) &&
+         BitEqual(a.cardinality, b.cardinality) &&
+         a.inner_counter == b.inner_counter &&
+         a.csg_cmp_pair_counter == b.csg_cmp_pair_counter &&
+         a.create_join_tree_calls == b.create_join_tree_calls &&
+         a.plans_stored == b.plans_stored && a.best_effort == b.best_effort &&
+         a.trigger == b.trigger;
+}
+
+std::string OutcomeSignature::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "status=%s cost=%.17g rows=%.17g inner=%" PRIu64
+                " pairs=%" PRIu64 " trees=%" PRIu64 " stored=%" PRIu64
+                " best_effort=%d trigger=%s",
+                std::string(StatusCodeToString(status)).c_str(), cost,
+                cardinality, inner_counter, csg_cmp_pair_counter,
+                create_join_tree_calls, plans_stored, best_effort ? 1 : 0,
+                std::string(StatusCodeToString(trigger)).c_str());
+  return buffer;
+}
+
+std::string OutcomeSignature::DiffAgainst(
+    const OutcomeSignature& expected) const {
+  std::string out;
+  if (status != expected.status) {
+    AppendDiff(out, "status", std::string(StatusCodeToString(status)),
+               std::string(StatusCodeToString(expected.status)));
+  }
+  if (!BitEqual(cost, expected.cost)) {
+    AppendDiff(out, "cost", FormatG17(cost), FormatG17(expected.cost));
+  }
+  if (!BitEqual(cardinality, expected.cardinality)) {
+    AppendDiff(out, "cardinality", FormatG17(cardinality),
+               FormatG17(expected.cardinality));
+  }
+  if (inner_counter != expected.inner_counter) {
+    AppendDiff(out, "inner_counter", FormatU64(inner_counter),
+               FormatU64(expected.inner_counter));
+  }
+  if (csg_cmp_pair_counter != expected.csg_cmp_pair_counter) {
+    AppendDiff(out, "csg_cmp_pair_counter", FormatU64(csg_cmp_pair_counter),
+               FormatU64(expected.csg_cmp_pair_counter));
+  }
+  if (create_join_tree_calls != expected.create_join_tree_calls) {
+    AppendDiff(out, "create_join_tree_calls",
+               FormatU64(create_join_tree_calls),
+               FormatU64(expected.create_join_tree_calls));
+  }
+  if (plans_stored != expected.plans_stored) {
+    AppendDiff(out, "plans_stored", FormatU64(plans_stored),
+               FormatU64(expected.plans_stored));
+  }
+  if (best_effort != expected.best_effort) {
+    AppendDiff(out, "best_effort", best_effort ? "on" : "off",
+               expected.best_effort ? "on" : "off");
+  }
+  if (trigger != expected.trigger) {
+    AppendDiff(out, "trigger", std::string(StatusCodeToString(trigger)),
+               std::string(StatusCodeToString(expected.trigger)));
+  }
+  return out;
+}
+
+OutcomeSignature ExtractOutcomeSignature(
+    const Result<OptimizationResult>& result,
+    const OptimizerStats& run_stats) {
+  OutcomeSignature sig;
+  if (result.ok()) {
+    sig.status = StatusCode::kOk;
+    sig.cost = result->cost;
+    sig.cardinality = result->cardinality;
+    sig.inner_counter = result->stats.inner_counter;
+    sig.csg_cmp_pair_counter = result->stats.csg_cmp_pair_counter;
+    sig.create_join_tree_calls = result->stats.create_join_tree_calls;
+    sig.plans_stored = result->stats.plans_stored;
+    sig.best_effort = result->stats.best_effort;
+    sig.trigger = result->degradation.trigger;
+  } else {
+    sig.status = result.status().code();
+    sig.inner_counter = run_stats.inner_counter;
+    sig.csg_cmp_pair_counter = run_stats.csg_cmp_pair_counter;
+    sig.create_join_tree_calls = run_stats.create_join_tree_calls;
+    sig.plans_stored = run_stats.plans_stored;
+  }
+  return sig;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,74 @@
+#ifndef JOINOPT_CORE_OUTCOME_H_
+#define JOINOPT_CORE_OUTCOME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/optimizer.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// The deterministic fingerprint of one optimization run: everything a
+/// replay must reproduce bit-for-bit, and nothing that legitimately
+/// varies between runs (wall-clock time, machine, thread). Two runs of
+/// the same ReproBundle on the same build must produce equal signatures;
+/// the flight recorder (src/testing/repro.h) persists these as the
+/// `expect` section of a bundle and the replay command diffs them.
+struct OutcomeSignature {
+  /// Terminal status of the run. kOk for a completed plan (exact or
+  /// salvaged); the typed failure code otherwise.
+  StatusCode status = StatusCode::kOk;
+  /// Plan cost and estimated cardinality; 0 when the run failed.
+  double cost = 0.0;
+  double cardinality = 0.0;
+  /// The paper counters plus plans_stored, as collected up to the moment
+  /// the run terminated — interrupted runs keep their partial totals, so
+  /// the firing step of a fault is pinned by these.
+  uint64_t inner_counter = 0;
+  uint64_t csg_cmp_pair_counter = 0;
+  uint64_t create_join_tree_calls = 0;
+  uint64_t plans_stored = 0;
+  /// Degradation outcome: whether the plan was salvaged best-effort, and
+  /// the StatusCode that triggered the salvage (kOk on exact results).
+  bool best_effort = false;
+  StatusCode trigger = StatusCode::kOk;
+
+  friend bool operator==(const OutcomeSignature& a,
+                         const OutcomeSignature& b);
+  friend bool operator!=(const OutcomeSignature& a,
+                         const OutcomeSignature& b) {
+    return !(a == b);
+  }
+
+  /// One-line human rendering ("status=Internal cost=0 ...").
+  std::string ToString() const;
+
+  /// Empty string when *this equals `expected`; otherwise a description
+  /// of every differing field, `field: observed X, expected Y` per line.
+  /// Doubles are compared bit-for-bit (via their shortest round-trip
+  /// text), matching the replay contract.
+  std::string DiffAgainst(const OutcomeSignature& expected) const;
+
+  /// True when `other` fails the same way: equal status, best_effort,
+  /// and trigger. This is the coarse signature the delta-debugging
+  /// minimizer preserves — cost and counters legitimately change as the
+  /// query shrinks, the failure class must not.
+  bool SameFailureKind(const OutcomeSignature& other) const {
+    return status == other.status && best_effort == other.best_effort &&
+           trigger == other.trigger;
+  }
+};
+
+/// Extracts the signature of a finished run. `result` is the orderer's
+/// return value; `run_stats` is the context's stats, which keep their
+/// partial counter totals even when the run failed (the convenience
+/// Optimize overload discards them, so replay drives its own
+/// OptimizerContext). On success the counters are read from the result
+/// itself so the collect_counters reporting toggle is honored.
+OutcomeSignature ExtractOutcomeSignature(
+    const Result<OptimizationResult>& result, const OptimizerStats& run_stats);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_OUTCOME_H_

@@ -1,0 +1,113 @@
+#include "dsl/directive.h"
+
+#include <charconv>
+
+namespace joinopt {
+
+namespace {
+
+std::string LineContext(std::string_view what, int line) {
+  return "line " + std::to_string(line) + ": " + std::string(what);
+}
+
+}  // namespace
+
+std::string Directive::JoinedArgs() const {
+  std::string out;
+  for (const std::string& arg : args) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += arg;
+  }
+  return out;
+}
+
+std::vector<Directive> ParseDirectives(std::string_view text) {
+  std::vector<Directive> out;
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    ++line_number;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    Directive directive;
+    directive.line = line_number;
+    size_t cursor = 0;
+    while (cursor < line.size()) {
+      while (cursor < line.size() &&
+             (line[cursor] == ' ' || line[cursor] == '\t' ||
+              line[cursor] == '\r')) {
+        ++cursor;
+      }
+      const size_t start = cursor;
+      while (cursor < line.size() && line[cursor] != ' ' &&
+             line[cursor] != '\t' && line[cursor] != '\r') {
+        ++cursor;
+      }
+      if (cursor > start) {
+        if (directive.keyword.empty()) {
+          directive.keyword = std::string(line.substr(start, cursor - start));
+        } else {
+          directive.args.emplace_back(line.substr(start, cursor - start));
+        }
+      }
+    }
+    if (!directive.keyword.empty()) {
+      out.push_back(std::move(directive));
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> ParseU64Field(std::string_view token, std::string_view what,
+                               int line) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument(LineContext(what, line) + " '" +
+                                   std::string(token) +
+                                   "' is not an unsigned integer");
+  }
+  return value;
+}
+
+Result<double> ParseDoubleField(std::string_view token, std::string_view what,
+                                int line) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  // std::from_chars(double) accepts "inf"/"nan" spellings per
+  // chars_format::general, so serialized degenerate statistics parse
+  // back; out-of-range magnitudes (1e999) are rejected like garbage.
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument(LineContext(what, line) + " '" +
+                                   std::string(token) +
+                                   "' is not a number");
+  }
+  return value;
+}
+
+Result<bool> ParseBoolField(std::string_view token, std::string_view what,
+                            int line) {
+  if (token == "on" || token == "1" || token == "true") {
+    return true;
+  }
+  if (token == "off" || token == "0" || token == "false") {
+    return false;
+  }
+  return Status::InvalidArgument(LineContext(what, line) + " '" +
+                                 std::string(token) +
+                                 "' is not a boolean (on/off)");
+}
+
+}  // namespace joinopt

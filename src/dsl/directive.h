@@ -1,0 +1,48 @@
+#ifndef JOINOPT_DSL_DIRECTIVE_H_
+#define JOINOPT_DSL_DIRECTIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace joinopt {
+
+/// One line of a directive-stream file: a keyword followed by
+/// whitespace-separated arguments, annotated with its 1-based source line
+/// for error messages. The repro-bundle grammar (src/testing/repro.h) is
+/// layered on this, the same line discipline the query-spec language
+/// uses: `#` starts a comment, blank lines are skipped.
+struct Directive {
+  int line = 0;
+  std::string keyword;
+  std::vector<std::string> args;
+
+  /// The arguments re-joined with single spaces — for directives whose
+  /// payload is free text (notes, policy strings).
+  std::string JoinedArgs() const;
+};
+
+/// Splits `text` into directives. Never fails by itself (an empty input
+/// yields an empty stream); malformed *content* is for the layered
+/// grammar to reject, with the carried line numbers.
+std::vector<Directive> ParseDirectives(std::string_view text);
+
+/// Typed field parsers with line-anchored kInvalidArgument errors, shared
+/// by every grammar layered on directives. `what` names the field in the
+/// message ("fire step", "cardinality", ...).
+Result<uint64_t> ParseU64Field(std::string_view token, std::string_view what,
+                               int line);
+/// Accepts everything std::from_chars does, plus "inf"/"nan" spellings —
+/// serialized degenerate statistics must survive the round trip.
+Result<double> ParseDoubleField(std::string_view token, std::string_view what,
+                                int line);
+/// Accepts "on"/"off"/"1"/"0"/"true"/"false".
+Result<bool> ParseBoolField(std::string_view token, std::string_view what,
+                            int line);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_DSL_DIRECTIVE_H_

@@ -5,18 +5,13 @@
 
 namespace joinopt {
 
-namespace {
-
-/// Shortest representation that parses back to the same double.
-std::string FormatDouble(double value) {
+std::string FormatDoubleShortest(double value) {
   char buffer[64];
   const auto [ptr, ec] =
       std::to_chars(buffer, buffer + sizeof(buffer), value);
   JOINOPT_CHECK(ec == std::errc());
   return std::string(buffer, ptr);
 }
-
-}  // namespace
 
 std::string WriteQuerySpec(const QueryGraph& graph) {
   std::string out;
@@ -26,7 +21,7 @@ std::string WriteQuerySpec(const QueryGraph& graph) {
     out += "rel ";
     out += graph.name(i);
     out += ' ';
-    out += FormatDouble(graph.cardinality(i));
+    out += FormatDoubleShortest(graph.cardinality(i));
     out += '\n';
   }
   for (const JoinEdge& edge : graph.edges()) {
@@ -35,7 +30,7 @@ std::string WriteQuerySpec(const QueryGraph& graph) {
     out += ' ';
     out += graph.name(edge.right);
     out += ' ';
-    out += FormatDouble(edge.selectivity);
+    out += FormatDoubleShortest(edge.selectivity);
     out += '\n';
   }
   return out;

@@ -7,6 +7,13 @@
 
 namespace joinopt {
 
+/// Shortest decimal text that std::from_chars parses back to exactly the
+/// same double (std::to_chars shortest form; "inf"/"nan" for non-finite
+/// values). The serialization primitive behind WriteQuerySpec and the
+/// repro-bundle writer: every number the flight recorder persists goes
+/// through this so Parse(Write(x)) is bit-for-bit.
+std::string FormatDoubleShortest(double value);
+
 /// Serializes a query graph back into the query-spec language accepted
 /// by ParseQuerySpec: one `rel` line per relation (in index order, so
 /// relation indices survive the round trip) followed by one `join` line

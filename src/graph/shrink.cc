@@ -1,0 +1,121 @@
+#include "graph/shrink.h"
+
+#include <limits>
+
+#include "graph/connectivity.h"
+
+namespace joinopt {
+
+Result<std::vector<std::pair<int, int>>> PlanRelationRemoval(
+    const QueryGraph& graph, int victim) {
+  if (victim < 0 || victim >= graph.relation_count()) {
+    return Status::InvalidArgument("victim relation index out of range");
+  }
+  if (graph.relation_count() < 2) {
+    return Status::InvalidArgument(
+        "cannot remove the last relation of a graph");
+  }
+  const NodeSet remaining = graph.AllRelations().Minus(NodeSet::Singleton(victim));
+  const std::vector<NodeSet> components =
+      ConnectedComponents(graph, remaining);
+  std::vector<std::pair<int, int>> reconnect;
+  if (components.size() <= 1) {
+    return reconnect;
+  }
+  // One anchor per component: its smallest member that was adjacent to
+  // the victim. Components are stitched star-wise onto the first one —
+  // each added edge contracts the 2-hop path anchor — victim — anchor.
+  const NodeSet victim_neighbors = graph.Neighbors(victim);
+  std::vector<int> anchors;
+  anchors.reserve(components.size());
+  for (const NodeSet component : components) {
+    const NodeSet touching = component & victim_neighbors;
+    if (touching.empty()) {
+      return Status::FailedPrecondition(
+          "graph is disconnected even with the victim present");
+    }
+    anchors.push_back(touching.Min());
+  }
+  for (size_t c = 1; c < anchors.size(); ++c) {
+    reconnect.emplace_back(anchors[0], anchors[c]);
+  }
+  return reconnect;
+}
+
+bool CanRemoveEdge(const QueryGraph& graph, int edge_id) {
+  JOINOPT_DCHECK(edge_id >= 0 && edge_id < graph.edge_count());
+  const JoinEdge& edge = graph.edges()[edge_id];
+  // The edge is removable iff its endpoints stay connected without it:
+  // BFS from `left` over all edges except (left, right). Equivalent to a
+  // component check on a copy, but without rebuilding the graph.
+  NodeSet frontier = NodeSet::Singleton(edge.left);
+  NodeSet visited = frontier;
+  while (!frontier.empty()) {
+    NodeSet next;
+    for (const int v : frontier) {
+      NodeSet neighbors = graph.Neighbors(v);
+      if (v == edge.left) {
+        neighbors.Remove(edge.right);
+      } else if (v == edge.right) {
+        neighbors.Remove(edge.left);
+      }
+      next |= neighbors;
+    }
+    frontier = next - visited;
+    visited |= frontier;
+    if (visited.Contains(edge.right)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<QueryGraph> RemoveRelationReconnect(const QueryGraph& graph,
+                                           int victim) {
+  Result<std::vector<std::pair<int, int>>> plan =
+      PlanRelationRemoval(graph, victim);
+  JOINOPT_RETURN_IF_ERROR(plan.status());
+
+  QueryGraph shrunk;
+  std::vector<int> renumber(graph.relation_count(), -1);
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    if (i == victim) {
+      continue;
+    }
+    Result<int> added = shrunk.AddRelation(graph.cardinality(i),
+                                           graph.name(i));
+    JOINOPT_RETURN_IF_ERROR(added.status());
+    renumber[i] = *added;
+  }
+  // Selectivity of a victim-incident edge, for pricing contracted paths.
+  const auto victim_edge_selectivity = [&](int other) {
+    for (const JoinEdge& edge : graph.edges()) {
+      if ((edge.left == victim && edge.right == other) ||
+          (edge.right == victim && edge.left == other)) {
+        return edge.selectivity;
+      }
+    }
+    return 1.0;
+  };
+  for (const JoinEdge& edge : graph.edges()) {
+    if (edge.left == victim || edge.right == victim) {
+      continue;
+    }
+    JOINOPT_RETURN_IF_ERROR(shrunk.AddEdge(
+        renumber[edge.left], renumber[edge.right], edge.selectivity));
+  }
+  for (const auto& [a, b] : *plan) {
+    double selectivity =
+        victim_edge_selectivity(a) * victim_edge_selectivity(b);
+    if (!(selectivity > 0.0)) {  // Underflow to 0 (or worse).
+      selectivity = std::numeric_limits<double>::min();
+    } else if (selectivity > 1.0) {
+      selectivity = 1.0;
+    }
+    JOINOPT_RETURN_IF_ERROR(
+        shrunk.AddEdge(renumber[a], renumber[b], selectivity));
+  }
+  return shrunk;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,48 @@
+#ifndef JOINOPT_GRAPH_SHRINK_H_
+#define JOINOPT_GRAPH_SHRINK_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "util/status.h"
+
+namespace joinopt {
+
+/// Connectivity-preserving shrink steps for delta-debugging query graphs
+/// (the repro-bundle minimizer, src/testing/repro.h). Every step keeps a
+/// connected graph connected, so the cross-product-free DPs' connectivity
+/// precondition survives arbitrary shrink sequences.
+
+/// The edges that must be ADDED (as pairs of surviving relation indices,
+/// in the ORIGINAL numbering) so that removing `victim` leaves the graph
+/// connected. Removing a node can split the rest into components; each
+/// split-off component was reachable only through the victim, so one
+/// shortest path through it — two hops, victim's neighbor to victim's
+/// neighbor — is contracted into a direct edge per extra component. The
+/// result is empty when the remaining graph is already connected.
+///
+/// Fails with kFailedPrecondition when the input graph was itself
+/// disconnected without the victim's help (a split-off component with no
+/// edge to the victim), with kInvalidArgument for an out-of-range victim
+/// or a single-relation graph (nothing would remain).
+Result<std::vector<std::pair<int, int>>> PlanRelationRemoval(
+    const QueryGraph& graph, int victim);
+
+/// True iff dropping edge `edge_id` keeps the graph connected (a cycle
+/// edge). Requires a valid edge id.
+bool CanRemoveEdge(const QueryGraph& graph, int edge_id);
+
+/// Applies PlanRelationRemoval: a copy of `graph` without `victim`,
+/// surviving relations renumbered downward in order, reconnect edges
+/// added with the product of the two contracted victim-edge
+/// selectivities (clamped into (0, 1], the builder's legal range).
+/// Requires legal statistics (the builders re-validate); the minimizer
+/// applies the same plan to raw spec values itself so degenerate bundles
+/// can shrink too.
+Result<QueryGraph> RemoveRelationReconnect(const QueryGraph& graph,
+                                           int victim);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_GRAPH_SHRINK_H_

@@ -1,6 +1,9 @@
 #include "testing/fault_injection.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <string>
 
 namespace joinopt {
 namespace testing {
@@ -17,22 +20,123 @@ uint64_t SplitMix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-uint64_t EnvU64(const char* name) {
+/// Strict u64 parse: the whole token must be digits. An unset or empty
+/// variable reads as 0 ("never"); anything else malformed is an error —
+/// a typo'd fault knob must abort the harness, not silently test nothing.
+Status EnvU64(const char* name, uint64_t* out) {
   const char* value = std::getenv(name);
-  return value != nullptr ? std::strtoull(value, nullptr, 10) : 0;
+  *out = 0;
+  if (value == nullptr || *value == '\0') {
+    return Status::OK();
+  }
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument(std::string(name) + "='" + value +
+                                   "' is not an unsigned integer");
+  }
+  *out = parsed;
+  return Status::OK();
 }
 
-FaultConfig ConfigFromEnv() {
-  FaultConfig config;
-  config.seed = EnvU64("JOINOPT_FAULT_SEED");
-  config.at(FaultPoint::kArenaAlloc) = EnvU64("JOINOPT_FAULT_ALLOC_AT");
-  config.at(FaultPoint::kTraceSink) = EnvU64("JOINOPT_FAULT_TRACE_AT");
-  config.at(FaultPoint::kDeadline) = EnvU64("JOINOPT_FAULT_DEADLINE_AT");
-  config.at(FaultPoint::kAdversarialStats) = EnvU64("JOINOPT_FAULT_STATS_AT");
-  return config;
+Result<FaultPoint> FaultPointFromName(std::string_view name) {
+  for (int p = 0; p < kFaultPointCount; ++p) {
+    const FaultPoint point = static_cast<FaultPoint>(p);
+    if (FaultPointName(point) == name) {
+      return point;
+    }
+  }
+  return Status::InvalidArgument("unknown fault point '" +
+                                 std::string(name) + "'");
 }
 
 }  // namespace
+
+Result<FaultConfig> FaultConfigFromEnv() {
+  FaultConfig config;
+  JOINOPT_RETURN_IF_ERROR(EnvU64("JOINOPT_FAULT_SEED", &config.seed));
+  JOINOPT_RETURN_IF_ERROR(
+      EnvU64("JOINOPT_FAULT_ALLOC_AT", &config.at(FaultPoint::kArenaAlloc)));
+  JOINOPT_RETURN_IF_ERROR(
+      EnvU64("JOINOPT_FAULT_TRACE_AT", &config.at(FaultPoint::kTraceSink)));
+  JOINOPT_RETURN_IF_ERROR(
+      EnvU64("JOINOPT_FAULT_DEADLINE_AT", &config.at(FaultPoint::kDeadline)));
+  JOINOPT_RETURN_IF_ERROR(EnvU64("JOINOPT_FAULT_STATS_AT",
+                                 &config.at(FaultPoint::kAdversarialStats)));
+  return config;
+}
+
+std::string ScheduleToString(const FaultConfig& config) {
+  std::string out;
+  const auto append = [&out](std::string_view key, uint64_t value) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+  };
+  if (config.seed != 0) {
+    append("seed", config.seed);
+    append("horizon", config.seed_horizon);
+  }
+  for (int p = 0; p < kFaultPointCount; ++p) {
+    if (config.fire_at[p] != 0) {
+      append(FaultPointName(static_cast<FaultPoint>(p)), config.fire_at[p]);
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+Result<FaultConfig> ParseFaultSchedule(std::string_view text) {
+  FaultConfig config;
+  if (text.empty() || text == "none") {
+    return config;
+  }
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string_view item = text.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? text.size() + 1 : comma + 1;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault schedule item '" +
+                                     std::string(item) +
+                                     "' is missing '='");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    uint64_t step = 0;
+    {
+      char* end = nullptr;
+      const std::string value_str(value);
+      errno = 0;
+      step = std::strtoull(value_str.c_str(), &end, 10);
+      // strtoull tolerates signs and leading whitespace; a schedule step
+      // is digits only.
+      if (value_str.empty() || *end != '\0' || errno == ERANGE ||
+          !std::isdigit(static_cast<unsigned char>(value_str[0]))) {
+        return Status::InvalidArgument("fault schedule value '" +
+                                       value_str + "' for '" +
+                                       std::string(key) +
+                                       "' is not an unsigned integer");
+      }
+    }
+    if (key == "seed") {
+      config.seed = step;
+    } else if (key == "horizon") {
+      config.seed_horizon = step;
+    } else {
+      Result<FaultPoint> point = FaultPointFromName(key);
+      JOINOPT_RETURN_IF_ERROR(point.status());
+      config.at(*point) = step;
+    }
+  }
+  return config;
+}
 
 std::string_view FaultPointName(FaultPoint point) {
   switch (point) {
@@ -69,7 +173,19 @@ FaultInjector& FaultInjector::Instance() {
   return instance;
 }
 
-FaultInjector::FaultInjector() { Configure(ConfigFromEnv()); }
+FaultInjector::FaultInjector() {
+  // First use on this thread: read the environment knobs. A malformed
+  // knob disarms the injector and stashes the error for the harness
+  // entry points (which call FaultConfigFromEnv themselves at startup
+  // and abort with the typed status before any optimization runs).
+  Result<FaultConfig> config = FaultConfigFromEnv();
+  if (config.ok()) {
+    Configure(*config);
+  } else {
+    env_status_ = config.status();
+    Configure(FaultConfig());
+  }
+}
 
 void FaultInjector::Configure(const FaultConfig& config) {
   config_ = config;

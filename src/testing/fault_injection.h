@@ -41,6 +41,28 @@ inline constexpr int kFaultPointCount = 4;
 /// Returns the stable lower_snake name of a point ("arena_alloc", ...).
 std::string_view FaultPointName(FaultPoint point);
 
+struct FaultConfig;
+
+/// Serializes a schedule as comma-separated `key=value` pairs: `seed=S`
+/// and `horizon=H` (only when seed mode is armed), then one
+/// `<point_name>=<step>` per explicitly armed point, in FaultPoint order.
+/// A schedule with nothing armed renders as "none". The textual form the
+/// repro bundles persist and ParseFaultSchedule reads back.
+std::string ScheduleToString(const FaultConfig& config);
+
+/// Inverse of ScheduleToString. Accepts "none" and the empty string as
+/// the disarmed schedule. Malformed input (unknown key, non-numeric
+/// step, missing '=') is a typed kInvalidArgument.
+Result<FaultConfig> ParseFaultSchedule(std::string_view text);
+
+/// Reads the JOINOPT_FAULT_* environment knobs into a schedule. Unset or
+/// empty variables contribute nothing; a malformed value (e.g.
+/// JOINOPT_FAULT_ALLOC_AT=banana) is a typed kInvalidArgument naming the
+/// variable — never silently ignored. Standalone binaries call this at
+/// startup so a typo'd knob aborts the run instead of quietly testing
+/// nothing.
+Result<FaultConfig> FaultConfigFromEnv();
+
 /// A deterministic fault schedule: for each point, the 1-based arrival
 /// count at which it fires (0 = never). When `seed` is non-zero, every
 /// point left at 0 gets a pseudo-random firing step derived from
@@ -104,6 +126,12 @@ class FaultInjector {
   /// The resolved schedule (seed-derived steps already materialized).
   const FaultConfig& config() const { return config_; }
 
+  /// The Status of this thread's first-use environment read: OK when the
+  /// JOINOPT_FAULT_* knobs parsed (or were unset), the kInvalidArgument
+  /// from FaultConfigFromEnv otherwise — in which case the injector came
+  /// up disarmed. Harness entry points surface this as a startup error.
+  const Status& env_status() const { return env_status_; }
+
  private:
   FaultInjector();
 
@@ -111,6 +139,7 @@ class FaultInjector {
   uint64_t arrivals_[kFaultPointCount] = {0, 0, 0, 0};
   bool fired_[kFaultPointCount] = {false, false, false, false};
   bool enabled_ = false;
+  Status env_status_;
 };
 
 /// RAII schedule installer for tests: arms the injector on construction,

@@ -1,0 +1,618 @@
+#include "testing/repro.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/registry.h"
+#include "cost/cost_model.h"
+#include "dsl/directive.h"
+#include "dsl/writer.h"
+#include "graph/shrink.h"
+#include "testing/adversarial.h"
+
+namespace joinopt {
+namespace testing {
+
+namespace {
+
+Status LineError(int line, std::string message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 std::move(message));
+}
+
+/// The CLI's cost-model names, resolved here too so a bundle replays
+/// without the CLI in the loop.
+Result<std::unique_ptr<CostModel>> MakeCostModelByName(
+    std::string_view name) {
+  if (name == "cout") {
+    return std::unique_ptr<CostModel>(std::make_unique<CoutCostModel>());
+  }
+  if (name == "bestof") {
+    return std::unique_ptr<CostModel>(
+        std::make_unique<BestOfCostModel>(BestOfCostModel::Standard()));
+  }
+  if (name == "hash") {
+    return std::unique_ptr<CostModel>(std::make_unique<HashJoinCostModel>());
+  }
+  if (name == "nlj") {
+    return std::unique_ptr<CostModel>(std::make_unique<NestedLoopCostModel>());
+  }
+  if (name == "smj") {
+    return std::unique_ptr<CostModel>(std::make_unique<SortMergeCostModel>());
+  }
+  return Status::InvalidArgument("unknown cost model '" + std::string(name) +
+                                 "' (cout|bestof|hash|nlj|smj)");
+}
+
+void AppendLine(std::string& out, std::string_view keyword,
+                std::string_view payload) {
+  out += keyword;
+  out += ' ';
+  out += payload;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string WriteReproBundle(const ReproBundle& bundle) {
+  std::string out = "joinopt-repro v1\n";
+  if (!bundle.note.empty()) {
+    AppendLine(out, "note", bundle.note);
+  }
+  AppendLine(out, "orderer", bundle.orderer);
+  AppendLine(out, "cost_model", bundle.cost_model);
+  if (bundle.workload_seed != 0) {
+    AppendLine(out, "workload_seed", std::to_string(bundle.workload_seed));
+  }
+  if (bundle.memo_entry_budget != 0) {
+    AppendLine(out, "option memo_budget",
+               std::to_string(bundle.memo_entry_budget));
+  }
+  if (bundle.deadline_seconds != 0.0) {
+    AppendLine(out, "option deadline_s",
+               FormatDoubleShortest(bundle.deadline_seconds));
+  }
+  if (bundle.deadline_ticks != 0) {
+    AppendLine(out, "option deadline_ticks",
+               std::to_string(bundle.deadline_ticks));
+  }
+  if (bundle.salvage_on_interrupt) {
+    AppendLine(out, "option salvage", "on");
+  }
+  if (bundle.throwing_trace) {
+    AppendLine(out, "option throwing_trace", "on");
+  }
+  if (!bundle.policy.empty()) {
+    AppendLine(out, "option policy", bundle.policy);
+  }
+  if (bundle.fault.armed()) {
+    AppendLine(out, "fault", ScheduleToString(bundle.fault));
+  }
+  for (const ReproBundle::Relation& rel : bundle.relations) {
+    AppendLine(out, "rel",
+               rel.name + ' ' + FormatDoubleShortest(rel.cardinality));
+  }
+  for (const ReproBundle::Edge& edge : bundle.edges) {
+    AppendLine(out, "join",
+               bundle.relations[static_cast<size_t>(edge.left)].name + ' ' +
+                   bundle.relations[static_cast<size_t>(edge.right)].name +
+                   ' ' + FormatDoubleShortest(edge.selectivity));
+  }
+  if (bundle.has_expected) {
+    const OutcomeSignature& e = bundle.expected;
+    AppendLine(out, "expect status",
+               std::string(StatusCodeToString(e.status)));
+    AppendLine(out, "expect cost", FormatDoubleShortest(e.cost));
+    AppendLine(out, "expect cardinality",
+               FormatDoubleShortest(e.cardinality));
+    AppendLine(out, "expect counters",
+               std::to_string(e.inner_counter) + ' ' +
+                   std::to_string(e.csg_cmp_pair_counter) + ' ' +
+                   std::to_string(e.create_join_tree_calls) + ' ' +
+                   std::to_string(e.plans_stored));
+    AppendLine(out, "expect best_effort", e.best_effort ? "on" : "off");
+    AppendLine(out, "expect trigger",
+               std::string(StatusCodeToString(e.trigger)));
+  }
+  return out;
+}
+
+Result<ReproBundle> ParseReproBundle(std::string_view text) {
+  const std::vector<Directive> directives = ParseDirectives(text);
+  if (directives.empty() || directives[0].keyword != "joinopt-repro") {
+    return Status::InvalidArgument(
+        "not a repro bundle: missing 'joinopt-repro v1' magic line");
+  }
+  if (directives[0].args != std::vector<std::string>{"v1"}) {
+    return LineError(directives[0].line,
+                     "unsupported bundle version '" +
+                         directives[0].JoinedArgs() + "' (expected 'v1')");
+  }
+
+  ReproBundle bundle;
+  std::unordered_map<std::string, int> relation_index;
+
+  for (size_t d = 1; d < directives.size(); ++d) {
+    const Directive& dir = directives[d];
+    const int line = dir.line;
+    const auto require_args = [&](size_t n) -> Status {
+      if (dir.args.size() != n) {
+        return LineError(line, "'" + dir.keyword + "' expects " +
+                                   std::to_string(n) + " argument(s), got " +
+                                   std::to_string(dir.args.size()));
+      }
+      return Status::OK();
+    };
+
+    if (dir.keyword == "note") {
+      bundle.note = dir.JoinedArgs();
+    } else if (dir.keyword == "orderer") {
+      JOINOPT_RETURN_IF_ERROR(require_args(1));
+      bundle.orderer = dir.args[0];
+    } else if (dir.keyword == "cost_model") {
+      JOINOPT_RETURN_IF_ERROR(require_args(1));
+      bundle.cost_model = dir.args[0];
+    } else if (dir.keyword == "workload_seed") {
+      JOINOPT_RETURN_IF_ERROR(require_args(1));
+      Result<uint64_t> seed = ParseU64Field(dir.args[0], "workload seed", line);
+      JOINOPT_RETURN_IF_ERROR(seed.status());
+      bundle.workload_seed = *seed;
+    } else if (dir.keyword == "option") {
+      if (dir.args.empty()) {
+        return LineError(line, "'option' needs a key");
+      }
+      const std::string& key = dir.args[0];
+      if (key == "policy") {
+        std::string policy;
+        for (size_t i = 1; i < dir.args.size(); ++i) {
+          if (!policy.empty()) {
+            policy += ' ';
+          }
+          policy += dir.args[i];
+        }
+        if (policy.empty()) {
+          return LineError(line, "'option policy' needs a policy string");
+        }
+        bundle.policy = std::move(policy);
+        continue;
+      }
+      if (dir.args.size() != 2) {
+        return LineError(line, "'option " + key + "' expects one value");
+      }
+      const std::string& value = dir.args[1];
+      if (key == "memo_budget") {
+        Result<uint64_t> parsed = ParseU64Field(value, "memo budget", line);
+        JOINOPT_RETURN_IF_ERROR(parsed.status());
+        bundle.memo_entry_budget = *parsed;
+      } else if (key == "deadline_s") {
+        Result<double> parsed = ParseDoubleField(value, "deadline", line);
+        JOINOPT_RETURN_IF_ERROR(parsed.status());
+        bundle.deadline_seconds = *parsed;
+      } else if (key == "deadline_ticks") {
+        Result<uint64_t> parsed = ParseU64Field(value, "deadline ticks", line);
+        JOINOPT_RETURN_IF_ERROR(parsed.status());
+        bundle.deadline_ticks = *parsed;
+      } else if (key == "salvage") {
+        Result<bool> parsed = ParseBoolField(value, "salvage", line);
+        JOINOPT_RETURN_IF_ERROR(parsed.status());
+        bundle.salvage_on_interrupt = *parsed;
+      } else if (key == "throwing_trace") {
+        Result<bool> parsed = ParseBoolField(value, "throwing_trace", line);
+        JOINOPT_RETURN_IF_ERROR(parsed.status());
+        bundle.throwing_trace = *parsed;
+      } else {
+        return LineError(line, "unknown option '" + key + "'");
+      }
+    } else if (dir.keyword == "fault") {
+      JOINOPT_RETURN_IF_ERROR(require_args(1));
+      Result<FaultConfig> fault = ParseFaultSchedule(dir.args[0]);
+      if (!fault.ok()) {
+        return LineError(line, fault.status().message());
+      }
+      bundle.fault = *fault;
+    } else if (dir.keyword == "rel") {
+      JOINOPT_RETURN_IF_ERROR(require_args(2));
+      Result<double> cardinality =
+          ParseDoubleField(dir.args[1], "cardinality", line);
+      JOINOPT_RETURN_IF_ERROR(cardinality.status());
+      const auto [it, inserted] = relation_index.emplace(
+          dir.args[0], static_cast<int>(bundle.relations.size()));
+      if (!inserted) {
+        return LineError(line, "duplicate relation '" + dir.args[0] + "'");
+      }
+      bundle.relations.push_back({dir.args[0], *cardinality});
+    } else if (dir.keyword == "join") {
+      JOINOPT_RETURN_IF_ERROR(require_args(3));
+      Result<double> selectivity =
+          ParseDoubleField(dir.args[2], "selectivity", line);
+      JOINOPT_RETURN_IF_ERROR(selectivity.status());
+      ReproBundle::Edge edge;
+      const std::string* endpoints[2] = {&dir.args[0], &dir.args[1]};
+      int resolved[2];
+      for (int i = 0; i < 2; ++i) {
+        const auto it = relation_index.find(*endpoints[i]);
+        if (it == relation_index.end()) {
+          return LineError(line, "join references undeclared relation '" +
+                                     *endpoints[i] + "'");
+        }
+        resolved[i] = it->second;
+      }
+      edge.left = resolved[0];
+      edge.right = resolved[1];
+      edge.selectivity = *selectivity;
+      bundle.edges.push_back(edge);
+    } else if (dir.keyword == "expect") {
+      if (dir.args.empty()) {
+        return LineError(line, "'expect' needs a field name");
+      }
+      bundle.has_expected = true;
+      OutcomeSignature& e = bundle.expected;
+      const std::string& field = dir.args[0];
+      if (field == "status" || field == "trigger") {
+        if (dir.args.size() != 2) {
+          return LineError(line, "'expect " + field + "' expects one value");
+        }
+        const std::optional<StatusCode> code =
+            StatusCodeFromString(dir.args[1]);
+        if (!code.has_value()) {
+          return LineError(line,
+                           "unknown status code '" + dir.args[1] + "'");
+        }
+        (field == "status" ? e.status : e.trigger) = *code;
+      } else if (field == "cost" || field == "cardinality") {
+        if (dir.args.size() != 2) {
+          return LineError(line, "'expect " + field + "' expects one value");
+        }
+        Result<double> parsed =
+            ParseDoubleField(dir.args[1], "expected " + field, line);
+        JOINOPT_RETURN_IF_ERROR(parsed.status());
+        (field == "cost" ? e.cost : e.cardinality) = *parsed;
+      } else if (field == "counters") {
+        if (dir.args.size() != 5) {
+          return LineError(line,
+                           "'expect counters' expects <inner> <pairs> "
+                           "<trees> <stored>");
+        }
+        uint64_t* slots[4] = {&e.inner_counter, &e.csg_cmp_pair_counter,
+                              &e.create_join_tree_calls, &e.plans_stored};
+        for (int i = 0; i < 4; ++i) {
+          Result<uint64_t> parsed =
+              ParseU64Field(dir.args[static_cast<size_t>(i) + 1],
+                            "expected counter", line);
+          JOINOPT_RETURN_IF_ERROR(parsed.status());
+          *slots[i] = *parsed;
+        }
+      } else if (field == "best_effort") {
+        if (dir.args.size() != 2) {
+          return LineError(line, "'expect best_effort' expects one value");
+        }
+        Result<bool> parsed =
+            ParseBoolField(dir.args[1], "expected best_effort", line);
+        JOINOPT_RETURN_IF_ERROR(parsed.status());
+        e.best_effort = *parsed;
+      } else {
+        return LineError(line, "unknown expect field '" + field + "'");
+      }
+    } else {
+      return LineError(line, "unknown directive '" + dir.keyword + "'");
+    }
+  }
+  return bundle;
+}
+
+Result<QueryGraph> BundleGraph(const ReproBundle& bundle) {
+  QueryGraph graph;
+  for (const ReproBundle::Relation& rel : bundle.relations) {
+    const bool legal = std::isfinite(rel.cardinality) && rel.cardinality > 0.0;
+    Result<int> index =
+        graph.AddRelation(legal ? rel.cardinality : 1.0, rel.name);
+    JOINOPT_RETURN_IF_ERROR(index.status());
+    if (!legal) {
+      StatsCorruptor::SetCardinality(graph, *index, rel.cardinality);
+    }
+  }
+  for (const ReproBundle::Edge& edge : bundle.edges) {
+    const bool legal = edge.selectivity > 0.0 && edge.selectivity <= 1.0;
+    JOINOPT_RETURN_IF_ERROR(graph.AddEdge(edge.left, edge.right,
+                                          legal ? edge.selectivity : 0.5));
+    if (!legal) {
+      StatsCorruptor::SetSelectivity(graph, graph.edge_count() - 1,
+                                     edge.selectivity);
+    }
+  }
+  return graph;
+}
+
+ReproBundle MakeReproBundle(const QueryGraph& graph, std::string_view orderer,
+                            std::string_view cost_model,
+                            const OptimizeOptions& options,
+                            const FaultConfig& fault, bool throwing_trace,
+                            uint64_t workload_seed, std::string note) {
+  ReproBundle bundle;
+  bundle.note = std::move(note);
+  bundle.orderer = std::string(orderer);
+  bundle.cost_model = std::string(cost_model);
+  bundle.workload_seed = workload_seed;
+  bundle.memo_entry_budget = options.memo_entry_budget;
+  bundle.deadline_seconds = options.deadline_seconds;
+  bundle.salvage_on_interrupt = options.salvage_on_interrupt;
+  bundle.throwing_trace = throwing_trace;
+  bundle.fault = fault;
+  bundle.relations.reserve(static_cast<size_t>(graph.relation_count()));
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    bundle.relations.push_back({graph.name(i), graph.cardinality(i)});
+  }
+  bundle.edges.reserve(static_cast<size_t>(graph.edge_count()));
+  for (const JoinEdge& edge : graph.edges()) {
+    bundle.edges.push_back({edge.left, edge.right, edge.selectivity});
+  }
+  return bundle;
+}
+
+Result<OutcomeSignature> ReplayBundle(const ReproBundle& bundle) {
+  Result<QueryGraph> graph = BundleGraph(bundle);
+  JOINOPT_RETURN_IF_ERROR(graph.status());
+  Result<std::unique_ptr<CostModel>> cost_model =
+      MakeCostModelByName(bundle.cost_model);
+  JOINOPT_RETURN_IF_ERROR(cost_model.status());
+
+  OptimizeOptions options;
+  options.memo_entry_budget = bundle.memo_entry_budget;
+  options.deadline_seconds = bundle.deadline_seconds;
+  options.salvage_on_interrupt = bundle.salvage_on_interrupt;
+  options.collect_counters = true;
+  ThrowingTraceSink sink;
+  if (bundle.throwing_trace) {
+    options.trace = &sink;
+  }
+
+  FaultConfig fault = bundle.fault;
+  if (bundle.deadline_ticks != 0 && fault.at(FaultPoint::kDeadline) == 0) {
+    fault.at(FaultPoint::kDeadline) = bundle.deadline_ticks;
+  }
+
+  // Resolve the run target before arming faults so a bad name cannot be
+  // mistaken for the recorded failure. A non-empty policy takes over the
+  // whole run (that is what the original run executed); the orderer name
+  // is then provenance only.
+  DegradationPolicy policy;
+  const bool use_policy = !bundle.policy.empty();
+  if (use_policy) {
+    Result<DegradationPolicy> parsed = DegradationPolicy::Parse(bundle.policy);
+    JOINOPT_RETURN_IF_ERROR(parsed.status());
+    policy = *parsed;
+  }
+  const JoinOrderer* orderer = nullptr;
+  if (!use_policy) {
+    Result<const JoinOrderer*> found =
+        OptimizerRegistry::GetOrError(bundle.orderer);
+    JOINOPT_RETURN_IF_ERROR(found.status());
+    orderer = *found;
+  }
+
+  // The governor caches the injector's armed flag at context
+  // construction, so the context must be built inside the scope.
+  ScopedFaultInjection scoped(fault);
+  OptimizerContext ctx(*graph, **cost_model, options);
+  const Result<OptimizationResult> result =
+      use_policy ? RunDegradationPolicy(policy, ctx) : orderer->Optimize(ctx);
+  return ExtractOutcomeSignature(result, ctx.stats());
+}
+
+Result<ReplayVerdict> ReplayAndCompare(const ReproBundle& bundle) {
+  Result<OutcomeSignature> observed = ReplayBundle(bundle);
+  JOINOPT_RETURN_IF_ERROR(observed.status());
+  ReplayVerdict verdict;
+  verdict.observed = *observed;
+  if (bundle.has_expected) {
+    verdict.divergence = observed->DiffAgainst(bundle.expected);
+    verdict.matches = verdict.divergence.empty();
+  }
+  return verdict;
+}
+
+namespace {
+
+/// The bundle's graph with structure only: legal placeholder statistics
+/// so the shrink planners (which require a buildable graph) work even
+/// when the bundle's real statistics are degenerate.
+Result<QueryGraph> SkeletonGraph(const ReproBundle& bundle) {
+  QueryGraph graph;
+  for (const ReproBundle::Relation& rel : bundle.relations) {
+    Result<int> index = graph.AddRelation(1000.0, rel.name);
+    JOINOPT_RETURN_IF_ERROR(index.status());
+  }
+  for (const ReproBundle::Edge& edge : bundle.edges) {
+    JOINOPT_RETURN_IF_ERROR(graph.AddEdge(edge.left, edge.right, 0.5));
+  }
+  return graph;
+}
+
+double RawSelectivityWith(const ReproBundle& bundle, int a, int victim) {
+  for (const ReproBundle::Edge& edge : bundle.edges) {
+    if ((edge.left == a && edge.right == victim) ||
+        (edge.left == victim && edge.right == a)) {
+      return edge.selectivity;
+    }
+  }
+  return 1.0;
+}
+
+/// Applies PlanRelationRemoval to the bundle's RAW spec values — unlike
+/// graph::RemoveRelationReconnect this preserves degenerate statistics
+/// (the reconnect selectivity is the unclamped product, NaN and all), so
+/// a degenerate-statistics repro can shrink without losing its bug.
+bool RemoveBundleRelation(const ReproBundle& in, int victim,
+                          ReproBundle* out) {
+  Result<QueryGraph> skeleton = SkeletonGraph(in);
+  if (!skeleton.ok()) {
+    return false;
+  }
+  Result<std::vector<std::pair<int, int>>> plan =
+      PlanRelationRemoval(*skeleton, victim);
+  if (!plan.ok()) {
+    return false;
+  }
+  *out = in;
+  out->relations.erase(out->relations.begin() + victim);
+  const auto renumber = [victim](int i) { return i > victim ? i - 1 : i; };
+  std::vector<ReproBundle::Edge> edges;
+  edges.reserve(in.edges.size());
+  for (const ReproBundle::Edge& edge : in.edges) {
+    if (edge.left == victim || edge.right == victim) {
+      continue;
+    }
+    edges.push_back(
+        {renumber(edge.left), renumber(edge.right), edge.selectivity});
+  }
+  for (const auto& [a, b] : *plan) {
+    edges.push_back({renumber(a), renumber(b),
+                     RawSelectivityWith(in, a, victim) *
+                         RawSelectivityWith(in, b, victim)});
+  }
+  out->edges = std::move(edges);
+  return true;
+}
+
+}  // namespace
+
+Result<ReproBundle> MinimizeBundle(const ReproBundle& bundle,
+                                   MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& s = stats != nullptr ? *stats : local;
+  s = MinimizeStats();
+
+  Result<OutcomeSignature> baseline = ReplayBundle(bundle);
+  ++s.replays;
+  JOINOPT_RETURN_IF_ERROR(baseline.status());
+
+  ReproBundle current = bundle;
+  current.expected = *baseline;
+  current.has_expected = true;
+
+  // Accepts `candidate` iff it still fails the way the ORIGINAL bundle's
+  // replay did. The coarse kind (not the full signature) is the invariant:
+  // cost and counters legitimately change as the query shrinks. Every
+  // accepted candidate's expectation is refreshed to its own replay, so
+  // the minimized bundle always replays clean.
+  const auto try_accept = [&](const ReproBundle& candidate) -> bool {
+    Result<OutcomeSignature> observed = ReplayBundle(candidate);
+    ++s.replays;
+    if (!observed.ok() || !observed->SameFailureKind(*baseline)) {
+      return false;
+    }
+    current = candidate;
+    current.expected = *observed;
+    current.has_expected = true;
+    return true;
+  };
+
+  // Greedy ddmin to a fixed point, bounded defensively.
+  constexpr int kMaxRounds = 64;
+  bool changed = true;
+  while (changed && s.rounds < kMaxRounds) {
+    changed = false;
+    ++s.rounds;
+
+    // Relations, highest index first (stable indices below the victim).
+    // Floor of two relations: one actual join must remain for a failure
+    // to be about join ordering at all.
+    for (int victim = static_cast<int>(current.relations.size()) - 1;
+         victim >= 0 && current.relations.size() > 2; --victim) {
+      ReproBundle candidate;
+      if (!RemoveBundleRelation(current, victim, &candidate)) {
+        continue;
+      }
+      if (try_accept(candidate)) {
+        ++s.relations_dropped;
+        changed = true;
+      }
+    }
+
+    // Redundant (cycle) edges, highest id first.
+    for (int e = static_cast<int>(current.edges.size()) - 1; e >= 0; --e) {
+      Result<QueryGraph> skeleton = SkeletonGraph(current);
+      if (!skeleton.ok()) {
+        break;
+      }
+      if (e >= skeleton->edge_count() || !CanRemoveEdge(*skeleton, e)) {
+        continue;
+      }
+      ReproBundle candidate = current;
+      candidate.edges.erase(candidate.edges.begin() + e);
+      if (try_accept(candidate)) {
+        ++s.edges_dropped;
+        changed = true;
+      }
+    }
+
+    // Option / fault-schedule simplifications: drop every knob that is
+    // not load-bearing for the failure.
+    const auto simplify = [&](auto&& mutate) {
+      ReproBundle candidate = current;
+      if (!mutate(candidate)) {
+        return;  // Already in its simplest state.
+      }
+      if (try_accept(candidate)) {
+        ++s.simplifications;
+        changed = true;
+      }
+    };
+    simplify([](ReproBundle& b) {
+      if (b.deadline_seconds == 0.0) return false;
+      b.deadline_seconds = 0.0;
+      return true;
+    });
+    simplify([](ReproBundle& b) {
+      if (b.deadline_ticks == 0) return false;
+      b.deadline_ticks = 0;
+      return true;
+    });
+    simplify([](ReproBundle& b) {
+      if (b.memo_entry_budget == 0) return false;
+      b.memo_entry_budget = 0;
+      return true;
+    });
+    simplify([](ReproBundle& b) {
+      if (!b.salvage_on_interrupt) return false;
+      b.salvage_on_interrupt = false;
+      return true;
+    });
+    simplify([](ReproBundle& b) {
+      if (!b.throwing_trace) return false;
+      b.throwing_trace = false;
+      return true;
+    });
+    simplify([](ReproBundle& b) {
+      if (b.policy.empty()) return false;
+      b.policy.clear();
+      return true;
+    });
+    simplify([](ReproBundle& b) {
+      if (b.workload_seed == 0) return false;
+      b.workload_seed = 0;
+      return true;
+    });
+    simplify([](ReproBundle& b) {
+      if (b.fault.seed == 0) return false;
+      b.fault.seed = 0;
+      return true;
+    });
+    for (int p = 0; p < kFaultPointCount; ++p) {
+      simplify([p](ReproBundle& b) {
+        if (b.fault.fire_at[p] == 0) return false;
+        b.fault.fire_at[p] = 0;
+        return true;
+      });
+    }
+  }
+  return current;
+}
+
+}  // namespace testing
+}  // namespace joinopt

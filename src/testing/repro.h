@@ -1,0 +1,159 @@
+#ifndef JOINOPT_TESTING_REPRO_H_
+#define JOINOPT_TESTING_REPRO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/optimizer_context.h"
+#include "core/outcome.h"
+#include "graph/query_graph.h"
+#include "testing/fault_injection.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace testing {
+
+/// The flight recorder: a self-contained, text-serializable record of
+/// ONE optimization run — query, options, orderer, fault schedule, and
+/// (optionally) the outcome it produced — sufficient to re-execute the
+/// run deterministically on another machine and diff the result
+/// bit-for-bit. The soak and fuzz harnesses write bundles when an oracle
+/// trips; `joinopt_cli replay` re-executes them; `joinopt_cli minimize`
+/// delta-debugs them down to the smallest still-failing configuration.
+///
+/// The file grammar extends the query-spec language (one directive per
+/// line, `#` comments):
+///
+///   joinopt-repro v1                      # magic, must be first
+///   note <free text>                      # provenance (optional)
+///   orderer DPccp                         # registry name
+///   cost_model cout                       # cout|bestof|hash|nlj|smj
+///   workload_seed 123                     # provenance only (optional)
+///   option memo_budget 17                 # OptimizeOptions knobs,
+///   option deadline_s 0.001               # each optional
+///   option deadline_ticks 12              # deterministic deadline: the
+///                                         #   kDeadline point fires at
+///                                         #   governor tick 12
+///   option salvage on
+///   option throwing_trace on              # install a ThrowingTraceSink
+///   option policy DPccp -> salvage -> GOO # degradation-policy override
+///   fault arena_alloc=5,trace_sink=2      # ScheduleToString format
+///   rel <name> <cardinality>              # the query, in the exact
+///   join <name> <name> <selectivity>      #   WriteQuerySpec syntax
+///   expect status Internal                # the recorded outcome —
+///   expect cost 0                         #   absent on partial bundles
+///   expect cardinality 0                  #   (pre-crash flushes)
+///   expect counters <inner> <pairs> <trees> <stored>
+///   expect best_effort off
+///   expect trigger OK
+///
+/// Statistics may be degenerate (nan/inf/0) — that is often the bug
+/// being reproduced — so the query section is loaded leniently, routing
+/// values the builders reject through the StatsCorruptor backdoor.
+///
+/// Determinism: a replayed bundle reproduces its outcome exactly, with
+/// one documented exception — a nonzero `deadline_s` races the wall
+/// clock. Harness-written bundles therefore prefer `deadline_ticks` /
+/// fault schedules (both fire at exact arrival counts); `deadline_s` is
+/// preserved as a truthful record when a harness drew one.
+struct ReproBundle {
+  struct Relation {
+    std::string name;
+    double cardinality = 0.0;
+  };
+  struct Edge {
+    int left = 0;
+    int right = 0;
+    double selectivity = 1.0;
+  };
+
+  std::string note;
+  std::string orderer = "DPccp";
+  std::string cost_model = "cout";
+  uint64_t workload_seed = 0;
+
+  uint64_t memo_entry_budget = 0;
+  double deadline_seconds = 0.0;
+  uint64_t deadline_ticks = 0;
+  bool salvage_on_interrupt = false;
+  bool throwing_trace = false;
+  std::string policy;
+  FaultConfig fault;
+
+  std::vector<Relation> relations;
+  std::vector<Edge> edges;
+
+  bool has_expected = false;
+  OutcomeSignature expected;
+};
+
+/// Serializes a bundle in the grammar above. Write/Parse round-trips
+/// exactly: Parse(Write(b)) == b field-for-field, and
+/// Write(Parse(text)) == Write(b) (numbers go through
+/// FormatDoubleShortest).
+std::string WriteReproBundle(const ReproBundle& bundle);
+
+/// Parses a bundle. kInvalidArgument with a line number on malformed
+/// input, a missing/typo'd magic line, or references to undeclared
+/// relations.
+Result<ReproBundle> ParseReproBundle(std::string_view text);
+
+/// Builds the bundle's query graph. Lenient: statistics the builders
+/// reject (NaN, inf, non-positive cardinalities, out-of-range
+/// selectivities) are planted via the StatsCorruptor backdoor, so a
+/// degenerate-statistics repro survives the round trip. Structural
+/// errors (unknown relation index, duplicate edge) still fail.
+Result<QueryGraph> BundleGraph(const ReproBundle& bundle);
+
+/// Snapshots a run's inputs into a bundle (no expected outcome yet).
+/// `throwing_trace` records whether the run installed a
+/// ThrowingTraceSink; options.trace itself is not serializable.
+ReproBundle MakeReproBundle(const QueryGraph& graph, std::string_view orderer,
+                            std::string_view cost_model,
+                            const OptimizeOptions& options,
+                            const FaultConfig& fault, bool throwing_trace,
+                            uint64_t workload_seed, std::string note);
+
+/// Re-executes the bundle's run: lenient graph build, cost model and
+/// orderer resolved by name, fault schedule armed for exactly the one
+/// Optimize call (deadline_ticks merges into the kDeadline point), a
+/// policy string dispatched through RunDegradationPolicy. Returns the
+/// observed signature — a failed *optimization* is a successful replay
+/// (the failure is the recorded phenomenon); only setup errors (unknown
+/// orderer/cost model, unbuildable graph) fail the call.
+Result<OutcomeSignature> ReplayBundle(const ReproBundle& bundle);
+
+/// ReplayBundle + comparison against the recorded outcome.
+struct ReplayVerdict {
+  /// True when the bundle has no expectation (nothing to diverge from)
+  /// or the observed signature equals it bit-for-bit.
+  bool matches = true;
+  OutcomeSignature observed;
+  /// Field-by-field divergence description; empty when matches.
+  std::string divergence;
+};
+Result<ReplayVerdict> ReplayAndCompare(const ReproBundle& bundle);
+
+/// Delta-debugging minimizer: greedily drops relations (reconnecting
+/// via PlanRelationRemoval so connectivity survives), drops redundant
+/// edges, and strips options / fault points, re-replaying after every
+/// candidate and keeping only changes that preserve the failure KIND
+/// (status + best_effort + trigger; see
+/// OutcomeSignature::SameFailureKind) of the bundle's own replay.
+/// Iterates to a fixed point. The returned bundle's `expect` section is
+/// refreshed to its own replay signature, so the output replays clean.
+struct MinimizeStats {
+  int rounds = 0;
+  int relations_dropped = 0;
+  int edges_dropped = 0;
+  int simplifications = 0;
+  int replays = 0;
+};
+Result<ReproBundle> MinimizeBundle(const ReproBundle& bundle,
+                                   MinimizeStats* stats = nullptr);
+
+}  // namespace testing
+}  // namespace joinopt
+
+#endif  // JOINOPT_TESTING_REPRO_H_

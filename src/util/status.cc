@@ -28,6 +28,22 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+      StatusCode::kOutOfRange,   StatusCode::kInternal,
+      StatusCode::kUnimplemented, StatusCode::kBudgetExceeded,
+      StatusCode::kInvalidCatalog, StatusCode::kDegenerateStatistics,
+  };
+  for (const StatusCode code : kAll) {
+    if (StatusCodeToString(code) == name) {
+      return code;
+    }
+  }
+  return std::nullopt;
+}
+
 std::string Status::ToString() const {
   if (ok()) {
     return "OK";

@@ -38,6 +38,11 @@ enum class StatusCode {
 /// "InvalidArgument", ...).
 std::string_view StatusCodeToString(StatusCode code);
 
+/// Inverse of StatusCodeToString: resolves a stable code name back to its
+/// StatusCode, or nullopt for an unknown name. Used by serialized formats
+/// (repro bundles) that persist status codes as text.
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
+
 /// A lightweight success-or-error value, modeled after absl::Status.
 ///
 /// The library does not throw exceptions (per the database-engine coding

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "dsl/parser.h"
 #include "graph/generators.h"
+#include "util/random.h"
 
 namespace joinopt {
 namespace {
@@ -53,6 +56,32 @@ TEST(DslWriterTest, RoundTripsAwkwardDoubles) {
     Result<QueryGraph> graph = MakeRandomConnectedQuery(10, 8, config);
     ASSERT_TRUE(graph.ok());
     ExpectRoundTrip(*graph);
+  }
+}
+
+TEST(DslWriterTest, RoundTripsExtremeValueSweep) {
+  // The flight recorder leans on WriteQuerySpec/FormatDoubleShortest to
+  // persist whatever statistics a failing run had — including values at
+  // the edges of the double range. Sweep randomized combinations of
+  // denormals, near-overflow magnitudes, and awkward fractions.
+  const double kCards[] = {5e-324,  // Smallest positive denormal.
+                           2.2250738585072014e-308,  // DBL_MIN.
+                           1e300, 1.7976931348623157e308,  // DBL_MAX.
+                           0.1 + 0.2, 3.0, 1e18};
+  const double kSels[] = {5e-324, 1e-300, 1e-9, 0.30000000000000004, 1.0};
+  Random rng(0xfeedface);
+  for (int trial = 0; trial < 50; ++trial) {
+    QueryGraph graph;
+    const int n = 2 + static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          graph.AddRelation(kCards[rng.Uniform(std::size(kCards))]).ok());
+    }
+    for (int i = 1; i < n; ++i) {
+      ASSERT_TRUE(
+          graph.AddEdge(i - 1, i, kSels[rng.Uniform(std::size(kSels))]).ok());
+    }
+    ExpectRoundTrip(graph);
   }
 }
 

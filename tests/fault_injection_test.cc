@@ -3,6 +3,7 @@
 /// Status, never a crash — and a context that can be reset and reused
 /// after the interrupted run.
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -62,6 +63,70 @@ TEST(FaultInjectorTest, ScopedInjectionRestoresThePreviousSchedule) {
     EXPECT_TRUE(FaultInjector::Instance().enabled());
   }
   EXPECT_FALSE(FaultInjector::Instance().enabled());
+}
+
+TEST(FaultScheduleTest, ScheduleToStringRoundTrips) {
+  FaultConfig config;
+  config.seed = 42;
+  config.seed_horizon = 128;
+  config.at(FaultPoint::kArenaAlloc) = 5;
+  config.at(FaultPoint::kAdversarialStats) = 9;
+  const std::string text = testing::ScheduleToString(config);
+  EXPECT_EQ(text, "seed=42,horizon=128,arena_alloc=5,adversarial_stats=9");
+  Result<FaultConfig> parsed = testing::ParseFaultSchedule(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seed, config.seed);
+  EXPECT_EQ(parsed->seed_horizon, config.seed_horizon);
+  for (int p = 0; p < testing::kFaultPointCount; ++p) {
+    EXPECT_EQ(parsed->fire_at[p], config.fire_at[p]) << p;
+  }
+  EXPECT_EQ(testing::ScheduleToString(*parsed), text);
+}
+
+TEST(FaultScheduleTest, DisarmedScheduleIsNone) {
+  const FaultConfig disarmed;
+  EXPECT_EQ(testing::ScheduleToString(disarmed), "none");
+  for (const char* text : {"none", ""}) {
+    Result<FaultConfig> parsed = testing::ParseFaultSchedule(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_FALSE(parsed->armed()) << text;
+  }
+}
+
+TEST(FaultScheduleTest, MalformedScheduleIsTypedInvalidArgument) {
+  for (const char* text :
+       {"arena_alloc", "arena_alloc=", "arena_alloc=banana", "warp_core=3",
+        "seed=1,,horizon=2", "=5", "arena_alloc=-2"}) {
+    Result<FaultConfig> parsed = testing::ParseFaultSchedule(text);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(FaultScheduleTest, FaultConfigFromEnvReadsAndRejects) {
+  ASSERT_EQ(setenv("JOINOPT_FAULT_ALLOC_AT", "7", 1), 0);
+  ASSERT_EQ(setenv("JOINOPT_FAULT_DEADLINE_AT", "3", 1), 0);
+  Result<FaultConfig> parsed = testing::FaultConfigFromEnv();
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at(FaultPoint::kArenaAlloc), 7u);
+  EXPECT_EQ(parsed->at(FaultPoint::kDeadline), 3u);
+  EXPECT_TRUE(parsed->armed());
+
+  // A malformed knob is a typed error naming the variable, not a
+  // silently-disarmed injector.
+  ASSERT_EQ(setenv("JOINOPT_FAULT_ALLOC_AT", "banana", 1), 0);
+  Result<FaultConfig> rejected = testing::FaultConfigFromEnv();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("JOINOPT_FAULT_ALLOC_AT"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  ASSERT_EQ(unsetenv("JOINOPT_FAULT_ALLOC_AT"), 0);
+  ASSERT_EQ(unsetenv("JOINOPT_FAULT_DEADLINE_AT"), 0);
+  Result<FaultConfig> clean = testing::FaultConfigFromEnv();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->armed());
 }
 
 TEST(FaultInjectionTest, AllocationFaultYieldsInternalNotACrash) {

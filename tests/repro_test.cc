@@ -1,0 +1,386 @@
+/// Tests for the flight recorder (src/testing/repro.h): exact
+/// Write/Parse round-trips (including degenerate statistics that only
+/// survive via the StatsCorruptor backdoor), deterministic replay across
+/// every registered orderer, and convergence of the delta-debugging
+/// minimizer.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "joinopt.h"
+#include "testing/fault_injection.h"
+#include "testing/repro.h"
+
+namespace joinopt {
+namespace {
+
+using testing::FaultConfig;
+using testing::FaultPoint;
+using testing::MakeReproBundle;
+using testing::MinimizeBundle;
+using testing::MinimizeStats;
+using testing::ParseReproBundle;
+using testing::ReplayAndCompare;
+using testing::ReplayBundle;
+using testing::ReproBundle;
+using testing::WriteReproBundle;
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/// A bundle exercising every directive the grammar defines, with
+/// statistics chosen to stress the shortest-round-trip formatter and the
+/// lenient graph loader: a denormal selectivity, a saturated
+/// cardinality, NaN, and infinity.
+ReproBundle FullyLoadedBundle() {
+  ReproBundle bundle;
+  bundle.note = "round-trip fixture; unicode-free free text 42";
+  bundle.orderer = "DPsub";
+  bundle.cost_model = "bestof";
+  bundle.workload_seed = 0xdeadbeefULL;
+  bundle.memo_entry_budget = 17;
+  bundle.deadline_seconds = 0.001;
+  bundle.deadline_ticks = 12;
+  bundle.salvage_on_interrupt = true;
+  bundle.throwing_trace = true;
+  bundle.policy = "DPccp -> salvage -> GOO";
+  bundle.fault.seed = 99;
+  bundle.fault.seed_horizon = 256;
+  bundle.fault.at(FaultPoint::kArenaAlloc) = 5;
+  bundle.fault.at(FaultPoint::kTraceSink) = 2;
+  bundle.relations = {{"a", 1e300},
+                      {"b", std::nan("")},
+                      {"c", -std::numeric_limits<double>::infinity()},
+                      {"d", 0.1 + 0.2}};  // 0.30000000000000004
+  bundle.edges = {{0, 1, 5e-324},  // Denormal: smallest positive double.
+                  {1, 2, 1.0},
+                  {2, 3, 0.30000000000000004}};
+  bundle.has_expected = true;
+  bundle.expected.status = StatusCode::kBudgetExceeded;
+  bundle.expected.cost = 12345.6789;
+  bundle.expected.cardinality = 1e18;
+  bundle.expected.inner_counter = 7;
+  bundle.expected.csg_cmp_pair_counter = 8;
+  bundle.expected.create_join_tree_calls = 9;
+  bundle.expected.plans_stored = 10;
+  bundle.expected.best_effort = true;
+  bundle.expected.trigger = StatusCode::kBudgetExceeded;
+  return bundle;
+}
+
+TEST(ReproBundleTest, WriteParseRoundTripsEveryField) {
+  const ReproBundle bundle = FullyLoadedBundle();
+  const std::string text = WriteReproBundle(bundle);
+  Result<ReproBundle> parsed = ParseReproBundle(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+
+  EXPECT_EQ(parsed->note, bundle.note);
+  EXPECT_EQ(parsed->orderer, bundle.orderer);
+  EXPECT_EQ(parsed->cost_model, bundle.cost_model);
+  EXPECT_EQ(parsed->workload_seed, bundle.workload_seed);
+  EXPECT_EQ(parsed->memo_entry_budget, bundle.memo_entry_budget);
+  EXPECT_TRUE(SameBits(parsed->deadline_seconds, bundle.deadline_seconds));
+  EXPECT_EQ(parsed->deadline_ticks, bundle.deadline_ticks);
+  EXPECT_EQ(parsed->salvage_on_interrupt, bundle.salvage_on_interrupt);
+  EXPECT_EQ(parsed->throwing_trace, bundle.throwing_trace);
+  EXPECT_EQ(parsed->policy, bundle.policy);
+  EXPECT_EQ(parsed->fault.seed, bundle.fault.seed);
+  EXPECT_EQ(parsed->fault.seed_horizon, bundle.fault.seed_horizon);
+  for (int p = 0; p < testing::kFaultPointCount; ++p) {
+    EXPECT_EQ(parsed->fault.fire_at[p], bundle.fault.fire_at[p]) << p;
+  }
+  ASSERT_EQ(parsed->relations.size(), bundle.relations.size());
+  for (size_t i = 0; i < bundle.relations.size(); ++i) {
+    EXPECT_EQ(parsed->relations[i].name, bundle.relations[i].name);
+    EXPECT_TRUE(SameBits(parsed->relations[i].cardinality,
+                         bundle.relations[i].cardinality))
+        << bundle.relations[i].name;
+  }
+  ASSERT_EQ(parsed->edges.size(), bundle.edges.size());
+  for (size_t e = 0; e < bundle.edges.size(); ++e) {
+    EXPECT_EQ(parsed->edges[e].left, bundle.edges[e].left);
+    EXPECT_EQ(parsed->edges[e].right, bundle.edges[e].right);
+    EXPECT_TRUE(
+        SameBits(parsed->edges[e].selectivity, bundle.edges[e].selectivity))
+        << e;
+  }
+  ASSERT_TRUE(parsed->has_expected);
+  EXPECT_EQ(parsed->expected, bundle.expected);
+
+  // Serialization is a fixed point: Write(Parse(Write(b))) == Write(b).
+  EXPECT_EQ(WriteReproBundle(*parsed), text);
+}
+
+TEST(ReproBundleTest, DefaultBundleRoundTripsWithoutOptionalDirectives) {
+  ReproBundle bundle;
+  bundle.relations = {{"x", 10.0}, {"y", 20.0}};
+  bundle.edges = {{0, 1, 0.5}};
+  const std::string text = WriteReproBundle(bundle);
+  // Optional zero/empty fields are omitted from the text.
+  EXPECT_EQ(text.find("option"), std::string::npos) << text;
+  EXPECT_EQ(text.find("fault"), std::string::npos) << text;
+  EXPECT_EQ(text.find("expect"), std::string::npos) << text;
+  EXPECT_EQ(text.find("note"), std::string::npos) << text;
+  Result<ReproBundle> parsed = ParseReproBundle(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->has_expected);
+  EXPECT_EQ(WriteReproBundle(*parsed), text);
+}
+
+TEST(ReproBundleTest, ParseRejectsMalformedInputWithLineNumbers) {
+  const struct {
+    const char* text;
+    const char* expect_in_message;
+  } kCases[] = {
+      {"rel a 10\n", "magic"},
+      {"joinopt-repro v2\n", "version"},
+      {"joinopt-repro v1\nrel a\n", "line 2"},
+      {"joinopt-repro v1\nrel a ten\n", "line 2"},
+      {"joinopt-repro v1\nrel a 10\nrel a 20\n", "line 3"},
+      {"joinopt-repro v1\nrel a 10\njoin a ghost 0.5\n", "ghost"},
+      {"joinopt-repro v1\nfrobnicate yes\n", "line 2"},
+      {"joinopt-repro v1\noption warp_drive on\n", "line 2"},
+      {"joinopt-repro v1\nexpect status NotAStatus\n", "line 2"},
+      {"joinopt-repro v1\nexpect counters 1 2 3\n", "line 2"},
+      {"joinopt-repro v1\nfault warp_core=1\n", "line 2"},
+  };
+  for (const auto& c : kCases) {
+    Result<ReproBundle> parsed = ParseReproBundle(c.text);
+    ASSERT_FALSE(parsed.ok()) << c.text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << c.text;
+    EXPECT_NE(parsed.status().message().find(c.expect_in_message),
+              std::string::npos)
+        << c.text << " -> " << parsed.status().ToString();
+  }
+}
+
+TEST(ReproBundleTest, BundleGraphPlantsDegenerateStatistics) {
+  ReproBundle bundle;
+  bundle.relations = {{"ok", 100.0}, {"nan_card", std::nan("")},
+                      {"zero_card", 0.0}};
+  bundle.edges = {{0, 1, 2.0},      // Out-of-range selectivity.
+                  {1, 2, 0.25}};
+  Result<QueryGraph> graph = testing::BundleGraph(bundle);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_DOUBLE_EQ(graph->cardinality(0), 100.0);
+  EXPECT_TRUE(std::isnan(graph->cardinality(1)));
+  EXPECT_EQ(graph->cardinality(2), 0.0);
+  EXPECT_EQ(graph->edges()[0].selectivity, 2.0);
+  EXPECT_DOUBLE_EQ(graph->edges()[1].selectivity, 0.25);
+  // Degenerate stats round-trip through text unchanged, too.
+  Result<ReproBundle> reparsed = ParseReproBundle(WriteReproBundle(bundle));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(std::isnan(reparsed->relations[1].cardinality));
+  EXPECT_EQ(reparsed->edges[0].selectivity, 2.0);
+}
+
+TEST(ReproReplayTest, ReplayIsDeterministicAcrossAllOrderers) {
+  Result<QueryGraph> graph = MakeCliqueQuery(5);
+  ASSERT_TRUE(graph.ok());
+  for (const std::string& name : OptimizerRegistry::Names()) {
+    ReproBundle bundle =
+        MakeReproBundle(*graph, name, "cout", OptimizeOptions(), FaultConfig(),
+                        /*throwing_trace=*/false, /*workload_seed=*/0,
+                        "determinism sweep");
+    Result<OutcomeSignature> first = ReplayBundle(bundle);
+    ASSERT_TRUE(first.ok()) << name << ": " << first.status().ToString();
+    Result<OutcomeSignature> second = ReplayBundle(bundle);
+    ASSERT_TRUE(second.ok()) << name;
+    EXPECT_EQ(*first, *second)
+        << name << "\n" << first->DiffAgainst(*second);
+  }
+}
+
+TEST(ReproReplayTest, FaultedRunReplaysBitForBit) {
+  Result<QueryGraph> graph = MakeChainQuery(6);
+  ASSERT_TRUE(graph.ok());
+  FaultConfig fault;
+  fault.at(FaultPoint::kArenaAlloc) = 1;
+  ReproBundle bundle = MakeReproBundle(
+      *graph, "DPccp", "cout", OptimizeOptions(), fault,
+      /*throwing_trace=*/false, /*workload_seed=*/0, "faulted replay");
+
+  Result<OutcomeSignature> first = ReplayBundle(bundle);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, StatusCode::kInternal);
+  EXPECT_EQ(first->cost, 0.0);
+
+  bundle.expected = *first;
+  bundle.has_expected = true;
+  // The expectation survives serialization and replays bit-for-bit.
+  Result<ReproBundle> reparsed = ParseReproBundle(WriteReproBundle(bundle));
+  ASSERT_TRUE(reparsed.ok());
+  Result<testing::ReplayVerdict> verdict = ReplayAndCompare(*reparsed);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_TRUE(verdict->matches) << verdict->divergence;
+  EXPECT_EQ(verdict->observed, *first);
+}
+
+TEST(ReproReplayTest, DeadlineTicksFireDeterministically) {
+  Result<QueryGraph> graph = MakeCliqueQuery(7);
+  ASSERT_TRUE(graph.ok());
+  ReproBundle bundle = MakeReproBundle(
+      *graph, "DPsize", "cout", OptimizeOptions(), FaultConfig(),
+      /*throwing_trace=*/false, /*workload_seed=*/0, "tick deadline");
+  bundle.deadline_ticks = 9;
+  Result<OutcomeSignature> first = ReplayBundle(bundle);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, StatusCode::kBudgetExceeded);
+  Result<OutcomeSignature> second = ReplayBundle(bundle);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second) << first->DiffAgainst(*second);
+}
+
+TEST(ReproReplayTest, PolicyBundleRoutesThroughDegradationPolicy) {
+  Result<QueryGraph> graph = MakeCliqueQuery(6);
+  ASSERT_TRUE(graph.ok());
+  ReproBundle bundle = MakeReproBundle(
+      *graph, "DPccp", "cout", OptimizeOptions(), FaultConfig(),
+      /*throwing_trace=*/false, /*workload_seed=*/0, "policy replay");
+  bundle.memo_entry_budget = 3;  // Too small for DPccp on a 6-clique.
+  // Without a policy the replay observes the budget trip ...
+  Result<OutcomeSignature> direct = ReplayBundle(bundle);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(direct->status, StatusCode::kBudgetExceeded);
+  // ... with one, the GOO fallback leg rescues the run — proof the
+  // bundle dispatched through RunDegradationPolicy, not the orderer.
+  bundle.policy = "DPccp -> GOO";
+  Result<OutcomeSignature> first = ReplayBundle(bundle);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, StatusCode::kOk);
+  Result<OutcomeSignature> second = ReplayBundle(bundle);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second) << first->DiffAgainst(*second);
+}
+
+TEST(ReproReplayTest, PartialBundleHasNothingToDivergeFrom) {
+  Result<QueryGraph> graph = MakeChainQuery(4);
+  ASSERT_TRUE(graph.ok());
+  const ReproBundle bundle = MakeReproBundle(
+      *graph, "DPccp", "cout", OptimizeOptions(), FaultConfig(),
+      /*throwing_trace=*/false, /*workload_seed=*/0, "partial");
+  ASSERT_FALSE(bundle.has_expected);
+  Result<testing::ReplayVerdict> verdict = ReplayAndCompare(bundle);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_TRUE(verdict->matches);
+  EXPECT_TRUE(verdict->divergence.empty());
+  EXPECT_EQ(verdict->observed.status, StatusCode::kOk);
+}
+
+TEST(ReproReplayTest, UnknownOrdererIsASetupErrorNotADivergence) {
+  ReproBundle bundle;
+  bundle.orderer = "DPnope";
+  bundle.relations = {{"a", 10.0}, {"b", 10.0}};
+  bundle.edges = {{0, 1, 0.5}};
+  Result<OutcomeSignature> replayed = ReplayBundle(bundle);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReproMinimizeTest, CliqueWithAllocFaultConvergesSmall) {
+  Result<QueryGraph> graph = MakeCliqueQuery(12);
+  ASSERT_TRUE(graph.ok());
+  FaultConfig fault;
+  fault.at(FaultPoint::kArenaAlloc) = 1;
+  ReproBundle bundle = MakeReproBundle(
+      *graph, "DPccp", "cout", OptimizeOptions(), fault,
+      /*throwing_trace=*/false, /*workload_seed=*/7, "minimizer fixture");
+  Result<OutcomeSignature> baseline = ReplayBundle(bundle);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->status, StatusCode::kInternal);
+  bundle.expected = *baseline;
+  bundle.has_expected = true;
+
+  MinimizeStats stats;
+  Result<ReproBundle> minimized = MinimizeBundle(bundle, &stats);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+  // A first-arrival allocation fault needs almost nothing to reproduce:
+  // the 12-clique must collapse to a handful of relations (the issue's
+  // acceptance bound is <= 6; the expected fixed point is 2).
+  EXPECT_LE(minimized->relations.size(), 6u) << stats.relations_dropped;
+  EXPECT_GE(minimized->relations.size(), 2u);
+  EXPECT_GT(stats.relations_dropped, 0);
+  EXPECT_GT(stats.replays, 0);
+
+  // The failure kind is intact and the shrunk bundle replays clean.
+  ASSERT_TRUE(minimized->has_expected);
+  EXPECT_TRUE(minimized->expected.SameFailureKind(*baseline));
+  Result<testing::ReplayVerdict> verdict = ReplayAndCompare(*minimized);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->matches) << verdict->divergence;
+}
+
+TEST(ReproMinimizeTest, MinimizedBundleStaysConnected) {
+  Result<QueryGraph> graph = MakeCycleQuery(8);
+  ASSERT_TRUE(graph.ok());
+  FaultConfig fault;
+  fault.at(FaultPoint::kTraceSink) = 2;
+  ReproBundle bundle = MakeReproBundle(
+      *graph, "DPsize", "cout", OptimizeOptions(), fault,
+      /*throwing_trace=*/true, /*workload_seed=*/0, "cycle fixture");
+  Result<OutcomeSignature> baseline = ReplayBundle(bundle);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->status, StatusCode::kInternal);
+  bundle.expected = *baseline;
+  bundle.has_expected = true;
+
+  Result<ReproBundle> minimized = MinimizeBundle(bundle);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+  Result<QueryGraph> shrunk = testing::BundleGraph(*minimized);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_TRUE(IsConnectedGraph(*shrunk));
+  EXPECT_LE(minimized->relations.size(), bundle.relations.size());
+}
+
+TEST(ReproMinimizeTest, TwoRelationFloorIsRespected) {
+  ReproBundle bundle;
+  bundle.relations = {{"a", 100.0}, {"b", 200.0}};
+  bundle.edges = {{0, 1, 0.5}};
+  bundle.fault.at(FaultPoint::kArenaAlloc) = 1;
+  Result<OutcomeSignature> baseline = ReplayBundle(bundle);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->status, StatusCode::kInternal);
+  bundle.expected = *baseline;
+  bundle.has_expected = true;
+
+  Result<ReproBundle> minimized = MinimizeBundle(bundle);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+  EXPECT_EQ(minimized->relations.size(), 2u);
+  EXPECT_TRUE(minimized->expected.SameFailureKind(*baseline));
+}
+
+TEST(ReproMinimizeTest, StripsIrrelevantOptionsAndFaultPoints) {
+  Result<QueryGraph> graph = MakeChainQuery(4);
+  ASSERT_TRUE(graph.ok());
+  FaultConfig fault;
+  fault.at(FaultPoint::kArenaAlloc) = 1;
+  // The trace fault never fires (no throwing sink is installed, and the
+  // alloc fault trips first), so the minimizer should strip it — along
+  // with the workload seed, neither of which changes the failure kind.
+  fault.at(FaultPoint::kTraceSink) = 1000;
+  ReproBundle bundle = MakeReproBundle(
+      *graph, "DPccp", "cout", OptimizeOptions(), fault,
+      /*throwing_trace=*/false, /*workload_seed=*/12345, "strip fixture");
+  Result<OutcomeSignature> baseline = ReplayBundle(bundle);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->status, StatusCode::kInternal);
+  bundle.expected = *baseline;
+  bundle.has_expected = true;
+
+  MinimizeStats stats;
+  Result<ReproBundle> minimized = MinimizeBundle(bundle, &stats);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+  EXPECT_EQ(minimized->fault.at(FaultPoint::kTraceSink), 0u);
+  EXPECT_EQ(minimized->workload_seed, 0u);
+  EXPECT_GT(stats.simplifications, 0);
+  // The load-bearing fault point survives.
+  EXPECT_EQ(minimized->fault.at(FaultPoint::kArenaAlloc), 1u);
+}
+
+}  // namespace
+}  // namespace joinopt

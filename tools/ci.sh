@@ -36,8 +36,31 @@ run_pass() {
   echo "=== ${label}: soak smoke ==="
   # The concurrent anytime soak: mixed graph families, randomized budget
   # / deadline / fault trips, per-thread fault injectors. Any crash,
-  # invalid plan, or cross-query state leak fails the run.
-  "${build_dir}/tools/joinopt_soak" --threads 8 --queries 500
+  # invalid plan, or cross-query state leak fails the run. --repro-dir
+  # arms the flight recorder, so a red soak leaves replayable bundles
+  # behind instead of just a log line.
+  rm -rf "${build_dir}/repro-artifacts"
+  "${build_dir}/tools/joinopt_soak" --threads 8 --queries 500 \
+    --repro-dir "${build_dir}/repro-artifacts/soak"
+  echo "=== ${label}: replay smoke ==="
+  # The flight-recorder loop, end to end: a fuzz run that arms fault
+  # injection captures one bundle per injected failure; every bundle must
+  # then replay bit-for-bit through joinopt_cli. A divergence means
+  # nondeterminism crept into an optimizer path (iteration order, time,
+  # uninitialized reads) — exactly what the recorder exists to catch.
+  "${build_dir}/tools/joinopt_fuzz" --iters 240 --seed 5 \
+    --repro-dir "${build_dir}/repro-artifacts/fuzz"
+  replayed=0
+  for bundle in "${build_dir}"/repro-artifacts/fuzz/*.joinopt; do
+    [ -e "${bundle}" ] || continue
+    "${build_dir}/tools/joinopt_cli" replay "${bundle}" > /dev/null
+    replayed=$((replayed + 1))
+  done
+  if [ "${replayed}" -eq 0 ]; then
+    echo "replay smoke: no bundles captured (fault rounds should emit)" >&2
+    exit 1
+  fi
+  echo "replay smoke: ${replayed} bundle(s) reproduced bit-for-bit"
 }
 
 run_tsan_pass() {
@@ -52,8 +75,9 @@ run_tsan_pass() {
   # -fno-sanitize-recover=all), so a clean exit here certifies the
   # thread_local fault injector and the shared registry/statics are
   # race-free under 8-way concurrent optimization.
+  rm -rf "${build_dir}/repro-artifacts"
   "${build_dir}/tools/joinopt_soak" --threads 8 --queries 500 \
-    --seed 20060912
+    --seed 20060912 --repro-dir "${build_dir}/repro-artifacts/soak"
 }
 
 mode="${1:-all}"

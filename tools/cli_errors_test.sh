@@ -99,6 +99,53 @@ fi
 expect budget_without_flag 6 "BudgetExceeded" -- \
   env JOINOPT_MEMO_BUDGET=1 "${CLI}" explain "${GOOD}"
 
+# ---- Flight recorder: record / replay / minimize ----
+
+# A malformed fault knob aborts ANY subcommand with exit 3 — never a
+# silently-disarmed injector.
+expect malformed_fault_env 3 "JOINOPT_FAULT_ALLOC_AT" -- \
+  env JOINOPT_FAULT_ALLOC_AT=banana "${CLI}" list
+
+BUNDLE="${TMPDIR_LOCAL}/bundle.joinopt"
+env JOINOPT_FAULT_ALLOC_AT=2 "${CLI}" record "${GOOD}" DPccp cout \
+  > "${BUNDLE}" 2>/dev/null
+if [ $? -ne 0 ] || ! [ -s "${BUNDLE}" ]; then
+  echo "FAIL record: no bundle produced" >&2
+  fails=$((fails + 1))
+fi
+
+# A freshly recorded bundle replays bit-for-bit.
+expect replay_clean 0 "reproduced bit-for-bit" -- "${CLI}" replay "${BUNDLE}"
+
+# Tampering with the recorded expectation is detected as divergence
+# (exit 10, diagnosis on stderr, stdout clean).
+TAMPERED="${TMPDIR_LOCAL}/tampered.joinopt"
+sed 's/^expect counters .*/expect counters 999 999 999 999/' \
+  "${BUNDLE}" > "${TAMPERED}"
+expect replay_divergence 10 "DIVERGED" -- "${CLI}" replay "${TAMPERED}"
+
+# An unparsable bundle is an input error (exit 3, with a line number).
+BROKEN="${TMPDIR_LOCAL}/broken.joinopt"
+printf 'joinopt-repro v1\nrel a ten\n' > "${BROKEN}"
+expect replay_malformed_bundle 3 "line 2" -- "${CLI}" replay "${BROKEN}"
+expect minimize_malformed_bundle 3 "line 2" -- "${CLI}" minimize "${BROKEN}"
+
+# minimize emits a shrunk bundle on stdout that itself replays clean
+# (exercising replay's stdin path).
+MINIMIZED="${TMPDIR_LOCAL}/minimized.joinopt"
+"${CLI}" minimize "${BUNDLE}" > "${MINIMIZED}" 2>/dev/null
+if [ $? -ne 0 ] || ! [ -s "${MINIMIZED}" ]; then
+  echo "FAIL minimize: no shrunk bundle produced" >&2
+  fails=$((fails + 1))
+else
+  if "${CLI}" replay - < "${MINIMIZED}" >/dev/null 2>&1; then
+    echo "ok minimize_then_replay"
+  else
+    echo "FAIL minimize_then_replay: shrunk bundle diverged (exit $?)" >&2
+    fails=$((fails + 1))
+  fi
+fi
+
 if [ "${fails}" -ne 0 ]; then
   echo "${fails} exit-code contract check(s) failed" >&2
   exit 1

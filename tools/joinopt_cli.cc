@@ -4,6 +4,10 @@
 ///   joinopt_cli dot      <spec-file|-> [plan|graph]    Graphviz output
 ///   joinopt_cli generate <shape> <n> [seed]            emit a query spec
 ///   joinopt_cli counters <shape> <n>                   measured vs predicted
+///   joinopt_cli record   <spec-file|-> [algo] [cost]   run once, emit a
+///                                                      repro bundle
+///   joinopt_cli replay   <bundle-file|->               re-execute a bundle
+///   joinopt_cli minimize <bundle-file|->               delta-debug a bundle
 ///   joinopt_cli list                                   registered algorithms
 ///
 /// shapes: chain cycle star clique
@@ -24,10 +28,22 @@
 /// src/testing/fault_injection.h) arm the deterministic fault injector
 /// for crash-safety testing.
 ///
+/// The flight-recorder workflow (see src/testing/repro.h): `record` runs
+/// one optimization under the environment's limits/faults/policy and
+/// prints a self-contained bundle to stdout — including the outcome, even
+/// when the run failed (the failure IS the recorded phenomenon, so record
+/// exits 0). `replay` re-executes a bundle and exits 0 only when the
+/// recorded outcome reproduces bit-for-bit (status, cost, cardinality,
+/// counter totals, degradation trigger); any divergence is exit 10 with a
+/// field-by-field diff on stderr. `minimize` delta-debugs a bundle to the
+/// smallest query/options/fault schedule that still fails the same way
+/// and prints the shrunk bundle to stdout (shrink statistics on stderr).
+///
 /// Exit codes (all diagnostics go to stderr):
 ///   0  success
 ///   2  usage error: bad command line, unknown algorithm/cost/shape
-///   3  input error: file not readable, spec/SQL unparsable
+///   3  input error: file not readable, spec/SQL/bundle unparsable,
+///      malformed JOINOPT_FAULT_* environment
 ///   4  catalog failed validation (InvalidCatalog)
 ///   5  optimizer rejected degenerate statistics (DegenerateStatistics)
 ///   6  resource budget or deadline exceeded (BudgetExceeded)
@@ -36,6 +52,8 @@
 ///   8  internal error (Internal and anything unclassified)
 ///   9  success, but the plan is best-effort (--best-effort salvage; the
 ///      plan is on stdout, the degradation report on stderr)
+///  10  replay divergence: the bundle re-executed but its outcome does
+///      not match the recorded expectation
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +65,8 @@
 
 #include "dsl/writer.h"
 #include "joinopt.h"
+#include "testing/fault_injection.h"
+#include "testing/repro.h"
 
 namespace joinopt {
 namespace {
@@ -97,16 +117,21 @@ Result<std::unique_ptr<CostModel>> MakeCostModel(const std::string& name) {
                                  "' (cout|bestof|hash|nlj|smj)");
 }
 
+/// Expands the pre-registry aliases to their registry names.
+std::string ResolveAlgorithmName(const std::string& name) {
+  if (name == "linear") {
+    return "DPsizeLinear";
+  }
+  if (name == "IDP") {
+    return "IDP1";
+  }
+  return name;
+}
+
 /// Resolves a CLI algorithm name against the registry, honoring the
 /// pre-registry aliases.
 Result<const JoinOrderer*> LookupOrderer(const std::string& name) {
-  std::string key = name;
-  if (name == "linear") {
-    key = "DPsizeLinear";
-  } else if (name == "IDP") {
-    key = "IDP1";
-  }
-  return OptimizerRegistry::GetOrError(key);
+  return OptimizerRegistry::GetOrError(ResolveAlgorithmName(name));
 }
 
 /// Set by the --best-effort flag: arm partial-memo salvage so a tripped
@@ -362,6 +387,119 @@ int Hyper(const std::string& path) {
   return FinishPlanCommand(*result);
 }
 
+/// `record`: one optimization run snapshotted as a flight-recorder
+/// bundle on stdout. The run executes through the same replay engine the
+/// bundle will be re-executed with, so the recorded expectation is by
+/// construction reproducible. A FAILED optimization still records (and
+/// exits 0): capturing failures is the point. Only setup errors (bad
+/// spec, unknown algorithm/cost model) fail the command.
+int Record(const std::string& path, const std::string& algo,
+           const std::string& cost) {
+  Result<std::string> text = ReadAll(path);
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(*text);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  const std::string algorithm = ResolveAlgorithmName(algo);
+  if (OptimizerRegistry::Get(algorithm) == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    return 2;
+  }
+  // The environment IS the run configuration, so snapshot all of it:
+  // limits, fault schedule, and (for Adaptive) the degradation policy.
+  const Result<testing::FaultConfig> fault = testing::FaultConfigFromEnv();
+  if (!fault.ok()) {
+    return Fail(fault.status(), "fault environment");
+  }
+  testing::ReproBundle bundle = testing::MakeReproBundle(
+      *graph, algorithm, cost, OptionsFromEnv(), *fault,
+      /*throwing_trace=*/false, /*workload_seed=*/0,
+      "recorded by joinopt_cli record");
+  if (algorithm == "Adaptive") {
+    if (const char* policy = std::getenv("JOINOPT_POLICY")) {
+      bundle.policy = policy;
+    }
+  }
+  Result<OutcomeSignature> observed = testing::ReplayBundle(bundle);
+  if (!observed.ok()) {
+    return Fail(observed.status(), "record");
+  }
+  bundle.expected = *observed;
+  bundle.has_expected = true;
+  std::fputs(testing::WriteReproBundle(bundle).c_str(), stdout);
+  std::fprintf(stderr, "recorded: %s\n", observed->ToString().c_str());
+  return 0;
+}
+
+/// `replay`: exit 0 iff the bundle's recorded outcome reproduces
+/// bit-for-bit; 10 on divergence (diff on stderr); 3 when the bundle
+/// cannot be parsed or set up. A partial bundle (no expectation — e.g. a
+/// soak inflight flush) prints the observed outcome and exits 0.
+int Replay(const std::string& path) {
+  Result<std::string> text = ReadAll(path);
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  Result<testing::ReproBundle> bundle = testing::ParseReproBundle(*text);
+  if (!bundle.ok()) {
+    return Fail(bundle.status(), "bundle error");
+  }
+  Result<testing::ReplayVerdict> verdict = testing::ReplayAndCompare(*bundle);
+  if (!verdict.ok()) {
+    return Fail(verdict.status(), "replay setup failed");
+  }
+  // The observed signature is the payload (stdout, success paths only);
+  // verdicts and diagnostics go to stderr, and a divergence keeps stdout
+  // clean like every other failure.
+  if (bundle->has_expected && !verdict->matches) {
+    std::fprintf(stderr,
+                 "observed: %s\n"
+                 "replay DIVERGED from the recorded outcome:\n%s\n",
+                 verdict->observed.ToString().c_str(),
+                 verdict->divergence.c_str());
+    return 10;
+  }
+  std::printf("observed: %s\n", verdict->observed.ToString().c_str());
+  if (!bundle->has_expected) {
+    std::fprintf(stderr,
+                 "note: bundle carries no expectation (partial capture); "
+                 "nothing to diverge from\n");
+    return 0;
+  }
+  std::fprintf(stderr, "replay: recorded outcome reproduced bit-for-bit\n");
+  return 0;
+}
+
+/// `minimize`: delta-debug the bundle down to the smallest configuration
+/// with the same failure kind; shrunk bundle on stdout, stats on stderr.
+int Minimize(const std::string& path) {
+  Result<std::string> text = ReadAll(path);
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  Result<testing::ReproBundle> bundle = testing::ParseReproBundle(*text);
+  if (!bundle.ok()) {
+    return Fail(bundle.status(), "bundle error");
+  }
+  testing::MinimizeStats stats;
+  Result<testing::ReproBundle> minimized =
+      testing::MinimizeBundle(*bundle, &stats);
+  if (!minimized.ok()) {
+    return Fail(minimized.status(), "minimize setup failed");
+  }
+  std::fputs(testing::WriteReproBundle(*minimized).c_str(), stdout);
+  std::fprintf(stderr,
+               "minimize: %zu -> %zu relations, %zu -> %zu edges "
+               "(%d rounds, %d replays, %d option/fault simplifications)\n",
+               bundle->relations.size(), minimized->relations.size(),
+               bundle->edges.size(), minimized->edges.size(), stats.rounds,
+               stats.replays, stats.simplifications);
+  return 0;
+}
+
 int List() {
   for (const std::string& name : OptimizerRegistry::Names()) {
     std::printf("%s\n", name.c_str());
@@ -378,6 +516,9 @@ int Usage(const char* argv0) {
                "  %s dot      <spec-file|-> [plan|graph]\n"
                "  %s generate <shape> <n> [seed]\n"
                "  %s counters <shape> <n>\n"
+               "  %s record   <spec-file|-> [algo] [cost]\n"
+               "  %s replay   <bundle-file|->\n"
+               "  %s minimize <bundle-file|->\n"
                "  %s list\n"
                "flags:  --best-effort  salvage a complete plan from the\n"
                "        partial memo when a limit trips (exit 9, report on\n"
@@ -388,8 +529,9 @@ int Usage(const char* argv0) {
                "DEADLINE,STATS}_AT\n"
                "exit codes: 0 ok, 2 usage, 3 input, 4 catalog, 5 stats,\n"
                "            6 budget, 7 precondition, 8 internal,\n"
-               "            9 best-effort plan\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               "            9 best-effort plan, 10 replay divergence\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
   return 2;
 }
 
@@ -412,6 +554,16 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return Usage(argv[0]);
   }
+  // Validate the fault environment up front: a typo'd JOINOPT_FAULT_*
+  // knob must be a visible input error (exit 3), not a silently disarmed
+  // injector behind an otherwise-normal run.
+  {
+    const Result<testing::FaultConfig> env_fault =
+        testing::FaultConfigFromEnv();
+    if (!env_fault.ok()) {
+      return Fail(env_fault.status(), "fault environment");
+    }
+  }
   const std::string command = argv[1];
   if (command == "explain" && argc >= 3) {
     return Explain(argv[2], argc > 3 ? argv[3] : "DPccp",
@@ -432,6 +584,16 @@ int main(int argc, char** argv) {
   }
   if (command == "counters" && argc >= 4) {
     return Counters(argv[2], std::atoi(argv[3]));
+  }
+  if (command == "record" && argc >= 3) {
+    return Record(argv[2], argc > 3 ? argv[3] : "DPccp",
+                  argc > 4 ? argv[4] : "cout");
+  }
+  if (command == "replay" && argc >= 3) {
+    return Replay(argv[2]);
+  }
+  if (command == "minimize" && argc >= 3) {
+    return Minimize(argv[2]);
   }
   if (command == "list") {
     return List();

@@ -1,6 +1,7 @@
 /// joinopt_fuzz — the crash-safety differential fuzzer.
 ///
 ///   joinopt_fuzz [--iters N] [--seed S] [--verbose]
+///               [--repro-dir DIR] [--max-repros N]
 ///
 /// Each iteration draws a random connected query graph (chain, cycle,
 /// star, clique, snowflake, grid, or random-connected; 2..10 relations)
@@ -40,6 +41,14 @@
 /// hands the optimizer a corrupted graph, which the optimizer prologue
 /// must reject as kDegenerateStatistics.
 ///
+/// With --repro-dir, the fuzzer doubles as a flight recorder: every
+/// fault-mode run whose optimization failed, and every violated oracle,
+/// is captured as a self-contained repro-NNN.joinopt bundle (capped by
+/// --max-repros, default 20) that `joinopt_cli replay` re-executes
+/// bit-for-bit and `joinopt_cli minimize` shrinks. The fuzzer never arms
+/// wall-clock deadlines — all its interruptions are fault-point driven —
+/// so its bundles replay deterministically.
+///
 /// Exit code 0 when all iterations pass; 1 on the first violated oracle
 /// (with a reproducer line: seed + iteration). Runs under ASan/UBSan in
 /// tools/ci.sh.
@@ -50,6 +59,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +69,7 @@
 #include "joinopt.h"
 #include "testing/adversarial.h"
 #include "testing/fault_injection.h"
+#include "testing/repro.h"
 #include "testing/workloads.h"
 
 namespace joinopt {
@@ -75,6 +87,39 @@ struct FuzzFailure {
   bool failed = false;
   std::string detail;
 };
+
+/// Flight-recorder state (--repro-dir / --max-repros).
+std::string g_repro_dir;
+int g_max_repros = 20;
+int g_repros_written = 0;
+
+/// Writes `bundle` as the next repro-NNN.joinopt artifact. A bundle that
+/// arrives without an expectation gets one from a single replay here, so
+/// every emitted artifact replays clean unless the library itself is
+/// non-deterministic — which is exactly what CI's replay stage detects.
+void EmitRepro(testing::ReproBundle bundle) {
+  if (g_repro_dir.empty() || g_repros_written >= g_max_repros) {
+    return;
+  }
+  if (!bundle.has_expected) {
+    const Result<OutcomeSignature> observed = testing::ReplayBundle(bundle);
+    if (observed.ok()) {
+      bundle.expected = *observed;
+      bundle.has_expected = true;
+    }
+  }
+  char path[4096];
+  std::snprintf(path, sizeof(path), "%s/repro-%03d.joinopt",
+                g_repro_dir.c_str(), g_repros_written);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "joinopt_fuzz: cannot write %s\n", path);
+    return;
+  }
+  out << testing::WriteReproBundle(bundle);
+  ++g_repros_written;
+  std::fprintf(stderr, "joinopt_fuzz: captured %s\n", path);
+}
 
 #define FUZZ_CHECK(cond, ...)                                  \
   do {                                                         \
@@ -150,7 +195,8 @@ void CheckAllReject(const QueryGraph& graph, const CostModel& cost_model,
 /// with the structured status for its fault point, and the SAME context
 /// then produces the correct plan on an un-faulted rerun.
 void CheckFaultedRun(const QueryGraph& graph, const CostModel& cost_model,
-                     testing::FaultPoint point, Random& rng,
+                     const char* cost_model_name, testing::FaultPoint point,
+                     Random& rng, uint64_t seed, uint64_t iteration,
                      FuzzFailure* failure) {
   const JoinOrderer* orderer =
       OptimizerRegistry::Get(kAlgorithms[rng.Uniform(kAlgorithmCount)]);
@@ -173,6 +219,17 @@ void CheckFaultedRun(const QueryGraph& graph, const CostModel& cost_model,
     faulted = orderer->Optimize(*ctx);
   }
   if (!faulted.ok()) {
+    // A fault actually interrupted this run: capture it with the observed
+    // signature stamped from the run itself, so the artifact's replay
+    // must reproduce these exact partial counters.
+    testing::ReproBundle bundle = testing::MakeReproBundle(
+        graph, orderer->name(), cost_model_name, options, fault,
+        point == testing::FaultPoint::kTraceSink, seed,
+        "joinopt_fuzz fault-mode capture, iteration " +
+            std::to_string(iteration));
+    bundle.expected = ExtractOutcomeSignature(faulted, ctx->stats());
+    bundle.has_expected = true;
+    EmitRepro(std::move(bundle));
     const StatusCode code = faulted.status().code();
     FUZZ_CHECK(code == StatusCode::kInternal ||
                    code == StatusCode::kBudgetExceeded,
@@ -244,6 +301,7 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
     QueryGraph graph = std::move(*drawn);
     // Alternate cost models so both linear (Cout) and operator-min
     // (BestOf) accumulation go through the saturation path.
+    const char* const cost_model_name = (i % 2 == 0) ? "cout" : "bestof";
     const CostModel& cost_model =
         (i % 2 == 0) ? static_cast<const CostModel&>(cout_model)
                      : static_cast<const CostModel&>(bestof_model);
@@ -264,16 +322,19 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
         CheckAllReject(graph, cost_model, &failure);
         break;
       case 3:
-        CheckFaultedRun(graph, cost_model, testing::FaultPoint::kArenaAlloc,
-                        rng, &failure);
+        CheckFaultedRun(graph, cost_model, cost_model_name,
+                        testing::FaultPoint::kArenaAlloc, rng, seed, i,
+                        &failure);
         break;
       case 4:
-        CheckFaultedRun(graph, cost_model, testing::FaultPoint::kDeadline,
-                        rng, &failure);
+        CheckFaultedRun(graph, cost_model, cost_model_name,
+                        testing::FaultPoint::kDeadline, rng, seed, i,
+                        &failure);
         break;
       default:
-        CheckFaultedRun(graph, cost_model, testing::FaultPoint::kTraceSink,
-                        rng, &failure);
+        CheckFaultedRun(graph, cost_model, cost_model_name,
+                        testing::FaultPoint::kTraceSink, rng, seed, i,
+                        &failure);
         break;
     }
     if (!failure.failed && mode != 2 && i % 7 == 0) {
@@ -287,6 +348,14 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
                    i, kModeNames[mode], family.c_str(),
                    graph.relation_count(), seed, i + 1,
                    failure.detail.c_str());
+      // Oracle violation: capture the iteration's query (mutations and
+      // all) so the failure ships as a bundle, not just a seed. The
+      // expectation is filled by one replay at emit time.
+      EmitRepro(testing::MakeReproBundle(
+          graph, "DPccp", cost_model_name, OptimizeOptions(),
+          testing::FaultConfig(), /*throwing_trace=*/false, seed,
+          "joinopt_fuzz oracle failure, iteration " + std::to_string(i) +
+              ", mode " + kModeNames[mode] + ": " + failure.detail));
       return 1;
     }
     if (verbose && (i + 1) % 100 == 0) {
@@ -317,12 +386,36 @@ int main(int argc, char** argv) {
       iterations = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repro-dir") == 0 && i + 1 < argc) {
+      joinopt::g_repro_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-repros") == 0 && i + 1 < argc) {
+      joinopt::g_max_repros =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--iters N] [--seed S] [--verbose]\n",
+                   "usage: %s [--iters N] [--seed S] [--verbose]\n"
+                   "          [--repro-dir DIR] [--max-repros N]\n",
                    argv[0]);
+      return 2;
+    }
+  }
+  // A typo'd JOINOPT_FAULT_* knob must abort the harness, not silently
+  // fuzz without faults.
+  const joinopt::Result<joinopt::testing::FaultConfig> env_fault =
+      joinopt::testing::FaultConfigFromEnv();
+  if (!env_fault.ok()) {
+    std::fprintf(stderr, "joinopt_fuzz: %s\n",
+                 env_fault.status().ToString().c_str());
+    return 2;
+  }
+  if (!joinopt::g_repro_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(joinopt::g_repro_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "joinopt_fuzz: cannot create --repro-dir %s: %s\n",
+                   joinopt::g_repro_dir.c_str(), ec.message().c_str());
       return 2;
     }
   }

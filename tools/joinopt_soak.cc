@@ -1,6 +1,7 @@
 /// joinopt_soak — the concurrent anytime-optimization soak harness.
 ///
 ///   joinopt_soak [--threads N] [--queries N] [--seed S] [--verbose]
+///                [--repro-dir DIR]
 ///
 /// N worker threads pull queries off a shared seeded stream (all seven
 /// graph families via testing::DrawWorkloadGraph) and optimize each with
@@ -29,6 +30,17 @@
 ///   * liveness: a watchdog thread aborts the process with diagnostics
 ///     when no worker makes progress for 30 seconds.
 ///
+/// With --repro-dir, the soak doubles as a flight recorder. Each worker
+/// flushes a PARTIAL bundle (inputs, no expectation) to
+/// inflight-<worker>.joinopt BEFORE dispatching every query, so even the
+/// watchdog's hard abort leaves a usable artifact naming the query that
+/// was running; the file is rewritten per query and removed on clean
+/// worker exit. An oracle failure additionally captures the query as
+/// repro-<q>.joinopt with the expectation filled by one replay. Soak
+/// bundles that armed a wall-clock deadline (deadline_s) are recorded
+/// truthfully but replay only approximately — the fault-point and budget
+/// interruptions replay bit-for-bit.
+///
 /// Exit code 0 when the whole stream completes clean; 1 on the first
 /// violated oracle (with the query index + seed reproducer); 2 on usage
 /// errors; 3 on a watchdog stall. Runs under ThreadSanitizer in
@@ -41,6 +53,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +64,7 @@
 #include "joinopt.h"
 #include "testing/adversarial.h"
 #include "testing/fault_injection.h"
+#include "testing/repro.h"
 #include "testing/workloads.h"
 
 namespace joinopt {
@@ -72,6 +87,8 @@ struct SoakConfig {
   uint64_t queries = 500;
   uint64_t seed = 20060912;
   bool verbose = false;
+  /// Flight-recorder directory; empty = capture disabled.
+  std::string repro_dir;
 };
 
 struct SharedState {
@@ -101,8 +118,12 @@ Result<QueryGraph> MakeSentinelQuery() {
 /// query index, so the stream is thread-assignment independent.
 class Worker {
  public:
-  Worker(const SoakConfig& config, SharedState& shared, double sentinel_cost)
-      : config_(config), shared_(shared), sentinel_cost_(sentinel_cost) {}
+  Worker(int id, const SoakConfig& config, SharedState& shared,
+         double sentinel_cost)
+      : id_(id),
+        config_(config),
+        shared_(shared),
+        sentinel_cost_(sentinel_cost) {}
 
   void Run() {
     const Result<QueryGraph> sentinel = MakeSentinelQuery();
@@ -122,6 +143,12 @@ class Worker {
       if (q % 50 == 17) {
         CheckSentinel(*sentinel, q);
       }
+    }
+    // Clean exit: this worker is not stuck in anything, so its in-flight
+    // marker would only mislead whoever reads the artifacts.
+    if (!config_.repro_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(InflightPath(), ec);
     }
   }
 
@@ -172,6 +199,22 @@ class Worker {
       options.trace = &sink;
     }
 
+    // Flight recorder: flush this query's inputs as a PARTIAL bundle
+    // BEFORE dispatching, so a hang (and the watchdog's _Exit) still
+    // leaves a machine-readable record of what was running.
+    testing::ReproBundle bundle = testing::MakeReproBundle(
+        graph, orderer->name(), "cout", options, fault,
+        options.trace != nullptr, config_.seed,
+        "joinopt_soak query " + std::to_string(q) + ", family " + family +
+            ", worker " + std::to_string(id_));
+    if (!config_.repro_dir.empty()) {
+      std::ofstream out(InflightPath(), std::ios::trunc);
+      if (out) {
+        out << testing::WriteReproBundle(bundle);
+        out.flush();
+      }
+    }
+
     Result<OptimizationResult> result = Status::Internal("never ran");
     {
       // The injector is thread_local, so this schedule is invisible to
@@ -188,7 +231,8 @@ class Worker {
         baseline_orderer->Optimize(graph, cost_model);
     if (!baseline.ok()) {
       FailQuery(q, family,
-                "clean DPccp baseline failed: " + baseline.status().ToString());
+                "clean DPccp baseline failed: " + baseline.status().ToString(),
+                &bundle);
       return;
     }
 
@@ -199,7 +243,8 @@ class Worker {
         FailQuery(q, family,
                   std::string(orderer->name()) +
                       " failed outside the degradation codes: " +
-                      result.status().ToString());
+                      result.status().ToString(),
+                  &bundle);
       }
       return;
     }
@@ -208,7 +253,8 @@ class Worker {
     if (!valid.ok()) {
       FailQuery(q, family,
                 std::string(orderer->name()) +
-                    " plan failed validation: " + valid.ToString());
+                    " plan failed validation: " + valid.ToString(),
+                &bundle);
       return;
     }
     const double floor = baseline->cost * (1.0 - kCostTolerance);
@@ -217,14 +263,16 @@ class Worker {
                 std::string(orderer->name()) + " cost " +
                     std::to_string(result->cost) +
                     " beat the exact optimum " +
-                    std::to_string(baseline->cost));
+                    std::to_string(baseline->cost),
+                &bundle);
       return;
     }
     if (result->stats.best_effort) {
       if (!result->degradation.best_effort ||
           result->degradation.trigger == StatusCode::kOk) {
-        FailQuery(q, family, "best-effort result with an empty "
-                             "DegradationReport");
+        FailQuery(q, family,
+                  "best-effort result with an empty DegradationReport",
+                  &bundle);
         return;
       }
     } else if (result->stats.fallback_from.empty() &&
@@ -237,7 +285,8 @@ class Worker {
         FailQuery(q, family,
                   result->stats.algorithm + " completed exactly with cost " +
                       std::to_string(result->cost) + " but the optimum is " +
-                      std::to_string(baseline->cost));
+                      std::to_string(baseline->cost),
+                  &bundle);
         return;
       }
     }
@@ -266,13 +315,43 @@ class Worker {
     }
   }
 
-  void FailQuery(uint64_t q, const std::string& family, std::string detail) {
+  void FailQuery(uint64_t q, const std::string& family, std::string detail,
+                 const testing::ReproBundle* bundle = nullptr) {
     shared_.Fail("query " + std::to_string(q) + " (family " + family +
                  ", reproduce: joinopt_soak --threads 1 --seed " +
                  std::to_string(config_.seed) + " --queries " +
                  std::to_string(q + 1) + "): " + std::move(detail));
+    if (bundle != nullptr && !config_.repro_dir.empty()) {
+      CaptureRepro(*bundle, q);
+    }
   }
 
+  std::string InflightPath() const {
+    return config_.repro_dir + "/inflight-" + std::to_string(id_) +
+           ".joinopt";
+  }
+
+  /// Persists a failed query as repro-<q>.joinopt. One replay (on this
+  /// thread; the injector is thread_local) fills the expectation so the
+  /// artifact replays clean when the interruption was deterministic.
+  void CaptureRepro(testing::ReproBundle bundle, uint64_t q) const {
+    const Result<OutcomeSignature> observed = testing::ReplayBundle(bundle);
+    if (observed.ok()) {
+      bundle.expected = *observed;
+      bundle.has_expected = true;
+    }
+    const std::string path =
+        config_.repro_dir + "/repro-" + std::to_string(q) + ".joinopt";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "joinopt_soak: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << testing::WriteReproBundle(bundle);
+    std::fprintf(stderr, "joinopt_soak: captured %s\n", path.c_str());
+  }
+
+  const int id_;
   const SoakConfig& config_;
   SharedState& shared_;
   double sentinel_cost_;
@@ -280,7 +359,7 @@ class Worker {
 
 /// Aborts the process when the workers stop making progress: a deadlock
 /// or livelock under TSan/faults must fail loudly, not hang CI.
-void Watchdog(SharedState& shared) {
+void Watchdog(SharedState& shared, const std::string& repro_dir) {
   constexpr auto kStallLimit = std::chrono::seconds(30);
   uint64_t last_completed = shared.completed.load();
   auto last_change = std::chrono::steady_clock::now();
@@ -296,6 +375,13 @@ void Watchdog(SharedState& shared) {
                    "joinopt_soak: WATCHDOG: no progress for 30s at %" PRIu64
                    " completed queries; aborting\n",
                    now_completed);
+      if (!repro_dir.empty()) {
+        std::fprintf(stderr,
+                     "joinopt_soak: the stuck queries' inputs are the "
+                     "inflight-*.joinopt bundles in %s (each worker flushed "
+                     "its bundle before dispatching)\n",
+                     repro_dir.c_str());
+      }
       std::_Exit(3);
     }
   }
@@ -324,10 +410,11 @@ int Run(const SoakConfig& config) {
   std::vector<std::thread> threads;
   workers.reserve(config.threads);
   threads.reserve(config.threads);
-  std::thread watchdog(Watchdog, std::ref(shared));
+  std::thread watchdog(Watchdog, std::ref(shared),
+                       std::cref(config.repro_dir));
   for (int t = 0; t < config.threads; ++t) {
     workers.push_back(
-        std::make_unique<Worker>(config, shared, sentinel_result->cost));
+        std::make_unique<Worker>(t, config, shared, sentinel_result->cost));
     threads.emplace_back(&Worker::Run, workers.back().get());
   }
   for (std::thread& thread : threads) {
@@ -359,18 +446,39 @@ int main(int argc, char** argv) {
       config.queries = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repro-dir") == 0 && i + 1 < argc) {
+      config.repro_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       config.verbose = true;
     } else {
-      std::fprintf(
-          stderr, "usage: %s [--threads N] [--queries N] [--seed S]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--queries N] [--seed S]"
+                   " [--repro-dir DIR]\n",
+                   argv[0]);
       return 2;
     }
   }
   if (config.threads < 1 || config.threads > 256) {
     std::fprintf(stderr, "joinopt_soak: --threads must be in [1, 256]\n");
     return 2;
+  }
+  // A typo'd JOINOPT_FAULT_* knob must abort the harness, not silently
+  // soak without the intended schedule.
+  const joinopt::Result<joinopt::testing::FaultConfig> env_fault =
+      joinopt::testing::FaultConfigFromEnv();
+  if (!env_fault.ok()) {
+    std::fprintf(stderr, "joinopt_soak: %s\n",
+                 env_fault.status().ToString().c_str());
+    return 2;
+  }
+  if (!config.repro_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.repro_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "joinopt_soak: cannot create --repro-dir %s: %s\n",
+                   config.repro_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
   }
   return joinopt::Run(config);
 }
