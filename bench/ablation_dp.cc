@@ -111,6 +111,7 @@ void AblatePlanTableBackend() {
 }  // namespace joinopt
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   std::printf("Ablation benches (DESIGN.md §4)\n");
   joinopt::AblateDPsizeEqualSizeOptimization();
   joinopt::AblateDPsubConnectivityTest();

@@ -6,6 +6,7 @@
 
 #include "analytics/counts.h"
 #include "cost/cost_model.h"
+#include "util/env.h"
 #include "util/stopwatch.h"
 
 namespace joinopt {
@@ -13,19 +14,30 @@ namespace bench {
 
 uint64_t InnerCounterBudget() {
   static const uint64_t budget = [] {
-    const char* env = std::getenv("JOINOPT_MAX_INNER");
-    if (env != nullptr) {
-      const double parsed = std::atof(env);
-      if (parsed > 0) {
-        return static_cast<uint64_t>(parsed);
-      }
-    }
     // Default admits every Figure 3/12 cell except DPsize at star-20
     // (6e10) and clique-20 (3e11) — the cells that took 4791 s and
-    // 21294 s on the paper's 2006 testbed.
-    return uint64_t{4'000'000'000};
+    // 21294 s on the paper's 2006 testbed. The override parses strictly
+    // (a typo'd value used to be swallowed by atof and silently fall
+    // back here); RequireValidEnv turns the error into exit 3 at
+    // startup, so by this point the value is known well-formed.
+    constexpr double kDefault = 4e9;
+    const Result<double> parsed =
+        EnvDouble("JOINOPT_MAX_INNER", kDefault, /*require_positive=*/true);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      std::exit(3);
+    }
+    return static_cast<uint64_t>(*parsed);
   }();
   return budget;
+}
+
+void RequireValidEnv() {
+  const Status limits = ValidateLimitEnv();
+  if (!limits.ok()) {
+    std::fprintf(stderr, "%s\n", limits.ToString().c_str());
+    std::exit(3);
+  }
 }
 
 const JoinOrderer& Orderer(const std::string& name) {
@@ -39,13 +51,14 @@ const JoinOrderer& Orderer(const std::string& name) {
 }
 
 double MeasureSeconds(const JoinOrderer& orderer, const QueryGraph& graph,
-                      const CostModel& cost_model, OptimizerStats* last_stats) {
+                      const CostModel& cost_model, OptimizerStats* last_stats,
+                      const OptimizeOptions& options) {
   constexpr double kTargetSeconds = 0.2;
   const Stopwatch total;
   int runs = 0;
   do {
     const Result<OptimizationResult> result =
-        orderer.Optimize(graph, cost_model);
+        orderer.Optimize(graph, cost_model, options);
     if (!result.ok()) {
       std::fprintf(stderr, "benchmark optimizer %s failed: %s\n",
                    std::string(orderer.name()).c_str(),

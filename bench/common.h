@@ -17,8 +17,16 @@ namespace bench {
 /// skipped and reported as such (the paper's own star-20/clique-20 DPsize
 /// cells ran for hours on 2006 hardware). Override with the environment
 /// variable JOINOPT_MAX_INNER (e.g. JOINOPT_MAX_INNER=1e12 to run
-/// everything).
+/// everything). Call RequireValidEnv() at startup first: a malformed
+/// override is a startup error, never a silent fallback.
 uint64_t InnerCounterBudget();
+
+/// Validates the JOINOPT limit knobs (JOINOPT_MAX_INNER, and the
+/// ValidateLimitEnv set) at benchmark startup; prints the typed error and
+/// exits with code 3 on the first malformed variable. Every bench main
+/// calls this before doing any work, mirroring the JOINOPT_FAULT_*
+/// startup contract of the harness binaries.
+void RequireValidEnv();
 
 /// Looks up `name` in the OptimizerRegistry; aborts the process with a
 /// diagnostic when it is not registered. Benchmarks only request names
@@ -30,9 +38,12 @@ const JoinOrderer& Orderer(const std::string& name);
 /// wall-clock seconds per optimization. Aborts the process on optimizer
 /// failure — benchmark inputs are all valid by construction. When
 /// `last_stats` is non-null, the final run's stats are stored there.
+/// `options` configures each run (the thread-scaling cells pass
+/// OptimizeOptions::threads).
 double MeasureSeconds(const JoinOrderer& orderer, const QueryGraph& graph,
                       const CostModel& cost_model,
-                      OptimizerStats* last_stats = nullptr);
+                      OptimizerStats* last_stats = nullptr,
+                      const OptimizeOptions& options = OptimizeOptions());
 
 /// Predicted InnerCounter for gating, per algorithm name ("DPsize",
 /// "DPsub", "DPccp"). Other names get no prediction (never skipped).

@@ -50,6 +50,7 @@ double RecostPlan(const JoinTree& tree, const QueryGraph& graph,
 }  // namespace joinopt
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   using namespace joinopt;  // NOLINT(build/namespaces)
 
   const CoutCostModel cost_model;

@@ -17,6 +17,7 @@
 #include "graph/generators.h"
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   using namespace joinopt;  // NOLINT(build/namespaces)
 
   const CoutCostModel cost_model;

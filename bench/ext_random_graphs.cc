@@ -15,6 +15,7 @@
 #include "graph/generators.h"
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   using namespace joinopt;  // NOLINT(build/namespaces)
 
   constexpr int kRelations = 14;

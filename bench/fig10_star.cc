@@ -9,6 +9,7 @@
 #include "common.h"
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   joinopt::bench::RunRelativePerformanceFigure(
       "Figure 10", joinopt::QueryShape::kStar, /*max_n=*/20);
   return 0;

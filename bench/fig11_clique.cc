@@ -7,6 +7,7 @@
 #include "common.h"
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   joinopt::bench::RunRelativePerformanceFigure(
       "Figure 11", joinopt::QueryShape::kClique, /*max_n=*/18);
   return 0;

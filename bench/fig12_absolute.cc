@@ -44,6 +44,7 @@ void PrintRow(const QueryGraph& graph, QueryShape shape, int n) {
 }  // namespace joinopt
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   using joinopt::MakeShapeQuery;
   using joinopt::QueryShape;
   std::printf("Figure 12: sample absolute running times (s)\n");

@@ -60,6 +60,7 @@ void PrintShape(QueryShape shape) {
 }  // namespace joinopt
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   std::printf(
       "Figure 3: size of the search space for different graph structures\n"
       "(#ccp is the Ono-Lohman count = unordered csg-cmp-pairs; measured\n"

@@ -5,6 +5,7 @@
 #include "common.h"
 
 int main() {
+  joinopt::bench::RequireValidEnv();
   joinopt::bench::RunRelativePerformanceFigure(
       "Figure 8", joinopt::QueryShape::kChain, /*max_n=*/20);
   return 0;

@@ -7,8 +7,17 @@
 /// unified pipeline: a run with a (never-tripping) deadline + memo budget
 /// must stay within noise of the plain run, and the null-sink fast path
 /// is what keeps the plain run free of tracing cost.
+///
+/// Besides the google-benchmark registrations, `--thread-scaling` runs an
+/// explicit thread sweep of the parallel orderers (serial baselines +
+/// DPsizePar/DPsubPar at 1/2/4/8 threads on clique-16) and emits one
+/// JOINOPT_BENCH_JSON line per cell — the seed of the BENCH_parallel.json
+/// perf trajectory (see tools/ci.sh).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "common.h"
 #include "cost/cost_model.h"
@@ -175,5 +184,62 @@ BENCHMARK(BM_DPhyp_Chain14);
 BENCHMARK(BM_DPhyp_Star12);
 BENCHMARK(BM_DPhyp_Clique10);
 
+/// The --thread-scaling sweep: serial DPsize/DPsub baselines, then each
+/// parallel orderer at 1/2/4/8 threads on the same clique. The thread
+/// count is encoded in the emitted algorithm name ("DPsubPar@4") so the
+/// JSON lines stay self-describing; wall-clock scaling is bounded by the
+/// machine's core count, while the counters must not move at all (the
+/// determinism contract).
+int RunThreadScaling() {
+  constexpr int kN = 16;
+  const Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kClique, kN);
+  JOINOPT_CHECK(graph.ok());
+  const CoutCostModel cost_model;
+  std::printf("thread scaling, clique-%d, Cout\n", kN);
+  std::printf("%-12s  %10s  %14s\n", "cell", "seconds", "inner");
+
+  const auto run_cell = [&](const char* algorithm, int threads) {
+    OptimizeOptions options;
+    options.threads = threads;
+    OptimizerStats stats;
+    const double seconds = bench::MeasureSeconds(
+        bench::Orderer(algorithm), *graph, cost_model, &stats, options);
+    char cell[32];
+    if (threads > 0) {
+      std::snprintf(cell, sizeof(cell), "%s@%d", algorithm, threads);
+    } else {
+      std::snprintf(cell, sizeof(cell), "%s", algorithm);
+    }
+    bench::EmitBenchJson(cell, "clique", kN, stats, seconds);
+    std::printf("%-12s  %10.4f  %14llu\n", cell, seconds,
+                static_cast<unsigned long long>(stats.inner_counter));
+  };
+
+  run_cell("DPsize", 0);
+  run_cell("DPsub", 0);
+  for (const char* algorithm : {"DPsizePar", "DPsubPar"}) {
+    for (int threads : {1, 2, 4, 8}) {
+      run_cell(algorithm, threads);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace joinopt
+
+int main(int argc, char** argv) {
+  joinopt::bench::RequireValidEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--thread-scaling") == 0) {
+      return joinopt::RunThreadScaling();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

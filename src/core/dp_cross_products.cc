@@ -18,7 +18,8 @@ Result<OptimizationResult> DPsizeCP::Optimize(OptimizerContext& ctx) const {
         "DPsizeCP materializes all 2^n subsets; refusing n > 24");
   }
 
-  ctx.InstallTable(PlanTable(n, /*dense_limit=*/24));
+  ctx.InstallTable(
+      PlanTable(n, /*dense_limit=*/24, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);
@@ -88,11 +89,17 @@ Result<OptimizationResult> DPsubCP::Optimize(OptimizerContext& ctx) const {
         "DPsubCP enumerates 3^n splits; refusing n > 24");
   }
 
-  ctx.InstallTable(PlanTable(n, /*dense_limit=*/24));
+  ctx.InstallTable(
+      PlanTable(n, /*dense_limit=*/24, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   bool live = internal::SeedLeafPlans(ctx);
 
   const uint64_t limit = (uint64_t{1} << n) - 1;
+  // Strided deadline tick inside the subset loop, same rationale as
+  // DPsub: one outer mask owns up to 2^(n-1) subsets, far too much work
+  // to leave between deadline checks.
+  constexpr uint64_t kTickStride = 256;
+  uint64_t since_tick = 0;
   for (uint64_t mask = 1; live && mask <= limit; ++mask) {
     const NodeSet s = NodeSet::FromMask(mask);
     if (s.count() == 1) {
@@ -100,6 +107,10 @@ Result<OptimizationResult> DPsubCP::Optimize(OptimizerContext& ctx) const {
     }
     for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
       ++stats.inner_counter;
+      if ((++since_tick & (kTickStride - 1)) == 0 && ctx.Tick()) {
+        live = false;
+        break;
+      }
       ++stats.csg_cmp_pair_counter;
       const NodeSet s1 = it.Current();
       ctx.TraceCsgCmpPair(s1, s - s1);
@@ -108,7 +119,10 @@ Result<OptimizationResult> DPsubCP::Optimize(OptimizerContext& ctx) const {
         break;
       }
     }
-    if (ctx.Tick()) {
+    // Historical per-mask boundary tick kept alongside the stride: at a
+    // mask boundary the memo is coherent, which the anytime salvage
+    // cadence relies on (see the same pattern in dpsub.cc).
+    if (live && ctx.Tick()) {
       live = false;
     }
   }

@@ -1,0 +1,393 @@
+#include "core/dp_parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bitset/subset_iterator.h"
+#include "cost/saturation.h"
+#include "graph/connectivity.h"
+#include "util/thread_pool.h"
+
+namespace joinopt {
+namespace {
+
+/// Worker-local paper counters, folded into ctx.stats() at the end of the
+/// run. All three are order-independent sums over fixed candidate sets,
+/// which is what keeps the reported counters thread-count-invariant.
+struct WorkerCounters {
+  uint64_t inner = 0;
+  uint64_t csg_cmp = 0;
+  uint64_t create_calls = 0;
+};
+
+/// Lock-free deadline observation for workers, which must not touch the
+/// governor (its tick state is coordinator-owned). Workers poll the
+/// governor's monotonic stopwatch on a stride; once one observes the
+/// deadline past, every worker winds down and the coordinator promotes
+/// the observation via ResourceGovernor::CheckDeadlineNow() at the
+/// barrier (monotonic clock: the re-check cannot disagree).
+class DeadlineWatch {
+ public:
+  DeadlineWatch(const ResourceGovernor& governor, double deadline_seconds)
+      : governor_(governor), deadline_seconds_(deadline_seconds) {}
+
+  void Poll() {
+    if (deadline_seconds_ > 0 &&
+        !cancelled_.load(std::memory_order_relaxed) &&
+        governor_.ElapsedSeconds() > deadline_seconds_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  bool cancelled() const {
+    return deadline_seconds_ > 0 && cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const ResourceGovernor& governor_;
+  const double deadline_seconds_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// How many inner iterations a worker runs between deadline polls.
+constexpr uint64_t kWorkerPollStride = 4096;
+
+/// DPsubPar coordinator-side block size: at most this many size-k masks
+/// are in flight per fork-join batch, bounding the candidate buffer to a
+/// few MB regardless of n.
+constexpr uint64_t kBlockMasks = uint64_t{1} << 16;
+
+/// Gosper's hack: the next integer with the same popcount.
+uint64_t NextSameCount(uint64_t v) {
+  const uint64_t c = v & (0 - v);
+  const uint64_t r = v + c;
+  return r | (((v ^ r) >> 2) / c);
+}
+
+/// Strictly-better total order on candidates for one set: lowest cost,
+/// then lexicographic (left, right) masks. Matches MergeLayer's sort so
+/// worker-local reductions and the barrier merge pick the same winner.
+bool CandidateBeats(const PlanEntry& a, const PlanEntry& b) {
+  if (a.cost != b.cost) {
+    return a.cost < b.cost;
+  }
+  if (a.left.mask() != b.left.mask()) {
+    return a.left.mask() < b.left.mask();
+  }
+  return a.right.mask() < b.right.mask();
+}
+
+/// The number of threads a parallel orderer actually uses: the resolved
+/// OptimizeOptions::threads, clamped to 1 when a trace sink is installed
+/// (sinks are user code; all trace dispatch must stay on the coordinator).
+int EffectiveThreads(const OptimizerContext& ctx) {
+  if (ctx.has_trace()) {
+    return 1;
+  }
+  return ThreadPool::ResolveThreadCount(ctx.options().threads);
+}
+
+/// The coordinator-side gate run by MergeLayer after each winner: one
+/// governor tick per merged set (the deterministic arrival stream for
+/// deadline faults), memo-budget accounting for fresh entries, and the
+/// OnPlanInserted trace. Returns false when a limit tripped.
+bool MergeGate(OptimizerContext& ctx, const PlanTable::LayerCandidate& winner,
+               bool newly_populated) {
+  if (ctx.Tick()) {
+    return false;
+  }
+  if (newly_populated) {
+    ctx.stats().plans_stored = ctx.table().populated_count();
+    if (!ctx.WithinMemoBudget(ctx.table().populated_count())) {
+      return false;
+    }
+    ctx.TracePlanInserted(winner.set, winner.entry.cost,
+                          winner.entry.cardinality);
+    if (ctx.exhausted()) {
+      return false;  // The trace sink threw.
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<OptimizationResult> DPsizePar::Optimize(OptimizerContext& ctx) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
+  const int n = graph.relation_count();
+  const int threads = EffectiveThreads(ctx);
+
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(
+      graph, ctx.options().memo_entry_budget, threads));
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  bool live = internal::SeedLeafPlans(ctx);
+
+  // Same layer lists as serial DPsize, except each list is rebuilt in
+  // ascending mask order at its layer's barrier (the serial creation
+  // order is partition-dependent; the set of members is not).
+  std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
+  plans_by_size[1].reserve(n);
+  for (int i = 0; i < n; ++i) {
+    plans_by_size[1].push_back(NodeSet::Singleton(i));
+  }
+
+  ThreadPool pool(threads);
+  DeadlineWatch watch(ctx.governor(), ctx.options().deadline_seconds);
+  std::vector<WorkerCounters> counters(pool.thread_count());
+  using Reduction = std::unordered_map<NodeSet, PlanEntry, NodeSetHash>;
+  std::vector<Reduction> reductions(pool.thread_count());
+
+  for (int k = 2; live && k <= n; ++k) {
+    // One task per left operand of one (s1_size, s2_size) split; the
+    // worker sweeps the whole right list (or the i < j triangle for the
+    // equal-size split, matching serial DPsize's optimized enumeration).
+    struct SizeTask {
+      int s1_size;
+      uint32_t left_index;
+    };
+    std::vector<SizeTask> tasks;
+    for (int s1_size = 1; 2 * s1_size <= k; ++s1_size) {
+      const size_t left_count = plans_by_size[s1_size].size();
+      for (size_t i = 0; i < left_count; ++i) {
+        tasks.push_back({s1_size, static_cast<uint32_t>(i)});
+      }
+    }
+
+    pool.Run(tasks.size(), [&](uint64_t task_index, int worker) {
+      const SizeTask task = tasks[task_index];
+      const int s2_size = k - task.s1_size;
+      const std::vector<NodeSet>& left_list = plans_by_size[task.s1_size];
+      const std::vector<NodeSet>& right_list = plans_by_size[s2_size];
+      const NodeSet s1 = left_list[task.left_index];
+      const PlanEntry* left = table.Find(s1);
+      JOINOPT_DCHECK(left != nullptr);
+      WorkerCounters& wc = counters[worker];
+      Reduction& reduction = reductions[worker];
+      uint64_t since_poll = 0;
+
+      const size_t j_begin =
+          task.s1_size == s2_size ? task.left_index + 1 : 0;
+      for (size_t j = j_begin; j < right_list.size(); ++j) {
+        ++wc.inner;
+        if ((++since_poll & (kWorkerPollStride - 1)) == 0) {
+          watch.Poll();
+          if (watch.cancelled()) {
+            return;  // Deadline observed: wind down mid-layer.
+          }
+        }
+        const NodeSet s2 = right_list[j];
+        if (s1.Intersects(s2) || !graph.AreConnected(s1, s2)) {
+          continue;
+        }
+        wc.csg_cmp += 2;
+        wc.create_calls += 2;
+        if (JOINOPT_UNLIKELY(ctx.has_trace())) {
+          // Only reachable single-threaded (EffectiveThreads clamps), so
+          // the sink still runs on the coordinator.
+          ctx.TraceCsgCmpPair(s1, s2);
+        }
+        const NodeSet combined = s1 | s2;
+        // Canonical per-set estimate (split-invariant under saturation);
+        // recomputed per surviving pair since workers share no memo.
+        const double out_card = ctx.estimator().EstimateSet(combined);
+        const PlanEntry* right = table.Find(s2);
+        JOINOPT_DCHECK(right != nullptr);
+        const CostModel& model = ctx.cost_model();
+        PlanEntry candidate;
+        candidate.cardinality = out_card;
+        // Both operand orders, like serial CreateJoinTreeBothOrders.
+        for (int order = 0; order < 2; ++order) {
+          const PlanEntry* build = order == 0 ? left : right;
+          const PlanEntry* probe = order == 0 ? right : left;
+          candidate.left = order == 0 ? s1 : s2;
+          candidate.right = order == 0 ? s2 : s1;
+          candidate.cost = SaturateCost(
+              build->cost + probe->cost +
+              model.JoinCost(build->cardinality, probe->cardinality,
+                             out_card));
+          candidate.op = model.OperatorFor(build->cardinality,
+                                           probe->cardinality, out_card);
+          const auto [it, inserted] = reduction.try_emplace(combined);
+          if (inserted || CandidateBeats(candidate, it->second)) {
+            it->second = candidate;
+          }
+        }
+      }
+    });
+
+    // Barrier: drain the worker reductions into one candidate list and
+    // reconcile deterministically.
+    std::vector<PlanTable::LayerCandidate> candidates;
+    for (Reduction& reduction : reductions) {
+      for (const auto& [set, entry] : reduction) {
+        candidates.push_back({set, entry});
+      }
+      reduction.clear();
+    }
+    std::vector<NodeSet>& layer = plans_by_size[k];
+    live = table.MergeLayer(
+        candidates, [&](const PlanTable::LayerCandidate& winner,
+                        bool newly_populated) {
+          if (!MergeGate(ctx, winner, newly_populated)) {
+            return false;
+          }
+          if (newly_populated) {
+            layer.push_back(winner.set);
+          }
+          return true;
+        });
+    if (watch.cancelled() && ctx.governor().CheckDeadlineNow()) {
+      live = false;
+    }
+  }
+
+  for (const WorkerCounters& wc : counters) {
+    stats.inner_counter += wc.inner;
+    stats.csg_cmp_pair_counter += wc.csg_cmp;
+    stats.create_join_tree_calls += wc.create_calls;
+  }
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  return internal::FinishOptimize(ctx);
+}
+
+Result<OptimizationResult> DPsubPar::Optimize(OptimizerContext& ctx) const {
+  JOINOPT_RETURN_IF_ERROR(
+      internal::BeginOptimize(ctx, name(), /*require_connected=*/true));
+  const QueryGraph& graph = ctx.graph();
+  const int n = graph.relation_count();
+  if (n >= 40) {
+    // Same bound as serial DPsub: 2^n masks are infeasible regardless of
+    // the thread count.
+    return Status::InvalidArgument(
+        "DPsubPar enumerates 2^n subsets; refusing n >= 40");
+  }
+  const int threads = EffectiveThreads(ctx);
+
+  ctx.InstallTable(PlanTable(n, /*dense_limit=*/20,
+                             ctx.options().memo_entry_budget, threads));
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  bool live = internal::SeedLeafPlans(ctx);
+
+  ThreadPool pool(threads);
+  DeadlineWatch watch(ctx.governor(), ctx.options().deadline_seconds);
+  std::vector<WorkerCounters> counters(pool.thread_count());
+
+  const uint64_t limit = (uint64_t{1} << n) - 1;
+  std::vector<uint64_t> block;
+  block.reserve(kBlockMasks);
+  struct MaskResult {
+    bool valid = false;
+    PlanTable::LayerCandidate candidate;
+  };
+  std::vector<MaskResult> results(kBlockMasks);
+  std::vector<PlanTable::LayerCandidate> candidates;
+
+  for (int k = 2; live && k <= n; ++k) {
+    // All size-k masks in ascending order (Gosper's hack), processed in
+    // blocks so the per-mask result buffer stays bounded.
+    uint64_t mask = (uint64_t{1} << k) - 1;
+    while (live && mask <= limit) {
+      block.clear();
+      while (mask <= limit && block.size() < kBlockMasks) {
+        block.push_back(mask);
+        mask = NextSameCount(mask);
+      }
+
+      pool.Run(block.size(), [&](uint64_t task_index, int worker) {
+        MaskResult& result = results[task_index];
+        result.valid = false;
+        const NodeSet s = NodeSet::FromMask(block[task_index]);
+        if (!IsConnectedSet(graph, s)) {
+          return;  // The additional check (*) of Figure 2.
+        }
+        WorkerCounters& wc = counters[worker];
+        uint64_t since_poll = 0;
+        // Replay serial DPsub's per-mask sweep exactly: ascending strict
+        // subsets, table-presence connectivity (every strict subset is
+        // final — it lives in a lower, already-merged layer), strict-<
+        // improvement. The surviving candidate is bit-identical to the
+        // entry serial DPsub would have stored.
+        PlanEntry best;
+        double out_card = 0.0;
+        bool reached = false;
+        for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
+          ++wc.inner;
+          if ((++since_poll & (kWorkerPollStride - 1)) == 0) {
+            watch.Poll();
+            if (watch.cancelled()) {
+              return;  // Deadline observed: drop the partial candidate.
+            }
+          }
+          const NodeSet s1 = it.Current();
+          const NodeSet s2 = s - s1;
+          const PlanEntry* left = table.Find(s1);
+          if (left == nullptr) continue;
+          const PlanEntry* right = table.Find(s2);
+          if (right == nullptr) continue;
+          if (!graph.AreConnected(s1, s2)) {
+            continue;
+          }
+          ++wc.csg_cmp;
+          ++wc.create_calls;
+          if (JOINOPT_UNLIKELY(ctx.has_trace())) {
+            // Single-threaded by the EffectiveThreads clamp.
+            ctx.TraceCsgCmpPair(s1, s2);
+          }
+          if (!reached) {
+            out_card = ctx.estimator().EstimateSet(s);
+            reached = true;
+          }
+          const CostModel& model = ctx.cost_model();
+          const double cost = SaturateCost(
+              left->cost + right->cost +
+              model.JoinCost(left->cardinality, right->cardinality,
+                             out_card));
+          if (cost < best.cost) {
+            best.left = s1;
+            best.right = s2;
+            best.cost = cost;
+            best.cardinality = out_card;
+            best.op = model.OperatorFor(left->cardinality,
+                                        right->cardinality, out_card);
+          }
+        }
+        if (best.has_plan()) {
+          result.valid = true;
+          result.candidate = {s, best};
+        }
+      });
+
+      candidates.clear();
+      for (size_t i = 0; i < block.size(); ++i) {
+        if (results[i].valid) {
+          candidates.push_back(results[i].candidate);
+        }
+      }
+      live = table.MergeLayer(
+          candidates, [&](const PlanTable::LayerCandidate& winner,
+                          bool newly_populated) {
+            return MergeGate(ctx, winner, newly_populated);
+          });
+      if (watch.cancelled() && ctx.governor().CheckDeadlineNow()) {
+        live = false;
+      }
+    }
+  }
+
+  for (const WorkerCounters& wc : counters) {
+    stats.inner_counter += wc.inner;
+    stats.csg_cmp_pair_counter += wc.csg_cmp;
+    stats.create_join_tree_calls += wc.create_calls;
+  }
+  stats.ono_lohman_counter = stats.csg_cmp_pair_counter / 2;
+  return internal::FinishOptimize(ctx);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,66 @@
+#ifndef JOINOPT_CORE_DP_PARALLEL_H_
+#define JOINOPT_CORE_DP_PARALLEL_H_
+
+#include "core/optimizer.h"
+
+namespace joinopt {
+
+/// Intra-query parallel variants of the paper's two size-layered DPs.
+///
+/// Both exploit the same barrier structure: every plan of size k combines
+/// only plans of sizes < k, so the size-k layer is embarrassingly
+/// parallel once the lower layers are final. Each layer fans out across a
+/// reusable fork-join pool (util/thread_pool.h); workers accumulate
+/// per-thread best PlanEntry candidates against the read-only lower
+/// layers, and the coordinator reconciles them at the layer barrier
+/// through PlanTable::MergeLayer with a total-order tie-break (lowest
+/// cost, then lexicographic (left, right) masks).
+///
+/// Determinism: the merged table — and the OutcomeSignature — is
+/// bit-for-bit identical for every thread count, because each set's
+/// winner is the minimum of a fixed candidate multiset under a total
+/// order, which no work partition can change. DPsubPar moreover
+/// replicates serial DPsub's ascending-subset evaluation per set, so its
+/// signature matches serial DPsub exactly; DPsizePar matches serial
+/// DPsize's signature (cost/counters), though the recorded plan SHAPE may
+/// differ from serial on exact-cost ties. The only documented exception
+/// is a run interrupted by the wall-clock deadline, which is
+/// timing-dependent exactly like the serial orderers' deadline_seconds.
+///
+/// Resource-limit contract: all governor interaction (deadline ticks,
+/// memo-budget checks, fault-injection arrivals, trace dispatch) happens
+/// on the coordinator thread in ascending set order, so budgets, faults,
+/// and traces behave deterministically and thread-count-independently.
+/// Workers observe a blown deadline through a lock-free watch polled on a
+/// stride and stop early; the coordinator then promotes the observation
+/// into the governor at the barrier. When a trace sink is installed the
+/// effective thread count is clamped to 1 (sinks are user code with no
+/// thread-safety contract); OnPruned is not emitted by the parallel
+/// orderers (rejected candidates die inside worker-local reductions).
+
+/// Parallel DPsize: each size layer's (smaller, larger) list pairs are
+/// fanned out one left-operand at a time; workers price both operand
+/// orders into per-thread reduction maps.
+class DPsizePar final : public JoinOrderer {
+ public:
+  std::string_view name() const override { return "DPsizePar"; }
+
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
+};
+
+/// Parallel DPsub: the size-k masks (Gosper enumeration, blocked to bound
+/// transient memory) fan out one mask per task; each worker replays
+/// serial DPsub's ascending strict-subset sweep for its mask against the
+/// finalized lower layers, producing at most one candidate per mask.
+class DPsubPar final : public JoinOrderer {
+ public:
+  std::string_view name() const override { return "DPsubPar"; }
+
+  using JoinOrderer::Optimize;
+  Result<OptimizationResult> Optimize(OptimizerContext& ctx) const override;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CORE_DP_PARALLEL_H_

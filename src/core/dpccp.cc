@@ -21,7 +21,8 @@ Result<OptimizationResult> DPccp::Optimize(OptimizerContext& ctx) const {
   const WorkGraphScope scope(ctx, identity ? graph : relabeled_storage);
   const QueryGraph& work_graph = ctx.work_graph();
 
-  ctx.InstallTable(internal::MakeAdaptivePlanTable(work_graph));
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(
+      work_graph, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   if (internal::SeedLeafPlans(ctx)) {
     EnumerateCsgCmpPairsUntil(work_graph, [&](NodeSet s1, NodeSet s2) {

@@ -10,7 +10,8 @@ Result<OptimizationResult> DPsizeLinear::Optimize(OptimizerContext& ctx) const {
   const QueryGraph& graph = ctx.graph();
   const int n = graph.relation_count();
 
-  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(
+      graph, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);

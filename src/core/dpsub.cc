@@ -17,13 +17,28 @@ Result<OptimizationResult> DPsub::Optimize(OptimizerContext& ctx) const {
         "DPsub enumerates 2^n subsets; refusing n >= 40");
   }
 
-  ctx.InstallTable(PlanTable(n));
+  ctx.InstallTable(
+      PlanTable(n, /*dense_limit=*/20, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);
 
   const uint64_t limit = (uint64_t{1} << n) - 1;
+  // The deadline tick runs strided INSIDE the subset loop: a single outer
+  // mask owns up to 2^(n-1) subsets (~2^29 at the n < 40 bound), so a
+  // per-mask check could overshoot the deadline by seconds. The stride
+  // composes with the governor's own 8k-call countdown: one clock read
+  // per ~stride * 8192 subset enumerations, fault arrivals every
+  // `stride` of them.
+  constexpr uint64_t kTickStride = 256;
+  uint64_t since_tick = 0;
   for (uint64_t mask = 1; live && mask <= limit; ++mask) {
+    // The outer sweep ticks on the same stride: on chain-like graphs
+    // almost every mask fails the connectivity check below, and 2^n
+    // IsConnectedSet calls are deadline-relevant work of their own.
+    if ((++since_tick & (kTickStride - 1)) == 0 && ctx.Tick()) {
+      break;
+    }
     const NodeSet s = NodeSet::FromMask(mask);
     if (s.count() == 1) {
       continue;  // Leaf plans are already seeded; no strict subsets.
@@ -33,6 +48,10 @@ Result<OptimizationResult> DPsub::Optimize(OptimizerContext& ctx) const {
     }
     for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
       ++stats.inner_counter;
+      if ((++since_tick & (kTickStride - 1)) == 0 && ctx.Tick()) {
+        live = false;
+        break;
+      }
       const NodeSet s1 = it.Current();
       const NodeSet s2 = s - s1;
       // Connectivity of the parts: via table presence (every strict
@@ -55,11 +74,13 @@ Result<OptimizationResult> DPsub::Optimize(OptimizerContext& ctx) const {
         break;
       }
     }
-    // The deadline tick stays out of the subset loop: one check per outer
-    // mask keeps the paper's hot loop untouched, and a single mask's
-    // subsets bound the overrun (n < 40 caps them at one inner sweep).
-    if (ctx.Tick()) {
-      live = false;
+    // One more tick at the mask boundary, on top of the strided ones: a
+    // mask boundary is where the memo is coherent (every processed set is
+    // final), so keeping the historical per-mask arrival here means a
+    // deadline fault that fires "at the last tick" still observes a
+    // complete memo — the anytime/fault suites pin that cadence.
+    if (live && ctx.Tick()) {
+      break;
     }
   }
 

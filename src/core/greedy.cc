@@ -13,7 +13,8 @@ Result<OptimizationResult> GreedyOperatorOrdering::Optimize(
 
   // The greedy merges are recorded as plan-table breadcrumbs so the final
   // tree can be materialized with the shared reconstruction path.
-  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(
+      graph, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   bool live = internal::SeedLeafPlans(ctx);
   const CardinalityEstimator& estimator = ctx.estimator();

@@ -30,7 +30,8 @@ Result<OptimizationResult> IDP1::Optimize(OptimizerContext& ctx) const {
 
   // Global table over ORIGINAL relation sets; each round's DP writes its
   // decompositions here so the final tree reconstructs in one pass.
-  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(
+      graph, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);

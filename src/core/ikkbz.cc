@@ -187,7 +187,8 @@ Result<OptimizationResult> IKKBZ::Optimize(OptimizerContext& ctx) const {
   // Materialize the winning sequence as a left-deep plan, priced under
   // the CALLER's cost model (the ordering itself is C_out-optimal; see
   // the class comment).
-  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(
+      graph, ctx.options().memo_entry_budget));
   bool live = internal::SeedLeafPlans(ctx);
   NodeSet prefix = NodeSet::Singleton(best_sequence[0]);
   for (int k = 1; live && k < n; ++k) {

@@ -86,7 +86,8 @@ Result<OptimizationResult> LinDP::Optimize(OptimizerContext& ctx) const {
 
   // Step 2: interval DP over the order (against the ORIGINAL graph, so
   // every cyclic edge still contributes its selectivity and adjacency).
-  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(
+      graph, ctx.options().memo_entry_budget));
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);
 

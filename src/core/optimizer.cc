@@ -18,20 +18,25 @@ Result<OptimizationResult> JoinOrderer::Optimize(
 
 namespace internal {
 
-PlanTable MakeAdaptivePlanTable(const QueryGraph& graph) {
+PlanTable MakeAdaptivePlanTable(const QueryGraph& graph,
+                                uint64_t memo_entry_budget,
+                                int sparse_shards) {
   const int n = graph.relation_count();
   constexpr int kDenseLimit = 20;
   if (n > kDenseLimit) {
-    return PlanTable(n, kDenseLimit);  // Forced sparse.
+    // Forced sparse.
+    return PlanTable(n, kDenseLimit, memo_entry_budget, sparse_shards);
   }
   if (n <= 14) {
-    return PlanTable(n, kDenseLimit);  // Dense is always cheap here.
+    // Dense is always cheap here (budget permitting).
+    return PlanTable(n, kDenseLimit, memo_entry_budget, sparse_shards);
   }
   // Dense pays off above ~1/16 fill; the counting pre-pass costs
   // O(min(#csg, cap)), a fraction of the enumeration that follows.
   const uint64_t cap = (uint64_t{1} << n) / 16;
   const uint64_t csg_count = CountConnectedSubsetsUpTo(graph, cap);
-  return PlanTable(n, csg_count >= cap ? kDenseLimit : 0);
+  return PlanTable(n, csg_count >= cap ? kDenseLimit : 0, memo_entry_budget,
+                   sparse_shards);
 }
 
 Status ValidateOptimizerInput(const QueryGraph& graph,

@@ -87,7 +87,14 @@ Status BeginOptimize(OptimizerContext& ctx, std::string_view algorithm,
 /// dominate the whole optimization). Used by the enumeration-bounded
 /// algorithms (DPsize, DPccp, ...); DPsub keeps the dense backend
 /// unconditionally since its outer loop touches every mask anyway.
-PlanTable MakeAdaptivePlanTable(const QueryGraph& graph);
+/// `memo_entry_budget` (pass ctx.options().memo_entry_budget) keeps the
+/// dense 2^n preallocation honest: when it does not fit the budget the
+/// table falls back to sparse, so the budget contract is
+/// backend-independent. `sparse_shards` stripes a sparse backend for the
+/// parallel orderers.
+PlanTable MakeAdaptivePlanTable(const QueryGraph& graph,
+                                uint64_t memo_entry_budget = 0,
+                                int sparse_shards = 1);
 
 /// Seeds ctx.table() with the single-relation plans of ctx.work_graph()
 /// (cost 0, base cardinality) and counts them in ctx.stats(). Returns

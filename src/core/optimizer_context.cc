@@ -37,6 +37,10 @@ void ResourceGovernor::NoteAllocFault(uint64_t populated) {
 
 bool ResourceGovernor::TickSlow() {
   tick_countdown_ = kTickInterval;
+  return CheckDeadlineNow();
+}
+
+bool ResourceGovernor::CheckDeadlineNow() {
   if (exhausted_ || unlimited_deadline_) {
     return exhausted_;
   }

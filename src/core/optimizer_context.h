@@ -123,6 +123,12 @@ struct OptimizeOptions {
   /// DegradationReport. Off by default: exact algorithms keep their
   /// fail-fast contract unless the caller opts into degraded answers.
   bool salvage_on_interrupt = false;
+  /// Thread count for the parallel orderers (DPsizePar/DPsubPar).
+  /// 0 = auto (hardware concurrency); positive values are used as-is,
+  /// clamped to [1, 256]. Serial orderers ignore it. The parallel
+  /// orderers' output is bit-for-bit identical for every thread count
+  /// (see DESIGN.md), so this is purely a latency knob.
+  int threads = 0;
 };
 
 /// Budget and deadline enforcement shared by OptimizerContext and the
@@ -198,6 +204,13 @@ class ResourceGovernor {
   const OptimizeOptions& options() const { return options_; }
 
   double ElapsedSeconds() const { return stopwatch_.ElapsedSeconds(); }
+
+  /// Immediate (non-amortized) deadline check: reads the clock now and
+  /// trips the governor when the deadline has passed, regardless of the
+  /// tick countdown. The parallel orderers call this at a layer barrier
+  /// after a worker observed the deadline, promoting the observation into
+  /// the governor's sticky limit state. Returns exhausted().
+  bool CheckDeadlineNow();
 
  private:
   bool TickSlow();

@@ -5,6 +5,7 @@
 
 #include "core/adaptive.h"
 #include "core/dp_cross_products.h"
+#include "core/dp_parallel.h"
 #include "core/dpccp.h"
 #include "core/dpsize.h"
 #include "core/dpsize_linear.h"
@@ -51,7 +52,9 @@ OrdererMap BuildBuiltins() {
   map.emplace("DPsize", std::make_unique<DPsize>());
   map.emplace("DPsizeBasic",
               std::make_unique<DPsize>(/*use_equal_size_optimization=*/false));
+  map.emplace("DPsizePar", std::make_unique<DPsizePar>());
   map.emplace("DPsub", std::make_unique<DPsub>());
+  map.emplace("DPsubPar", std::make_unique<DPsubPar>());
   map.emplace("DPsubBFS",
               std::make_unique<DPsub>(/*use_table_connectivity_test=*/false));
   map.emplace("DPccp", std::make_unique<DPccp>());

@@ -94,7 +94,8 @@ Result<OptimizationResult> TDBasic::Optimize(OptimizerContext& ctx) const {
         "TDBasic's split enumeration is exponential; refusing n >= 40");
   }
 
-  ctx.InstallTable(internal::MakeAdaptivePlanTable(graph));
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(
+      graph, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   if (internal::SeedLeafPlans(ctx)) {
     TopDownSolver solver(ctx);

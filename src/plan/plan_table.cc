@@ -1,16 +1,39 @@
 #include "plan/plan_table.h"
 
+#include <algorithm>
+
 #include "util/macros.h"
 
 namespace joinopt {
+namespace {
 
-PlanTable::PlanTable(int relation_count, int dense_limit) {
+/// Rounds `requested` down to a power of two in [1, 64].
+int ClampShardCount(int requested) {
+  int shards = 1;
+  while (shards * 2 <= requested && shards < 64) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+}  // namespace
+
+PlanTable::PlanTable(int relation_count, int dense_limit,
+                     uint64_t memo_entry_budget, int sparse_shards) {
   JOINOPT_CHECK(relation_count >= 0 && relation_count <= kMaxRelations);
-  if (relation_count <= dense_limit && relation_count < 63) {
+  const bool dense_fits_budget =
+      memo_entry_budget == 0 ||
+      (relation_count < 63 &&
+       (uint64_t{1} << relation_count) <= memo_entry_budget);
+  if (relation_count <= dense_limit && relation_count < 63 &&
+      dense_fits_budget) {
     dense_.resize(uint64_t{1} << relation_count);
   } else {
     // Sparse: reserve for the common (chain-like) case; rehashing is fine.
-    sparse_.reserve(1024);
+    sparse_.resize(ClampShardCount(sparse_shards));
+    for (SparseShard& shard : sparse_) {
+      shard.reserve(1024 / sparse_.size());
+    }
   }
 }
 
@@ -20,8 +43,9 @@ const PlanEntry* PlanTable::Find(NodeSet s) const {
     const PlanEntry& entry = dense_[s.mask()];
     return entry.has_plan() ? &entry : nullptr;
   }
-  const auto it = sparse_.find(s);
-  if (it == sparse_.end() || !it->second.has_plan()) {
+  const SparseShard& shard = ShardFor(s);
+  const auto it = shard.find(s);
+  if (it == shard.end() || !it->second.has_plan()) {
     return nullptr;
   }
   return &it->second;
@@ -32,13 +56,56 @@ PlanEntry& PlanTable::GetOrCreate(NodeSet s) {
     JOINOPT_DCHECK(s.mask() < dense_.size());
     return dense_[s.mask()];
   }
-  const auto [it, inserted] = sparse_.try_emplace(s);
+  const auto [it, inserted] = ShardFor(s).try_emplace(s);
   if (inserted) {
     // Insertion may rehash; outstanding entry pointers are void per the
     // stability rule, and ConstRef's debug check keys off this counter.
     ++generation_;
   }
   return it->second;
+}
+
+bool PlanTable::MergeLayer(
+    std::vector<LayerCandidate>& candidates,
+    const std::function<bool(const LayerCandidate& winner,
+                             bool newly_populated)>& gate) {
+  // Total order: set, then cost, then lexicographic (left, right). The
+  // first candidate of each set's run is its deterministic winner
+  // regardless of how workers partitioned the layer.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const LayerCandidate& a, const LayerCandidate& b) {
+              if (a.set.mask() != b.set.mask()) {
+                return a.set.mask() < b.set.mask();
+              }
+              if (a.entry.cost != b.entry.cost) {
+                return a.entry.cost < b.entry.cost;
+              }
+              if (a.entry.left.mask() != b.entry.left.mask()) {
+                return a.entry.left.mask() < b.entry.left.mask();
+              }
+              return a.entry.right.mask() < b.entry.right.mask();
+            });
+  NodeSet last_set;
+  bool have_last = false;
+  for (const LayerCandidate& candidate : candidates) {
+    if (have_last && candidate.set == last_set) {
+      continue;  // A worse candidate for a set already merged.
+    }
+    last_set = candidate.set;
+    have_last = true;
+    PlanEntry& entry = GetOrCreate(candidate.set);
+    const bool newly_populated = !entry.has_plan();
+    if (candidate.entry.cost < entry.cost) {
+      entry = candidate.entry;
+      if (newly_populated) {
+        NotePopulated();
+      }
+    }
+    if (!gate(candidate, newly_populated)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void PlanTable::ForEach(
@@ -51,9 +118,11 @@ void PlanTable::ForEach(
     }
     return;
   }
-  for (const auto& [set, entry] : sparse_) {
-    if (entry.has_plan()) {
-      fn(set, entry);
+  for (const SparseShard& shard : sparse_) {
+    for (const auto& [set, entry] : shard) {
+      if (entry.has_plan()) {
+        fn(set, entry);
+      }
     }
   }
 }

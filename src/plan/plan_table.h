@@ -44,7 +44,10 @@ struct PlanEntry {
 ///    2^n entries fit the configured budget. O(1) access with no hashing;
 ///    this is what makes DPsub's tight loop fast on cliques.
 ///  * sparse — a hash map, used for larger n where the search space is
-///    necessarily sparse (chains/stars at n > ~24).
+///    necessarily sparse (chains/stars at n > ~24). Optionally sharded
+///    (striped by NodeSetHash) so the parallel DPs' layer-barrier merge
+///    writes touch one shard at a time while worker reads of lower layers
+///    never contend on a single map's buckets.
 ///
 /// The backend is an internal detail; the API is identical. Entry pointers
 /// are stable in the dense backend and NOT stable across mutation in the
@@ -52,11 +55,23 @@ struct PlanEntry {
 /// algorithms in this library follow that rule). FindRef returns a handle
 /// that enforces the rule in debug builds via the table's generation
 /// counter; prefer it over Find in new code.
+///
+/// Thread-safety: const lookups (Find/FindRef/ForEach) may run
+/// concurrently from many threads as long as no mutation is in flight.
+/// The parallel DPs rely on exactly that window — workers read the
+/// finished lower layers while all writes are deferred to the
+/// single-threaded MergeLayer barrier.
 class PlanTable {
  public:
   /// Creates a table for sets over `relation_count` relations. The dense
-  /// backend is chosen when relation_count <= dense_limit.
-  explicit PlanTable(int relation_count, int dense_limit = 20);
+  /// backend is chosen when relation_count <= dense_limit AND its 2^n
+  /// preallocation fits `memo_entry_budget` (0 = unlimited) — a budget
+  /// smaller than 2^n falls back to sparse so the budget contract is
+  /// backend-independent. `sparse_shards` stripes the sparse backend;
+  /// it is rounded down to a power of two in [1, 64] and is irrelevant
+  /// for the dense backend.
+  explicit PlanTable(int relation_count, int dense_limit = 20,
+                     uint64_t memo_entry_budget = 0, int sparse_shards = 1);
 
   PlanTable(const PlanTable&) = delete;
   PlanTable& operator=(const PlanTable&) = delete;
@@ -130,6 +145,37 @@ class PlanTable {
   /// True when the dense backend is active (exposed for tests/ablation).
   bool is_dense() const { return !dense_.empty(); }
 
+  /// Number of stripes of the sparse backend (1 when dense or unsharded).
+  int sparse_shard_count() const {
+    return sparse_.empty() ? 1 : static_cast<int>(sparse_.size());
+  }
+
+  /// One worker-proposed best plan for a set, produced during a parallel
+  /// size layer and reconciled at the barrier by MergeLayer.
+  struct LayerCandidate {
+    NodeSet set;
+    PlanEntry entry;
+  };
+
+  /// Barrier-merge of one parallel size layer. Candidates are reconciled
+  /// deterministically: per set the winner is the candidate with the
+  /// lowest cost, ties broken by lexicographic (left, right) masks, so
+  /// the merged table is identical no matter how the layer's work was
+  /// partitioned across threads. Winners are applied in ascending set
+  /// order (the serial DPs' enumeration order); after each applied winner
+  /// `gate(winner, newly_populated)` runs — the coordinator's hook for
+  /// deadline ticks, memo-budget checks, and trace emission. A false
+  /// return from the gate stops the merge immediately and MergeLayer
+  /// returns false (the table keeps the winners applied so far, matching
+  /// a serial run interrupted mid-layer).
+  ///
+  /// `candidates` is sorted in place. Must be called from a single thread
+  /// with no concurrent readers in flight (the barrier guarantees both).
+  bool MergeLayer(
+      std::vector<LayerCandidate>& candidates,
+      const std::function<bool(const LayerCandidate& winner,
+                               bool newly_populated)>& gate);
+
   /// Mutation-generation counter backing the ConstRef staleness check.
   /// The sparse backend bumps it on every entry insertion (the mutations
   /// after which the documented pointer-stability rule voids outstanding
@@ -143,10 +189,22 @@ class PlanTable {
       const std::function<void(NodeSet, const PlanEntry&)>& fn) const;
 
  private:
+  using SparseShard = std::unordered_map<NodeSet, PlanEntry, NodeSetHash>;
+
+  /// The stripe holding `s`. NodeSetHash is a Fibonacci multiply whose
+  /// quality lives in the high bits, so the stripe index comes from the
+  /// top of the hash, masked down to the power-of-two shard count.
+  SparseShard& ShardFor(NodeSet s) {
+    return sparse_[(NodeSetHash{}(s) >> 58) & (sparse_.size() - 1)];
+  }
+  const SparseShard& ShardFor(NodeSet s) const {
+    return sparse_[(NodeSetHash{}(s) >> 58) & (sparse_.size() - 1)];
+  }
+
   // Dense backend: entry for mask m lives at dense_[m]. Empty when sparse.
   std::vector<PlanEntry> dense_;
-  // Sparse backend.
-  std::unordered_map<NodeSet, PlanEntry, NodeSetHash> sparse_;
+  // Sparse backend, striped by NodeSetHash. Empty when dense.
+  std::vector<SparseShard> sparse_;
   uint64_t populated_count_ = 0;
   uint64_t generation_ = 0;
 };

@@ -81,6 +81,9 @@ std::string WriteReproBundle(const ReproBundle& bundle) {
     AppendLine(out, "option deadline_ticks",
                std::to_string(bundle.deadline_ticks));
   }
+  if (bundle.threads != 0) {
+    AppendLine(out, "option threads", std::to_string(bundle.threads));
+  }
   if (bundle.salvage_on_interrupt) {
     AppendLine(out, "option salvage", "on");
   }
@@ -197,6 +200,13 @@ Result<ReproBundle> ParseReproBundle(std::string_view text) {
         Result<uint64_t> parsed = ParseU64Field(value, "deadline ticks", line);
         JOINOPT_RETURN_IF_ERROR(parsed.status());
         bundle.deadline_ticks = *parsed;
+      } else if (key == "threads") {
+        Result<uint64_t> parsed = ParseU64Field(value, "threads", line);
+        JOINOPT_RETURN_IF_ERROR(parsed.status());
+        if (*parsed > 256) {
+          return LineError(line, "'option threads' must be in [0, 256]");
+        }
+        bundle.threads = static_cast<int>(*parsed);
       } else if (key == "salvage") {
         Result<bool> parsed = ParseBoolField(value, "salvage", line);
         JOINOPT_RETURN_IF_ERROR(parsed.status());
@@ -340,6 +350,7 @@ ReproBundle MakeReproBundle(const QueryGraph& graph, std::string_view orderer,
   bundle.workload_seed = workload_seed;
   bundle.memo_entry_budget = options.memo_entry_budget;
   bundle.deadline_seconds = options.deadline_seconds;
+  bundle.threads = options.threads;
   bundle.salvage_on_interrupt = options.salvage_on_interrupt;
   bundle.throwing_trace = throwing_trace;
   bundle.fault = fault;
@@ -364,6 +375,7 @@ Result<OutcomeSignature> ReplayBundle(const ReproBundle& bundle) {
   OptimizeOptions options;
   options.memo_entry_budget = bundle.memo_entry_budget;
   options.deadline_seconds = bundle.deadline_seconds;
+  options.threads = bundle.threads;
   options.salvage_on_interrupt = bundle.salvage_on_interrupt;
   options.collect_counters = true;
   ThrowingTraceSink sink;
@@ -576,6 +588,11 @@ Result<ReproBundle> MinimizeBundle(const ReproBundle& bundle,
     simplify([](ReproBundle& b) {
       if (b.memo_entry_budget == 0) return false;
       b.memo_entry_budget = 0;
+      return true;
+    });
+    simplify([](ReproBundle& b) {
+      if (b.threads == 0) return false;
+      b.threads = 0;
       return true;
     });
     simplify([](ReproBundle& b) {

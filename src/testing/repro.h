@@ -35,6 +35,7 @@ namespace testing {
 ///   option deadline_ticks 12              # deterministic deadline: the
 ///                                         #   kDeadline point fires at
 ///                                         #   governor tick 12
+///   option threads 4                      # parallel-orderer thread count
 ///   option salvage on
 ///   option throwing_trace on              # install a ThrowingTraceSink
 ///   option policy DPccp -> salvage -> GOO # degradation-policy override
@@ -76,6 +77,11 @@ struct ReproBundle {
   uint64_t memo_entry_budget = 0;
   double deadline_seconds = 0.0;
   uint64_t deadline_ticks = 0;
+  /// OptimizeOptions::threads for the parallel orderers (0 = auto). The
+  /// determinism contract makes completed runs thread-count independent,
+  /// but deadline-interrupted runs are not, so the truthful record keeps
+  /// the count the run actually used.
+  int threads = 0;
   bool salvage_on_interrupt = false;
   bool throwing_trace = false;
   std::string policy;

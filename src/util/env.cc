@@ -1,0 +1,82 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace joinopt {
+namespace {
+
+Status Malformed(const char* name, const char* value, const char* expected) {
+  return Status::InvalidArgument(std::string(name) + "=\"" + value +
+                                 "\" is not " + expected);
+}
+
+}  // namespace
+
+Result<double> EnvDouble(const char* name, double fallback,
+                         bool require_positive) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !std::isfinite(parsed)) {
+    return Malformed(name, value, "a finite number");
+  }
+  if (require_positive ? parsed <= 0 : parsed < 0) {
+    return Malformed(name, value,
+                     require_positive ? "a positive number"
+                                      : "a non-negative number");
+  }
+  return parsed;
+}
+
+Result<uint64_t> EnvUint64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
+  }
+  // Digits only: strtoull would accept leading whitespace, '+', '-' (with
+  // wraparound), and "123abc" prefixes — all of which we reject.
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      return Malformed(name, value, "an unsigned integer");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const uint64_t parsed = std::strtoull(value, &end, 10);
+  if (errno == ERANGE) {
+    return Malformed(name, value, "an unsigned integer in range");
+  }
+  return parsed;
+}
+
+Result<int> EnvInt(const char* name, int fallback) {
+  Result<uint64_t> wide = EnvUint64(name, static_cast<uint64_t>(fallback));
+  if (!wide.ok()) {
+    return wide.status();
+  }
+  if (*wide > static_cast<uint64_t>(1) << 30) {
+    return Malformed(name, std::getenv(name), "a reasonably small integer");
+  }
+  return static_cast<int>(*wide);
+}
+
+Status ValidateLimitEnv() {
+  JOINOPT_RETURN_IF_ERROR(
+      EnvDouble("JOINOPT_DEADLINE_S", 0.0, /*require_positive=*/false)
+          .status());
+  JOINOPT_RETURN_IF_ERROR(EnvUint64("JOINOPT_MEMO_BUDGET", 0).status());
+  JOINOPT_RETURN_IF_ERROR(EnvInt("JOINOPT_THREADS", 0).status());
+  JOINOPT_RETURN_IF_ERROR(
+      EnvDouble("JOINOPT_MAX_INNER", 1.0, /*require_positive=*/true)
+          .status());
+  return Status::OK();
+}
+
+}  // namespace joinopt

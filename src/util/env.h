@@ -1,0 +1,39 @@
+#ifndef JOINOPT_UTIL_ENV_H_
+#define JOINOPT_UTIL_ENV_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace joinopt {
+
+/// Strict environment-knob parsing. The JOINOPT_* limit knobs used to go
+/// through std::atof/strtoull, which silently map a typo'd value
+/// ("abc", "1e-3s") to 0 and fall back to the default — the same failure
+/// mode the JOINOPT_FAULT_* knobs already reject with a typed error.
+/// These helpers give the limit knobs the identical contract: unset or
+/// empty means "use the fallback", anything that does not parse in full
+/// is a kInvalidArgument naming the variable, checked once at binary
+/// startup so a typo aborts the run instead of quietly testing nothing.
+
+/// Reads `name` as a finite double. When `require_positive` the value
+/// must be > 0; otherwise it must be >= 0.
+Result<double> EnvDouble(const char* name, double fallback,
+                         bool require_positive = false);
+
+/// Reads `name` as a base-10 unsigned integer (digits only — no sign,
+/// whitespace, or exponent).
+Result<uint64_t> EnvUint64(const char* name, uint64_t fallback);
+
+/// Reads `name` as a non-negative base-10 int.
+Result<int> EnvInt(const char* name, int fallback);
+
+/// Validates every JOINOPT limit knob a binary honors (JOINOPT_DEADLINE_S,
+/// JOINOPT_MEMO_BUDGET, JOINOPT_THREADS, JOINOPT_MAX_INNER) without
+/// consuming the values. Binaries call this at startup next to the
+/// FaultConfigFromEnv check and exit on the first malformed variable.
+Status ValidateLimitEnv();
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_UTIL_ENV_H_

@@ -1,0 +1,176 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+/// Sets an environment variable for one test scope and restores the
+/// previous value (or unsets) on destruction, so tests cannot leak state
+/// into each other or into the surrounding ctest invocation.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+constexpr char kVar[] = "JOINOPT_ENV_KNOBS_TEST_VAR";
+
+TEST(EnvDoubleTest, UnsetAndEmptyFallBack) {
+  {
+    ScopedEnv env(kVar, nullptr);
+    const Result<double> parsed = EnvDouble(kVar, 7.5);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, 7.5);
+  }
+  {
+    ScopedEnv env(kVar, "");
+    const Result<double> parsed = EnvDouble(kVar, 7.5);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, 7.5);
+  }
+}
+
+TEST(EnvDoubleTest, AcceptsPlainAndScientific) {
+  {
+    ScopedEnv env(kVar, "1.25");
+    const Result<double> parsed = EnvDouble(kVar, 0.0);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, 1.25);
+  }
+  {
+    ScopedEnv env(kVar, "4e9");
+    const Result<double> parsed = EnvDouble(kVar, 0.0);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, 4e9);
+  }
+  {
+    ScopedEnv env(kVar, "0");
+    const Result<double> parsed = EnvDouble(kVar, 1.0);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, 0.0);
+  }
+}
+
+TEST(EnvDoubleTest, RejectsMalformedNamingTheVariable) {
+  for (const char* bad : {"abc", "1.5x", "1e", ".", "nan", "inf", "-inf"}) {
+    ScopedEnv env(kVar, bad);
+    const Result<double> parsed = EnvDouble(kVar, 0.0);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(parsed.status().message().find(kVar), std::string::npos) << bad;
+    EXPECT_NE(parsed.status().message().find(bad), std::string::npos) << bad;
+  }
+}
+
+TEST(EnvDoubleTest, SignChecks) {
+  {
+    ScopedEnv env(kVar, "-1.0");
+    EXPECT_FALSE(EnvDouble(kVar, 0.0).ok());
+  }
+  {
+    // require_positive also rejects zero.
+    ScopedEnv env(kVar, "0");
+    EXPECT_FALSE(EnvDouble(kVar, 1.0, /*require_positive=*/true).ok());
+  }
+  {
+    ScopedEnv env(kVar, "0.5");
+    const Result<double> parsed =
+        EnvDouble(kVar, 1.0, /*require_positive=*/true);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, 0.5);
+  }
+}
+
+TEST(EnvUint64Test, AcceptsDigitsOnly) {
+  ScopedEnv env(kVar, "12345678901234");
+  const Result<uint64_t> parsed = EnvUint64(kVar, 0);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, 12345678901234ull);
+}
+
+TEST(EnvUint64Test, RejectsEverythingElse) {
+  // strtoull would silently accept several of these (whitespace, '+',
+  // a negative value wrapped around, a "123abc" prefix); the strict
+  // parser must not.
+  for (const char* bad :
+       {"-1", "+5", " 5", "5 ", "12a", "1e9", "0x10",
+        "99999999999999999999999"}) {
+    ScopedEnv env(kVar, bad);
+    const Result<uint64_t> parsed = EnvUint64(kVar, 0);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(parsed.status().message().find(kVar), std::string::npos) << bad;
+  }
+}
+
+TEST(EnvIntTest, RejectsHugeValues) {
+  {
+    ScopedEnv env(kVar, "16");
+    const Result<int> parsed = EnvInt(kVar, 0);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, 16);
+  }
+  {
+    ScopedEnv env(kVar, "99999999999");
+    EXPECT_FALSE(EnvInt(kVar, 0).ok());
+  }
+}
+
+TEST(ValidateLimitEnvTest, AllValidOrUnsetIsOk) {
+  ScopedEnv deadline("JOINOPT_DEADLINE_S", "1.5");
+  ScopedEnv budget("JOINOPT_MEMO_BUDGET", "100000");
+  ScopedEnv threads("JOINOPT_THREADS", "4");
+  ScopedEnv inner("JOINOPT_MAX_INNER", "4e9");
+  EXPECT_TRUE(ValidateLimitEnv().ok());
+}
+
+TEST(ValidateLimitEnvTest, EachMalformedKnobIsNamed) {
+  const struct {
+    const char* name;
+    const char* bad;
+  } cases[] = {
+      {"JOINOPT_DEADLINE_S", "soon"},
+      {"JOINOPT_MEMO_BUDGET", "1e9"},
+      {"JOINOPT_THREADS", "-2"},
+      {"JOINOPT_MAX_INNER", "0"},  // must be strictly positive
+  };
+  for (const auto& c : cases) {
+    ScopedEnv env(c.name, c.bad);
+    const Status status = ValidateLimitEnv();
+    ASSERT_FALSE(status.ok()) << c.name;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << c.name;
+    EXPECT_NE(status.message().find(c.name), std::string::npos)
+        << status.message();
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

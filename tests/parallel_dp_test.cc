@@ -1,0 +1,278 @@
+/// Tests for the parallel DP variants (DPsizePar / DPsubPar): the
+/// bit-for-bit determinism contract against their serial counterparts
+/// across every workload family and several thread counts, the resource
+/// limit plumbing (deadline, memo budget, trace clamp), and the
+/// deadline-responsiveness regression for serial DPsub (the per-outer-mask
+/// tick bug this suite pins fixed).
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/counts.h"
+#include "core/optimizer_context.h"
+#include "core/outcome.h"
+#include "core/registry.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "plan/plan_printer.h"
+#include "testing/fault_injection.h"
+#include "testing/workloads.h"
+#include "util/random.h"
+
+namespace joinopt {
+namespace {
+
+const JoinOrderer& Orderer(const char* name) {
+  const JoinOrderer* orderer = OptimizerRegistry::Get(name);
+  EXPECT_NE(orderer, nullptr) << name;
+  return *orderer;
+}
+
+/// Runs one optimization through an explicit context and returns the
+/// deterministic fingerprint the flight recorder replays against.
+OutcomeSignature RunSignature(const char* algorithm, const QueryGraph& graph,
+                              const CostModel& cost_model,
+                              const OptimizeOptions& options,
+                              std::string* expression = nullptr) {
+  OptimizerContext ctx(graph, cost_model, options);
+  const Result<OptimizationResult> result = Orderer(algorithm).Optimize(ctx);
+  if (expression != nullptr) {
+    *expression =
+        result.ok() ? PlanToExpression(result->plan, graph) : std::string();
+  }
+  return ExtractOutcomeSignature(result, ctx.stats());
+}
+
+/// The determinism sweep of the issue: every workload family, serial vs
+/// parallel, at 1, 2, and 8 threads — the OutcomeSignature (status, cost,
+/// cardinality, all paper counters, plans_stored) must be bit-for-bit
+/// identical, and DPsubPar must reproduce serial DPsub's plan expression
+/// exactly (it replays the serial subset sweep per set).
+TEST(ParallelDpTest, SerialParallelSignaturesMatchAcrossFamilies) {
+  const CoutCostModel cost_model;
+  std::set<std::string> families_seen;
+  Random rng(20060912);
+  int compared = 0;
+  for (int draw = 0; draw < 60 && families_seen.size() < 7; ++draw) {
+    std::string family;
+    Result<QueryGraph> graph = testing::DrawWorkloadGraph(rng, &family);
+    ASSERT_TRUE(graph.ok()) << family;
+    families_seen.insert(family);
+
+    OptimizeOptions serial_options;
+    serial_options.collect_counters = true;
+    std::string size_expr;
+    std::string sub_expr;
+    const OutcomeSignature size_serial = RunSignature(
+        "DPsize", *graph, cost_model, serial_options, &size_expr);
+    const OutcomeSignature sub_serial =
+        RunSignature("DPsub", *graph, cost_model, serial_options, &sub_expr);
+
+    for (const int threads : {1, 2, 8}) {
+      OptimizeOptions options = serial_options;
+      options.threads = threads;
+      const std::string label =
+          family + " draw " + std::to_string(draw) + " threads " +
+          std::to_string(threads);
+
+      const OutcomeSignature size_par =
+          RunSignature("DPsizePar", *graph, cost_model, options);
+      EXPECT_EQ(size_par, size_serial)
+          << label << "\n" << size_par.DiffAgainst(size_serial);
+
+      std::string sub_par_expr;
+      const OutcomeSignature sub_par = RunSignature(
+          "DPsubPar", *graph, cost_model, options, &sub_par_expr);
+      EXPECT_EQ(sub_par, sub_serial)
+          << label << "\n" << sub_par.DiffAgainst(sub_serial);
+      EXPECT_EQ(sub_par_expr, sub_expr) << label;
+      ++compared;
+    }
+  }
+  // The workload stream draws uniformly over seven families; 60 draws
+  // missing one would be a generator regression, not bad luck.
+  EXPECT_EQ(families_seen.size(), 7u) << "only saw: " << compared;
+}
+
+/// Same contract on the paper's standard shapes at sizes big enough to
+/// span several layers of real parallel fan-out.
+TEST(ParallelDpTest, SerialParallelSignaturesMatchOnStandardShapes) {
+  const CoutCostModel cost_model;
+  const struct {
+    QueryShape shape;
+    int n;
+  } cells[] = {
+      {QueryShape::kChain, 14},
+      {QueryShape::kCycle, 12},
+      {QueryShape::kStar, 12},
+      {QueryShape::kClique, 10},
+  };
+  for (const auto& cell : cells) {
+    Result<QueryGraph> graph = MakeShapeQuery(cell.shape, cell.n);
+    ASSERT_TRUE(graph.ok());
+    OptimizeOptions serial_options;
+    serial_options.collect_counters = true;
+    const OutcomeSignature size_serial =
+        RunSignature("DPsize", *graph, cost_model, serial_options);
+    const OutcomeSignature sub_serial =
+        RunSignature("DPsub", *graph, cost_model, serial_options);
+    for (const int threads : {2, 8}) {
+      OptimizeOptions options = serial_options;
+      options.threads = threads;
+      const std::string label = std::string(QueryShapeName(cell.shape)) +
+                                std::to_string(cell.n) + " threads " +
+                                std::to_string(threads);
+      const OutcomeSignature size_par =
+          RunSignature("DPsizePar", *graph, cost_model, options);
+      EXPECT_EQ(size_par, size_serial)
+          << label << "\n" << size_par.DiffAgainst(size_serial);
+      const OutcomeSignature sub_par =
+          RunSignature("DPsubPar", *graph, cost_model, options);
+      EXPECT_EQ(sub_par, sub_serial)
+          << label << "\n" << sub_par.DiffAgainst(sub_serial);
+    }
+  }
+}
+
+/// The deadline-overrun regression (the bug of this PR): serial DPsub used
+/// to tick the governor once per outer mask, so a whole subset sweep —
+/// up to 2^(n-1) pairs on a clique — could run between deadline checks.
+/// The fix ticks every 256 loop iterations. With the deterministic
+/// kDeadline fault (which fires at an exact governor-tick arrival), a
+/// deadline tripping at arrival K therefore stops the run within K * 256
+/// loop iterations.
+TEST(ParallelDpTest, TrippedDeadlineStopsDPsubWithinStrideBound) {
+  const CoutCostModel cost_model;
+  Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kClique, 12);
+  ASSERT_TRUE(graph.ok());
+
+  constexpr uint64_t kFireAt = 8;
+  constexpr uint64_t kTickStride = 256;
+  testing::FaultConfig fault;
+  fault.at(testing::FaultPoint::kDeadline) = kFireAt;
+  testing::ScopedFaultInjection scoped(fault);
+
+  OptimizeOptions options;
+  options.deadline_seconds = 3600.0;  // Real clock never trips.
+  OptimizerContext ctx(*graph, cost_model, options);
+  const Result<OptimizationResult> result = Orderer("DPsub").Optimize(ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBudgetExceeded);
+  // inner_counter advances at most once per loop iteration, so the stride
+  // bound caps how much work a tripped deadline can overrun by.
+  EXPECT_LE(ctx.stats().inner_counter, kFireAt * kTickStride);
+}
+
+/// The frequency half of the same regression: across a full clique-14 run
+/// the governor must be consulted at least once per 256 inner iterations.
+/// The old per-outer-mask tick cannot satisfy this — clique-14 averages
+/// ~292 inner iterations per mask (3^14 / 2^14), so per-mask ticking
+/// arrives strictly less often than the bound requires.
+TEST(ParallelDpTest, DPsubTicksAtLeastOncePerStride) {
+  const CoutCostModel cost_model;
+  Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kClique, 14);
+  ASSERT_TRUE(graph.ok());
+
+  testing::FaultConfig fault;
+  fault.at(testing::FaultPoint::kDeadline) = ~uint64_t{0};  // Never fires.
+  testing::ScopedFaultInjection scoped(fault);
+
+  OptimizeOptions options;
+  options.collect_counters = true;
+  OptimizerContext ctx(*graph, cost_model, options);
+  const Result<OptimizationResult> result = Orderer("DPsub").Optimize(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.inner_counter,
+            PredictedInnerCounterDPsub(QueryShape::kClique, 14));
+  const uint64_t ticks =
+      testing::FaultInjector::Instance().arrivals(
+          testing::FaultPoint::kDeadline);
+  EXPECT_GE(ticks, result->stats.inner_counter / 256);
+}
+
+/// A trace sink clamps the parallel orderers to one thread (sinks are
+/// user code with no thread-safety contract): the traced run must still
+/// complete, observe events, and agree with the serial optimum.
+TEST(ParallelDpTest, TraceSinkClampsToSingleThreadAndStillAgrees) {
+  class CountingSink final : public TraceSink {
+   public:
+    void OnCsgCmpPair(NodeSet, NodeSet) override { ++pairs_; }
+    void OnPlanInserted(NodeSet, double, double) override { ++inserts_; }
+    void OnPruned(NodeSet, double, double) override {}
+    uint64_t pairs() const { return pairs_; }
+    uint64_t inserts() const { return inserts_; }
+
+   private:
+    uint64_t pairs_ = 0;
+    uint64_t inserts_ = 0;
+  };
+
+  const CoutCostModel cost_model;
+  Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kCycle, 10);
+  ASSERT_TRUE(graph.ok());
+  const Result<OptimizationResult> serial =
+      Orderer("DPsub").Optimize(*graph, cost_model);
+  ASSERT_TRUE(serial.ok());
+
+  for (const char* algorithm : {"DPsizePar", "DPsubPar"}) {
+    CountingSink sink;
+    OptimizeOptions options;
+    options.threads = 8;
+    options.trace = &sink;
+    const Result<OptimizationResult> traced =
+        Orderer(algorithm).Optimize(*graph, cost_model, options);
+    ASSERT_TRUE(traced.ok()) << algorithm;
+    EXPECT_DOUBLE_EQ(traced->cost, serial->cost) << algorithm;
+    EXPECT_GT(sink.pairs(), 0u) << algorithm;
+    EXPECT_GT(sink.inserts(), 0u) << algorithm;
+  }
+}
+
+/// The memo budget is enforced at the coordinator's merge gate: a tiny
+/// budget trips with the typed limit status, and salvage mode degrades to
+/// a best-effort plan exactly like the serial orderers.
+TEST(ParallelDpTest, MemoBudgetTripsAndSalvages) {
+  const CoutCostModel cost_model;
+  Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kClique, 10);
+  ASSERT_TRUE(graph.ok());
+  for (const char* algorithm : {"DPsizePar", "DPsubPar"}) {
+    OptimizeOptions options;
+    options.threads = 4;
+    options.memo_entry_budget = 30;
+    const Result<OptimizationResult> tripped =
+        Orderer(algorithm).Optimize(*graph, cost_model, options);
+    ASSERT_FALSE(tripped.ok()) << algorithm;
+    EXPECT_EQ(tripped.status().code(), StatusCode::kBudgetExceeded)
+        << algorithm;
+
+    options.salvage_on_interrupt = true;
+    const Result<OptimizationResult> salvaged =
+        Orderer(algorithm).Optimize(*graph, cost_model, options);
+    ASSERT_TRUE(salvaged.ok()) << algorithm;
+    EXPECT_TRUE(salvaged->stats.best_effort) << algorithm;
+  }
+}
+
+/// DPsubPar shares serial DPsub's 2^n feasibility bound and refuses
+/// oversized inputs with a typed error instead of attempting 2^40 masks.
+TEST(ParallelDpTest, DPsubParRefusesHugeN) {
+  const CoutCostModel cost_model;
+  Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kChain, 40);
+  ASSERT_TRUE(graph.ok());
+  const Result<OptimizationResult> result =
+      Orderer("DPsubPar").Optimize(*graph, cost_model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // DPsizePar has no such bound: chain-40 spans layers fine.
+  OptimizeOptions options;
+  options.threads = 2;
+  const Result<OptimizationResult> size_par =
+      Orderer("DPsizePar").Optimize(*graph, cost_model, options);
+  EXPECT_TRUE(size_par.ok());
+}
+
+}  // namespace
+}  // namespace joinopt

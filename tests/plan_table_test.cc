@@ -200,6 +200,155 @@ TEST(PlanTableDeathTest, StaleSparseRefAssertsInDebugBuilds) {
 }
 #endif  // NDEBUG
 
+TEST(PlanTableTest, DenseBackendCountsPreallocationAgainstBudget) {
+  // 2^16 dense slots exceed a 100-entry budget: the table must fall back
+  // to sparse so the memo budget is enforced identically on both
+  // backends.
+  EXPECT_FALSE(PlanTable(16, 20, /*memo_entry_budget=*/100).is_dense());
+  EXPECT_TRUE(PlanTable(16, 20, uint64_t{1} << 16).is_dense());
+  // Budget exactly 2^n still fits.
+  EXPECT_TRUE(PlanTable(6, 20, 64).is_dense());
+  EXPECT_FALSE(PlanTable(6, 20, 63).is_dense());
+  // Zero budget means unlimited, as everywhere else.
+  EXPECT_TRUE(PlanTable(16, 20, 0).is_dense());
+}
+
+TEST(PlanTableTest, ShardCountIsClampedToPowerOfTwo) {
+  EXPECT_EQ(PlanTable(24).sparse_shard_count(), 1);
+  EXPECT_EQ(PlanTable(24, 20, 0, 8).sparse_shard_count(), 8);
+  EXPECT_EQ(PlanTable(24, 20, 0, 5).sparse_shard_count(), 4);
+  EXPECT_EQ(PlanTable(24, 20, 0, 0).sparse_shard_count(), 1);
+  EXPECT_EQ(PlanTable(24, 20, 0, 200).sparse_shard_count(), 64);
+  // Dense tables have no stripes.
+  EXPECT_EQ(PlanTable(10, 20, 0, 8).sparse_shard_count(), 1);
+}
+
+TEST(PlanTableTest, ShardedSparseBackendFindsAndIterates) {
+  PlanTable table(24, /*dense_limit=*/20, /*memo_entry_budget=*/0,
+                  /*sparse_shards=*/8);
+  ASSERT_FALSE(table.is_dense());
+  for (int i = 0; i < 24; ++i) {
+    for (int j = i + 1; j < 24; ++j) {
+      PlanEntry& entry = table.GetOrCreate(NodeSet::Of({i, j}));
+      entry.cost = static_cast<double>(i * 24 + j);
+      entry.cardinality = 1.0;
+      table.NotePopulated();
+    }
+  }
+  EXPECT_EQ(table.populated_count(), 24u * 23u / 2u);
+  for (int i = 0; i < 24; ++i) {
+    for (int j = i + 1; j < 24; ++j) {
+      const PlanEntry* found = table.Find(NodeSet::Of({i, j}));
+      ASSERT_NE(found, nullptr) << i << "," << j;
+      EXPECT_DOUBLE_EQ(found->cost, static_cast<double>(i * 24 + j));
+    }
+  }
+  uint64_t visited = 0;
+  table.ForEach([&](NodeSet, const PlanEntry&) { ++visited; });
+  EXPECT_EQ(visited, table.populated_count());
+}
+
+PlanTable::LayerCandidate MakeCandidate(NodeSet set, NodeSet left,
+                                        NodeSet right, double cost) {
+  PlanTable::LayerCandidate candidate;
+  candidate.set = set;
+  candidate.entry.left = left;
+  candidate.entry.right = right;
+  candidate.entry.cost = cost;
+  candidate.entry.cardinality = 1.0;
+  return candidate;
+}
+
+TEST_P(PlanTableBackendTest, MergeLayerWinnerIsPartitionIndependent) {
+  // Three candidates for the same set: the lowest cost wins, and among
+  // equal costs the lexicographically smallest (left, right) pair — so
+  // any permutation of the candidate list merges identically.
+  const NodeSet s = NodeSet::Of({0, 1, 2});
+  const std::vector<PlanTable::LayerCandidate> base = {
+      MakeCandidate(s, NodeSet::Of({0, 1}), NodeSet::Of({2}), 5.0),
+      MakeCandidate(s, NodeSet::Of({0}), NodeSet::Of({1, 2}), 3.0),
+      MakeCandidate(s, NodeSet::Of({0, 2}), NodeSet::Of({1}), 3.0),
+  };
+  std::vector<std::vector<size_t>> orders = {
+      {0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}};
+  for (const auto& order : orders) {
+    PlanTable table = MakeTable(6);
+    std::vector<PlanTable::LayerCandidate> candidates;
+    for (const size_t i : order) {
+      candidates.push_back(base[i]);
+    }
+    int newly = 0;
+    ASSERT_TRUE(table.MergeLayer(
+        candidates, [&](const PlanTable::LayerCandidate&, bool fresh) {
+          newly += fresh ? 1 : 0;
+          return true;
+        }));
+    EXPECT_EQ(newly, 1);
+    const PlanEntry* merged = table.Find(s);
+    ASSERT_NE(merged, nullptr);
+    EXPECT_DOUBLE_EQ(merged->cost, 3.0);
+    // The cost-3 tie breaks toward left = {0} over left = {0, 2}.
+    EXPECT_EQ(merged->left, NodeSet::Of({0}));
+    EXPECT_EQ(merged->right, NodeSet::Of({1, 2}));
+    EXPECT_EQ(table.populated_count(), 1u);
+  }
+}
+
+TEST_P(PlanTableBackendTest, MergeLayerOnlyImprovesExistingEntries) {
+  PlanTable table = MakeTable(6);
+  const NodeSet s = NodeSet::Of({1, 3});
+  PlanEntry& existing = table.GetOrCreate(s);
+  existing.left = NodeSet::Of({1});
+  existing.right = NodeSet::Of({3});
+  existing.cost = 2.0;
+  existing.cardinality = 1.0;
+  table.NotePopulated();
+
+  // A worse candidate leaves the entry untouched (and is not "new").
+  std::vector<PlanTable::LayerCandidate> worse = {
+      MakeCandidate(s, NodeSet::Of({3}), NodeSet::Of({1}), 9.0)};
+  ASSERT_TRUE(table.MergeLayer(
+      worse, [](const PlanTable::LayerCandidate&, bool fresh) {
+        EXPECT_FALSE(fresh);
+        return true;
+      }));
+  EXPECT_DOUBLE_EQ(table.Find(s)->cost, 2.0);
+  EXPECT_EQ(table.populated_count(), 1u);
+
+  // A better one replaces it without double-counting populated_count.
+  std::vector<PlanTable::LayerCandidate> better = {
+      MakeCandidate(s, NodeSet::Of({3}), NodeSet::Of({1}), 1.0)};
+  ASSERT_TRUE(table.MergeLayer(
+      better, [](const PlanTable::LayerCandidate&, bool) { return true; }));
+  EXPECT_DOUBLE_EQ(table.Find(s)->cost, 1.0);
+  EXPECT_EQ(table.Find(s)->left, NodeSet::Of({3}));
+  EXPECT_EQ(table.populated_count(), 1u);
+}
+
+TEST_P(PlanTableBackendTest, MergeLayerGateStopsInAscendingSetOrder) {
+  PlanTable table = MakeTable(6);
+  // Two sets; the gate rejects after the first winner, so the second
+  // (higher-mask) set must remain unpopulated — matching a serial run
+  // interrupted mid-layer.
+  std::vector<PlanTable::LayerCandidate> candidates = {
+      MakeCandidate(NodeSet::Of({2, 3}), NodeSet::Of({2}), NodeSet::Of({3}),
+                    4.0),
+      MakeCandidate(NodeSet::Of({0, 1}), NodeSet::Of({0}), NodeSet::Of({1}),
+                    7.0),
+  };
+  int applied = 0;
+  EXPECT_FALSE(table.MergeLayer(
+      candidates, [&](const PlanTable::LayerCandidate& winner, bool) {
+        ++applied;
+        // Ascending set order: {0,1} (mask 3) precedes {2,3} (mask 12).
+        EXPECT_EQ(winner.set, NodeSet::Of({0, 1}));
+        return false;
+      }));
+  EXPECT_EQ(applied, 1);
+  EXPECT_NE(table.Find(NodeSet::Of({0, 1})), nullptr);
+  EXPECT_EQ(table.Find(NodeSet::Of({2, 3})), nullptr);
+}
+
 TEST(PlanTableTest, DensePointersAreStable) {
   PlanTable table(10);
   PlanEntry& first = table.GetOrCreate(NodeSet::Of({0}));

@@ -2,8 +2,10 @@
 # Tier-1 CI gate: configure, build, and run the full test suite three
 # times — plain (RelWithDebInfo, the shipping configuration), under
 # ASan+UBSan (Debug, so assertions and the plan-table generation checks
-# are live), and under TSan (Debug), which builds only the concurrent
-# soak harness and runs a ~60s multi-threaded anytime-optimization soak.
+# are live), and under TSan (Debug), which builds the concurrent soak
+# harness and the differential fuzzer and runs them with the parallel DP
+# orderers in the algorithm mix. The plain pass additionally emits the
+# BENCH_parallel.json thread-scaling artifact.
 # Intended both for automation and as the one command to run before
 # sending a change:
 #
@@ -61,6 +63,23 @@ run_pass() {
     exit 1
   fi
   echo "replay smoke: ${replayed} bundle(s) reproduced bit-for-bit"
+  if [ "${label}" != plain ]; then
+    return  # The bench sweep is a perf cell; sanitizer builds would only
+            # add minutes without checking anything the plain pass misses.
+  fi
+  echo "=== ${label}: parallel bench smoke ==="
+  # The thread-scaling cell of the parallel DP orderers. The wall-clock
+  # column scales only with the machine's core count, but the counters
+  # are part of the determinism contract and must not move — the JSON
+  # artifact (BENCH_parallel.json) records both so perf trajectories and
+  # counter regressions are diffable across commits.
+  rm -f "${build_dir}/BENCH_parallel.json"
+  JOINOPT_BENCH_JSON="${build_dir}/BENCH_parallel.json" \
+    "${build_dir}/bench/micro_optimizers" --thread-scaling
+  if [ ! -s "${build_dir}/BENCH_parallel.json" ]; then
+    echo "parallel bench smoke: no JSON artifact emitted" >&2
+    exit 1
+  fi
 }
 
 run_tsan_pass() {
@@ -68,16 +87,22 @@ run_tsan_pass() {
   echo "=== tsan: configure (${build_dir}) ==="
   cmake -B "${build_dir}" -S . \
     -DCMAKE_BUILD_TYPE=Debug -DJOINOPT_SANITIZE=thread
-  echo "=== tsan: build joinopt_soak ==="
-  cmake --build "${build_dir}" -j "${jobs}" --target joinopt_soak
+  echo "=== tsan: build joinopt_soak + joinopt_fuzz ==="
+  cmake --build "${build_dir}" -j "${jobs}" --target joinopt_soak joinopt_fuzz
   echo "=== tsan: concurrent soak (~60s) ==="
   # TSan halts the process on the first data race (halt_on_error via
   # -fno-sanitize-recover=all), so a clean exit here certifies the
   # thread_local fault injector and the shared registry/statics are
-  # race-free under 8-way concurrent optimization.
+  # race-free under 8-way concurrent optimization — including the
+  # parallel DP orderers' thread pools nested inside the soak workers.
   rm -rf "${build_dir}/repro-artifacts"
   "${build_dir}/tools/joinopt_soak" --threads 8 --queries 500 \
     --seed 20060912 --repro-dir "${build_dir}/repro-artifacts/soak"
+  echo "=== tsan: parallel fuzz smoke ==="
+  # The differential fuzzer drives DPsizePar/DPsubPar against the serial
+  # enumerators, so this slice sweeps the layer-barrier fan-out, the
+  # sharded memo reads, and the worker deadline watch under TSan.
+  "${build_dir}/tools/joinopt_fuzz" --iters 120 --seed 20060912
 }
 
 mode="${1:-all}"

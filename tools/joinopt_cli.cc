@@ -16,7 +16,10 @@
 /// costs:  cout (default) bestof hash nlj smj
 ///
 /// Optimization limits come from the environment: JOINOPT_DEADLINE_S
-/// (wall-clock seconds) and JOINOPT_MEMO_BUDGET (max memo entries). A
+/// (wall-clock seconds), JOINOPT_MEMO_BUDGET (max memo entries), and
+/// JOINOPT_THREADS (worker threads for the parallel orderers; 0 = auto).
+/// All limit knobs parse strictly — a malformed value is an exit-3
+/// startup error naming the variable, never a silent fallback. A
 /// tripped limit reports BudgetExceeded unless the algorithm degrades
 /// gracefully (Adaptive falls back and reports what it fell back from).
 /// With --best-effort, a tripped limit instead salvages a complete plan
@@ -43,7 +46,7 @@
 ///   0  success
 ///   2  usage error: bad command line, unknown algorithm/cost/shape
 ///   3  input error: file not readable, spec/SQL/bundle unparsable,
-///      malformed JOINOPT_FAULT_* environment
+///      malformed JOINOPT_FAULT_* or JOINOPT_* limit environment
 ///   4  catalog failed validation (InvalidCatalog)
 ///   5  optimizer rejected degenerate statistics (DegenerateStatistics)
 ///   6  resource budget or deadline exceeded (BudgetExceeded)
@@ -139,14 +142,27 @@ Result<const JoinOrderer*> LookupOrderer(const std::string& name) {
 bool g_best_effort = false;
 
 /// Optimization limits from the environment; unset means unlimited.
+/// main() runs ValidateLimitEnv() at startup, so a malformed knob has
+/// already exited 3 before any command is dispatched — the strict
+/// parsers here cannot fail, but the checks stay as a defensive seam
+/// (a unit test or future caller could reach this without main()).
 OptimizeOptions OptionsFromEnv() {
   OptimizeOptions options;
-  if (const char* env = std::getenv("JOINOPT_DEADLINE_S")) {
-    options.deadline_seconds = std::atof(env);
+  const Result<double> deadline =
+      EnvDouble("JOINOPT_DEADLINE_S", options.deadline_seconds);
+  const Result<uint64_t> budget =
+      EnvUint64("JOINOPT_MEMO_BUDGET", options.memo_entry_budget);
+  const Result<int> threads = EnvInt("JOINOPT_THREADS", options.threads);
+  for (const Status& status :
+       {deadline.status(), budget.status(), threads.status()}) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(3);
+    }
   }
-  if (const char* env = std::getenv("JOINOPT_MEMO_BUDGET")) {
-    options.memo_entry_budget = std::strtoull(env, nullptr, 10);
-  }
+  options.deadline_seconds = *deadline;
+  options.memo_entry_budget = *budget;
+  options.threads = *threads;
   options.salvage_on_interrupt = g_best_effort;
   return options;
 }
@@ -524,6 +540,8 @@ int Usage(const char* argv0) {
                "        partial memo when a limit trips (exit 9, report on\n"
                "        stderr) instead of failing with exit 6\n"
                "limits: JOINOPT_DEADLINE_S=<s> JOINOPT_MEMO_BUDGET=<entries>\n"
+               "        JOINOPT_THREADS=<n> (parallel orderers; 0 = auto)\n"
+               "        malformed values exit 3 at startup, never fall back\n"
                "policy: JOINOPT_POLICY=<ladder> (Adaptive; see DESIGN.md)\n"
                "faults: JOINOPT_FAULT_SEED / JOINOPT_FAULT_{ALLOC,TRACE,"
                "DEADLINE,STATS}_AT\n"
@@ -554,14 +572,20 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return Usage(argv[0]);
   }
-  // Validate the fault environment up front: a typo'd JOINOPT_FAULT_*
+  // Validate the fault and limit environments up front: a typo'd
+  // JOINOPT_FAULT_* or JOINOPT_{DEADLINE_S,MEMO_BUDGET,THREADS,MAX_INNER}
   // knob must be a visible input error (exit 3), not a silently disarmed
-  // injector behind an otherwise-normal run.
+  // injector or a limit quietly parsed as zero behind an otherwise-normal
+  // run.
   {
     const Result<testing::FaultConfig> env_fault =
         testing::FaultConfigFromEnv();
     if (!env_fault.ok()) {
       return Fail(env_fault.status(), "fault environment");
+    }
+    const Status env_limits = ValidateLimitEnv();
+    if (!env_limits.ok()) {
+      return Fail(env_limits, "limit environment");
     }
   }
   const std::string command = argv[1];

@@ -75,8 +75,9 @@
 namespace joinopt {
 namespace {
 
-const char* const kAlgorithms[] = {"DPsize", "DPsub", "DPccp", "DPhyp"};
-constexpr int kAlgorithmCount = 4;
+const char* const kAlgorithms[] = {"DPsize",    "DPsub",   "DPccp",
+                                   "DPhyp",     "DPsizePar", "DPsubPar"};
+constexpr int kAlgorithmCount = 6;
 
 /// Costs at or beyond this magnitude are treated as "saturated": the
 /// ceiling clamp makes the optimum depend on enumeration order, so the
@@ -164,14 +165,21 @@ void CheckAgreement(const QueryGraph& graph, const CostModel& cost_model,
     max_cost = std::max(max_cost, costs[a]);
   }
   if (min_cost < kSaturationRegime) {
-    // Exact regime: the four enumerations explore the same bushy
+    // Exact regime: all enumerations explore the same bushy
     // cross-product-free space, so their optima must coincide.
     const double rel = (max_cost - min_cost) / std::max(min_cost, 1e-300);
-    FUZZ_CHECK(rel <= 1e-6,
-               "cost disagreement: min %.17g max %.17g (rel %.3g) "
-               "[DPsize %.17g DPsub %.17g DPccp %.17g DPhyp %.17g]",
-               min_cost, max_cost, rel, costs[0], costs[1], costs[2],
-               costs[3]);
+    if (rel > 1e-6) {
+      std::string breakdown;
+      for (int a = 0; a < kAlgorithmCount; ++a) {
+        char cell[96];
+        std::snprintf(cell, sizeof(cell), "%s%s %.17g", a > 0 ? " " : "",
+                      kAlgorithms[a], costs[a]);
+        breakdown += cell;
+      }
+      FUZZ_CHECK(false,
+                 "cost disagreement: min %.17g max %.17g (rel %.3g) [%s]",
+                 min_cost, max_cost, rel, breakdown.c_str());
+    }
   }
 }
 
@@ -401,13 +409,18 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  // A typo'd JOINOPT_FAULT_* knob must abort the harness, not silently
-  // fuzz without faults.
+  // A typo'd JOINOPT_FAULT_* or limit knob must abort the harness, not
+  // silently fuzz without faults (or with a limit parsed as zero).
   const joinopt::Result<joinopt::testing::FaultConfig> env_fault =
       joinopt::testing::FaultConfigFromEnv();
   if (!env_fault.ok()) {
     std::fprintf(stderr, "joinopt_fuzz: %s\n",
                  env_fault.status().ToString().c_str());
+    return 2;
+  }
+  const joinopt::Status env_limits = joinopt::ValidateLimitEnv();
+  if (!env_limits.ok()) {
+    std::fprintf(stderr, "joinopt_fuzz: %s\n", env_limits.ToString().c_str());
     return 2;
   }
   if (!joinopt::g_repro_dir.empty()) {

@@ -70,9 +70,9 @@
 namespace joinopt {
 namespace {
 
-const char* const kAlgorithms[] = {"DPsize", "DPsub", "DPccp", "DPhyp",
-                                   "Adaptive"};
-constexpr int kAlgorithmCount = 5;
+const char* const kAlgorithms[] = {"DPsize",    "DPsub",    "DPccp", "DPhyp",
+                                   "DPsizePar", "DPsubPar", "Adaptive"};
+constexpr int kAlgorithmCount = 7;
 
 /// Relative tolerance for cost comparisons: the baseline and the checked
 /// run price identical trees through identical arithmetic, so this only
@@ -180,6 +180,11 @@ class Worker {
     if (rng.Bernoulli(0.3)) {
       options.deadline_seconds = rng.UniformDouble(1e-7, 2e-3);
     }
+    // An explicit small thread count for the parallel orderers (serial
+    // orderers ignore it): auto-detection would tie the recorded bundle
+    // to this machine's core count, and nested auto-sized pools under
+    // config_.threads soak workers would oversubscribe badly.
+    options.threads = 1 + static_cast<int>(rng.Uniform(4));
     testing::FaultConfig fault;
     switch (rng.Uniform(4)) {
       case 0:
@@ -462,13 +467,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "joinopt_soak: --threads must be in [1, 256]\n");
     return 2;
   }
-  // A typo'd JOINOPT_FAULT_* knob must abort the harness, not silently
-  // soak without the intended schedule.
+  // A typo'd JOINOPT_FAULT_* or limit knob must abort the harness, not
+  // silently soak without the intended schedule.
   const joinopt::Result<joinopt::testing::FaultConfig> env_fault =
       joinopt::testing::FaultConfigFromEnv();
   if (!env_fault.ok()) {
     std::fprintf(stderr, "joinopt_soak: %s\n",
                  env_fault.status().ToString().c_str());
+    return 2;
+  }
+  const joinopt::Status env_limits = joinopt::ValidateLimitEnv();
+  if (!env_limits.ok()) {
+    std::fprintf(stderr, "joinopt_soak: %s\n", env_limits.ToString().c_str());
     return 2;
   }
   if (!config.repro_dir.empty()) {
