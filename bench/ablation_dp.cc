@@ -94,12 +94,12 @@ void AblatePlanTableBackend() {
     PlanTable table(n, dense ? 20 : 0);
     uint64_t hits = 0;
     for (uint64_t mask = 1; mask <= limit; ++mask) {
-      PlanEntry& entry = table.GetOrCreate(NodeSet::FromMask(mask));
-      entry.cost = static_cast<double>(mask);
-      table.NotePopulated();
+      table.Register(NodeSet::FromMask(mask), static_cast<double>(mask), 1.0,
+                     kInvalidPlanRef, kInvalidPlanRef,
+                     JoinOperator::kUnspecified);
       // Probe a few subsets like DPsub's inner loop would.
-      hits += table.Find(NodeSet::FromMask(mask & (mask - 1))) != nullptr;
-      hits += table.Find(NodeSet::FromMask(mask >> 1)) != nullptr;
+      hits += table.Find(NodeSet::FromMask(mask & (mask - 1))) != kInvalidPlanRef;
+      hits += table.Find(NodeSet::FromMask(mask >> 1)) != kInvalidPlanRef;
     }
     std::printf("  %-6s  %10s  (probe hits %llu)\n", dense ? "dense" : "sparse",
                 bench::FormatSeconds(stopwatch.ElapsedSeconds()).c_str(),

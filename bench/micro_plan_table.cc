@@ -1,0 +1,167 @@
+/// Memo-representation microbench (DESIGN.md "Memory layout of the
+/// memo"): measures the plan table's two index backends against a
+/// hash-map-of-AoS-entries baseline — the representation this library
+/// used before the layered slab refactor — on the access patterns the
+/// DPs actually generate, plus a clique-16 end-to-end cell so the
+/// representation's effect on a full optimization is one diffable
+/// number. ci.sh emits the JSON lines as BENCH_memo.json.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "common.h"
+#include "cost/cost_model.h"
+#include "graph/generators.h"
+#include "plan/plan_table.h"
+#include "util/stopwatch.h"
+
+namespace joinopt {
+namespace {
+
+constexpr int kBits = 16;
+constexpr uint64_t kLimit = (uint64_t{1} << kBits) - 1;
+
+/// Stand-in for the pre-refactor representation: one ~56-byte
+/// array-of-structs entry per set, stored in node-based hash map slots.
+struct AosEntry {
+  NodeSet left;
+  NodeSet right;
+  double cost = 0.0;
+  double cardinality = 0.0;
+  JoinOperator op = JoinOperator::kUnspecified;
+};
+using AosTable = std::unordered_map<NodeSet, AosEntry, NodeSetHash>;
+
+void EmitMicroCell(const char* algorithm, uint64_t ops, double seconds) {
+  OptimizerStats stats;
+  stats.inner_counter = ops;
+  bench::EmitBenchJson(algorithm, "mask16", kBits, stats, seconds);
+  std::printf("  %-22s  %10s  (%llu ops, %6.1f Mops/s)\n", algorithm,
+              bench::FormatSeconds(seconds).c_str(),
+              static_cast<unsigned long long>(ops),
+              static_cast<double>(ops) / seconds / 1e6);
+}
+
+/// Insert every nonempty mask over 16 relations, the DPsubCP fill
+/// pattern (the densest the memo ever gets).
+void BenchInserts() {
+  std::printf("[1] insert throughput (all %llu masks, n=%d)\n",
+              static_cast<unsigned long long>(kLimit), kBits);
+  for (const bool dense : {true, false}) {
+    const Stopwatch stopwatch;
+    PlanTable table(kBits, dense ? 20 : 0);
+    for (uint64_t mask = 1; mask <= kLimit; ++mask) {
+      table.Register(NodeSet::FromMask(mask), static_cast<double>(mask), 1.0,
+                     kInvalidPlanRef, kInvalidPlanRef,
+                     JoinOperator::kUnspecified);
+    }
+    JOINOPT_CHECK(table.populated_count() == kLimit);
+    EmitMicroCell(dense ? "memo-insert-slab-dense" : "memo-insert-slab-sparse",
+                  kLimit, stopwatch.ElapsedSeconds());
+  }
+  {
+    const Stopwatch stopwatch;
+    AosTable table;
+    for (uint64_t mask = 1; mask <= kLimit; ++mask) {
+      AosEntry& entry = table[NodeSet::FromMask(mask)];
+      entry.cost = static_cast<double>(mask);
+      entry.cardinality = 1.0;
+    }
+    JOINOPT_CHECK(table.size() == kLimit);
+    EmitMicroCell("memo-insert-hashmap-aos", kLimit,
+                  stopwatch.ElapsedSeconds());
+  }
+}
+
+/// DPsub's probe pattern: for every mask, look up two strict subsets and
+/// read their costs. The slab backends resolve a 4-byte ref and read one
+/// column; the AoS map hashes into 56-byte nodes.
+void BenchProbes() {
+  std::printf("[2] probe throughput (2 subset probes per mask)\n");
+  for (const bool dense : {true, false}) {
+    PlanTable table(kBits, dense ? 20 : 0);
+    for (uint64_t mask = 1; mask <= kLimit; ++mask) {
+      table.Register(NodeSet::FromMask(mask), static_cast<double>(mask), 1.0,
+                     kInvalidPlanRef, kInvalidPlanRef,
+                     JoinOperator::kUnspecified);
+    }
+    const Stopwatch stopwatch;
+    double checksum = 0.0;
+    for (uint64_t mask = 1; mask <= kLimit; ++mask) {
+      const PlanRef a = table.Find(NodeSet::FromMask(mask & (mask - 1)));
+      if (a != kInvalidPlanRef) {
+        checksum += table.cost(a);
+      }
+      const PlanRef b = table.Find(NodeSet::FromMask(mask >> 1));
+      if (b != kInvalidPlanRef) {
+        checksum += table.cost(b);
+      }
+    }
+    const double seconds = stopwatch.ElapsedSeconds();
+    JOINOPT_CHECK(checksum > 0.0);
+    EmitMicroCell(dense ? "memo-probe-slab-dense" : "memo-probe-slab-sparse",
+                  2 * kLimit, seconds);
+  }
+  {
+    AosTable table;
+    for (uint64_t mask = 1; mask <= kLimit; ++mask) {
+      AosEntry& entry = table[NodeSet::FromMask(mask)];
+      entry.cost = static_cast<double>(mask);
+      entry.cardinality = 1.0;
+    }
+    const Stopwatch stopwatch;
+    double checksum = 0.0;
+    for (uint64_t mask = 1; mask <= kLimit; ++mask) {
+      auto a = table.find(NodeSet::FromMask(mask & (mask - 1)));
+      if (a != table.end()) {
+        checksum += a->second.cost;
+      }
+      auto b = table.find(NodeSet::FromMask(mask >> 1));
+      if (b != table.end()) {
+        checksum += b->second.cost;
+      }
+    }
+    const double seconds = stopwatch.ElapsedSeconds();
+    JOINOPT_CHECK(checksum > 0.0);
+    EmitMicroCell("memo-probe-hashmap-aos", 2 * kLimit, seconds);
+  }
+}
+
+/// End-to-end: the representation's bottom line on the workload ROADMAP
+/// Open item 3 is about. DPsizePar@1 vs serial DPsize isolates the
+/// parallel path's representation overhead with zero scheduling noise;
+/// ci.sh enforces the ratio stays under 1.15x (via BENCH_parallel.json,
+/// which measures the same cells through micro_optimizers).
+void BenchCliqueEndToEnd() {
+  std::printf("[3] clique-16 end-to-end (Cout)\n");
+  const Result<QueryGraph> graph = MakeCliqueQuery(16);
+  JOINOPT_CHECK(graph.ok());
+  const CoutCostModel cost_model;
+  OptimizerStats stats;
+  const double serial = bench::MeasureSeconds(bench::Orderer("DPsize"), *graph,
+                                              cost_model, &stats);
+  bench::EmitBenchJson("DPsize", "clique", 16, stats, serial);
+  std::printf("  %-22s  %10s\n", "DPsize", bench::FormatSeconds(serial).c_str());
+  OptimizeOptions options;
+  options.threads = 1;
+  const double par1 = bench::MeasureSeconds(bench::Orderer("DPsizePar"),
+                                            *graph, cost_model, &stats,
+                                            options);
+  bench::EmitBenchJson("DPsizePar@1", "clique", 16, stats, par1);
+  std::printf("  %-22s  %10s  (%.2fx of serial)\n", "DPsizePar@1",
+              bench::FormatSeconds(par1).c_str(), par1 / serial);
+}
+
+}  // namespace
+}  // namespace joinopt
+
+int main() {
+  joinopt::bench::RequireValidEnv();
+  std::printf("Plan-table representation microbench (n=%d mask space)\n",
+              joinopt::kBits);
+  joinopt::BenchInserts();
+  joinopt::BenchProbes();
+  joinopt::BenchCliqueEndToEnd();
+  return 0;
+}

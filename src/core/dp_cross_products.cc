@@ -24,54 +24,52 @@ Result<OptimizationResult> DPsizeCP::Optimize(OptimizerContext& ctx) const {
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);
 
-  std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
-  for (int i = 0; i < n; ++i) {
-    plans_by_size[1].push_back(NodeSet::Singleton(i));
-  }
-
-  const auto consider = [&](NodeSet s1, NodeSet s2) -> bool {
+  // Slab iteration plus strided ticks, exactly like DPsize (see
+  // dpsize.cc); the only difference is the missing connectivity check.
+  constexpr uint64_t kTickStride = 256;
+  uint64_t since_tick = 0;
+  const auto consider = [&](PlanRef r1, PlanRef r2) -> bool {
     ++stats.inner_counter;
-    if (s1.Intersects(s2)) {
-      return !ctx.Tick();
+    const NodeSet s1 = table.set(r1);
+    const NodeSet s2 = table.set(r2);
+    if (!s1.Intersects(s2)) {
+      stats.csg_cmp_pair_counter += 2;
+      ctx.TraceCsgCmpPair(s1, s2);
+      if (!internal::CreateJoinTreeBothOrders(ctx, r1, r2)) {
+        return false;
+      }
     }
-    stats.csg_cmp_pair_counter += 2;
-    ctx.TraceCsgCmpPair(s1, s2);
-    const NodeSet combined = s1 | s2;
-    const bool existed = table.Find(combined) != nullptr;
-    if (!internal::CreateJoinTreeBothOrders(ctx, s1, s2)) {
-      return false;
-    }
-    if (!existed) {
-      plans_by_size[combined.count()].push_back(combined);
-    }
-    return !ctx.Tick();
+    return !((++since_tick & (kTickStride - 1)) == 0 && ctx.Tick());
   };
 
   for (int s = 2; live && s <= n; ++s) {
+    table.FreezeLayer(s - 1);
     for (int s1 = 1; live && 2 * s1 <= s; ++s1) {
       const int s2 = s - s1;
-      const std::vector<NodeSet>& left_list = plans_by_size[s1];
-      const std::vector<NodeSet>& right_list = plans_by_size[s2];
+      const uint32_t left_count = table.LayerSize(s1);
+      const uint32_t right_count = table.LayerSize(s2);
       if (s1 == s2) {
-        for (size_t i = 0; live && i < left_list.size(); ++i) {
-          for (size_t j = i + 1; j < left_list.size(); ++j) {
-            if (!consider(left_list[i], left_list[j])) {
+        for (uint32_t i = 0; live && i < left_count; ++i) {
+          for (uint32_t j = i + 1; j < left_count; ++j) {
+            if (!consider(MakePlanRef(s1, i), MakePlanRef(s1, j))) {
               live = false;
               break;
             }
           }
         }
       } else {
-        for (size_t i = 0; live && i < left_list.size(); ++i) {
-          const NodeSet s1_set = left_list[i];
-          for (const NodeSet s2_set : right_list) {
-            if (!consider(s1_set, s2_set)) {
+        for (uint32_t i = 0; live && i < left_count; ++i) {
+          for (uint32_t j = 0; j < right_count; ++j) {
+            if (!consider(MakePlanRef(s1, i), MakePlanRef(s2, j))) {
               live = false;
               break;
             }
           }
         }
       }
+    }
+    if (live && ctx.Tick()) {
+      live = false;  // Layer-boundary tick (coherent-memo arrival).
     }
   }
 

@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
-#include <unordered_map>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -67,18 +67,138 @@ uint64_t NextSameCount(uint64_t v) {
   return r | (((v ^ r) >> 2) / c);
 }
 
-/// Strictly-better total order on candidates for one set: lowest cost,
-/// then lexicographic (left, right) masks. Matches MergeLayer's sort so
-/// worker-local reductions and the barrier merge pick the same winner.
-bool CandidateBeats(const PlanEntry& a, const PlanEntry& b) {
-  if (a.cost != b.cost) {
-    return a.cost < b.cost;
+/// Worker-local best-candidate reduction for one DPsizePar size layer,
+/// keyed by the combined set's mask. This replaces the per-worker
+/// std::unordered_map<NodeSet, PlanEntry> of the first parallel
+/// implementation, which dominated the whole run (a node allocation plus
+/// a hashed probe per operand order per surviving pair).
+///
+/// Slots are epoch-stamped: BeginLayer bumps the epoch instead of
+/// clearing memory, so a layer transition is O(1) and the buffers are
+/// reused for the whole run (including the occupied list, whose
+/// high-water reservation survives across layers).
+///
+/// Two placements share the slot layout:
+///  * direct — for small n the slot index IS the mask (2^n slots). No
+///    probing, no keys to compare; the clique workloads the parallel DP
+///    exists for live here.
+///  * hashed — open-addressed with linear probing for larger n, grown at
+///    2/3 load, never shrunk.
+///
+/// The slot also memoizes the set's canonical cardinality: EstimateSet
+/// runs once per distinct set per worker per layer instead of once per
+/// surviving pair — on clique-16 that is 65k estimates instead of 21.5M,
+/// the single largest source of the old @1-thread overhead.
+class LayerReduction {
+ public:
+  struct Slot {
+    uint64_t mask = 0;
+    double cost = 0.0;
+    double cardinality = 0.0;
+    PlanRef left = kInvalidPlanRef;
+    PlanRef right = kInvalidPlanRef;
+    JoinOperator op = JoinOperator::kUnspecified;
+    uint32_t epoch = 0;
+  };
+
+  /// Called once before the first layer. Direct placement when the mask
+  /// space fits a few MB of slots; hashed otherwise.
+  void Configure(int relation_count) {
+    direct_ = relation_count <= kDirectBits;
+    if (direct_) {
+      slots_.resize(uint64_t{1} << relation_count);
+    } else {
+      slots_.resize(kInitialHashedSlots);
+    }
   }
-  if (a.left.mask() != b.left.mask()) {
-    return a.left.mask() < b.left.mask();
+
+  void BeginLayer() {
+    ++epoch_;
+    occupied_.clear();
+    live_ = 0;
   }
-  return a.right.mask() < b.right.mask();
-}
+
+  /// The slot for `mask`, creating it (epoch-stamping, recording in the
+  /// occupied list) when this is its first touch of the layer. `created`
+  /// tells the caller to initialize cost/cardinality.
+  Slot& Touch(uint64_t mask, bool& created) {
+    if (direct_) {
+      Slot& slot = slots_[mask];
+      created = slot.epoch != epoch_;
+      if (created) {
+        slot.epoch = epoch_;
+        slot.mask = mask;
+        occupied_.push_back(static_cast<uint32_t>(mask));
+      }
+      return slot;
+    }
+    if ((live_ + 1) * 3 >= slots_.size() * 2) {
+      Grow();
+    }
+    const size_t cap_mask = slots_.size() - 1;
+    size_t index = HashMask(mask) & cap_mask;
+    while (true) {
+      Slot& slot = slots_[index];
+      if (slot.epoch != epoch_) {
+        created = true;
+        slot.epoch = epoch_;
+        slot.mask = mask;
+        occupied_.push_back(static_cast<uint32_t>(index));
+        ++live_;
+        return slot;
+      }
+      if (slot.mask == mask) {
+        created = false;
+        return slot;
+      }
+      index = (index + 1) & cap_mask;
+    }
+  }
+
+  /// Drains this layer's slots into `candidates` (append).
+  void Drain(std::vector<PlanTable::LayerCandidate>& candidates) const {
+    for (const uint32_t index : occupied_) {
+      const Slot& slot = slots_[index];
+      candidates.push_back({NodeSet::FromMask(slot.mask), slot.cost,
+                            slot.cardinality, slot.left, slot.right,
+                            slot.op});
+    }
+  }
+
+  size_t occupied_count() const { return occupied_.size(); }
+
+ private:
+  static constexpr int kDirectBits = 17;  // 2^17 slots ~ 7 MB per worker.
+  static constexpr size_t kInitialHashedSlots = size_t{1} << 12;
+
+  static uint64_t HashMask(uint64_t mask) {
+    return NodeSetHash{}(NodeSet::FromMask(mask));
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const size_t cap_mask = slots_.size() - 1;
+    std::vector<uint32_t> old_occupied = std::move(occupied_);
+    occupied_.clear();
+    occupied_.reserve(old_occupied.size() * 2);
+    for (const uint32_t old_index : old_occupied) {
+      const Slot& slot = old[old_index];
+      size_t index = HashMask(slot.mask) & cap_mask;
+      while (slots_[index].epoch == epoch_) {
+        index = (index + 1) & cap_mask;
+      }
+      slots_[index] = slot;
+      occupied_.push_back(static_cast<uint32_t>(index));
+    }
+  }
+
+  bool direct_ = true;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> occupied_;
+  size_t live_ = 0;
+  uint32_t epoch_ = 0;
+};
 
 /// The number of threads a parallel orderer actually uses: the resolved
 /// OptimizeOptions::threads, clamped to 1 when a trace sink is installed
@@ -104,8 +224,7 @@ bool MergeGate(OptimizerContext& ctx, const PlanTable::LayerCandidate& winner,
     if (!ctx.WithinMemoBudget(ctx.table().populated_count())) {
       return false;
     }
-    ctx.TracePlanInserted(winner.set, winner.entry.cost,
-                          winner.entry.cardinality);
+    ctx.TracePlanInserted(winner.set, winner.cost, winner.cardinality);
     if (ctx.exhausted()) {
       return false;  // The trace sink threw.
     }
@@ -123,57 +242,66 @@ Result<OptimizationResult> DPsizePar::Optimize(OptimizerContext& ctx) const {
   const int threads = EffectiveThreads(ctx);
 
   ctx.InstallTable(internal::MakeAdaptivePlanTable(
-      graph, ctx.options().memo_entry_budget, threads));
+      graph, ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);
 
-  // Same layer lists as serial DPsize, except each list is rebuilt in
-  // ascending mask order at its layer's barrier (the serial creation
-  // order is partition-dependent; the set of members is not).
-  std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
-  plans_by_size[1].reserve(n);
-  for (int i = 0; i < n; ++i) {
-    plans_by_size[1].push_back(NodeSet::Singleton(i));
-  }
-
   ThreadPool pool(threads);
   DeadlineWatch watch(ctx.governor(), ctx.options().deadline_seconds);
   std::vector<WorkerCounters> counters(pool.thread_count());
-  using Reduction = std::unordered_map<NodeSet, PlanEntry, NodeSetHash>;
-  std::vector<Reduction> reductions(pool.thread_count());
+  std::vector<LayerReduction> reductions(pool.thread_count());
+  for (LayerReduction& reduction : reductions) {
+    reduction.Configure(n);
+  }
+  // The barrier's candidate buffer is reused across layers; its capacity
+  // ratchets up to the run's high-water mark instead of reallocating
+  // from scratch every layer.
+  std::vector<PlanTable::LayerCandidate> candidates;
 
   for (int k = 2; live && k <= n; ++k) {
+    // Layers below k are complete: workers stream their frozen slabs
+    // while the coordinator merges into slab k at the barrier.
+    table.FreezeLayer(k - 1);
     // One task per left operand of one (s1_size, s2_size) split; the
-    // worker sweeps the whole right list (or the i < j triangle for the
+    // worker sweeps the whole right slab (or the i < j triangle for the
     // equal-size split, matching serial DPsize's optimized enumeration).
     struct SizeTask {
       int s1_size;
-      uint32_t left_index;
+      uint32_t left_offset;
     };
     std::vector<SizeTask> tasks;
     for (int s1_size = 1; 2 * s1_size <= k; ++s1_size) {
-      const size_t left_count = plans_by_size[s1_size].size();
-      for (size_t i = 0; i < left_count; ++i) {
-        tasks.push_back({s1_size, static_cast<uint32_t>(i)});
+      const uint32_t left_count = table.LayerSize(s1_size);
+      for (uint32_t i = 0; i < left_count; ++i) {
+        tasks.push_back({s1_size, i});
       }
+    }
+    for (LayerReduction& reduction : reductions) {
+      reduction.BeginLayer();
     }
 
     pool.Run(tasks.size(), [&](uint64_t task_index, int worker) {
       const SizeTask task = tasks[task_index];
       const int s2_size = k - task.s1_size;
-      const std::vector<NodeSet>& left_list = plans_by_size[task.s1_size];
-      const std::vector<NodeSet>& right_list = plans_by_size[s2_size];
-      const NodeSet s1 = left_list[task.left_index];
-      const PlanEntry* left = table.Find(s1);
-      JOINOPT_DCHECK(left != nullptr);
+      const PlanRef left_ref = MakePlanRef(task.s1_size, task.left_offset);
+      const NodeSet s1 = table.set(left_ref);
+      const double left_cost = table.cost(left_ref);
+      const double left_card = table.cardinality(left_ref);
+      const uint32_t right_count = table.LayerSize(s2_size);
+      // Stream the frozen right slab's columns directly (no per-element
+      // slab dispatch) — this loop runs 1.2e9 times on clique-16.
+      const NodeSet* right_sets = table.LayerSets(s2_size);
+      const double* right_costs = table.LayerCosts(s2_size);
+      const double* right_cards = table.LayerCards(s2_size);
       WorkerCounters& wc = counters[worker];
-      Reduction& reduction = reductions[worker];
+      LayerReduction& reduction = reductions[worker];
+      const CostModel& model = ctx.cost_model();
       uint64_t since_poll = 0;
 
-      const size_t j_begin =
-          task.s1_size == s2_size ? task.left_index + 1 : 0;
-      for (size_t j = j_begin; j < right_list.size(); ++j) {
+      const uint32_t j_begin =
+          task.s1_size == s2_size ? task.left_offset + 1 : 0;
+      for (uint32_t j = j_begin; j < right_count; ++j) {
         ++wc.inner;
         if ((++since_poll & (kWorkerPollStride - 1)) == 0) {
           watch.Poll();
@@ -181,10 +309,11 @@ Result<OptimizationResult> DPsizePar::Optimize(OptimizerContext& ctx) const {
             return;  // Deadline observed: wind down mid-layer.
           }
         }
-        const NodeSet s2 = right_list[j];
+        const NodeSet s2 = right_sets[j];
         if (s1.Intersects(s2) || !graph.AreConnected(s1, s2)) {
           continue;
         }
+        const PlanRef right_ref = MakePlanRef(s2_size, j);
         wc.csg_cmp += 2;
         wc.create_calls += 2;
         if (JOINOPT_UNLIKELY(ctx.has_trace())) {
@@ -193,54 +322,62 @@ Result<OptimizationResult> DPsizePar::Optimize(OptimizerContext& ctx) const {
           ctx.TraceCsgCmpPair(s1, s2);
         }
         const NodeSet combined = s1 | s2;
-        // Canonical per-set estimate (split-invariant under saturation);
-        // recomputed per surviving pair since workers share no memo.
-        const double out_card = ctx.estimator().EstimateSet(combined);
-        const PlanEntry* right = table.Find(s2);
-        JOINOPT_DCHECK(right != nullptr);
-        const CostModel& model = ctx.cost_model();
-        PlanEntry candidate;
-        candidate.cardinality = out_card;
-        // Both operand orders, like serial CreateJoinTreeBothOrders.
-        for (int order = 0; order < 2; ++order) {
-          const PlanEntry* build = order == 0 ? left : right;
-          const PlanEntry* probe = order == 0 ? right : left;
-          candidate.left = order == 0 ? s1 : s2;
-          candidate.right = order == 0 ? s2 : s1;
-          candidate.cost = SaturateCost(
-              build->cost + probe->cost +
-              model.JoinCost(build->cardinality, probe->cardinality,
-                             out_card));
-          candidate.op = model.OperatorFor(build->cardinality,
-                                           probe->cardinality, out_card);
-          const auto [it, inserted] = reduction.try_emplace(combined);
-          if (inserted || CandidateBeats(candidate, it->second)) {
-            it->second = candidate;
-          }
+        bool created = false;
+        LayerReduction::Slot& slot =
+            reduction.Touch(combined.mask(), created);
+        if (created) {
+          // Canonical per-set estimate (split-invariant under
+          // saturation), memoized in the reduction slot: one scan per
+          // distinct set per layer, not one per surviving pair.
+          slot.cardinality = ctx.estimator().EstimateSet(combined);
+          slot.cost = std::numeric_limits<double>::infinity();
+        }
+        const double right_cost = right_costs[j];
+        const double right_card = right_cards[j];
+        // Both operand orders, like serial CreateJoinTreeBothOrders; the
+        // relax uses the same branch-free (cost, left, right) total
+        // order as MergeLayer, so worker-local reductions and the
+        // barrier pick the same winner no matter the partitioning.
+        const double cost_lr = SaturateCost(
+            left_cost + right_cost +
+            model.JoinCost(left_card, right_card, slot.cardinality));
+        if (PlanCandidateBeats(cost_lr, left_ref, right_ref, slot.cost,
+                               slot.left, slot.right)) {
+          slot.cost = cost_lr;
+          slot.left = left_ref;
+          slot.right = right_ref;
+          slot.op =
+              model.OperatorFor(left_card, right_card, slot.cardinality);
+        }
+        const double cost_rl = SaturateCost(
+            left_cost + right_cost +
+            model.JoinCost(right_card, left_card, slot.cardinality));
+        if (PlanCandidateBeats(cost_rl, right_ref, left_ref, slot.cost,
+                               slot.left, slot.right)) {
+          slot.cost = cost_rl;
+          slot.left = right_ref;
+          slot.right = left_ref;
+          slot.op =
+              model.OperatorFor(right_card, left_card, slot.cardinality);
         }
       }
     });
 
     // Barrier: drain the worker reductions into one candidate list and
     // reconcile deterministically.
-    std::vector<PlanTable::LayerCandidate> candidates;
-    for (Reduction& reduction : reductions) {
-      for (const auto& [set, entry] : reduction) {
-        candidates.push_back({set, entry});
-      }
-      reduction.clear();
+    size_t drained = 0;
+    for (const LayerReduction& reduction : reductions) {
+      drained += reduction.occupied_count();
     }
-    std::vector<NodeSet>& layer = plans_by_size[k];
+    candidates.clear();
+    candidates.reserve(drained);
+    for (const LayerReduction& reduction : reductions) {
+      reduction.Drain(candidates);
+    }
     live = table.MergeLayer(
         candidates, [&](const PlanTable::LayerCandidate& winner,
                         bool newly_populated) {
-          if (!MergeGate(ctx, winner, newly_populated)) {
-            return false;
-          }
-          if (newly_populated) {
-            layer.push_back(winner.set);
-          }
-          return true;
+          return MergeGate(ctx, winner, newly_populated);
         });
     if (watch.cancelled() && ctx.governor().CheckDeadlineNow()) {
       live = false;
@@ -270,7 +407,7 @@ Result<OptimizationResult> DPsubPar::Optimize(OptimizerContext& ctx) const {
   const int threads = EffectiveThreads(ctx);
 
   ctx.InstallTable(PlanTable(n, /*dense_limit=*/20,
-                             ctx.options().memo_entry_budget, threads));
+                             ctx.options().memo_entry_budget));
   OptimizerStats& stats = ctx.stats();
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);
@@ -290,6 +427,10 @@ Result<OptimizationResult> DPsubPar::Optimize(OptimizerContext& ctx) const {
   std::vector<PlanTable::LayerCandidate> candidates;
 
   for (int k = 2; live && k <= n; ++k) {
+    // Every strict subset of a size-k mask lives in a lower,
+    // already-merged layer, so the lower slabs are frozen for the
+    // duration of this layer's blocks.
+    table.FreezeLayer(k - 1);
     // All size-k masks in ascending order (Gosper's hack), processed in
     // blocks so the per-mask result buffer stays bounded.
     uint64_t mask = (uint64_t{1} << k) - 1;
@@ -308,13 +449,16 @@ Result<OptimizationResult> DPsubPar::Optimize(OptimizerContext& ctx) const {
           return;  // The additional check (*) of Figure 2.
         }
         WorkerCounters& wc = counters[worker];
+        const CostModel& model = ctx.cost_model();
         uint64_t since_poll = 0;
         // Replay serial DPsub's per-mask sweep exactly: ascending strict
         // subsets, table-presence connectivity (every strict subset is
         // final — it lives in a lower, already-merged layer), strict-<
         // improvement. The surviving candidate is bit-identical to the
         // entry serial DPsub would have stored.
-        PlanEntry best;
+        PlanTable::LayerCandidate best;
+        best.set = s;
+        best.cost = std::numeric_limits<double>::infinity();
         double out_card = 0.0;
         bool reached = false;
         for (ProperSubsetIterator it(s); !it.Done(); it.Next()) {
@@ -327,10 +471,10 @@ Result<OptimizationResult> DPsubPar::Optimize(OptimizerContext& ctx) const {
           }
           const NodeSet s1 = it.Current();
           const NodeSet s2 = s - s1;
-          const PlanEntry* left = table.Find(s1);
-          if (left == nullptr) continue;
-          const PlanEntry* right = table.Find(s2);
-          if (right == nullptr) continue;
+          const PlanRef left = table.Find(s1);
+          if (left == kInvalidPlanRef) continue;
+          const PlanRef right = table.Find(s2);
+          if (right == kInvalidPlanRef) continue;
           if (!graph.AreConnected(s1, s2)) {
             continue;
           }
@@ -344,23 +488,22 @@ Result<OptimizationResult> DPsubPar::Optimize(OptimizerContext& ctx) const {
             out_card = ctx.estimator().EstimateSet(s);
             reached = true;
           }
-          const CostModel& model = ctx.cost_model();
           const double cost = SaturateCost(
-              left->cost + right->cost +
-              model.JoinCost(left->cardinality, right->cardinality,
-                             out_card));
+              table.cost(left) + table.cost(right) +
+              model.JoinCost(table.cardinality(left),
+                             table.cardinality(right), out_card));
           if (cost < best.cost) {
-            best.left = s1;
-            best.right = s2;
+            best.left = left;
+            best.right = right;
             best.cost = cost;
             best.cardinality = out_card;
-            best.op = model.OperatorFor(left->cardinality,
-                                        right->cardinality, out_card);
+            best.op = model.OperatorFor(table.cardinality(left),
+                                        table.cardinality(right), out_card);
           }
         }
-        if (best.has_plan()) {
+        if (best.left != kInvalidPlanRef) {
           result.valid = true;
-          result.candidate = {s, best};
+          result.candidate = best;
         }
       });
 

@@ -10,11 +10,12 @@ namespace joinopt {
 /// Both exploit the same barrier structure: every plan of size k combines
 /// only plans of sizes < k, so the size-k layer is embarrassingly
 /// parallel once the lower layers are final. Each layer fans out across a
-/// reusable fork-join pool (util/thread_pool.h); workers accumulate
-/// per-thread best PlanEntry candidates against the read-only lower
-/// layers, and the coordinator reconciles them at the layer barrier
-/// through PlanTable::MergeLayer with a total-order tie-break (lowest
-/// cost, then lexicographic (left, right) masks).
+/// reusable fork-join pool (util/thread_pool.h); workers stream the
+/// frozen lower-layer slabs by PlanRef and accumulate best candidates in
+/// epoch-stamped per-thread reductions, and the coordinator reconciles
+/// them at the layer barrier through PlanTable::MergeLayer with a
+/// total-order tie-break (lowest cost, then lexicographic (left, right)
+/// child refs).
 ///
 /// Determinism: the merged table — and the OutcomeSignature — is
 /// bit-for-bit identical for every thread count, because each set's

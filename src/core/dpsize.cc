@@ -1,7 +1,5 @@
 #include "core/dpsize.h"
 
-#include <vector>
-
 namespace joinopt {
 
 Result<OptimizationResult> DPsize::Optimize(OptimizerContext& ctx) const {
@@ -16,69 +14,83 @@ Result<OptimizationResult> DPsize::Optimize(OptimizerContext& ctx) const {
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);
 
-  // plans_by_size[s] lists the sets (all connected) that have a plan of
-  // size s, in creation order — the "linked list of plans of equal size"
-  // of Section 2.1.
-  std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
-  plans_by_size[1].reserve(n);
-  for (int i = 0; i < n; ++i) {
-    plans_by_size[1].push_back(NodeSet::Singleton(i));
-  }
+  // The table's size layers ARE the "linked list of plans of equal size"
+  // of Section 2.1: slab k holds the size-k sets in creation order, so
+  // the enumeration iterates slab refs directly instead of keeping its
+  // own NodeSet lists (and the operand lookups inside CreateJoinTree
+  // disappear — the refs are the operands).
+  //
+  // The deadline tick runs on a stride instead of per pair: the governor
+  // poll is cheap but not free, and on clique-16 the inner loop runs
+  // 1.2e9 times. Layer boundaries add one unconditional tick each — a
+  // boundary is where the memo is coherent, so a deadline fault that
+  // fires "at the last tick" still observes a complete memo (the anytime
+  // suite pins that contract).
+  constexpr uint64_t kTickStride = 256;
+  uint64_t since_tick = 0;
 
-  // Pairs (s1, s2): prices s1 ⋈ s2 in both orders, registering the result
-  // set in its size list on first creation. Returns false when a resource
-  // limit tripped and the enumeration must stop.
-  const auto consider = [&](NodeSet s1, NodeSet s2) -> bool {
-    ++stats.inner_counter;
-    if (s1.Intersects(s2)) {
-      return !ctx.Tick();
-    }
-    if (!graph.AreConnected(s1, s2)) {
-      return !ctx.Tick();
-    }
+  // A pair that passed the disjointness + connectivity filter: price
+  // both operand orders. Returns false when a resource limit tripped.
+  const auto survive = [&](NodeSet a, NodeSet b, PlanRef r1,
+                           PlanRef r2) -> bool {
     stats.csg_cmp_pair_counter += 2;
-    ctx.TraceCsgCmpPair(s1, s2);
-    const NodeSet combined = s1 | s2;
-    const bool existed = table.Find(combined) != nullptr;
-    if (!internal::CreateJoinTreeBothOrders(ctx, s1, s2)) {
-      return false;
-    }
-    if (!existed) {
-      plans_by_size[combined.count()].push_back(combined);
-    }
-    return !ctx.Tick();
+    ctx.TraceCsgCmpPair(a, b);
+    return internal::CreateJoinTreeBothOrders(ctx, r1, r2);
   };
 
   for (int s = 2; live && s <= n; ++s) {
+    table.FreezeLayer(s - 1);  // Layers below s are complete from here on.
     for (int s1 = 1; live && 2 * s1 <= s; ++s1) {
       const int s2 = s - s1;
-      const std::vector<NodeSet>& left_list = plans_by_size[s1];
-      const std::vector<NodeSet>& right_list = plans_by_size[s2];
+      const uint32_t left_count = table.LayerSize(s1);
+      const uint32_t right_count = table.LayerSize(s2);
+      // Hot loop: stream the frozen slabs' set columns directly — one
+      // contiguous NodeSet array per side, no per-element slab dispatch.
+      const NodeSet* left_sets = table.LayerSets(s1);
+      const NodeSet* right_sets = table.LayerSets(s2);
       if (s1 == s2 && use_equal_size_optimization_) {
         // Each unordered pair of distinct equal-size plans once: pair
-        // every plan with its successors in the list.
-        for (size_t i = 0; live && i < left_list.size(); ++i) {
-          for (size_t j = i + 1; j < left_list.size(); ++j) {
-            if (!consider(left_list[i], left_list[j])) {
+        // every plan with its successors in the slab.
+        for (uint32_t i = 0; live && i < left_count; ++i) {
+          const NodeSet a = left_sets[i];
+          for (uint32_t j = i + 1; j < left_count; ++j) {
+            ++stats.inner_counter;
+            const NodeSet b = right_sets[j];
+            if (!a.Intersects(b) && graph.AreConnected(a, b) &&
+                !survive(a, b, MakePlanRef(s1, i), MakePlanRef(s1, j))) {
+              live = false;
+              break;
+            }
+            if ((++since_tick & (kTickStride - 1)) == 0 && ctx.Tick()) {
               live = false;
               break;
             }
           }
         }
       } else {
-        for (size_t i = 0; live && i < left_list.size(); ++i) {
-          const NodeSet s1_set = left_list[i];
-          for (const NodeSet s2_set : right_list) {
-            if (s1 == s2 && s1_set == s2_set) {
+        for (uint32_t i = 0; live && i < left_count; ++i) {
+          const NodeSet a = left_sets[i];
+          for (uint32_t j = 0; j < right_count; ++j) {
+            if (s1 == s2 && i == j) {
               continue;  // Unoptimized equal-size case: skip self-pairs.
             }
-            if (!consider(s1_set, s2_set)) {
+            ++stats.inner_counter;
+            const NodeSet b = right_sets[j];
+            if (!a.Intersects(b) && graph.AreConnected(a, b) &&
+                !survive(a, b, MakePlanRef(s1, i), MakePlanRef(s2, j))) {
+              live = false;
+              break;
+            }
+            if ((++since_tick & (kTickStride - 1)) == 0 && ctx.Tick()) {
               live = false;
               break;
             }
           }
         }
       }
+    }
+    if (live && ctx.Tick()) {
+      live = false;  // Layer-boundary tick (coherent-memo arrival).
     }
   }
 

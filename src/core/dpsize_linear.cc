@@ -16,30 +16,24 @@ Result<OptimizationResult> DPsizeLinear::Optimize(OptimizerContext& ctx) const {
   PlanTable& table = ctx.table();
   bool live = internal::SeedLeafPlans(ctx);
 
-  std::vector<std::vector<NodeSet>> plans_by_size(n + 1);
-  for (int i = 0; i < n; ++i) {
-    plans_by_size[1].push_back(NodeSet::Singleton(i));
-  }
-
+  // The table's size layers replace the per-size lists: slab s-1 holds
+  // the bases for layer s in creation order (see dpsize.cc).
   for (int s = 2; live && s <= n; ++s) {
-    for (size_t b = 0; live && b < plans_by_size[s - 1].size(); ++b) {
-      const NodeSet base = plans_by_size[s - 1][b];
+    table.FreezeLayer(s - 1);
+    const uint32_t base_count = table.LayerSize(s - 1);
+    for (uint32_t b = 0; live && b < base_count; ++b) {
+      const NodeSet base = table.set(MakePlanRef(s - 1, b));
       // Extend only by adjacent relations: left-deep, cross-product-free.
       for (const int next : graph.Neighborhood(base)) {
         ++stats.inner_counter;
         stats.csg_cmp_pair_counter += 2;
         const NodeSet leaf = NodeSet::Singleton(next);
         ctx.TraceCsgCmpPair(base, leaf);
-        const NodeSet combined = base | leaf;
-        const bool existed = table.Find(combined) != nullptr;
         // Left-deep: the existing plan stays on the left, the new base
         // relation joins on the right.
         if (!internal::CreateJoinTree(ctx, base, leaf)) {
           live = false;
           break;
-        }
-        if (!existed) {
-          plans_by_size[s].push_back(combined);
         }
       }
       if (ctx.Tick()) {

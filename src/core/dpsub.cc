@@ -58,8 +58,8 @@ Result<OptimizationResult> DPsub::Optimize(OptimizerContext& ctx) const {
       // subset of `s` was finalized in an earlier outer iteration) or via
       // explicit BFS for the ablation variant.
       if (use_table_connectivity_test_) {
-        if (table.Find(s1) == nullptr) continue;
-        if (table.Find(s2) == nullptr) continue;
+        if (table.Find(s1) == kInvalidPlanRef) continue;
+        if (table.Find(s2) == kInvalidPlanRef) continue;
       } else {
         if (!IsConnectedSet(graph, s1)) continue;
         if (!IsConnectedSet(graph, s2)) continue;

@@ -127,10 +127,10 @@ Result<OptimizationResult> IDP1::Optimize(OptimizerContext& ctx) const {
     NodeSet best_set;
     double best_cost = std::numeric_limits<double>::infinity();
     for (const NodeSet candidate : plans_by_size[block]) {
-      const PlanEntry* entry = table.Find(candidate);
-      JOINOPT_DCHECK(entry != nullptr);
-      if (entry->cost < best_cost) {
-        best_cost = entry->cost;
+      const PlanRef entry = table.Find(candidate);
+      JOINOPT_DCHECK(entry != kInvalidPlanRef);
+      if (table.cost(entry) < best_cost) {
+        best_cost = table.cost(entry);
         best_set = candidate;
       }
     }
@@ -140,10 +140,10 @@ Result<OptimizationResult> IDP1::Optimize(OptimizerContext& ctx) const {
       // size), so treat it as an internal error.
       return Status::Internal("IDP1 round produced no size-k plan");
     }
-    const PlanEntry* best_entry = table.Find(best_set);
+    const PlanRef best_entry = table.Find(best_set);
     std::vector<Component> next;
     next.reserve(components.size());
-    next.push_back({best_set, best_entry->cardinality});
+    next.push_back({best_set, table.cardinality(best_entry)});
     for (const Component& component : components) {
       if (!component.relations.IsSubsetOf(best_set)) {
         next.push_back(component);

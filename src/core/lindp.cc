@@ -109,7 +109,8 @@ Result<OptimizationResult> LinDP::Optimize(OptimizerContext& ctx) const {
         const NodeSet right = interval_set(split + 1, j);
         // Both halves must already have plans (connected intervals) and
         // be joined by an edge.
-        if (table.Find(left) == nullptr || table.Find(right) == nullptr) {
+        if (table.Find(left) == kInvalidPlanRef ||
+            table.Find(right) == kInvalidPlanRef) {
           continue;
         }
         if (!graph.AreConnected(left, right)) {

@@ -19,24 +19,22 @@ Result<OptimizationResult> JoinOrderer::Optimize(
 namespace internal {
 
 PlanTable MakeAdaptivePlanTable(const QueryGraph& graph,
-                                uint64_t memo_entry_budget,
-                                int sparse_shards) {
+                                uint64_t memo_entry_budget) {
   const int n = graph.relation_count();
   constexpr int kDenseLimit = 20;
   if (n > kDenseLimit) {
     // Forced sparse.
-    return PlanTable(n, kDenseLimit, memo_entry_budget, sparse_shards);
+    return PlanTable(n, kDenseLimit, memo_entry_budget);
   }
   if (n <= 14) {
     // Dense is always cheap here (budget permitting).
-    return PlanTable(n, kDenseLimit, memo_entry_budget, sparse_shards);
+    return PlanTable(n, kDenseLimit, memo_entry_budget);
   }
   // Dense pays off above ~1/16 fill; the counting pre-pass costs
   // O(min(#csg, cap)), a fraction of the enumeration that follows.
   const uint64_t cap = (uint64_t{1} << n) / 16;
   const uint64_t csg_count = CountConnectedSubsetsUpTo(graph, cap);
-  return PlanTable(n, csg_count >= cap ? kDenseLimit : 0, memo_entry_budget,
-                   sparse_shards);
+  return PlanTable(n, csg_count >= cap ? kDenseLimit : 0, memo_entry_budget);
 }
 
 Status ValidateOptimizerInput(const QueryGraph& graph,
@@ -73,76 +71,122 @@ bool SeedLeafPlans(OptimizerContext& ctx) {
   PlanTable& table = ctx.table();
   for (int i = 0; i < graph.relation_count(); ++i) {
     const NodeSet leaf = NodeSet::Singleton(i);
-    PlanEntry& entry = table.GetOrCreate(leaf);
-    entry.left = NodeSet();
-    entry.right = NodeSet();
-    entry.cost = 0.0;
-    entry.cardinality = graph.cardinality(i);
-    table.NotePopulated();
-    ctx.TracePlanInserted(leaf, 0.0, entry.cardinality);
+    table.RegisterLeaf(leaf, graph.cardinality(i));
+    ctx.TracePlanInserted(leaf, 0.0, graph.cardinality(i));
   }
   ctx.stats().plans_stored = table.populated_count();
   return ctx.WithinMemoBudget(table.populated_count());
 }
+
+namespace {
+
+/// Interns the combined set, computing its canonical cardinality on the
+/// first reach and running the memo-budget check for the fresh entry.
+/// Under the independence model |⋈ S| is plan-independent, so the
+/// selectivity scan runs only the FIRST time a set is reached; later
+/// combinations reuse the stored estimate. On dense graphs (clique-20:
+/// 1.7e9 pairs, 1e6 sets) this is the difference between minutes and
+/// seconds. The estimate is the CANONICAL per-set product (EstimateSet,
+/// fixed evaluation order) rather than the incremental
+/// card(s1)·card(s2)·sel(s1,s2): algebraically identical, but under
+/// ceiling-clamped saturation the incremental form depends on which
+/// split reached the set first, which would let different enumeration
+/// orders — and the plan validator — disagree on the same set.
+PlanRef InternCombined(OptimizerContext& ctx, NodeSet combined,
+                       bool& keep_going) {
+  PlanTable& table = ctx.table();
+  bool created = false;
+  const PlanRef ref = table.Intern(combined, created, [&ctx, combined] {
+    return ctx.estimator().EstimateSet(combined);
+  });
+  if (created) {
+    ctx.stats().plans_stored = table.populated_count();
+    keep_going = ctx.WithinMemoBudget(table.populated_count());
+  }
+  return ref;
+}
+
+/// Prices one operand order against the entry at `ref` and relaxes it.
+/// Saturated: with ceiling-clamped costs `cost < table.cost(ref)` stays
+/// a meaningful comparison even when adversarial statistics overflow —
+/// inf would freeze entries at "unimprovable" and NaN would corrupt the
+/// min (see cost/saturation.h). The relax stays a strict cost-only
+/// compare on purpose: the serial DPs' first-minimal tie-break is part
+/// of the pinned plan-shape contract (see the representation
+/// equivalence suite); the (cost, left, right) tie-break exists only
+/// where determinism across work partitionings requires it (MergeLayer
+/// and the parallel workers' reductions).
+void RelaxOneOrder(OptimizerContext& ctx, PlanRef ref, NodeSet combined,
+                   double build_cost, double build_card, double probe_cost,
+                   double probe_card, double out_card, PlanRef build_ref,
+                   PlanRef probe_ref) {
+  PlanTable& table = ctx.table();
+  const double cost = SaturateCost(
+      build_cost + probe_cost +
+      ctx.cost_model().JoinCost(build_card, probe_card, out_card));
+  if (cost < table.cost(ref)) {
+    table.SetPlan(ref, cost, build_ref, probe_ref,
+                  ctx.cost_model().OperatorFor(build_card, probe_card,
+                                               out_card));
+    ctx.TracePlanInserted(combined, cost, out_card);
+  } else {
+    ctx.TracePruned(combined, cost, table.cost(ref));
+  }
+}
+
+}  // namespace
 
 bool CreateJoinTree(OptimizerContext& ctx, NodeSet s1, NodeSet s2) {
   OptimizerStats& stats = ctx.stats();
   PlanTable& table = ctx.table();
   ++stats.create_join_tree_calls;
 
-  const PlanTable::ConstRef left = table.FindRef(s1);
-  const PlanTable::ConstRef right = table.FindRef(s2);
-  JOINOPT_DCHECK(left && right);
-  // Copy the operand fields before GetOrCreate: the sparse backend
-  // invalidates outstanding entry references on mutation. ConstRef turns
-  // a violation of that rule into a debug-build abort instead of silent
-  // garbage.
-  const double left_cost = left->cost;
-  const double left_card = left->cardinality;
-  const double right_cost = right->cost;
-  const double right_card = right->cardinality;
+  const PlanRef left = table.Find(s1);
+  const PlanRef right = table.Find(s2);
+  JOINOPT_DCHECK(left != kInvalidPlanRef && right != kInvalidPlanRef);
+  const double left_cost = table.cost(left);
+  const double left_card = table.cardinality(left);
+  const double right_cost = table.cost(right);
+  const double right_card = table.cardinality(right);
 
   const NodeSet combined = s1 | s2;
-  PlanEntry& entry = table.GetOrCreate(combined);
-  // Under the independence model |⋈ S| is plan-independent, so the
-  // selectivity scan runs only the FIRST time a set is reached; later
-  // combinations reuse the stored estimate. On dense graphs (clique-20:
-  // 1.7e9 pairs, 1e6 sets) this is the difference between minutes and
-  // seconds. The estimate is the CANONICAL per-set product (EstimateSet,
-  // fixed evaluation order) rather than the incremental
-  // card(s1)·card(s2)·sel(s1,s2): algebraically identical, but under
-  // ceiling-clamped saturation the incremental form depends on which
-  // split reached the set first, which would let different enumeration
-  // orders — and the plan validator — disagree on the same set.
-  double out_card;
   bool keep_going = true;
-  if (entry.has_plan()) {
-    out_card = entry.cardinality;
-  } else {
-    out_card = ctx.estimator().EstimateSet(combined);
-    entry.cardinality = out_card;
-    table.NotePopulated();
-    stats.plans_stored = table.populated_count();
-    keep_going = ctx.WithinMemoBudget(table.populated_count());
-  }
-
-  // Saturated: with ceiling-clamped costs `cost < entry.cost` stays a
-  // meaningful comparison even when adversarial statistics overflow —
-  // inf would freeze entries at "unimprovable" and NaN would corrupt the
-  // min (see cost/saturation.h).
-  const double cost = SaturateCost(
-      left_cost + right_cost +
-      ctx.cost_model().JoinCost(left_card, right_card, out_card));
-  if (cost < entry.cost) {
-    entry.left = s1;
-    entry.right = s2;
-    entry.cost = cost;
-    entry.op = ctx.cost_model().OperatorFor(left_card, right_card, out_card);
-    ctx.TracePlanInserted(combined, cost, out_card);
-  } else {
-    ctx.TracePruned(combined, cost, entry.cost);
-  }
+  const PlanRef ref = InternCombined(ctx, combined, keep_going);
+  RelaxOneOrder(ctx, ref, combined, left_cost, left_card, right_cost,
+                right_card, table.cardinality(ref), left, right);
   return keep_going;
+}
+
+bool CreateJoinTreeBothOrders(OptimizerContext& ctx, PlanRef left_ref,
+                              PlanRef right_ref) {
+  OptimizerStats& stats = ctx.stats();
+  PlanTable& table = ctx.table();
+  stats.create_join_tree_calls += 2;
+
+  const NodeSet s1 = table.set(left_ref);
+  const NodeSet s2 = table.set(right_ref);
+  const double left_cost = table.cost(left_ref);
+  const double left_card = table.cardinality(left_ref);
+  const double right_cost = table.cost(right_ref);
+  const double right_card = table.cardinality(right_ref);
+
+  const NodeSet combined = s1 | s2;
+  bool keep_going = true;
+  const PlanRef ref = InternCombined(ctx, combined, keep_going);
+  const double out_card = table.cardinality(ref);
+  RelaxOneOrder(ctx, ref, combined, left_cost, left_card, right_cost,
+                right_card, out_card, left_ref, right_ref);
+  RelaxOneOrder(ctx, ref, combined, right_cost, right_card, left_cost,
+                left_card, out_card, right_ref, left_ref);
+  return keep_going;
+}
+
+bool CreateJoinTreeBothOrders(OptimizerContext& ctx, NodeSet s1, NodeSet s2) {
+  PlanTable& table = ctx.table();
+  const PlanRef left = table.Find(s1);
+  const PlanRef right = table.Find(s2);
+  JOINOPT_DCHECK(left != kInvalidPlanRef && right != kInvalidPlanRef);
+  return CreateJoinTreeBothOrders(ctx, left, right);
 }
 
 Result<OptimizationResult> ExtractResult(OptimizerContext& ctx) {

@@ -90,11 +90,10 @@ Status BeginOptimize(OptimizerContext& ctx, std::string_view algorithm,
 /// `memo_entry_budget` (pass ctx.options().memo_entry_budget) keeps the
 /// dense 2^n preallocation honest: when it does not fit the budget the
 /// table falls back to sparse, so the budget contract is
-/// backend-independent. `sparse_shards` stripes a sparse backend for the
-/// parallel orderers.
+/// backend-independent. Sparse shard counts are chosen per layer by the
+/// table itself (see PlanTable).
 PlanTable MakeAdaptivePlanTable(const QueryGraph& graph,
-                                uint64_t memo_entry_budget = 0,
-                                int sparse_shards = 1);
+                                uint64_t memo_entry_budget = 0);
 
 /// Seeds ctx.table() with the single-relation plans of ctx.work_graph()
 /// (cost 0, base cardinality) and counts them in ctx.stats(). Returns
@@ -111,12 +110,16 @@ bool SeedLeafPlans(OptimizerContext& ctx);
 bool CreateJoinTree(OptimizerContext& ctx, NodeSet s1, NodeSet s2);
 
 /// CreateJoinTree for both operand orders (join commutativity), as DPccp
-/// and the optimized DPsize require.
-inline bool CreateJoinTreeBothOrders(OptimizerContext& ctx, NodeSet s1,
-                                     NodeSet s2) {
-  const bool ok = CreateJoinTree(ctx, s1, s2);
-  return CreateJoinTree(ctx, s2, s1) && ok;
-}
+/// and the optimized DPsize require — fused: the operand lookups, the
+/// intern of the combined set, and the budget check run once instead of
+/// once per order. Counter and trace behavior is exactly two
+/// CreateJoinTree calls (s1,s2 then s2,s1).
+bool CreateJoinTreeBothOrders(OptimizerContext& ctx, NodeSet s1, NodeSet s2);
+
+/// The ref-based fast path for callers that already hold the operand
+/// refs (the layered DPs iterate slabs directly): skips both Finds.
+bool CreateJoinTreeBothOrders(OptimizerContext& ctx, PlanRef left_ref,
+                              PlanRef right_ref);
 
 /// Packages the table's plan for all relations of ctx.work_graph() into
 /// an OptimizationResult, stamping elapsed time and applying the

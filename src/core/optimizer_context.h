@@ -101,8 +101,8 @@ class TraceSink {
 struct OptimizeOptions {
   /// Maximum number of populated memo entries (including the leaf seeds)
   /// before the run aborts with kBudgetExceeded. 0 = unlimited. This is
-  /// the memory lever: a PlanEntry is ~56 bytes, so a budget of 2^20
-  /// caps the table near 60 MB regardless of query shape.
+  /// the memory lever: a memo entry is ~41 bytes of slab columns, so a
+  /// budget of 2^20 caps the table near 43 MB regardless of query shape.
   uint64_t memo_entry_budget = 0;
   /// Wall-clock deadline for the run, in seconds. 0 = unlimited. Checked
   /// on an amortized schedule (one clock read per ~8k enumeration steps),

@@ -20,8 +20,8 @@ class TopDownSolver {
   /// unwind.
   bool Solve(NodeSet s) {
     JOINOPT_DCHECK(IsConnectedSet(graph_, s));
-    const PlanEntry* existing = ctx_.table().Find(s);
-    if (existing != nullptr && solved_.Contains(s)) {
+    const PlanRef existing = ctx_.table().Find(s);
+    if (existing != kInvalidPlanRef && solved_.Contains(s)) {
       return true;
     }
     if (s.count() == 1) {

@@ -99,14 +99,11 @@ class DPhypRunner {
 
   bool SeedLeaves() {
     for (int i = 0; i < graph_.relation_count(); ++i) {
-      PlanEntry& entry = table_.GetOrCreate(NodeSet::Singleton(i));
-      entry.cost = 0.0;
-      entry.cardinality = graph_.cardinality(i);
-      table_.NotePopulated();
+      table_.RegisterLeaf(NodeSet::Singleton(i), graph_.cardinality(i));
       if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
-        governor_.GuardedTrace([&] {
+        governor_.GuardedTrace([&, i] {
           trace_->OnPlanInserted(NodeSet::Singleton(i), 0.0,
-                                 entry.cardinality);
+                                 graph_.cardinality(i));
         });
       }
     }
@@ -140,7 +137,7 @@ class DPhypRunner {
     }
     for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
       const NodeSet enlarged = s1 | it.Current();
-      if (table_.Find(enlarged) != nullptr) {
+      if (table_.Find(enlarged) != kInvalidPlanRef) {
         if (!EmitCsg(enlarged)) {
           return false;
         }
@@ -187,7 +184,7 @@ class DPhypRunner {
     }
     for (SubsetIterator it(neighborhood); !it.Done(); it.Next()) {
       const NodeSet enlarged = s2 | it.Current();
-      if (table_.Find(enlarged) != nullptr &&
+      if (table_.Find(enlarged) != kInvalidPlanRef &&
           graph_.AreConnected(s1, enlarged)) {
         if (!EmitCsgCmp(s1, enlarged)) {
           return false;
@@ -211,34 +208,32 @@ class DPhypRunner {
       governor_.GuardedTrace([&] { trace_->OnCsgCmpPair(s1, s2); });
     }
 
-    const PlanEntry* left = table_.Find(s1);
-    const PlanEntry* right = table_.Find(s2);
-    JOINOPT_DCHECK(left != nullptr && right != nullptr);
-    const double left_cost = left->cost;
-    const double left_card = left->cardinality;
-    const double right_cost = right->cost;
-    const double right_card = right->cardinality;
+    const PlanRef left = table_.Find(s1);
+    const PlanRef right = table_.Find(s2);
+    JOINOPT_DCHECK(left != kInvalidPlanRef && right != kInvalidPlanRef);
+    const double left_cost = table_.cost(left);
+    const double left_card = table_.cardinality(left);
+    const double right_cost = table_.cost(right);
+    const double right_card = table_.cardinality(right);
 
     bool keep_going = true;
-    PlanEntry& entry = table_.GetOrCreate(s1 | s2);
+    const NodeSet combined = s1 | s2;
     // |⋈ S| is plan-independent: estimate only on first reach of the
-    // set, and use the CANONICAL per-set product (same evaluation order
-    // as CardinalityEstimator::EstimateSet over the lifted query graph)
-    // so saturated estimates agree bit-for-bit with the graph-based DPs
+    // set (Intern runs the lambda on creation only), and use the
+    // CANONICAL per-set product (same evaluation order as
+    // CardinalityEstimator::EstimateSet over the lifted query graph) so
+    // saturated estimates agree bit-for-bit with the graph-based DPs
     // and the plan validator (see core/optimizer.cc for the rationale).
-    double out_card;
-    if (entry.has_plan()) {
-      out_card = entry.cardinality;
-    } else {
-      const NodeSet combined = s1 | s2;
+    bool created = false;
+    const PlanRef ref = table_.Intern(combined, created, [&] {
       double product = 1.0;
       for (const int v : combined) {
         product *= graph_.cardinality(v);
       }
-      out_card =
-          SaturateCardinality(product * graph_.SelectivityWithin(combined));
-      entry.cardinality = out_card;
-      table_.NotePopulated();
+      return SaturateCardinality(product * graph_.SelectivityWithin(combined));
+    });
+    const double out_card = table_.cardinality(ref);
+    if (created) {
       stats_.plans_stored = table_.populated_count();
       keep_going = governor_.WithinMemoBudget(table_.populated_count());
     }
@@ -252,31 +247,27 @@ class DPhypRunner {
         cost_model_.JoinCost(right_card, left_card, out_card));
     stats_.create_join_tree_calls += 2;
 
-    if (cost_lr < entry.cost) {
-      entry.left = s1;
-      entry.right = s2;
-      entry.cost = cost_lr;
-      entry.op = cost_model_.OperatorFor(left_card, right_card, out_card);
+    if (cost_lr < table_.cost(ref)) {
+      table_.SetPlan(ref, cost_lr, left, right,
+                     cost_model_.OperatorFor(left_card, right_card, out_card));
       if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
         governor_.GuardedTrace(
-            [&] { trace_->OnPlanInserted(s1 | s2, cost_lr, out_card); });
+            [&] { trace_->OnPlanInserted(combined, cost_lr, out_card); });
       }
     } else if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
       governor_.GuardedTrace(
-          [&] { trace_->OnPruned(s1 | s2, cost_lr, entry.cost); });
+          [&] { trace_->OnPruned(combined, cost_lr, table_.cost(ref)); });
     }
-    if (cost_rl < entry.cost) {
-      entry.left = s2;
-      entry.right = s1;
-      entry.cost = cost_rl;
-      entry.op = cost_model_.OperatorFor(right_card, left_card, out_card);
+    if (cost_rl < table_.cost(ref)) {
+      table_.SetPlan(ref, cost_rl, right, left,
+                     cost_model_.OperatorFor(right_card, left_card, out_card));
       if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
         governor_.GuardedTrace(
-            [&] { trace_->OnPlanInserted(s1 | s2, cost_rl, out_card); });
+            [&] { trace_->OnPlanInserted(combined, cost_rl, out_card); });
       }
     } else if (JOINOPT_UNLIKELY(trace_ != nullptr)) {
       governor_.GuardedTrace(
-          [&] { trace_->OnPruned(s1 | s2, cost_rl, entry.cost); });
+          [&] { trace_->OnPruned(combined, cost_rl, table_.cost(ref)); });
     }
     return keep_going && !governor_.Tick();
   }

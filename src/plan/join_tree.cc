@@ -9,25 +9,26 @@ Result<JoinTree> JoinTree::FromPlanTable(const PlanTable& table,
   if (root_set.empty()) {
     return Status::InvalidArgument("cannot build a plan for the empty set");
   }
+  const PlanRef root_ref = table.Find(root_set);
+  if (root_ref == kInvalidPlanRef) {
+    return Status::Internal("plan table holds no entry for " +
+                            root_set.ToString());
+  }
   JoinTree tree;
-  Result<int> root = tree.Build(table, root_set);
+  Result<int> root = tree.Build(table, root_ref);
   JOINOPT_RETURN_IF_ERROR(root.status());
   JOINOPT_DCHECK(*root == tree.root_index());
   return tree;
 }
 
-Result<int> JoinTree::Build(const PlanTable& table, NodeSet set) {
-  const PlanEntry* entry = table.Find(set);
-  if (entry == nullptr) {
-    return Status::Internal("plan table holds no entry for " + set.ToString());
-  }
-
+Result<int> JoinTree::Build(const PlanTable& table, PlanRef ref) {
+  const NodeSet set = table.set(ref);
   JoinTreeNode node;
   node.relations = set;
-  node.cardinality = entry->cardinality;
-  node.cost = entry->cost;
+  node.cardinality = table.cardinality(ref);
+  node.cost = table.cost(ref);
 
-  if (entry->IsLeaf()) {
+  if (table.IsLeaf(ref)) {
     if (set.count() != 1) {
       return Status::Internal("leaf entry for non-singleton set " +
                               set.ToString());
@@ -37,19 +38,25 @@ Result<int> JoinTree::Build(const PlanTable& table, NodeSet set) {
     return static_cast<int>(nodes_.size()) - 1;
   }
 
-  if ((entry->left | entry->right) != set ||
-      entry->left.Intersects(entry->right) || entry->left.empty() ||
-      entry->right.empty()) {
+  // Child refs cannot dangle (slabs only grow), but the sets they lead
+  // to must still partition the parent — salvage write-backs and the
+  // orderers are checked here.
+  const PlanRef left_ref = table.left(ref);
+  const PlanRef right_ref = table.right(ref);
+  const NodeSet left_set = table.set(left_ref);
+  const NodeSet right_set = table.set(right_ref);
+  if ((left_set | right_set) != set || left_set.Intersects(right_set) ||
+      left_set.empty() || right_set.empty()) {
     return Status::Internal("inconsistent decomposition for " +
                             set.ToString());
   }
-  Result<int> left = Build(table, entry->left);
+  Result<int> left = Build(table, left_ref);
   JOINOPT_RETURN_IF_ERROR(left.status());
-  Result<int> right = Build(table, entry->right);
+  Result<int> right = Build(table, right_ref);
   JOINOPT_RETURN_IF_ERROR(right.status());
   node.left = *left;
   node.right = *right;
-  node.op = entry->op;
+  node.op = table.op(ref);
   nodes_.push_back(node);
   return static_cast<int>(nodes_.size()) - 1;
 }

@@ -42,7 +42,9 @@ class JoinTree {
  public:
   /// Reconstructs the best plan for `root_set` from `table`. Fails when
   /// the table holds no plan for `root_set` or the breadcrumbs are
-  /// inconsistent (a child set without an entry — an optimizer bug).
+  /// inconsistent (child sets that do not partition their parent — an
+  /// optimizer bug). The walk follows child PlanRefs directly: no set is
+  /// re-hashed during reconstruction.
   static Result<JoinTree> FromPlanTable(const PlanTable& table,
                                         NodeSet root_set);
 
@@ -96,8 +98,8 @@ class JoinTree {
   JoinTree() = default;
 
   /// Recursive reconstruction helper; returns the index of the subtree
-  /// root for `set`, or an error.
-  Result<int> Build(const PlanTable& table, NodeSet set);
+  /// root for the entry at `ref`, or an error.
+  Result<int> Build(const PlanTable& table, PlanRef ref);
 
   std::vector<JoinTreeNode> nodes_;
 };

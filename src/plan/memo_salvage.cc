@@ -13,11 +13,13 @@ namespace joinopt {
 namespace {
 
 /// One fragment of the interrupted memo, or one component of the greedy
-/// composition: a set with the cost/cardinality of its best table plan.
+/// composition: a set with the cost/cardinality of its best table plan
+/// and the ref of that plan (composition write-backs record child REFS).
 struct Fragment {
   NodeSet set;
   double cost = 0.0;
   double cardinality = 0.0;
+  PlanRef ref = kInvalidPlanRef;
 };
 
 /// Cover preference: largest fragment first (it embodies the most DP
@@ -66,14 +68,19 @@ Result<MemoSalvage::Outcome> MemoSalvage::Run(
   report.trigger_message = trigger.message();
   report.memo_entries = table.populated_count();
 
+  // The composition below writes into layers the enumeration had already
+  // completed; lift the layer freeze first (every worker is long gone by
+  // the time salvage runs).
+  table.Thaw();
+
   // Every populated entry is a complete, costed plan for its set (the DPs
   // store decompositions bottom-up), so the memo is a pool of candidate
   // fragments.
   std::vector<Fragment> candidates;
   candidates.reserve(static_cast<size_t>(table.populated_count()));
-  table.ForEach([&](NodeSet set, const PlanEntry& entry) {
-    if (entry.has_plan() && set.IsSubsetOf(all_relations)) {
-      candidates.push_back({set, entry.cost, entry.cardinality});
+  table.ForEach([&](NodeSet set, PlanRef ref) {
+    if (set.IsSubsetOf(all_relations)) {
+      candidates.push_back({set, table.cost(ref), table.cardinality(ref), ref});
     }
   });
   std::sort(candidates.begin(), candidates.end(), CoverOrder);
@@ -142,15 +149,10 @@ Result<MemoSalvage::Outcome> MemoSalvage::Run(
     const Fragment left = components[best_i];
     const Fragment right = components[best_j];
     const NodeSet combined = left.set | right.set;
-    PlanEntry& entry = table.GetOrCreate(combined);
-    double out_card;
-    if (entry.has_plan()) {
-      out_card = entry.cardinality;
-    } else {
-      out_card = best_card;
-      entry.cardinality = out_card;
-      table.NotePopulated();
-    }
+    bool created = false;
+    const PlanRef ref =
+        table.Intern(combined, created, [best_card] { return best_card; });
+    const double out_card = table.cardinality(ref);
     const double cost_lr =
         SaturateCost(left.cost + right.cost +
                      cost_model.JoinCost(left.cardinality, right.cardinality,
@@ -159,20 +161,17 @@ Result<MemoSalvage::Outcome> MemoSalvage::Run(
         SaturateCost(left.cost + right.cost +
                      cost_model.JoinCost(right.cardinality, left.cardinality,
                                          out_card));
-    if (cost_lr <= cost_rl && cost_lr < entry.cost) {
-      entry.left = left.set;
-      entry.right = right.set;
-      entry.cost = cost_lr;
-      entry.op = cost_model.OperatorFor(left.cardinality, right.cardinality,
-                                        out_card);
-    } else if (cost_rl < cost_lr && cost_rl < entry.cost) {
-      entry.left = right.set;
-      entry.right = left.set;
-      entry.cost = cost_rl;
-      entry.op = cost_model.OperatorFor(right.cardinality, left.cardinality,
-                                        out_card);
+    if (cost_lr <= cost_rl && cost_lr < table.cost(ref)) {
+      table.SetPlan(ref, cost_lr, left.ref, right.ref,
+                    cost_model.OperatorFor(left.cardinality, right.cardinality,
+                                           out_card));
+    } else if (cost_rl < cost_lr && cost_rl < table.cost(ref)) {
+      table.SetPlan(ref, cost_rl, right.ref, left.ref,
+                    cost_model.OperatorFor(right.cardinality, left.cardinality,
+                                           out_card));
     }
-    components[best_i] = {combined, entry.cost, entry.cardinality};
+    components[best_i] = {combined, table.cost(ref), table.cardinality(ref),
+                          ref};
     components.erase(components.begin() + best_j);
   }
 

@@ -1,130 +1,106 @@
 #include "plan/plan_table.h"
 
-#include <algorithm>
-
 #include "util/macros.h"
 
 namespace joinopt {
-namespace {
-
-/// Rounds `requested` down to a power of two in [1, 64].
-int ClampShardCount(int requested) {
-  int shards = 1;
-  while (shards * 2 <= requested && shards < 64) {
-    shards *= 2;
-  }
-  return shards;
-}
-
-}  // namespace
 
 PlanTable::PlanTable(int relation_count, int dense_limit,
-                     uint64_t memo_entry_budget, int sparse_shards) {
+                     uint64_t memo_entry_budget)
+    : relation_count_(relation_count) {
   JOINOPT_CHECK(relation_count >= 0 && relation_count <= kMaxRelations);
+  layers_.resize(static_cast<size_t>(relation_count));
   const bool dense_fits_budget =
       memo_entry_budget == 0 ||
       (relation_count < 63 &&
        (uint64_t{1} << relation_count) <= memo_entry_budget);
   if (relation_count <= dense_limit && relation_count < 63 &&
       dense_fits_budget) {
-    dense_.resize(uint64_t{1} << relation_count);
-  } else {
-    // Sparse: reserve for the common (chain-like) case; rehashing is fine.
-    sparse_.resize(ClampShardCount(sparse_shards));
-    for (SparseShard& shard : sparse_) {
-      shard.reserve(1024 / sparse_.size());
-    }
+    dense_.assign(uint64_t{1} << relation_count, kInvalidPlanRef);
   }
 }
 
-const PlanEntry* PlanTable::Find(NodeSet s) const {
-  if (!dense_.empty()) {
-    JOINOPT_DCHECK(s.mask() < dense_.size());
-    const PlanEntry& entry = dense_[s.mask()];
-    return entry.has_plan() ? &entry : nullptr;
+PlanRef PlanTable::SparseFind(NodeSet s) const {
+  const int count = s.count();
+  if (count < 1 || count > static_cast<int>(layers_.size())) {
+    return kInvalidPlanRef;
   }
-  const SparseShard& shard = ShardFor(s);
+  const Layer& layer = layers_[count - 1];
+  if (layer.shards.empty()) {
+    return kInvalidPlanRef;
+  }
+  const SparseShard& shard =
+      layer.shards[(NodeSetHash{}(s) >> 58) & (layer.shards.size() - 1)];
   const auto it = shard.find(s);
-  if (it == shard.end() || !it->second.has_plan()) {
-    return nullptr;
-  }
-  return &it->second;
+  return it == shard.end() ? kInvalidPlanRef : it->second;
 }
 
-PlanEntry& PlanTable::GetOrCreate(NodeSet s) {
+int PlanTable::AdaptiveShardCount(int layer) const {
+  // The layer below is the best available predictor of this layer's
+  // population (leaf count for layer 2; chains keep layers flat, cliques
+  // grow them binomially — either way the previous layer tracks scale).
+  const uint64_t below = layer >= 2
+                             ? layers_[layer - 2].sets.size()
+                             : static_cast<uint64_t>(relation_count_);
+  int shards = 1;
+  while (shards < 64 &&
+         static_cast<uint64_t>(shards) * 2 * 4096 <= below) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+PlanRef* PlanTable::IndexSlot(NodeSet s) {
   if (!dense_.empty()) {
     JOINOPT_DCHECK(s.mask() < dense_.size());
-    return dense_[s.mask()];
+    return &dense_[s.mask()];
   }
-  const auto [it, inserted] = ShardFor(s).try_emplace(s);
-  if (inserted) {
-    // Insertion may rehash; outstanding entry pointers are void per the
-    // stability rule, and ConstRef's debug check keys off this counter.
-    ++generation_;
+  const int count = s.count();
+  JOINOPT_DCHECK(count >= 1 && count <= static_cast<int>(layers_.size()));
+  Layer& layer = layers_[count - 1];
+  if (JOINOPT_UNLIKELY(layer.shards.empty())) {
+    // First insert into this layer: size the index from the layer below.
+    const int shards = AdaptiveShardCount(count);
+    layer.shards.resize(static_cast<size_t>(shards));
+    const uint64_t below = count >= 2
+                               ? layers_[count - 2].sets.size()
+                               : static_cast<uint64_t>(relation_count_);
+    for (SparseShard& shard : layer.shards) {
+      shard.reserve(below / shards + 16);
+    }
   }
-  return it->second;
+  SparseShard& shard =
+      layer.shards[(NodeSetHash{}(s) >> 58) & (layer.shards.size() - 1)];
+  // The mapped PlanRef lives in a map node: stable across rehash, so the
+  // caller may Append (which never touches this layer's index) and then
+  // store through the returned pointer.
+  return &shard.try_emplace(s, kInvalidPlanRef).first->second;
 }
 
-bool PlanTable::MergeLayer(
-    std::vector<LayerCandidate>& candidates,
-    const std::function<bool(const LayerCandidate& winner,
-                             bool newly_populated)>& gate) {
-  // Total order: set, then cost, then lexicographic (left, right). The
-  // first candidate of each set's run is its deterministic winner
-  // regardless of how workers partitioned the layer.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const LayerCandidate& a, const LayerCandidate& b) {
-              if (a.set.mask() != b.set.mask()) {
-                return a.set.mask() < b.set.mask();
-              }
-              if (a.entry.cost != b.entry.cost) {
-                return a.entry.cost < b.entry.cost;
-              }
-              if (a.entry.left.mask() != b.entry.left.mask()) {
-                return a.entry.left.mask() < b.entry.left.mask();
-              }
-              return a.entry.right.mask() < b.entry.right.mask();
-            });
-  NodeSet last_set;
-  bool have_last = false;
-  for (const LayerCandidate& candidate : candidates) {
-    if (have_last && candidate.set == last_set) {
-      continue;  // A worse candidate for a set already merged.
-    }
-    last_set = candidate.set;
-    have_last = true;
-    PlanEntry& entry = GetOrCreate(candidate.set);
-    const bool newly_populated = !entry.has_plan();
-    if (candidate.entry.cost < entry.cost) {
-      entry = candidate.entry;
-      if (newly_populated) {
-        NotePopulated();
-      }
-    }
-    if (!gate(candidate, newly_populated)) {
-      return false;
-    }
-  }
-  return true;
+PlanRef PlanTable::Append(NodeSet s, double cost, double cardinality,
+                          PlanRef left, PlanRef right, JoinOperator op) {
+  const int count = s.count();
+  JOINOPT_DCHECK(count >= 1 && count <= static_cast<int>(layers_.size()));
+  JOINOPT_DCHECK((frozen_mask_ & (uint64_t{1} << (count - 1))) == 0);
+  Layer& layer = layers_[count - 1];
+  const uint32_t offset = static_cast<uint32_t>(layer.sets.size());
+  JOINOPT_CHECK(offset < kPlanRefOffsetMask);
+  layer.sets.push_back(s);
+  layer.costs.push_back(cost);
+  layer.cards.push_back(cardinality);
+  layer.lefts.push_back(left);
+  layer.rights.push_back(right);
+  layer.ops.push_back(op);
+  ++populated_;
+  return MakePlanRef(count, offset);
 }
 
-void PlanTable::ForEach(
-    const std::function<void(NodeSet, const PlanEntry&)>& fn) const {
-  if (!dense_.empty()) {
-    for (uint64_t mask = 0; mask < dense_.size(); ++mask) {
-      if (dense_[mask].has_plan()) {
-        fn(NodeSet::FromMask(mask), dense_[mask]);
-      }
-    }
-    return;
-  }
-  for (const SparseShard& shard : sparse_) {
-    for (const auto& [set, entry] : shard) {
-      if (entry.has_plan()) {
-        fn(set, entry);
-      }
-    }
-  }
+PlanRef PlanTable::Register(NodeSet s, double cost, double cardinality,
+                            PlanRef left, PlanRef right, JoinOperator op) {
+  PlanRef* slot = IndexSlot(s);
+  JOINOPT_DCHECK(*slot == kInvalidPlanRef);
+  const PlanRef ref = Append(s, cost, cardinality, left, right, op);
+  *slot = ref;
+  return ref;
 }
 
 }  // namespace joinopt

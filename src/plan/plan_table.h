@@ -1,10 +1,11 @@
 #ifndef JOINOPT_PLAN_PLAN_TABLE_H_
 #define JOINOPT_PLAN_PLAN_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bitset/node_set.h"
@@ -13,153 +14,229 @@
 
 namespace joinopt {
 
-/// One memo entry of the dynamic-programming table: the best plan found so
-/// far for a set of relations, stored as its decomposition into the two
-/// child sets (empty for base relations). The full join tree is
-/// reconstructed from these breadcrumbs once the DP finishes.
-struct PlanEntry {
-  /// Best-known children; both empty for a leaf (single relation).
-  NodeSet left;
-  NodeSet right;
-  /// Total cost of the best plan (sum of join costs in its subtree).
-  double cost = std::numeric_limits<double>::infinity();
-  /// Estimated output cardinality of the set (plan-independent under the
-  /// independence model).
-  double cardinality = 0.0;
-  /// Physical operator chosen by the cost model for the best plan's root
-  /// join (kUnspecified for leaves and logical cost models).
-  JoinOperator op = JoinOperator::kUnspecified;
+/// A packed 32-bit reference to one memo entry: 6 bits of size layer
+/// (the entry set's popcount, biased by one) and 26 bits of offset into
+/// that layer's slab. Entries never move once created, so a PlanRef is
+/// stable for the lifetime of the table — the property that lets plan
+/// breadcrumbs store child REFERENCES instead of child sets, and plan
+/// reconstruction walk indices instead of re-hashing sets.
+///
+/// PlanRefs order layer-major (layer, then insertion order within the
+/// layer). Layers are filled in ascending-set order by the layered DPs,
+/// so the order is deterministic for a given enumeration regardless of
+/// how a parallel layer's work was partitioned — which is what lets the
+/// candidate tie-break below compare raw refs.
+using PlanRef = uint32_t;
 
-  /// True once any plan has been registered for the set.
-  bool has_plan() const { return cost < std::numeric_limits<double>::infinity(); }
-  /// True iff the entry is a base relation.
-  bool IsLeaf() const { return left.empty() && right.empty() && has_plan(); }
-};
+inline constexpr PlanRef kInvalidPlanRef = 0xFFFFFFFFu;
+inline constexpr int kPlanRefOffsetBits = 26;
+inline constexpr uint32_t kPlanRefOffsetMask =
+    (uint32_t{1} << kPlanRefOffsetBits) - 1;
+
+constexpr PlanRef MakePlanRef(int layer, uint32_t offset) {
+  return (static_cast<uint32_t>(layer - 1) << kPlanRefOffsetBits) | offset;
+}
+constexpr int PlanRefLayer(PlanRef ref) {
+  return static_cast<int>(ref >> kPlanRefOffsetBits) + 1;
+}
+constexpr uint32_t PlanRefOffset(PlanRef ref) {
+  return ref & kPlanRefOffsetMask;
+}
+
+/// Strictly-better total order on plan candidates for one set: lowest
+/// cost, then lexicographic (left, right) refs. Written branch-free (all
+/// comparisons evaluated, combined with non-short-circuiting bit ops) so
+/// the relax loops of MergeLayer and the parallel workers never pay a
+/// mispredicted branch on the cost tie tail.
+inline bool PlanCandidateBeats(double a_cost, PlanRef a_left, PlanRef a_right,
+                               double b_cost, PlanRef b_left,
+                               PlanRef b_right) {
+  const bool cost_lt = a_cost < b_cost;
+  const bool cost_eq = a_cost == b_cost;
+  const bool left_lt = a_left < b_left;
+  const bool left_eq = a_left == b_left;
+  const bool right_lt = a_right < b_right;
+  return cost_lt | (cost_eq & (left_lt | (left_eq & right_lt)));
+}
 
 /// The `BestPlan` table of the paper: a map from relation sets to their
-/// best plan entry.
+/// best plan found so far, stored data-oriented.
 ///
-/// Two backends:
-///  * dense — a flat vector indexed by the set's mask, used when
-///    2^n entries fit the configured budget. O(1) access with no hashing;
-///    this is what makes DPsub's tight loop fast on cliques.
-///  * sparse — a hash map, used for larger n where the search space is
-///    necessarily sparse (chains/stars at n > ~24). Optionally sharded
-///    (striped by NodeSetHash) so the parallel DPs' layer-barrier merge
-///    writes touch one shard at a time while worker reads of lower layers
-///    never contend on a single map's buckets.
+/// Storage is layered struct-of-arrays: all entries of set size k live in
+/// slab k as parallel columns (set, cost, cardinality, left/right child
+/// refs, operator). The DPs touch one column pattern per loop — the
+/// relax loop reads costs and cardinalities, reconstruction walks child
+/// refs, salvage scans sets — so each loop streams contiguous memory
+/// instead of striding over 56-byte AoS entries.
 ///
-/// The backend is an internal detail; the API is identical. Entry pointers
-/// are stable in the dense backend and NOT stable across mutation in the
-/// sparse backend — callers must re-Find after any mutation (the DP
-/// algorithms in this library follow that rule). FindRef returns a handle
-/// that enforces the rule in debug builds via the table's generation
-/// counter; prefer it over Find in new code.
+/// Two lookup indexes map sets to PlanRefs:
+///  * dense — a flat vector of packed refs indexed by the set's mask,
+///    used when the 2^n preallocation fits the configured budget. Four
+///    bytes per slot (vs. a full inline entry before this layout), so
+///    DPsub's per-mask probes touch 14x less index memory.
+///  * sparse — per-layer hash shards for larger n. The shard count of a
+///    layer is chosen ADAPTIVELY from the observed population of the
+///    layer below it (one shard per ~4096 expected entries, a power of
+///    two in [1, 64]) instead of a global constant, so chain-like runs
+///    with tiny layers stay unsharded while clique-like layers spread
+///    inserts across many small maps.
 ///
-/// Thread-safety: const lookups (Find/FindRef/ForEach) may run
-/// concurrently from many threads as long as no mutation is in flight.
-/// The parallel DPs rely on exactly that window — workers read the
-/// finished lower layers while all writes are deferred to the
-/// single-threaded MergeLayer barrier.
+/// Every entry is populated at creation (Register/Intern assign its
+/// cardinality immediately and the caller relaxes a finite cost right
+/// after), so populated_count() is simply the number of entries and the
+/// old GetOrCreate + NotePopulated two-step does not exist.
+///
+/// Thread-safety: the parallel DPs rely on the layer protocol — workers
+/// read only completed (frozen) layers while all writes happen on the
+/// coordinator at the MergeLayer barrier. FreezeLayer documents and (in
+/// debug builds) enforces that a completed layer is never appended to;
+/// Thaw lifts the freeze for MemoSalvage, which runs strictly after all
+/// workers have stopped.
 class PlanTable {
  public:
   /// Creates a table for sets over `relation_count` relations. The dense
-  /// backend is chosen when relation_count <= dense_limit AND its 2^n
+  /// index is chosen when relation_count <= dense_limit AND its 2^n
   /// preallocation fits `memo_entry_budget` (0 = unlimited) — a budget
   /// smaller than 2^n falls back to sparse so the budget contract is
-  /// backend-independent. `sparse_shards` stripes the sparse backend;
-  /// it is rounded down to a power of two in [1, 64] and is irrelevant
-  /// for the dense backend.
+  /// backend-independent.
   explicit PlanTable(int relation_count, int dense_limit = 20,
-                     uint64_t memo_entry_budget = 0, int sparse_shards = 1);
+                     uint64_t memo_entry_budget = 0);
 
   PlanTable(const PlanTable&) = delete;
   PlanTable& operator=(const PlanTable&) = delete;
   PlanTable(PlanTable&&) = default;
   PlanTable& operator=(PlanTable&&) = default;
 
-  /// A debug-checked borrow of a table entry. In debug builds every
-  /// dereference asserts that the table has not mutated (same generation)
-  /// since the handle was taken — catching the stale-sparse-pointer bug
-  /// class at the use site instead of as silent garbage. In NDEBUG builds
-  /// this compiles down to a raw pointer.
-  class ConstRef {
-   public:
-    ConstRef() = default;
-
-    /// True when the lookup found a populated entry.
-    explicit operator bool() const { return entry_ != nullptr; }
-
-    const PlanEntry& operator*() const {
-      AssertFresh();
-      return *entry_;
+  /// Returns the ref of the entry for `s`, or kInvalidPlanRef.
+  PlanRef Find(NodeSet s) const {
+    if (!dense_.empty()) {
+      JOINOPT_DCHECK(s.mask() < dense_.size());
+      return dense_[s.mask()];
     }
-    const PlanEntry* operator->() const {
-      AssertFresh();
-      return entry_;
+    return SparseFind(s);
+  }
+
+  // Column accessors. Refs must come from this table (DCHECK-bounded).
+  NodeSet set(PlanRef ref) const { return Slab(ref).sets[PlanRefOffset(ref)]; }
+  double cost(PlanRef ref) const {
+    return Slab(ref).costs[PlanRefOffset(ref)];
+  }
+  double cardinality(PlanRef ref) const {
+    return Slab(ref).cards[PlanRefOffset(ref)];
+  }
+  PlanRef left(PlanRef ref) const {
+    return Slab(ref).lefts[PlanRefOffset(ref)];
+  }
+  PlanRef right(PlanRef ref) const {
+    return Slab(ref).rights[PlanRefOffset(ref)];
+  }
+  JoinOperator op(PlanRef ref) const {
+    return Slab(ref).ops[PlanRefOffset(ref)];
+  }
+  /// True iff the entry is a base relation (no children).
+  bool IsLeaf(PlanRef ref) const { return left(ref) == kInvalidPlanRef; }
+
+  /// Replaces the plan of `ref` (cost, children, operator). The
+  /// cardinality is set-determined and fixed at creation.
+  void SetPlan(PlanRef ref, double cost, PlanRef left, PlanRef right,
+               JoinOperator op) {
+    Layer& layer = MutableSlab(ref);
+    const uint32_t offset = PlanRefOffset(ref);
+    layer.costs[offset] = cost;
+    layer.lefts[offset] = left;
+    layer.rights[offset] = right;
+    layer.ops[offset] = op;
+  }
+
+  /// Creates the entry for `s` with the given plan, counting it as
+  /// populated. `s` must not be present yet.
+  PlanRef Register(NodeSet s, double cost, double cardinality, PlanRef left,
+                   PlanRef right, JoinOperator op);
+
+  /// Leaf registration: cost 0, no children.
+  PlanRef RegisterLeaf(NodeSet s, double cardinality) {
+    return Register(s, 0.0, cardinality, kInvalidPlanRef, kInvalidPlanRef,
+                    JoinOperator::kUnspecified);
+  }
+
+  /// Get-or-create: returns the existing ref for `s`, or creates a fresh
+  /// entry whose cardinality comes from `estimate()` (invoked only on
+  /// creation — the estimate is canonical per set, so later reaches reuse
+  /// the stored value) and whose cost starts at +inf for the caller to
+  /// relax. `created` reports which case ran.
+  template <class EstimateFn>
+  PlanRef Intern(NodeSet s, bool& created, EstimateFn&& estimate) {
+    PlanRef* slot = IndexSlot(s);
+    if (*slot != kInvalidPlanRef) {
+      created = false;
+      return *slot;
     }
+    created = true;
+    const PlanRef ref =
+        Append(s, kUnreachableCost, estimate(), kInvalidPlanRef,
+               kInvalidPlanRef, JoinOperator::kUnspecified);
+    // Sparse IndexSlot pins the shard slot itself, so `slot` stays valid
+    // across the append; the dense vector never moves.
+    *slot = ref;
+    return ref;
+  }
 
-   private:
-    friend class PlanTable;
-    ConstRef(const PlanEntry* entry, const PlanTable* table)
-        : entry_(entry) {
-#ifndef NDEBUG
-      table_ = table;
-      generation_ = table != nullptr ? table->generation() : 0;
-#else
-      (void)table;
-#endif
-    }
+  /// Number of entries (every entry holds a plan).
+  uint64_t populated_count() const { return populated_; }
 
-    void AssertFresh() const {
-      JOINOPT_DCHECK(entry_ != nullptr);
-#ifndef NDEBUG
-      JOINOPT_DCHECK(table_ == nullptr ||
-                     generation_ == table_->generation());
-#endif
-    }
-
-    const PlanEntry* entry_ = nullptr;
-#ifndef NDEBUG
-    const PlanTable* table_ = nullptr;
-    uint64_t generation_ = 0;
-#endif
-  };
-
-  /// Returns the entry for `s` or nullptr when no plan is registered.
-  const PlanEntry* Find(NodeSet s) const;
-
-  /// Find, returning a debug-checked handle instead of a raw pointer.
-  ConstRef FindRef(NodeSet s) const { return ConstRef(Find(s), this); }
-
-  /// Mutable lookup; creates an empty (cost = inf) entry when absent.
-  PlanEntry& GetOrCreate(NodeSet s);
-
-  /// Number of sets with a registered plan.
-  uint64_t populated_count() const { return populated_count_; }
-
-  /// Marks `s` as populated (called by GetOrCreate callers when they first
-  /// set a real cost). Internal bookkeeping for populated_count().
-  void NotePopulated() { ++populated_count_; }
-
-  /// True when the dense backend is active (exposed for tests/ablation).
+  /// True when the dense index is active (exposed for tests/ablation).
   bool is_dense() const { return !dense_.empty(); }
 
-  /// Number of stripes of the sparse backend (1 when dense or unsharded).
-  int sparse_shard_count() const {
-    return sparse_.empty() ? 1 : static_cast<int>(sparse_.size());
+  /// Entries in the size-`layer` slab so far. Layer slabs double as the
+  /// paper's "list of plans of equal size": the layered DPs iterate
+  /// refs MakePlanRef(layer, 0..LayerSize(layer)) instead of keeping
+  /// their own NodeSet lists.
+  uint32_t LayerSize(int layer) const {
+    JOINOPT_DCHECK(layer >= 1 && layer <= static_cast<int>(layers_.size()));
+    return static_cast<uint32_t>(layers_[layer - 1].sets.size());
+  }
+
+  /// Raw column pointers for the size-`layer` slab, for the DP inner
+  /// loops that stream one column over a whole layer (the 1.2e9-iteration
+  /// pair sweep of DPsize on clique-16 lives here; the per-ref accessors
+  /// above would re-resolve the slab on every element). Valid until the
+  /// layer grows — callers iterate layers strictly below the one being
+  /// built (frozen in the layered DPs), so the pointers are stable for
+  /// the whole sweep.
+  const NodeSet* LayerSets(int layer) const {
+    return layers_[layer - 1].sets.data();
+  }
+  const double* LayerCosts(int layer) const {
+    return layers_[layer - 1].costs.data();
+  }
+  const double* LayerCards(int layer) const {
+    return layers_[layer - 1].cards.data();
+  }
+
+  /// Hash shards of the size-`layer` index (1 when dense or before the
+  /// layer saw its first sparse insert). Exposed for tests.
+  int sparse_shard_count(int layer) const {
+    if (!dense_.empty() || layers_[layer - 1].shards.empty()) {
+      return 1;
+    }
+    return static_cast<int>(layers_[layer - 1].shards.size());
   }
 
   /// One worker-proposed best plan for a set, produced during a parallel
-  /// size layer and reconciled at the barrier by MergeLayer.
+  /// size layer and reconciled at the barrier by MergeLayer. Children
+  /// are refs into the (frozen) lower layers.
   struct LayerCandidate {
     NodeSet set;
-    PlanEntry entry;
+    double cost = 0.0;
+    double cardinality = 0.0;
+    PlanRef left = kInvalidPlanRef;
+    PlanRef right = kInvalidPlanRef;
+    JoinOperator op = JoinOperator::kUnspecified;
   };
 
   /// Barrier-merge of one parallel size layer. Candidates are reconciled
   /// deterministically: per set the winner is the candidate with the
-  /// lowest cost, ties broken by lexicographic (left, right) masks, so
+  /// lowest cost, ties broken by lexicographic (left, right) refs, so
   /// the merged table is identical no matter how the layer's work was
   /// partitioned across threads. Winners are applied in ascending set
   /// order (the serial DPs' enumeration order); after each applied winner
@@ -169,44 +246,134 @@ class PlanTable {
   /// returns false (the table keeps the winners applied so far, matching
   /// a serial run interrupted mid-layer).
   ///
-  /// `candidates` is sorted in place. Must be called from a single thread
-  /// with no concurrent readers in flight (the barrier guarantees both).
-  bool MergeLayer(
-      std::vector<LayerCandidate>& candidates,
-      const std::function<bool(const LayerCandidate& winner,
-                               bool newly_populated)>& gate);
+  /// `candidates` is sorted in place; the gate is a template parameter so
+  /// the per-winner call inlines instead of dispatching through a
+  /// std::function. Must be called from a single thread with no
+  /// concurrent readers in flight (the barrier guarantees both).
+  template <class Gate>
+  bool MergeLayer(std::vector<LayerCandidate>& candidates, Gate&& gate) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const LayerCandidate& a, const LayerCandidate& b) {
+                if (a.set.mask() != b.set.mask()) {
+                  return a.set.mask() < b.set.mask();
+                }
+                return PlanCandidateBeats(a.cost, a.left, a.right, b.cost,
+                                          b.left, b.right);
+              });
+    uint64_t last_mask = 0;
+    bool have_last = false;
+    for (const LayerCandidate& candidate : candidates) {
+      if (have_last && candidate.set.mask() == last_mask) {
+        continue;  // A worse candidate for a set already merged.
+      }
+      last_mask = candidate.set.mask();
+      have_last = true;
+      bool created = false;
+      const PlanRef ref =
+          Intern(candidate.set, created,
+                 [&candidate] { return candidate.cardinality; });
+      if (candidate.cost < cost(ref)) {
+        SetPlan(ref, candidate.cost, candidate.left, candidate.right,
+                candidate.op);
+      }
+      if (!gate(candidate, created)) {
+        return false;
+      }
+    }
+    return true;
+  }
 
-  /// Mutation-generation counter backing the ConstRef staleness check.
-  /// The sparse backend bumps it on every entry insertion (the mutations
-  /// after which the documented pointer-stability rule voids outstanding
-  /// entry pointers); the dense backend, whose entries never move, keeps
-  /// it at zero.
-  uint64_t generation() const { return generation_; }
+  /// Invokes `fn(set, ref)` for every entry, ascending by layer and
+  /// insertion order within a layer. Templated: the per-entry call
+  /// inlines at the call site.
+  template <class Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t layer = 0; layer < layers_.size(); ++layer) {
+      const Layer& slab = layers_[layer];
+      for (uint32_t offset = 0; offset < slab.sets.size(); ++offset) {
+        fn(slab.sets[offset],
+           MakePlanRef(static_cast<int>(layer) + 1, offset));
+      }
+    }
+  }
 
-  /// Invokes `fn(set, entry)` for every populated entry, in unspecified
-  /// order.
-  void ForEach(
-      const std::function<void(NodeSet, const PlanEntry&)>& fn) const;
+  /// Declares the size-`layer` slab complete: no further entries may be
+  /// created in it (debug-checked in Register/Intern). The layered DPs
+  /// freeze layer k-1 before enumerating layer k; a frozen slab's
+  /// columns can be read from worker threads while the coordinator
+  /// appends to HIGHER layers, because std::vector growth only touches
+  /// the growing layer's own columns.
+  void FreezeLayer(int layer) {
+    JOINOPT_DCHECK(layer >= 1 && layer <= 64);
+    frozen_mask_ |= uint64_t{1} << (layer - 1);
+  }
+
+  /// Lifts every layer freeze. MemoSalvage composes fragments into
+  /// arbitrary layers after the enumeration stopped (workers long gone),
+  /// which is the one legitimate post-freeze writer.
+  void Thaw() { frozen_mask_ = 0; }
 
  private:
-  using SparseShard = std::unordered_map<NodeSet, PlanEntry, NodeSetHash>;
+  /// Cost of a freshly interned, not-yet-relaxed entry. All real costs
+  /// are saturated BELOW +inf (cost/saturation.h), so the first relax
+  /// always lands and every entry observable through Find has a plan.
+  static constexpr double kUnreachableCost =
+      std::numeric_limits<double>::infinity();
 
-  /// The stripe holding `s`. NodeSetHash is a Fibonacci multiply whose
-  /// quality lives in the high bits, so the stripe index comes from the
-  /// top of the hash, masked down to the power-of-two shard count.
-  SparseShard& ShardFor(NodeSet s) {
-    return sparse_[(NodeSetHash{}(s) >> 58) & (sparse_.size() - 1)];
+  using SparseShard = std::unordered_map<NodeSet, PlanRef, NodeSetHash>;
+
+  /// One size layer's slab: parallel columns plus its sparse index
+  /// stripes (empty vector when the table is dense or the layer has not
+  /// seen an insert yet).
+  struct Layer {
+    std::vector<NodeSet> sets;
+    std::vector<double> costs;
+    std::vector<double> cards;
+    std::vector<PlanRef> lefts;
+    std::vector<PlanRef> rights;
+    std::vector<JoinOperator> ops;
+    std::vector<SparseShard> shards;
+  };
+
+  const Layer& Slab(PlanRef ref) const {
+    JOINOPT_DCHECK(ref != kInvalidPlanRef);
+    JOINOPT_DCHECK(PlanRefLayer(ref) <= static_cast<int>(layers_.size()));
+    JOINOPT_DCHECK(PlanRefOffset(ref) <
+                   layers_[PlanRefLayer(ref) - 1].sets.size());
+    return layers_[PlanRefLayer(ref) - 1];
   }
-  const SparseShard& ShardFor(NodeSet s) const {
-    return sparse_[(NodeSetHash{}(s) >> 58) & (sparse_.size() - 1)];
+  Layer& MutableSlab(PlanRef ref) {
+    return const_cast<Layer&>(
+        static_cast<const PlanTable*>(this)->Slab(ref));
   }
 
-  // Dense backend: entry for mask m lives at dense_[m]. Empty when sparse.
-  std::vector<PlanEntry> dense_;
-  // Sparse backend, striped by NodeSetHash. Empty when dense.
-  std::vector<SparseShard> sparse_;
-  uint64_t populated_count_ = 0;
-  uint64_t generation_ = 0;
+  PlanRef SparseFind(NodeSet s) const;
+
+  /// The index slot for `s`: the dense cell, or the (possibly fresh)
+  /// shard slot of s's layer. The returned pointer stays valid until the
+  /// next index mutation for the same layer.
+  PlanRef* IndexSlot(NodeSet s);
+
+  /// Appends a fully-formed entry to s's layer slab and counts it.
+  PlanRef Append(NodeSet s, double cost, double cardinality, PlanRef left,
+                 PlanRef right, JoinOperator op);
+
+  /// Shard count for a sparse layer index, sized from the observed
+  /// population of the layer below (~4096 entries per shard, a power of
+  /// two in [1, 64]).
+  int AdaptiveShardCount(int layer) const;
+
+  int relation_count_ = 0;
+  // Layer slabs; layers_[k-1] holds the size-k sets. Sized once at
+  // construction (one Layer per possible size), so slab addresses are
+  // stable.
+  std::vector<Layer> layers_;
+  // Dense index: packed ref for mask m at dense_[m]. Empty when sparse.
+  std::vector<PlanRef> dense_;
+  uint64_t populated_ = 0;
+  // Bit k-1 set = layer k frozen. Maintained in all builds (two
+  // instructions per layer transition), enforced via DCHECK.
+  uint64_t frozen_mask_ = 0;
 };
 
 }  // namespace joinopt

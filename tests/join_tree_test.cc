@@ -12,24 +12,15 @@ namespace {
 /// Builds a plan table describing ((R0 ⋈ R1) ⋈ R2) by hand.
 PlanTable HandBuiltTable() {
   PlanTable table(3);
+  PlanRef leaves[3];
   for (int i = 0; i < 3; ++i) {
-    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
-    leaf.cost = 0.0;
-    leaf.cardinality = 100.0 * (i + 1);
-    table.NotePopulated();
+    leaves[i] = table.RegisterLeaf(NodeSet::Singleton(i), 100.0 * (i + 1));
   }
-  PlanEntry& pair = table.GetOrCreate(NodeSet::Of({0, 1}));
-  pair.left = NodeSet::Of({0});
-  pair.right = NodeSet::Of({1});
-  pair.cost = 10.0;
-  pair.cardinality = 50.0;
-  table.NotePopulated();
-  PlanEntry& all = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
-  all.left = NodeSet::Of({0, 1});
-  all.right = NodeSet::Of({2});
-  all.cost = 25.0;
-  all.cardinality = 20.0;
-  table.NotePopulated();
+  const PlanRef pair =
+      table.Register(NodeSet::Of({0, 1}), 10.0, 50.0, leaves[0], leaves[1],
+                     JoinOperator::kHashJoin);
+  table.Register(NodeSet::Of({0, 1, 2}), 25.0, 20.0, pair, leaves[2],
+                 JoinOperator::kHashJoin);
   return table;
 }
 
@@ -55,10 +46,7 @@ TEST(JoinTreeTest, ReconstructsHandBuiltPlan) {
 
 TEST(JoinTreeTest, SingleLeafTree) {
   PlanTable table(1);
-  PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(0));
-  leaf.cost = 0.0;
-  leaf.cardinality = 10.0;
-  table.NotePopulated();
+  table.RegisterLeaf(NodeSet::Singleton(0), 10.0);
 
   Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0}));
   ASSERT_TRUE(tree.ok());
@@ -86,42 +74,33 @@ TEST(JoinTreeTest, FailsForEmptyRootSet) {
 
 TEST(JoinTreeTest, FailsForCorruptDecomposition) {
   PlanTable table(3);
+  PlanRef leaves[3];
   for (int i = 0; i < 3; ++i) {
-    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
-    leaf.cost = 0.0;
-    leaf.cardinality = 1.0;
-    table.NotePopulated();
+    leaves[i] = table.RegisterLeaf(NodeSet::Singleton(i), 1.0);
   }
-  // Children overlap the parent incorrectly: {0,1} vs {1,2} for {0,1,2}.
-  PlanEntry& bad = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
-  bad.left = NodeSet::Of({0, 1});
-  bad.right = NodeSet::Of({1, 2});
-  bad.cost = 1.0;
-  bad.cardinality = 1.0;
-  table.NotePopulated();
+  // Overlapping children: {0,1} and {1,2} do not decompose {0,1,2}.
+  const PlanRef p01 = table.Register(NodeSet::Of({0, 1}), 1.0, 1.0, leaves[0],
+                                     leaves[1], JoinOperator::kHashJoin);
+  const PlanRef p12 = table.Register(NodeSet::Of({1, 2}), 1.0, 1.0, leaves[1],
+                                     leaves[2], JoinOperator::kHashJoin);
+  table.Register(NodeSet::Of({0, 1, 2}), 1.0, 1.0, p01, p12,
+                 JoinOperator::kHashJoin);
   EXPECT_FALSE(JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2})).ok());
 }
 
 TEST(JoinTreeTest, BushyTreeIsNotLeftDeep) {
   // ((0 ⋈ 1) ⋈ (2 ⋈ 3)) — a genuinely bushy shape.
   PlanTable table(4);
+  PlanRef leaves[4];
   for (int i = 0; i < 4; ++i) {
-    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
-    leaf.cost = 0.0;
-    leaf.cardinality = 1.0;
-    table.NotePopulated();
+    leaves[i] = table.RegisterLeaf(NodeSet::Singleton(i), 1.0);
   }
-  const auto add_join = [&table](NodeSet left, NodeSet right) {
-    PlanEntry& entry = table.GetOrCreate(left | right);
-    entry.left = left;
-    entry.right = right;
-    entry.cost = 1.0;
-    entry.cardinality = 1.0;
-    table.NotePopulated();
-  };
-  add_join(NodeSet::Of({0}), NodeSet::Of({1}));
-  add_join(NodeSet::Of({2}), NodeSet::Of({3}));
-  add_join(NodeSet::Of({0, 1}), NodeSet::Of({2, 3}));
+  const PlanRef p01 = table.Register(NodeSet::Of({0, 1}), 1.0, 1.0, leaves[0],
+                                     leaves[1], JoinOperator::kHashJoin);
+  const PlanRef p23 = table.Register(NodeSet::Of({2, 3}), 1.0, 1.0, leaves[2],
+                                     leaves[3], JoinOperator::kHashJoin);
+  table.Register(NodeSet::Of({0, 1, 2, 3}), 1.0, 1.0, p01, p23,
+                 JoinOperator::kHashJoin);
 
   Result<JoinTree> tree =
       JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2, 3}));

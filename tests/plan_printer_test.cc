@@ -27,24 +27,15 @@ Fixture MakeFixture() {
 
   PlanTable table(3);
   const double cards[] = {100.0, 10.0, 1000.0};
+  PlanRef leaves[3];
   for (int i = 0; i < 3; ++i) {
-    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
-    leaf.cost = 0.0;
-    leaf.cardinality = cards[i];
-    table.NotePopulated();
+    leaves[i] = table.RegisterLeaf(NodeSet::Singleton(i), cards[i]);
   }
-  PlanEntry& ab = table.GetOrCreate(NodeSet::Of({0, 1}));
-  ab.left = NodeSet::Of({0});
-  ab.right = NodeSet::Of({1});
-  ab.cost = 100.0;
-  ab.cardinality = 100.0;
-  table.NotePopulated();
-  PlanEntry& abc = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
-  abc.left = NodeSet::Of({0, 1});
-  abc.right = NodeSet::Of({2});
-  abc.cost = 200.0;
-  abc.cardinality = 100.0;
-  table.NotePopulated();
+  const PlanRef ab = table.Register(NodeSet::Of({0, 1}), 100.0, 100.0,
+                                    leaves[0], leaves[1],
+                                    JoinOperator::kHashJoin);
+  table.Register(NodeSet::Of({0, 1, 2}), 200.0, 100.0, ab, leaves[2],
+                 JoinOperator::kHashJoin);
 
   Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
   EXPECT_TRUE(tree.ok());
@@ -60,10 +51,7 @@ TEST(PlanPrinterTest, SingleLeafExpression) {
   Result<QueryGraph> graph = ParseQuerySpecToGraph("rel solo 42\n");
   ASSERT_TRUE(graph.ok());
   PlanTable table(1);
-  PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(0));
-  leaf.cost = 0.0;
-  leaf.cardinality = 42.0;
-  table.NotePopulated();
+  table.RegisterLeaf(NodeSet::Singleton(0), 42.0);
   Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0}));
   ASSERT_TRUE(tree.ok());
   EXPECT_EQ(PlanToExpression(*tree, *graph), "solo");

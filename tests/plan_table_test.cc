@@ -2,27 +2,36 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/optimizer.h"
 #include "graph/generators.h"
 
 namespace joinopt {
 namespace {
 
-TEST(PlanEntryTest, DefaultHasNoPlan) {
-  const PlanEntry entry;
-  EXPECT_FALSE(entry.has_plan());
-  EXPECT_FALSE(entry.IsLeaf());
+TEST(PlanRefTest, PacksLayerAndOffset) {
+  const PlanRef ref = MakePlanRef(3, 41);
+  EXPECT_EQ(PlanRefLayer(ref), 3);
+  EXPECT_EQ(PlanRefOffset(ref), 41u);
+  // Layer-major order: any layer-3 ref precedes any layer-4 ref.
+  EXPECT_LT(MakePlanRef(3, kPlanRefOffsetMask - 1), MakePlanRef(4, 0));
+  // The all-ones pattern is reserved for the invalid sentinel.
+  EXPECT_NE(MakePlanRef(64, kPlanRefOffsetMask - 1), kInvalidPlanRef);
 }
 
-TEST(PlanEntryTest, LeafDetection) {
-  PlanEntry entry;
-  entry.cost = 0.0;
-  entry.cardinality = 100.0;
-  EXPECT_TRUE(entry.has_plan());
-  EXPECT_TRUE(entry.IsLeaf());
-  entry.left = NodeSet::Of({0});
-  entry.right = NodeSet::Of({1});
-  EXPECT_FALSE(entry.IsLeaf());
+TEST(PlanCandidateBeatsTest, TotalOrderOnCostThenChildren) {
+  const PlanRef a = MakePlanRef(1, 0);
+  const PlanRef b = MakePlanRef(1, 1);
+  // Strictly lower cost wins regardless of refs.
+  EXPECT_TRUE(PlanCandidateBeats(1.0, b, b, 2.0, a, a));
+  EXPECT_FALSE(PlanCandidateBeats(2.0, a, a, 1.0, b, b));
+  // Cost tie: lexicographic (left, right).
+  EXPECT_TRUE(PlanCandidateBeats(1.0, a, b, 1.0, b, a));
+  EXPECT_TRUE(PlanCandidateBeats(1.0, a, a, 1.0, a, b));
+  EXPECT_FALSE(PlanCandidateBeats(1.0, a, b, 1.0, a, a));
+  // Identical candidates do not beat each other (strict order).
+  EXPECT_FALSE(PlanCandidateBeats(1.0, a, b, 1.0, a, b));
 }
 
 TEST(PlanTableTest, BackendSelection) {
@@ -40,80 +49,125 @@ class PlanTableBackendTest : public ::testing::TestWithParam<bool> {
   }
 };
 
-TEST_P(PlanTableBackendTest, FindOnEmptyTableReturnsNull) {
+TEST_P(PlanTableBackendTest, FindOnEmptyTableReturnsInvalid) {
   PlanTable table = MakeTable(6);
-  EXPECT_EQ(table.Find(NodeSet::Of({0})), nullptr);
-  EXPECT_EQ(table.Find(NodeSet::Of({1, 3})), nullptr);
+  EXPECT_EQ(table.Find(NodeSet::Of({0})), kInvalidPlanRef);
+  EXPECT_EQ(table.Find(NodeSet::Of({1, 3})), kInvalidPlanRef);
   EXPECT_EQ(table.populated_count(), 0u);
 }
 
-TEST_P(PlanTableBackendTest, GetOrCreateThenFind) {
+TEST_P(PlanTableBackendTest, RegisterThenFindReadsColumns) {
   PlanTable table = MakeTable(6);
+  const PlanRef l2 = table.RegisterLeaf(NodeSet::Of({2}), 10.0);
+  const PlanRef l4 = table.RegisterLeaf(NodeSet::Of({4}), 20.0);
   const NodeSet s = NodeSet::Of({2, 4});
-  PlanEntry& entry = table.GetOrCreate(s);
-  // An entry without a real cost is still "absent" for Find.
-  EXPECT_EQ(table.Find(s), nullptr);
-  entry.cost = 42.0;
-  entry.cardinality = 7.0;
-  table.NotePopulated();
-  const PlanEntry* found = table.Find(s);
-  ASSERT_NE(found, nullptr);
-  EXPECT_DOUBLE_EQ(found->cost, 42.0);
+  const PlanRef ref =
+      table.Register(s, 42.0, 7.0, l2, l4, JoinOperator::kHashJoin);
+  EXPECT_EQ(table.Find(s), ref);
+  EXPECT_EQ(PlanRefLayer(ref), 2);
+  EXPECT_EQ(table.set(ref), s);
+  EXPECT_DOUBLE_EQ(table.cost(ref), 42.0);
+  EXPECT_DOUBLE_EQ(table.cardinality(ref), 7.0);
+  EXPECT_EQ(table.left(ref), l2);
+  EXPECT_EQ(table.right(ref), l4);
+  EXPECT_EQ(table.op(ref), JoinOperator::kHashJoin);
+  EXPECT_FALSE(table.IsLeaf(ref));
+  EXPECT_TRUE(table.IsLeaf(l2));
+  EXPECT_EQ(table.populated_count(), 3u);
+}
+
+TEST_P(PlanTableBackendTest, InternCreatesOnceAndMemoizesCardinality) {
+  PlanTable table = MakeTable(6);
+  const NodeSet s = NodeSet::Of({1, 2});
+  int estimates = 0;
+  bool created = false;
+  const PlanRef ref = table.Intern(s, created, [&] {
+    ++estimates;
+    return 5.0;
+  });
+  EXPECT_TRUE(created);
+  EXPECT_EQ(estimates, 1);
+  EXPECT_DOUBLE_EQ(table.cardinality(ref), 5.0);
+  // A fresh entry's cost is unreachable: the caller's first relax lands.
+  EXPECT_TRUE(std::isinf(table.cost(ref)));
+  EXPECT_EQ(table.populated_count(), 1u);
+
+  // Re-interning returns the same ref without re-estimating.
+  const PlanRef again = table.Intern(s, created, [&] {
+    ++estimates;
+    return 99.0;
+  });
+  EXPECT_FALSE(created);
+  EXPECT_EQ(again, ref);
+  EXPECT_EQ(estimates, 1);
+  EXPECT_DOUBLE_EQ(table.cardinality(ref), 5.0);
   EXPECT_EQ(table.populated_count(), 1u);
 }
 
 TEST_P(PlanTableBackendTest, DistinctSetsAreIndependent) {
   PlanTable table = MakeTable(8);
+  std::vector<PlanRef> refs;
   for (int i = 0; i < 8; ++i) {
-    PlanEntry& entry = table.GetOrCreate(NodeSet::Singleton(i));
-    entry.cost = static_cast<double>(i);
-    entry.cardinality = 1.0;
-    table.NotePopulated();
+    refs.push_back(
+        table.RegisterLeaf(NodeSet::Singleton(i), static_cast<double>(i)));
   }
   for (int i = 0; i < 8; ++i) {
-    const PlanEntry* entry = table.Find(NodeSet::Singleton(i));
-    ASSERT_NE(entry, nullptr);
-    EXPECT_DOUBLE_EQ(entry->cost, static_cast<double>(i));
+    const PlanRef ref = table.Find(NodeSet::Singleton(i));
+    EXPECT_EQ(ref, refs[i]);
+    EXPECT_DOUBLE_EQ(table.cardinality(ref), static_cast<double>(i));
   }
   EXPECT_EQ(table.populated_count(), 8u);
+  EXPECT_EQ(table.LayerSize(1), 8u);
 }
 
-TEST_P(PlanTableBackendTest, UpdateKeepsBestPlan) {
+TEST_P(PlanTableBackendTest, SetPlanReplacesPlanNotCardinality) {
   PlanTable table = MakeTable(4);
+  const PlanRef l0 = table.RegisterLeaf(NodeSet::Of({0}), 1.0);
+  const PlanRef l1 = table.RegisterLeaf(NodeSet::Of({1}), 2.0);
   const NodeSet s = NodeSet::Of({0, 1});
-  PlanEntry& entry = table.GetOrCreate(s);
-  entry.cost = 100.0;
-  table.NotePopulated();
-  // A cheaper plan replaces; DP algorithms implement the comparison, the
-  // table just stores.
-  PlanEntry& again = table.GetOrCreate(s);
-  EXPECT_DOUBLE_EQ(again.cost, 100.0);
-  again.cost = 50.0;
-  EXPECT_DOUBLE_EQ(table.Find(s)->cost, 50.0);
-  EXPECT_EQ(table.populated_count(), 1u);
+  const PlanRef ref =
+      table.Register(s, 100.0, 3.0, l0, l1, JoinOperator::kHashJoin);
+  table.SetPlan(ref, 50.0, l1, l0, JoinOperator::kSortMerge);
+  EXPECT_DOUBLE_EQ(table.cost(ref), 50.0);
+  EXPECT_EQ(table.left(ref), l1);
+  EXPECT_EQ(table.right(ref), l0);
+  EXPECT_EQ(table.op(ref), JoinOperator::kSortMerge);
+  EXPECT_DOUBLE_EQ(table.cardinality(ref), 3.0);
+  EXPECT_EQ(table.populated_count(), 3u);
 }
 
-TEST_P(PlanTableBackendTest, ForEachVisitsExactlyPopulatedEntries) {
+TEST_P(PlanTableBackendTest, ForEachVisitsAllEntriesLayerMajor) {
   PlanTable table = MakeTable(5);
-  const std::vector<NodeSet> sets = {NodeSet::Of({0}), NodeSet::Of({1, 2}),
-                                     NodeSet::Of({0, 1, 2, 3, 4})};
-  for (const NodeSet s : sets) {
-    PlanEntry& entry = table.GetOrCreate(s);
-    entry.cost = 1.0;
-    table.NotePopulated();
-  }
-  // This one stays unpopulated (cost still infinity).
-  table.GetOrCreate(NodeSet::Of({3}));
+  // Registered out of layer order on purpose.
+  table.Register(NodeSet::Of({0, 1, 2, 3, 4}), 3.0, 1.0, kInvalidPlanRef,
+                 kInvalidPlanRef, JoinOperator::kUnspecified);
+  table.RegisterLeaf(NodeSet::Of({0}), 1.0);
+  table.Register(NodeSet::Of({1, 2}), 2.0, 1.0, kInvalidPlanRef,
+                 kInvalidPlanRef, JoinOperator::kUnspecified);
 
-  uint64_t visited = 0;
+  std::vector<int> layers;
   NodeSet all_visited;
-  table.ForEach([&](NodeSet s, const PlanEntry& entry) {
-    EXPECT_TRUE(entry.has_plan());
+  table.ForEach([&](NodeSet s, PlanRef ref) {
+    EXPECT_EQ(table.set(ref), s);
+    layers.push_back(PlanRefLayer(ref));
     all_visited |= s;
-    ++visited;
   });
-  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(layers, (std::vector<int>{1, 2, 5}));
   EXPECT_EQ(all_visited, NodeSet::Of({0, 1, 2, 3, 4}));
+}
+
+TEST_P(PlanTableBackendTest, LayerSlabsActAsEqualSizeLists) {
+  PlanTable table = MakeTable(6);
+  table.RegisterLeaf(NodeSet::Of({3}), 1.0);
+  table.RegisterLeaf(NodeSet::Of({1}), 1.0);
+  table.RegisterLeaf(NodeSet::Of({5}), 1.0);
+  ASSERT_EQ(table.LayerSize(1), 3u);
+  EXPECT_EQ(table.LayerSize(2), 0u);
+  // Slab order is insertion order: the layered DPs iterate it as the
+  // paper's list of plans of equal size.
+  EXPECT_EQ(table.set(MakePlanRef(1, 0)), NodeSet::Of({3}));
+  EXPECT_EQ(table.set(MakePlanRef(1, 1)), NodeSet::Of({1}));
+  EXPECT_EQ(table.set(MakePlanRef(1, 2)), NodeSet::Of({5}));
 }
 
 INSTANTIATE_TEST_SUITE_P(DenseAndSparse, PlanTableBackendTest,
@@ -150,56 +204,6 @@ TEST(AdaptivePlanTableTest, BackendTracksSearchSpaceDensity) {
   EXPECT_FALSE(internal::MakeAdaptivePlanTable(*huge).is_dense());
 }
 
-TEST(PlanTableTest, GenerationTracksSparseMutations) {
-  // Dense backend: entries never move, so the generation stays at zero.
-  PlanTable dense(10);
-  EXPECT_EQ(dense.generation(), 0u);
-  dense.GetOrCreate(NodeSet::Of({0, 1}));
-  dense.GetOrCreate(NodeSet::Of({2}));
-  EXPECT_EQ(dense.generation(), 0u);
-
-  // Sparse backend: every new key may rehash and move entries, so each
-  // insertion bumps the generation; re-touching an existing key does not.
-  PlanTable sparse(10, /*dense_limit=*/0);
-  EXPECT_EQ(sparse.generation(), 0u);
-  sparse.GetOrCreate(NodeSet::Of({0, 1}));
-  const uint64_t after_first = sparse.generation();
-  EXPECT_GT(after_first, 0u);
-  sparse.GetOrCreate(NodeSet::Of({0, 1}));
-  EXPECT_EQ(sparse.generation(), after_first);
-  sparse.GetOrCreate(NodeSet::Of({2, 3}));
-  EXPECT_GT(sparse.generation(), after_first);
-}
-
-TEST_P(PlanTableBackendTest, FindRefBehavesLikeFind) {
-  PlanTable table = MakeTable(6);
-  EXPECT_FALSE(table.FindRef(NodeSet::Of({1, 2})));
-  PlanEntry& entry = table.GetOrCreate(NodeSet::Of({1, 2}));
-  entry.cost = 9.0;
-  entry.cardinality = 3.0;
-  table.NotePopulated();
-  const PlanTable::ConstRef ref = table.FindRef(NodeSet::Of({1, 2}));
-  ASSERT_TRUE(ref);
-  EXPECT_DOUBLE_EQ(ref->cost, 9.0);
-  EXPECT_DOUBLE_EQ((*ref).cardinality, 3.0);
-}
-
-#ifndef NDEBUG
-TEST(PlanTableDeathTest, StaleSparseRefAssertsInDebugBuilds) {
-  PlanTable table(10, /*dense_limit=*/0);
-  PlanEntry& entry = table.GetOrCreate(NodeSet::Of({0}));
-  entry.cost = 1.0;
-  entry.cardinality = 1.0;
-  table.NotePopulated();
-  PlanTable::ConstRef ref = table.FindRef(NodeSet::Of({0}));
-  ASSERT_TRUE(ref);
-  // A subsequent insertion voids the handle per the documented
-  // pointer-stability rule; dereferencing it must now trip the check.
-  table.GetOrCreate(NodeSet::Of({1}));
-  EXPECT_DEATH((void)ref->cost, "JOINOPT_CHECK failed");
-}
-#endif  // NDEBUG
-
 TEST(PlanTableTest, DenseBackendCountsPreallocationAgainstBudget) {
   // 2^16 dense slots exceed a 100-entry budget: the table must fall back
   // to sparse so the memo budget is enforced identically on both
@@ -213,66 +217,98 @@ TEST(PlanTableTest, DenseBackendCountsPreallocationAgainstBudget) {
   EXPECT_TRUE(PlanTable(16, 20, 0).is_dense());
 }
 
-TEST(PlanTableTest, ShardCountIsClampedToPowerOfTwo) {
-  EXPECT_EQ(PlanTable(24).sparse_shard_count(), 1);
-  EXPECT_EQ(PlanTable(24, 20, 0, 8).sparse_shard_count(), 8);
-  EXPECT_EQ(PlanTable(24, 20, 0, 5).sparse_shard_count(), 4);
-  EXPECT_EQ(PlanTable(24, 20, 0, 0).sparse_shard_count(), 1);
-  EXPECT_EQ(PlanTable(24, 20, 0, 200).sparse_shard_count(), 64);
-  // Dense tables have no stripes.
-  EXPECT_EQ(PlanTable(10, 20, 0, 8).sparse_shard_count(), 1);
+TEST(PlanTableTest, SparseShardCountAdaptsToLayerPopulation) {
+  PlanTable table(64, /*dense_limit=*/0);
+  ASSERT_FALSE(table.is_dense());
+  // Tiny layer below (64 leaves): layer 2's index stays unsharded.
+  for (int i = 0; i < 64; ++i) {
+    table.RegisterLeaf(NodeSet::Singleton(i), 1.0);
+  }
+  table.Register(NodeSet::Of({0, 1}), 1.0, 1.0, kInvalidPlanRef,
+                 kInvalidPlanRef, JoinOperator::kUnspecified);
+  EXPECT_EQ(table.sparse_shard_count(2), 1);
+
+  // Grow layer 3 past the one-shard threshold (2 * 4096 entries), then
+  // the FIRST layer-4 insert sizes its index from that population.
+  uint64_t registered = 0;
+  for (int i = 0; i < 64 && registered < 8192; ++i) {
+    for (int j = i + 1; j < 64 && registered < 8192; ++j) {
+      for (int k = j + 1; k < 64 && registered < 8192; ++k) {
+        table.Register(NodeSet::Of({i, j, k}), 1.0, 1.0, kInvalidPlanRef,
+                       kInvalidPlanRef, JoinOperator::kUnspecified);
+        ++registered;
+      }
+    }
+  }
+  ASSERT_EQ(table.LayerSize(3), 8192u);
+  table.Register(NodeSet::Of({0, 1, 2, 3}), 1.0, 1.0, kInvalidPlanRef,
+                 kInvalidPlanRef, JoinOperator::kUnspecified);
+  EXPECT_EQ(table.sparse_shard_count(4), 2);
+  // An unsized layer reports 1 until its first insert.
+  EXPECT_EQ(table.sparse_shard_count(5), 1);
 }
 
 TEST(PlanTableTest, ShardedSparseBackendFindsAndIterates) {
-  PlanTable table(24, /*dense_limit=*/20, /*memo_entry_budget=*/0,
-                  /*sparse_shards=*/8);
+  // Enough size-2 sets to exercise multiple shards' worth of hashing on
+  // a sparse table; every set must round-trip through Find.
+  PlanTable table(24, /*dense_limit=*/0);
   ASSERT_FALSE(table.is_dense());
   for (int i = 0; i < 24; ++i) {
     for (int j = i + 1; j < 24; ++j) {
-      PlanEntry& entry = table.GetOrCreate(NodeSet::Of({i, j}));
-      entry.cost = static_cast<double>(i * 24 + j);
-      entry.cardinality = 1.0;
-      table.NotePopulated();
+      table.Register(NodeSet::Of({i, j}), static_cast<double>(i * 24 + j),
+                     1.0, kInvalidPlanRef, kInvalidPlanRef,
+                     JoinOperator::kUnspecified);
     }
   }
   EXPECT_EQ(table.populated_count(), 24u * 23u / 2u);
   for (int i = 0; i < 24; ++i) {
     for (int j = i + 1; j < 24; ++j) {
-      const PlanEntry* found = table.Find(NodeSet::Of({i, j}));
-      ASSERT_NE(found, nullptr) << i << "," << j;
-      EXPECT_DOUBLE_EQ(found->cost, static_cast<double>(i * 24 + j));
+      const PlanRef found = table.Find(NodeSet::Of({i, j}));
+      ASSERT_NE(found, kInvalidPlanRef) << i << "," << j;
+      EXPECT_DOUBLE_EQ(table.cost(found), static_cast<double>(i * 24 + j));
     }
   }
   uint64_t visited = 0;
-  table.ForEach([&](NodeSet, const PlanEntry&) { ++visited; });
+  table.ForEach([&](NodeSet, PlanRef) { ++visited; });
   EXPECT_EQ(visited, table.populated_count());
 }
 
-PlanTable::LayerCandidate MakeCandidate(NodeSet set, NodeSet left,
-                                        NodeSet right, double cost) {
+PlanTable::LayerCandidate MakeCandidate(NodeSet set, PlanRef left,
+                                        PlanRef right, double cost) {
   PlanTable::LayerCandidate candidate;
   candidate.set = set;
-  candidate.entry.left = left;
-  candidate.entry.right = right;
-  candidate.entry.cost = cost;
-  candidate.entry.cardinality = 1.0;
+  candidate.left = left;
+  candidate.right = right;
+  candidate.cost = cost;
+  candidate.cardinality = 1.0;
   return candidate;
 }
 
-TEST_P(PlanTableBackendTest, MergeLayerWinnerIsPartitionIndependent) {
+class MergeLayerTest : public PlanTableBackendTest {};
+
+TEST_P(MergeLayerTest, WinnerIsPartitionIndependent) {
   // Three candidates for the same set: the lowest cost wins, and among
-  // equal costs the lexicographically smallest (left, right) pair — so
-  // any permutation of the candidate list merges identically.
+  // equal costs the lexicographically smallest (left, right) ref pair —
+  // so any permutation of the candidate list merges identically.
   const NodeSet s = NodeSet::Of({0, 1, 2});
-  const std::vector<PlanTable::LayerCandidate> base = {
-      MakeCandidate(s, NodeSet::Of({0, 1}), NodeSet::Of({2}), 5.0),
-      MakeCandidate(s, NodeSet::Of({0}), NodeSet::Of({1, 2}), 3.0),
-      MakeCandidate(s, NodeSet::Of({0, 2}), NodeSet::Of({1}), 3.0),
-  };
   std::vector<std::vector<size_t>> orders = {
       {0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}};
   for (const auto& order : orders) {
     PlanTable table = MakeTable(6);
+    const PlanRef l0 = table.RegisterLeaf(NodeSet::Of({0}), 1.0);
+    const PlanRef l1 = table.RegisterLeaf(NodeSet::Of({1}), 1.0);
+    const PlanRef l2 = table.RegisterLeaf(NodeSet::Of({2}), 1.0);
+    const PlanRef p01 = table.Register(NodeSet::Of({0, 1}), 1.0, 1.0, l0, l1,
+                                       JoinOperator::kHashJoin);
+    const PlanRef p12 = table.Register(NodeSet::Of({1, 2}), 1.0, 1.0, l1, l2,
+                                       JoinOperator::kHashJoin);
+    const PlanRef p02 = table.Register(NodeSet::Of({0, 2}), 1.0, 1.0, l0, l2,
+                                       JoinOperator::kHashJoin);
+    const std::vector<PlanTable::LayerCandidate> base = {
+        MakeCandidate(s, p01, l2, 5.0),
+        MakeCandidate(s, l0, p12, 3.0),  // l0 (layer 1) < p02 (layer 2).
+        MakeCandidate(s, p02, l1, 3.0),
+    };
     std::vector<PlanTable::LayerCandidate> candidates;
     for (const size_t i : order) {
       candidates.push_back(base[i]);
@@ -284,57 +320,58 @@ TEST_P(PlanTableBackendTest, MergeLayerWinnerIsPartitionIndependent) {
           return true;
         }));
     EXPECT_EQ(newly, 1);
-    const PlanEntry* merged = table.Find(s);
-    ASSERT_NE(merged, nullptr);
-    EXPECT_DOUBLE_EQ(merged->cost, 3.0);
-    // The cost-3 tie breaks toward left = {0} over left = {0, 2}.
-    EXPECT_EQ(merged->left, NodeSet::Of({0}));
-    EXPECT_EQ(merged->right, NodeSet::Of({1, 2}));
-    EXPECT_EQ(table.populated_count(), 1u);
+    const PlanRef merged = table.Find(s);
+    ASSERT_NE(merged, kInvalidPlanRef);
+    EXPECT_DOUBLE_EQ(table.cost(merged), 3.0);
+    // The cost-3 tie breaks toward the smaller left ref.
+    EXPECT_EQ(table.left(merged), l0);
+    EXPECT_EQ(table.right(merged), p12);
+    EXPECT_EQ(table.populated_count(), 7u);
   }
 }
 
-TEST_P(PlanTableBackendTest, MergeLayerOnlyImprovesExistingEntries) {
+TEST_P(MergeLayerTest, OnlyImprovesExistingEntries) {
   PlanTable table = MakeTable(6);
+  const PlanRef l1 = table.RegisterLeaf(NodeSet::Of({1}), 1.0);
+  const PlanRef l3 = table.RegisterLeaf(NodeSet::Of({3}), 1.0);
   const NodeSet s = NodeSet::Of({1, 3});
-  PlanEntry& existing = table.GetOrCreate(s);
-  existing.left = NodeSet::Of({1});
-  existing.right = NodeSet::Of({3});
-  existing.cost = 2.0;
-  existing.cardinality = 1.0;
-  table.NotePopulated();
+  const PlanRef existing =
+      table.Register(s, 2.0, 1.0, l1, l3, JoinOperator::kHashJoin);
 
   // A worse candidate leaves the entry untouched (and is not "new").
   std::vector<PlanTable::LayerCandidate> worse = {
-      MakeCandidate(s, NodeSet::Of({3}), NodeSet::Of({1}), 9.0)};
+      MakeCandidate(s, l3, l1, 9.0)};
   ASSERT_TRUE(table.MergeLayer(
       worse, [](const PlanTable::LayerCandidate&, bool fresh) {
         EXPECT_FALSE(fresh);
         return true;
       }));
-  EXPECT_DOUBLE_EQ(table.Find(s)->cost, 2.0);
-  EXPECT_EQ(table.populated_count(), 1u);
+  EXPECT_DOUBLE_EQ(table.cost(existing), 2.0);
+  EXPECT_EQ(table.left(existing), l1);
+  EXPECT_EQ(table.populated_count(), 3u);
 
   // A better one replaces it without double-counting populated_count.
   std::vector<PlanTable::LayerCandidate> better = {
-      MakeCandidate(s, NodeSet::Of({3}), NodeSet::Of({1}), 1.0)};
+      MakeCandidate(s, l3, l1, 1.0)};
   ASSERT_TRUE(table.MergeLayer(
       better, [](const PlanTable::LayerCandidate&, bool) { return true; }));
-  EXPECT_DOUBLE_EQ(table.Find(s)->cost, 1.0);
-  EXPECT_EQ(table.Find(s)->left, NodeSet::Of({3}));
-  EXPECT_EQ(table.populated_count(), 1u);
+  EXPECT_DOUBLE_EQ(table.cost(existing), 1.0);
+  EXPECT_EQ(table.left(existing), l3);
+  EXPECT_EQ(table.populated_count(), 3u);
 }
 
-TEST_P(PlanTableBackendTest, MergeLayerGateStopsInAscendingSetOrder) {
+TEST_P(MergeLayerTest, GateStopsInAscendingSetOrder) {
   PlanTable table = MakeTable(6);
+  const PlanRef l0 = table.RegisterLeaf(NodeSet::Of({0}), 1.0);
+  const PlanRef l1 = table.RegisterLeaf(NodeSet::Of({1}), 1.0);
+  const PlanRef l2 = table.RegisterLeaf(NodeSet::Of({2}), 1.0);
+  const PlanRef l3 = table.RegisterLeaf(NodeSet::Of({3}), 1.0);
   // Two sets; the gate rejects after the first winner, so the second
   // (higher-mask) set must remain unpopulated — matching a serial run
   // interrupted mid-layer.
   std::vector<PlanTable::LayerCandidate> candidates = {
-      MakeCandidate(NodeSet::Of({2, 3}), NodeSet::Of({2}), NodeSet::Of({3}),
-                    4.0),
-      MakeCandidate(NodeSet::Of({0, 1}), NodeSet::Of({0}), NodeSet::Of({1}),
-                    7.0),
+      MakeCandidate(NodeSet::Of({2, 3}), l2, l3, 4.0),
+      MakeCandidate(NodeSet::Of({0, 1}), l0, l1, 7.0),
   };
   int applied = 0;
   EXPECT_FALSE(table.MergeLayer(
@@ -345,23 +382,47 @@ TEST_P(PlanTableBackendTest, MergeLayerGateStopsInAscendingSetOrder) {
         return false;
       }));
   EXPECT_EQ(applied, 1);
-  EXPECT_NE(table.Find(NodeSet::Of({0, 1})), nullptr);
-  EXPECT_EQ(table.Find(NodeSet::Of({2, 3})), nullptr);
+  EXPECT_NE(table.Find(NodeSet::Of({0, 1})), kInvalidPlanRef);
+  EXPECT_EQ(table.Find(NodeSet::Of({2, 3})), kInvalidPlanRef);
 }
 
-TEST(PlanTableTest, DensePointersAreStable) {
+INSTANTIATE_TEST_SUITE_P(DenseAndSparse, MergeLayerTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Dense" : "Sparse";
+                         });
+
+TEST(PlanTableTest, RefsAreStableAcrossGrowth) {
   PlanTable table(10);
-  PlanEntry& first = table.GetOrCreate(NodeSet::Of({0}));
-  first.cost = 1.0;
-  table.NotePopulated();
-  // Creating many more entries must not move the dense slot.
+  const PlanRef first = table.RegisterLeaf(NodeSet::Of({0}), 1.0);
+  // Appending many more entries must not invalidate the earlier ref or
+  // its columns (slabs only grow; refs are (layer, offset), not
+  // pointers).
   for (uint64_t mask = 2; mask < 512; ++mask) {
-    table.GetOrCreate(NodeSet::FromMask(mask)).cost = 2.0;
-    table.NotePopulated();
+    table.Register(NodeSet::FromMask(mask), 2.0, 1.0, kInvalidPlanRef,
+                   kInvalidPlanRef, JoinOperator::kUnspecified);
   }
-  EXPECT_DOUBLE_EQ(first.cost, 1.0);
-  EXPECT_EQ(table.Find(NodeSet::Of({0})), &first);
+  EXPECT_DOUBLE_EQ(table.cardinality(first), 1.0);
+  EXPECT_DOUBLE_EQ(table.cost(first), 0.0);
+  EXPECT_EQ(table.Find(NodeSet::Of({0})), first);
 }
+
+#ifndef NDEBUG
+TEST(PlanTableDeathTest, AppendToFrozenLayerAssertsInDebugBuilds) {
+  PlanTable table(6);
+  table.RegisterLeaf(NodeSet::Of({0}), 1.0);
+  table.FreezeLayer(2);
+  EXPECT_DEATH(table.Register(NodeSet::Of({0, 1}), 1.0, 1.0, kInvalidPlanRef,
+                              kInvalidPlanRef, JoinOperator::kUnspecified),
+               "JOINOPT_CHECK failed");
+  // Thaw lifts the freeze (MemoSalvage's post-enumeration writes).
+  table.Thaw();
+  const PlanRef ref =
+      table.Register(NodeSet::Of({0, 1}), 1.0, 1.0, kInvalidPlanRef,
+                     kInvalidPlanRef, JoinOperator::kUnspecified);
+  EXPECT_EQ(table.Find(NodeSet::Of({0, 1})), ref);
+}
+#endif  // NDEBUG
 
 }  // namespace
 }  // namespace joinopt

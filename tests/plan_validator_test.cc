@@ -15,28 +15,21 @@ PlanTable ValidChainTable(const QueryGraph& graph) {
   const CardinalityEstimator estimator(graph);
   const CoutCostModel cost_model;
   PlanTable table(3);
+  PlanRef leaves[3];
   for (int i = 0; i < 3; ++i) {
-    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
-    leaf.cost = 0.0;
-    leaf.cardinality = graph.cardinality(i);
-    table.NotePopulated();
+    leaves[i] = table.RegisterLeaf(NodeSet::Singleton(i), graph.cardinality(i));
   }
   const double card01 = estimator.EstimateSet(NodeSet::Of({0, 1}));
-  PlanEntry& pair = table.GetOrCreate(NodeSet::Of({0, 1}));
-  pair.left = NodeSet::Of({0});
-  pair.right = NodeSet::Of({1});
-  pair.cardinality = card01;
-  pair.cost = cost_model.JoinCost(graph.cardinality(0), graph.cardinality(1),
-                                  card01);
-  table.NotePopulated();
+  const double cost01 = cost_model.JoinCost(graph.cardinality(0),
+                                            graph.cardinality(1), card01);
+  const PlanRef pair = table.Register(NodeSet::Of({0, 1}), cost01, card01,
+                                      leaves[0], leaves[1],
+                                      JoinOperator::kHashJoin);
   const double card012 = estimator.EstimateSet(NodeSet::Of({0, 1, 2}));
-  PlanEntry& all = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
-  all.left = NodeSet::Of({0, 1});
-  all.right = NodeSet::Of({2});
-  all.cardinality = card012;
-  all.cost =
-      pair.cost + cost_model.JoinCost(card01, graph.cardinality(2), card012);
-  table.NotePopulated();
+  table.Register(
+      NodeSet::Of({0, 1, 2}),
+      cost01 + cost_model.JoinCost(card01, graph.cardinality(2), card012),
+      card012, pair, leaves[2], JoinOperator::kHashJoin);
   return table;
 }
 
@@ -53,7 +46,9 @@ TEST(PlanValidatorTest, RejectsWrongCost) {
   Result<QueryGraph> graph = MakeChainQuery(3);
   ASSERT_TRUE(graph.ok());
   PlanTable table = ValidChainTable(*graph);
-  table.GetOrCreate(NodeSet::Of({0, 1, 2})).cost *= 2.0;
+  const PlanRef root = table.Find(NodeSet::Of({0, 1, 2}));
+  table.SetPlan(root, table.cost(root) * 2.0, table.left(root),
+                table.right(root), table.op(root));
   Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
   ASSERT_TRUE(tree.ok());
   const Status status = ValidatePlan(*tree, *graph, CoutCostModel());
@@ -64,8 +59,27 @@ TEST(PlanValidatorTest, RejectsWrongCost) {
 TEST(PlanValidatorTest, RejectsWrongCardinality) {
   Result<QueryGraph> graph = MakeChainQuery(3);
   ASSERT_TRUE(graph.ok());
-  PlanTable table = ValidChainTable(*graph);
-  table.GetOrCreate(NodeSet::Of({0, 1})).cardinality += 1000.0;
+  const CardinalityEstimator estimator(*graph);
+  const CoutCostModel cost_model;
+  PlanTable table(3);
+  PlanRef leaves[3];
+  for (int i = 0; i < 3; ++i) {
+    leaves[i] =
+        table.RegisterLeaf(NodeSet::Singleton(i), graph->cardinality(i));
+  }
+  // The pair entry lies about its cardinality by +1000.
+  const double card01 = estimator.EstimateSet(NodeSet::Of({0, 1})) + 1000.0;
+  const PlanRef pair = table.Register(
+      NodeSet::Of({0, 1}),
+      cost_model.JoinCost(graph->cardinality(0), graph->cardinality(1),
+                          card01),
+      card01, leaves[0], leaves[1], JoinOperator::kHashJoin);
+  const double card012 = estimator.EstimateSet(NodeSet::Of({0, 1, 2}));
+  table.Register(
+      NodeSet::Of({0, 1, 2}),
+      table.cost(pair) +
+          cost_model.JoinCost(card01, graph->cardinality(2), card012),
+      card012, pair, leaves[2], JoinOperator::kHashJoin);
   Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
   ASSERT_TRUE(tree.ok());
   EXPECT_FALSE(ValidatePlan(*tree, *graph, CoutCostModel()).ok());
@@ -78,28 +92,23 @@ TEST(PlanValidatorTest, RejectsCrossProductWhenForbidden) {
   const CardinalityEstimator estimator(*graph);
   const CoutCostModel cost_model;
   PlanTable table(3);
+  PlanRef leaves[3];
   for (int i = 0; i < 3; ++i) {
-    PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(i));
-    leaf.cost = 0.0;
-    leaf.cardinality = graph->cardinality(i);
-    table.NotePopulated();
+    leaves[i] =
+        table.RegisterLeaf(NodeSet::Singleton(i), graph->cardinality(i));
   }
   const double card02 = graph->cardinality(0) * graph->cardinality(2);
-  PlanEntry& cross = table.GetOrCreate(NodeSet::Of({0, 2}));
-  cross.left = NodeSet::Of({0});
-  cross.right = NodeSet::Of({2});
-  cross.cardinality = card02;
-  cross.cost = cost_model.JoinCost(graph->cardinality(0),
-                                   graph->cardinality(2), card02);
-  table.NotePopulated();
+  const PlanRef cross = table.Register(
+      NodeSet::Of({0, 2}),
+      cost_model.JoinCost(graph->cardinality(0), graph->cardinality(2),
+                          card02),
+      card02, leaves[0], leaves[2], JoinOperator::kHashJoin);
   const double card_all = estimator.EstimateSet(NodeSet::Of({0, 1, 2}));
-  PlanEntry& all = table.GetOrCreate(NodeSet::Of({0, 1, 2}));
-  all.left = NodeSet::Of({0, 2});
-  all.right = NodeSet::Of({1});
-  all.cardinality = card_all;
-  all.cost =
-      cross.cost + cost_model.JoinCost(card02, graph->cardinality(1), card_all);
-  table.NotePopulated();
+  table.Register(
+      NodeSet::Of({0, 1, 2}),
+      table.cost(cross) +
+          cost_model.JoinCost(card02, graph->cardinality(1), card_all),
+      card_all, cross, leaves[1], JoinOperator::kHashJoin);
 
   Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({0, 1, 2}));
   ASSERT_TRUE(tree.ok());
@@ -120,10 +129,7 @@ TEST(PlanValidatorTest, RejectsEmptyTree) {
   // default-constructed vector route is impossible, so this checks the
   // validator on a real single-leaf tree instead (must pass).
   PlanTable table(2);
-  PlanEntry& leaf = table.GetOrCreate(NodeSet::Singleton(1));
-  leaf.cost = 0.0;
-  leaf.cardinality = graph->cardinality(1);
-  table.NotePopulated();
+  table.RegisterLeaf(NodeSet::Singleton(1), graph->cardinality(1));
   Result<JoinTree> tree = JoinTree::FromPlanTable(table, NodeSet::Of({1}));
   ASSERT_TRUE(tree.ok());
   EXPECT_TRUE(ValidatePlan(*tree, *graph, CoutCostModel()).ok());

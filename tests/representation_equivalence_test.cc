@@ -1,0 +1,250 @@
+/// Representation-equivalence suite: pins the OutcomeSignature of every
+/// registry orderer on every workload family against goldens captured
+/// before the memo's storage layout changed (AoS PlanEntry vs layered
+/// struct-of-arrays slabs). The memo representation is an internal
+/// detail; these goldens make that claim checkable bit-for-bit — costs,
+/// cardinalities, all paper counters, and plans_stored must not move
+/// when the layout does.
+///
+/// On top of the per-orderer signatures the suite asserts:
+///  * the parallel orderers are thread-count-invariant (1/2/8 threads
+///    produce one signature), and DPsubPar's plan EXPRESSION equals
+///    serial DPsub's at every thread count (its workers replay the
+///    serial per-mask sweep exactly);
+///  * a sparse-forced run (memo_entry_budget = 2^n - 1, one below the
+///    dense backend's preallocation) matches its own golden, so both
+///    backends are pinned;
+///  * for the exact DPs the sparse-forced signature equals the dense
+///    one — backend choice must never leak into results.
+///
+/// Regenerate goldens (e.g. when a workload family or cost model
+/// legitimately changes) with:
+///   JOINOPT_UPDATE_GOLDENS=1 ./representation_equivalence_test
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/outcome.h"
+#include "joinopt.h"
+
+#ifndef JOINOPT_GOLDENS_FILE
+#error "build must define JOINOPT_GOLDENS_FILE"
+#endif
+
+namespace joinopt {
+namespace {
+
+struct Family {
+  std::string name;
+  QueryGraph graph;
+};
+
+std::vector<Family> AllFamilies() {
+  WorkloadConfig config;
+  config.seed = 20060912;
+  std::vector<Family> families;
+  auto add = [&families](const char* name, Result<QueryGraph> graph) {
+    EXPECT_TRUE(graph.ok()) << name << ": " << graph.status().ToString();
+    if (graph.ok()) {
+      families.push_back({name, *std::move(graph)});
+    }
+  };
+  add("chain-10", MakeChainQuery(10, config));
+  add("cycle-9", MakeCycleQuery(9, config));
+  add("star-9", MakeStarQuery(9, config));
+  add("clique-8", MakeCliqueQuery(8, config));
+  add("snowflake-3x2", MakeSnowflakeQuery(3, 2, config));
+  add("grid-3x3", MakeGridQuery(3, 3, config));
+  add("random-10", MakeRandomConnectedQuery(10, 6, config));
+  return families;
+}
+
+/// The orderers whose search space is complete: backend choice (dense vs
+/// sparse) must not even perturb tie-breaks for these, so their sparse
+/// signature is asserted equal to the dense one on top of the goldens.
+bool IsExactDP(const std::string& name) {
+  return name == "DPsize" || name == "DPsub" || name == "DPccp" ||
+         name == "DPhyp" || name == "DPsizePar" || name == "DPsubPar";
+}
+
+bool IsParallel(const std::string& name) {
+  return name == "DPsizePar" || name == "DPsubPar";
+}
+
+struct RunOutcome {
+  OutcomeSignature signature;
+  std::string expression;  // "<error>" when the run failed.
+};
+
+RunOutcome RunOrderer(const std::string& name, const QueryGraph& graph,
+                      const CostModel& cost_model,
+                      const OptimizeOptions& options) {
+  const JoinOrderer* orderer = OptimizerRegistry::Get(name);
+  EXPECT_NE(orderer, nullptr) << name;
+  OptimizerContext ctx(graph, cost_model, options);
+  Result<OptimizationResult> result = orderer->Optimize(ctx);
+  RunOutcome outcome;
+  outcome.signature = ExtractOutcomeSignature(result, ctx.stats());
+  outcome.expression =
+      result.ok() ? PlanToExpression(result->plan, graph) : "<error>";
+  return outcome;
+}
+
+/// One golden line: `key = payload`. The payload renders every signature
+/// field (doubles as shortest round-trip text, compared bit-for-bit) and
+/// the plan expression for the orderers whose plan SHAPE is pinned
+/// (DPsub/DPsubPar — their enumeration order makes the tie-break
+/// first-minimal, which no layout change may alter). Other orderers
+/// store "-": equal-cost plan shapes are not part of their contract.
+std::string FormatPayload(const RunOutcome& outcome, bool pin_expression) {
+  const OutcomeSignature& sig = outcome.signature;
+  std::ostringstream out;
+  out << "status=" << StatusCodeToString(sig.status)
+      << " cost=" << FormatDoubleShortest(sig.cost)
+      << " card=" << FormatDoubleShortest(sig.cardinality)
+      << " inner=" << sig.inner_counter
+      << " csg_cmp=" << sig.csg_cmp_pair_counter
+      << " create=" << sig.create_join_tree_calls
+      << " plans=" << sig.plans_stored
+      << " best_effort=" << (sig.best_effort ? 1 : 0)
+      << " trigger=" << StatusCodeToString(sig.trigger)
+      << " expr=" << (pin_expression ? outcome.expression : "-");
+  return out.str();
+}
+
+class GoldenFile {
+ public:
+  GoldenFile() : update_(std::getenv("JOINOPT_UPDATE_GOLDENS") != nullptr) {
+    Load();
+  }
+
+  void Load() {
+    if (update_) {
+      return;
+    }
+    std::ifstream in(JOINOPT_GOLDENS_FILE);
+    ASSERT_TRUE(in.good())
+        << "missing goldens file " << JOINOPT_GOLDENS_FILE
+        << "; regenerate with JOINOPT_UPDATE_GOLDENS=1";
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') {
+        continue;
+      }
+      const size_t sep = line.find(" = ");
+      ASSERT_NE(sep, std::string::npos) << "malformed golden line: " << line;
+      golden_.emplace(line.substr(0, sep), line.substr(sep + 3));
+    }
+  }
+
+  /// In compare mode checks `payload` against the stored line; in update
+  /// mode records it for Flush.
+  void Check(const std::string& key, const std::string& payload) {
+    if (update_) {
+      lines_.push_back(key + " = " + payload);
+      return;
+    }
+    const auto it = golden_.find(key);
+    if (it == golden_.end()) {
+      ADD_FAILURE() << "no golden for " << key
+                    << "; regenerate with JOINOPT_UPDATE_GOLDENS=1";
+      return;
+    }
+    EXPECT_EQ(payload, it->second) << key;
+  }
+
+  void Flush() {
+    if (!update_) {
+      return;
+    }
+    std::ofstream out(JOINOPT_GOLDENS_FILE);
+    ASSERT_TRUE(out.good()) << "cannot write " << JOINOPT_GOLDENS_FILE;
+    out << "# Outcome signatures per orderer x family x backend, captured\n"
+           "# before the slab memo layout landed. Regenerate with\n"
+           "#   JOINOPT_UPDATE_GOLDENS=1 ./representation_equivalence_test\n";
+    for (const std::string& line : lines_) {
+      out << line << '\n';
+    }
+  }
+
+ private:
+  bool update_;
+  std::map<std::string, std::string> golden_;
+  std::vector<std::string> lines_;
+};
+
+TEST(RepresentationEquivalenceTest, SignaturesMatchGoldens) {
+  GoldenFile goldens;
+  const CoutCostModel cost_model;
+  const std::vector<Family> families = AllFamilies();
+  const std::vector<std::string> orderers = OptimizerRegistry::Names();
+  ASSERT_FALSE(orderers.empty());
+
+  for (const Family& family : families) {
+    const uint64_t dense_entries = uint64_t{1}
+                                   << family.graph.relation_count();
+    // DPsub's serial plan expression, for the DPsubPar comparison below.
+    std::string dpsub_expression;
+
+    for (const std::string& name : orderers) {
+      SCOPED_TRACE(family.name + "/" + name);
+      const bool pin_expression = name == "DPsub" || name == "DPsubPar";
+
+      // Dense-eligible run (no budget), threads 1/2/8 for the parallel
+      // orderers — one signature for all three or the orderer is not
+      // thread-count-invariant.
+      OptimizeOptions options;
+      options.threads = 1;
+      const RunOutcome base =
+          RunOrderer(name, family.graph, cost_model, options);
+      if (IsParallel(name)) {
+        for (const int threads : {2, 8}) {
+          options.threads = threads;
+          const RunOutcome threaded =
+              RunOrderer(name, family.graph, cost_model, options);
+          EXPECT_EQ(threaded.signature.DiffAgainst(base.signature), "")
+              << name << " at " << threads << " threads";
+          if (pin_expression) {
+            EXPECT_EQ(threaded.expression, base.expression)
+                << name << " at " << threads << " threads";
+          }
+        }
+      }
+      goldens.Check(family.name + "/" + name + "/dense",
+                    FormatPayload(base, pin_expression));
+
+      if (name == "DPsub") {
+        dpsub_expression = base.expression;
+      }
+      if (name == "DPsubPar") {
+        // DPsubPar replays serial DPsub's per-mask sweep exactly, so not
+        // just the signature but the plan expression must coincide.
+        EXPECT_EQ(base.expression, dpsub_expression);
+      }
+
+      // Sparse-forced run: one entry below the dense preallocation makes
+      // every table fall back to the hash backend without ever tripping
+      // (no orderer populates more than 2^n - 1 sets).
+      OptimizeOptions sparse_options;
+      sparse_options.threads = 1;
+      sparse_options.memo_entry_budget = dense_entries - 1;
+      const RunOutcome sparse =
+          RunOrderer(name, family.graph, cost_model, sparse_options);
+      goldens.Check(family.name + "/" + name + "/sparse",
+                    FormatPayload(sparse, pin_expression));
+      if (IsExactDP(name)) {
+        EXPECT_EQ(sparse.signature.DiffAgainst(base.signature), "")
+            << name << " sparse vs dense";
+      }
+    }
+  }
+  goldens.Flush();
+}
+
+}  // namespace
+}  // namespace joinopt

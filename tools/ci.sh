@@ -80,6 +80,38 @@ run_pass() {
     echo "parallel bench smoke: no JSON artifact emitted" >&2
     exit 1
   fi
+  echo "=== ${label}: parallel perf guard ==="
+  # Representation-overhead regression guard: DPsizePar at one thread is
+  # serial DPsize plus the reduction/merge machinery, so its runtime is a
+  # direct measure of the memo representation's parallel-path overhead.
+  # The slab refactor brought the ratio from ~3.5x to ~1x; fail the run
+  # if it creeps back above 1.15x.
+  python3 - "${build_dir}/BENCH_parallel.json" <<'PYGUARD'
+import json, sys
+cells = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        cell = json.loads(line)
+        cells[cell["algorithm"]] = cell["elapsed_s"]
+serial, par1 = cells["DPsize"], cells["DPsizePar@1"]
+ratio = par1 / serial
+print(f"DPsizePar@1/DPsize on clique-16: {par1:.3f}s / {serial:.3f}s = {ratio:.3f}x")
+if ratio > 1.15:
+    print(f"FAIL: parallel representation overhead {ratio:.3f}x exceeds the 1.15x budget", file=sys.stderr)
+    sys.exit(1)
+PYGUARD
+  echo "=== ${label}: memo representation bench ==="
+  # Index-backend and layout throughput cells (BENCH_memo.json): slab
+  # dense/sparse vs the pre-refactor hash-map-of-AoS baseline, plus the
+  # clique-16 end-to-end cells, diffable across commits like the
+  # parallel artifact above.
+  rm -f "${build_dir}/BENCH_memo.json"
+  JOINOPT_BENCH_JSON="${build_dir}/BENCH_memo.json" \
+    "${build_dir}/bench/micro_plan_table"
+  if [ ! -s "${build_dir}/BENCH_memo.json" ]; then
+    echo "memo bench: no JSON artifact emitted" >&2
+    exit 1
+  fi
 }
 
 run_tsan_pass() {
