@@ -87,8 +87,7 @@ std::optional<uint64_t> PredictedInner(const std::string& algorithm,
   return std::nullopt;
 }
 
-void EmitBenchJson(const std::string& algorithm, const std::string& shape,
-                   int n, const OptimizerStats& stats, double seconds) {
+void EmitBenchJsonLine(const std::string& line) {
   const char* sink = std::getenv("JOINOPT_BENCH_JSON");
   if (sink == nullptr || sink[0] == '\0') {
     return;
@@ -103,22 +102,29 @@ void EmitBenchJson(const std::string& algorithm, const std::string& shape,
       return;
     }
   }
-  std::fprintf(
-      out,
-      "{\"algorithm\":\"%s\",\"shape\":\"%s\",\"n\":%d,"
-      "\"inner_counter\":%" PRIu64 ",\"csg_cmp_pair_counter\":%" PRIu64
-      ",\"ono_lohman_counter\":%" PRIu64 ",\"create_join_tree_calls\":%" PRIu64
-      ",\"plans_stored\":%" PRIu64 ",\"elapsed_s\":%.9g"
-      ",\"best_effort\":%s,\"memo_coverage\":%.9g}\n",
-      algorithm.c_str(), shape.c_str(), n, stats.inner_counter,
-      stats.csg_cmp_pair_counter, stats.ono_lohman_counter,
-      stats.create_join_tree_calls, stats.plans_stored, seconds,
-      stats.best_effort ? "true" : "false", stats.memo_coverage);
+  std::fprintf(out, "%s\n", line.c_str());
   if (to_stdout) {
     std::fflush(out);
   } else {
     std::fclose(out);
   }
+}
+
+void EmitBenchJson(const std::string& algorithm, const std::string& shape,
+                   int n, const OptimizerStats& stats, double seconds) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"algorithm\":\"%s\",\"shape\":\"%s\",\"n\":%d,"
+      "\"inner_counter\":%" PRIu64 ",\"csg_cmp_pair_counter\":%" PRIu64
+      ",\"ono_lohman_counter\":%" PRIu64 ",\"create_join_tree_calls\":%" PRIu64
+      ",\"plans_stored\":%" PRIu64 ",\"elapsed_s\":%.9g"
+      ",\"best_effort\":%s,\"memo_coverage\":%.9g}",
+      algorithm.c_str(), shape.c_str(), n, stats.inner_counter,
+      stats.csg_cmp_pair_counter, stats.ono_lohman_counter,
+      stats.create_join_tree_calls, stats.plans_stored, seconds,
+      stats.best_effort ? "true" : "false", stats.memo_coverage);
+  EmitBenchJsonLine(buffer);
 }
 
 std::string FormatSeconds(double seconds) {

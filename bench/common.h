@@ -60,6 +60,12 @@ std::optional<uint64_t> PredictedInner(const std::string& algorithm,
 void EmitBenchJson(const std::string& algorithm, const std::string& shape,
                    int n, const OptimizerStats& stats, double seconds);
 
+/// Lower-level sink for benches whose cells are not (algorithm, shape, n)
+/// rows: appends `line` (a complete one-line JSON object, no trailing
+/// newline) verbatim to the JOINOPT_BENCH_JSON sink under the same
+/// resolution rules as EmitBenchJson. No-op when the variable is unset.
+void EmitBenchJsonLine(const std::string& line);
+
 /// Runs the relative-performance experiment behind Figures 8-11: for each
 /// n in [2, max_n], times DPsize, DPsub, and DPccp on `shape` and prints
 /// one row with the runtimes normalized to DPccp ( = 1.0), skipping cells

@@ -1,0 +1,203 @@
+/// serving — throughput and hit-rate cells for the optimizer service.
+///
+/// Streams a fixed recurring query pool (all seven workload families)
+/// through serve::OptimizerService at several plan-cache capacities —
+/// uncached, a cache smaller than the pool (so the segmented LRU has to
+/// choose victims), and a cache that holds the whole pool — and reports
+/// throughput, hit rate, and eviction counts per cell. One more cell
+/// drives an overload burst against a single worker to record the
+/// shedding behavior under pressure.
+///
+/// Each cell is also emitted as one JSON line
+/// ({"bench":"serving","cache_capacity":...}) through the
+/// JOINOPT_BENCH_JSON sink; tools/ci.sh collects them as
+/// BENCH_serving.json so hit-rate or throughput regressions are diffable
+/// across commits.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "joinopt.h"
+#include "testing/workloads.h"
+#include "util/random.h"
+
+namespace joinopt {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeed = 20060912;
+constexpr int kPoolSize = 32;
+constexpr uint64_t kQueries = 1500;
+
+struct PoolQuery {
+  QueryGraph graph;
+  std::string orderer;
+};
+
+std::vector<PoolQuery> MakePool() {
+  std::vector<PoolQuery> pool;
+  pool.reserve(kPoolSize);
+  const char* const kOrderers[] = {"DPsize", "DPsub", "DPccp", "DPhyp"};
+  for (int i = 0; i < kPoolSize; ++i) {
+    Random rng(kSeed * 7919 + static_cast<uint64_t>(i));
+    std::string family;
+    Result<QueryGraph> drawn = testing::DrawWorkloadGraph(rng, &family);
+    if (!drawn.ok()) {
+      std::fprintf(stderr, "serving: pool generator failed: %s\n",
+                   drawn.status().ToString().c_str());
+      std::exit(1);
+    }
+    pool.push_back({std::move(*drawn), kOrderers[rng.Uniform(4)]});
+  }
+  return pool;
+}
+
+struct Cell {
+  uint64_t cache_capacity = 0;
+  uint64_t queries = 0;
+  double elapsed_s = 0.0;
+  serve::PlanCache::Stats cache;
+  serve::ServiceStats service;
+};
+
+Cell RunCell(const std::vector<PoolQuery>& pool, uint64_t cache_capacity) {
+  serve::ServiceConfig config;
+  config.workers = 4;
+  config.queue_depth = 64;
+  config.cache_enabled = cache_capacity > 0;
+  config.cache.capacity = cache_capacity;
+  config.cache.shards = 4;
+  auto service = serve::OptimizerService::Create(config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "serving: service creation failed: %s\n",
+                 service.status().ToString().c_str());
+    std::exit(1);
+  }
+  Stopwatch watch;
+  std::vector<std::future<serve::ServeResponse>> window;
+  for (uint64_t q = 0; q < kQueries; ++q) {
+    Random rng(kSeed * 1000003 + q);
+    const PoolQuery& pick = pool[rng.Uniform(kPoolSize)];
+    serve::ServeRequest request;
+    request.graph = pick.graph;
+    request.orderer = pick.orderer;
+    request.threads = 1;
+    window.push_back((*service)->Submit(std::move(request)));
+    if (window.size() == 32 || q + 1 == kQueries) {
+      for (auto& future : window) {
+        const serve::ServeResponse response = future.get();
+        if (!response.status.ok()) {
+          std::fprintf(stderr, "serving: query failed: %s\n",
+                       response.status.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      window.clear();
+    }
+  }
+  Cell cell;
+  cell.cache_capacity = cache_capacity;
+  cell.queries = kQueries;
+  cell.elapsed_s = watch.ElapsedSeconds();
+  (*service)->Shutdown();
+  cell.cache = (*service)->CacheSnapshot();
+  cell.service = (*service)->Snapshot();
+  return cell;
+}
+
+/// The shedding cell: one slow worker, a short queue, and a burst several
+/// times the depth with a deadline the predictor cannot meet. Records how
+/// much of the burst was shed (typed, immediately) vs served.
+Cell RunOverloadCell(const std::vector<PoolQuery>& pool) {
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.queue_depth = 8;
+  config.cache_enabled = false;
+  auto service = serve::OptimizerService::Create(config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "serving: service creation failed: %s\n",
+                 service.status().ToString().c_str());
+    std::exit(1);
+  }
+  constexpr int kBurst = 64;
+  Stopwatch watch;
+  std::vector<std::future<serve::ServeResponse>> futures;
+  futures.reserve(kBurst);
+  for (int b = 0; b < kBurst; ++b) {
+    Random rng(kSeed * 777767 + static_cast<uint64_t>(b));
+    serve::ServeRequest request;
+    request.graph = pool[rng.Uniform(kPoolSize)].graph;
+    request.orderer = pool[rng.Uniform(kPoolSize)].orderer;
+    request.deadline_seconds = 0.05;
+    futures.push_back((*service)->Submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    (void)future.get();
+  }
+  Cell cell;
+  cell.cache_capacity = 0;
+  cell.queries = kBurst;
+  cell.elapsed_s = watch.ElapsedSeconds();
+  (*service)->Shutdown();
+  cell.cache = (*service)->CacheSnapshot();
+  cell.service = (*service)->Snapshot();
+  return cell;
+}
+
+void Report(const char* label, const Cell& cell) {
+  const uint64_t lookups = cell.cache.hits + cell.cache.misses +
+                           cell.cache.stale;
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cell.cache.hits) /
+                         static_cast<double>(lookups);
+  const uint64_t shed = cell.service.shed_queue_full +
+                        cell.service.shed_predicted_deadline +
+                        cell.service.shed_queue_expired +
+                        cell.service.shed_shutdown;
+  std::printf("%-10s  capacity %5" PRIu64 "  %6" PRIu64
+              " queries  %8.1f q/s  hit rate %5.1f%%  evictions %5" PRIu64
+              "  shed %4" PRIu64 "\n",
+              label, cell.cache_capacity, cell.queries,
+              static_cast<double>(cell.queries) / cell.elapsed_s,
+              100.0 * hit_rate,
+              cell.cache.evicted_probation + cell.cache.evicted_protected,
+              shed);
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"serving\",\"cell\":\"%s\",\"cache_capacity\":%"
+                PRIu64 ",\"queries\":%" PRIu64 ",\"elapsed_s\":%.9g"
+                ",\"throughput_qps\":%.9g,\"hits\":%" PRIu64 ",\"misses\":%"
+                PRIu64 ",\"stale\":%" PRIu64 ",\"hit_rate\":%.6g"
+                ",\"evictions\":%" PRIu64 ",\"shed\":%" PRIu64 "}",
+                label, cell.cache_capacity, cell.queries, cell.elapsed_s,
+                static_cast<double>(cell.queries) / cell.elapsed_s,
+                cell.cache.hits, cell.cache.misses, cell.cache.stale,
+                hit_rate,
+                cell.cache.evicted_probation + cell.cache.evicted_protected,
+                shed);
+  EmitBenchJsonLine(json);
+}
+
+int Main() {
+  RequireValidEnv();
+  const std::vector<PoolQuery> pool = MakePool();
+  std::printf("serving: %d-query pool, %" PRIu64 " query stream, 4 workers\n",
+              kPoolSize, kQueries);
+  // The hit-rate sweep: uncached baseline, a cache smaller than the pool
+  // (eviction pressure), and one that holds the whole pool.
+  Report("uncached", RunCell(pool, 0));
+  Report("small", RunCell(pool, 16));
+  Report("full", RunCell(pool, 256));
+  Report("overload", RunOverloadCell(pool));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace joinopt
+
+int main() { return joinopt::bench::Main(); }

@@ -26,6 +26,7 @@ Result<int> Catalog::AddRelation(std::string name, double cardinality) {
   const int index = relation_count();
   index_by_name_.emplace(name, index);
   relations_.push_back(RelationInfo{std::move(name), cardinality});
+  ++generation_;
   return index;
 }
 
@@ -43,6 +44,7 @@ Status Catalog::AddJoin(std::string_view left, std::string_view right,
     return Status::InvalidArgument("selectivity must be in (0, 1]");
   }
   joins_.push_back(JoinInfo{*left_index, *right_index, selectivity});
+  ++generation_;
   return Status::OK();
 }
 

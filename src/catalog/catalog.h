@@ -1,6 +1,7 @@
 #ifndef JOINOPT_CATALOG_CATALOG_H_
 #define JOINOPT_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -56,6 +57,15 @@ class Catalog {
   /// kDegenerateStatistics.
   Result<QueryGraph> BuildQueryGraph() const;
 
+  /// Monotonic statistics generation. Starts at 1 and advances on every
+  /// mutation (AddRelation, AddJoin, BumpGeneration). A plan cached for an
+  /// earlier generation is stale: the serving layer stamps each cache
+  /// entry with the generation it was computed under and treats a
+  /// mismatch as a miss. BumpGeneration models an out-of-band statistics
+  /// refresh (ANALYZE) that changes estimates without structural edits.
+  uint64_t generation() const { return generation_; }
+  void BumpGeneration() { ++generation_; }
+
  private:
   struct RelationInfo {
     std::string name;
@@ -70,6 +80,7 @@ class Catalog {
   std::vector<RelationInfo> relations_;
   std::vector<JoinInfo> joins_;
   std::unordered_map<std::string, int> index_by_name_;
+  uint64_t generation_ = 1;
 };
 
 }  // namespace joinopt

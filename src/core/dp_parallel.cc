@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -379,6 +380,15 @@ Result<OptimizationResult> DPsizePar::Optimize(OptimizerContext& ctx) const {
                         bool newly_populated) {
           return MergeGate(ctx, winner, newly_populated);
         });
+    if (JOINOPT_UNLIKELY(!live && !ctx.exhausted())) {
+      // MergeLayer stopped without the gate tripping: the size layer
+      // overflowed the 26-bit PlanRef offset space. Promote it into the
+      // governor's sticky typed state so salvage/policies see it as a
+      // budget exhaustion.
+      ctx.governor().InjectFailure(Status::BudgetExceeded(
+          "plan table layer " + std::to_string(k) +
+          " overflowed the 26-bit PlanRef offset space"));
+    }
     if (watch.cancelled() && ctx.governor().CheckDeadlineNow()) {
       live = false;
     }
@@ -518,6 +528,12 @@ Result<OptimizationResult> DPsubPar::Optimize(OptimizerContext& ctx) const {
                           bool newly_populated) {
             return MergeGate(ctx, winner, newly_populated);
           });
+      if (JOINOPT_UNLIKELY(!live && !ctx.exhausted())) {
+        // Non-gate merge stop: PlanRef offset overflow (see DPsizePar).
+        ctx.governor().InjectFailure(Status::BudgetExceeded(
+            "plan table layer " + std::to_string(k) +
+            " overflowed the 26-bit PlanRef offset space"));
+      }
       if (watch.cancelled() && ctx.governor().CheckDeadlineNow()) {
         live = false;
       }

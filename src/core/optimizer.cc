@@ -99,6 +99,17 @@ PlanRef InternCombined(OptimizerContext& ctx, NodeSet combined,
   const PlanRef ref = table.Intern(combined, created, [&ctx, combined] {
     return ctx.estimator().EstimateSet(combined);
   });
+  if (JOINOPT_UNLIKELY(ref == kInvalidPlanRef)) {
+    // The size layer overflowed the 26-bit PlanRef offset space — a
+    // memo-capacity exhaustion, reported through the same sticky typed
+    // channel as the configured budget so salvage/policies handle both
+    // identically.
+    ctx.governor().InjectFailure(Status::BudgetExceeded(
+        "plan table layer for " + std::to_string(combined.count()) +
+        "-relation sets overflowed the 26-bit PlanRef offset space"));
+    keep_going = false;
+    return kInvalidPlanRef;
+  }
   if (created) {
     ctx.stats().plans_stored = table.populated_count();
     keep_going = ctx.WithinMemoBudget(table.populated_count());
@@ -152,6 +163,9 @@ bool CreateJoinTree(OptimizerContext& ctx, NodeSet s1, NodeSet s2) {
   const NodeSet combined = s1 | s2;
   bool keep_going = true;
   const PlanRef ref = InternCombined(ctx, combined, keep_going);
+  if (JOINOPT_UNLIKELY(ref == kInvalidPlanRef)) {
+    return false;
+  }
   RelaxOneOrder(ctx, ref, combined, left_cost, left_card, right_cost,
                 right_card, table.cardinality(ref), left, right);
   return keep_going;
@@ -173,6 +187,9 @@ bool CreateJoinTreeBothOrders(OptimizerContext& ctx, PlanRef left_ref,
   const NodeSet combined = s1 | s2;
   bool keep_going = true;
   const PlanRef ref = InternCombined(ctx, combined, keep_going);
+  if (JOINOPT_UNLIKELY(ref == kInvalidPlanRef)) {
+    return false;
+  }
   const double out_card = table.cardinality(ref);
   RelaxOneOrder(ctx, ref, combined, left_cost, left_card, right_cost,
                 right_card, out_card, left_ref, right_ref);

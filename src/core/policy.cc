@@ -1,8 +1,11 @@
 #include "core/policy.h"
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "core/idp.h"
@@ -327,6 +330,44 @@ Result<OptimizationResult> RunDegradationPolicy(const DegradationPolicy& policy,
     result->degradation.policy = policy.ToString();
   }
   ctx.stats() = result->stats;
+  return result;
+}
+
+Result<OptimizationResult> RunPolicyWithRetry(const DegradationPolicy& policy,
+                                              OptimizerContext& ctx,
+                                              const RetryOptions& retry) {
+  const OptimizeOptions base = ctx.options();
+  const double growth = retry.limit_growth > 1.0 ? retry.limit_growth : 2.0;
+  Result<OptimizationResult> result = Status::Internal("policy never ran");
+  for (int attempt = 0; attempt <= retry.max_retries; ++attempt) {
+    if (attempt > 0) {
+      if (retry.backoff_seconds > 0.0) {
+        const double sleep_s =
+            retry.backoff_seconds * static_cast<double>(1 << (attempt - 1));
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      }
+      OptimizeOptions grown = base;
+      const double scale = std::pow(growth, static_cast<double>(attempt));
+      if (base.memo_entry_budget != 0) {
+        const double scaled =
+            static_cast<double>(base.memo_entry_budget) * scale;
+        grown.memo_entry_budget =
+            scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+      }
+      if (base.deadline_seconds != 0.0) {
+        grown.deadline_seconds = base.deadline_seconds * scale;
+      }
+      ctx.ResetForRerun(grown);
+    }
+    result = RunDegradationPolicy(policy, ctx);
+    if (result.ok()) {
+      return result;
+    }
+    const StatusCode code = result.status().code();
+    if (code != StatusCode::kBudgetExceeded && code != StatusCode::kInternal) {
+      return result;  // Not a resource trip or contained fault.
+    }
+  }
   return result;
 }
 

@@ -92,6 +92,32 @@ class DegradationPolicy {
 Result<OptimizationResult> RunDegradationPolicy(const DegradationPolicy& policy,
                                                 OptimizerContext& ctx);
 
+/// Whole-policy retry envelope for the serving layer, layered ON TOP of
+/// RunDegradationPolicy's per-step retries: when the entire policy fails
+/// with a retryable code (kBudgetExceeded / kInternal — resource trips
+/// and contained faults), the policy is re-run from the top with the
+/// context's base limits multiplied by `limit_growth` per attempt, after
+/// an optional backoff sleep that doubles per attempt. Non-retryable
+/// failures (bad input, degenerate statistics) return immediately.
+struct RetryOptions {
+  /// Extra whole-policy attempts after the first failure.
+  int max_retries = 0;
+  /// Sleep before the first retry; doubles each further attempt. 0 = no
+  /// sleep (tests and non-latency-sensitive batch callers).
+  double backoff_seconds = 0.0;
+  /// Base-limit multiplier per retry (memo budget and deadline; zero
+  /// "unlimited" limits stay zero).
+  double limit_growth = 2.0;
+};
+
+/// Runs `policy` under `ctx` with the retry envelope above. Each retry
+/// re-arms `ctx` via ResetForRerun with the grown limits, exercising the
+/// documented re-entrancy contract. ctx.stats() mirrors the returned
+/// stats, exactly like RunDegradationPolicy.
+Result<OptimizationResult> RunPolicyWithRetry(const DegradationPolicy& policy,
+                                              OptimizerContext& ctx,
+                                              const RetryOptions& retry);
+
 }  // namespace joinopt
 
 #endif  // JOINOPT_CORE_POLICY_H_

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
+
 namespace joinopt {
 
 /// Physical join operator chosen by a cost model. kUnspecified means the
@@ -182,6 +184,12 @@ class BestOfCostModel final : public CostModel {
  private:
   std::vector<std::unique_ptr<CostModel>> members_;
 };
+
+/// Resolves a short cost-model name to a fresh instance. The names are the
+/// ones the CLI, repro bundles, and the serving layer all share:
+/// cout | bestof | hash | nlj | smj. Unknown names are a typed
+/// kInvalidArgument listing the accepted set.
+Result<std::unique_ptr<CostModel>> MakeCostModelByName(std::string_view name);
 
 }  // namespace joinopt
 

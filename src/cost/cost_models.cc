@@ -101,4 +101,25 @@ bool BestOfCostModel::IsSymmetric() const {
   return true;
 }
 
+Result<std::unique_ptr<CostModel>> MakeCostModelByName(std::string_view name) {
+  if (name == "cout") {
+    return std::unique_ptr<CostModel>(std::make_unique<CoutCostModel>());
+  }
+  if (name == "bestof") {
+    return std::unique_ptr<CostModel>(
+        std::make_unique<BestOfCostModel>(BestOfCostModel::Standard()));
+  }
+  if (name == "hash") {
+    return std::unique_ptr<CostModel>(std::make_unique<HashJoinCostModel>());
+  }
+  if (name == "nlj") {
+    return std::unique_ptr<CostModel>(std::make_unique<NestedLoopCostModel>());
+  }
+  if (name == "smj") {
+    return std::unique_ptr<CostModel>(std::make_unique<SortMergeCostModel>());
+  }
+  return Status::InvalidArgument("unknown cost model '" + std::string(name) +
+                                 "' (cout|bestof|hash|nlj|smj)");
+}
+
 }  // namespace joinopt

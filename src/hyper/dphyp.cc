@@ -232,6 +232,14 @@ class DPhypRunner {
       }
       return SaturateCardinality(product * graph_.SelectivityWithin(combined));
     });
+    if (JOINOPT_UNLIKELY(ref == kInvalidPlanRef)) {
+      // Size layer overflowed the 26-bit PlanRef offset space; same typed
+      // exhaustion channel as the configured memo budget.
+      governor_.InjectFailure(Status::BudgetExceeded(
+          "plan table layer for " + std::to_string(combined.count()) +
+          "-relation sets overflowed the 26-bit PlanRef offset space"));
+      return false;
+    }
     const double out_card = table_.cardinality(ref);
     if (created) {
       stats_.plans_stored = table_.populated_count();

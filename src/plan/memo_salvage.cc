@@ -152,6 +152,12 @@ Result<MemoSalvage::Outcome> MemoSalvage::Run(
     bool created = false;
     const PlanRef ref =
         table.Intern(combined, created, [best_card] { return best_card; });
+    if (JOINOPT_UNLIKELY(ref == kInvalidPlanRef)) {
+      // Layer slab full (26-bit PlanRef offset space): the composition
+      // cannot materialize further merges, so salvage fails back to the
+      // triggering limit status.
+      return trigger;
+    }
     const double out_card = table.cardinality(ref);
     const double cost_lr =
         SaturateCost(left.cost + right.cost +

@@ -83,7 +83,12 @@ PlanRef PlanTable::Append(NodeSet s, double cost, double cardinality,
   JOINOPT_DCHECK((frozen_mask_ & (uint64_t{1} << (count - 1))) == 0);
   Layer& layer = layers_[count - 1];
   const uint32_t offset = static_cast<uint32_t>(layer.sets.size());
-  JOINOPT_CHECK(offset < kPlanRefOffsetMask);
+  if (JOINOPT_UNLIKELY(offset >= layer_capacity_)) {
+    // The 26-bit offset field is exhausted (or the test cap was hit).
+    // Refuse the insert instead of wrapping the packed layer|offset
+    // encoding into an aliased ref; callers surface kBudgetExceeded.
+    return kInvalidPlanRef;
+  }
   layer.sets.push_back(s);
   layer.costs.push_back(cost);
   layer.cards.push_back(cardinality);
@@ -99,6 +104,9 @@ PlanRef PlanTable::Register(NodeSet s, double cost, double cardinality,
   PlanRef* slot = IndexSlot(s);
   JOINOPT_DCHECK(*slot == kInvalidPlanRef);
   const PlanRef ref = Append(s, cost, cardinality, left, right, op);
+  if (JOINOPT_UNLIKELY(ref == kInvalidPlanRef)) {
+    return kInvalidPlanRef;  // Layer full; index slot stays vacant.
+  }
   *slot = ref;
   return ref;
 }

@@ -149,7 +149,10 @@ class PlanTable {
   }
 
   /// Creates the entry for `s` with the given plan, counting it as
-  /// populated. `s` must not be present yet.
+  /// populated. `s` must not be present yet. Returns kInvalidPlanRef —
+  /// without inserting — when the layer slab is full (see
+  /// layer_capacity()); callers convert that into a typed
+  /// kBudgetExceeded, never a silent wrap of the packed encoding.
   PlanRef Register(NodeSet s, double cost, double cardinality, PlanRef left,
                    PlanRef right, JoinOperator op);
 
@@ -163,7 +166,10 @@ class PlanTable {
   /// entry whose cardinality comes from `estimate()` (invoked only on
   /// creation — the estimate is canonical per set, so later reaches reuse
   /// the stored value) and whose cost starts at +inf for the caller to
-  /// relax. `created` reports which case ran.
+  /// relax. `created` reports which case ran. When the layer slab is full
+  /// the entry is NOT created: returns kInvalidPlanRef with
+  /// created=false, leaving the index unchanged (the reserved-but-invalid
+  /// sparse slot reads back as "absent" everywhere).
   template <class EstimateFn>
   PlanRef Intern(NodeSet s, bool& created, EstimateFn&& estimate) {
     PlanRef* slot = IndexSlot(s);
@@ -171,14 +177,26 @@ class PlanTable {
       created = false;
       return *slot;
     }
-    created = true;
     const PlanRef ref =
         Append(s, kUnreachableCost, estimate(), kInvalidPlanRef,
                kInvalidPlanRef, JoinOperator::kUnspecified);
+    if (JOINOPT_UNLIKELY(ref == kInvalidPlanRef)) {
+      created = false;  // Layer full: no entry, index untouched.
+      return kInvalidPlanRef;
+    }
+    created = true;
     // Sparse IndexSlot pins the shard slot itself, so `slot` stays valid
     // across the append; the dense vector never moves.
     *slot = ref;
     return ref;
+  }
+
+  /// Max entries a single size layer can hold: the 26-bit PlanRef offset
+  /// space by default. SetLayerCapacityForTesting shrinks it so the
+  /// overflow path is testable without 2^26 real inserts.
+  uint32_t layer_capacity() const { return layer_capacity_; }
+  void SetLayerCapacityForTesting(uint32_t capacity) {
+    layer_capacity_ = capacity;
   }
 
   /// Number of entries (every entry holds a plan).
@@ -272,6 +290,12 @@ class PlanTable {
       const PlanRef ref =
           Intern(candidate.set, created,
                  [&candidate] { return candidate.cardinality; });
+      if (JOINOPT_UNLIKELY(ref == kInvalidPlanRef)) {
+        // Layer slab full (26-bit PlanRef offset space). Stop like a
+        // gate-tripped merge; the caller distinguishes overflow from a
+        // gate stop by the governor's exhausted() state.
+        return false;
+      }
       if (candidate.cost < cost(ref)) {
         SetPlan(ref, candidate.cost, candidate.left, candidate.right,
                 candidate.op);
@@ -374,6 +398,8 @@ class PlanTable {
   // Bit k-1 set = layer k frozen. Maintained in all builds (two
   // instructions per layer transition), enforced via DCHECK.
   uint64_t frozen_mask_ = 0;
+  // Per-layer entry cap; kPlanRefOffsetMask except under test.
+  uint32_t layer_capacity_ = kPlanRefOffsetMask;
 };
 
 }  // namespace joinopt

@@ -1,0 +1,187 @@
+#include "serve/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace joinopt {
+namespace serve {
+
+namespace {
+
+/// splitmix64 finalizer: the mixing step of the WL refinement. Full
+/// avalanche, so one differing neighbor bucket flips the whole invariant.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Combine(uint64_t a, uint64_t b) { return Mix(a ^ Mix(b)); }
+
+uint64_t Fnv1a64(std::string_view text) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Rounds of neighborhood refinement. Workload graphs stay small (<= 64
+/// relations); eight rounds separate everything short of large regular
+/// graphs, where the original-index tie-break keeps the result
+/// deterministic anyway.
+constexpr int kRefinementRounds = 8;
+
+}  // namespace
+
+int64_t QuantizeStat(double x) {
+  // 8 * 1020 keeps 2^(q/8) comfortably inside the finite double range in
+  // both directions.
+  constexpr int64_t kMaxBucket = 8 * 1020;
+  const int64_t q = std::llround(std::log2(x) * 8.0);
+  return std::clamp(q, -kMaxBucket, kMaxBucket);
+}
+
+double DequantizeStat(int64_t q) {
+  return std::exp2(static_cast<double>(q) / 8.0);
+}
+
+Result<CanonicalQuery> CanonicalizeQuery(const QueryGraph& graph,
+                                         std::string_view intent,
+                                         std::string_view cost_model) {
+  if (graph.relation_count() == 0) {
+    return Status::InvalidArgument("query graph has no relations");
+  }
+  // The same gate the optimizer prologue applies: inf/NaN stats never
+  // reach the quantizer (log2 of a non-positive is exactly the poison
+  // this rejects).
+  JOINOPT_RETURN_IF_ERROR(ValidateGraphStatistics(graph));
+
+  const int n = graph.relation_count();
+  std::vector<int64_t> card_bucket(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    card_bucket[i] = QuantizeStat(graph.cardinality(i));
+  }
+  std::vector<int64_t> sel_bucket;
+  sel_bucket.reserve(graph.edges().size());
+  for (const JoinEdge& edge : graph.edges()) {
+    // A selectivity bucket is never positive (sel <= 1), so the
+    // representative stays a valid selectivity in (0, 1].
+    sel_bucket.push_back(QuantizeStat(edge.selectivity));
+  }
+
+  // WL-style invariant refinement over the quantized graph.
+  std::vector<uint64_t> invariant(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    invariant[i] = Mix(static_cast<uint64_t>(card_bucket[i]));
+  }
+  std::vector<uint64_t> next(static_cast<size_t>(n));
+  std::vector<uint64_t> incident;
+  for (int round = 0; round < kRefinementRounds; ++round) {
+    for (int i = 0; i < n; ++i) {
+      incident.clear();
+      for (size_t e = 0; e < graph.edges().size(); ++e) {
+        const JoinEdge& edge = graph.edges()[e];
+        const int other =
+            edge.left == i ? edge.right : (edge.right == i ? edge.left : -1);
+        if (other < 0) {
+          continue;
+        }
+        incident.push_back(Combine(static_cast<uint64_t>(sel_bucket[e]),
+                                   invariant[other]));
+      }
+      // Sorted: the multiset of incident signals, independent of edge
+      // insertion order.
+      std::sort(incident.begin(), incident.end());
+      uint64_t h = invariant[i];
+      for (const uint64_t signal : incident) {
+        h = Combine(h, signal);
+      }
+      next[i] = h;
+    }
+    invariant.swap(next);
+  }
+
+  // Canonical order: by invariant, original index breaking the ties the
+  // refinement could not.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (invariant[a] != invariant[b]) {
+      return invariant[a] < invariant[b];
+    }
+    return a < b;
+  });
+  std::vector<int> position(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    position[order[c]] = c;
+  }
+
+  CanonicalQuery out;
+  out.canonical_to_original = order;
+
+  // Rebuild the graph in canonical numbering with bucket-representative
+  // statistics. The builders re-validate every stat; a dequantized bucket
+  // is always in range, so these cannot fail on validated input.
+  for (int c = 0; c < n; ++c) {
+    Result<int> added =
+        out.graph.AddRelation(DequantizeStat(card_bucket[order[c]]));
+    JOINOPT_RETURN_IF_ERROR(added.status());
+  }
+  struct CanonicalEdge {
+    int u;
+    int v;
+    int64_t sel;
+  };
+  std::vector<CanonicalEdge> edges;
+  edges.reserve(graph.edges().size());
+  for (size_t e = 0; e < graph.edges().size(); ++e) {
+    const JoinEdge& edge = graph.edges()[e];
+    int u = position[edge.left];
+    int v = position[edge.right];
+    if (u > v) {
+      std::swap(u, v);
+    }
+    edges.push_back({u, v, sel_bucket[e]});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const CanonicalEdge& a, const CanonicalEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  for (const CanonicalEdge& edge : edges) {
+    JOINOPT_RETURN_IF_ERROR(
+        out.graph.AddEdge(edge.u, edge.v, DequantizeStat(edge.sel)));
+  }
+
+  // The textual key: everything that selects a plan, nothing that does
+  // not. Buckets are written as integers so the text is exact.
+  std::string key = "jfp1;i=";
+  key += intent;
+  key += ";m=";
+  key += cost_model;
+  key += ";n=" + std::to_string(n) + ";c=";
+  for (int c = 0; c < n; ++c) {
+    if (c > 0) {
+      key += ',';
+    }
+    key += std::to_string(card_bucket[order[c]]);
+  }
+  key += ";e=";
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if (e > 0) {
+      key += ',';
+    }
+    key += std::to_string(edges[e].u) + '-' + std::to_string(edges[e].v) +
+           ':' + std::to_string(edges[e].sel);
+  }
+  out.hash = Fnv1a64(key);
+  out.key = std::move(key);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace joinopt

@@ -1,0 +1,78 @@
+#ifndef JOINOPT_SERVE_FINGERPRINT_H_
+#define JOINOPT_SERVE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace serve {
+
+/// Statistics quantization for plan-cache fingerprints: log2 bucketed at
+/// eighth-octave resolution (8 buckets per power of two, ~9% relative
+/// width). Two catalogs whose estimates differ by less than a bucket
+/// produce the SAME fingerprint — and, because the serving layer
+/// optimizes the dequantized canonical graph rather than the raw request
+/// graph, they also produce the same plan, cost, and OutcomeSignature.
+/// That is what makes a cache hit bit-identical to a miss by
+/// construction instead of by approximation. Requires x finite and > 0
+/// (callers validate via ValidateGraphStatistics first); the bucket is
+/// clamped so DequantizeStat always returns a finite positive double.
+int64_t QuantizeStat(double x);
+
+/// The representative value of bucket `q`: 2^(q/8).
+double DequantizeStat(int64_t q);
+
+/// A request query reduced to its cacheable essence.
+struct CanonicalQuery {
+  /// The graph the service actually optimizes: relations renumbered into
+  /// canonical order, every cardinality and selectivity replaced by its
+  /// bucket representative. Relation names are dropped (they never affect
+  /// plan choice).
+  QueryGraph graph;
+  /// Maps canonical index -> the request's original index. Exactly the
+  /// `new_to_old` vector JoinTree::RelabelLeaves wants for translating a
+  /// canonical-numbering plan back to the caller's numbering.
+  std::vector<int> canonical_to_original;
+  /// 64-bit FNV-1a hash of `key` — the cache's shard/index hash.
+  uint64_t hash = 0;
+  /// The full canonical text. Cache lookups compare this byte-for-byte
+  /// after the hash matches, so a hash collision can never serve a plan
+  /// for a different query.
+  std::string key;
+};
+
+/// Canonicalizes a request graph for fingerprinting and optimization.
+///
+/// Nodes are renumbered by a Weisfeiler-Lehman-style invariant refinement
+/// over (cardinality bucket, incident (selectivity bucket, neighbor)
+/// multisets): two requests that present the same quantized query shape
+/// under different relation numberings converge to the same canonical
+/// graph whenever the refinement separates the nodes; truly automorphic
+/// nodes are interchangeable, so any tie order yields the identical
+/// canonical graph. Ties between nodes the refinement cannot separate
+/// fall back to the original index — deterministic for a given request,
+/// at worst a missed cache hit across differently-numbered twins.
+///
+/// `intent` names what will run (an orderer registry name or a policy
+/// string) and `cost_model` the pricing model; both are baked into the
+/// key because they change the plan. Resource limits (budget, deadline,
+/// threads) are deliberately NOT part of the key: only exact,
+/// first-intent results are ever cached, and an exact result does not
+/// depend on the limits under which it was computed.
+///
+/// Fails with kDegenerateStatistics / kInvalidArgument exactly where the
+/// optimizer prologue would, so a malformed request never reaches the
+/// cache or the queue.
+Result<CanonicalQuery> CanonicalizeQuery(const QueryGraph& graph,
+                                         std::string_view intent,
+                                         std::string_view cost_model);
+
+}  // namespace serve
+}  // namespace joinopt
+
+#endif  // JOINOPT_SERVE_FINGERPRINT_H_

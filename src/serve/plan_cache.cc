@@ -1,0 +1,208 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace joinopt {
+namespace serve {
+
+std::string_view CacheLookupName(CacheLookup outcome) {
+  switch (outcome) {
+    case CacheLookup::kHit:
+      return "hit";
+    case CacheLookup::kMiss:
+      return "miss";
+    case CacheLookup::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
+std::string_view CacheInsertName(CacheInsert outcome) {
+  switch (outcome) {
+    case CacheInsert::kInserted:
+      return "inserted";
+    case CacheInsert::kUpdated:
+      return "updated";
+    case CacheInsert::kRejectedCapacity:
+      return "rejected_capacity";
+    case CacheInsert::kRejectedUncacheable:
+      return "rejected_uncacheable";
+    case CacheInsert::kRejectedStale:
+      return "rejected_stale";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int ClampShards(int requested) {
+  int shards = 1;
+  while (shards < 64 && shards * 2 <= std::max(requested, 1)) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const PlanCacheConfig& config) : config_(config) {
+  const int shards = ClampShards(config.shards);
+  shards_ = std::vector<Shard>(static_cast<size_t>(shards));
+  shard_capacity_ = config.capacity / static_cast<uint64_t>(shards);
+  if (config.capacity > 0 && shard_capacity_ == 0) {
+    shard_capacity_ = 1;  // A tiny cache still caches something per shard.
+  }
+  const double share = std::clamp(config.protected_share, 0.0, 1.0);
+  protected_capacity_ = static_cast<uint64_t>(
+      static_cast<double>(shard_capacity_) * share);
+}
+
+PlanCache::LookupResult PlanCache::Lookup(uint64_t hash,
+                                          std::string_view key) {
+  Shard& shard = ShardFor(hash);
+  const uint64_t current = generation();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(std::string(key));
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return {CacheLookup::kMiss, std::nullopt};
+  }
+  Handle& handle = it->second;
+  std::list<CachedPlan>& list =
+      handle.in_protected ? shard.protect : shard.probation;
+  if (handle.it->generation != current) {
+    // Computed under an older catalog: reclaim now, report kStale so the
+    // caller can distinguish an invalidation from a cold miss.
+    ++shard.stats.stale;
+    list.erase(handle.it);
+    shard.index.erase(it);
+    return {CacheLookup::kStale, std::nullopt};
+  }
+  ++shard.stats.hits;
+  if (!handle.in_protected) {
+    // First re-use earns protection (segmented LRU promotion).
+    shard.protect.splice(shard.protect.begin(), shard.probation, handle.it);
+    handle.in_protected = true;
+    ++shard.stats.promoted;
+    RebalanceProtected(shard);
+  } else {
+    shard.protect.splice(shard.protect.begin(), shard.protect, handle.it);
+  }
+  return {CacheLookup::kHit, *handle.it};
+}
+
+CacheInsert PlanCache::Insert(CachedPlan entry) {
+  // Second line of defense: a hit must replay a fresh run bit-for-bit,
+  // which only holds for exact, first-intent results.
+  if (entry.signature.status != StatusCode::kOk ||
+      entry.signature.best_effort || !entry.plan.has_value()) {
+    Shard& shard = ShardFor(entry.hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.stats.rejected_uncacheable;
+    return CacheInsert::kRejectedUncacheable;
+  }
+  Shard& shard = ShardFor(entry.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard_capacity_ == 0) {
+    ++shard.stats.rejected_capacity;
+    return CacheInsert::kRejectedCapacity;
+  }
+  if (entry.generation != generation()) {
+    // The catalog moved while the plan was being computed.
+    ++shard.stats.rejected_stale;
+    return CacheInsert::kRejectedStale;
+  }
+  const auto it = shard.index.find(entry.key);
+  if (it != shard.index.end()) {
+    // Refresh in place, keeping the entry's current segment.
+    Handle& handle = it->second;
+    std::list<CachedPlan>& list =
+        handle.in_protected ? shard.protect : shard.probation;
+    *handle.it = std::move(entry);
+    list.splice(list.begin(), list, handle.it);
+    ++shard.stats.updated;
+    return CacheInsert::kUpdated;
+  }
+  // Cost-aware admission: expensive plans go straight to protected.
+  const bool protect = protected_capacity_ > 0 &&
+                       entry.recompute_seconds >=
+                           config_.protect_threshold_seconds;
+  std::string key_copy = entry.key;
+  if (protect) {
+    shard.protect.push_front(std::move(entry));
+    shard.index.emplace(std::move(key_copy),
+                        Handle{true, shard.protect.begin()});
+    RebalanceProtected(shard);
+  } else {
+    shard.probation.push_front(std::move(entry));
+    shard.index.emplace(std::move(key_copy),
+                        Handle{false, shard.probation.begin()});
+  }
+  ++shard.stats.inserted;
+  EnforceCapacity(shard);
+  return CacheInsert::kInserted;
+}
+
+void PlanCache::RebalanceProtected(Shard& shard) {
+  while (shard.protect.size() > protected_capacity_ &&
+         !shard.protect.empty()) {
+    // Demote the protected LRU tail rather than evicting it outright: it
+    // gets one more lap through probation to prove itself.
+    auto tail = std::prev(shard.protect.end());
+    Handle& handle = shard.index.at(tail->key);
+    shard.probation.splice(shard.probation.begin(), shard.protect, tail);
+    handle.in_protected = false;
+  }
+}
+
+void PlanCache::EnforceCapacity(Shard& shard) {
+  while (shard.probation.size() + shard.protect.size() > shard_capacity_) {
+    if (!shard.probation.empty()) {
+      const CachedPlan& victim = shard.probation.back();
+      shard.index.erase(victim.key);
+      shard.probation.pop_back();
+      ++shard.stats.evicted_probation;
+    } else {
+      JOINOPT_DCHECK(!shard.protect.empty());
+      const CachedPlan& victim = shard.protect.back();
+      shard.index.erase(victim.key);
+      shard.protect.pop_back();
+      ++shard.stats.evicted_protected;
+    }
+  }
+}
+
+uint64_t PlanCache::size() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.probation.size() + shard.protect.size();
+  }
+  return total;
+}
+
+PlanCache::Stats PlanCache::Snapshot() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const Stats& s = shard.stats;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.stale += s.stale;
+    total.inserted += s.inserted;
+    total.updated += s.updated;
+    total.rejected_capacity += s.rejected_capacity;
+    total.rejected_uncacheable += s.rejected_uncacheable;
+    total.rejected_stale += s.rejected_stale;
+    total.evicted_probation += s.evicted_probation;
+    total.evicted_protected += s.evicted_protected;
+    total.promoted += s.promoted;
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace joinopt

@@ -1,0 +1,188 @@
+#ifndef JOINOPT_SERVE_PLAN_CACHE_H_
+#define JOINOPT_SERVE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/outcome.h"
+#include "plan/join_tree.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace serve {
+
+/// Typed lookup outcomes. kStale means the key was present but stamped
+/// with an earlier catalog generation; the entry is evicted on the spot
+/// and the caller proceeds as a miss.
+enum class CacheLookup { kHit, kMiss, kStale };
+
+/// Typed insert outcomes — the "never a silent drop" contract. Every
+/// refused insert names why, and every eviction an accepted insert forced
+/// is counted in Stats.
+enum class CacheInsert {
+  kInserted,
+  kUpdated,
+  /// The cache is configured with zero capacity.
+  kRejectedCapacity,
+  /// The result is not cacheable: failed, best-effort, or produced by a
+  /// fallback step rather than the fingerprinted intent. Caching any of
+  /// these would let a hit diverge from a fresh run.
+  kRejectedUncacheable,
+  /// The entry was computed under an older catalog generation than the
+  /// cache is currently serving.
+  kRejectedStale,
+};
+
+std::string_view CacheLookupName(CacheLookup outcome);
+std::string_view CacheInsertName(CacheInsert outcome);
+
+struct PlanCacheConfig {
+  /// Total entry budget across all shards. 0 disables storage (every
+  /// insert returns kRejectedCapacity; lookups always miss).
+  uint64_t capacity = 1024;
+  /// Shard count; clamped to a power of two in [1, 64]. Each shard owns
+  /// capacity/shards entries under its own mutex.
+  int shards = 8;
+  /// Fraction of each shard reserved for the protected segment of the
+  /// segmented LRU, in [0, 1].
+  double protected_share = 0.5;
+  /// Cost-aware admission: entries whose plan took at least this many
+  /// seconds to compute enter the protected segment directly — evicting a
+  /// plan that cost 2 s of DP to make room for one that cost 40 us is the
+  /// failure mode plain LRU has here. Cheap entries start on probation
+  /// and earn protection on their first hit.
+  double protect_threshold_seconds = 0.010;
+};
+
+/// One cached optimization outcome, stored in CANONICAL numbering (the
+/// fingerprint's). `signature` is the OutcomeSignature of the miss run
+/// that created the entry; a hit replays it verbatim, which is what makes
+/// hit and miss bit-identical.
+struct CachedPlan {
+  std::string key;
+  uint64_t hash = 0;
+  /// Catalog generation the plan was computed under.
+  uint64_t generation = 0;
+  OutcomeSignature signature;
+  double cost = 0.0;
+  double cardinality = 0.0;
+  std::string algorithm;
+  /// Wall-clock seconds the miss run spent — the cost-aware LRU weight.
+  double recompute_seconds = 0.0;
+  /// The reconstructed plan over the canonical graph.
+  std::optional<JoinTree> plan;
+};
+
+/// A sharded, bounded, generation-stamped plan cache with a segmented
+/// (probation/protected) LRU per shard.
+///
+/// Concurrency: each shard is guarded by its own mutex; the generation
+/// counter is a single atomic. Lookups copy the entry out under the shard
+/// lock, so callers never hold references into the cache.
+///
+/// Invalidation: BumpGeneration() advances the atomic stamp; entries from
+/// earlier generations are evicted lazily when a lookup touches them
+/// (kStale) and inserts racing a bump are refused (kRejectedStale), so a
+/// plan computed against old statistics can never be served after the
+/// catalog moved on.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stale = 0;
+    uint64_t inserted = 0;
+    uint64_t updated = 0;
+    uint64_t rejected_capacity = 0;
+    uint64_t rejected_uncacheable = 0;
+    uint64_t rejected_stale = 0;
+    uint64_t evicted_probation = 0;
+    uint64_t evicted_protected = 0;
+    /// Probation -> protected promotions (first hit on a cheap entry).
+    uint64_t promoted = 0;
+  };
+
+  explicit PlanCache(const PlanCacheConfig& config);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  struct LookupResult {
+    CacheLookup outcome = CacheLookup::kMiss;
+    std::optional<CachedPlan> entry;
+  };
+
+  /// Looks `key` up (hash first, then byte equality — a colliding hash
+  /// cannot serve a foreign plan). A hit refreshes recency and promotes
+  /// probation entries into the protected segment.
+  LookupResult Lookup(uint64_t hash, std::string_view key);
+
+  /// Inserts or refreshes an entry. The entry must carry the generation
+  /// its plan was computed under; a bump since then refuses the insert.
+  /// Uncacheable outcomes (non-OK, best-effort, fallback-produced) are
+  /// refused here as a second line of defense even when the caller
+  /// already filtered them.
+  CacheInsert Insert(CachedPlan entry);
+
+  /// Advances the catalog generation, logically invalidating every
+  /// current entry. O(1); the entries are reclaimed lazily.
+  void BumpGeneration() { generation_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// The generation new plans should be stamped with.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Entries currently resident (stale-but-unreclaimed included).
+  uint64_t size() const;
+
+  /// Counter totals across all shards.
+  Stats Snapshot() const;
+
+  const PlanCacheConfig& config() const { return config_; }
+
+ private:
+  struct Handle {
+    bool in_protected = false;
+    std::list<CachedPlan>::iterator it;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Both lists keep MRU at the front.
+    std::list<CachedPlan> probation;
+    std::list<CachedPlan> protect;
+    std::unordered_map<std::string, Handle> index;
+    Stats stats;
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    // Top bits: the low bits feed the intra-shard unordered_map.
+    return shards_[(hash >> 56) & (shards_.size() - 1)];
+  }
+
+  /// Evicts from `shard` until it is within its entry budget. Probation
+  /// tail first; the protected tail only when no probation entry is left.
+  void EnforceCapacity(Shard& shard);
+
+  /// Moves the protected tail down to probation's front when the
+  /// protected segment outgrew its share.
+  void RebalanceProtected(Shard& shard);
+
+  PlanCacheConfig config_;
+  uint64_t shard_capacity_ = 0;
+  uint64_t protected_capacity_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> generation_{1};
+};
+
+}  // namespace serve
+}  // namespace joinopt
+
+#endif  // JOINOPT_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,366 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/registry.h"
+#include "cost/cost_model.h"
+#include "util/env.h"
+
+namespace joinopt {
+namespace serve {
+
+namespace {
+
+/// EMA smoothing for the shedding predictor: heavy enough to ride out one
+/// outlier query, light enough to track a workload shift within ~10
+/// queries.
+constexpr double kEmaAlpha = 0.1;
+
+}  // namespace
+
+Result<ServiceConfig> ServiceConfigFromEnv() {
+  ServiceConfig config;
+  auto workers = EnvInt("JOINOPT_SERVE_WORKERS", config.workers);
+  if (!workers.ok()) {
+    return workers.status();
+  }
+  config.workers = *workers;
+  auto depth = EnvInt("JOINOPT_QUEUE_DEPTH", config.queue_depth);
+  if (!depth.ok()) {
+    return depth.status();
+  }
+  config.queue_depth = *depth;
+  auto shards = EnvInt("JOINOPT_CACHE_SHARDS", config.cache.shards);
+  if (!shards.ok()) {
+    return shards.status();
+  }
+  config.cache.shards = *shards;
+  // Entry budget from a memory budget: ~1 KB per cached plan (key +
+  // signature + a <=64-leaf join tree), so MB * 1024 entries.
+  auto cache_mb = EnvUint64("JOINOPT_CACHE_MB",
+                            config.cache.capacity / 1024);
+  if (!cache_mb.ok()) {
+    return cache_mb.status();
+  }
+  config.cache.capacity = *cache_mb * 1024;
+  config.cache_enabled = config.cache.capacity > 0;
+  return config;
+}
+
+Result<std::unique_ptr<OptimizerService>> OptimizerService::Create(
+    ServiceConfig config) {
+  config.workers = std::clamp(config.workers, 1, 256);
+  config.queue_depth = std::max(config.queue_depth, 1);
+  config.max_retries = std::max(config.max_retries, 0);
+  config.retry_backoff_seconds = std::max(config.retry_backoff_seconds, 0.0);
+  DegradationPolicy policy;
+  if (config.policy.empty()) {
+    policy = DegradationPolicy::Default();
+  } else {
+    auto parsed = DegradationPolicy::Parse(config.policy);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    policy = std::move(*parsed);
+  }
+  // Normalize so the fingerprint intent is the same string regardless of
+  // how the caller spelled the policy.
+  config.policy = policy.ToString();
+  return std::unique_ptr<OptimizerService>(
+      new OptimizerService(std::move(config), std::move(policy)));
+}
+
+OptimizerService::OptimizerService(ServiceConfig config,
+                                   DegradationPolicy policy)
+    : config_(std::move(config)),
+      default_policy_(std::move(policy)),
+      cache_(std::make_unique<PlanCache>(config_.cache)) {
+  workers_.reserve(static_cast<size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+OptimizerService::~OptimizerService() { Shutdown(/*drain=*/true); }
+
+ServeResponse OptimizerService::ShedResponse(std::string why,
+                                             uint64_t* counter) {
+  // Callers hold mu_ (counter lives in stats_).
+  ++*counter;
+  ServeResponse response;
+  response.status = Status::Overloaded(std::move(why));
+  response.shed = true;
+  return response;
+}
+
+std::future<ServeResponse> OptimizerService::Submit(ServeRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.deadline_seconds = pending.request.deadline_seconds > 0
+                                 ? pending.request.deadline_seconds
+                                 : config_.default_deadline_seconds;
+  std::future<ServeResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      pending.promise.set_value(ShedResponse(
+          "optimizer service is shutting down", &stats_.shed_shutdown));
+      return future;
+    }
+    if (queue_.size() >= static_cast<size_t>(config_.queue_depth)) {
+      pending.promise.set_value(ShedResponse(
+          "admission queue full (depth " +
+              std::to_string(config_.queue_depth) +
+              "); resubmit after the backlog drains",
+          &stats_.shed_queue_full));
+      return future;
+    }
+    if (pending.deadline_seconds > 0 && stats_.ema_exec_seconds > 0) {
+      // Deadline-aware shedding: refuse work predicted to expire in the
+      // queue instead of wasting a worker slot discovering that later.
+      const double predicted_wait =
+          static_cast<double>(queue_.size() + 1) * stats_.ema_exec_seconds /
+          static_cast<double>(config_.workers);
+      if (predicted_wait > pending.deadline_seconds) {
+        pending.promise.set_value(ShedResponse(
+            "predicted queue wait exceeds the request deadline",
+            &stats_.shed_predicted_deadline));
+        return future;
+      }
+    }
+    pending.queued.Restart();
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void OptimizerService::WorkerLoop() {
+  while (true) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and nothing left to drain.
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const double queue_seconds = pending.queued.ElapsedSeconds();
+    ServeResponse response;
+    if (pending.deadline_seconds > 0 &&
+        queue_seconds >= pending.deadline_seconds) {
+      // Fourth shed point: the deadline expired while queued. Running the
+      // DP now could only produce an answer nobody is waiting for.
+      std::lock_guard<std::mutex> lock(mu_);
+      response = ShedResponse("deadline expired while queued",
+                              &stats_.shed_queue_expired);
+    } else {
+      response =
+          Execute(pending.request, queue_seconds, pending.deadline_seconds);
+    }
+    response.queue_seconds = queue_seconds;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed;
+      if (!response.status.ok() && !response.shed) {
+        ++stats_.failed;
+      }
+      if (!response.shed && !response.cache_hit) {
+        stats_.ema_exec_seconds =
+            stats_.ema_exec_seconds <= 0
+                ? response.exec_seconds
+                : (1.0 - kEmaAlpha) * stats_.ema_exec_seconds +
+                      kEmaAlpha * response.exec_seconds;
+      }
+    }
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+ServeResponse OptimizerService::Execute(const ServeRequest& request,
+                                        double queue_seconds,
+                                        double deadline_seconds) {
+  Stopwatch exec;
+  ServeResponse response;
+  // The intent is what the fingerprint keys on: the named orderer, or the
+  // normalized policy string when the request defers to the service.
+  const std::string& intent =
+      request.orderer.empty() ? config_.policy : request.orderer;
+  if (!request.orderer.empty()) {
+    auto lookup = OptimizerRegistry::GetOrError(request.orderer);
+    if (!lookup.ok()) {
+      response.status = lookup.status();
+      response.exec_seconds = exec.ElapsedSeconds();
+      return response;
+    }
+  }
+  auto canonical =
+      CanonicalizeQuery(request.graph, intent, request.cost_model);
+  if (!canonical.ok()) {
+    response.status = canonical.status();
+    response.exec_seconds = exec.ElapsedSeconds();
+    return response;
+  }
+  // Snapshot the generation BEFORE the lookup/DP: if the catalog moves
+  // mid-optimization the insert below is refused rather than poisoning
+  // the cache with a plan computed against superseded statistics.
+  const uint64_t generation = cache_->generation();
+  if (config_.cache_enabled) {
+    PlanCache::LookupResult found = cache_->Lookup(canonical->hash,
+                                                   canonical->key);
+    if (found.outcome == CacheLookup::kHit) {
+      CachedPlan& entry = *found.entry;
+      response.status = Status();
+      response.plan = std::move(entry.plan);
+      response.plan->RelabelLeaves(canonical->canonical_to_original);
+      response.cost = entry.cost;
+      response.cardinality = entry.cardinality;
+      response.signature = entry.signature;
+      response.algorithm = std::move(entry.algorithm);
+      response.cache_hit = true;
+      response.generation = entry.generation;
+      response.exec_seconds = exec.ElapsedSeconds();
+      return response;
+    }
+  }
+  const double remaining = deadline_seconds > 0
+                               ? std::max(deadline_seconds - queue_seconds,
+                                          1e-6)
+                               : 0.0;
+  response = Optimize(request, *canonical, remaining, generation);
+  response.exec_seconds = exec.ElapsedSeconds();
+  return response;
+}
+
+ServeResponse OptimizerService::Optimize(const ServeRequest& request,
+                                         const CanonicalQuery& canonical,
+                                         double remaining_seconds,
+                                         uint64_t generation) {
+  ServeResponse response;
+  response.generation = generation;
+  auto cost_model = MakeCostModelByName(request.cost_model);
+  if (!cost_model.ok()) {
+    response.status = cost_model.status();
+    return response;
+  }
+  // Explicit-orderer requests with retries available pursue the exact
+  // answer first: salvage on attempt one would convert a transient fault
+  // into a premature best-effort plan the envelope could have rescued.
+  // Salvage is re-armed for the last-resort pass below.
+  const bool exact_first = !request.orderer.empty() && config_.max_retries > 0;
+  DegradationPolicy policy;
+  if (request.orderer.empty()) {
+    policy = default_policy_;
+  } else {
+    PolicyStep step;
+    step.algorithm = request.orderer;
+    step.salvage = !exact_first;
+    policy.Append(std::move(step));
+  }
+  OptimizeOptions options;
+  options.memo_entry_budget = request.memo_entry_budget;
+  options.deadline_seconds = remaining_seconds;
+  options.threads = request.threads;
+  // The DP runs on the CANONICAL graph: same bucketed statistics, same
+  // node order for every request that maps to this fingerprint. That —
+  // not hope — is why a later cache hit replays this run bit-for-bit.
+  OptimizerContext ctx(canonical.graph, **cost_model, options);
+  RetryOptions retry;
+  retry.max_retries = config_.max_retries;
+  retry.backoff_seconds = config_.retry_backoff_seconds;
+  const auto run = [&]() -> Result<OptimizationResult> {
+    Result<OptimizationResult> attempt = RunPolicyWithRetry(policy, ctx, retry);
+    if (exact_first && !attempt.ok() &&
+        (attempt.status().code() == StatusCode::kBudgetExceeded ||
+         attempt.status().code() == StatusCode::kInternal)) {
+      // Retries exhausted without an exact plan: one salvage-armed pass
+      // at base limits so the caller still gets a best-effort answer
+      // where the old single-attempt path would have.
+      DegradationPolicy salvage_policy;
+      PolicyStep step;
+      step.algorithm = request.orderer;
+      step.salvage = true;
+      salvage_policy.Append(std::move(step));
+      ctx.ResetForRerun(options);
+      attempt = RunDegradationPolicy(salvage_policy, ctx);
+    }
+    return attempt;
+  };
+  Result<OptimizationResult> result = [&] {
+    if (request.faults.has_value()) {
+      // Armed once around the whole retry envelope: the schedule is
+      // fire-once per Configure, so the first attempt absorbs the fault
+      // and retries run clean — exactly the transient-fault story the
+      // envelope exists for.
+      testing::ScopedFaultInjection scope(*request.faults);
+      return run();
+    }
+    return run();
+  }();
+  response.signature = ExtractOutcomeSignature(result, ctx.stats());
+  response.status = result.status();
+  if (!result.ok()) {
+    return response;
+  }
+  response.cost = result->cost;
+  response.cardinality = result->cardinality;
+  response.algorithm = result->stats.algorithm;
+  const bool cacheable = !result->stats.best_effort &&
+                         result->stats.fallback_from.empty();
+  if (config_.cache_enabled && cacheable) {
+    CachedPlan entry;
+    entry.key = canonical.key;
+    entry.hash = canonical.hash;
+    entry.generation = generation;
+    entry.signature = response.signature;
+    entry.cost = response.cost;
+    entry.cardinality = response.cardinality;
+    entry.algorithm = response.algorithm;
+    entry.recompute_seconds = result->stats.elapsed_seconds;
+    entry.plan = result->plan;  // Canonical numbering: stored pre-relabel.
+    cache_->Insert(std::move(entry));
+  }
+  response.plan = std::move(result->plan);
+  response.plan->RelabelLeaves(canonical.canonical_to_original);
+  return response;
+}
+
+void OptimizerService::Shutdown(bool drain) {
+  std::deque<Pending> flushed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      drain_ = drain;
+    }
+    if (!drain_) {
+      flushed.swap(queue_);
+    }
+  }
+  // Promises are fulfilled outside the lock: a caller's future
+  // continuation must not run under mu_.
+  for (Pending& pending : flushed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.promise.set_value(ShedResponse(
+        "optimizer service is shutting down", &stats_.shed_shutdown));
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+}
+
+ServiceStats OptimizerService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace joinopt

@@ -25,30 +25,6 @@ Status LineError(int line, std::string message) {
                                  std::move(message));
 }
 
-/// The CLI's cost-model names, resolved here too so a bundle replays
-/// without the CLI in the loop.
-Result<std::unique_ptr<CostModel>> MakeCostModelByName(
-    std::string_view name) {
-  if (name == "cout") {
-    return std::unique_ptr<CostModel>(std::make_unique<CoutCostModel>());
-  }
-  if (name == "bestof") {
-    return std::unique_ptr<CostModel>(
-        std::make_unique<BestOfCostModel>(BestOfCostModel::Standard()));
-  }
-  if (name == "hash") {
-    return std::unique_ptr<CostModel>(std::make_unique<HashJoinCostModel>());
-  }
-  if (name == "nlj") {
-    return std::unique_ptr<CostModel>(std::make_unique<NestedLoopCostModel>());
-  }
-  if (name == "smj") {
-    return std::unique_ptr<CostModel>(std::make_unique<SortMergeCostModel>());
-  }
-  return Status::InvalidArgument("unknown cost model '" + std::string(name) +
-                                 "' (cout|bestof|hash|nlj|smj)");
-}
-
 void AppendLine(std::string& out, std::string_view keyword,
                 std::string_view payload) {
   out += keyword;

@@ -67,6 +67,29 @@ Result<int> EnvInt(const char* name, int fallback) {
   return static_cast<int>(*wide);
 }
 
+bool BuiltWithSanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+Result<double> WatchdogSeconds() {
+  constexpr double kDefaultSeconds = 30.0;
+  constexpr double kSanitizerScale = 4.0;
+  const double fallback =
+      BuiltWithSanitizer() ? kDefaultSeconds * kSanitizerScale
+                           : kDefaultSeconds;
+  return EnvDouble("JOINOPT_WATCHDOG_S", fallback, /*require_positive=*/true);
+}
+
 Status ValidateLimitEnv() {
   JOINOPT_RETURN_IF_ERROR(
       EnvDouble("JOINOPT_DEADLINE_S", 0.0, /*require_positive=*/false)
@@ -76,6 +99,13 @@ Status ValidateLimitEnv() {
   JOINOPT_RETURN_IF_ERROR(
       EnvDouble("JOINOPT_MAX_INNER", 1.0, /*require_positive=*/true)
           .status());
+  JOINOPT_RETURN_IF_ERROR(
+      EnvDouble("JOINOPT_WATCHDOG_S", 30.0, /*require_positive=*/true)
+          .status());
+  JOINOPT_RETURN_IF_ERROR(EnvUint64("JOINOPT_CACHE_MB", 0).status());
+  JOINOPT_RETURN_IF_ERROR(EnvInt("JOINOPT_CACHE_SHARDS", 0).status());
+  JOINOPT_RETURN_IF_ERROR(EnvInt("JOINOPT_QUEUE_DEPTH", 0).status());
+  JOINOPT_RETURN_IF_ERROR(EnvInt("JOINOPT_SERVE_WORKERS", 0).status());
   return Status::OK();
 }
 

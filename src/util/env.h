@@ -28,10 +28,26 @@ Result<uint64_t> EnvUint64(const char* name, uint64_t fallback);
 /// Reads `name` as a non-negative base-10 int.
 Result<int> EnvInt(const char* name, int fallback);
 
+/// Resolves the soak/service watchdog stall limit in seconds.
+/// `JOINOPT_WATCHDOG_S` (strict-parsed, must be > 0) overrides the
+/// default of 30 s. When the binary is built under ASan or TSan and the
+/// knob is unset, the default is scaled by 4x — sanitizer interception
+/// slows the workers enough that a wall-clock stall detector tuned for
+/// plain builds false-fires. An explicit env value is taken verbatim,
+/// sanitizer or not.
+Result<double> WatchdogSeconds();
+
+/// True when this binary was compiled with ASan or TSan instrumentation.
+/// Exposed so harnesses can scale iteration counts the same way
+/// WatchdogSeconds scales its default.
+bool BuiltWithSanitizer();
+
 /// Validates every JOINOPT limit knob a binary honors (JOINOPT_DEADLINE_S,
-/// JOINOPT_MEMO_BUDGET, JOINOPT_THREADS, JOINOPT_MAX_INNER) without
-/// consuming the values. Binaries call this at startup next to the
-/// FaultConfigFromEnv check and exit on the first malformed variable.
+/// JOINOPT_MEMO_BUDGET, JOINOPT_THREADS, JOINOPT_MAX_INNER,
+/// JOINOPT_WATCHDOG_S, and the serving-layer knobs JOINOPT_CACHE_MB,
+/// JOINOPT_CACHE_SHARDS, JOINOPT_QUEUE_DEPTH, JOINOPT_SERVE_WORKERS)
+/// without consuming the values. Binaries call this at startup next to
+/// the FaultConfigFromEnv check and exit on the first malformed variable.
 Status ValidateLimitEnv();
 
 }  // namespace joinopt

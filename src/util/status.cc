@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "InvalidCatalog";
     case StatusCode::kDegenerateStatistics:
       return "DegenerateStatistics";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }
@@ -35,6 +37,7 @@ std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
       StatusCode::kOutOfRange,   StatusCode::kInternal,
       StatusCode::kUnimplemented, StatusCode::kBudgetExceeded,
       StatusCode::kInvalidCatalog, StatusCode::kDegenerateStatistics,
+      StatusCode::kOverloaded,
   };
   for (const StatusCode code : kAll) {
     if (StatusCodeToString(code) == name) {

@@ -32,6 +32,12 @@ enum class StatusCode {
   /// (0, 1]. Raised by the optimizer prologue so inf/NaN never reach a
   /// plan-cost comparison.
   kDegenerateStatistics,
+  /// The serving layer shed a request instead of queuing it forever: the
+  /// admission queue was full, the predicted wait exceeded the request's
+  /// deadline, the deadline expired while queued, or the service was
+  /// shutting down. Always a load-management decision, never a statement
+  /// about the query itself — resubmitting later is expected to succeed.
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -91,6 +97,9 @@ class Status {
   }
   static Status DegenerateStatistics(std::string msg) {
     return Status(StatusCode::kDegenerateStatistics, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -73,6 +73,38 @@ TEST(CatalogTest, BuildFailsWhenEmpty) {
   EXPECT_EQ(catalog.Validate().code(), StatusCode::kInvalidCatalog);
 }
 
+TEST(CatalogTest, GenerationAdvancesOnEveryMutation) {
+  Catalog catalog;
+  // Generation 0 is reserved so a zero-initialized cache stamp can never
+  // accidentally match a live catalog.
+  EXPECT_EQ(catalog.generation(), 1u);
+  ASSERT_TRUE(catalog.AddRelation("a", 10.0).ok());
+  EXPECT_EQ(catalog.generation(), 2u);
+  ASSERT_TRUE(catalog.AddRelation("b", 20.0).ok());
+  EXPECT_EQ(catalog.generation(), 3u);
+  ASSERT_TRUE(catalog.AddJoin("a", "b", 0.5).ok());
+  EXPECT_EQ(catalog.generation(), 4u);
+  // An out-of-band statistics refresh (ANALYZE) has no structural edit
+  // but still invalidates cached plans.
+  catalog.BumpGeneration();
+  EXPECT_EQ(catalog.generation(), 5u);
+  // Read-side operations must not invalidate anything.
+  ASSERT_TRUE(catalog.Validate().ok());
+  ASSERT_TRUE(catalog.BuildQueryGraph().ok());
+  ASSERT_TRUE(catalog.RelationIndex("a").ok());
+  EXPECT_EQ(catalog.generation(), 5u);
+}
+
+TEST(CatalogTest, RejectedMutationsDoNotAdvanceGeneration) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("a", 10.0).ok());
+  const uint64_t before = catalog.generation();
+  EXPECT_FALSE(catalog.AddRelation("a", 5.0).ok());   // duplicate name
+  EXPECT_FALSE(catalog.AddRelation("", 5.0).ok());    // empty name
+  EXPECT_FALSE(catalog.AddJoin("a", "ghost", 0.5).ok());
+  EXPECT_EQ(catalog.generation(), before);
+}
+
 TEST(CatalogTest, BuildSurfacesDuplicateJoin) {
   Catalog catalog;
   ASSERT_TRUE(catalog.AddRelation("a", 10.0).ok());

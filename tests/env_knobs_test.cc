@@ -152,6 +152,37 @@ TEST(ValidateLimitEnvTest, AllValidOrUnsetIsOk) {
   EXPECT_TRUE(ValidateLimitEnv().ok());
 }
 
+TEST(WatchdogSecondsTest, DefaultScalesWithSanitizerBuilds) {
+  ScopedEnv env("JOINOPT_WATCHDOG_S", nullptr);
+  const Result<double> seconds = WatchdogSeconds();
+  ASSERT_TRUE(seconds.ok());
+  // 30s in shipping builds; sanitizer instrumentation runs the same soak
+  // 4-20x slower, so the default auto-scales rather than turning every
+  // slow-but-live TSan run into a watchdog abort.
+  EXPECT_EQ(*seconds, BuiltWithSanitizer() ? 120.0 : 30.0);
+}
+
+TEST(WatchdogSecondsTest, EnvOverrideIsTakenVerbatim) {
+  // An explicit operator choice wins even under sanitizers: no hidden
+  // rescaling of a value someone typed.
+  ScopedEnv env("JOINOPT_WATCHDOG_S", "7.5");
+  const Result<double> seconds = WatchdogSeconds();
+  ASSERT_TRUE(seconds.ok());
+  EXPECT_EQ(*seconds, 7.5);
+}
+
+TEST(WatchdogSecondsTest, RejectsNonPositiveAndMalformed) {
+  for (const char* bad : {"0", "-3", "soon"}) {
+    ScopedEnv env("JOINOPT_WATCHDOG_S", bad);
+    const Result<double> seconds = WatchdogSeconds();
+    ASSERT_FALSE(seconds.ok()) << bad;
+    EXPECT_EQ(seconds.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(seconds.status().message().find("JOINOPT_WATCHDOG_S"),
+              std::string::npos)
+        << seconds.status().message();
+  }
+}
+
 TEST(ValidateLimitEnvTest, EachMalformedKnobIsNamed) {
   const struct {
     const char* name;
@@ -161,6 +192,9 @@ TEST(ValidateLimitEnvTest, EachMalformedKnobIsNamed) {
       {"JOINOPT_MEMO_BUDGET", "1e9"},
       {"JOINOPT_THREADS", "-2"},
       {"JOINOPT_MAX_INNER", "0"},  // must be strictly positive
+      {"JOINOPT_WATCHDOG_S", "-1"},
+      {"JOINOPT_CACHE_MB", "lots"},
+      {"JOINOPT_QUEUE_DEPTH", "-8"},
   };
   for (const auto& c : cases) {
     ScopedEnv env(c.name, c.bad);

@@ -407,6 +407,87 @@ TEST(PlanTableTest, RefsAreStableAcrossGrowth) {
   EXPECT_EQ(table.Find(NodeSet::Of({0})), first);
 }
 
+TEST(PlanTableTest, LayerOverflowReturnsInvalidRefWithoutCorruption) {
+  // Shrink the 26-bit per-layer offset space to 3 entries so the
+  // overflow path is reachable: the fourth same-layer Register must be
+  // refused with kInvalidPlanRef instead of wrapping into a foreign
+  // slot, and the table must stay fully usable afterwards.
+  PlanTable table(10);
+  table.SetLayerCapacityForTesting(3);
+  std::vector<PlanRef> accepted;
+  for (int i = 0; i + 1 < 10; ++i) {
+    const PlanRef ref =
+        table.Register(NodeSet::Of({i, i + 1}), 1.0, 1.0, kInvalidPlanRef,
+                       kInvalidPlanRef, JoinOperator::kUnspecified);
+    if (i < 3) {
+      ASSERT_NE(ref, kInvalidPlanRef) << i;
+      accepted.push_back(ref);
+    } else {
+      EXPECT_EQ(ref, kInvalidPlanRef) << i;
+    }
+  }
+  // The accepted entries survived the refused ones untouched.
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    EXPECT_DOUBLE_EQ(table.cost(accepted[i]), 1.0);
+    EXPECT_EQ(table.Find(NodeSet::Of({static_cast<int>(i),
+                                      static_cast<int>(i) + 1})),
+              accepted[i]);
+  }
+  // A refused set reads back as absent, not as a damaged slot.
+  EXPECT_EQ(table.Find(NodeSet::Of({4, 5})), kInvalidPlanRef);
+  // Other layers are unaffected by one layer filling up.
+  EXPECT_NE(table.Register(NodeSet::Of({0, 1, 2}), 2.0, 8.0, kInvalidPlanRef,
+                           kInvalidPlanRef, JoinOperator::kUnspecified),
+            kInvalidPlanRef);
+}
+
+TEST(PlanTableTest, InternOverflowReportsNotCreatedAndStaysAbsent) {
+  PlanTable table(10);
+  table.SetLayerCapacityForTesting(1);
+  bool created = false;
+  const auto estimate = [] { return 1.0; };
+  ASSERT_NE(table.Intern(NodeSet::Of({0, 1}), created, estimate),
+            kInvalidPlanRef);
+  EXPECT_TRUE(created);
+  // Second distinct 2-set overflows the 1-entry layer.
+  const PlanRef refused = table.Intern(NodeSet::Of({2, 3}), created, estimate);
+  EXPECT_EQ(refused, kInvalidPlanRef);
+  EXPECT_FALSE(created);
+  // The refused set must not leave a half-initialized index slot: a
+  // retry still reports absent (and still refuses, capacity unchanged).
+  EXPECT_EQ(table.Find(NodeSet::Of({2, 3})), kInvalidPlanRef);
+  // Re-interning the set that DID land dedupes as usual.
+  const PlanRef again = table.Intern(NodeSet::Of({0, 1}), created, estimate);
+  EXPECT_FALSE(created);
+  EXPECT_NE(again, kInvalidPlanRef);
+}
+
+/// The DP plumbing's view of an overflow: CreateJoinTree on a full layer
+/// must refuse, trip the governor with a typed kBudgetExceeded naming
+/// the 26-bit offset space, and leave the run on the normal sticky-limit
+/// unwind path — never wrap, never crash.
+TEST(PlanTableTest, DpJoinCreationSurfacesLayerOverflowAsTypedBudgetError) {
+  const Result<QueryGraph> graph = MakeCliqueQuery(6, WorkloadConfig{});
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  OptimizerContext ctx(*graph, cost_model);
+  ctx.InstallTable(internal::MakeAdaptivePlanTable(*graph));
+  ASSERT_TRUE(internal::SeedLeafPlans(ctx));
+  ctx.table().SetLayerCapacityForTesting(2);
+  // Two 2-sets fit the shrunken layer...
+  EXPECT_TRUE(
+      internal::CreateJoinTree(ctx, NodeSet::Of({0}), NodeSet::Of({1})));
+  EXPECT_TRUE(
+      internal::CreateJoinTree(ctx, NodeSet::Of({2}), NodeSet::Of({3})));
+  // ...the third overflows: refused, sticky, typed.
+  EXPECT_FALSE(
+      internal::CreateJoinTree(ctx, NodeSet::Of({4}), NodeSet::Of({5})));
+  EXPECT_TRUE(ctx.exhausted());
+  EXPECT_EQ(ctx.limit_status().code(), StatusCode::kBudgetExceeded);
+  EXPECT_NE(ctx.limit_status().ToString().find("26-bit"), std::string::npos)
+      << ctx.limit_status().ToString();
+}
+
 #ifndef NDEBUG
 TEST(PlanTableDeathTest, AppendToFrozenLayerAssertsInDebugBuilds) {
   PlanTable table(6);

@@ -1,0 +1,351 @@
+/// Tests for the batch optimizer service (serve/service): the hit==miss
+/// bit-identity contract across every workload family and both memo
+/// backends, admission-control shedding with typed kOverloaded, graceful
+/// drain, generation invalidation through the service API, the retry
+/// envelope rescuing injected transient faults, and the env-driven
+/// configuration path.
+
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "joinopt.h"
+#include "serve/service.h"
+#include "testing/fault_injection.h"
+#include "testing/workloads.h"
+
+namespace joinopt {
+namespace serve {
+namespace {
+
+using joinopt::testing::DrawWorkloadGraph;
+
+ServiceConfig QuickConfig() {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_depth = 64;
+  config.cache.capacity = 128;
+  config.cache.shards = 2;
+  return config;
+}
+
+QueryGraph ChainGraph(int n) {
+  // A connected chain: the cross-product-free DPs accept it, unlike a
+  // bare WithRelations graph (no edges = disconnected).
+  return *MakeChainQuery(n, WorkloadConfig{});
+}
+
+ServeRequest MakeRequest(const QueryGraph& graph,
+                         const std::string& orderer = "DPccp") {
+  ServeRequest request;
+  request.graph = graph;
+  request.orderer = orderer;
+  request.threads = 1;
+  return request;
+}
+
+TEST(ServeCreateTest, RejectsMalformedPolicy) {
+  ServiceConfig config = QuickConfig();
+  config.policy = "NoSuchOrderer -> GOO";
+  auto service = OptimizerService::Create(config);
+  EXPECT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeTest, UnknownOrdererFailsTypedWithoutCrashing) {
+  auto service = OptimizerService::Create(QuickConfig());
+  ASSERT_TRUE(service.ok());
+  const QueryGraph graph = *QueryGraph::WithRelations(3, 100.0);
+  ServeResponse response =
+      (*service)->SubmitAndWait(MakeRequest(graph, "NoSuchOrderer"));
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(response.shed);
+}
+
+/// The tentpole contract: a cache hit replays the miss bit-for-bit —
+/// same plan shape, same cost, same OutcomeSignature (which includes the
+/// paper counters of the run that computed the plan). Swept over all
+/// seven workload families, and over both memo backends by forcing the
+/// sparse PlanTable with a non-power-of-two budget on the second pass.
+TEST(ServeTest, CacheHitsAreBitIdenticalToMissesAcrossFamiliesAndBackends) {
+  for (const bool sparse : {false, true}) {
+    auto service = OptimizerService::Create(QuickConfig());
+    ASSERT_TRUE(service.ok());
+    for (uint64_t draw = 0; draw < 14; ++draw) {
+      Random rng(911 + draw);
+      std::string family;
+      Result<QueryGraph> graph = DrawWorkloadGraph(rng, &family);
+      ASSERT_TRUE(graph.ok()) << family;
+      ServeRequest first = MakeRequest(*graph);
+      if (sparse) {
+        // 2^n - 1 never fits the dense 2^n preallocation, so the memo
+        // runs on the sharded sparse backend; big enough to never trip.
+        first.memo_entry_budget =
+            (uint64_t{1} << graph->relation_count()) - 1;
+      }
+      ServeRequest second = first;
+      const ServeResponse miss = (*service)->SubmitAndWait(std::move(first));
+      ASSERT_TRUE(miss.status.ok())
+          << family << ": " << miss.status.ToString();
+      const ServeResponse hit = (*service)->SubmitAndWait(std::move(second));
+      ASSERT_TRUE(hit.status.ok()) << family;
+      if (!hit.cache_hit) {
+        // A best-effort or fallback first run is legitimately uncached;
+        // with no limits armed here, every family completes exactly.
+        ADD_FAILURE() << family << " (sparse=" << sparse
+                      << "): second run was not a cache hit";
+        continue;
+      }
+      EXPECT_FALSE(miss.cache_hit) << family;
+      // Bit-identical outcome: signature covers status, cost,
+      // cardinality, counters, and the degradation flags.
+      EXPECT_EQ(hit.signature, miss.signature)
+          << family << " (sparse=" << sparse << "): "
+          << hit.signature.DiffAgainst(miss.signature);
+      EXPECT_EQ(hit.cost, miss.cost) << family;
+      EXPECT_EQ(hit.cardinality, miss.cardinality) << family;
+      EXPECT_EQ(hit.algorithm, miss.algorithm) << family;
+      ASSERT_TRUE(miss.plan.has_value());
+      ASSERT_TRUE(hit.plan.has_value());
+      EXPECT_EQ(PlanToExpression(*hit.plan, *graph),
+                PlanToExpression(*miss.plan, *graph))
+          << family;
+    }
+  }
+}
+
+TEST(ServeTest, ConcurrentSameQueryResponsesAllAgree) {
+  auto service = OptimizerService::Create(QuickConfig());
+  ASSERT_TRUE(service.ok());
+  Random rng(4242);
+  std::string family;
+  const Result<QueryGraph> graph = DrawWorkloadGraph(rng, &family);
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back((*service)->Submit(MakeRequest(*graph)));
+  }
+  std::vector<ServeResponse> responses;
+  for (auto& future : futures) {
+    responses.push_back(future.get());
+  }
+  for (const ServeResponse& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    // Hit or miss, every response must carry the identical outcome.
+    EXPECT_EQ(response.signature, responses[0].signature)
+        << response.signature.DiffAgainst(responses[0].signature);
+    EXPECT_EQ(PlanToExpression(*response.plan, *graph),
+              PlanToExpression(*responses[0].plan, *graph));
+  }
+}
+
+TEST(ServeTest, QueueFullShedsTypedOverloaded) {
+  ServiceConfig config = QuickConfig();
+  config.workers = 1;
+  config.queue_depth = 2;
+  auto service = OptimizerService::Create(config);
+  ASSERT_TRUE(service.ok());
+  // Large clique queries keep the single worker busy long enough for the
+  // flood to pile onto the 2-deep queue.
+  const Result<QueryGraph> big = MakeCliqueQuery(10, WorkloadConfig{});
+  ASSERT_TRUE(big.ok());
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back((*service)->Submit(MakeRequest(*big, "DPsub")));
+  }
+  int shed = 0;
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    if (response.shed) {
+      ++shed;
+      EXPECT_EQ(response.status.code(), StatusCode::kOverloaded);
+      EXPECT_FALSE(response.plan.has_value());
+    } else {
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+    }
+  }
+  EXPECT_GT(shed, 0);
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.shed_queue_full, static_cast<uint64_t>(shed));
+}
+
+TEST(ServeTest, ShutdownDrainsQueuedWorkThenShedsLateSubmits) {
+  ServiceConfig config = QuickConfig();
+  config.workers = 1;
+  auto service = OptimizerService::Create(config);
+  ASSERT_TRUE(service.ok());
+  const QueryGraph graph = ChainGraph(4);
+  ServeRequest request = MakeRequest(graph, "DPsize");
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    ServeRequest copy = request;
+    futures.push_back((*service)->Submit(std::move(copy)));
+  }
+  (*service)->Shutdown(/*drain=*/true);
+  // Every accepted request completed with a real answer.
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    EXPECT_FALSE(response.shed);
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  // Post-shutdown submissions shed immediately, typed.
+  const ServeResponse late = (*service)->SubmitAndWait(std::move(request));
+  EXPECT_TRUE(late.shed);
+  EXPECT_EQ(late.status.code(), StatusCode::kOverloaded);
+  EXPECT_GT((*service)->Snapshot().shed_shutdown, 0u);
+}
+
+TEST(ServeTest, RetryEnvelopeRescuesTransientFault) {
+  ServiceConfig config = QuickConfig();
+  config.max_retries = 1;
+  auto service = OptimizerService::Create(config);
+  ASSERT_TRUE(service.ok());
+  const QueryGraph graph = ChainGraph(5);
+  // The schedule fires once (allocation fault early in the run); the
+  // whole-policy retry re-runs clean, so the caller sees an exact plan.
+  joinopt::testing::FaultConfig fault;
+  fault.at(joinopt::testing::FaultPoint::kArenaAlloc) = 2;
+  ServeRequest request = MakeRequest(graph, "DPsizeCP");
+  request.faults = fault;
+  const ServeResponse response = (*service)->SubmitAndWait(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.signature.best_effort);
+  // And with retries off, the same fault surfaces as a typed failure or
+  // a salvaged best-effort plan — never a crash or a hang.
+  ServiceConfig no_retry = QuickConfig();
+  no_retry.max_retries = 0;
+  auto strict = OptimizerService::Create(no_retry);
+  ASSERT_TRUE(strict.ok());
+  ServeRequest again = MakeRequest(graph, "DPsizeCP");
+  again.faults = fault;
+  const ServeResponse failed = (*strict)->SubmitAndWait(std::move(again));
+  if (!failed.status.ok()) {
+    EXPECT_EQ(failed.status.code(), StatusCode::kInternal);
+  } else {
+    EXPECT_TRUE(failed.signature.best_effort);
+  }
+}
+
+TEST(ServeTest, GenerationBumpInvalidatesServedPlans) {
+  auto service = OptimizerService::Create(QuickConfig());
+  ASSERT_TRUE(service.ok());
+  const QueryGraph graph = ChainGraph(4);
+  ServeRequest request = MakeRequest(graph);
+  ServeRequest repeat1 = request;
+  ServeRequest repeat2 = request;
+  const ServeResponse miss = (*service)->SubmitAndWait(std::move(request));
+  ASSERT_TRUE(miss.status.ok());
+  const uint64_t before = (*service)->generation();
+  (*service)->BumpCatalogGeneration();
+  EXPECT_EQ((*service)->generation(), before + 1);
+  // The first post-bump run re-optimizes (stale entry reclaimed) ...
+  const ServeResponse fresh = (*service)->SubmitAndWait(std::move(repeat1));
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.generation, before + 1);
+  // ... and re-fills the cache under the new generation.
+  const ServeResponse hit = (*service)->SubmitAndWait(std::move(repeat2));
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_GE((*service)->CacheSnapshot().stale, 1u);
+}
+
+TEST(ServeTest, BestEffortResultsAreServedButNeverCached) {
+  auto service = OptimizerService::Create(QuickConfig());
+  ASSERT_TRUE(service.ok());
+  const Result<QueryGraph> big = MakeCliqueQuery(9, WorkloadConfig{});
+  ASSERT_TRUE(big.ok());
+  // A budget far below the clique's memo needs: the single-step salvage
+  // policy completes a best-effort plan, which must not enter the cache.
+  ServeRequest request = MakeRequest(*big);
+  request.memo_entry_budget = 24;
+  ServeRequest repeat = request;
+  const ServeResponse first = (*service)->SubmitAndWait(std::move(request));
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_TRUE(first.signature.best_effort);
+  const ServeResponse second = (*service)->SubmitAndWait(std::move(repeat));
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_GT((*service)->CacheSnapshot().rejected_uncacheable +
+                (*service)->CacheSnapshot().misses,
+            0u);
+}
+
+TEST(ServeTest, PolicyRequestsUseTheConfiguredLadder) {
+  ServiceConfig config = QuickConfig();
+  config.policy = "DPsub -> salvage -> GOO";
+  auto service = OptimizerService::Create(config);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->config().policy, "DPsub -> salvage -> GOO");
+  const QueryGraph graph = ChainGraph(4);
+  ServeRequest request;
+  request.graph = graph;  // No orderer: the service policy runs.
+  request.threads = 1;
+  const ServeResponse response = (*service)->SubmitAndWait(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.algorithm, "DPsub");
+}
+
+TEST(ServeTest, CacheDisabledStillServesCorrectly) {
+  ServiceConfig config = QuickConfig();
+  config.cache_enabled = false;
+  auto service = OptimizerService::Create(config);
+  ASSERT_TRUE(service.ok());
+  const QueryGraph graph = ChainGraph(4);
+  ServeRequest a = MakeRequest(graph);
+  ServeRequest b = MakeRequest(graph);
+  const ServeResponse first = (*service)->SubmitAndWait(std::move(a));
+  const ServeResponse second = (*service)->SubmitAndWait(std::move(b));
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(first.signature, second.signature);
+}
+
+TEST(ServeConfigFromEnvTest, ReadsAndRejectsKnobs) {
+  struct ScopedEnv {
+    ScopedEnv(const char* name, const char* value) : name_(name) {
+      if (value != nullptr) {
+        ::setenv(name, value, 1);
+      } else {
+        ::unsetenv(name);
+      }
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+    const char* name_;
+  };
+  {
+    ScopedEnv workers("JOINOPT_SERVE_WORKERS", "3");
+    ScopedEnv depth("JOINOPT_QUEUE_DEPTH", "17");
+    ScopedEnv mb("JOINOPT_CACHE_MB", "2");
+    ScopedEnv shards("JOINOPT_CACHE_SHARDS", "4");
+    auto config = ServiceConfigFromEnv();
+    ASSERT_TRUE(config.ok()) << config.status().ToString();
+    EXPECT_EQ(config->workers, 3);
+    EXPECT_EQ(config->queue_depth, 17);
+    EXPECT_EQ(config->cache.capacity, 2u * 1024u);
+    EXPECT_EQ(config->cache.shards, 4);
+    EXPECT_TRUE(config->cache_enabled);
+  }
+  {
+    ScopedEnv mb("JOINOPT_CACHE_MB", "0");
+    auto config = ServiceConfigFromEnv();
+    ASSERT_TRUE(config.ok());
+    EXPECT_FALSE(config->cache_enabled);
+  }
+  {
+    ScopedEnv mb("JOINOPT_CACHE_MB", "lots");
+    auto config = ServiceConfigFromEnv();
+    ASSERT_FALSE(config.ok());
+    EXPECT_NE(config.status().ToString().find("JOINOPT_CACHE_MB"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace joinopt

@@ -44,6 +44,13 @@ run_pass() {
   rm -rf "${build_dir}/repro-artifacts"
   "${build_dir}/tools/joinopt_soak" --threads 8 --queries 500 \
     --repro-dir "${build_dir}/repro-artifacts/soak"
+  echo "=== ${label}: service chaos smoke ==="
+  # The serving layer under chaos: recurring queries through the plan
+  # cache with per-request fault schedules, mid-stream catalog-generation
+  # bumps, and overload bursts. Every cache hit is compared against a
+  # fresh DP re-run (the poisoning oracle); sheds must be typed
+  # kOverloaded; the watchdog turns a stall into a hard failure.
+  "${build_dir}/tools/joinopt_soak" --service --threads 8 --queries 300
   echo "=== ${label}: replay smoke ==="
   # The flight-recorder loop, end to end: a fuzz run that arms fault
   # injection captures one bundle per injected failure; every bundle must
@@ -112,6 +119,32 @@ PYGUARD
     echo "memo bench: no JSON artifact emitted" >&2
     exit 1
   fi
+  echo "=== ${label}: serving bench ==="
+  # The serving-layer cells (BENCH_serving.json): hit-rate and throughput
+  # at several plan-cache capacities plus the overload-shedding cell. The
+  # guard requires the sweep to actually cover multiple cache sizes and
+  # the full-pool cache to hit — a silently dead cache would otherwise
+  # still produce a plausible-looking artifact.
+  rm -f "${build_dir}/BENCH_serving.json"
+  JOINOPT_BENCH_JSON="${build_dir}/BENCH_serving.json" \
+    "${build_dir}/bench/serving"
+  python3 - "${build_dir}/BENCH_serving.json" <<'PYSERVE'
+import json, sys
+cells = [json.loads(line) for line in open(sys.argv[1])]
+capacities = {c["cache_capacity"] for c in cells if c["cell"] != "overload"}
+if len(capacities) < 3:
+    print(f"FAIL: serving sweep covered only {sorted(capacities)}", file=sys.stderr)
+    sys.exit(1)
+full = next(c for c in cells if c["cell"] == "full")
+if full["hit_rate"] < 0.5:
+    print(f"FAIL: full-pool cache hit rate {full['hit_rate']:.2f} < 0.5", file=sys.stderr)
+    sys.exit(1)
+overload = next(c for c in cells if c["cell"] == "overload")
+if overload["shed"] == 0:
+    print("FAIL: overload cell shed nothing", file=sys.stderr)
+    sys.exit(1)
+print(f"serving bench: {len(cells)} cells, full-pool hit rate {full['hit_rate']:.1%}, overload shed {overload['shed']}")
+PYSERVE
 }
 
 run_tsan_pass() {
@@ -130,6 +163,16 @@ run_tsan_pass() {
   rm -rf "${build_dir}/repro-artifacts"
   "${build_dir}/tools/joinopt_soak" --threads 8 --queries 500 \
     --seed 20060912 --repro-dir "${build_dir}/repro-artifacts/soak"
+  echo "=== tsan: service chaos soak ==="
+  # The serving layer's whole concurrency surface under TSan: sharded
+  # cache mutexes against the atomic generation stamp, the admission
+  # queue against worker pops and drain, promise/future handoff, and the
+  # per-request thread_local fault injectors — with the cache enabled,
+  # faults armed, generation bumps racing in-flight inserts, and
+  # overload bursts racing the queue. The acceptance bar is zero races,
+  # zero watchdog aborts, zero poisoning violations.
+  "${build_dir}/tools/joinopt_soak" --service --threads 8 --queries 300 \
+    --seed 20060912
   echo "=== tsan: parallel fuzz smoke ==="
   # The differential fuzzer drives DPsizePar/DPsubPar against the serial
   # enumerators, so this slice sweeps the layer-barrier fan-out, the

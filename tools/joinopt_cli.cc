@@ -56,7 +56,9 @@
 ///   9  success, but the plan is best-effort (--best-effort salvage; the
 ///      plan is on stdout, the degradation report on stderr)
 ///  10  replay divergence: the bundle re-executed but its outcome does
-///      not match the recorded expectation
+///      not match the recorded expectation; also Overloaded — the
+///      serving layer's typed load-shed (src/serve), mapped here for
+///      any embedding that surfaces it through a Status
 
 #include <cstdio>
 #include <cstdlib>
@@ -99,25 +101,7 @@ Result<QueryShape> ParseShape(const std::string& name) {
 }
 
 Result<std::unique_ptr<CostModel>> MakeCostModel(const std::string& name) {
-  if (name == "cout") {
-    return std::unique_ptr<CostModel>(std::make_unique<CoutCostModel>());
-  }
-  if (name == "bestof") {
-    return std::unique_ptr<CostModel>(
-        std::make_unique<BestOfCostModel>(BestOfCostModel::Standard()));
-  }
-  if (name == "hash") {
-    return std::unique_ptr<CostModel>(std::make_unique<HashJoinCostModel>());
-  }
-  if (name == "nlj") {
-    return std::unique_ptr<CostModel>(
-        std::make_unique<NestedLoopCostModel>());
-  }
-  if (name == "smj") {
-    return std::unique_ptr<CostModel>(std::make_unique<SortMergeCostModel>());
-  }
-  return Status::InvalidArgument("unknown cost model '" + name +
-                                 "' (cout|bestof|hash|nlj|smj)");
+  return MakeCostModelByName(name);
 }
 
 /// Expands the pre-registry aliases to their registry names.
@@ -200,6 +184,8 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kInternal:
     case StatusCode::kUnimplemented:
       return 8;
+    case StatusCode::kOverloaded:
+      return 10;
   }
   return 8;
 }

@@ -1,7 +1,7 @@
 /// joinopt_soak — the concurrent anytime-optimization soak harness.
 ///
 ///   joinopt_soak [--threads N] [--queries N] [--seed S] [--verbose]
-///                [--repro-dir DIR]
+///                [--repro-dir DIR] [--service]
 ///
 /// N worker threads pull queries off a shared seeded stream (all seven
 /// graph families via testing::DrawWorkloadGraph) and optimize each with
@@ -28,7 +28,29 @@
 ///     injector, governor, and memo are all per-run/per-thread state —
 ///     any bleed shows up here);
 ///   * liveness: a watchdog thread aborts the process with diagnostics
-///     when no worker makes progress for 30 seconds.
+///     when no worker makes progress for JOINOPT_WATCHDOG_S seconds
+///     (default 30, automatically quadrupled under ASan/TSan builds).
+///
+/// With --service the soak instead drives the serving layer
+/// (serve::OptimizerService) through its chaos battery: a pool of
+/// recurring queries (so the plan cache actually gets hits) is streamed
+/// through the service while the harness injects per-request fault
+/// schedules, bumps the catalog generation mid-stream, and fires
+/// overload bursts several times the queue depth. Service-mode oracles:
+///
+///   * cache poisoning: EVERY cache hit is re-checked against a fresh
+///     clean DP on the same canonical graph — the hit's cost and full
+///     OutcomeSignature must match bit-for-bit (the hit==miss contract);
+///   * typed degradation only: responses are kOk or one of
+///     kBudgetExceeded / kInternal / kOverloaded; sheds carry
+///     kOverloaded and the shed flag, never a hang or a silent drop;
+///   * overload bursts shed rather than stall: each burst must complete
+///     (every future resolves) with at least one typed shed;
+///   * generation bumps never let a pre-bump plan surface afterwards
+///     (subsumed by the poisoning oracle, since the oracle re-runs
+///     against current statistics);
+///   * submissions after Shutdown are shed with kOverloaded;
+///   * liveness: the same watchdog, over harvested responses.
 ///
 /// With --repro-dir, the soak doubles as a flight recorder. Each worker
 /// flushes a PARTIAL bundle (inputs, no expectation) to
@@ -46,9 +68,11 @@
 /// errors; 3 on a watchdog stall. Runs under ThreadSanitizer in
 /// tools/ci.sh (JOINOPT_SANITIZE=thread).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <future>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -87,6 +111,10 @@ struct SoakConfig {
   uint64_t queries = 500;
   uint64_t seed = 20060912;
   bool verbose = false;
+  /// Drive serve::OptimizerService instead of bare orderers.
+  bool service = false;
+  /// Watchdog stall limit (env-resolved in main; see util/env.h).
+  double watchdog_seconds = 30.0;
   /// Flight-recorder directory; empty = capture disabled.
   std::string repro_dir;
 };
@@ -363,9 +391,13 @@ class Worker {
 };
 
 /// Aborts the process when the workers stop making progress: a deadlock
-/// or livelock under TSan/faults must fail loudly, not hang CI.
-void Watchdog(SharedState& shared, const std::string& repro_dir) {
-  constexpr auto kStallLimit = std::chrono::seconds(30);
+/// or livelock under TSan/faults must fail loudly, not hang CI. The
+/// stall limit comes from JOINOPT_WATCHDOG_S (auto-scaled for sanitizer
+/// builds; see util/env.h), resolved once in main.
+void Watchdog(SharedState& shared, double stall_seconds,
+              const std::string& repro_dir) {
+  const auto stall_limit =
+      std::chrono::duration<double>(stall_seconds);
   uint64_t last_completed = shared.completed.load();
   auto last_change = std::chrono::steady_clock::now();
   while (!shared.done.load(std::memory_order_relaxed)) {
@@ -375,11 +407,11 @@ void Watchdog(SharedState& shared, const std::string& repro_dir) {
     if (now_completed != last_completed) {
       last_completed = now_completed;
       last_change = now;
-    } else if (now - last_change > kStallLimit) {
+    } else if (now - last_change > stall_limit) {
       std::fprintf(stderr,
-                   "joinopt_soak: WATCHDOG: no progress for 30s at %" PRIu64
+                   "joinopt_soak: WATCHDOG: no progress for %.0fs at %" PRIu64
                    " completed queries; aborting\n",
-                   now_completed);
+                   stall_seconds, now_completed);
       if (!repro_dir.empty()) {
         std::fprintf(stderr,
                      "joinopt_soak: the stuck queries' inputs are the "
@@ -390,6 +422,313 @@ void Watchdog(SharedState& shared, const std::string& repro_dir) {
       std::_Exit(3);
     }
   }
+}
+
+/// ---------------------------------------------------------------------
+/// Service chaos mode (--service).
+/// ---------------------------------------------------------------------
+
+/// One recurring query of the service-mode pool. The pool is small
+/// relative to the stream length so the same fingerprint recurs and the
+/// plan cache sees real hit traffic.
+struct PoolQuery {
+  QueryGraph graph;
+  std::string family;
+  std::string orderer;
+};
+
+/// One in-flight service request the harvester still owes a verdict.
+struct InFlight {
+  std::future<serve::ServeResponse> future;
+  uint64_t q = 0;
+  int pool_index = 0;
+  bool faulted = false;
+};
+
+/// The request graph with every statistic replaced by its fingerprint
+/// bucket representative, in the ORIGINAL numbering. This is the world
+/// the service actually prices plans in (see serve/fingerprint.h), so it
+/// is the graph a returned plan must validate against.
+Result<QueryGraph> QuantizedCopy(const QueryGraph& graph) {
+  QueryGraph quantized;
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    Result<int> added = quantized.AddRelation(
+        serve::DequantizeStat(serve::QuantizeStat(graph.cardinality(i))));
+    if (!added.ok()) {
+      return added.status();
+    }
+  }
+  for (const JoinEdge& edge : graph.edges()) {
+    const Status added = quantized.AddEdge(
+        edge.left, edge.right,
+        serve::DequantizeStat(serve::QuantizeStat(edge.selectivity)));
+    if (!added.ok()) {
+      return added;
+    }
+  }
+  return quantized;
+}
+
+/// The poisoning oracle: a fresh, clean, unlimited run of the hit's
+/// orderer on the SAME canonical graph the service optimizes. The cached
+/// signature must match this bit-for-bit — anything else means the cache
+/// served a plan a fresh optimization would not have produced.
+bool CheckHitAgainstFreshRun(const PoolQuery& pool_query,
+                             const serve::ServeResponse& response,
+                             uint64_t q, SharedState& shared) {
+  auto canonical = serve::CanonicalizeQuery(pool_query.graph,
+                                            pool_query.orderer, "cout");
+  if (!canonical.ok()) {
+    shared.Fail("service query " + std::to_string(q) +
+                ": oracle canonicalization failed: " +
+                canonical.status().ToString());
+    return false;
+  }
+  const CoutCostModel cost_model;
+  const JoinOrderer* orderer = OptimizerRegistry::Get(pool_query.orderer);
+  OptimizerContext ctx(canonical->graph, cost_model);
+  const Result<OptimizationResult> fresh = orderer->Optimize(ctx);
+  const OutcomeSignature fresh_signature =
+      ExtractOutcomeSignature(fresh, ctx.stats());
+  if (response.signature != fresh_signature) {
+    shared.Fail("CACHE POISONING at service query " + std::to_string(q) +
+                " (family " + pool_query.family + ", orderer " +
+                pool_query.orderer +
+                "): cached hit diverges from a fresh DP re-run:\n" +
+                response.signature.DiffAgainst(fresh_signature));
+    return false;
+  }
+  return true;
+}
+
+/// Validates one harvested response against the service-mode oracles.
+void CheckServiceResponse(const PoolQuery& pool_query, const InFlight& flight,
+                          serve::ServeResponse response,
+                          SharedState& shared) {
+  const StatusCode code = response.status.code();
+  if (response.shed) {
+    if (code != StatusCode::kOverloaded) {
+      shared.Fail("service query " + std::to_string(flight.q) +
+                  ": shed without kOverloaded: " +
+                  response.status.ToString());
+    }
+    return;
+  }
+  if (!response.status.ok()) {
+    if (code != StatusCode::kBudgetExceeded &&
+        code != StatusCode::kInternal && code != StatusCode::kOverloaded) {
+      shared.Fail("service query " + std::to_string(flight.q) +
+                  " failed outside the degradation codes: " +
+                  response.status.ToString());
+    }
+    return;
+  }
+  if (!response.plan.has_value()) {
+    shared.Fail("service query " + std::to_string(flight.q) +
+                ": kOk response without a plan");
+    return;
+  }
+  // The response plan is in the REQUEST numbering but was priced in the
+  // quantized-statistics world: validate it against the quantized copy of
+  // the request graph (same numbering, bucket-representative stats).
+  const Result<QueryGraph> quantized = QuantizedCopy(pool_query.graph);
+  if (!quantized.ok()) {
+    shared.Fail("service query " + std::to_string(flight.q) +
+                ": quantized copy failed: " + quantized.status().ToString());
+    return;
+  }
+  const CoutCostModel cost_model;
+  const Status valid =
+      ValidatePlan(*response.plan, *quantized, cost_model);
+  if (!valid.ok()) {
+    shared.Fail("service query " + std::to_string(flight.q) +
+                ": plan failed validation: " + valid.ToString());
+    return;
+  }
+  if (response.cache_hit &&
+      !CheckHitAgainstFreshRun(pool_query, response, flight.q, shared)) {
+    return;
+  }
+}
+
+int RunServiceMode(const SoakConfig& config) {
+  // Build the recurring pool: every family appears, sizes small enough
+  // that the poisoning oracle's fresh re-runs stay cheap.
+  constexpr int kPoolSize = 24;
+  std::vector<PoolQuery> pool;
+  pool.reserve(kPoolSize);
+  for (int i = 0; i < kPoolSize; ++i) {
+    Random rng(config.seed * 7919 + static_cast<uint64_t>(i));
+    PoolQuery entry;
+    Result<QueryGraph> drawn = testing::DrawWorkloadGraph(rng, &entry.family);
+    if (!drawn.ok()) {
+      std::fprintf(stderr, "joinopt_soak: pool generator failed: %s\n",
+                   drawn.status().ToString().c_str());
+      return 1;
+    }
+    entry.graph = std::move(*drawn);
+    entry.orderer = kAlgorithms[rng.Uniform(kAlgorithmCount)];
+    pool.push_back(std::move(entry));
+  }
+
+  serve::ServiceConfig service_config;
+  service_config.workers = std::max(1, config.threads / 2);
+  service_config.queue_depth = 16;
+  service_config.max_retries = 2;
+  service_config.cache.capacity = 16;  // Small: force real evictions.
+  service_config.cache.shards = 4;
+  auto service = serve::OptimizerService::Create(service_config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "joinopt_soak: service creation failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  SharedState shared;
+  std::thread watchdog(Watchdog, std::ref(shared), config.watchdog_seconds,
+                       std::cref(config.repro_dir));
+  uint64_t bursts = 0;
+  uint64_t burst_sheds = 0;
+  uint64_t generation_bumps = 0;
+
+  constexpr uint64_t kWindow = 32;
+  for (uint64_t base = 0;
+       base < config.queries && !shared.failed.load(); base += kWindow) {
+    const uint64_t end = std::min(base + kWindow, config.queries);
+    std::vector<InFlight> window;
+    window.reserve(static_cast<size_t>(end - base));
+    for (uint64_t q = base; q < end; ++q) {
+      Random rng(config.seed * 1000003 + q);
+      InFlight flight;
+      flight.q = q;
+      flight.pool_index = static_cast<int>(rng.Uniform(kPoolSize));
+      const PoolQuery& pool_query =
+          pool[static_cast<size_t>(flight.pool_index)];
+      serve::ServeRequest request;
+      request.graph = pool_query.graph;
+      request.orderer = pool_query.orderer;
+      if (rng.Bernoulli(0.15)) {
+        // Transient chaos: a one-shot fault the retry envelope should
+        // absorb (the schedule fires once, the retry runs clean).
+        testing::FaultConfig fault;
+        if (rng.Bernoulli(0.5)) {
+          fault.at(testing::FaultPoint::kArenaAlloc) = 1 + rng.Uniform(64);
+        } else {
+          fault.at(testing::FaultPoint::kDeadline) = 1 + rng.Uniform(256);
+        }
+        request.faults = fault;
+        flight.faulted = true;
+      }
+      if (rng.Bernoulli(0.1)) {
+        request.memo_entry_budget = 8 + rng.Uniform(40);
+      }
+      request.threads = 1 + static_cast<int>(rng.Uniform(2));
+      flight.future = (*service)->Submit(std::move(request));
+      window.push_back(std::move(flight));
+      if (q % 64 == 63) {
+        // Catalog chaos: statistics "changed" mid-stream while requests
+        // are queued and optimizing. Stale entries must die, in-flight
+        // inserts stamped with the old generation must be refused.
+        (*service)->BumpCatalogGeneration();
+        ++generation_bumps;
+      }
+    }
+    for (InFlight& flight : window) {
+      serve::ServeResponse response = flight.future.get();
+      CheckServiceResponse(pool[static_cast<size_t>(flight.pool_index)],
+                           flight, std::move(response), shared);
+      shared.completed.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Overload burst every fourth window: slam several times the queue
+    // depth at once. The service must resolve EVERY future (drain or
+    // shed), and under this pressure at least one shed must be typed.
+    if ((base / kWindow) % 4 == 3 && !shared.failed.load()) {
+      ++bursts;
+      std::vector<InFlight> burst;
+      const int burst_size = service_config.queue_depth * 4;
+      for (int b = 0; b < burst_size; ++b) {
+        Random rng(config.seed * 777767 + base + static_cast<uint64_t>(b));
+        InFlight flight;
+        flight.q = base + static_cast<uint64_t>(b);
+        flight.pool_index = static_cast<int>(rng.Uniform(kPoolSize));
+        serve::ServeRequest request;
+        request.graph = pool[static_cast<size_t>(flight.pool_index)].graph;
+        request.orderer =
+            pool[static_cast<size_t>(flight.pool_index)].orderer;
+        // A deadline so tight the predictor sheds most of the burst.
+        request.deadline_seconds = 1e-4;
+        flight.future = (*service)->Submit(std::move(request));
+        burst.push_back(std::move(flight));
+      }
+      for (InFlight& flight : burst) {
+        serve::ServeResponse response = flight.future.get();
+        if (response.shed) {
+          ++burst_sheds;
+          if (response.status.code() != StatusCode::kOverloaded) {
+            shared.Fail("burst shed without kOverloaded: " +
+                        response.status.ToString());
+          }
+        }
+        shared.completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Graceful drain, then the post-shutdown contract: a late Submit is
+  // answered immediately with a typed shed, never queued into the void.
+  (*service)->Shutdown(/*drain=*/true);
+  {
+    serve::ServeRequest late;
+    late.graph = pool[0].graph;
+    late.orderer = pool[0].orderer;
+    serve::ServeResponse response = (*service)->SubmitAndWait(std::move(late));
+    if (!response.shed ||
+        response.status.code() != StatusCode::kOverloaded) {
+      shared.Fail("post-shutdown submit was not shed with kOverloaded: " +
+                  response.status.ToString());
+    }
+  }
+
+  shared.done.store(true);
+  watchdog.join();
+
+  const serve::PlanCache::Stats cache = (*service)->CacheSnapshot();
+  const serve::ServiceStats stats = (*service)->Snapshot();
+  if (shared.failed.load()) {
+    std::fprintf(stderr, "joinopt_soak: FAIL %s\n",
+                 shared.failure_detail.c_str());
+    return 1;
+  }
+  if (cache.hits == 0 && config.queries >= 2 * kPoolSize) {
+    // A pool this small under a stream this long MUST hit; zero hits
+    // means the fingerprint or the cache broke silently.
+    std::fprintf(stderr,
+                 "joinopt_soak: FAIL service mode saw zero cache hits over %"
+                 PRIu64 " queries (pool %d)\n",
+                 config.queries, kPoolSize);
+    return 1;
+  }
+  if (bursts > 0 && burst_sheds == 0) {
+    std::fprintf(stderr,
+                 "joinopt_soak: FAIL %" PRIu64 " overload bursts produced "
+                 "zero typed sheds — admission control is not shedding\n",
+                 bursts);
+    return 1;
+  }
+  std::printf(
+      "joinopt_soak: service mode clean: %" PRIu64 " queries, %" PRIu64
+      " hits / %" PRIu64 " misses / %" PRIu64 " stale, %" PRIu64
+      " evictions, %" PRIu64 " generation bumps, %" PRIu64
+      " bursts with %" PRIu64 " sheds (total shed %" PRIu64 "), seed %"
+      PRIu64 "\n",
+      config.queries, cache.hits, cache.misses, cache.stale,
+      cache.evicted_probation + cache.evicted_protected, generation_bumps,
+      bursts, burst_sheds,
+      stats.shed_queue_full + stats.shed_predicted_deadline +
+          stats.shed_queue_expired + stats.shed_shutdown,
+      config.seed);
+  return 0;
 }
 
 int Run(const SoakConfig& config) {
@@ -415,7 +754,7 @@ int Run(const SoakConfig& config) {
   std::vector<std::thread> threads;
   workers.reserve(config.threads);
   threads.reserve(config.threads);
-  std::thread watchdog(Watchdog, std::ref(shared),
+  std::thread watchdog(Watchdog, std::ref(shared), config.watchdog_seconds,
                        std::cref(config.repro_dir));
   for (int t = 0; t < config.threads; ++t) {
     workers.push_back(
@@ -455,10 +794,12 @@ int main(int argc, char** argv) {
       config.repro_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       config.verbose = true;
+    } else if (std::strcmp(argv[i], "--service") == 0) {
+      config.service = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--queries N] [--seed S]"
-                   " [--repro-dir DIR]\n",
+                   " [--repro-dir DIR] [--service]\n",
                    argv[0]);
       return 2;
     }
@@ -481,6 +822,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "joinopt_soak: %s\n", env_limits.ToString().c_str());
     return 2;
   }
+  const joinopt::Result<double> watchdog_s = joinopt::WatchdogSeconds();
+  if (!watchdog_s.ok()) {
+    std::fprintf(stderr, "joinopt_soak: %s\n",
+                 watchdog_s.status().ToString().c_str());
+    return 2;
+  }
+  config.watchdog_seconds = *watchdog_s;
   if (!config.repro_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(config.repro_dir, ec);
@@ -490,5 +838,6 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  return joinopt::Run(config);
+  return config.service ? joinopt::RunServiceMode(config)
+                        : joinopt::Run(config);
 }
