@@ -4,9 +4,13 @@
 /// through serve::OptimizerService at several plan-cache capacities —
 /// uncached, a cache smaller than the pool (so the segmented LRU has to
 /// choose victims), and a cache that holds the whole pool — and reports
-/// throughput, hit rate, and eviction counts per cell. One more cell
-/// drives an overload burst against a single worker to record the
-/// shedding behavior under pressure.
+/// throughput, hit rate, per-request latency percentiles (p50/p95/p99
+/// over queue + execution time), and eviction counts per cell. One more
+/// cell drives an overload burst against a single worker to record the
+/// shedding behavior under pressure, and a warm-start cell restarts the
+/// full-cache service from its drain-time snapshot (serve/snapshot.h)
+/// to record the recovered hit rate — the persistence payoff in the
+/// same units as the rest of the sweep.
 ///
 /// Each cell is also emitted as one JSON line
 /// ({"bench":"serving","cache_capacity":...}) through the
@@ -14,8 +18,11 @@
 /// BENCH_serving.json so hit-rate or throughput regressions are diffable
 /// across commits.
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -61,21 +68,44 @@ struct Cell {
   double elapsed_s = 0.0;
   serve::PlanCache::Stats cache;
   serve::ServiceStats service;
+  /// Per-request end-to-end latencies (queue wait + execution), seconds.
+  std::vector<double> latencies;
+  /// Entries recovered from the snapshot at startup (warm-start cell).
+  uint64_t restored = 0;
 };
 
-Cell RunCell(const std::vector<PoolQuery>& pool, uint64_t cache_capacity) {
+/// Nearest-rank percentile over an unsorted sample (copied: Report needs
+/// several ranks from the same cell).
+double Percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) {
+    return 0.0;
+  }
+  std::sort(sample.begin(), sample.end());
+  const double rank = p * static_cast<double>(sample.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  index = index == 0 ? 0 : index - 1;
+  return sample[std::min(index, sample.size() - 1)];
+}
+
+/// One measured cell. With a nonempty `snapshot_path` the service loads
+/// the snapshot before the stream (warm start) and writes one at drain.
+Cell RunCell(const std::vector<PoolQuery>& pool, uint64_t cache_capacity,
+             const std::string& snapshot_path = "") {
   serve::ServiceConfig config;
   config.workers = 4;
   config.queue_depth = 64;
   config.cache_enabled = cache_capacity > 0;
   config.cache.capacity = cache_capacity;
   config.cache.shards = 4;
+  config.snapshot_path = snapshot_path;
   auto service = serve::OptimizerService::Create(config);
   if (!service.ok()) {
     std::fprintf(stderr, "serving: service creation failed: %s\n",
                  service.status().ToString().c_str());
     std::exit(1);
   }
+  Cell cell;
+  cell.latencies.reserve(kQueries);
   Stopwatch watch;
   std::vector<std::future<serve::ServeResponse>> window;
   for (uint64_t q = 0; q < kQueries; ++q) {
@@ -94,14 +124,16 @@ Cell RunCell(const std::vector<PoolQuery>& pool, uint64_t cache_capacity) {
                        response.status.ToString().c_str());
           std::exit(1);
         }
+        cell.latencies.push_back(response.queue_seconds +
+                                 response.exec_seconds);
       }
       window.clear();
     }
   }
-  Cell cell;
   cell.cache_capacity = cache_capacity;
   cell.queries = kQueries;
   cell.elapsed_s = watch.ElapsedSeconds();
+  cell.restored = (*service)->LoadStats().restored;
   (*service)->Shutdown();
   cell.cache = (*service)->CacheSnapshot();
   cell.service = (*service)->Snapshot();
@@ -134,10 +166,12 @@ Cell RunOverloadCell(const std::vector<PoolQuery>& pool) {
     request.deadline_seconds = 0.05;
     futures.push_back((*service)->Submit(std::move(request)));
   }
-  for (auto& future : futures) {
-    (void)future.get();
-  }
   Cell cell;
+  cell.latencies.reserve(kBurst);
+  for (auto& future : futures) {
+    const serve::ServeResponse response = future.get();
+    cell.latencies.push_back(response.queue_seconds + response.exec_seconds);
+  }
   cell.cache_capacity = 0;
   cell.queries = kBurst;
   cell.elapsed_s = watch.ElapsedSeconds();
@@ -158,27 +192,33 @@ void Report(const char* label, const Cell& cell) {
                         cell.service.shed_predicted_deadline +
                         cell.service.shed_queue_expired +
                         cell.service.shed_shutdown;
+  const double p50 = Percentile(cell.latencies, 0.50);
+  const double p95 = Percentile(cell.latencies, 0.95);
+  const double p99 = Percentile(cell.latencies, 0.99);
   std::printf("%-10s  capacity %5" PRIu64 "  %6" PRIu64
-              " queries  %8.1f q/s  hit rate %5.1f%%  evictions %5" PRIu64
-              "  shed %4" PRIu64 "\n",
+              " queries  %8.1f q/s  hit rate %5.1f%%  p50 %7.1fus  "
+              "p95 %7.1fus  p99 %7.1fus  evictions %5" PRIu64
+              "  shed %4" PRIu64 "  restored %3" PRIu64 "\n",
               label, cell.cache_capacity, cell.queries,
               static_cast<double>(cell.queries) / cell.elapsed_s,
-              100.0 * hit_rate,
+              100.0 * hit_rate, 1e6 * p50, 1e6 * p95, 1e6 * p99,
               cell.cache.evicted_probation + cell.cache.evicted_protected,
-              shed);
-  char json[512];
+              shed, cell.restored);
+  char json[640];
   std::snprintf(json, sizeof(json),
                 "{\"bench\":\"serving\",\"cell\":\"%s\",\"cache_capacity\":%"
                 PRIu64 ",\"queries\":%" PRIu64 ",\"elapsed_s\":%.9g"
                 ",\"throughput_qps\":%.9g,\"hits\":%" PRIu64 ",\"misses\":%"
                 PRIu64 ",\"stale\":%" PRIu64 ",\"hit_rate\":%.6g"
-                ",\"evictions\":%" PRIu64 ",\"shed\":%" PRIu64 "}",
+                ",\"latency_p50_s\":%.9g,\"latency_p95_s\":%.9g"
+                ",\"latency_p99_s\":%.9g,\"evictions\":%" PRIu64
+                ",\"shed\":%" PRIu64 ",\"restored\":%" PRIu64 "}",
                 label, cell.cache_capacity, cell.queries, cell.elapsed_s,
                 static_cast<double>(cell.queries) / cell.elapsed_s,
                 cell.cache.hits, cell.cache.misses, cell.cache.stale,
-                hit_rate,
+                hit_rate, p50, p95, p99,
                 cell.cache.evicted_probation + cell.cache.evicted_protected,
-                shed);
+                shed, cell.restored);
   EmitBenchJsonLine(json);
 }
 
@@ -188,11 +228,22 @@ int Main() {
   std::printf("serving: %d-query pool, %" PRIu64 " query stream, 4 workers\n",
               kPoolSize, kQueries);
   // The hit-rate sweep: uncached baseline, a cache smaller than the pool
-  // (eviction pressure), and one that holds the whole pool.
+  // (eviction pressure), and one that holds the whole pool. The full
+  // cell writes a drain-time snapshot that the warm-start cell below
+  // recovers from.
+  const std::string snapshot_path =
+      (std::filesystem::temp_directory_path() / "joinopt_bench_serving.snap")
+          .string();
+  std::remove(snapshot_path.c_str());
   Report("uncached", RunCell(pool, 0));
   Report("small", RunCell(pool, 16));
-  Report("full", RunCell(pool, 256));
+  Report("full", RunCell(pool, 256, snapshot_path));
+  // Warm start: a fresh service restores the full cell's snapshot before
+  // its first request, so even the first touch of every fingerprint is a
+  // hit — the recovered hit rate should be ~1.0.
+  Report("warm_start", RunCell(pool, 256, snapshot_path));
   Report("overload", RunOverloadCell(pool));
+  std::remove(snapshot_path.c_str());
   return 0;
 }
 

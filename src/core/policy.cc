@@ -323,6 +323,16 @@ Result<OptimizationResult> RunDegradationPolicy(const DegradationPolicy& policy,
   }
   JOINOPT_RETURN_IF_ERROR(result.status());
 
+  // A composite step (e.g. Adaptive's internal ladder) may have recorded
+  // its own fallbacks in the result's stats. Preserve them — the serving
+  // layer's cacheability check relies on fallback_from to tell an exact
+  // plan from one shaped by this request's budget, and clobbering the
+  // nested marker would let a budget-degraded plan be cached as exact.
+  if (!result->stats.fallback_from.empty()) {
+    fallback_from = fallback_from.empty()
+                        ? result->stats.fallback_from
+                        : fallback_from + "," + result->stats.fallback_from;
+  }
   result->stats.fallback_from = fallback_from;
   // Charge the gate and every abandoned attempt to the reported time.
   result->stats.elapsed_seconds = ctx.ElapsedSeconds();

@@ -183,5 +183,7 @@ Result<CanonicalQuery> CanonicalizeQuery(const QueryGraph& graph,
   return out;
 }
 
+uint64_t FingerprintHash(std::string_view key) { return Fnv1a64(key); }
+
 }  // namespace serve
 }  // namespace joinopt

@@ -27,6 +27,16 @@ int64_t QuantizeStat(double x);
 /// The representative value of bucket `q`: 2^(q/8).
 double DequantizeStat(int64_t q);
 
+/// Buckets per power of two in QuantizeStat. Baked into the snapshot
+/// header: a snapshot written under a different resolution keys its
+/// entries by incompatible fingerprints and must be rejected wholesale.
+constexpr uint32_t kQuantizeBucketsPerOctave = 8;
+
+/// The 64-bit FNV-1a hash CanonicalizeQuery assigns to `key`. Exposed so
+/// the snapshot loader can recompute the shard/index hash from the stored
+/// key instead of trusting a persisted value.
+uint64_t FingerprintHash(std::string_view key);
+
 /// A request query reduced to its cacheable essence.
 struct CanonicalQuery {
   /// The graph the service actually optimizes: relations renumbered into

@@ -175,6 +175,31 @@ void PlanCache::EnforceCapacity(Shard& shard) {
   }
 }
 
+uint64_t PlanCache::AdvanceGenerationTo(uint64_t target) {
+  uint64_t current = generation_.load(std::memory_order_acquire);
+  while (current < target &&
+         !generation_.compare_exchange_weak(current, target,
+                                            std::memory_order_acq_rel)) {
+    // `current` reloaded by the failed CAS; retry until caught up or past.
+  }
+  return generation_.load(std::memory_order_acquire);
+}
+
+std::vector<CachedPlan> PlanCache::Export() const {
+  std::vector<CachedPlan> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.probation.rbegin(); it != shard.probation.rend();
+         ++it) {
+      out.push_back(*it);
+    }
+    for (auto it = shard.protect.rbegin(); it != shard.protect.rend(); ++it) {
+      out.push_back(*it);
+    }
+  }
+  return out;
+}
+
 uint64_t PlanCache::size() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {

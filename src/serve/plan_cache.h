@@ -140,6 +140,21 @@ class PlanCache {
     return generation_.load(std::memory_order_acquire);
   }
 
+  /// Moves the generation forward to `target` if it is ahead of the
+  /// current stamp; never moves backwards (a snapshot from the past must
+  /// not resurrect plans the catalog already invalidated). Used by the
+  /// snapshot loader to adopt the persisted generation before replaying
+  /// entries. Returns the generation in effect afterwards.
+  uint64_t AdvanceGenerationTo(uint64_t target);
+
+  /// Copies every resident entry out, least-recently-used first (per
+  /// shard: probation tail to front, then protected tail to front).
+  /// Re-inserting the entries in this order into an empty cache
+  /// approximates the recency and segment structure they had here — the
+  /// snapshot writer's iteration order. Stale entries (older generation)
+  /// are included; the snapshot writer filters them.
+  std::vector<CachedPlan> Export() const;
+
   /// Entries currently resident (stale-but-unreclaimed included).
   uint64_t size() const;
 

@@ -1,6 +1,8 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <utility>
 
 #include "core/registry.h"
@@ -45,6 +47,15 @@ Result<ServiceConfig> ServiceConfigFromEnv() {
   }
   config.cache.capacity = *cache_mb * 1024;
   config.cache_enabled = config.cache.capacity > 0;
+  if (const char* path = std::getenv("JOINOPT_SERVE_SNAPSHOT_PATH")) {
+    config.snapshot_path = path;
+  }
+  auto period = EnvDouble("JOINOPT_SERVE_SNAPSHOT_PERIOD_S",
+                          config.snapshot_period_seconds);
+  if (!period.ok()) {
+    return period.status();
+  }
+  config.snapshot_period_seconds = *period;
   return config;
 }
 
@@ -76,6 +87,21 @@ OptimizerService::OptimizerService(ServiceConfig config,
     : config_(std::move(config)),
       default_policy_(std::move(policy)),
       cache_(std::make_unique<PlanCache>(config_.cache)) {
+  if (!config_.snapshot_path.empty()) {
+    // Load BEFORE starting workers: the first request already sees the
+    // warm cache, and no insert can race the replay. Corrupt or stale
+    // snapshots degrade to a typed cold start, never to a failed boot.
+    auto loaded = LoadSnapshot(*cache_, config_.snapshot_path);
+    if (loaded.ok()) {
+      load_stats_ = std::move(*loaded);
+    } else {
+      load_stats_.outcome = SnapshotLoad::kNoSnapshot;
+      load_stats_.detail = loaded.status().ToString();
+    }
+    if (config_.snapshot_period_seconds > 0) {
+      snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
+    }
+  }
   workers_.reserve(static_cast<size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -329,6 +355,53 @@ ServeResponse OptimizerService::Optimize(const ServeRequest& request,
   return response;
 }
 
+SnapshotLoadStats OptimizerService::LoadStats() const {
+  // Written once in the constructor before any worker starts; immutable
+  // afterwards, so no lock is needed.
+  return load_stats_;
+}
+
+Result<SnapshotSaveStats> OptimizerService::SaveSnapshotNow() {
+  if (config_.snapshot_path.empty()) {
+    return Status::FailedPrecondition(
+        "snapshot persistence is disabled (no snapshot_path)");
+  }
+  std::lock_guard<std::mutex> lock(snapshot_io_mu_);
+  auto saved = SaveSnapshot(*cache_, config_.snapshot_path);
+  if (saved.ok()) {
+    last_save_status_ = Status();
+    last_save_stats_ = *saved;
+  } else {
+    last_save_status_ = saved.status();
+  }
+  return saved;
+}
+
+Result<SnapshotSaveStats> OptimizerService::LastSaveStats() const {
+  std::lock_guard<std::mutex> lock(snapshot_io_mu_);
+  if (!last_save_status_.ok()) {
+    return last_save_status_;
+  }
+  return last_save_stats_;
+}
+
+void OptimizerService::SnapshotLoop() {
+  const auto period = std::chrono::duration<double>(
+      config_.snapshot_period_seconds);
+  std::unique_lock<std::mutex> lock(snapshot_mu_);
+  while (!snapshot_stop_) {
+    if (snapshot_cv_.wait_for(lock, period,
+                              [this] { return snapshot_stop_; })) {
+      return;  // The drain path writes the final snapshot.
+    }
+    lock.unlock();
+    // Failures are retained in LastSaveStats and retried next period: a
+    // full disk must degrade persistence, not the serving path.
+    SaveSnapshotNow();
+    lock.lock();
+  }
+}
+
 void OptimizerService::Shutdown(bool drain) {
   std::deque<Pending> flushed;
   {
@@ -355,6 +428,19 @@ void OptimizerService::Shutdown(bool drain) {
     }
   }
   workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_stop_ = true;
+  }
+  snapshot_cv_.notify_all();
+  if (snapshot_thread_.joinable()) {
+    snapshot_thread_.join();
+  }
+  if (!config_.snapshot_path.empty() && drain) {
+    // Drain-time snapshot: workers are joined, so this captures every
+    // insert the service ever accepted.
+    SaveSnapshotNow();
+  }
 }
 
 ServiceStats OptimizerService::Snapshot() const {

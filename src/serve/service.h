@@ -17,6 +17,7 @@
 #include "plan/join_tree.h"
 #include "serve/fingerprint.h"
 #include "serve/plan_cache.h"
+#include "serve/snapshot.h"
 #include "testing/fault_injection.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -50,15 +51,25 @@ struct ServiceConfig {
   /// meaningful).
   bool cache_enabled = true;
   PlanCacheConfig cache;
+  /// Snapshot persistence (serve/snapshot.h). Empty path disables it.
+  /// When set, the service loads the snapshot before accepting traffic,
+  /// saves it at drain time, and — when snapshot_period_seconds > 0 —
+  /// also saves periodically from a background thread, so a kill -9
+  /// loses at most one period of cache warmth.
+  std::string snapshot_path;
+  double snapshot_period_seconds = 0.0;
 };
 
 /// The default ServiceConfig with the environment knobs applied:
 /// JOINOPT_SERVE_WORKERS, JOINOPT_QUEUE_DEPTH, JOINOPT_CACHE_SHARDS, and
 /// JOINOPT_CACHE_MB — the cache budget in megabytes, converted at an
 /// estimated ~1 KB per cached plan (so CACHE_MB=4 buys ~4096 entries);
-/// 0 disables caching entirely. All strict-parsed via util/env: the
-/// first malformed variable is a kInvalidArgument naming it, never a
-/// silent fallback.
+/// 0 disables caching entirely. JOINOPT_SERVE_SNAPSHOT_PATH names the
+/// plan-cache snapshot file (empty/unset disables persistence) and
+/// JOINOPT_SERVE_SNAPSHOT_PERIOD_S the periodic-save interval (>= 0;
+/// 0 = save only at drain). All strict-parsed via util/env: the first
+/// malformed variable is a kInvalidArgument naming it, never a silent
+/// fallback.
 Result<ServiceConfig> ServiceConfigFromEnv();
 
 /// One optimization request. The graph is copied in: the caller may
@@ -184,6 +195,20 @@ class OptimizerService {
   uint64_t CacheSize() const { return cache_->size(); }
   const ServiceConfig& config() const { return config_; }
 
+  /// Outcome of the load-on-start snapshot replay. kNoSnapshot (with an
+  /// empty detail) when persistence is disabled.
+  SnapshotLoadStats LoadStats() const;
+
+  /// Writes a snapshot right now (also what the periodic thread and the
+  /// drain path call). kFailedPrecondition when persistence is disabled;
+  /// filesystem errors otherwise. The result is also retained for
+  /// LastSaveStats().
+  Result<SnapshotSaveStats> SaveSnapshotNow();
+
+  /// The most recent save attempt's outcome (OK + zeroed stats before
+  /// the first save).
+  Result<SnapshotSaveStats> LastSaveStats() const;
+
  private:
   struct Pending {
     ServeRequest request;
@@ -221,6 +246,19 @@ class OptimizerService {
   ServiceStats stats_;
 
   std::vector<std::thread> workers_;
+
+  /// Snapshot machinery. snapshot_io_mu_ serializes SaveSnapshot calls
+  /// (periodic thread vs explicit vs drain); snapshot_mu_/cv_ only wake
+  /// the periodic thread for shutdown.
+  void SnapshotLoop();
+  SnapshotLoadStats load_stats_;
+  mutable std::mutex snapshot_io_mu_;
+  Status last_save_status_;
+  SnapshotSaveStats last_save_stats_;
+  std::mutex snapshot_mu_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;
+  std::thread snapshot_thread_;
 };
 
 }  // namespace serve

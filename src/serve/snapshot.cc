@@ -1,0 +1,626 @@
+#include "serve/snapshot.h"
+
+#include <array>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "bitset/node_set.h"
+#include "plan/join_tree.h"
+#include "serve/fingerprint.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <cstdio>
+#include <fstream>
+#endif
+
+namespace joinopt {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'J', 'O', 'P', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kFormatVersion = 1;
+/// magic + version + quant + generation + record_count, before the CRC.
+constexpr size_t kHeaderBodyBytes = 8 + 4 + 4 + 8 + 8;
+constexpr size_t kHeaderBytes = kHeaderBodyBytes + 4;
+
+/// Hostile-length ceilings. A valid record is a few KB (key + signature
+/// + a <=127-node tree); anything past these is corruption or an attack,
+/// not data — reject before allocating.
+constexpr uint64_t kMaxSnapshotBytes = uint64_t{1} << 30;
+constexpr uint32_t kMaxPayloadBytes = uint32_t{1} << 22;
+constexpr uint32_t kMaxKeyBytes = uint32_t{1} << 20;
+constexpr uint32_t kMaxAlgorithmBytes = 4096;
+/// A join tree over <= kMaxRelations leaves has <= 2n-1 nodes.
+constexpr uint32_t kMaxTreeNodes = 2 * kMaxRelations - 1;
+constexpr uint32_t kMaxStatusCode = static_cast<uint32_t>(StatusCode::kOverloaded);
+constexpr uint32_t kMaxJoinOperator = static_cast<uint32_t>(JoinOperator::kSortMerge);
+
+// --- little-endian encoding -------------------------------------------
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendI32(std::string& out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendDouble(std::string& out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendBytes(std::string& out, std::string_view bytes) {
+  AppendU32(out, static_cast<uint32_t>(bytes.size()));
+  out.append(bytes.data(), bytes.size());
+}
+
+/// Bounds-checked forward reader. Every Read* returns false on overrun
+/// instead of touching out-of-range bytes — the loader's first line of
+/// defense against truncation and hostile lengths.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool ReadI32(int32_t* v) {
+    uint32_t raw = 0;
+    if (!ReadU32(&raw)) return false;
+    *v = static_cast<int32_t>(raw);
+    return true;
+  }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<unsigned char>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadDouble(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+
+  bool ReadBytes(uint32_t max_len, std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || len > max_len || len > remaining()) return false;
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view View(size_t len) const {
+    return data_.substr(pos_, len);
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --- record codec -----------------------------------------------------
+
+void EncodeSignature(std::string& out, const OutcomeSignature& sig) {
+  AppendU32(out, static_cast<uint32_t>(sig.status));
+  AppendDouble(out, sig.cost);
+  AppendDouble(out, sig.cardinality);
+  AppendU64(out, sig.inner_counter);
+  AppendU64(out, sig.csg_cmp_pair_counter);
+  AppendU64(out, sig.create_join_tree_calls);
+  AppendU64(out, sig.plans_stored);
+  out.push_back(sig.best_effort ? 1 : 0);
+  AppendU32(out, static_cast<uint32_t>(sig.trigger));
+}
+
+std::string EncodePayload(const CachedPlan& entry) {
+  std::string out;
+  AppendBytes(out, entry.key);
+  AppendU64(out, entry.generation);
+  AppendBytes(out, entry.algorithm);
+  EncodeSignature(out, entry.signature);
+  AppendDouble(out, entry.cost);
+  AppendDouble(out, entry.cardinality);
+  AppendDouble(out, entry.recompute_seconds);
+  const std::vector<JoinTreeNode>& nodes = entry.plan->nodes();
+  AppendU32(out, static_cast<uint32_t>(nodes.size()));
+  for (const JoinTreeNode& node : nodes) {
+    AppendU64(out, node.relations.mask());
+    AppendDouble(out, node.cardinality);
+    AppendDouble(out, node.cost);
+    AppendI32(out, node.relation);
+    AppendI32(out, node.left);
+    AppendI32(out, node.right);
+    out.push_back(static_cast<char>(node.op));
+  }
+  return out;
+}
+
+bool DecodeSignature(Cursor& cur, OutcomeSignature* sig) {
+  uint32_t status = 0;
+  uint32_t trigger = 0;
+  uint8_t best_effort = 0;
+  if (!cur.ReadU32(&status) || status > kMaxStatusCode) return false;
+  if (!cur.ReadDouble(&sig->cost) || !std::isfinite(sig->cost)) return false;
+  if (!cur.ReadDouble(&sig->cardinality) ||
+      !std::isfinite(sig->cardinality)) {
+    return false;
+  }
+  if (!cur.ReadU64(&sig->inner_counter) ||
+      !cur.ReadU64(&sig->csg_cmp_pair_counter) ||
+      !cur.ReadU64(&sig->create_join_tree_calls) ||
+      !cur.ReadU64(&sig->plans_stored)) {
+    return false;
+  }
+  if (!cur.ReadU8(&best_effort) || best_effort > 1) return false;
+  if (!cur.ReadU32(&trigger) || trigger > kMaxStatusCode) return false;
+  sig->status = static_cast<StatusCode>(status);
+  sig->best_effort = best_effort != 0;
+  sig->trigger = static_cast<StatusCode>(trigger);
+  return true;
+}
+
+/// Decodes one record payload into an entry, revalidating every field.
+/// The stored hash is never read back — it is recomputed from the key —
+/// and the tree is structurally re-verified (leaf masks, join-node mask
+/// partitioning, child ordering via JoinTree::FromNodes), so a record
+/// that passes cannot violate the cache's invariants.
+bool DecodeEntry(std::string_view payload, CachedPlan* entry) {
+  Cursor cur(payload);
+  if (!cur.ReadBytes(kMaxKeyBytes, &entry->key) || entry->key.empty()) {
+    return false;
+  }
+  if (!cur.ReadU64(&entry->generation)) return false;
+  if (!cur.ReadBytes(kMaxAlgorithmBytes, &entry->algorithm)) return false;
+  if (!DecodeSignature(cur, &entry->signature)) return false;
+  if (!cur.ReadDouble(&entry->cost) || !std::isfinite(entry->cost)) {
+    return false;
+  }
+  if (!cur.ReadDouble(&entry->cardinality) ||
+      !std::isfinite(entry->cardinality)) {
+    return false;
+  }
+  if (!cur.ReadDouble(&entry->recompute_seconds) ||
+      !std::isfinite(entry->recompute_seconds) ||
+      entry->recompute_seconds < 0) {
+    return false;
+  }
+  uint32_t node_count = 0;
+  if (!cur.ReadU32(&node_count) || node_count == 0 ||
+      node_count > kMaxTreeNodes) {
+    return false;
+  }
+  std::vector<JoinTreeNode> nodes;
+  nodes.reserve(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    JoinTreeNode node;
+    uint64_t mask = 0;
+    uint8_t op = 0;
+    if (!cur.ReadU64(&mask) || !cur.ReadDouble(&node.cardinality) ||
+        !std::isfinite(node.cardinality) || !cur.ReadDouble(&node.cost) ||
+        !std::isfinite(node.cost) || !cur.ReadI32(&node.relation) ||
+        !cur.ReadI32(&node.left) || !cur.ReadI32(&node.right) ||
+        !cur.ReadU8(&op) || op > kMaxJoinOperator) {
+      return false;
+    }
+    node.relations = NodeSet::FromMask(mask);
+    node.op = static_cast<JoinOperator>(op);
+    if (node.relation < -1 || node.relation >= kMaxRelations) {
+      return false;
+    }
+    if (node.IsLeaf()) {
+      if (mask != (uint64_t{1} << node.relation)) return false;
+    } else {
+      // Children must already exist and partition the parent's set.
+      if (node.left < 0 || node.right < 0 ||
+          node.left >= static_cast<int>(i) ||
+          node.right >= static_cast<int>(i)) {
+        return false;
+      }
+      const uint64_t left_mask = nodes[node.left].relations.mask();
+      const uint64_t right_mask = nodes[node.right].relations.mask();
+      if ((left_mask & right_mask) != 0 ||
+          (left_mask | right_mask) != mask) {
+        return false;
+      }
+    }
+    nodes.push_back(node);
+  }
+  if (!cur.AtEnd()) return false;  // Trailing bytes: not our record.
+  auto tree = JoinTree::FromNodes(std::move(nodes));
+  if (!tree.ok()) return false;
+  entry->plan = std::move(*tree);
+  entry->hash = FingerprintHash(entry->key);
+  return true;
+}
+
+// --- file I/O ---------------------------------------------------------
+
+#ifndef _WIN32
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("snapshot: cannot open " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("snapshot: write to " + tmp + " failed: " + why);
+    }
+    off += static_cast<size_t>(n);
+  }
+  // fsync BEFORE rename: the rename must never make durable a file whose
+  // data blocks are still only in the page cache.
+  if (::fsync(fd) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("snapshot: fsync of " + tmp + " failed: " + why);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("snapshot: close of " + tmp + " failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Status::Internal("snapshot: rename to " + path + " failed: " + why);
+  }
+  // Durable directory entry: fsync the parent so the rename itself
+  // survives a crash. Best-effort — some filesystems refuse directory
+  // fsync, and the data is already safe either way.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status();
+}
+
+/// Reads the snapshot into `out`. missing=true (and OK) when the file
+/// does not exist.
+Status ReadFile(const std::string& path, std::string* out, bool* missing) {
+  *missing = false;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      *missing = true;
+      return Status();
+    }
+    return Status::Internal("snapshot: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("snapshot: stat of " + path + " failed: " + why);
+  }
+  if (static_cast<uint64_t>(st.st_size) > kMaxSnapshotBytes) {
+    // Implausibly large: refuse to read it into memory. The caller maps
+    // an empty buffer to kBadHeader, which is the right typed answer.
+    ::close(fd);
+    out->clear();
+    return Status();
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out->size()) {
+    const ssize_t n = ::read(fd, out->data() + off, out->size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("snapshot: read of " + path + " failed: " + why);
+    }
+    if (n == 0) {
+      out->resize(off);  // Shrank mid-read; parse what we got.
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status();
+}
+
+#else  // _WIN32: no fsync guarantees; plain buffered I/O + rename.
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.write(data.data(), static_cast<std::streamsize>(data.size()))) {
+      return Status::Internal("snapshot: write to " + tmp + " failed");
+    }
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("snapshot: rename to " + path + " failed");
+  }
+  return Status();
+}
+
+Status ReadFile(const std::string& path, std::string* out, bool* missing) {
+  *missing = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *missing = true;
+    return Status();
+  }
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return Status();
+}
+
+#endif  // _WIN32
+
+}  // namespace
+
+uint32_t SnapshotCrc32(std::string_view data) {
+  // Table-driven CRC-32 (IEEE 802.3, reflected 0xEDB88320).
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string_view SnapshotLoadName(SnapshotLoad outcome) {
+  switch (outcome) {
+    case SnapshotLoad::kLoaded:
+      return "loaded";
+    case SnapshotLoad::kNoSnapshot:
+      return "no_snapshot";
+    case SnapshotLoad::kBadHeader:
+      return "bad_header";
+    case SnapshotLoad::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
+std::string SnapshotLoadStats::ToString() const {
+  std::string out = "outcome=";
+  out += SnapshotLoadName(outcome);
+  out += " generation=" + std::to_string(generation);
+  out += " declared=" + std::to_string(declared_records);
+  out += " restored=" + std::to_string(restored);
+  out += " skipped_corrupt=" + std::to_string(skipped_corrupt);
+  out += " skipped_stale=" + std::to_string(skipped_stale);
+  out += " skipped_rejected=" + std::to_string(skipped_rejected);
+  out += " bytes=" + std::to_string(bytes);
+  if (!detail.empty()) {
+    out += " detail=\"" + detail + "\"";
+  }
+  return out;
+}
+
+std::string SnapshotSaveStats::ToString() const {
+  return "written=" + std::to_string(written) +
+         " skipped_stale=" + std::to_string(skipped_stale) +
+         " bytes=" + std::to_string(bytes) +
+         " generation=" + std::to_string(generation);
+}
+
+Result<SnapshotSaveStats> SaveSnapshot(const PlanCache& cache,
+                                       const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("snapshot: empty path");
+  }
+  SnapshotSaveStats stats;
+  stats.generation = cache.generation();
+  std::string body;
+  for (const CachedPlan& entry : cache.Export()) {
+    if (entry.generation != stats.generation || !entry.plan.has_value()) {
+      // Lazily-unreclaimed stale state never reaches disk.
+      ++stats.skipped_stale;
+      continue;
+    }
+    const std::string payload = EncodePayload(entry);
+    AppendU32(body, static_cast<uint32_t>(payload.size()));
+    body += payload;
+    AppendU32(body, SnapshotCrc32(payload));
+    ++stats.written;
+  }
+  std::string file;
+  file.reserve(kHeaderBytes + body.size());
+  file.append(kMagic, sizeof(kMagic));
+  AppendU32(file, kFormatVersion);
+  AppendU32(file, kQuantizeBucketsPerOctave);
+  AppendU64(file, stats.generation);
+  AppendU64(file, stats.written);
+  AppendU32(file, SnapshotCrc32(std::string_view(file)));
+  file += body;
+  stats.bytes = file.size();
+  JOINOPT_RETURN_IF_ERROR(WriteFileAtomic(path, file));
+  return stats;
+}
+
+Result<SnapshotLoadStats> LoadSnapshot(PlanCache& cache,
+                                       const std::string& path,
+                                       uint64_t required_generation) {
+  if (path.empty()) {
+    return Status::InvalidArgument("snapshot: empty path");
+  }
+  SnapshotLoadStats stats;
+  std::string data;
+  bool missing = false;
+  JOINOPT_RETURN_IF_ERROR(ReadFile(path, &data, &missing));
+  if (missing) {
+    stats.outcome = SnapshotLoad::kNoSnapshot;
+    stats.detail = "no snapshot at " + path;
+    return stats;
+  }
+  stats.bytes = data.size();
+  Cursor cur(data);
+  const auto bad_header = [&](std::string why) {
+    stats.outcome = SnapshotLoad::kBadHeader;
+    stats.detail = std::move(why);
+    return stats;
+  };
+  if (data.size() < kHeaderBytes) {
+    return bad_header("file shorter than the header");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return bad_header("bad magic");
+  }
+  const uint32_t header_crc = SnapshotCrc32(cur.View(kHeaderBodyBytes));
+  cur.Skip(sizeof(kMagic));
+  uint32_t version = 0;
+  uint32_t quant = 0;
+  uint32_t stored_crc = 0;
+  cur.ReadU32(&version);
+  cur.ReadU32(&quant);
+  cur.ReadU64(&stats.generation);
+  cur.ReadU64(&stats.declared_records);
+  cur.ReadU32(&stored_crc);
+  if (stored_crc != header_crc) {
+    stats.generation = 0;
+    stats.declared_records = 0;
+    return bad_header("header CRC mismatch");
+  }
+  if (version != kFormatVersion) {
+    return bad_header("unsupported format version " + std::to_string(version));
+  }
+  if (quant != kQuantizeBucketsPerOctave) {
+    return bad_header("quantization resolution mismatch (" +
+                      std::to_string(quant) + " buckets/octave)");
+  }
+  if (required_generation != 0 && stats.generation != required_generation) {
+    // The catalog moved since the save (or the snapshot claims a future
+    // catalog). Entries keyed under other statistics are dropped
+    // wholesale — never silently revalidated.
+    stats.outcome = SnapshotLoad::kStale;
+    stats.detail = "snapshot generation " + std::to_string(stats.generation) +
+                   " != required " + std::to_string(required_generation);
+    return stats;
+  }
+  stats.outcome = SnapshotLoad::kLoaded;
+  // Adopt the persisted generation (forward only): inserts below are
+  // stamped with it, and a cache already past it refuses them as stale.
+  cache.AdvanceGenerationTo(stats.generation);
+  while (!cur.AtEnd()) {
+    uint32_t payload_len = 0;
+    if (!cur.ReadU32(&payload_len) || payload_len > kMaxPayloadBytes ||
+        payload_len + 4 > cur.remaining()) {
+      // Framing lost: without a trustworthy length there is no way to
+      // find the next record boundary. Count and stop — never scan.
+      ++stats.skipped_corrupt;
+      stats.detail = "framing lost at byte " + std::to_string(cur.position());
+      break;
+    }
+    const std::string_view payload = cur.View(payload_len);
+    cur.Skip(payload_len);
+    uint32_t record_crc = 0;
+    cur.ReadU32(&record_crc);
+    if (record_crc != SnapshotCrc32(payload)) {
+      ++stats.skipped_corrupt;
+      continue;  // Framing intact: just this record is bad.
+    }
+    CachedPlan entry;
+    if (!DecodeEntry(payload, &entry)) {
+      ++stats.skipped_corrupt;
+      continue;
+    }
+    if (entry.generation != stats.generation) {
+      // The writer filters these, so this is a crafted or spliced record.
+      ++stats.skipped_stale;
+      continue;
+    }
+    switch (cache.Insert(std::move(entry))) {
+      case CacheInsert::kInserted:
+      case CacheInsert::kUpdated:
+        ++stats.restored;
+        break;
+      case CacheInsert::kRejectedStale:
+        ++stats.skipped_stale;
+        break;
+      case CacheInsert::kRejectedCapacity:
+      case CacheInsert::kRejectedUncacheable:
+        ++stats.skipped_rejected;
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace joinopt

@@ -1,0 +1,140 @@
+#ifndef JOINOPT_SERVE_SNAPSHOT_H_
+#define JOINOPT_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/plan_cache.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace serve {
+
+/// Crash-safe persistence for the plan cache.
+///
+/// Format (all integers little-endian, doubles as raw IEEE-754 bit
+/// patterns so a restored hit replays the miss run bit-for-bit):
+///
+///   header  := magic[8]="JOPSNAP1" version:u32 quant:u32
+///              generation:u64 record_count:u64 crc:u32
+///   record  := payload_len:u32 payload[payload_len] crc:u32
+///   payload := key_len:u32 key[key_len] generation:u64
+///              algo_len:u32 algo[algo_len]
+///              signature (status:u32 cost:u64 card:u64 inner:u64
+///                         csg_cmp:u64 create_calls:u64 plans_stored:u64
+///                         best_effort:u8 trigger:u32)
+///              cost:u64 cardinality:u64 recompute_seconds:u64
+///              node_count:u32 node[node_count]
+///   node    := relations_mask:u64 cardinality:u64 cost:u64
+///              relation:i32 left:i32 right:i32 op:u8
+///
+/// Each CRC is CRC-32 (IEEE) over the bytes it follows: the header CRC
+/// covers the 32 bytes before it, a record CRC covers that record's
+/// payload. `quant` pins the fingerprint quantization resolution
+/// (kQuantizeBucketsPerOctave): keys computed under a different
+/// resolution are incompatible, so a mismatch rejects the whole file.
+/// `record_count` is advisory — the loader is EOF-driven and framing is
+/// carried by the per-record length prefixes, so a torn tail or appended
+/// junk degrades to skipped records, never to undefined behavior.
+///
+/// Crash safety: SaveSnapshot writes `path + ".tmp"`, fsyncs it, then
+/// atomically rename(2)s it over `path` and fsyncs the parent directory.
+/// A crash at any point leaves either the old complete snapshot or the
+/// new complete snapshot at `path` — never a torn file.
+///
+/// Corruption tolerance: no input — truncated, bit-flipped, duplicated,
+/// hostile lengths — may crash LoadSnapshot or poison the cache. A bad
+/// header is a typed cold start (kBadHeader), a bad record is skipped
+/// and counted, a generation mismatch is dropped, and every stored field
+/// is revalidated (hash recomputed from the key, status codes ranged,
+/// doubles checked finite, tree structure re-validated by
+/// JoinTree::FromNodes) before an entry is offered to the cache.
+
+/// Typed result of a load attempt. Everything except kLoaded is a cold
+/// start; the distinctions tell the operator why.
+enum class SnapshotLoad {
+  /// Header valid; entries replayed (possibly zero, with corrupt or
+  /// stale records skipped and counted).
+  kLoaded,
+  /// No snapshot file exists at the path — a first boot.
+  kNoSnapshot,
+  /// The file is too short, the magic/version/quantization do not match,
+  /// or the header CRC fails. Nothing in the file can be trusted.
+  kBadHeader,
+  /// The snapshot was written under a different catalog generation than
+  /// the caller requires (Catalog::generation() moved since the save).
+  /// Entries are dropped wholesale, never silently revalidated.
+  kStale,
+};
+
+std::string_view SnapshotLoadName(SnapshotLoad outcome);
+
+struct SnapshotLoadStats {
+  SnapshotLoad outcome = SnapshotLoad::kNoSnapshot;
+  /// Generation stamped in the snapshot header (0 when unreadable).
+  uint64_t generation = 0;
+  /// Advisory record count from the header (what the writer intended).
+  uint64_t declared_records = 0;
+  /// Entries accepted by the cache (inserted or refreshed).
+  uint64_t restored = 0;
+  /// Records dropped by CRC/bounds/structural validation.
+  uint64_t skipped_corrupt = 0;
+  /// Records dropped because their generation stamp is not current.
+  uint64_t skipped_stale = 0;
+  /// Structurally valid records the cache refused (capacity, uncacheable).
+  uint64_t skipped_rejected = 0;
+  /// Snapshot file size in bytes (0 when missing).
+  uint64_t bytes = 0;
+  /// Human-readable note for non-kLoaded outcomes and framing stops.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct SnapshotSaveStats {
+  /// Entries serialized into the snapshot.
+  uint64_t written = 0;
+  /// Resident entries dropped at save time: stamped with a generation
+  /// older than the cache's current one (lazily-unreclaimed stale state
+  /// never reaches disk).
+  uint64_t skipped_stale = 0;
+  /// Bytes in the finished snapshot file.
+  uint64_t bytes = 0;
+  /// Generation the snapshot was written under (the header stamp).
+  uint64_t generation = 0;
+
+  std::string ToString() const;
+};
+
+/// Serializes the cache's current-generation entries to `path` via the
+/// temp-file + fsync + atomic-rename protocol above. Returns the save
+/// stats, or a Status error when the filesystem refuses (open/write/
+/// rename failures). Safe to call while other threads use the cache —
+/// entries are copied out under the shard locks.
+Result<SnapshotSaveStats> SaveSnapshot(const PlanCache& cache,
+                                       const std::string& path);
+
+/// Replays a snapshot into `cache`. Hostile input never returns a Status
+/// error: every recoverable-or-not content problem maps to a typed
+/// outcome in the returned stats (the Result error channel is reserved
+/// for filesystem failures like an unreadable existing file).
+///
+/// `required_generation` is the caller's Catalog::generation() (0 = no
+/// requirement): when nonzero and different from the header stamp, the
+/// outcome is kStale and nothing is replayed. On kLoaded the cache's
+/// generation is advanced to the header stamp first (never moved
+/// backwards), so records from a snapshot older than the cache's own
+/// stamp are refused by the generation check at insert.
+Result<SnapshotLoadStats> LoadSnapshot(PlanCache& cache,
+                                       const std::string& path,
+                                       uint64_t required_generation = 0);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+/// Exposed for tests and the fuzzer's mutation oracle.
+uint32_t SnapshotCrc32(std::string_view data);
+
+}  // namespace serve
+}  // namespace joinopt
+
+#endif  // JOINOPT_SERVE_SNAPSHOT_H_

@@ -106,6 +106,10 @@ Status ValidateLimitEnv() {
   JOINOPT_RETURN_IF_ERROR(EnvInt("JOINOPT_CACHE_SHARDS", 0).status());
   JOINOPT_RETURN_IF_ERROR(EnvInt("JOINOPT_QUEUE_DEPTH", 0).status());
   JOINOPT_RETURN_IF_ERROR(EnvInt("JOINOPT_SERVE_WORKERS", 0).status());
+  JOINOPT_RETURN_IF_ERROR(
+      EnvDouble("JOINOPT_SERVE_SNAPSHOT_PERIOD_S", 0.0,
+                /*require_positive=*/false)
+          .status());
   return Status::OK();
 }
 

@@ -200,6 +200,28 @@ TEST(PolicyExecutorTest, FinalStepRunsLimitsStrippedAfterFailures) {
   EXPECT_EQ(result->cost, exact->cost);
 }
 
+TEST(PolicyExecutorTest, NestedLadderFallbacksSurviveTheOuterPolicy) {
+  Result<QueryGraph> graph = MakeChainQuery(10);
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  // A single-step policy whose one step is itself a ladder: Adaptive's
+  // gate picks DPccp on a chain, the 16-entry budget trips it (chain-10
+  // needs 54), and the internal ladder degrades. The outer executor must
+  // not clobber the nested fallback trail — the serving layer's
+  // cacheability check reads fallback_from to keep plans shaped by this
+  // request's budget out of the exact-plan cache.
+  Result<DegradationPolicy> policy = DegradationPolicy::Parse("Adaptive");
+  ASSERT_TRUE(policy.ok());
+  OptimizeOptions options;
+  options.memo_entry_budget = 16;
+  OptimizerContext ctx(*graph, cost_model, options);
+  Result<OptimizationResult> result = RunDegradationPolicy(*policy, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->stats.fallback_from.find("DPccp"), std::string::npos)
+      << "nested fallback trail lost; fallback_from: '"
+      << result->stats.fallback_from << "'";
+}
+
 TEST(PolicyExecutorTest, InternalFaultDoesNotFallThroughSteps) {
   Result<QueryGraph> graph = MakeChainQuery(6);
   ASSERT_TRUE(graph.ok());

@@ -1,0 +1,480 @@
+/// Tests for plan-cache snapshot persistence (serve/snapshot): round-trip
+/// bit-identity across every workload family and both memo backends,
+/// crash-safe atomic replacement, typed cold starts for missing/corrupt
+/// files, Catalog::generation() honoring (mid-snapshot BumpGeneration),
+/// and a deterministic mutation sweep (truncation, bit flips, duplicated
+/// records, hostile lengths) asserting typed outcomes only — no crash,
+/// no poisoned hit.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "core/outcome.h"
+#include "core/policy.h"
+#include "joinopt.h"
+#include "serve/fingerprint.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "testing/workloads.h"
+
+namespace joinopt {
+namespace serve {
+namespace {
+
+using joinopt::testing::DrawWorkloadGraph;
+
+std::string TempSnapshotPath(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "joinopt_snapshot_test_" + name + ".snap";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+ServiceConfig SnapshotConfig(const std::string& path) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_depth = 64;
+  config.cache.capacity = 256;
+  config.cache.shards = 2;
+  config.snapshot_path = path;
+  return config;
+}
+
+ServeRequest MakeRequest(const QueryGraph& graph, bool sparse) {
+  ServeRequest request;
+  request.graph = graph;
+  request.orderer = "DPccp";
+  request.threads = 1;
+  if (sparse) {
+    // 2^n - 1 never fits the dense 2^n preallocation, so the memo runs
+    // on the sharded sparse backend; big enough to never trip.
+    request.memo_entry_budget = (uint64_t{1} << graph.relation_count()) - 1;
+  }
+  return request;
+}
+
+/// Builds a cache entry the way the service's miss path does — DPccp on
+/// the canonical quantized graph — but with a caller-chosen generation
+/// stamp, for the generation-semantics tests that need entries outside a
+/// live service.
+CachedPlan MakeEntry(const QueryGraph& graph, uint64_t generation) {
+  auto canonical = CanonicalizeQuery(graph, "DPccp", "cout");
+  EXPECT_TRUE(canonical.ok());
+  const CoutCostModel cost_model;
+  OptimizerContext ctx(canonical->graph, cost_model);
+  auto policy = DegradationPolicy::Parse("DPccp");
+  EXPECT_TRUE(policy.ok());
+  auto result = RunDegradationPolicy(*policy, ctx);
+  EXPECT_TRUE(result.ok());
+  CachedPlan entry;
+  entry.key = canonical->key;
+  entry.hash = canonical->hash;
+  entry.generation = generation;
+  entry.signature = ExtractOutcomeSignature(result, ctx.stats());
+  entry.cost = result->cost;
+  entry.cardinality = result->cardinality;
+  entry.algorithm = result->stats.algorithm;
+  entry.recompute_seconds = result->stats.elapsed_seconds;
+  entry.plan = result->plan;
+  return entry;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) {
+    return out;
+  }
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+/// The tentpole round trip: optimize across all seven families on both
+/// memo backends, snapshot, restart into a fresh service, and require
+/// every replayed query to hit with the ORIGINAL miss's signature, cost,
+/// and plan — bit-identical recovery, not approximate recovery.
+TEST(SnapshotTest, RoundTripAcrossFamiliesAndBackendsIsBitIdentical) {
+  for (const bool sparse : {false, true}) {
+    const std::string path = TempSnapshotPath(
+        sparse ? "roundtrip_sparse" : "roundtrip_dense");
+    std::vector<QueryGraph> graphs;
+    std::vector<ServeResponse> misses;
+    {
+      auto service = OptimizerService::Create(SnapshotConfig(path));
+      ASSERT_TRUE(service.ok());
+      EXPECT_EQ((*service)->LoadStats().outcome, SnapshotLoad::kNoSnapshot);
+      for (uint64_t draw = 0; draw < 14; ++draw) {
+        Random rng(1701 + draw);
+        std::string family;
+        Result<QueryGraph> graph = DrawWorkloadGraph(rng, &family);
+        ASSERT_TRUE(graph.ok()) << family;
+        ServeResponse miss =
+            (*service)->SubmitAndWait(MakeRequest(*graph, sparse));
+        ASSERT_TRUE(miss.status.ok())
+            << family << ": " << miss.status.ToString();
+        ASSERT_FALSE(miss.cache_hit) << family;
+        graphs.push_back(*graph);
+        misses.push_back(std::move(miss));
+      }
+      auto saved = (*service)->SaveSnapshotNow();
+      ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+      EXPECT_EQ(saved->written, misses.size());
+      EXPECT_GT(saved->bytes, 0u);
+    }
+    auto service = OptimizerService::Create(SnapshotConfig(path));
+    ASSERT_TRUE(service.ok());
+    const SnapshotLoadStats loaded = (*service)->LoadStats();
+    EXPECT_EQ(loaded.outcome, SnapshotLoad::kLoaded) << loaded.ToString();
+    EXPECT_EQ(loaded.restored, misses.size()) << loaded.ToString();
+    EXPECT_EQ(loaded.skipped_corrupt, 0u);
+    for (size_t i = 0; i < graphs.size(); ++i) {
+      const ServeResponse hit =
+          (*service)->SubmitAndWait(MakeRequest(graphs[i], sparse));
+      ASSERT_TRUE(hit.status.ok());
+      ASSERT_TRUE(hit.cache_hit)
+          << "query " << i << " (sparse=" << sparse
+          << ") missed after snapshot recovery";
+      EXPECT_EQ(hit.signature, misses[i].signature)
+          << hit.signature.DiffAgainst(misses[i].signature);
+      EXPECT_EQ(hit.cost, misses[i].cost);
+      EXPECT_EQ(hit.cardinality, misses[i].cardinality);
+      EXPECT_EQ(hit.algorithm, misses[i].algorithm);
+      ASSERT_TRUE(hit.plan.has_value());
+      EXPECT_EQ(PlanToExpression(*hit.plan, graphs[i]),
+                PlanToExpression(*misses[i].plan, graphs[i]));
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotTest, DrainTimeSnapshotIsWrittenOnShutdown) {
+  const std::string path = TempSnapshotPath("drain");
+  Random rng(99);
+  std::string family;
+  const Result<QueryGraph> graph = DrawWorkloadGraph(rng, &family);
+  ASSERT_TRUE(graph.ok());
+  {
+    auto service = OptimizerService::Create(SnapshotConfig(path));
+    ASSERT_TRUE(service.ok());
+    ASSERT_TRUE(
+        (*service)->SubmitAndWait(MakeRequest(*graph, false)).status.ok());
+    // Destruction drains — the final snapshot must land without an
+    // explicit SaveSnapshotNow.
+  }
+  PlanCache cache(PlanCacheConfig{});
+  auto loaded = LoadSnapshot(cache, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->outcome, SnapshotLoad::kLoaded);
+  EXPECT_GE(loaded->restored, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsTypedColdStart) {
+  PlanCache cache(PlanCacheConfig{});
+  auto loaded = LoadSnapshot(cache, TempSnapshotPath("missing"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->outcome, SnapshotLoad::kNoSnapshot);
+  EXPECT_EQ(loaded->restored, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SnapshotTest, GarbageAndTruncatedHeadersAreTypedColdStarts) {
+  const std::string path = TempSnapshotPath("garbage");
+  const std::vector<std::string> cases = {
+      std::string("not a snapshot at all"), std::string(""),
+      std::string("JOPSNAP"), std::string("JOPSNAP1\x01"),
+      std::string(200, '\0')};
+  for (const std::string& bytes : cases) {
+    WriteFileBytes(path, bytes);
+    PlanCache cache(PlanCacheConfig{});
+    auto loaded = LoadSnapshot(cache, path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->outcome, SnapshotLoad::kBadHeader)
+        << loaded->ToString();
+    EXPECT_EQ(loaded->restored, 0u);
+    EXPECT_EQ(cache.size(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmptyCacheRoundTrips) {
+  const std::string path = TempSnapshotPath("empty");
+  PlanCache cache(PlanCacheConfig{});
+  auto saved = SaveSnapshot(cache, path);
+  ASSERT_TRUE(saved.ok());
+  EXPECT_EQ(saved->written, 0u);
+  PlanCache restored(PlanCacheConfig{});
+  auto loaded = LoadSnapshot(restored, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->outcome, SnapshotLoad::kLoaded);
+  EXPECT_EQ(loaded->restored, 0u);
+  std::remove(path.c_str());
+}
+
+/// The satellite fix: a snapshot written before a Catalog statistics
+/// refresh must be dropped wholesale when the caller requires the new
+/// Catalog::generation() — typed kStale, never silently revalidated.
+TEST(SnapshotTest, MidSnapshotBumpGenerationDropsWholesaleAtLoad) {
+  const std::string path = TempSnapshotPath("generation");
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("a", 100).ok());
+  ASSERT_TRUE(catalog.AddRelation("b", 200).ok());
+  ASSERT_TRUE(catalog.AddRelation("c", 300).ok());
+  ASSERT_TRUE(catalog.AddJoin("a", "b", 0.1).ok());
+  ASSERT_TRUE(catalog.AddJoin("b", "c", 0.05).ok());
+  auto graph = catalog.BuildQueryGraph();
+  ASSERT_TRUE(graph.ok());
+  {
+    // The writer stamps the cache from the catalog before inserting, so
+    // the snapshot header carries Catalog::generation().
+    PlanCache cache(PlanCacheConfig{});
+    cache.AdvanceGenerationTo(catalog.generation());
+    ASSERT_EQ(cache.Insert(MakeEntry(*graph, catalog.generation())),
+              CacheInsert::kInserted);
+    auto saved = SaveSnapshot(cache, path);
+    ASSERT_TRUE(saved.ok());
+    ASSERT_EQ(saved->written, 1u);
+    EXPECT_EQ(saved->generation, catalog.generation());
+  }
+  // Mid-snapshot statistics refresh: the snapshot on disk now predates
+  // the catalog.
+  catalog.BumpGeneration();
+  {
+    PlanCache cache(PlanCacheConfig{});
+    auto loaded = LoadSnapshot(cache, path, catalog.generation());
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->outcome, SnapshotLoad::kStale) << loaded->ToString();
+    EXPECT_EQ(loaded->restored, 0u);
+    EXPECT_EQ(cache.size(), 0u) << "stale entries were revalidated";
+  }
+  // Without the refresh the same file loads.
+  {
+    PlanCache cache(PlanCacheConfig{});
+    auto loaded = LoadSnapshot(cache, path, catalog.generation() - 1);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->outcome, SnapshotLoad::kLoaded);
+    EXPECT_EQ(loaded->restored, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+/// Save-side generation hygiene: lazily-unreclaimed stale entries never
+/// reach disk, and a snapshot from the past cannot resurrect plans in a
+/// cache whose generation already moved on.
+TEST(SnapshotTest, StaleEntriesAreFilteredAtSaveAndRefusedAtLoad) {
+  const std::string path = TempSnapshotPath("stale");
+  Random rng(7);
+  std::string family;
+  const Result<QueryGraph> old_graph = DrawWorkloadGraph(rng, &family);
+  ASSERT_TRUE(old_graph.ok());
+  const Result<QueryGraph> new_graph = DrawWorkloadGraph(rng, &family);
+  ASSERT_TRUE(new_graph.ok());
+  {
+    auto service = OptimizerService::Create(SnapshotConfig(path));
+    ASSERT_TRUE(service.ok());
+    ASSERT_TRUE((*service)
+                    ->SubmitAndWait(MakeRequest(*old_graph, false))
+                    .status.ok());
+    (*service)->BumpCatalogGeneration();
+    ASSERT_TRUE((*service)
+                    ->SubmitAndWait(MakeRequest(*new_graph, false))
+                    .status.ok());
+    auto saved = (*service)->SaveSnapshotNow();
+    ASSERT_TRUE(saved.ok());
+    // The pre-bump entry is still resident (lazy reclamation) but must
+    // not be serialized.
+    EXPECT_EQ(saved->written, 1u) << saved->ToString();
+    EXPECT_EQ(saved->skipped_stale, 1u) << saved->ToString();
+  }
+  // A cache already past the snapshot's generation refuses its records.
+  PlanCache ahead(PlanCacheConfig{});
+  ahead.BumpGeneration();
+  ahead.BumpGeneration();
+  auto loaded = LoadSnapshot(ahead, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->outcome, SnapshotLoad::kLoaded);
+  EXPECT_EQ(loaded->restored, 0u) << loaded->ToString();
+  EXPECT_EQ(loaded->skipped_stale, 1u) << loaded->ToString();
+  EXPECT_EQ(ahead.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, NewSaveAtomicallyReplacesOldSnapshot) {
+  const std::string path = TempSnapshotPath("replace");
+  Random rng(12);
+  std::string family;
+  const Result<QueryGraph> g1 = DrawWorkloadGraph(rng, &family);
+  ASSERT_TRUE(g1.ok());
+  const Result<QueryGraph> g2 = DrawWorkloadGraph(rng, &family);
+  ASSERT_TRUE(g2.ok());
+  auto service = OptimizerService::Create(SnapshotConfig(path));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(
+      (*service)->SubmitAndWait(MakeRequest(*g1, false)).status.ok());
+  ASSERT_TRUE((*service)->SaveSnapshotNow().ok());
+  ASSERT_TRUE(
+      (*service)->SubmitAndWait(MakeRequest(*g2, false)).status.ok());
+  auto saved = (*service)->SaveSnapshotNow();
+  ASSERT_TRUE(saved.ok());
+  EXPECT_EQ(saved->written, 2u);
+  // The write protocol leaves no temp file behind.
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) {
+    std::fclose(tmp);
+  }
+  PlanCache cache(PlanCacheConfig{});
+  auto loaded = LoadSnapshot(cache, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->restored, 2u);
+  std::remove(path.c_str());
+}
+
+/// The mutation sweep: truncations at every boundary, bit flips across
+/// the whole file, duplicated record regions, and hostile length fields.
+/// Every load must return a TYPED outcome (never a Status error, never a
+/// crash), and any entry that survives into the cache must replay its
+/// original signature — a corrupted byte can cost warmth, never
+/// correctness.
+TEST(SnapshotTest, MutationSweepYieldsTypedOutcomesAndNoPoisonedHits) {
+  const std::string path = TempSnapshotPath("mutation");
+  std::map<std::string, OutcomeSignature> originals;
+  {
+    auto service = OptimizerService::Create(SnapshotConfig(path));
+    ASSERT_TRUE(service.ok());
+    for (uint64_t draw = 0; draw < 3; ++draw) {
+      Random rng(31 + draw);
+      std::string family;
+      const Result<QueryGraph> graph = DrawWorkloadGraph(rng, &family);
+      ASSERT_TRUE(graph.ok());
+      const ServeResponse miss =
+          (*service)->SubmitAndWait(MakeRequest(*graph, false));
+      ASSERT_TRUE(miss.status.ok());
+      auto canonical = CanonicalizeQuery(*graph, "DPccp", "cout");
+      ASSERT_TRUE(canonical.ok());
+      originals[canonical->key] = miss.signature;
+    }
+    ASSERT_TRUE((*service)->SaveSnapshotNow().ok());
+  }
+  const std::string pristine = ReadFileBytes(path);
+  ASSERT_GT(pristine.size(), 36u);
+
+  uint64_t corrupt_total = 0;
+  const auto check_mutant = [&](const std::string& mutant,
+                                const std::string& what) {
+    WriteFileBytes(path, mutant);
+    PlanCache cache(PlanCacheConfig{});
+    auto loaded = LoadSnapshot(cache, path);
+    ASSERT_TRUE(loaded.ok()) << what << ": untyped error "
+                             << loaded.status().ToString();
+    corrupt_total += loaded->skipped_corrupt;
+    // Whatever survived must replay the original outcome bit-for-bit.
+    for (const auto& [key, signature] : originals) {
+      auto found = cache.Lookup(FingerprintHash(key), key);
+      if (found.outcome == CacheLookup::kHit) {
+        ASSERT_EQ(found.entry->signature, signature)
+            << what << ": poisoned hit for key " << key;
+      }
+    }
+  };
+
+  // Truncation at every 9th byte (and the exact header boundary).
+  for (size_t len = 0; len <= pristine.size(); len += 9) {
+    check_mutant(pristine.substr(0, len),
+                 "truncate to " + std::to_string(len));
+  }
+  check_mutant(pristine.substr(0, 36), "truncate to header");
+  // Single-bit flips marching through the file.
+  for (size_t offset = 0; offset < pristine.size(); offset += 7) {
+    std::string mutant = pristine;
+    mutant[offset] =
+        static_cast<char>(mutant[offset] ^ (1 << (offset % 8)));
+    check_mutant(mutant, "bit flip at " + std::to_string(offset));
+  }
+  // Duplicated record region: everything after the header, twice.
+  check_mutant(pristine + pristine.substr(36), "duplicated records");
+  // Hostile length: a 4 GB payload_len right after the header.
+  {
+    std::string mutant = pristine.substr(0, 36);
+    mutant += std::string("\xff\xff\xff\xff", 4);
+    mutant += std::string(64, 'A');
+    check_mutant(mutant, "hostile payload length");
+  }
+  // The sweep must actually have exercised the skip path.
+  EXPECT_GT(corrupt_total, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, PeriodicSnapshotThreadWritesWithoutShutdown) {
+  const std::string path = TempSnapshotPath("periodic");
+  ServiceConfig config = SnapshotConfig(path);
+  config.snapshot_period_seconds = 0.01;
+  auto service = OptimizerService::Create(config);
+  ASSERT_TRUE(service.ok());
+  Random rng(55);
+  std::string family;
+  const Result<QueryGraph> graph = DrawWorkloadGraph(rng, &family);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(
+      (*service)->SubmitAndWait(MakeRequest(*graph, false)).status.ok());
+  // Wait for the background thread to land a snapshot with the entry —
+  // bounded, not timed: up to ~5 s of 10 ms probes.
+  bool persisted = false;
+  for (int i = 0; i < 500 && !persisted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    PlanCache cache(PlanCacheConfig{});
+    auto loaded = LoadSnapshot(cache, path);
+    ASSERT_TRUE(loaded.ok());
+    persisted =
+        loaded->outcome == SnapshotLoad::kLoaded && loaded->restored >= 1;
+  }
+  EXPECT_TRUE(persisted) << "periodic snapshot never appeared";
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotEnvTest, ServiceConfigParsesSnapshotKnobs) {
+  ::setenv("JOINOPT_SERVE_SNAPSHOT_PATH", "/tmp/x.snap", 1);
+  ::setenv("JOINOPT_SERVE_SNAPSHOT_PERIOD_S", "2.5", 1);
+  auto config = ServiceConfigFromEnv();
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->snapshot_path, "/tmp/x.snap");
+  EXPECT_DOUBLE_EQ(config->snapshot_period_seconds, 2.5);
+  ::setenv("JOINOPT_SERVE_SNAPSHOT_PERIOD_S", "fast", 1);
+  auto malformed = ServiceConfigFromEnv();
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_EQ(malformed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(malformed.status().message().find(
+                "JOINOPT_SERVE_SNAPSHOT_PERIOD_S"),
+            std::string::npos);
+  ::setenv("JOINOPT_SERVE_SNAPSHOT_PERIOD_S", "-1", 1);
+  EXPECT_FALSE(ServiceConfigFromEnv().ok());
+  ::unsetenv("JOINOPT_SERVE_SNAPSHOT_PATH");
+  ::unsetenv("JOINOPT_SERVE_SNAPSHOT_PERIOD_S");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace joinopt

@@ -33,8 +33,19 @@ run_pass() {
   # extreme, degenerate statistics, and the three fault injections);
   # under the sanitize pass this doubles as a leak/UB sweep of every
   # error path.
-  "${build_dir}/tools/joinopt_fuzz" --iters 500 --seed 1
-  "${build_dir}/tools/joinopt_fuzz" --iters 500 --seed 20060912
+  # The runs also interleave snapshot-mutation rounds against the
+  # plan-cache persistence layer; the guard below requires at least one
+  # corrupt record to have been skipped without a nonzero exit — proof
+  # the corruption-tolerant skip path ran, not just the happy path.
+  "${build_dir}/tools/joinopt_fuzz" --iters 500 --seed 1 \
+    | tee "${build_dir}/fuzz_smoke.log"
+  "${build_dir}/tools/joinopt_fuzz" --iters 500 --seed 20060912 \
+    | tee -a "${build_dir}/fuzz_smoke.log"
+  if ! grep -Eq "snapshot fuzz: [0-9]+ mutations, [1-9][0-9]* corrupt records skipped" \
+      "${build_dir}/fuzz_smoke.log"; then
+    echo "fuzz smoke: snapshot mutation rounds never skipped a corrupt record" >&2
+    exit 1
+  fi
   echo "=== ${label}: soak smoke ==="
   # The concurrent anytime soak: mixed graph families, randomized budget
   # / deadline / fault trips, per-thread fault injectors. Any crash,
@@ -51,6 +62,14 @@ run_pass() {
   # fresh DP re-run (the poisoning oracle); sheds must be typed
   # kOverloaded; the watchdog turns a stall into a hard failure.
   "${build_dir}/tools/joinopt_soak" --service --threads 8 --queries 300
+  echo "=== ${label}: crash recovery soak ==="
+  # The process-kill chaos harness: fork the service, SIGKILL it
+  # mid-traffic (and regularly mid-snapshot-write) three times, and
+  # require every restart to recover the full pool from the surviving
+  # snapshot with bit-identical replay — then one clean cycle and a
+  # corruption drill that must skip the bad record with a typed count.
+  "${build_dir}/tools/joinopt_soak" --crash-recovery --cycles 3 \
+    --snapshot "${build_dir}/crash_recovery.snap"
   echo "=== ${label}: replay smoke ==="
   # The flight-recorder loop, end to end: a fuzz run that arms fault
   # injection captures one bundle per injected failure; every bundle must
@@ -143,7 +162,15 @@ overload = next(c for c in cells if c["cell"] == "overload")
 if overload["shed"] == 0:
     print("FAIL: overload cell shed nothing", file=sys.stderr)
     sys.exit(1)
-print(f"serving bench: {len(cells)} cells, full-pool hit rate {full['hit_rate']:.1%}, overload shed {overload['shed']}")
+warm = next(c for c in cells if c["cell"] == "warm_start")
+if warm["restored"] == 0 or warm["hit_rate"] < 0.99:
+    print(f"FAIL: warm start restored {warm['restored']} entries with hit rate {warm['hit_rate']:.2f} (want restored > 0, hit rate >= 0.99)", file=sys.stderr)
+    sys.exit(1)
+for c in cells:
+    if not (0 <= c["latency_p50_s"] <= c["latency_p95_s"] <= c["latency_p99_s"]):
+        print(f"FAIL: cell {c['cell']} latency percentiles are not monotone", file=sys.stderr)
+        sys.exit(1)
+print(f"serving bench: {len(cells)} cells, full-pool hit rate {full['hit_rate']:.1%}, warm-start hit rate {warm['hit_rate']:.1%} ({warm['restored']} restored), overload shed {overload['shed']}")
 PYSERVE
 }
 

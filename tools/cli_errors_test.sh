@@ -146,6 +146,63 @@ else
   fi
 fi
 
+# ---- Plan-cache snapshots: cache save / load / inspect ----
+
+SNAP="${TMPDIR_LOCAL}/cache.snap"
+
+expect cache_usage 2 "usage" -- "${CLI}" cache
+expect cache_usage_bad_verb 2 "usage" -- "${CLI}" cache frobnicate "${SNAP}"
+# Missing snapshot is a typed cold start with its own code, distinct from
+# the corrupt-file code below.
+expect cache_load_missing 3 "no snapshot" -- "${CLI}" cache load "${SNAP}"
+expect cache_save_unknown_algo 2 "unknown algorithm" -- \
+  "${CLI}" cache save "${SNAP}" "${GOOD}" NoSuchAlgo
+
+# Two saves with different orderers accumulate in one snapshot.
+expect cache_save_first 0 "" -- \
+  "${CLI}" cache save "${SNAP}" "${GOOD}" DPccp cout
+expect cache_save_second 0 "" -- \
+  "${CLI}" cache save "${SNAP}" "${GOOD}" DPsub cout
+expect cache_load_good 0 "" -- "${CLI}" cache load "${SNAP}"
+insp="${TMPDIR_LOCAL}/cache_inspect.out"
+if "${CLI}" cache inspect "${SNAP}" > "${insp}" 2>/dev/null \
+    && grep -q "^restored: 2$" "${insp}" \
+    && grep -q "^skipped corrupt: 0$" "${insp}"; then
+  echo "ok cache_inspect_accumulated"
+else
+  echo "FAIL cache_inspect_accumulated: want restored: 2 from two saves" >&2
+  sed 's/^/    stdout: /' "${insp}" >&2
+  fails=$((fails + 1))
+fi
+
+# A flipped byte in a record body costs that record, never the load: exit
+# stays 0 and the report counts the skip.
+FLIPPED="${TMPDIR_LOCAL}/cache_flipped.snap"
+cp "${SNAP}" "${FLIPPED}"
+printf '\377' | dd of="${FLIPPED}" bs=1 seek=60 count=1 conv=notrunc \
+  2>/dev/null
+flip_out="${TMPDIR_LOCAL}/cache_flip.out"
+if "${CLI}" cache load "${FLIPPED}" > "${flip_out}" 2>/dev/null \
+    && grep -q "skipped_corrupt=1" "${flip_out}"; then
+  echo "ok cache_load_skips_flipped_record"
+else
+  echo "FAIL cache_load_skips_flipped_record: want exit 0 with" \
+       "skipped_corrupt=1" >&2
+  sed 's/^/    stdout: /' "${flip_out}" >&2
+  fails=$((fails + 1))
+fi
+
+# Whole-file corruption (garbage header, truncation below the header) is
+# the dedicated cold-start code 11.
+GARBAGE_SNAP="${TMPDIR_LOCAL}/cache_garbage.snap"
+printf 'not a snapshot' > "${GARBAGE_SNAP}"
+expect cache_inspect_garbage 11 "cold start" -- \
+  "${CLI}" cache inspect "${GARBAGE_SNAP}"
+TRUNCATED_SNAP="${TMPDIR_LOCAL}/cache_truncated.snap"
+head -c 20 "${SNAP}" > "${TRUNCATED_SNAP}"
+expect cache_load_truncated_header 11 "cold start" -- \
+  "${CLI}" cache load "${TRUNCATED_SNAP}"
+
 if [ "${fails}" -ne 0 ]; then
   echo "${fails} exit-code contract check(s) failed" >&2
   exit 1

@@ -9,6 +9,13 @@
 ///   joinopt_cli replay   <bundle-file|->               re-execute a bundle
 ///   joinopt_cli minimize <bundle-file|->               delta-debug a bundle
 ///   joinopt_cli list                                   registered algorithms
+///   joinopt_cli cache save    <snapshot> <spec-file|-> [algo] [cost]
+///                                     optimize & add the plan to a
+///                                     plan-cache snapshot (accumulating)
+///   joinopt_cli cache load    <snapshot>               replay a snapshot,
+///                                     print recovery stats
+///   joinopt_cli cache inspect <snapshot>               dump header fields,
+///                                     record/skip counts
 ///
 /// shapes: chain cycle star clique
 /// algos:  any name from `joinopt_cli list` (default DPccp); the legacy
@@ -59,6 +66,12 @@
 ///      not match the recorded expectation; also Overloaded — the
 ///      serving layer's typed load-shed (src/serve), mapped here for
 ///      any embedding that surfaces it through a Status
+///  11  snapshot cold start: `cache load` / `cache inspect` found the
+///      snapshot unusable as a whole — bad header (magic/version/CRC) or
+///      written under a different catalog generation. Individual corrupt
+///      records do NOT trip this: they are skipped, counted, and
+///      reported with exit 0 (the recovery contract from
+///      src/serve/snapshot.h)
 
 #include <cstdio>
 #include <cstdlib>
@@ -68,8 +81,11 @@
 #include <sstream>
 #include <string>
 
+#include "core/outcome.h"
 #include "dsl/writer.h"
 #include "joinopt.h"
+#include "serve/fingerprint.h"
+#include "serve/snapshot.h"
 #include "testing/fault_injection.h"
 #include "testing/repro.h"
 
@@ -509,6 +525,166 @@ int List() {
   return 0;
 }
 
+/// `cache save`: optimize the spec the way the serving layer's miss path
+/// would (canonical quantized graph, exact first-intent run) and add the
+/// plan to the snapshot at `snapshot_path`, accumulating with whatever
+/// the snapshot already holds. The snapshot is keyed to ONE catalog: the
+/// cache is stamped with Catalog::generation(), so repeated saves with
+/// the same spec accumulate (different algorithms/cost models → distinct
+/// fingerprints), while a modified spec — whose generation differs — is
+/// a typed cold start that restarts the snapshot rather than silently
+/// mixing entries computed under different statistics.
+int CacheSave(const std::string& snapshot_path, const std::string& spec_path,
+              const std::string& algo, const std::string& cost) {
+  Result<std::string> text = ReadAll(spec_path);
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  Result<Catalog> catalog = ParseQuerySpec(*text);
+  if (!catalog.ok()) {
+    return Fail(catalog.status(), "catalog error");
+  }
+  Result<QueryGraph> graph = catalog->BuildQueryGraph();
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  Result<std::unique_ptr<CostModel>> cost_model = MakeCostModel(cost);
+  if (!cost_model.ok()) {
+    std::fprintf(stderr, "%s\n", cost_model.status().ToString().c_str());
+    return 2;
+  }
+  const std::string algorithm = ResolveAlgorithmName(algo);
+  if (OptimizerRegistry::Get(algorithm) == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    return 2;
+  }
+  serve::PlanCache cache{serve::PlanCacheConfig{}};
+  Result<serve::SnapshotLoadStats> loaded =
+      serve::LoadSnapshot(cache, snapshot_path, catalog->generation());
+  if (!loaded.ok()) {
+    return Fail(loaded.status(), "snapshot load");
+  }
+  // A cold start (missing, corrupt, or stale snapshot) is fine here: the
+  // save below starts a fresh one. Report it so the operator knows any
+  // previously accumulated entries are gone.
+  std::fprintf(stderr, "load: %s\n", loaded->ToString().c_str());
+  cache.AdvanceGenerationTo(catalog->generation());
+  Result<serve::CanonicalQuery> canonical =
+      serve::CanonicalizeQuery(*graph, algorithm, cost);
+  if (!canonical.ok()) {
+    return Fail(canonical.status());
+  }
+  OptimizerContext ctx(canonical->graph, **cost_model, OptionsFromEnv());
+  DegradationPolicy policy;
+  PolicyStep step;
+  step.algorithm = algorithm;
+  policy.Append(std::move(step));
+  Result<OptimizationResult> result = RunDegradationPolicy(policy, ctx);
+  if (!result.ok()) {
+    return Fail(result.status(), "optimization failed");
+  }
+  serve::CachedPlan entry;
+  entry.key = canonical->key;
+  entry.hash = canonical->hash;
+  entry.generation = catalog->generation();
+  entry.signature = ExtractOutcomeSignature(result, ctx.stats());
+  entry.cost = result->cost;
+  entry.cardinality = result->cardinality;
+  entry.algorithm = result->stats.algorithm;
+  entry.recompute_seconds = result->stats.elapsed_seconds;
+  entry.plan = result->plan;
+  const serve::CacheInsert inserted = cache.Insert(std::move(entry));
+  Result<serve::SnapshotSaveStats> saved =
+      serve::SaveSnapshot(cache, snapshot_path);
+  if (!saved.ok()) {
+    return Fail(saved.status(), "snapshot save");
+  }
+  std::printf("insert: %s\nsave: %s\n",
+              std::string(serve::CacheInsertName(inserted)).c_str(),
+              saved->ToString().c_str());
+  return 0;
+}
+
+/// `cache load` / `cache inspect`: replay the snapshot into a fresh cache
+/// and report what survived. Exit 0 when the header was good (even with
+/// skipped corrupt records — recovery worked and says so), 3 when no
+/// snapshot exists, 11 on a whole-file cold start (bad header or stale
+/// generation).
+int CacheLoadOrInspect(const std::string& snapshot_path, bool inspect) {
+  serve::PlanCache cache{serve::PlanCacheConfig{}};
+  Result<serve::SnapshotLoadStats> loaded =
+      serve::LoadSnapshot(cache, snapshot_path);
+  if (!loaded.ok()) {
+    return Fail(loaded.status(), "snapshot load");
+  }
+  int code = 8;
+  switch (loaded->outcome) {
+    case serve::SnapshotLoad::kLoaded:
+      code = 0;
+      break;
+    case serve::SnapshotLoad::kNoSnapshot:
+      code = 3;
+      break;
+    case serve::SnapshotLoad::kBadHeader:
+    case serve::SnapshotLoad::kStale:
+      code = 11;
+      break;
+  }
+  // Cold starts are failures: the report joins the diagnostics on stderr
+  // so stdout stays clean, per the exit-code contract above.
+  FILE* out = code == 0 ? stdout : stderr;
+  if (inspect) {
+    std::fprintf(out, "snapshot: %s\n", snapshot_path.c_str());
+    std::fprintf(out, "outcome: %s\n",
+                 std::string(serve::SnapshotLoadName(loaded->outcome))
+                     .c_str());
+    std::fprintf(out, "generation: %llu\n",
+                 static_cast<unsigned long long>(loaded->generation));
+    std::fprintf(out, "declared records: %llu\n",
+                 static_cast<unsigned long long>(loaded->declared_records));
+    std::fprintf(out, "bytes: %llu\n",
+                 static_cast<unsigned long long>(loaded->bytes));
+    std::fprintf(out, "restored: %llu\n",
+                 static_cast<unsigned long long>(loaded->restored));
+    std::fprintf(out, "skipped corrupt: %llu\n",
+                 static_cast<unsigned long long>(loaded->skipped_corrupt));
+    std::fprintf(out, "skipped stale: %llu\n",
+                 static_cast<unsigned long long>(loaded->skipped_stale));
+    std::fprintf(out, "skipped rejected: %llu\n",
+                 static_cast<unsigned long long>(loaded->skipped_rejected));
+    if (!loaded->detail.empty()) {
+      std::fprintf(out, "detail: %s\n", loaded->detail.c_str());
+    }
+  } else {
+    std::fprintf(out, "load: %s\n", loaded->ToString().c_str());
+  }
+  if (code == 3) {
+    std::fprintf(stderr, "no snapshot at '%s'\n", snapshot_path.c_str());
+  } else if (code == 11) {
+    std::fprintf(stderr, "snapshot cold start: %s\n", loaded->detail.c_str());
+  }
+  return code;
+}
+
+int Cache(int argc, char** argv) {
+  const std::string verb = argc > 2 ? argv[2] : "";
+  if (verb == "save" && argc >= 5) {
+    return CacheSave(argv[3], argv[4], argc > 5 ? argv[5] : "DPccp",
+                     argc > 6 ? argv[6] : "cout");
+  }
+  if (verb == "load" && argc >= 4) {
+    return CacheLoadOrInspect(argv[3], /*inspect=*/false);
+  }
+  if (verb == "inspect" && argc >= 4) {
+    return CacheLoadOrInspect(argv[3], /*inspect=*/true);
+  }
+  std::fprintf(stderr,
+               "usage: cache save <snapshot> <spec-file|-> [algo] [cost]\n"
+               "       cache load <snapshot>\n"
+               "       cache inspect <snapshot>\n");
+  return 2;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
@@ -522,6 +698,8 @@ int Usage(const char* argv0) {
                "  %s replay   <bundle-file|->\n"
                "  %s minimize <bundle-file|->\n"
                "  %s list\n"
+               "  %s cache    save <snapshot> <spec-file|-> [algo] [cost]\n"
+               "  %s cache    load|inspect <snapshot>\n"
                "flags:  --best-effort  salvage a complete plan from the\n"
                "        partial memo when a limit trips (exit 9, report on\n"
                "        stderr) instead of failing with exit 6\n"
@@ -533,9 +711,11 @@ int Usage(const char* argv0) {
                "DEADLINE,STATS}_AT\n"
                "exit codes: 0 ok, 2 usage, 3 input, 4 catalog, 5 stats,\n"
                "            6 budget, 7 precondition, 8 internal,\n"
-               "            9 best-effort plan, 10 replay divergence\n",
+               "            9 best-effort plan, 10 replay divergence,\n"
+               "            11 snapshot cold start (bad header or stale\n"
+               "            generation; skipped corrupt records stay exit 0)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -604,6 +784,9 @@ int main(int argc, char** argv) {
   }
   if (command == "minimize" && argc >= 3) {
     return Minimize(argv[2]);
+  }
+  if (command == "cache") {
+    return Cache(argc, argv);
   }
   if (command == "list") {
     return List();

@@ -41,6 +41,16 @@
 /// hands the optimizer a corrupted graph, which the optimizer prologue
 /// must reject as kDegenerateStatistics.
 ///
+/// Every 11th iteration runs a snapshot-mutation round against the
+/// plan-cache persistence layer (serve/snapshot.h): a pristine snapshot
+/// is built once, then each round loads a randomly mutated variant
+/// (truncation, single-bit flip, duplicated record region, hostile
+/// length field). The loader must return a TYPED outcome — never a
+/// Status error, never a crash — and any record that survives into the
+/// cache must carry its original bit-exact OutcomeSignature. The final
+/// summary reports "snapshot fuzz: N mutations, M corrupt records
+/// skipped"; CI requires M >= 1 (the skip path actually ran).
+///
 /// With --repro-dir, the fuzzer doubles as a flight recorder: every
 /// fault-mode run whose optimization failed, and every violated oracle,
 /// is captured as a self-contained repro-NNN.joinopt bundle (capped by
@@ -65,8 +75,13 @@
 #include <string>
 #include <vector>
 
+#include "core/outcome.h"
+#include "core/policy.h"
 #include "cost/saturation.h"
 #include "joinopt.h"
+#include "serve/fingerprint.h"
+#include "serve/plan_cache.h"
+#include "serve/snapshot.h"
 #include "testing/adversarial.h"
 #include "testing/fault_injection.h"
 #include "testing/repro.h"
@@ -267,6 +282,124 @@ void CheckFaultedRun(const QueryGraph& graph, const CostModel& cost_model,
              std::string(testing::FaultPointName(point)).c_str());
 }
 
+/// Snapshot-mutation fuzz state: the pristine snapshot bytes (built
+/// once), the original signatures for the poisoning check, and the
+/// global tallies the summary line reports.
+struct SnapshotFuzz {
+  bool ready = false;
+  std::string path;
+  std::string pristine;
+  std::vector<std::pair<std::string, OutcomeSignature>> originals;
+  uint64_t mutations = 0;
+  uint64_t corrupt_skipped = 0;
+};
+SnapshotFuzz g_snapshot_fuzz;
+
+/// Builds the pristine snapshot: three clean DPccp plans over fixed
+/// seeds, inserted into a bare cache and saved to a temp file.
+void InitSnapshotFuzz(uint64_t seed, FuzzFailure* failure) {
+  SnapshotFuzz& fuzz = g_snapshot_fuzz;
+  serve::PlanCache cache{serve::PlanCacheConfig{}};
+  const CoutCostModel cost_model;
+  for (uint64_t draw = 0; draw < 3; ++draw) {
+    Random rng(seed * 40503 + draw);
+    std::string family;
+    Result<QueryGraph> graph = testing::DrawWorkloadGraph(rng, &family);
+    FUZZ_CHECK(graph.ok(), "snapshot fuzz: generator failed: %s",
+               graph.status().ToString().c_str());
+    Result<serve::CanonicalQuery> canonical =
+        serve::CanonicalizeQuery(*graph, "DPccp", "cout");
+    FUZZ_CHECK(canonical.ok(), "snapshot fuzz: canonicalization failed: %s",
+               canonical.status().ToString().c_str());
+    OptimizerContext ctx(canonical->graph, cost_model);
+    Result<DegradationPolicy> policy = DegradationPolicy::Parse("DPccp");
+    FUZZ_CHECK(policy.ok(), "snapshot fuzz: policy parse failed: %s",
+               policy.status().ToString().c_str());
+    Result<OptimizationResult> result = RunDegradationPolicy(*policy, ctx);
+    FUZZ_CHECK(result.ok(), "snapshot fuzz: optimization failed: %s",
+               result.status().ToString().c_str());
+    serve::CachedPlan entry;
+    entry.key = canonical->key;
+    entry.hash = canonical->hash;
+    entry.generation = cache.generation();
+    entry.signature = ExtractOutcomeSignature(result, ctx.stats());
+    entry.cost = result->cost;
+    entry.cardinality = result->cardinality;
+    entry.algorithm = result->stats.algorithm;
+    entry.recompute_seconds = result->stats.elapsed_seconds;
+    entry.plan = result->plan;
+    fuzz.originals.emplace_back(canonical->key, entry.signature);
+    FUZZ_CHECK(cache.Insert(std::move(entry)) == serve::CacheInsert::kInserted,
+               "snapshot fuzz: pristine insert refused");
+  }
+  fuzz.path = (std::filesystem::temp_directory_path() /
+               ("joinopt_fuzz_" + std::to_string(seed) + ".snap"))
+                  .string();
+  Result<serve::SnapshotSaveStats> saved =
+      serve::SaveSnapshot(cache, fuzz.path);
+  FUZZ_CHECK(saved.ok(), "snapshot fuzz: save failed: %s",
+             saved.status().ToString().c_str());
+  std::ifstream in(fuzz.path, std::ios::binary);
+  fuzz.pristine.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  FUZZ_CHECK(fuzz.pristine.size() > 36,
+             "snapshot fuzz: pristine snapshot too small (%zu bytes)",
+             fuzz.pristine.size());
+  fuzz.ready = true;
+}
+
+/// One snapshot-mutation round: corrupt the pristine bytes one way,
+/// load, and hold the corruption-tolerance contract — typed outcome
+/// only, and whatever survives replays its original signature.
+void CheckSnapshotMutation(Random& rng, FuzzFailure* failure) {
+  SnapshotFuzz& fuzz = g_snapshot_fuzz;
+  std::string mutant = fuzz.pristine;
+  const char* what = "";
+  switch (rng.Uniform(4)) {
+    case 0:
+      mutant.resize(rng.Uniform(mutant.size() + 1));
+      what = "truncation";
+      break;
+    case 1: {
+      const size_t offset = static_cast<size_t>(rng.Uniform(mutant.size()));
+      mutant[offset] = static_cast<char>(
+          mutant[offset] ^ (1 << rng.Uniform(8)));
+      what = "bit flip";
+      break;
+    }
+    case 2:
+      mutant += mutant.substr(36);
+      what = "duplicated records";
+      break;
+    default:
+      mutant = mutant.substr(0, 36) + std::string("\xff\xff\xff\xff", 4) +
+               std::string(32, 'A');
+      what = "hostile length";
+      break;
+  }
+  {
+    std::ofstream out(fuzz.path, std::ios::trunc | std::ios::binary);
+    out.write(mutant.data(),
+              static_cast<std::streamsize>(mutant.size()));
+  }
+  serve::PlanCache cache{serve::PlanCacheConfig{}};
+  Result<serve::SnapshotLoadStats> loaded =
+      serve::LoadSnapshot(cache, fuzz.path);
+  ++fuzz.mutations;
+  FUZZ_CHECK(loaded.ok(), "snapshot %s: untyped load error: %s", what,
+             loaded.status().ToString().c_str());
+  fuzz.corrupt_skipped += loaded->skipped_corrupt;
+  for (const auto& [key, signature] : fuzz.originals) {
+    const serve::PlanCache::LookupResult found =
+        cache.Lookup(serve::FingerprintHash(key), key);
+    if (found.outcome == serve::CacheLookup::kHit) {
+      FUZZ_CHECK(found.entry->signature == signature,
+                 "snapshot %s: POISONED survivor for key %s", what,
+                 key.c_str());
+    }
+  }
+}
+
 /// Catalog round trip with the kAdversarialStats point armed: validation
 /// passes, the handed-out graph is corrupted, the optimizer prologue
 /// must catch it.
@@ -348,6 +481,14 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
     if (!failure.failed && mode != 2 && i % 7 == 0) {
       CheckCatalogStatsFault(graph, cost_model, &failure);
     }
+    if (!failure.failed && i % 11 == 3) {
+      if (!g_snapshot_fuzz.ready) {
+        InitSnapshotFuzz(seed, &failure);
+      }
+      if (!failure.failed) {
+        CheckSnapshotMutation(rng, &failure);
+      }
+    }
     if (failure.failed) {
       std::fprintf(stderr,
                    "FAIL iteration %" PRIu64 " mode=%s family=%s n=%d "
@@ -371,6 +512,10 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
                    iterations);
     }
   }
+  if (!g_snapshot_fuzz.path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(g_snapshot_fuzz.path, ec);
+  }
   std::printf("joinopt_fuzz: %" PRIu64
               " iterations clean (seed %" PRIu64
               "; plain %" PRIu64 ", extreme %" PRIu64 ", degenerate %" PRIu64
@@ -379,6 +524,9 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
               iterations, seed, mode_counts[0], mode_counts[1],
               mode_counts[2], mode_counts[3], mode_counts[4],
               mode_counts[5]);
+  std::printf("snapshot fuzz: %" PRIu64 " mutations, %" PRIu64
+              " corrupt records skipped\n",
+              g_snapshot_fuzz.mutations, g_snapshot_fuzz.corrupt_skipped);
   return 0;
 }
 

@@ -2,6 +2,7 @@
 ///
 ///   joinopt_soak [--threads N] [--queries N] [--seed S] [--verbose]
 ///                [--repro-dir DIR] [--service]
+///                [--crash-recovery] [--cycles N] [--snapshot PATH]
 ///
 /// N worker threads pull queries off a shared seeded stream (all seven
 /// graph families via testing::DrawWorkloadGraph) and optimize each with
@@ -45,12 +46,38 @@
 ///     kBudgetExceeded / kInternal / kOverloaded; sheds carry
 ///     kOverloaded and the shed flag, never a hang or a silent drop;
 ///   * overload bursts shed rather than stall: each burst must complete
-///     (every future resolves) with at least one typed shed;
+///     (every future resolves) with at least one typed shed — half the
+///     burst carries an unmeetable 1ns deadline so that bar holds even
+///     on hardware fast enough to drain the burst outright;
 ///   * generation bumps never let a pre-bump plan surface afterwards
 ///     (subsumed by the poisoning oracle, since the oracle re-runs
 ///     against current statistics);
 ///   * submissions after Shutdown are shed with kOverloaded;
 ///   * liveness: the same watchdog, over harvested responses.
+///
+/// With --crash-recovery (POSIX only) the soak becomes a process-kill
+/// chaos harness for snapshot persistence (serve/snapshot.h). A
+/// single-threaded supervisor forks a service worker that loads the
+/// snapshot at --snapshot (a temp file by default), replays the
+/// recurring pool against it, snapshots on a tight period, and then
+/// streams chaos traffic until the supervisor SIGKILLs it after a
+/// randomized 5-250 ms delay — deliberately landing kills mid-traffic
+/// and, with a ~20 ms snapshot period, frequently mid-snapshot-write.
+/// --cycles N kill/restart cycles (default 3) are followed by one final
+/// clean cycle that must exit 0. Crash-recovery oracles:
+///
+///   * warm restart: every cycle after the first must load the snapshot
+///     (typed kLoaded, all pool entries restored) and replay the ENTIRE
+///     pool as cache hits, each re-checked by the poisoning oracle — a
+///     recovered hit must match a fresh DP bit-for-bit;
+///   * torn-rename: between cycles the supervisor loads the surviving
+///     file in-process; a kill mid-write must leave the PREVIOUS
+///     complete snapshot, never a torn one;
+///   * kill discipline: a worker that exits on its own before the kill
+///     failed an oracle; the supervisor requires WIFSIGNALED(SIGKILL);
+///   * corruption drill: after the last cycle one record byte is
+///     flipped on disk and the load must skip exactly that record with
+///     a typed count — never crash, never serve it.
 ///
 /// With --repro-dir, the soak doubles as a flight recorder. Each worker
 /// flushes a PARTIAL bundle (inputs, no expectation) to
@@ -79,11 +106,19 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "joinopt.h"
 #include "testing/adversarial.h"
@@ -113,6 +148,12 @@ struct SoakConfig {
   bool verbose = false;
   /// Drive serve::OptimizerService instead of bare orderers.
   bool service = false;
+  /// Fork/SIGKILL chaos harness for snapshot persistence (POSIX only).
+  bool crash_recovery = false;
+  /// SIGKILL cycles before the final clean cycle.
+  uint64_t crash_cycles = 3;
+  /// Snapshot file for --crash-recovery; empty = per-run temp file.
+  std::string snapshot_path;
   /// Watchdog stall limit (env-resolved in main; see util/env.h).
   double watchdog_seconds = 30.0;
   /// Flight-recorder directory; empty = capture disabled.
@@ -551,25 +592,37 @@ void CheckServiceResponse(const PoolQuery& pool_query, const InFlight& flight,
   }
 }
 
-int RunServiceMode(const SoakConfig& config) {
-  // Build the recurring pool: every family appears, sizes small enough
-  // that the poisoning oracle's fresh re-runs stay cheap.
-  constexpr int kPoolSize = 24;
+/// Builds the recurring service-mode pool: every family appears, sizes
+/// small enough that the poisoning oracle's fresh re-runs stay cheap.
+/// Deterministic in the seed, so a crash-recovery restart rebuilds the
+/// exact fingerprints the previous process snapshotted.
+constexpr int kPoolSize = 24;
+
+Result<std::vector<PoolQuery>> BuildServicePool(uint64_t seed) {
   std::vector<PoolQuery> pool;
   pool.reserve(kPoolSize);
   for (int i = 0; i < kPoolSize; ++i) {
-    Random rng(config.seed * 7919 + static_cast<uint64_t>(i));
+    Random rng(seed * 7919 + static_cast<uint64_t>(i));
     PoolQuery entry;
     Result<QueryGraph> drawn = testing::DrawWorkloadGraph(rng, &entry.family);
     if (!drawn.ok()) {
-      std::fprintf(stderr, "joinopt_soak: pool generator failed: %s\n",
-                   drawn.status().ToString().c_str());
-      return 1;
+      return drawn.status();
     }
     entry.graph = std::move(*drawn);
     entry.orderer = kAlgorithms[rng.Uniform(kAlgorithmCount)];
     pool.push_back(std::move(entry));
   }
+  return pool;
+}
+
+int RunServiceMode(const SoakConfig& config) {
+  Result<std::vector<PoolQuery>> pool_result = BuildServicePool(config.seed);
+  if (!pool_result.ok()) {
+    std::fprintf(stderr, "joinopt_soak: pool generator failed: %s\n",
+                 pool_result.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<PoolQuery>& pool = *pool_result;
 
   serve::ServiceConfig service_config;
   service_config.workers = std::max(1, config.threads / 2);
@@ -656,8 +709,14 @@ int RunServiceMode(const SoakConfig& config) {
         request.graph = pool[static_cast<size_t>(flight.pool_index)].graph;
         request.orderer =
             pool[static_cast<size_t>(flight.pool_index)].orderer;
-        // A deadline so tight the predictor sheds most of the burst.
-        request.deadline_seconds = 1e-4;
+        // Alternate an unmeetable deadline with deadline-free requests.
+        // The 1ns deadline sheds deterministically on any hardware — the
+        // predictor refuses it at admission once the EMA is warm, and one
+        // that slips into the queue expires on dequeue — while the
+        // deadline-free half must drain (or hit queue-full) under the
+        // same pressure. A fixed 100us deadline here silently stopped
+        // shedding on machines fast enough to drain the burst.
+        request.deadline_seconds = (b % 2 == 0) ? 1e-9 : 0.0;
         flight.future = (*service)->Submit(std::move(request));
         burst.push_back(std::move(flight));
       }
@@ -731,6 +790,344 @@ int RunServiceMode(const SoakConfig& config) {
   return 0;
 }
 
+/// ---------------------------------------------------------------------
+/// Crash-recovery chaos mode (--crash-recovery).
+/// ---------------------------------------------------------------------
+
+#ifndef _WIN32
+
+/// Snapshot cadence inside the worker: tight enough that a randomized
+/// 5-250 ms kill frequently lands mid-snapshot-write, exercising the
+/// temp-file + atomic-rename protocol, not just happy-path persistence.
+constexpr double kCrashSnapshotPeriodSeconds = 0.02;
+
+/// The forked service worker for one crash-recovery cycle. Loads the
+/// snapshot, replays the pool against it (poisoning-oracle-checked),
+/// writes a fresh snapshot, drops the readiness marker for the
+/// supervisor, then streams chaos traffic until SIGKILLed (or, on the
+/// final cycle, exits cleanly after a bounded stream). Any oracle
+/// failure exits 1 — the supervisor treats a self-exiting kill-cycle
+/// worker as a failure.
+int RunCrashWorker(const SoakConfig& config, const std::string& snapshot_path,
+                   const std::string& marker_path, uint64_t cycle,
+                   bool final_cycle) {
+  Result<std::vector<PoolQuery>> pool_result = BuildServicePool(config.seed);
+  if (!pool_result.ok()) {
+    std::fprintf(stderr, "joinopt_soak: pool generator failed: %s\n",
+                 pool_result.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<PoolQuery>& pool = *pool_result;
+
+  serve::ServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.queue_depth = 64;
+  service_config.max_retries = 2;
+  service_config.cache.capacity = 256;  // Holds the whole pool: no
+                                        // eviction noise in the
+                                        // hit-rate-retained oracle.
+  service_config.cache.shards = 2;
+  service_config.snapshot_path = snapshot_path;
+  service_config.snapshot_period_seconds = kCrashSnapshotPeriodSeconds;
+  auto service = serve::OptimizerService::Create(service_config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "joinopt_soak: service creation failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  const serve::SnapshotLoadStats load = (*service)->LoadStats();
+  if (cycle == 0) {
+    if (load.outcome != serve::SnapshotLoad::kNoSnapshot) {
+      std::fprintf(stderr,
+                   "joinopt_soak: cycle 0 expected a cold start, got %s\n",
+                   load.ToString().c_str());
+      return 1;
+    }
+  } else if (load.outcome != serve::SnapshotLoad::kLoaded ||
+             load.restored < pool.size()) {
+    std::fprintf(stderr,
+                 "joinopt_soak: cycle %" PRIu64
+                 " recovery lost entries (want >= %zu restored): %s\n",
+                 cycle, pool.size(), load.ToString().c_str());
+    return 1;
+  }
+
+  // Warm phase: the whole pool, one clean request each. After a restart
+  // EVERY one must be a cache hit (hit-rate retained), and every hit is
+  // re-checked against a fresh DP by the poisoning oracle.
+  SharedState shared;
+  uint64_t hits = 0;
+  for (int i = 0; i < static_cast<int>(pool.size()); ++i) {
+    serve::ServeRequest request;
+    request.graph = pool[static_cast<size_t>(i)].graph;
+    request.orderer = pool[static_cast<size_t>(i)].orderer;
+    serve::ServeResponse response =
+        (*service)->SubmitAndWait(std::move(request));
+    if (response.cache_hit) {
+      ++hits;
+    }
+    InFlight flight;
+    flight.q = static_cast<uint64_t>(i);
+    flight.pool_index = i;
+    CheckServiceResponse(pool[static_cast<size_t>(i)], flight,
+                         std::move(response), shared);
+    if (shared.failed.load()) {
+      std::fprintf(stderr, "joinopt_soak: cycle %" PRIu64 " FAIL %s\n",
+                   cycle, shared.failure_detail.c_str());
+      return 1;
+    }
+  }
+  if (cycle > 0 && hits < pool.size()) {
+    std::fprintf(stderr,
+                 "joinopt_soak: cycle %" PRIu64 " retained only %" PRIu64
+                 "/%zu warm hits after recovery\n",
+                 cycle, hits, pool.size());
+    return 1;
+  }
+
+  // Guarantee a complete snapshot with the full pool exists before the
+  // supervisor is told it may kill us.
+  auto saved = (*service)->SaveSnapshotNow();
+  if (!saved.ok()) {
+    std::fprintf(stderr, "joinopt_soak: cycle %" PRIu64 " save failed: %s\n",
+                 cycle, saved.status().ToString().c_str());
+    return 1;
+  }
+  {
+    std::ofstream marker(marker_path, std::ios::trunc);
+    marker << "ready\n";
+  }
+
+  // Chaos phase: stream pool traffic (some requests fault-injected) with
+  // the periodic snapshot thread racing underneath. Kill cycles run
+  // until the SIGKILL lands; the final cycle is bounded and must drain
+  // and exit clean.
+  const uint64_t limit =
+      final_cycle ? 4 * pool.size() : std::numeric_limits<uint64_t>::max();
+  constexpr uint64_t kChaosWindow = 8;
+  for (uint64_t base = 0; base < limit && !shared.failed.load();
+       base += kChaosWindow) {
+    std::vector<InFlight> window;
+    for (uint64_t q = base; q < std::min(base + kChaosWindow, limit); ++q) {
+      Random rng(config.seed * 1000003 + cycle * 0x9e3779b9 + q);
+      InFlight flight;
+      flight.q = q;
+      flight.pool_index = static_cast<int>(rng.Uniform(kPoolSize));
+      serve::ServeRequest request;
+      request.graph = pool[static_cast<size_t>(flight.pool_index)].graph;
+      request.orderer = pool[static_cast<size_t>(flight.pool_index)].orderer;
+      if (rng.Bernoulli(0.15)) {
+        testing::FaultConfig fault;
+        if (rng.Bernoulli(0.5)) {
+          fault.at(testing::FaultPoint::kArenaAlloc) = 1 + rng.Uniform(64);
+        } else {
+          fault.at(testing::FaultPoint::kDeadline) = 1 + rng.Uniform(256);
+        }
+        request.faults = fault;
+        flight.faulted = true;
+      }
+      flight.future = (*service)->Submit(std::move(request));
+      window.push_back(std::move(flight));
+    }
+    for (InFlight& flight : window) {
+      serve::ServeResponse response = flight.future.get();
+      CheckServiceResponse(pool[static_cast<size_t>(flight.pool_index)],
+                           flight, std::move(response), shared);
+    }
+  }
+  if (shared.failed.load()) {
+    std::fprintf(stderr, "joinopt_soak: cycle %" PRIu64 " FAIL %s\n", cycle,
+                 shared.failure_detail.c_str());
+    return 1;
+  }
+  (*service)->Shutdown(/*drain=*/true);
+  return 0;
+}
+
+/// Loads the surviving snapshot in-process — the supervisor's
+/// torn-rename oracle. A SIGKILL mid-write must leave either the fresh
+/// snapshot or the previous complete one; a torn header or lost pool
+/// entry here means the atomic-rename protocol broke.
+bool SnapshotSurvivedKill(const std::string& snapshot_path, uint64_t cycle) {
+  serve::PlanCache cache{serve::PlanCacheConfig{}};
+  auto loaded = serve::LoadSnapshot(cache, snapshot_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr,
+                 "joinopt_soak: cycle %" PRIu64
+                 " post-kill load errored: %s\n",
+                 cycle, loaded.status().ToString().c_str());
+    return false;
+  }
+  if (loaded->outcome != serve::SnapshotLoad::kLoaded ||
+      loaded->restored < static_cast<uint64_t>(kPoolSize) ||
+      loaded->skipped_corrupt != 0) {
+    std::fprintf(stderr,
+                 "joinopt_soak: cycle %" PRIu64
+                 " kill tore the snapshot: %s\n",
+                 cycle, loaded->ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+int RunCrashRecovery(const SoakConfig& config) {
+  std::string snapshot_path = config.snapshot_path;
+  if (snapshot_path.empty()) {
+    snapshot_path = (std::filesystem::temp_directory_path() /
+                     ("joinopt_crash_" + std::to_string(::getpid()) + ".snap"))
+                        .string();
+  }
+  const std::string marker_path = snapshot_path + ".ready";
+  std::error_code ec;
+  std::filesystem::remove(snapshot_path, ec);
+  std::filesystem::remove(snapshot_path + ".tmp", ec);
+  std::filesystem::remove(marker_path, ec);
+
+  // The supervisor stays single-threaded (no watchdog thread): fork()
+  // from a multithreaded parent is where the dragons live. Liveness is
+  // enforced with bounded polls instead.
+  const auto deadline_for = [&] {
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(config.watchdog_seconds));
+  };
+  const uint64_t total_cycles = config.crash_cycles + 1;
+  for (uint64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    const bool final_cycle = cycle == total_cycles - 1;
+    std::filesystem::remove(marker_path, ec);
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("joinopt_soak: fork");
+      return 1;
+    }
+    if (pid == 0) {
+      std::exit(RunCrashWorker(config, snapshot_path, marker_path, cycle,
+                               final_cycle));
+    }
+    if (final_cycle) {
+      // Clean cycle: no kill. The worker must recover, replay the pool
+      // as hits, run a bounded chaos stream, drain, and exit 0.
+      int status = 0;
+      if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+          WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr,
+                     "joinopt_soak: final clean cycle did not exit 0 "
+                     "(status 0x%x)\n",
+                     static_cast<unsigned>(status));
+        return 1;
+      }
+      break;
+    }
+    // Wait for the worker's readiness marker (snapshot with the full
+    // pool on disk), bounded by the watchdog budget.
+    const auto marker_deadline = deadline_for();
+    bool ready = false;
+    while (std::chrono::steady_clock::now() < marker_deadline) {
+      if (std::filesystem::exists(marker_path, ec)) {
+        ready = true;
+        break;
+      }
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        std::fprintf(stderr,
+                     "joinopt_soak: cycle %" PRIu64
+                     " worker died before readiness (status 0x%x)\n",
+                     cycle, static_cast<unsigned>(status));
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!ready) {
+      std::fprintf(stderr,
+                   "joinopt_soak: WATCHDOG: cycle %" PRIu64
+                   " worker never became ready in %.0fs\n",
+                   cycle, config.watchdog_seconds);
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      return 3;
+    }
+    // The kill point is the chaos: anywhere from "barely into the chaos
+    // stream" to "deep in it", regularly mid-snapshot-write given the
+    // 20 ms snapshot period.
+    Random rng(config.seed * 9176 + cycle);
+    const uint64_t delay_ms = 5 + rng.Uniform(246);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      std::perror("joinopt_soak: waitpid");
+      return 1;
+    }
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      // A worker that exited on its own hit an oracle failure (the chaos
+      // stream is unbounded on kill cycles).
+      std::fprintf(stderr,
+                   "joinopt_soak: cycle %" PRIu64
+                   " worker exited before the kill (status 0x%x)\n",
+                   cycle, static_cast<unsigned>(status));
+      return 1;
+    }
+    if (!SnapshotSurvivedKill(snapshot_path, cycle)) {
+      return 1;
+    }
+    std::printf("joinopt_soak: cycle %" PRIu64 " killed after %" PRIu64
+                "ms; snapshot intact\n",
+                cycle, delay_ms);
+  }
+
+  // Corruption drill: flip one byte in the first record's payload. The
+  // loader must skip exactly that record with a typed count — no crash,
+  // no poisoned entry, everything else restored.
+  {
+    std::fstream file(snapshot_path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "joinopt_soak: cannot reopen %s for the drill\n",
+                   snapshot_path.c_str());
+      return 1;
+    }
+    file.seekg(50);
+    char byte = 0;
+    file.get(byte);
+    file.seekp(50);
+    file.put(static_cast<char>(byte ^ 0x40));
+    file.flush();
+  }
+  serve::PlanCache cache{serve::PlanCacheConfig{}};
+  auto drilled = serve::LoadSnapshot(cache, snapshot_path);
+  if (!drilled.ok() || drilled->outcome != serve::SnapshotLoad::kLoaded ||
+      drilled->skipped_corrupt < 1 || drilled->restored < 1) {
+    std::fprintf(stderr, "joinopt_soak: corruption drill failed: %s\n",
+                 drilled.ok() ? drilled->ToString().c_str()
+                              : drilled.status().ToString().c_str());
+    return 1;
+  }
+
+  std::filesystem::remove(snapshot_path, ec);
+  std::filesystem::remove(snapshot_path + ".tmp", ec);
+  std::filesystem::remove(marker_path, ec);
+  std::printf("joinopt_soak: crash recovery clean: %" PRIu64
+              " kill cycles + 1 clean cycle, pool %d, drill skipped %" PRIu64
+              " corrupt record(s), seed %" PRIu64 "\n",
+              config.crash_cycles, kPoolSize, drilled->skipped_corrupt,
+              config.seed);
+  return 0;
+}
+
+#else  // _WIN32
+
+int RunCrashRecovery(const SoakConfig&) {
+  std::fprintf(stderr,
+               "joinopt_soak: --crash-recovery requires fork(); not "
+               "supported on this platform\n");
+  return 2;
+}
+
+#endif  // _WIN32
+
 int Run(const SoakConfig& config) {
   // Pre-compute the sentinel optimum (and force registry construction)
   // on the main thread before any worker exists.
@@ -796,13 +1193,25 @@ int main(int argc, char** argv) {
       config.verbose = true;
     } else if (std::strcmp(argv[i], "--service") == 0) {
       config.service = true;
+    } else if (std::strcmp(argv[i], "--crash-recovery") == 0) {
+      config.crash_recovery = true;
+    } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      config.crash_cycles = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+      config.snapshot_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--queries N] [--seed S]"
-                   " [--repro-dir DIR] [--service]\n",
+                   " [--repro-dir DIR] [--service]"
+                   " [--crash-recovery] [--cycles N] [--snapshot PATH]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (config.crash_recovery &&
+      (config.crash_cycles < 1 || config.crash_cycles > 64)) {
+    std::fprintf(stderr, "joinopt_soak: --cycles must be in [1, 64]\n");
+    return 2;
   }
   if (config.threads < 1 || config.threads > 256) {
     std::fprintf(stderr, "joinopt_soak: --threads must be in [1, 256]\n");
@@ -837,6 +1246,9 @@ int main(int argc, char** argv) {
                    config.repro_dir.c_str(), ec.message().c_str());
       return 2;
     }
+  }
+  if (config.crash_recovery) {
+    return joinopt::RunCrashRecovery(config);
   }
   return config.service ? joinopt::RunServiceMode(config)
                         : joinopt::Run(config);
