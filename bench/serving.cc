@@ -28,6 +28,8 @@
 
 #include "bench/common.h"
 #include "joinopt.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "testing/workloads.h"
 #include "util/random.h"
 
@@ -181,6 +183,68 @@ Cell RunOverloadCell(const std::vector<PoolQuery>& pool) {
   return cell;
 }
 
+#ifndef _WIN32
+/// The wire cell: the same recurring stream against the same full-size
+/// cache, but every request crosses the TCP loopback through the wire
+/// protocol — framing, CRC, a real poll() server — so this cell prices
+/// the transport against the in-process "full" cell. Latencies here are
+/// client-observed end-to-end round trips over one persistent
+/// connection, not server-side queue + execution time.
+Cell RunWireCell(const std::vector<PoolQuery>& pool) {
+  serve::ServiceConfig config;
+  config.workers = 4;
+  config.queue_depth = 64;
+  config.cache.capacity = 256;
+  config.cache.shards = 4;
+  auto service = serve::OptimizerService::Create(config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "serving: service creation failed: %s\n",
+                 service.status().ToString().c_str());
+    std::exit(1);
+  }
+  serve::WireServerConfig server_config;
+  server_config.listen = {"127.0.0.1", 0};
+  auto server = serve::WireServer::Create(server_config, service->get());
+  if (!server.ok()) {
+    std::fprintf(stderr, "serving: wire server bind failed: %s\n",
+                 server.status().ToString().c_str());
+    std::exit(1);
+  }
+  (*server)->Start();
+  serve::WireClientConfig client_config;
+  client_config.server = {"127.0.0.1", (*server)->port()};
+  client_config.io_timeout_seconds = 30.0;
+  serve::WireClient client(client_config);
+  Cell cell;
+  cell.latencies.reserve(kQueries);
+  Stopwatch watch;
+  for (uint64_t q = 0; q < kQueries; ++q) {
+    Random rng(kSeed * 1000003 + q);
+    const PoolQuery& pick = pool[rng.Uniform(kPoolSize)];
+    serve::ServeRequest request;
+    request.graph = pick.graph;
+    request.orderer = pick.orderer;
+    request.threads = 1;
+    Stopwatch call;
+    const serve::ServeResponse response = client.Call(request);
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "serving: wire query failed: %s\n",
+                   response.status.ToString().c_str());
+      std::exit(1);
+    }
+    cell.latencies.push_back(call.ElapsedSeconds());
+  }
+  cell.cache_capacity = 256;
+  cell.queries = kQueries;
+  cell.elapsed_s = watch.ElapsedSeconds();
+  (*server)->Stop();
+  (*service)->Shutdown();
+  cell.cache = (*service)->CacheSnapshot();
+  cell.service = (*service)->Snapshot();
+  return cell;
+}
+#endif  // !_WIN32
+
 void Report(const char* label, const Cell& cell) {
   const uint64_t lookups = cell.cache.hits + cell.cache.misses +
                            cell.cache.stale;
@@ -243,6 +307,10 @@ int Main() {
   // hit — the recovered hit rate should be ~1.0.
   Report("warm_start", RunCell(pool, 256, snapshot_path));
   Report("overload", RunOverloadCell(pool));
+#ifndef _WIN32
+  // The transport tax: the full-cache stream again, but over TCP.
+  Report("wire", RunWireCell(pool));
+#endif
   std::remove(snapshot_path.c_str());
   return 0;
 }

@@ -1,0 +1,197 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "serve/wire.h"
+#include "util/stopwatch.h"
+
+#ifndef _WIN32
+#include <cerrno>
+#include <poll.h>
+#endif
+
+namespace joinopt {
+namespace serve {
+
+WireClient::WireClient(WireClientConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  net::IgnoreSigpipe();
+  config_.io_timeout_seconds = std::max(config_.io_timeout_seconds, 1e-3);
+  config_.max_retries = std::max(config_.max_retries, 0);
+  config_.retry_backoff_seconds = std::max(config_.retry_backoff_seconds, 0.0);
+}
+
+WireClient::~WireClient() { Disconnect(); }
+
+void WireClient::Disconnect() {
+  net::CloseQuiet(fd_);
+  fd_ = -1;
+}
+
+Status WireClient::EnsureConnected(double deadline_seconds) {
+  if (fd_ >= 0) {
+    return Status::OK();
+  }
+  Result<int> fd = net::ConnectTcp(config_.server, deadline_seconds);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  fd_ = *fd;
+  return Status::OK();
+}
+
+#ifndef _WIN32
+
+Result<ServeResponse> WireClient::Exchange(const ServeRequest& request,
+                                           double deadline_seconds) {
+  Stopwatch elapsed;
+  const auto remaining = [&]() {
+    return std::max(deadline_seconds - elapsed.ElapsedSeconds(), 1e-3);
+  };
+  JOINOPT_RETURN_IF_ERROR(EnsureConnected(remaining()));
+  // Deadline propagation: the server sees only the time this attempt
+  // still has, not the original budget.
+  ServeRequest wire_request = request;
+  wire_request.deadline_seconds = remaining();
+  wire_request.faults.reset();  // Chaos seams never cross the wire.
+  const std::string frame =
+      EncodeFrame(FrameType::kRequest, EncodeRequestPayload(wire_request));
+  Status sent = net::SendAll(fd_, frame.data(), frame.size(), remaining());
+  if (!sent.ok()) {
+    Disconnect();
+    return sent;
+  }
+  std::string inbuf;
+  char buf[4096];
+  for (;;) {
+    FrameDecodeResult decoded = DecodeFrame(inbuf);
+    if (decoded.outcome == FrameDecode::kCorrupt) {
+      Disconnect();
+      return Status::Unavailable("wire: corrupt response frame (" +
+                                 decoded.detail + ")");
+    }
+    if (decoded.outcome == FrameDecode::kFrame) {
+      inbuf.erase(0, decoded.consumed);
+      if (decoded.frame.type != FrameType::kResponse) {
+        Disconnect();
+        return Status::Unavailable("wire: unexpected request frame");
+      }
+      Result<ServeResponse> response =
+          DecodeResponsePayload(decoded.frame.payload);
+      if (!response.ok()) {
+        // A frame that passed its CRC but carries an unparseable
+        // payload: a server bug or a tampering middlebox — either way
+        // the transport failed to produce an answer.
+        Disconnect();
+        return Status::Unavailable("wire: bad response payload: " +
+                                   response.status().message());
+      }
+      return response;
+    }
+    const double wait = deadline_seconds - elapsed.ElapsedSeconds();
+    if (wait <= 0) {
+      Disconnect();
+      return Status::Unavailable("wire: response deadline exceeded");
+    }
+    const int revents =
+        net::PollRetry(fd_, POLLIN, static_cast<int>(wait * 1000) + 1);
+    if (revents < 0) {
+      Disconnect();
+      return Status::Unavailable("wire: poll failed while receiving");
+    }
+    if (revents == 0) {
+      Disconnect();
+      return Status::Unavailable("wire: response deadline exceeded");
+    }
+    const int64_t n = net::ReadRetry(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      Disconnect();
+      return Status::Unavailable("wire: server closed the connection");
+    }
+    if (n < 0) {
+      const int err = static_cast<int>(-n);
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        continue;
+      }
+      Disconnect();
+      return Status::Unavailable("wire: read failed while receiving");
+    }
+    inbuf.append(buf, static_cast<size_t>(n));
+  }
+}
+
+#else  // _WIN32
+
+Result<ServeResponse> WireClient::Exchange(const ServeRequest&, double) {
+  return Status::Unimplemented("wire client: not supported on this platform");
+}
+
+#endif  // _WIN32
+
+Result<ServeResponse> WireClient::CallOnce(const ServeRequest& request,
+                                           double deadline_seconds) {
+  return Exchange(request, deadline_seconds > 0 ? deadline_seconds
+                                                : config_.io_timeout_seconds);
+}
+
+ServeResponse WireClient::Call(const ServeRequest& request) {
+  // The end-to-end budget: the request's own deadline when it has one,
+  // else one io_timeout per attempt (tracked attempt-locally below).
+  const double total_budget = request.deadline_seconds;
+  Stopwatch elapsed;
+  Status last_failure = Status::Unavailable("wire: no attempt made");
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Seeded exponential backoff with jitter in [0.5, 1.0) of the
+      // doubled base, capped so it never eats the whole budget.
+      double delay = config_.retry_backoff_seconds *
+                     static_cast<double>(uint64_t{1} << (attempt - 1)) *
+                     (0.5 + 0.5 * rng_.NextDouble());
+      if (total_budget > 0) {
+        const double left = total_budget - elapsed.ElapsedSeconds();
+        if (left <= 0) {
+          break;
+        }
+        delay = std::min(delay, left * 0.5);
+      }
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+    }
+    double attempt_deadline = config_.io_timeout_seconds;
+    if (total_budget > 0) {
+      attempt_deadline = total_budget - elapsed.ElapsedSeconds();
+      if (attempt_deadline <= 0) {
+        break;
+      }
+    }
+    Result<ServeResponse> outcome = Exchange(request, attempt_deadline);
+    if (outcome.ok()) {
+      if (outcome->shed &&
+          outcome->status.code() == StatusCode::kOverloaded &&
+          attempt < config_.max_retries) {
+        // A typed shed is the server asking for backoff — exactly what
+        // the retry envelope provides.
+        last_failure = outcome->status;
+        continue;
+      }
+      return std::move(*outcome);
+    }
+    last_failure = outcome.status();
+  }
+  ServeResponse unavailable;
+  unavailable.status =
+      last_failure.code() == StatusCode::kOverloaded
+          ? Status::Unavailable("wire: retries exhausted against overload (" +
+                                last_failure.message() + ")")
+          : last_failure.code() == StatusCode::kUnavailable
+                ? last_failure
+                : Status::Unavailable(last_failure.ToString());
+  return unavailable;
+}
+
+}  // namespace serve
+}  // namespace joinopt

@@ -1,0 +1,86 @@
+#ifndef JOINOPT_SERVE_CLIENT_H_
+#define JOINOPT_SERVE_CLIENT_H_
+
+/// Blocking wire-protocol client (DESIGN.md §11). One connection, one
+/// request in flight, typed outcomes everywhere:
+///
+///   - Deadline propagation: the request's end-to-end deadline bounds
+///     connect + send + receive across ALL retry attempts, and the
+///     REMAINING time at each attempt is what travels in the request's
+///     deadline_s field — the server never works on time the client has
+///     already spent.
+///   - Seeded exponential backoff + jitter retry on kOverloaded sheds
+///     and transient transport failures (connect refused, I/O error,
+///     corrupt response frame). Optimization is idempotent (pure
+///     function + idempotent cache fill), so at-least-once resend after
+///     a mid-exchange failure is safe.
+///   - Every give-up is a typed kUnavailable ServeResponse (transport
+///     never produced an answer) or the server's own final typed
+///     response (it did, and said no). Call() never throws, never
+///     aborts, never returns an untyped failure.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/service.h"
+#include "util/net.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace serve {
+
+struct WireClientConfig {
+  net::Endpoint server{"127.0.0.1", 0};
+  /// Per-operation I/O bound (connect, send, whole-response receive)
+  /// applied when the request carries no end-to-end deadline.
+  double io_timeout_seconds = 5.0;
+  /// Extra attempts after the first (so max_retries=3 means up to 4
+  /// exchanges). 0 disables retry.
+  int max_retries = 3;
+  /// Base backoff before attempt k is base * 2^(k-1), jittered to
+  /// [0.5, 1.0) of itself so synchronized clients spread out.
+  double retry_backoff_seconds = 0.05;
+  /// Jitter seed — deterministic for the chaos harness.
+  uint64_t seed = 1;
+};
+
+class WireClient {
+ public:
+  explicit WireClient(WireClientConfig config);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// One request/response exchange with the full retry envelope. The
+  /// connection persists across calls; any failure tears it down and
+  /// the next attempt reconnects.
+  ServeResponse Call(const ServeRequest& request);
+
+  /// A single attempt, no retry, no backoff — the chaos harness uses
+  /// this to observe raw transport outcomes. `deadline_seconds` <= 0
+  /// falls back to config.io_timeout_seconds.
+  Result<ServeResponse> CallOnce(const ServeRequest& request,
+                                 double deadline_seconds);
+
+  /// Drops the persistent connection (next Call reconnects).
+  void Disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Status EnsureConnected(double deadline_seconds);
+  /// Sends one request and reads one response on the live connection.
+  Result<ServeResponse> Exchange(const ServeRequest& request,
+                                 double deadline_seconds);
+
+  WireClientConfig config_;
+  int fd_ = -1;
+  Random rng_;
+};
+
+}  // namespace serve
+}  // namespace joinopt
+
+#endif  // JOINOPT_SERVE_CLIENT_H_

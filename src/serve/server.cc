@@ -1,0 +1,529 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "serve/wire.h"
+#include "util/env.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace joinopt {
+namespace serve {
+
+Result<WireServerConfig> ServerConfigFromEnv() {
+  WireServerConfig config;
+  // The CLI-facing default: loopback on a fixed port, so `joinopt_cli
+  // serve` and `query --connect` pair up with no configuration.
+  config.listen = net::Endpoint{"127.0.0.1", 7788};
+  if (const char* listen = std::getenv("JOINOPT_SERVE_LISTEN");
+      listen != nullptr && listen[0] != '\0') {
+    Result<net::Endpoint> parsed = net::ParseEndpoint(listen);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("JOINOPT_SERVE_LISTEN=\"" +
+                                     std::string(listen) + "\" is invalid: " +
+                                     parsed.status().message());
+    }
+    config.listen = *parsed;
+  }
+  Result<int> max_conns =
+      EnvInt("JOINOPT_SERVE_MAX_CONNS", config.max_connections);
+  if (!max_conns.ok()) {
+    return max_conns.status();
+  }
+  config.max_connections = *max_conns;
+  Result<double> timeout = EnvDouble("JOINOPT_SERVE_IO_TIMEOUT_S",
+                                     config.io_timeout_seconds,
+                                     /*require_positive=*/true);
+  if (!timeout.ok()) {
+    return timeout.status();
+  }
+  config.io_timeout_seconds = *timeout;
+  return config;
+}
+
+#ifndef _WIN32
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+}  // namespace
+
+struct WireServer::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  size_t out_off = 0;
+  /// A request was handed to the service; its completion re-enables
+  /// reading. No pipelining: at most one in flight per connection.
+  bool in_flight = false;
+  /// Stop reading; close once the output buffer is flushed.
+  bool draining = false;
+  bool dead = false;
+  /// Deadline for the connection's NEXT unit of progress (complete
+  /// request frame in, or queued response flushed out). Armed whenever
+  /// no request is in flight; trickled bytes do not extend it.
+  SteadyClock::time_point deadline;
+};
+
+Result<std::unique_ptr<WireServer>> WireServer::Create(
+    WireServerConfig config, OptimizerService* service) {
+  net::IgnoreSigpipe();
+  config.max_connections = std::max(config.max_connections, 1);
+  config.io_timeout_seconds = std::max(config.io_timeout_seconds, 1e-3);
+  config.backlog = std::max(config.backlog, 1);
+  std::unique_ptr<WireServer> server(
+      new WireServer(std::move(config), service));
+  uint16_t bound_port = 0;
+  Result<int> listen_fd = net::ListenTcp(server->config_.listen,
+                                         server->config_.backlog, &bound_port);
+  if (!listen_fd.ok()) {
+    return listen_fd.status();
+  }
+  server->listen_fd_ = *listen_fd;
+  server->port_ = bound_port;
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+  server->wake_read_fd_ = pipe_fds[0];
+  server->wake_write_fd_ = pipe_fds[1];
+  // Both ends non-blocking: the loop drains without stalling, and a
+  // full pipe on the write side just means a wake is already pending.
+  net::SetNonBlocking(server->wake_read_fd_);
+  net::SetNonBlocking(server->wake_write_fd_);
+  return server;
+}
+
+WireServer::WireServer(WireServerConfig config, OptimizerService* service)
+    : config_(std::move(config)), service_(service) {}
+
+WireServer::~WireServer() {
+  Stop();
+  for (const auto& conn : conns_) {
+    net::CloseQuiet(conn->fd);
+  }
+  conns_.clear();
+  net::CloseQuiet(listen_fd_);
+  net::CloseQuiet(wake_read_fd_);
+  net::CloseQuiet(wake_write_fd_);
+}
+
+void WireServer::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  // Async-signal-safe wake: one byte down the self-pipe. EAGAIN means a
+  // wake is already pending, which is just as good.
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void WireServer::Start() {
+  thread_ = std::thread([this] { Run(); });
+  started_ = true;
+}
+
+void WireServer::Stop() {
+  RequestStop();
+  if (started_ && thread_.joinable()) {
+    thread_.join();
+  }
+  started_ = false;
+}
+
+WireServer::Stats WireServer::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void WireServer::QueueResponse(Connection& conn,
+                               const ServeResponse& response) {
+  conn.outbuf += EncodeFrame(FrameType::kResponse,
+                             EncodeResponsePayload(response));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.responses;
+}
+
+void WireServer::ProcessInput(Connection& conn) {
+  while (!conn.in_flight && !conn.draining && !conn.dead) {
+    FrameDecodeResult decoded = DecodeFrame(conn.inbuf);
+    if (decoded.outcome == FrameDecode::kIncomplete) {
+      return;
+    }
+    if (decoded.outcome == FrameDecode::kCorrupt) {
+      // Framing is lost: there is no trustworthy next boundary, so the
+      // best possible outcome is a typed goodbye and a close.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      ServeResponse error;
+      error.status = Status::InvalidArgument("wire: " + decoded.detail);
+      QueueResponse(conn, error);
+      conn.inbuf.clear();
+      conn.draining = true;
+      return;
+    }
+    conn.inbuf.erase(0, decoded.consumed);
+    if (decoded.frame.type != FrameType::kRequest) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      ServeResponse error;
+      error.status =
+          Status::InvalidArgument("wire: unexpected response frame");
+      QueueResponse(conn, error);
+      conn.draining = true;
+      return;
+    }
+    Result<ServeRequest> request = DecodeRequestPayload(decoded.frame.payload);
+    if (!request.ok()) {
+      // A valid frame with a bad payload: typed response, connection
+      // survives.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      ServeResponse error;
+      error.status = request.status();
+      QueueResponse(conn, error);
+      continue;
+    }
+    conn.in_flight = true;
+    const uint64_t id = conn.id;
+    // The callback runs on a worker thread (or inline for sheds): it
+    // only enqueues and wakes the loop — never touches Connection
+    // state, which the loop thread owns.
+    service_->SubmitWithCallback(
+        std::move(*request), [this, id](ServeResponse response) {
+          {
+            std::lock_guard<std::mutex> lock(completed_mu_);
+            completed_.emplace_back(id, std::move(response));
+          }
+          const char byte = 'c';
+          [[maybe_unused]] const ssize_t n =
+              ::write(wake_write_fd_, &byte, 1);
+        });
+  }
+}
+
+void WireServer::HandleReadable(Connection& conn) {
+  char buf[4096];
+  while (!conn.dead && !conn.draining && !conn.in_flight) {
+    const int64_t n = net::ReadRetry(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.inbuf.append(buf, static_cast<size_t>(n));
+      // Process between reads so a burst of back-to-back requests is
+      // gated to one in flight before the buffer grows unboundedly.
+      ProcessInput(conn);
+      continue;
+    }
+    if (n == 0) {
+      // EOF. Anything still owed to the peer (queued output or an
+      // in-flight request) is finished first; otherwise a clean close.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.peer_closes;
+      }
+      if (conn.in_flight || conn.out_off < conn.outbuf.size()) {
+        conn.draining = true;
+      } else {
+        conn.dead = true;
+      }
+      return;
+    }
+    const int err = static_cast<int>(-n);
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      return;
+    }
+    // ECONNRESET and friends: the peer is gone.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.peer_closes;
+    conn.dead = true;
+    return;
+  }
+}
+
+void WireServer::HandleWritable(Connection& conn) {
+  while (!conn.dead && conn.out_off < conn.outbuf.size()) {
+    const int64_t n = net::WriteRetry(conn.fd, conn.outbuf.data() + conn.out_off,
+                                      conn.outbuf.size() - conn.out_off);
+    if (n > 0) {
+      conn.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0) {
+      const int err = static_cast<int>(-n);
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        return;  // Partial write: poll() resumes us.
+      }
+      // EPIPE/ECONNRESET: the peer closed mid-write. Typed I/O error
+      // territory on the client; a counted clean close here.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.peer_closes;
+      conn.dead = true;
+      return;
+    }
+    return;  // n == 0: no progress possible now.
+  }
+  if (conn.dead || conn.out_off < conn.outbuf.size()) {
+    return;
+  }
+  // Fully flushed.
+  conn.outbuf.clear();
+  conn.out_off = 0;
+  if (conn.draining || stop_.load(std::memory_order_acquire)) {
+    conn.dead = true;
+    return;
+  }
+  conn.deadline = SteadyClock::now() +
+                  std::chrono::duration_cast<SteadyClock::duration>(
+                      std::chrono::duration<double>(
+                          config_.io_timeout_seconds));
+  ProcessInput(conn);
+}
+
+void WireServer::DrainCompletions() {
+  std::vector<std::pair<uint64_t, ServeResponse>> done;
+  {
+    std::lock_guard<std::mutex> lock(completed_mu_);
+    done.swap(completed_);
+  }
+  for (auto& [id, response] : done) {
+    Connection* conn = nullptr;
+    for (const auto& candidate : conns_) {
+      if (candidate->id == id) {
+        conn = candidate.get();
+        break;
+      }
+    }
+    if (conn == nullptr || conn->dead) {
+      continue;  // The connection died mid-flight; the work is discarded.
+    }
+    conn->in_flight = false;
+    conn->deadline = SteadyClock::now() +
+                     std::chrono::duration_cast<SteadyClock::duration>(
+                         std::chrono::duration<double>(
+                             config_.io_timeout_seconds));
+    QueueResponse(*conn, response);
+    HandleWritable(*conn);
+  }
+}
+
+void WireServer::CloseConnection(uint64_t id) {
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if ((*it)->id == id) {
+      net::CloseQuiet((*it)->fd);
+      conns_.erase(it);
+      return;
+    }
+  }
+}
+
+void WireServer::Run() {
+  std::vector<struct pollfd> pfds;
+  std::vector<Connection*> pfd_conns;
+  while (true) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    if (stopping) {
+      if (listen_fd_ >= 0) {
+        net::CloseQuiet(listen_fd_);
+        listen_fd_ = -1;
+      }
+      for (const auto& conn : conns_) {
+        if (!conn->in_flight) {
+          conn->draining = true;
+          if (conn->out_off >= conn->outbuf.size()) {
+            conn->dead = true;
+          }
+        }
+      }
+    }
+    // Reap the dead before building the poll set.
+    for (size_t i = 0; i < conns_.size();) {
+      if (conns_[i]->dead) {
+        net::CloseQuiet(conns_[i]->fd);
+        conns_.erase(conns_.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (stopping && conns_.empty()) {
+      return;
+    }
+    pfds.clear();
+    pfd_conns.clear();
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    if (listen_fd_ >= 0) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+    }
+    const SteadyClock::time_point now = SteadyClock::now();
+    int timeout_ms = -1;
+    for (const auto& conn : conns_) {
+      short events = 0;
+      if (!conn->in_flight && !conn->draining) {
+        events |= POLLIN;
+      }
+      if (conn->out_off < conn->outbuf.size()) {
+        events |= POLLOUT;
+      }
+      pfds.push_back({conn->fd, events, 0});
+      pfd_conns.push_back(conn.get());
+      if (!conn->in_flight) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(conn->deadline - now);
+        const int ms =
+            remaining.count() <= 0
+                ? 0
+                : static_cast<int>(std::min<int64_t>(remaining.count() + 1,
+                                                     60 * 1000));
+        timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+      }
+    }
+    int rc;
+    do {
+      rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      // poll failing outright (ENOMEM) has no graceful recovery beyond
+      // trying again; never crash the serving loop.
+      continue;
+    }
+    size_t idx = 0;
+    if (pfds[idx].revents & POLLIN) {
+      char drain[64];
+      while (net::ReadRetry(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    ++idx;
+    if (listen_fd_ >= 0) {
+      if (pfds[idx].revents & (POLLIN | POLLERR)) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) {
+            if (errno == EINTR) {
+              continue;
+            }
+            break;  // EAGAIN or a transient accept error: next poll.
+          }
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.accepted;
+          }
+          if (conns_.size() >=
+              static_cast<size_t>(config_.max_connections)) {
+            // Table overflow: a best-effort typed shed frame, then a
+            // close — the peer learns WHY instead of seeing a hangup.
+            {
+              std::lock_guard<std::mutex> lock(stats_mu_);
+              ++stats_.overflow_sheds;
+            }
+            ServeResponse shed;
+            shed.status = Status::Overloaded(
+                "connection table full (max " +
+                std::to_string(config_.max_connections) +
+                "); retry after backoff");
+            shed.shed = true;
+            const std::string frame =
+                EncodeFrame(FrameType::kResponse, EncodeResponsePayload(shed));
+            net::SetNonBlocking(fd);
+            net::WriteRetry(fd, frame.data(), frame.size());
+            net::CloseQuiet(fd);
+            continue;
+          }
+          if (!net::SetNonBlocking(fd).ok()) {
+            net::CloseQuiet(fd);
+            continue;
+          }
+          auto conn = std::make_unique<Connection>();
+          conn->id = next_conn_id_++;
+          conn->fd = fd;
+          conn->deadline =
+              SteadyClock::now() +
+              std::chrono::duration_cast<SteadyClock::duration>(
+                  std::chrono::duration<double>(config_.io_timeout_seconds));
+          conns_.push_back(std::move(conn));
+        }
+      }
+      ++idx;
+    }
+    for (size_t c = 0; c < pfd_conns.size(); ++c, ++idx) {
+      Connection& conn = *pfd_conns[c];
+      const short revents = pfds[idx].revents;
+      if (conn.dead) {
+        continue;
+      }
+      if (revents & (POLLERR | POLLNVAL)) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.peer_closes;
+        conn.dead = true;
+        continue;
+      }
+      if (revents & POLLIN) {
+        HandleReadable(conn);
+      }
+      if (!conn.dead && (revents & POLLOUT)) {
+        HandleWritable(conn);
+      }
+      if (!conn.dead && (revents & POLLHUP) && conn.outbuf.empty() &&
+          !conn.in_flight) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.peer_closes;
+        conn.dead = true;
+      }
+    }
+    DrainCompletions();
+    // Deadline sweep: any connection owing us progress (a complete
+    // request, or room to flush a response) past its deadline is cut —
+    // the slowloris defense and the stuck-reader bound in one rule.
+    const SteadyClock::time_point after = SteadyClock::now();
+    for (const auto& conn : conns_) {
+      if (!conn->dead && !conn->in_flight && after >= conn->deadline) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.deadline_closes;
+        conn->dead = true;
+      }
+    }
+  }
+}
+
+#else  // _WIN32: the serving stack is POSIX-only.
+
+struct WireServer::Connection {};
+
+Result<std::unique_ptr<WireServer>> WireServer::Create(WireServerConfig,
+                                                       OptimizerService*) {
+  return Status::Unimplemented("wire server: not supported on this platform");
+}
+
+WireServer::WireServer(WireServerConfig config, OptimizerService* service)
+    : config_(std::move(config)), service_(service) {}
+WireServer::~WireServer() = default;
+void WireServer::Run() {}
+void WireServer::Start() {}
+void WireServer::Stop() {}
+void WireServer::RequestStop() {}
+WireServer::Stats WireServer::StatsSnapshot() const { return Stats(); }
+void WireServer::HandleReadable(Connection&) {}
+void WireServer::HandleWritable(Connection&) {}
+void WireServer::ProcessInput(Connection&) {}
+void WireServer::QueueResponse(Connection&, const ServeResponse&) {}
+void WireServer::DrainCompletions() {}
+void WireServer::CloseConnection(uint64_t) {}
+
+#endif  // _WIN32
+
+}  // namespace serve
+}  // namespace joinopt

@@ -1,0 +1,149 @@
+#ifndef JOINOPT_SERVE_SERVER_H_
+#define JOINOPT_SERVE_SERVER_H_
+
+/// The network front end: a single-threaded poll() event loop that
+/// speaks the wire protocol (serve/wire.h) in front of an
+/// OptimizerService. Robustness contract (DESIGN.md §11): the server
+/// never crashes on peer behavior — every outcome is a typed response
+/// frame or a clean close.
+///
+///   - Bounded connection table: an accept past the cap gets a
+///     best-effort typed kOverloaded frame, then a close — never a
+///     silent drop.
+///   - Per-connection read deadline: a complete request frame must
+///     arrive within io_timeout_seconds of the connection becoming
+///     idle, however slowly the bytes trickle (slowloris defense; the
+///     deadline also bounds idle keep-alive connections).
+///   - Partial reads and writes are first-class states, not errors.
+///   - Corrupt framing (bad magic, hostile length, CRC mismatch) earns
+///     a typed error response, then a close — framing is lost, so the
+///     connection cannot continue. A malformed PAYLOAD in a valid frame
+///     earns a typed kInvalidArgument response and the connection
+///     lives on.
+///   - Optimization runs on the OptimizerService's workers; completions
+///     re-enter the loop through a self-pipe, so the loop never blocks
+///     on the service and sheds keep flowing under overload.
+///   - RequestStop() (async-signal-safe; SIGTERM handlers call it)
+///     triggers a graceful drain: stop accepting, finish in-flight
+///     work, flush every response, then return from Run(). Snapshot
+///     persistence happens in OptimizerService::Shutdown, which the
+///     owner calls after Run() returns.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/net.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace serve {
+
+struct WireServerConfig {
+  /// Listen endpoint. Port 0 binds an ephemeral port, reported by
+  /// WireServer::port().
+  net::Endpoint listen{"127.0.0.1", 0};
+  /// Connection-table bound. Clamped to >= 1.
+  int max_connections = 64;
+  /// Read-deadline / idle timeout in seconds. Clamped to > 0.
+  double io_timeout_seconds = 5.0;
+  /// listen(2) backlog.
+  int backlog = 64;
+};
+
+/// WireServerConfig with the environment applied: JOINOPT_SERVE_LISTEN
+/// (HOST:PORT; IPv4 or "localhost"), JOINOPT_SERVE_MAX_CONNS,
+/// JOINOPT_SERVE_IO_TIMEOUT_S (> 0). Strict-parsed like every other
+/// JOINOPT knob: the first malformed variable is a kInvalidArgument
+/// naming it, never a silent fallback.
+Result<WireServerConfig> ServerConfigFromEnv();
+
+class WireServer {
+ public:
+  /// Counters for the chaos harness's oracles. Reads are safe from any
+  /// thread.
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t responses = 0;
+    uint64_t protocol_errors = 0;   ///< corrupt frames + bad payloads
+    uint64_t deadline_closes = 0;   ///< slowloris / idle timeouts
+    uint64_t overflow_sheds = 0;    ///< connection-table overflow
+    uint64_t peer_closes = 0;       ///< EOF / reset from the peer
+  };
+
+  /// Binds the listen socket (so port() is valid immediately) and wires
+  /// the self-pipe. `service` must outlive the server. Typed error when
+  /// the endpoint cannot be bound.
+  static Result<std::unique_ptr<WireServer>> Create(
+      WireServerConfig config, OptimizerService* service);
+
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// The bound port (meaningful when config.listen.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until RequestStop(),
+  /// then drains (see the class comment) and returns.
+  void Run();
+
+  /// Run() on a background thread. Stop() (or the destructor) requests
+  /// the drain and joins.
+  void Start();
+  void Stop();
+
+  /// Requests a graceful drain. Async-signal-safe (an atomic store plus
+  /// a write() to the self-pipe) — SIGTERM handlers call this directly.
+  void RequestStop();
+
+  Stats StatsSnapshot() const;
+
+ private:
+  struct Connection;
+
+  WireServer(WireServerConfig config, OptimizerService* service);
+
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  /// Decodes and dispatches whatever complete frames sit in the input
+  /// buffer (at most one request goes in flight; no pipelining).
+  void ProcessInput(Connection& conn);
+  void QueueResponse(Connection& conn, const ServeResponse& response);
+  void DrainCompletions();
+  void CloseConnection(uint64_t id);
+
+  WireServerConfig config_;
+  OptimizerService* service_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  /// Loop-owned state (only touched from Run's thread).
+  std::vector<std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  /// Completions crossing from worker threads into the loop.
+  std::mutex completed_mu_;
+  std::vector<std::pair<uint64_t, ServeResponse>> completed_;
+
+  /// In-flight submissions whose connection died before the worker
+  /// finished; their completions are discarded on arrival.
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace joinopt
+
+#endif  // JOINOPT_SERVE_SERVER_H_

@@ -121,46 +121,61 @@ ServeResponse OptimizerService::ShedResponse(std::string why,
 }
 
 std::future<ServeResponse> OptimizerService::Submit(ServeRequest request) {
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  SubmitWithCallback(std::move(request), [promise](ServeResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void OptimizerService::SubmitWithCallback(
+    ServeRequest request, std::function<void(ServeResponse)> done) {
   Pending pending;
   pending.request = std::move(request);
+  pending.complete = std::move(done);
   pending.deadline_seconds = pending.request.deadline_seconds > 0
                                  ? pending.request.deadline_seconds
                                  : config_.default_deadline_seconds;
-  std::future<ServeResponse> future = pending.promise.get_future();
+  std::optional<ServeResponse> shed;
+  bool queued = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
     if (stopping_) {
-      pending.promise.set_value(ShedResponse(
-          "optimizer service is shutting down", &stats_.shed_shutdown));
-      return future;
-    }
-    if (queue_.size() >= static_cast<size_t>(config_.queue_depth)) {
-      pending.promise.set_value(ShedResponse(
-          "admission queue full (depth " +
-              std::to_string(config_.queue_depth) +
-              "); resubmit after the backlog drains",
-          &stats_.shed_queue_full));
-      return future;
-    }
-    if (pending.deadline_seconds > 0 && stats_.ema_exec_seconds > 0) {
+      shed = ShedResponse("optimizer service is shutting down",
+                          &stats_.shed_shutdown);
+    } else if (queue_.size() >= static_cast<size_t>(config_.queue_depth)) {
+      shed = ShedResponse("admission queue full (depth " +
+                              std::to_string(config_.queue_depth) +
+                              "); resubmit after the backlog drains",
+                          &stats_.shed_queue_full);
+    } else if (pending.deadline_seconds > 0 && stats_.ema_exec_seconds > 0) {
       // Deadline-aware shedding: refuse work predicted to expire in the
       // queue instead of wasting a worker slot discovering that later.
       const double predicted_wait =
           static_cast<double>(queue_.size() + 1) * stats_.ema_exec_seconds /
           static_cast<double>(config_.workers);
       if (predicted_wait > pending.deadline_seconds) {
-        pending.promise.set_value(ShedResponse(
-            "predicted queue wait exceeds the request deadline",
-            &stats_.shed_predicted_deadline));
-        return future;
+        shed = ShedResponse("predicted queue wait exceeds the request deadline",
+                            &stats_.shed_predicted_deadline);
       }
     }
-    pending.queued.Restart();
-    queue_.push_back(std::move(pending));
+    if (!shed.has_value()) {
+      pending.queued.Restart();
+      queue_.push_back(std::move(pending));
+      queued = true;
+    }
   }
-  cv_.notify_one();
-  return future;
+  if (shed.has_value()) {
+    // Completed outside mu_: the sink may take its own locks (the wire
+    // server's completion queue) and must never nest under ours.
+    pending.complete(std::move(*shed));
+    return;
+  }
+  if (queued) {
+    cv_.notify_one();
+  }
 }
 
 void OptimizerService::WorkerLoop() {
@@ -203,7 +218,7 @@ void OptimizerService::WorkerLoop() {
                       kEmaAlpha * response.exec_seconds;
       }
     }
-    pending.promise.set_value(std::move(response));
+    pending.complete(std::move(response));
   }
 }
 
@@ -414,12 +429,16 @@ void OptimizerService::Shutdown(bool drain) {
       flushed.swap(queue_);
     }
   }
-  // Promises are fulfilled outside the lock: a caller's future
-  // continuation must not run under mu_.
+  // Completion sinks run outside the lock: a caller's continuation must
+  // not run under mu_.
   for (Pending& pending : flushed) {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending.promise.set_value(ShedResponse(
-        "optimizer service is shutting down", &stats_.shed_shutdown));
+    ServeResponse response;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      response = ShedResponse("optimizer service is shutting down",
+                              &stats_.shed_shutdown);
+    }
+    pending.complete(std::move(response));
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) {

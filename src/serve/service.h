@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -172,6 +173,15 @@ class OptimizerService {
   /// when a worker finishes.
   std::future<ServeResponse> Submit(ServeRequest request);
 
+  /// Submit with completion-callback delivery — the wire server's entry
+  /// point, where a fulfilled future would have to be polled but a
+  /// callback can wake the event loop. `done` is invoked EXACTLY once:
+  /// inline on the calling thread for shed requests, on a worker thread
+  /// otherwise. It must be cheap and must not re-enter the service
+  /// (enqueue-and-wake, not work).
+  void SubmitWithCallback(ServeRequest request,
+                          std::function<void(ServeResponse)> done);
+
   /// Submit + get(), for synchronous callers and tests.
   ServeResponse SubmitAndWait(ServeRequest request) {
     return Submit(std::move(request)).get();
@@ -212,7 +222,9 @@ class OptimizerService {
  private:
   struct Pending {
     ServeRequest request;
-    std::promise<ServeResponse> promise;
+    /// Completion sink, invoked exactly once outside mu_. The future
+    /// path wraps a promise; the wire server enqueues and wakes poll().
+    std::function<void(ServeResponse)> complete;
     Stopwatch queued;
     /// Resolved end-to-end deadline (request's, else config default).
     double deadline_seconds = 0.0;

@@ -40,6 +40,9 @@ constexpr uint32_t kMaxKeyBytes = uint32_t{1} << 20;
 constexpr uint32_t kMaxAlgorithmBytes = 4096;
 /// A join tree over <= kMaxRelations leaves has <= 2n-1 nodes.
 constexpr uint32_t kMaxTreeNodes = 2 * kMaxRelations - 1;
+/// Snapshots persist server-side outcomes only; kUnavailable is a
+/// client-local verdict that never reaches a signature, so a record
+/// carrying it is crafted and rejected.
 constexpr uint32_t kMaxStatusCode = static_cast<uint32_t>(StatusCode::kOverloaded);
 constexpr uint32_t kMaxJoinOperator = static_cast<uint32_t>(JoinOperator::kSortMerge);
 

@@ -1,0 +1,610 @@
+#include "serve/wire.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "bitset/node_set.h"
+#include "dsl/directive.h"
+#include "dsl/writer.h"
+#include "plan/join_tree.h"
+#include "serve/snapshot.h"
+
+namespace joinopt {
+namespace serve {
+
+namespace {
+
+constexpr uint32_t kMaxWireStatusCode =
+    static_cast<uint32_t>(StatusCode::kUnavailable);
+constexpr uint32_t kMaxWireJoinOperator =
+    static_cast<uint32_t>(JoinOperator::kSortMerge);
+/// A join tree over <= kMaxRelations leaves has <= 2n-1 nodes.
+constexpr uint32_t kMaxWireTreeNodes = 2 * kMaxRelations - 1;
+/// A simple graph over n relations has <= n(n-1)/2 edges.
+constexpr uint32_t kMaxWireEdges = kMaxRelations * (kMaxRelations - 1) / 2;
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t LoadU32(std::string_view data, size_t pos) {
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(data[pos + i]))
+           << (8 * i);
+  }
+  return out;
+}
+
+Status LineError(int line, const std::string& why) {
+  return Status::InvalidArgument("wire payload line " + std::to_string(line) +
+                                 ": " + why);
+}
+
+/// Signed integer field (plan-node child indices are -1 for leaves).
+Result<int> ParseIntField(std::string_view token, std::string_view what,
+                          int line) {
+  bool negative = false;
+  std::string_view digits = token;
+  if (!digits.empty() && digits[0] == '-') {
+    negative = true;
+    digits.remove_prefix(1);
+  }
+  Result<uint64_t> parsed = ParseU64Field(digits, what, line);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  if (*parsed > (uint64_t{1} << 30)) {
+    return LineError(line, std::string(what) + " out of range");
+  }
+  const int value = static_cast<int>(*parsed);
+  return negative ? -value : value;
+}
+
+Result<StatusCode> ParseStatusField(std::string_view token,
+                                    std::string_view what, int line) {
+  const std::optional<StatusCode> code = StatusCodeFromString(token);
+  if (!code.has_value() ||
+      static_cast<uint32_t>(*code) > kMaxWireStatusCode) {
+    return LineError(line, "unknown " + std::string(what) + " \"" +
+                               std::string(token) + "\"");
+  }
+  return *code;
+}
+
+/// Cursor over the parsed directive stream with arity checking.
+class DirectiveReader {
+ public:
+  explicit DirectiveReader(std::string_view text)
+      : directives_(ParseDirectives(text)) {}
+
+  bool AtEnd() const { return pos_ == directives_.size(); }
+  const Directive* Peek() const {
+    return AtEnd() ? nullptr : &directives_[pos_];
+  }
+  const Directive& Next() { return directives_[pos_++]; }
+  int LastLine() const {
+    return directives_.empty() ? 1 : directives_.back().line;
+  }
+
+  /// Consumes the next directive, requiring keyword + exact arg count.
+  Result<const Directive*> Expect(std::string_view keyword, size_t args) {
+    if (AtEnd()) {
+      return LineError(LastLine(),
+                       "expected \"" + std::string(keyword) + "\", got end");
+    }
+    const Directive& d = Next();
+    if (d.keyword != keyword) {
+      return LineError(d.line, "expected \"" + std::string(keyword) +
+                                   "\", got \"" + d.keyword + "\"");
+    }
+    if (d.args.size() != args) {
+      return LineError(d.line, "\"" + d.keyword + "\" takes " +
+                                   std::to_string(args) + " argument(s)");
+    }
+    return &d;
+  }
+
+ private:
+  std::vector<Directive> directives_;
+  size_t pos_ = 0;
+};
+
+void AppendSignature(std::string& out, const OutcomeSignature& sig) {
+  out += "signature ";
+  out += StatusCodeToString(sig.status);
+  out += ' ';
+  out += FormatDoubleShortest(sig.cost);
+  out += ' ';
+  out += FormatDoubleShortest(sig.cardinality);
+  out += ' ';
+  out += std::to_string(sig.inner_counter);
+  out += ' ';
+  out += std::to_string(sig.csg_cmp_pair_counter);
+  out += ' ';
+  out += std::to_string(sig.create_join_tree_calls);
+  out += ' ';
+  out += std::to_string(sig.plans_stored);
+  out += sig.best_effort ? " 1 " : " 0 ";
+  out += StatusCodeToString(sig.trigger);
+  out += '\n';
+}
+
+Status DecodeSignature(const Directive& d, OutcomeSignature* sig) {
+  if (d.args.size() != 9) {
+    return LineError(d.line, "\"signature\" takes 9 arguments");
+  }
+  Result<StatusCode> status = ParseStatusField(d.args[0], "status", d.line);
+  if (!status.ok()) return status.status();
+  Result<double> cost = ParseDoubleField(d.args[1], "signature cost", d.line);
+  if (!cost.ok()) return cost.status();
+  Result<double> card =
+      ParseDoubleField(d.args[2], "signature cardinality", d.line);
+  if (!card.ok()) return card.status();
+  Result<uint64_t> inner = ParseU64Field(d.args[3], "inner counter", d.line);
+  if (!inner.ok()) return inner.status();
+  Result<uint64_t> csg = ParseU64Field(d.args[4], "csg counter", d.line);
+  if (!csg.ok()) return csg.status();
+  Result<uint64_t> create = ParseU64Field(d.args[5], "create counter", d.line);
+  if (!create.ok()) return create.status();
+  Result<uint64_t> stored = ParseU64Field(d.args[6], "plans stored", d.line);
+  if (!stored.ok()) return stored.status();
+  Result<bool> best = ParseBoolField(d.args[7], "best_effort", d.line);
+  if (!best.ok()) return best.status();
+  Result<StatusCode> trigger = ParseStatusField(d.args[8], "trigger", d.line);
+  if (!trigger.ok()) return trigger.status();
+  sig->status = *status;
+  sig->cost = *cost;
+  sig->cardinality = *card;
+  sig->inner_counter = *inner;
+  sig->csg_cmp_pair_counter = *csg;
+  sig->create_join_tree_calls = *create;
+  sig->plans_stored = *stored;
+  sig->best_effort = *best;
+  sig->trigger = *trigger;
+  return Status::OK();
+}
+
+/// Preamble shared by both payloads: version line + kind line.
+Status ExpectPreamble(DirectiveReader& reader, std::string_view kind) {
+  Result<const Directive*> version = reader.Expect("joinopt-wire", 1);
+  if (!version.ok()) return version.status();
+  if ((*version)->args[0] != "v1") {
+    return LineError((*version)->line, "unsupported wire payload version \"" +
+                                           (*version)->args[0] + "\"");
+  }
+  Result<const Directive*> k = reader.Expect(kind, 0);
+  if (!k.ok()) return k.status();
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kWireFrameOverheadBytes + payload.size());
+  out.append(kWireMagic, sizeof(kWireMagic));
+  out.push_back(static_cast<char>(type));
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  const std::string_view checked(out.data() + sizeof(kWireMagic),
+                                 out.size() - sizeof(kWireMagic));
+  AppendU32(out, SnapshotCrc32(checked));
+  return out;
+}
+
+FrameDecodeResult DecodeFrame(std::string_view buffer) {
+  FrameDecodeResult result;
+  const auto corrupt = [&result](std::string why) {
+    result.outcome = FrameDecode::kCorrupt;
+    result.detail = std::move(why);
+    return result;
+  };
+  if (buffer.empty()) {
+    result.outcome = FrameDecode::kIncomplete;
+    return result;
+  }
+  // Magic is checked byte-by-byte over whatever has arrived, so garbage
+  // is rejected from the very first wrong byte instead of stalling in
+  // kIncomplete until a full header trickles in.
+  const size_t magic_avail =
+      buffer.size() < sizeof(kWireMagic) ? buffer.size() : sizeof(kWireMagic);
+  if (std::memcmp(buffer.data(), kWireMagic, magic_avail) != 0) {
+    return corrupt("bad magic");
+  }
+  if (buffer.size() < kWireHeaderBytes) {
+    result.outcome = FrameDecode::kIncomplete;
+    return result;
+  }
+  const uint8_t raw_type =
+      static_cast<unsigned char>(buffer[sizeof(kWireMagic)]);
+  if (raw_type != static_cast<uint8_t>(FrameType::kRequest) &&
+      raw_type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return corrupt("unknown frame type " + std::to_string(raw_type));
+  }
+  const uint32_t payload_len = LoadU32(buffer, sizeof(kWireMagic) + 1);
+  if (payload_len > kMaxWirePayloadBytes) {
+    // Hostile length: reject before believing it, let alone allocating.
+    return corrupt("payload length " + std::to_string(payload_len) +
+                   " exceeds ceiling " + std::to_string(kMaxWirePayloadBytes));
+  }
+  const size_t total = kWireFrameOverheadBytes + payload_len;
+  if (buffer.size() < total) {
+    result.outcome = FrameDecode::kIncomplete;
+    return result;
+  }
+  const std::string_view checked =
+      buffer.substr(sizeof(kWireMagic), 1 + 4 + payload_len);
+  const uint32_t stored_crc = LoadU32(buffer, total - 4);
+  if (stored_crc != SnapshotCrc32(checked)) {
+    return corrupt("frame CRC mismatch");
+  }
+  result.outcome = FrameDecode::kFrame;
+  result.frame.type = static_cast<FrameType>(raw_type);
+  result.frame.payload.assign(buffer.substr(kWireHeaderBytes, payload_len));
+  result.consumed = total;
+  return result;
+}
+
+std::string EncodeRequestPayload(const ServeRequest& request) {
+  std::string out = "joinopt-wire v1\nrequest\n";
+  if (!request.orderer.empty()) {
+    out += "orderer " + request.orderer + "\n";
+  }
+  out += "cost " + request.cost_model + "\n";
+  if (request.memo_entry_budget != 0) {
+    out += "budget " + std::to_string(request.memo_entry_budget) + "\n";
+  }
+  if (request.deadline_seconds != 0) {
+    out += "deadline_s " + FormatDoubleShortest(request.deadline_seconds) +
+           "\n";
+  }
+  if (request.threads != 0) {
+    out += "threads " + std::to_string(request.threads) + "\n";
+  }
+  // The fault schedule is deliberately NOT serialized: chaos seams never
+  // cross the wire.
+  const QueryGraph& graph = request.graph;
+  out += "graph " + std::to_string(graph.relation_count()) + " " +
+         std::to_string(graph.edge_count()) + "\n";
+  for (int i = 0; i < graph.relation_count(); ++i) {
+    out += "rel " + std::to_string(i) + " " +
+           FormatDoubleShortest(graph.cardinality(i)) + "\n";
+  }
+  for (const JoinEdge& edge : graph.edges()) {
+    out += "join " + std::to_string(edge.left) + " " +
+           std::to_string(edge.right) + " " +
+           FormatDoubleShortest(edge.selectivity) + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<ServeRequest> DecodeRequestPayload(std::string_view text) {
+  DirectiveReader reader(text);
+  JOINOPT_RETURN_IF_ERROR(ExpectPreamble(reader, "request"));
+  ServeRequest request;
+  bool saw_orderer = false;
+  bool saw_cost = false;
+  bool saw_budget = false;
+  bool saw_deadline = false;
+  bool saw_threads = false;
+  // Optional scalar fields, each at most once, in any order before graph.
+  while (!reader.AtEnd() && reader.Peek()->keyword != "graph") {
+    const Directive& d = reader.Next();
+    const auto once = [&d](bool* seen) -> Status {
+      if (*seen) {
+        return LineError(d.line, "duplicate \"" + d.keyword + "\"");
+      }
+      *seen = true;
+      return Status::OK();
+    };
+    if (d.keyword == "orderer") {
+      JOINOPT_RETURN_IF_ERROR(once(&saw_orderer));
+      if (d.args.size() != 1) {
+        return LineError(d.line, "\"orderer\" takes 1 argument");
+      }
+      request.orderer = d.args[0];
+    } else if (d.keyword == "cost") {
+      JOINOPT_RETURN_IF_ERROR(once(&saw_cost));
+      if (d.args.size() != 1) {
+        return LineError(d.line, "\"cost\" takes 1 argument");
+      }
+      request.cost_model = d.args[0];
+    } else if (d.keyword == "budget") {
+      JOINOPT_RETURN_IF_ERROR(once(&saw_budget));
+      if (d.args.size() != 1) {
+        return LineError(d.line, "\"budget\" takes 1 argument");
+      }
+      Result<uint64_t> v = ParseU64Field(d.args[0], "budget", d.line);
+      if (!v.ok()) return v.status();
+      request.memo_entry_budget = *v;
+    } else if (d.keyword == "deadline_s") {
+      JOINOPT_RETURN_IF_ERROR(once(&saw_deadline));
+      if (d.args.size() != 1) {
+        return LineError(d.line, "\"deadline_s\" takes 1 argument");
+      }
+      Result<double> v = ParseDoubleField(d.args[0], "deadline", d.line);
+      if (!v.ok()) return v.status();
+      request.deadline_seconds = *v;
+    } else if (d.keyword == "threads") {
+      JOINOPT_RETURN_IF_ERROR(once(&saw_threads));
+      if (d.args.size() != 1) {
+        return LineError(d.line, "\"threads\" takes 1 argument");
+      }
+      Result<int> v = ParseIntField(d.args[0], "threads", d.line);
+      if (!v.ok()) return v.status();
+      if (*v < 0) return LineError(d.line, "threads must be >= 0");
+      request.threads = *v;
+    } else {
+      return LineError(d.line, "unknown request field \"" + d.keyword + "\"");
+    }
+  }
+  if (!saw_cost) {
+    return LineError(reader.LastLine(), "missing \"cost\"");
+  }
+  Result<const Directive*> graph_line = reader.Expect("graph", 2);
+  if (!graph_line.ok()) return graph_line.status();
+  const int line = (*graph_line)->line;
+  Result<uint64_t> rel_count =
+      ParseU64Field((*graph_line)->args[0], "relation count", line);
+  if (!rel_count.ok()) return rel_count.status();
+  Result<uint64_t> edge_count =
+      ParseU64Field((*graph_line)->args[1], "edge count", line);
+  if (!edge_count.ok()) return edge_count.status();
+  if (*rel_count == 0 || *rel_count > static_cast<uint64_t>(kMaxRelations)) {
+    return LineError(line, "relation count out of range");
+  }
+  if (*edge_count > kMaxWireEdges) {
+    return LineError(line, "edge count out of range");
+  }
+  for (uint64_t i = 0; i < *rel_count; ++i) {
+    Result<const Directive*> rel = reader.Expect("rel", 2);
+    if (!rel.ok()) return rel.status();
+    Result<int> index = ParseIntField((*rel)->args[0], "relation index",
+                                      (*rel)->line);
+    if (!index.ok()) return index.status();
+    if (*index != static_cast<int>(i)) {
+      return LineError((*rel)->line, "relation index out of order");
+    }
+    Result<double> card =
+        ParseDoubleField((*rel)->args[1], "cardinality", (*rel)->line);
+    if (!card.ok()) return card.status();
+    Result<int> added = request.graph.AddRelation(*card);
+    if (!added.ok()) {
+      return LineError((*rel)->line, added.status().message());
+    }
+  }
+  for (uint64_t i = 0; i < *edge_count; ++i) {
+    Result<const Directive*> join = reader.Expect("join", 3);
+    if (!join.ok()) return join.status();
+    Result<int> left = ParseIntField((*join)->args[0], "edge endpoint",
+                                     (*join)->line);
+    if (!left.ok()) return left.status();
+    Result<int> right = ParseIntField((*join)->args[1], "edge endpoint",
+                                      (*join)->line);
+    if (!right.ok()) return right.status();
+    Result<double> sel =
+        ParseDoubleField((*join)->args[2], "selectivity", (*join)->line);
+    if (!sel.ok()) return sel.status();
+    const Status added = request.graph.AddEdge(*left, *right, *sel);
+    if (!added.ok()) {
+      return LineError((*join)->line, added.message());
+    }
+  }
+  Result<const Directive*> end = reader.Expect("end", 0);
+  if (!end.ok()) return end.status();
+  if (!reader.AtEnd()) {
+    return LineError(reader.Peek()->line, "trailing content after \"end\"");
+  }
+  return request;
+}
+
+std::string EncodeResponsePayload(const ServeResponse& response) {
+  std::string out = "joinopt-wire v1\nresponse\n";
+  out += "status ";
+  out += StatusCodeToString(response.status.code());
+  out += '\n';
+  if (!response.status.message().empty()) {
+    out += "message " + response.status.message() + "\n";
+  }
+  if (!response.algorithm.empty()) {
+    out += "algorithm " + response.algorithm + "\n";
+  }
+  out += "cost " + FormatDoubleShortest(response.cost) + "\n";
+  out += "cardinality " + FormatDoubleShortest(response.cardinality) + "\n";
+  out += std::string("cache_hit ") + (response.cache_hit ? "1" : "0") + "\n";
+  out += std::string("shed ") + (response.shed ? "1" : "0") + "\n";
+  out += "generation " + std::to_string(response.generation) + "\n";
+  out += "queue_s " + FormatDoubleShortest(response.queue_seconds) + "\n";
+  out += "exec_s " + FormatDoubleShortest(response.exec_seconds) + "\n";
+  AppendSignature(out, response.signature);
+  if (response.plan.has_value()) {
+    const std::vector<JoinTreeNode>& nodes = response.plan->nodes();
+    out += "plan " + std::to_string(nodes.size()) + "\n";
+    for (const JoinTreeNode& node : nodes) {
+      out += "node " + std::to_string(node.relations.mask()) + " " +
+             FormatDoubleShortest(node.cardinality) + " " +
+             FormatDoubleShortest(node.cost) + " " +
+             std::to_string(node.relation) + " " + std::to_string(node.left) +
+             " " + std::to_string(node.right) + " " +
+             std::to_string(static_cast<int>(node.op)) + "\n";
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<ServeResponse> DecodeResponsePayload(std::string_view text) {
+  DirectiveReader reader(text);
+  JOINOPT_RETURN_IF_ERROR(ExpectPreamble(reader, "response"));
+  ServeResponse response;
+  Result<const Directive*> status_line = reader.Expect("status", 1);
+  if (!status_line.ok()) return status_line.status();
+  Result<StatusCode> code =
+      ParseStatusField((*status_line)->args[0], "status", (*status_line)->line);
+  if (!code.ok()) return code.status();
+  std::string message;
+  if (!reader.AtEnd() && reader.Peek()->keyword == "message") {
+    const Directive& d = reader.Next();
+    if (d.args.empty()) {
+      return LineError(d.line, "\"message\" takes free text");
+    }
+    message = d.JoinedArgs();
+  }
+  if (*code == StatusCode::kOk) {
+    if (!message.empty()) {
+      return LineError((*status_line)->line, "Ok status with a message");
+    }
+    response.status = Status::OK();
+  } else {
+    response.status = Status(*code, std::move(message));
+  }
+  if (!reader.AtEnd() && reader.Peek()->keyword == "algorithm") {
+    const Directive& d = reader.Next();
+    if (d.args.size() != 1) {
+      return LineError(d.line, "\"algorithm\" takes 1 argument");
+    }
+    response.algorithm = d.args[0];
+  }
+  Result<const Directive*> cost_line = reader.Expect("cost", 1);
+  if (!cost_line.ok()) return cost_line.status();
+  Result<double> cost =
+      ParseDoubleField((*cost_line)->args[0], "cost", (*cost_line)->line);
+  if (!cost.ok()) return cost.status();
+  response.cost = *cost;
+  Result<const Directive*> card_line = reader.Expect("cardinality", 1);
+  if (!card_line.ok()) return card_line.status();
+  Result<double> card = ParseDoubleField((*card_line)->args[0], "cardinality",
+                                         (*card_line)->line);
+  if (!card.ok()) return card.status();
+  response.cardinality = *card;
+  Result<const Directive*> hit_line = reader.Expect("cache_hit", 1);
+  if (!hit_line.ok()) return hit_line.status();
+  Result<bool> hit =
+      ParseBoolField((*hit_line)->args[0], "cache_hit", (*hit_line)->line);
+  if (!hit.ok()) return hit.status();
+  response.cache_hit = *hit;
+  Result<const Directive*> shed_line = reader.Expect("shed", 1);
+  if (!shed_line.ok()) return shed_line.status();
+  Result<bool> shed =
+      ParseBoolField((*shed_line)->args[0], "shed", (*shed_line)->line);
+  if (!shed.ok()) return shed.status();
+  response.shed = *shed;
+  Result<const Directive*> gen_line = reader.Expect("generation", 1);
+  if (!gen_line.ok()) return gen_line.status();
+  Result<uint64_t> gen =
+      ParseU64Field((*gen_line)->args[0], "generation", (*gen_line)->line);
+  if (!gen.ok()) return gen.status();
+  response.generation = *gen;
+  Result<const Directive*> queue_line = reader.Expect("queue_s", 1);
+  if (!queue_line.ok()) return queue_line.status();
+  Result<double> queue_s = ParseDoubleField((*queue_line)->args[0], "queue_s",
+                                            (*queue_line)->line);
+  if (!queue_s.ok()) return queue_s.status();
+  response.queue_seconds = *queue_s;
+  Result<const Directive*> exec_line = reader.Expect("exec_s", 1);
+  if (!exec_line.ok()) return exec_line.status();
+  Result<double> exec_s = ParseDoubleField((*exec_line)->args[0], "exec_s",
+                                           (*exec_line)->line);
+  if (!exec_s.ok()) return exec_s.status();
+  response.exec_seconds = *exec_s;
+  if (reader.AtEnd()) {
+    return LineError(reader.LastLine(), "expected \"signature\", got end");
+  }
+  const Directive& sig_line = reader.Next();
+  if (sig_line.keyword != "signature") {
+    return LineError(sig_line.line, "expected \"signature\", got \"" +
+                                        sig_line.keyword + "\"");
+  }
+  JOINOPT_RETURN_IF_ERROR(DecodeSignature(sig_line, &response.signature));
+  if (!reader.AtEnd() && reader.Peek()->keyword == "plan") {
+    Result<const Directive*> plan_line = reader.Expect("plan", 1);
+    if (!plan_line.ok()) return plan_line.status();
+    Result<uint64_t> node_count = ParseU64Field(
+        (*plan_line)->args[0], "plan node count", (*plan_line)->line);
+    if (!node_count.ok()) return node_count.status();
+    if (*node_count == 0 || *node_count > kMaxWireTreeNodes) {
+      return LineError((*plan_line)->line, "plan node count out of range");
+    }
+    std::vector<JoinTreeNode> nodes;
+    nodes.reserve(*node_count);
+    for (uint64_t i = 0; i < *node_count; ++i) {
+      Result<const Directive*> node_line = reader.Expect("node", 7);
+      if (!node_line.ok()) return node_line.status();
+      const Directive& d = **node_line;
+      JoinTreeNode node;
+      Result<uint64_t> mask = ParseU64Field(d.args[0], "node mask", d.line);
+      if (!mask.ok()) return mask.status();
+      Result<double> node_card =
+          ParseDoubleField(d.args[1], "node cardinality", d.line);
+      if (!node_card.ok()) return node_card.status();
+      Result<double> node_cost =
+          ParseDoubleField(d.args[2], "node cost", d.line);
+      if (!node_cost.ok()) return node_cost.status();
+      Result<int> relation = ParseIntField(d.args[3], "node relation", d.line);
+      if (!relation.ok()) return relation.status();
+      Result<int> left = ParseIntField(d.args[4], "node left", d.line);
+      if (!left.ok()) return left.status();
+      Result<int> right = ParseIntField(d.args[5], "node right", d.line);
+      if (!right.ok()) return right.status();
+      Result<int> op = ParseIntField(d.args[6], "node op", d.line);
+      if (!op.ok()) return op.status();
+      if (*op < 0 || static_cast<uint32_t>(*op) > kMaxWireJoinOperator) {
+        return LineError(d.line, "node op out of range");
+      }
+      if (*relation < -1 || *relation >= kMaxRelations) {
+        return LineError(d.line, "node relation out of range");
+      }
+      node.relations = NodeSet::FromMask(*mask);
+      node.cardinality = *node_card;
+      node.cost = *node_cost;
+      node.relation = *relation;
+      node.left = *left;
+      node.right = *right;
+      node.op = static_cast<JoinOperator>(*op);
+      // Mask discipline beyond what FromNodes's ordering check covers:
+      // a leaf's set is the singleton of its relation, and an interior
+      // node's set is the DISJOINT union of its children's. A crafted
+      // node list that passes cannot violate JoinTree's invariants.
+      if (node.IsLeaf()) {
+        if (node.relations != NodeSet::Singleton(node.relation)) {
+          return LineError(d.line, "leaf mask does not match its relation");
+        }
+      } else {
+        if (node.left < 0 || node.right < 0 ||
+            node.left >= static_cast<int>(i) ||
+            node.right >= static_cast<int>(i)) {
+          return LineError(d.line, "plan children must precede their parent");
+        }
+        const NodeSet lhs = nodes[node.left].relations;
+        const NodeSet rhs = nodes[node.right].relations;
+        if (lhs.Intersects(rhs) || lhs.Union(rhs) != node.relations) {
+          return LineError(d.line,
+                           "plan node mask is not the disjoint union of its "
+                           "children");
+        }
+      }
+      nodes.push_back(node);
+    }
+    // Node ordering (children precede parents) is revalidated here.
+    Result<JoinTree> tree = JoinTree::FromNodes(std::move(nodes));
+    if (!tree.ok()) {
+      return LineError(reader.LastLine(),
+                       "plan rejected: " + tree.status().message());
+    }
+    response.plan = std::move(*tree);
+  }
+  Result<const Directive*> end = reader.Expect("end", 0);
+  if (!end.ok()) return end.status();
+  if (!reader.AtEnd()) {
+    return LineError(reader.Peek()->line, "trailing content after \"end\"");
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace joinopt

@@ -1,0 +1,105 @@
+#ifndef JOINOPT_SERVE_WIRE_H_
+#define JOINOPT_SERVE_WIRE_H_
+
+/// The joinopt wire protocol (DESIGN.md §11): a versioned length-prefixed
+/// binary frame carrying a directive-text payload.
+///
+///   frame   := magic type payload_len payload crc
+///   magic   := "JOPW1"                      (5 bytes)
+///   type    := u8                           (1 = request, 2 = response)
+///   payload_len := u32 LE                   (<= kMaxWirePayloadBytes)
+///   payload := payload_len bytes of directive text
+///   crc     := u32 LE, CRC-32 (IEEE) over type + payload_len + payload
+///              — the same polynomial/helper as the snapshot format
+///
+/// The payload is the existing DSL directive grammar (dsl/directive.h):
+/// one keyword + arguments per line, every double printed via
+/// FormatDoubleShortest so decode(encode(x)) is bit-for-bit. The payload
+/// grammars are canonical and strict — exactly one spelling per message,
+/// unknown or duplicated keywords rejected — so any frame that decodes
+/// re-encodes to identical bytes (the fuzz oracle holds survivors to
+/// that).
+///
+/// Decoding is streaming and hostile-input-safe: every outcome is a
+/// typed value (frame / need-more-bytes / corrupt-with-reason), lengths
+/// are ceiling-checked before any allocation, and nothing in this layer
+/// aborts. A ServeRequest's fault-injection schedule deliberately has NO
+/// wire spelling: chaos seams are armed by the process that owns them,
+/// never accepted from the network.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/service.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace serve {
+
+/// Frame magic and hostile-length ceiling (mirrors the snapshot payload
+/// ceiling in DESIGN.md §10: a real message is a few KB; anything near
+/// the ceiling is corruption or an attack).
+inline constexpr char kWireMagic[5] = {'J', 'O', 'P', 'W', '1'};
+inline constexpr uint32_t kMaxWirePayloadBytes = uint32_t{1} << 22;
+/// magic + type + payload_len.
+inline constexpr size_t kWireHeaderBytes = sizeof(kWireMagic) + 1 + 4;
+/// header + crc: the size of an empty-payload frame.
+inline constexpr size_t kWireFrameOverheadBytes = kWireHeaderBytes + 4;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+struct WireFrame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// Streaming decode outcomes. kIncomplete is not an error: feed more
+/// bytes and call again. kCorrupt means the buffer can never become a
+/// valid frame — the connection's framing is lost and the peer must
+/// close (there is no trustworthy way to find the next boundary).
+enum class FrameDecode {
+  kFrame,
+  kIncomplete,
+  kCorrupt,
+};
+
+struct FrameDecodeResult {
+  FrameDecode outcome = FrameDecode::kIncomplete;
+  /// Valid when outcome == kFrame.
+  WireFrame frame;
+  /// Bytes consumed from the front of the buffer (kFrame only).
+  size_t consumed = 0;
+  /// Why, when outcome == kCorrupt.
+  std::string detail;
+};
+
+/// Encodes one frame. `payload` must be <= kMaxWirePayloadBytes (larger
+/// payloads are a programming error upstream; the encoder clamps by
+/// refusing at decode time anyway, so Encode asserts nothing and the
+/// oversized frame is rejected by every conforming peer).
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Attempts to decode one frame from the front of `buffer`. Never
+/// throws, never aborts, never reads past the buffer.
+FrameDecodeResult DecodeFrame(std::string_view buffer);
+
+/// Payload codecs: ServeRequest/ServeResponse <-> canonical directive
+/// text. Decoders return line-anchored kInvalidArgument on malformed
+/// content (valid frame, bad payload — the connection survives those).
+/// EncodeRequestPayload never emits the fault schedule and
+/// DecodeRequestPayload has no grammar for one (faults is always empty
+/// after decode).
+std::string EncodeRequestPayload(const ServeRequest& request);
+Result<ServeRequest> DecodeRequestPayload(std::string_view text);
+
+std::string EncodeResponsePayload(const ServeResponse& response);
+Result<ServeResponse> DecodeResponsePayload(std::string_view text);
+
+}  // namespace serve
+}  // namespace joinopt
+
+#endif  // JOINOPT_SERVE_WIRE_H_

@@ -110,6 +110,11 @@ Status ValidateLimitEnv() {
       EnvDouble("JOINOPT_SERVE_SNAPSHOT_PERIOD_S", 0.0,
                 /*require_positive=*/false)
           .status());
+  JOINOPT_RETURN_IF_ERROR(EnvInt("JOINOPT_SERVE_MAX_CONNS", 0).status());
+  JOINOPT_RETURN_IF_ERROR(
+      EnvDouble("JOINOPT_SERVE_IO_TIMEOUT_S", 1.0,
+                /*require_positive=*/true)
+          .status());
   return Status::OK();
 }
 

@@ -45,9 +45,12 @@ bool BuiltWithSanitizer();
 /// Validates every JOINOPT limit knob a binary honors (JOINOPT_DEADLINE_S,
 /// JOINOPT_MEMO_BUDGET, JOINOPT_THREADS, JOINOPT_MAX_INNER,
 /// JOINOPT_WATCHDOG_S, and the serving-layer knobs JOINOPT_CACHE_MB,
-/// JOINOPT_CACHE_SHARDS, JOINOPT_QUEUE_DEPTH, JOINOPT_SERVE_WORKERS)
-/// without consuming the values. Binaries call this at startup next to
-/// the FaultConfigFromEnv check and exit on the first malformed variable.
+/// JOINOPT_CACHE_SHARDS, JOINOPT_QUEUE_DEPTH, JOINOPT_SERVE_WORKERS,
+/// JOINOPT_SERVE_MAX_CONNS, JOINOPT_SERVE_IO_TIMEOUT_S) without
+/// consuming the values. JOINOPT_SERVE_LISTEN (a HOST:PORT string) is
+/// validated separately by serve::ServerConfigFromEnv, which owns the
+/// endpoint grammar. Binaries call this at startup next to the
+/// FaultConfigFromEnv check and exit on the first malformed variable.
 Status ValidateLimitEnv();
 
 }  // namespace joinopt

@@ -1,0 +1,314 @@
+#include "util/net.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace joinopt {
+namespace net {
+
+namespace {
+
+Status Unavail(const std::string& what, int err) {
+  return Status::Unavailable(what + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+Result<Endpoint> ParseEndpoint(const std::string& spec) {
+  const auto bad = [&spec](const char* why) {
+    return Status::InvalidArgument("endpoint \"" + spec + "\": " + why);
+  };
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return bad("expected HOST:PORT");
+  }
+  Endpoint ep;
+  ep.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (ep.host.empty()) {
+    return bad("empty host");
+  }
+  if (port_text.empty()) {
+    return bad("empty port");
+  }
+  uint32_t port = 0;
+  for (const char ch : port_text) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) {
+      return bad("port is not a number");
+    }
+    port = port * 10 + static_cast<uint32_t>(ch - '0');
+    if (port > 65535) {
+      return bad("port out of range");
+    }
+  }
+  ep.port = static_cast<uint16_t>(port);
+  if (ep.host != "localhost") {
+    struct in_addr addr;
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr) != 1) {
+      return bad("host must be an IPv4 address or \"localhost\"");
+    }
+  }
+  return ep;
+}
+
+#ifndef _WIN32
+
+void IgnoreSigpipe() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+namespace {
+
+Result<struct sockaddr_in> ResolveV4(const Endpoint& endpoint) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  const std::string host =
+      endpoint.host == "localhost" ? "127.0.0.1" : endpoint.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("endpoint host \"" + endpoint.host +
+                                   "\" is not an IPv4 address");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const Endpoint& endpoint, int backlog,
+                      uint16_t* bound_port) {
+  Result<struct sockaddr_in> addr = ResolveV4(endpoint);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Unavail("socket", errno);
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&*addr),
+             sizeof(*addr)) != 0) {
+    const int err = errno;
+    CloseQuiet(fd);
+    return Unavail("bind " + endpoint.host + ":" +
+                       std::to_string(endpoint.port),
+                   err);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    CloseQuiet(fd);
+    return Unavail("listen", err);
+  }
+  const Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    CloseQuiet(fd);
+    return nb;
+  }
+  if (bound_port != nullptr) {
+    struct sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &len) != 0) {
+      const int err = errno;
+      CloseQuiet(fd);
+      return Unavail("getsockname", err);
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const Endpoint& endpoint, double deadline_seconds) {
+  Result<struct sockaddr_in> addr = ResolveV4(endpoint);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Unavail("socket", errno);
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    CloseQuiet(fd);
+    return nb;
+  }
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&*addr),
+                     sizeof(*addr));
+  if (rc != 0 && errno == EINTR) {
+    // POSIX: an EINTR'd connect continues asynchronously — poll for it.
+    rc = -1;
+    errno = EINPROGRESS;
+  }
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      CloseQuiet(fd);
+      return Unavail("connect " + endpoint.host + ":" +
+                         std::to_string(endpoint.port),
+                     err);
+    }
+    const int timeout_ms =
+        deadline_seconds <= 0 ? -1
+                              : static_cast<int>(deadline_seconds * 1000) + 1;
+    const int revents = PollRetry(fd, POLLOUT, timeout_ms);
+    if (revents < 0) {
+      CloseQuiet(fd);
+      return Unavail("poll during connect", -revents);
+    }
+    if (revents == 0) {
+      CloseQuiet(fd);
+      return Status::Unavailable("connect " + endpoint.host + ":" +
+                                 std::to_string(endpoint.port) +
+                                 ": timed out");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      const int err = so_error != 0 ? so_error : errno;
+      CloseQuiet(fd);
+      return Unavail("connect " + endpoint.host + ":" +
+                         std::to_string(endpoint.port),
+                     err);
+    }
+  }
+  // Back to blocking for the caller's deadline-polled I/O.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    const int err = errno;
+    CloseQuiet(fd);
+    return Unavail("fcntl", err);
+  }
+  return fd;
+}
+
+int64_t ReadRetry(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) {
+      return n;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -static_cast<int64_t>(errno);
+  }
+}
+
+int64_t WriteRetry(int fd, const void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::write(fd, buf, len);
+    if (n >= 0) {
+      return n;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -static_cast<int64_t>(errno);
+  }
+}
+
+int PollRetry(int fd, short events, int timeout_ms) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      return pfd.revents;
+    }
+    if (rc == 0) {
+      return 0;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -errno;
+  }
+}
+
+Status SendAll(int fd, const void* buf, size_t len, double deadline_seconds) {
+  const char* p = static_cast<const char*>(buf);
+  size_t off = 0;
+  const int timeout_ms =
+      deadline_seconds <= 0 ? -1
+                            : static_cast<int>(deadline_seconds * 1000) + 1;
+  while (off < len) {
+    const int revents = PollRetry(fd, POLLOUT, timeout_ms);
+    if (revents < 0) {
+      return Unavail("poll during send", -revents);
+    }
+    if (revents == 0) {
+      return Status::Unavailable("send: timed out");
+    }
+    const int64_t n = WriteRetry(fd, p + off, len - off);
+    if (n < 0) {
+      return Unavail("send", static_cast<int>(-n));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(std::string("fcntl O_NONBLOCK: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void CloseQuiet(int fd) {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+#else  // _WIN32: the serving stack is POSIX-only.
+
+void IgnoreSigpipe() {}
+
+Result<int> ListenTcp(const Endpoint&, int, uint16_t*) {
+  return Status::Unimplemented("net: not supported on this platform");
+}
+
+Result<int> ConnectTcp(const Endpoint&, double) {
+  return Status::Unimplemented("net: not supported on this platform");
+}
+
+int64_t ReadRetry(int, void*, size_t) { return -1; }
+int64_t WriteRetry(int, const void*, size_t) { return -1; }
+int PollRetry(int, short, int) { return -1; }
+
+Status SendAll(int, const void*, size_t, double) {
+  return Status::Unimplemented("net: not supported on this platform");
+}
+
+Status SetNonBlocking(int) {
+  return Status::Unimplemented("net: not supported on this platform");
+}
+
+void CloseQuiet(int) {}
+
+#endif  // _WIN32
+
+}  // namespace net
+}  // namespace joinopt

@@ -1,0 +1,80 @@
+#ifndef JOINOPT_UTIL_NET_H_
+#define JOINOPT_UTIL_NET_H_
+
+/// Thin POSIX socket helpers for the wire layer (serve/server, serve/
+/// client): EINTR-retrying I/O, poll with an absolute deadline, listen/
+/// connect with typed errors, and process-wide SIGPIPE suppression. All
+/// functions return typed Status/Result values — nothing here aborts,
+/// throws, or raises a signal. Windows builds get kUnimplemented stubs
+/// (the serving stack is POSIX-only, like the fork-based chaos harness).
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace joinopt {
+namespace net {
+
+/// Ignores SIGPIPE for the whole process so a peer closing mid-write
+/// surfaces as an EPIPE write error (a typed Status) instead of killing
+/// us. Idempotent; call it once at server/client/CLI startup before any
+/// socket I/O. No-op on platforms without SIGPIPE.
+void IgnoreSigpipe();
+
+/// A parsed "HOST:PORT" endpoint. Host is IPv4 dotted-quad or
+/// "localhost"; port 0 is allowed (ephemeral bind — the bound port is
+/// reported by Listen).
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Strict "HOST:PORT" parse: kInvalidArgument (quoting the input) on a
+/// missing colon, empty host, non-numeric or out-of-range port, or a
+/// host that is neither dotted-quad IPv4 nor "localhost".
+Result<Endpoint> ParseEndpoint(const std::string& spec);
+
+/// Creates a listening TCP socket bound to `endpoint` (SO_REUSEADDR so a
+/// restarted server can rebind immediately), non-blocking, backlog
+/// `backlog`. On success stores the actually-bound port (meaningful when
+/// endpoint.port was 0) in *bound_port when non-null.
+Result<int> ListenTcp(const Endpoint& endpoint, int backlog,
+                      uint16_t* bound_port);
+
+/// Blocking connect with a deadline: non-blocking connect + poll +
+/// SO_ERROR. Returns a CONNECTED socket left in blocking mode, or
+/// kUnavailable when the peer refuses / the deadline passes.
+/// `deadline_seconds` <= 0 means no limit.
+Result<int> ConnectTcp(const Endpoint& endpoint, double deadline_seconds);
+
+/// read() retried on EINTR. Returns bytes read (0 = EOF), or a negative
+/// errno value on error. Never raises SIGPIPE concerns (reads don't).
+int64_t ReadRetry(int fd, void* buf, size_t len);
+
+/// write() retried on EINTR. Returns bytes written (possibly short for
+/// non-blocking fds), or a negative errno value on error (EPIPE included,
+/// thanks to IgnoreSigpipe).
+int64_t WriteRetry(int fd, const void* buf, size_t len);
+
+/// poll() on one fd retried on EINTR. `events` is the POLLIN/POLLOUT
+/// mask; `timeout_ms` < 0 blocks forever. Returns the revents mask
+/// (0 = timeout) or a negative errno value.
+int PollRetry(int fd, short events, int timeout_ms);
+
+/// Writes all of `len` bytes on a blocking fd, bounded by
+/// `deadline_seconds` (<= 0 = none) via per-chunk polls. kUnavailable on
+/// peer close / I/O error / deadline.
+Status SendAll(int fd, const void* buf, size_t len, double deadline_seconds);
+
+/// Sets O_NONBLOCK on `fd`. kInternal on fcntl failure.
+Status SetNonBlocking(int fd);
+
+/// close() that swallows errors and EINTR — for teardown paths where a
+/// failed close has no useful recovery.
+void CloseQuiet(int fd);
+
+}  // namespace net
+}  // namespace joinopt
+
+#endif  // JOINOPT_UTIL_NET_H_

@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DegenerateStatistics";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -37,7 +39,7 @@ std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
       StatusCode::kOutOfRange,   StatusCode::kInternal,
       StatusCode::kUnimplemented, StatusCode::kBudgetExceeded,
       StatusCode::kInvalidCatalog, StatusCode::kDegenerateStatistics,
-      StatusCode::kOverloaded,
+      StatusCode::kOverloaded,     StatusCode::kUnavailable,
   };
   for (const StatusCode code : kAll) {
     if (StatusCodeToString(code) == name) {

@@ -38,6 +38,12 @@ enum class StatusCode {
   /// shutting down. Always a load-management decision, never a statement
   /// about the query itself — resubmitting later is expected to succeed.
   kOverloaded,
+  /// A CLIENT-side verdict: the wire client could not obtain a response
+  /// from the server at all — connect refused/timed out, the connection
+  /// died mid-exchange, or the retry budget/deadline ran out before a
+  /// typed answer arrived. Servers never emit this code; its presence
+  /// means "the network or the peer, not the query".
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -100,6 +106,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -1,0 +1,278 @@
+/// Tests for the wire server and client (serve/server, serve/client):
+/// loopback lifecycle on an ephemeral port, bit-identity of served
+/// responses against the in-process SubmitAndWait path, concurrent
+/// clients over one server, connection reuse across calls, typed
+/// kUnavailable when no server is listening, typed bind failures, stats
+/// accounting, and strict ServerConfigFromEnv parsing (each malformed
+/// variable named in the error). POSIX-only, like the transport itself.
+
+#ifndef _WIN32
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "testing/workloads.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace serve {
+namespace {
+
+using joinopt::testing::DrawWorkloadGraph;
+
+ServiceConfig LoopbackServiceConfig() {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_depth = 32;
+  config.cache.capacity = 128;
+  config.cache.shards = 2;
+  return config;
+}
+
+ServeRequest ChainRequest() {
+  ServeRequest request;
+  EXPECT_TRUE(request.graph.AddRelation(1000.0).ok());
+  EXPECT_TRUE(request.graph.AddRelation(200.0).ok());
+  EXPECT_TRUE(request.graph.AddRelation(30.0).ok());
+  EXPECT_TRUE(request.graph.AddEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(request.graph.AddEdge(1, 2, 0.05).ok());
+  request.orderer = "DPccp";
+  request.cost_model = "cout";
+  request.threads = 1;
+  return request;
+}
+
+/// Service + server on 127.0.0.1:<ephemeral>, event loop on a
+/// background thread.
+struct Loopback {
+  std::unique_ptr<OptimizerService> service;
+  std::unique_ptr<WireServer> server;
+
+  static Loopback Start(WireServerConfig server_config = {}) {
+    Loopback loop;
+    auto service = OptimizerService::Create(LoopbackServiceConfig());
+    EXPECT_TRUE(service.ok());
+    loop.service = std::move(*service);
+    server_config.listen = {"127.0.0.1", 0};
+    auto server = WireServer::Create(server_config, loop.service.get());
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    loop.server = std::move(*server);
+    loop.server->Start();
+    return loop;
+  }
+
+  WireClientConfig ClientConfig(uint64_t seed = 1) const {
+    WireClientConfig config;
+    config.server = {"127.0.0.1", server->port()};
+    config.io_timeout_seconds = 10.0;
+    config.seed = seed;
+    return config;
+  }
+};
+
+TEST(WireServerTest, LoopbackResponseIsBitIdenticalToInProcess) {
+  Loopback loop = Loopback::Start();
+  ASSERT_NE(loop.server->port(), 0);
+  WireClient client(loop.ClientConfig());
+  const ServeResponse wire = client.Call(ChainRequest());
+  ASSERT_TRUE(wire.status.ok()) << wire.status.ToString();
+  const ServeResponse local = loop.service->SubmitAndWait(ChainRequest());
+  ASSERT_TRUE(local.status.ok());
+  // The determinism contract holds across the wire: same signature,
+  // cost, cardinality, and plan as the in-process path (the second run
+  // is a cache hit of the first, which the signature oracle equates to a
+  // fresh run).
+  EXPECT_EQ(wire.signature, local.signature);
+  EXPECT_EQ(wire.cost, local.cost);
+  EXPECT_EQ(wire.cardinality, local.cardinality);
+  EXPECT_EQ(wire.algorithm, local.algorithm);
+  ASSERT_TRUE(wire.plan.has_value());
+  ASSERT_TRUE(local.plan.has_value());
+  ASSERT_EQ(wire.plan->nodes().size(), local.plan->nodes().size());
+  for (size_t i = 0; i < wire.plan->nodes().size(); ++i) {
+    const JoinTreeNode& got = wire.plan->nodes()[i];
+    const JoinTreeNode& want = local.plan->nodes()[i];
+    EXPECT_EQ(got.relations.mask(), want.relations.mask());
+    EXPECT_EQ(got.cardinality, want.cardinality);
+    EXPECT_EQ(got.cost, want.cost);
+    EXPECT_EQ(got.relation, want.relation);
+    EXPECT_EQ(got.left, want.left);
+    EXPECT_EQ(got.right, want.right);
+  }
+}
+
+TEST(WireServerTest, ConnectionPersistsAcrossCalls) {
+  Loopback loop = Loopback::Start();
+  WireClient client(loop.ClientConfig());
+  for (int i = 0; i < 5; ++i) {
+    const ServeResponse response = client.Call(ChainRequest());
+    ASSERT_TRUE(response.status.ok()) << i << ": "
+                                      << response.status.ToString();
+    if (i > 0) {
+      EXPECT_TRUE(response.cache_hit) << i;
+    }
+  }
+  EXPECT_TRUE(client.connected());
+  const WireServer::Stats stats = loop.server->StatsSnapshot();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_GE(stats.responses, 5u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(WireServerTest, ConcurrentClientsAllGetCorrectAnswers) {
+  Loopback loop = Loopback::Start();
+  constexpr int kClients = 4;
+  constexpr int kCallsPerClient = 6;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&loop, &failures, c]() {
+      WireClient client(loop.ClientConfig(100 + c));
+      Random rng(7700 + c);
+      for (int i = 0; i < kCallsPerClient; ++i) {
+        std::string family;
+        Result<QueryGraph> graph = DrawWorkloadGraph(rng, &family);
+        if (!graph.ok()) {
+          failures[c] = graph.status().ToString();
+          return;
+        }
+        ServeRequest request;
+        request.graph = *graph;
+        request.orderer = "DPccp";
+        request.threads = 1;
+        const ServeResponse response = client.Call(request);
+        if (!response.status.ok()) {
+          failures[c] = response.status.ToString();
+          return;
+        }
+        if (!response.plan.has_value()) {
+          failures[c] = "no plan";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+  const WireServer::Stats stats = loop.server->StatsSnapshot();
+  EXPECT_GE(stats.accepted, static_cast<uint64_t>(kClients));
+  EXPECT_GE(stats.responses,
+            static_cast<uint64_t>(kClients * kCallsPerClient));
+}
+
+TEST(WireServerTest, StopDrainsAndRunReturns) {
+  Loopback loop = Loopback::Start();
+  WireClient client(loop.ClientConfig());
+  ASSERT_TRUE(client.Call(ChainRequest()).status.ok());
+  loop.server->Stop();
+  // After the drain the port is released; a fresh call gets a typed
+  // kUnavailable, never a hang or a crash.
+  WireClientConfig config = loop.ClientConfig();
+  config.io_timeout_seconds = 0.5;
+  config.max_retries = 1;
+  config.retry_backoff_seconds = 0.01;
+  WireClient after(config);
+  const ServeResponse response = after.Call(ChainRequest());
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
+      << response.status.ToString();
+}
+
+TEST(WireServerTest, NoServerYieldsTypedUnavailable) {
+  // Port 1 on loopback: connect is refused (or times out), and every
+  // giving-up path must produce a typed kUnavailable response.
+  WireClientConfig config;
+  config.server = {"127.0.0.1", 1};
+  config.io_timeout_seconds = 0.5;
+  config.max_retries = 1;
+  config.retry_backoff_seconds = 0.01;
+  WireClient client(config);
+  const ServeResponse response = client.Call(ChainRequest());
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
+      << response.status.ToString();
+  EXPECT_FALSE(response.plan.has_value());
+}
+
+TEST(WireServerTest, UnbindableEndpointIsATypedError) {
+  auto service = OptimizerService::Create(LoopbackServiceConfig());
+  ASSERT_TRUE(service.ok());
+  WireServerConfig config;
+  // TEST-NET-3 (RFC 5737): never assigned to a local interface, so the
+  // bind fails — with a typed error naming the endpoint, not an abort.
+  config.listen = {"203.0.113.1", 9};
+  auto server = WireServer::Create(config, service->get());
+  ASSERT_FALSE(server.ok());
+  EXPECT_FALSE(server.status().message().empty());
+}
+
+class ServerEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("JOINOPT_SERVE_LISTEN");
+    ::unsetenv("JOINOPT_SERVE_MAX_CONNS");
+    ::unsetenv("JOINOPT_SERVE_IO_TIMEOUT_S");
+  }
+};
+
+TEST_F(ServerEnvTest, DefaultsWhenUnset) {
+  Result<WireServerConfig> config = ServerConfigFromEnv();
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->listen.host, "127.0.0.1");
+  EXPECT_EQ(config->max_connections, 64);
+  EXPECT_EQ(config->io_timeout_seconds, 5.0);
+}
+
+TEST_F(ServerEnvTest, WellFormedKnobsApply) {
+  ::setenv("JOINOPT_SERVE_LISTEN", "127.0.0.1:19173", 1);
+  ::setenv("JOINOPT_SERVE_MAX_CONNS", "7", 1);
+  ::setenv("JOINOPT_SERVE_IO_TIMEOUT_S", "2.5", 1);
+  Result<WireServerConfig> config = ServerConfigFromEnv();
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->listen.host, "127.0.0.1");
+  EXPECT_EQ(config->listen.port, 19173);
+  EXPECT_EQ(config->max_connections, 7);
+  EXPECT_EQ(config->io_timeout_seconds, 2.5);
+}
+
+TEST_F(ServerEnvTest, MalformedKnobsAreRejectedNamingTheVariable) {
+  const struct {
+    const char* variable;
+    const char* value;
+  } cases[] = {
+      {"JOINOPT_SERVE_LISTEN", "not-an-endpoint"},
+      {"JOINOPT_SERVE_LISTEN", "127.0.0.1:notaport"},
+      {"JOINOPT_SERVE_MAX_CONNS", "banana"},
+      {"JOINOPT_SERVE_MAX_CONNS", "-3"},
+      {"JOINOPT_SERVE_IO_TIMEOUT_S", "0"},
+      {"JOINOPT_SERVE_IO_TIMEOUT_S", "nope"},
+  };
+  for (const auto& test : cases) {
+    ::setenv(test.variable, test.value, 1);
+    Result<WireServerConfig> config = ServerConfigFromEnv();
+    ASSERT_FALSE(config.ok()) << test.variable << "=" << test.value;
+    EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(config.status().message().find(test.variable),
+              std::string::npos)
+        << config.status().ToString();
+    ::unsetenv(test.variable);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace joinopt
+
+#endif  // !_WIN32

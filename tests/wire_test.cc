@@ -1,0 +1,417 @@
+/// Tests for the wire protocol codec (serve/wire): frame round-trip and
+/// streaming decode, every corruption class with typed outcomes (bad
+/// magic, unknown type, hostile length, CRC bit flips, truncation),
+/// consumed-bytes accounting over multi-frame buffers, and the payload
+/// grammars — request/response round-trip bit-identity (including
+/// extreme doubles), strict rejection of malformed payloads with
+/// line-anchored kInvalidArgument, the no-wire-spelling rule for fault
+/// schedules, and structural revalidation of crafted plans.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "testing/fault_injection.h"
+#include "testing/workloads.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace joinopt {
+namespace serve {
+namespace {
+
+using joinopt::testing::DrawWorkloadGraph;
+
+QueryGraph SmallChain() {
+  QueryGraph graph;
+  EXPECT_TRUE(graph.AddRelation(1000.0).ok());
+  EXPECT_TRUE(graph.AddRelation(200.0).ok());
+  EXPECT_TRUE(graph.AddRelation(30.0).ok());
+  EXPECT_TRUE(graph.AddEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(graph.AddEdge(1, 2, 0.05).ok());
+  return graph;
+}
+
+ServeRequest ChainRequest() {
+  ServeRequest request;
+  request.graph = SmallChain();
+  request.orderer = "DPccp";
+  request.cost_model = "cout";
+  request.threads = 1;
+  return request;
+}
+
+/// A real served response (plan, signature, counters) for the response
+/// codec tests.
+ServeResponse ServedResponse() {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_depth = 8;
+  auto service = OptimizerService::Create(config);
+  EXPECT_TRUE(service.ok());
+  ServeResponse response = (*service)->SubmitAndWait(ChainRequest());
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.plan.has_value());
+  return response;
+}
+
+TEST(WireFrameTest, RoundTripBothTypesAndPayloadSizes) {
+  std::vector<std::string> payloads = {"", "x", "joinopt-wire v1\nrequest\n"};
+  Random rng(91);
+  std::string big;
+  for (int i = 0; i < 4096; ++i) {
+    big.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  payloads.push_back(big);
+  for (const FrameType type : {FrameType::kRequest, FrameType::kResponse}) {
+    for (const std::string& payload : payloads) {
+      const std::string frame = EncodeFrame(type, payload);
+      ASSERT_EQ(frame.size(), kWireFrameOverheadBytes + payload.size());
+      FrameDecodeResult decoded = DecodeFrame(frame);
+      ASSERT_EQ(decoded.outcome, FrameDecode::kFrame);
+      EXPECT_EQ(decoded.frame.type, type);
+      EXPECT_EQ(decoded.frame.payload, payload);
+      EXPECT_EQ(decoded.consumed, frame.size());
+    }
+  }
+}
+
+TEST(WireFrameTest, StreamingDecodeReportsIncompleteUntilWhole) {
+  const std::string frame =
+      EncodeFrame(FrameType::kRequest, EncodeRequestPayload(ChainRequest()));
+  for (size_t len = 0; len < frame.size(); ++len) {
+    FrameDecodeResult decoded = DecodeFrame(std::string_view(frame).substr(
+        0, len));
+    ASSERT_EQ(decoded.outcome, FrameDecode::kIncomplete)
+        << "prefix length " << len;
+  }
+  EXPECT_EQ(DecodeFrame(frame).outcome, FrameDecode::kFrame);
+}
+
+TEST(WireFrameTest, MultiFrameBufferConsumesExactlyOneFrame) {
+  const std::string first = EncodeFrame(FrameType::kRequest, "alpha");
+  const std::string second = EncodeFrame(FrameType::kResponse, "beta");
+  std::string buffer = first + second;
+  FrameDecodeResult one = DecodeFrame(buffer);
+  ASSERT_EQ(one.outcome, FrameDecode::kFrame);
+  EXPECT_EQ(one.frame.payload, "alpha");
+  ASSERT_EQ(one.consumed, first.size());
+  buffer.erase(0, one.consumed);
+  FrameDecodeResult two = DecodeFrame(buffer);
+  ASSERT_EQ(two.outcome, FrameDecode::kFrame);
+  EXPECT_EQ(two.frame.type, FrameType::kResponse);
+  EXPECT_EQ(two.frame.payload, "beta");
+  EXPECT_EQ(two.consumed, buffer.size());
+}
+
+TEST(WireFrameTest, BadMagicRejectedFromTheFirstWrongByte) {
+  // A single wrong byte is enough — the decoder must not stall in
+  // kIncomplete waiting for a full header that can never become valid.
+  FrameDecodeResult one = DecodeFrame("X");
+  ASSERT_EQ(one.outcome, FrameDecode::kCorrupt);
+  EXPECT_NE(one.detail.find("bad magic"), std::string::npos);
+  FrameDecodeResult prefix = DecodeFrame("JOPX");
+  ASSERT_EQ(prefix.outcome, FrameDecode::kCorrupt);
+  EXPECT_NE(prefix.detail.find("bad magic"), std::string::npos);
+  // A correct magic prefix is still incomplete, not corrupt.
+  EXPECT_EQ(DecodeFrame("JOP").outcome, FrameDecode::kIncomplete);
+}
+
+TEST(WireFrameTest, UnknownFrameTypeRejected) {
+  std::string frame = EncodeFrame(FrameType::kRequest, "payload");
+  frame[5] = static_cast<char>(9);
+  FrameDecodeResult decoded = DecodeFrame(frame);
+  ASSERT_EQ(decoded.outcome, FrameDecode::kCorrupt);
+  EXPECT_NE(decoded.detail.find("unknown frame type"), std::string::npos);
+}
+
+TEST(WireFrameTest, HostileLengthRejectedBeforeAllocation) {
+  std::string frame = EncodeFrame(FrameType::kRequest, "payload");
+  // payload_len = 0x7fffffff: far past the ceiling; the decoder must
+  // reject from the header alone instead of waiting for 2 GiB.
+  frame[6] = static_cast<char>(0xff);
+  frame[7] = static_cast<char>(0xff);
+  frame[8] = static_cast<char>(0xff);
+  frame[9] = static_cast<char>(0x7f);
+  FrameDecodeResult decoded = DecodeFrame(frame);
+  ASSERT_EQ(decoded.outcome, FrameDecode::kCorrupt);
+  EXPECT_NE(decoded.detail.find("exceeds ceiling"), std::string::npos);
+}
+
+TEST(WireFrameTest, LengthJustPastCeilingRejectedJustBelowIsIncomplete) {
+  std::string frame = EncodeFrame(FrameType::kRequest, "");
+  const auto set_len = [&frame](uint32_t len) {
+    for (int i = 0; i < 4; ++i) {
+      frame[6 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    }
+  };
+  set_len(kMaxWirePayloadBytes + 1);
+  EXPECT_EQ(DecodeFrame(frame).outcome, FrameDecode::kCorrupt);
+  // At exactly the ceiling the length is legal; the bytes just have not
+  // arrived yet.
+  set_len(kMaxWirePayloadBytes);
+  EXPECT_EQ(DecodeFrame(frame).outcome, FrameDecode::kIncomplete);
+}
+
+TEST(WireFrameTest, EverySingleBitFlipIsDetected) {
+  // CRC-32 detects all single-bit errors, and a flip in the header either
+  // breaks the magic, the type, the length, or the checksum — so no flip
+  // anywhere in the frame may ever decode as a (necessarily wrong) frame.
+  const std::string pristine =
+      EncodeFrame(FrameType::kRequest, EncodeRequestPayload(ChainRequest()));
+  for (size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = pristine;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      FrameDecodeResult decoded = DecodeFrame(mutated);
+      ASSERT_NE(decoded.outcome, FrameDecode::kFrame)
+          << "bit " << bit << " of byte " << byte << " survived";
+      if (decoded.outcome == FrameDecode::kCorrupt) {
+        EXPECT_FALSE(decoded.detail.empty());
+      }
+    }
+  }
+}
+
+TEST(WireFrameTest, EmptyBufferIsIncomplete) {
+  EXPECT_EQ(DecodeFrame(std::string_view()).outcome, FrameDecode::kIncomplete);
+}
+
+TEST(WireRequestTest, RoundTripAcrossWorkloadFamilies) {
+  Random rng(4242);
+  for (int i = 0; i < 40; ++i) {
+    std::string family;
+    Result<QueryGraph> graph = DrawWorkloadGraph(rng, &family);
+    ASSERT_TRUE(graph.ok());
+    ServeRequest request;
+    request.graph = *graph;
+    if (i % 3 == 0) {
+      request.orderer = "DPsize";
+    }
+    request.cost_model = (i % 2 == 0) ? "cout" : "bestof";
+    request.memo_entry_budget = (i % 4 == 0) ? 0 : 1000 + i;
+    request.deadline_seconds = (i % 5 == 0) ? 0.0 : 0.125 * (i + 1);
+    request.threads = i % 3;
+    const std::string payload = EncodeRequestPayload(request);
+    Result<ServeRequest> decoded = DecodeRequestPayload(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString() << "\n"
+                              << payload;
+    // The canonical grammar means decode(encode(x)) re-encodes to the
+    // exact same bytes — field-by-field equality follows from that plus
+    // the encoder covering every field.
+    EXPECT_EQ(EncodeRequestPayload(*decoded), payload) << family;
+    EXPECT_EQ(decoded->orderer, request.orderer);
+    EXPECT_EQ(decoded->cost_model, request.cost_model);
+    EXPECT_EQ(decoded->memo_entry_budget, request.memo_entry_budget);
+    EXPECT_EQ(decoded->deadline_seconds, request.deadline_seconds);
+    EXPECT_EQ(decoded->threads, request.threads);
+    EXPECT_EQ(decoded->graph.relation_count(), request.graph.relation_count());
+    EXPECT_EQ(decoded->graph.edge_count(), request.graph.edge_count());
+  }
+}
+
+TEST(WireRequestTest, ExtremeDoublesRoundTripBitForBit) {
+  ServeRequest request;
+  ASSERT_TRUE(request.graph.AddRelation(1e305).ok());
+  ASSERT_TRUE(request.graph.AddRelation(1e-305).ok());
+  ASSERT_TRUE(request.graph.AddRelation(0.1 + 0.2).ok());
+  ASSERT_TRUE(request.graph.AddEdge(0, 1, 1e-12).ok());
+  ASSERT_TRUE(request.graph.AddEdge(1, 2, 0.3333333333333333).ok());
+  request.cost_model = "cout";
+  request.deadline_seconds = 1e-3;
+  const std::string payload = EncodeRequestPayload(request);
+  Result<ServeRequest> decoded = DecodeRequestPayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(EncodeRequestPayload(*decoded), payload);
+  EXPECT_EQ(decoded->graph.cardinality(0), 1e305);
+  EXPECT_EQ(decoded->graph.cardinality(1), 1e-305);
+  EXPECT_EQ(decoded->graph.cardinality(2), 0.1 + 0.2);
+  EXPECT_EQ(decoded->graph.edges()[0].selectivity, 1e-12);
+  EXPECT_EQ(decoded->graph.edges()[1].selectivity, 0.3333333333333333);
+}
+
+TEST(WireRequestTest, FaultScheduleHasNoWireSpelling) {
+  ServeRequest request = ChainRequest();
+  request.faults.emplace();
+  request.faults->seed = 7;
+  const std::string payload = EncodeRequestPayload(request);
+  EXPECT_EQ(payload.find("fault"), std::string::npos);
+  Result<ServeRequest> decoded = DecodeRequestPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  // The grammar has no spelling for fault schedules, so they can never
+  // arrive over the network.
+  EXPECT_FALSE(decoded->faults.has_value());
+}
+
+TEST(WireRequestTest, MalformedPayloadsRejectedWithTypedLineAnchoredErrors) {
+  const std::string valid = EncodeRequestPayload(ChainRequest());
+  const struct {
+    const char* name;
+    std::string payload;
+    const char* expect_substring;
+  } cases[] = {
+      {"empty", "", "joinopt-wire"},
+      {"bad version", "joinopt-wire v2\nrequest\nend\n", "unsupported"},
+      {"wrong kind", "joinopt-wire v1\nresponse\nend\n", "request"},
+      {"duplicate orderer",
+       "joinopt-wire v1\nrequest\norderer DPccp\norderer DPsub\ncost cout\n"
+       "graph 1 0\nrel 0 5\nend\n",
+       "duplicate"},
+      {"missing cost",
+       "joinopt-wire v1\nrequest\ngraph 1 0\nrel 0 5\nend\n",
+       "missing \"cost\""},
+      {"unknown field",
+       "joinopt-wire v1\nrequest\nshenanigans 1\ncost cout\ngraph 1 0\n"
+       "rel 0 5\nend\n",
+       "unknown request field"},
+      {"negative threads",
+       "joinopt-wire v1\nrequest\ncost cout\nthreads -2\ngraph 1 0\n"
+       "rel 0 5\nend\n",
+       "threads must be >= 0"},
+      {"zero relations",
+       "joinopt-wire v1\nrequest\ncost cout\ngraph 0 0\nend\n",
+       "relation count out of range"},
+      {"too many relations",
+       "joinopt-wire v1\nrequest\ncost cout\ngraph 9999 0\nend\n",
+       "relation count out of range"},
+      {"relation index out of order",
+       "joinopt-wire v1\nrequest\ncost cout\ngraph 2 0\nrel 0 5\nrel 5 5\n"
+       "end\n",
+       "out of order"},
+      {"edge endpoint out of range",
+       "joinopt-wire v1\nrequest\ncost cout\ngraph 2 1\nrel 0 5\nrel 1 5\n"
+       "join 0 7 0.5\nend\n",
+       "line"},
+      {"unparseable cardinality",
+       "joinopt-wire v1\nrequest\ncost cout\ngraph 1 0\nrel 0 banana\nend\n",
+       "cardinality"},
+      {"missing end", valid.substr(0, valid.size() - 4), "end"},
+      {"trailing content", valid + "extra stuff\n", "trailing content"},
+  };
+  for (const auto& test : cases) {
+    Result<ServeRequest> decoded = DecodeRequestPayload(test.payload);
+    ASSERT_FALSE(decoded.ok()) << test.name;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+        << test.name;
+    EXPECT_NE(decoded.status().message().find(test.expect_substring),
+              std::string::npos)
+        << test.name << ": " << decoded.status().message();
+  }
+}
+
+TEST(WireResponseTest, ServedPlanRoundTripsBitForBit) {
+  const ServeResponse response = ServedResponse();
+  const std::string payload = EncodeResponsePayload(response);
+  Result<ServeResponse> decoded = DecodeResponsePayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString() << "\n" << payload;
+  EXPECT_EQ(EncodeResponsePayload(*decoded), payload);
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->cost, response.cost);
+  EXPECT_EQ(decoded->cardinality, response.cardinality);
+  EXPECT_EQ(decoded->algorithm, response.algorithm);
+  EXPECT_EQ(decoded->generation, response.generation);
+  EXPECT_EQ(decoded->signature, response.signature);
+  ASSERT_TRUE(decoded->plan.has_value());
+  ASSERT_EQ(decoded->plan->nodes().size(), response.plan->nodes().size());
+  for (size_t i = 0; i < response.plan->nodes().size(); ++i) {
+    const JoinTreeNode& got = decoded->plan->nodes()[i];
+    const JoinTreeNode& want = response.plan->nodes()[i];
+    EXPECT_EQ(got.relations.mask(), want.relations.mask());
+    EXPECT_EQ(got.cardinality, want.cardinality);
+    EXPECT_EQ(got.cost, want.cost);
+    EXPECT_EQ(got.relation, want.relation);
+    EXPECT_EQ(got.left, want.left);
+    EXPECT_EQ(got.right, want.right);
+    EXPECT_EQ(got.op, want.op);
+  }
+}
+
+TEST(WireResponseTest, ErrorAndShedResponsesRoundTrip) {
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kOverloaded,
+        StatusCode::kUnavailable}) {
+    ServeResponse response;
+    response.status = Status(code, "something went wrong: spaces survive");
+    response.shed = code == StatusCode::kOverloaded;
+    const std::string payload = EncodeResponsePayload(response);
+    Result<ServeResponse> decoded = DecodeResponsePayload(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(EncodeResponsePayload(*decoded), payload);
+    EXPECT_EQ(decoded->status.code(), code);
+    EXPECT_EQ(decoded->status.message(),
+              "something went wrong: spaces survive");
+    EXPECT_EQ(decoded->shed, response.shed);
+    EXPECT_FALSE(decoded->plan.has_value());
+  }
+}
+
+TEST(WireResponseTest, MalformedResponsesRejected) {
+  const std::string valid = EncodeResponsePayload(ServedResponse());
+  const std::string preamble = "joinopt-wire v1\nresponse\n";
+  const struct {
+    const char* name;
+    std::string payload;
+  } cases[] = {
+      {"ok with message",
+       preamble + "status OK\nmessage should not be here\ncost 1\n"
+                  "cardinality 1\ncache_hit 0\nshed 0\ngeneration 0\n"
+                  "queue_s 0\nexec_s 0\n"
+                  "signature OK 1 1 0 0 0 0 0 OK\nend\n"},
+      {"unknown status name",
+       preamble + "status Bogus\ncost 1\ncardinality 1\ncache_hit 0\n"
+                  "shed 0\ngeneration 0\nqueue_s 0\nexec_s 0\n"
+                  "signature OK 1 1 0 0 0 0 0 OK\nend\n"},
+      {"signature wrong arity",
+       preamble + "status OK\ncost 1\ncardinality 1\ncache_hit 0\nshed 0\n"
+                  "generation 0\nqueue_s 0\nexec_s 0\nsignature Ok 1 1\n"
+                  "end\n"},
+      {"zero plan nodes",
+       preamble + "status OK\ncost 1\ncardinality 1\ncache_hit 0\nshed 0\n"
+                  "generation 0\nqueue_s 0\nexec_s 0\n"
+                  "signature OK 1 1 0 0 0 0 0 OK\nplan 0\nend\n"},
+      {"node op out of range",
+       preamble + "status OK\ncost 1\ncardinality 1\ncache_hit 0\nshed 0\n"
+                  "generation 0\nqueue_s 0\nexec_s 0\n"
+                  "signature OK 1 1 0 0 0 0 0 OK\nplan 1\n"
+                  "node 1 5 0 0 -1 -1 99\nend\n"},
+      {"structurally invalid plan",
+       preamble + "status OK\ncost 1\ncardinality 1\ncache_hit 0\nshed 0\n"
+                  "generation 0\nqueue_s 0\nexec_s 0\n"
+                  "signature OK 1 1 0 0 0 0 0 OK\nplan 3\n"
+                  "node 1 5 0 0 -1 -1 0\nnode 2 5 0 1 -1 -1 0\n"
+                  "node 3 25 30 -1 0 0 0\nend\n"},
+      {"truncated", valid.substr(0, valid.size() / 2)},
+      {"trailing content", valid + "extra\n"},
+  };
+  for (const auto& test : cases) {
+    Result<ServeResponse> decoded = DecodeResponsePayload(test.payload);
+    ASSERT_FALSE(decoded.ok()) << test.name;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+        << test.name << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(WireResponseTest, PlanRejectionNamesTheRevalidator) {
+  // The crafted-plan defense specifically: a node list whose masks do
+  // not partition must be refused by the decoder's structural checks,
+  // not accepted into a JoinTree that violates its invariants.
+  const std::string payload =
+      "joinopt-wire v1\nresponse\nstatus OK\ncost 1\ncardinality 1\n"
+      "cache_hit 0\nshed 0\ngeneration 0\nqueue_s 0\nexec_s 0\n"
+      "signature OK 1 1 0 0 0 0 0 OK\nplan 3\n"
+      "node 1 5 0 0 -1 -1 0\nnode 2 5 0 1 -1 -1 0\n"
+      "node 7 25 30 -1 0 1 0\nend\n";
+  Result<ServeResponse> decoded = DecodeResponsePayload(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("disjoint union"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace joinopt

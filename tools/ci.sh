@@ -46,6 +46,15 @@ run_pass() {
     echo "fuzz smoke: snapshot mutation rounds never skipped a corrupt record" >&2
     exit 1
   fi
+  # Same proof obligation for the wire-frame mutation rounds: at least
+  # one mutated frame must have been REJECTED (CRC/magic/length), not
+  # just truncated into kIncomplete — otherwise the corruption-rejection
+  # path never ran.
+  if ! grep -Eq "wire fuzz: [0-9]+ mutations, [1-9][0-9]* rejected" \
+      "${build_dir}/fuzz_smoke.log"; then
+    echo "fuzz smoke: wire mutation rounds never rejected a corrupt frame" >&2
+    exit 1
+  fi
   echo "=== ${label}: soak smoke ==="
   # The concurrent anytime soak: mixed graph families, randomized budget
   # / deadline / fault trips, per-thread fault injectors. Any crash,
@@ -70,6 +79,16 @@ run_pass() {
   # corruption drill that must skip the bad record with a typed count.
   "${build_dir}/tools/joinopt_soak" --crash-recovery --cycles 3 \
     --snapshot "${build_dir}/crash_recovery.snap"
+  echo "=== ${label}: wire chaos soak ==="
+  # The network front end under chaos: fork/SIGKILL server processes
+  # mid-exchange (clients must get typed kUnavailable, snapshots must
+  # survive), then the in-process battery — loopback responses held
+  # bit-identical to SubmitAndWait, hostile frames answered with typed
+  # errors and clean closes, slowloris writers deadline-closed, mid-frame
+  # disconnects shrugged off, and connection-table overflow shed with a
+  # typed kOverloaded frame. The server crashing on ANY of it is the
+  # failure.
+  "${build_dir}/tools/joinopt_soak" --wire --cycles 3
   echo "=== ${label}: replay smoke ==="
   # The flight-recorder loop, end to end: a fuzz run that arms fault
   # injection captures one bundle per injected failure; every bundle must
@@ -166,11 +185,18 @@ warm = next(c for c in cells if c["cell"] == "warm_start")
 if warm["restored"] == 0 or warm["hit_rate"] < 0.99:
     print(f"FAIL: warm start restored {warm['restored']} entries with hit rate {warm['hit_rate']:.2f} (want restored > 0, hit rate >= 0.99)", file=sys.stderr)
     sys.exit(1)
+wire = next((c for c in cells if c["cell"] == "wire"), None)
+if wire is None:
+    print("FAIL: wire cell missing from the serving sweep", file=sys.stderr)
+    sys.exit(1)
+if wire["queries"] == 0 or wire["hit_rate"] < 0.5:
+    print(f"FAIL: wire cell served {wire['queries']} queries with hit rate {wire['hit_rate']:.2f} (want completion with a live cache)", file=sys.stderr)
+    sys.exit(1)
 for c in cells:
     if not (0 <= c["latency_p50_s"] <= c["latency_p95_s"] <= c["latency_p99_s"]):
         print(f"FAIL: cell {c['cell']} latency percentiles are not monotone", file=sys.stderr)
         sys.exit(1)
-print(f"serving bench: {len(cells)} cells, full-pool hit rate {full['hit_rate']:.1%}, warm-start hit rate {warm['hit_rate']:.1%} ({warm['restored']} restored), overload shed {overload['shed']}")
+print(f"serving bench: {len(cells)} cells, full-pool hit rate {full['hit_rate']:.1%}, warm-start hit rate {warm['hit_rate']:.1%} ({warm['restored']} restored), overload shed {overload['shed']}, wire {wire['throughput_qps']:.0f} q/s")
 PYSERVE
 }
 
@@ -200,6 +226,14 @@ run_tsan_pass() {
   # zero watchdog aborts, zero poisoning violations.
   "${build_dir}/tools/joinopt_soak" --service --threads 8 --queries 300 \
     --seed 20060912
+  echo "=== tsan: wire chaos soak ==="
+  # The wire front end's cross-thread seams under TSan: worker-thread
+  # completions crossing into the poll() loop through the completed_
+  # vector + self-pipe wake, stats counters read from the harness while
+  # the loop mutates them, and Start/Stop joining the loop thread. The
+  # fork phase runs before any in-process threads exist, so the child
+  # processes stay fork-safe under TSan too.
+  "${build_dir}/tools/joinopt_soak" --wire --cycles 3 --seed 20060912
   echo "=== tsan: parallel fuzz smoke ==="
   # The differential fuzzer drives DPsizePar/DPsubPar against the serial
   # enumerators, so this slice sweeps the layer-barrier fan-out, the

@@ -203,6 +203,29 @@ head -c 20 "${SNAP}" > "${TRUNCATED_SNAP}"
 expect cache_load_truncated_header 11 "cold start" -- \
   "${CLI}" cache load "${TRUNCATED_SNAP}"
 
+# ---- Wire serving: serve / query --connect ----
+
+# Malformed serve knobs abort with exit 3, stderr naming the variable —
+# strict parsing, never a silent fallback to the default.
+expect malformed_serve_listen 3 "JOINOPT_SERVE_LISTEN" -- \
+  env JOINOPT_SERVE_LISTEN=not-an-endpoint "${CLI}" serve
+expect malformed_serve_conns 3 "JOINOPT_SERVE_MAX_CONNS" -- \
+  env JOINOPT_SERVE_MAX_CONNS=banana "${CLI}" serve
+expect malformed_serve_timeout 3 "JOINOPT_SERVE_IO_TIMEOUT_S" -- \
+  env JOINOPT_SERVE_IO_TIMEOUT_S=0 "${CLI}" serve
+
+# query is wire-only: no --connect is a usage error, and a --connect
+# value that is not HOST:PORT is too.
+expect query_needs_connect 2 "needs --connect" -- "${CLI}" query "${GOOD}"
+expect query_bad_endpoint 2 "usage" -- \
+  "${CLI}" query --connect "${GOOD}"
+
+# Nothing listening: the client's typed give-up is the dedicated exit 12
+# (kUnavailable), distinct from every local input-error code.
+expect query_unavailable 12 "Unavailable" -- \
+  env JOINOPT_SERVE_IO_TIMEOUT_S=0.2 \
+  "${CLI}" query --connect 127.0.0.1:1 "${GOOD}"
+
 if [ "${fails}" -ne 0 ]; then
   echo "${fails} exit-code contract check(s) failed" >&2
   exit 1

@@ -16,6 +16,10 @@
 ///                                     print recovery stats
 ///   joinopt_cli cache inspect <snapshot>               dump header fields,
 ///                                     record/skip counts
+///   joinopt_cli serve                                  run the wire-protocol
+///                                     optimizer server (SIGTERM drains)
+///   joinopt_cli query --connect HOST:PORT <spec-file|-> [algo] [cost]
+///                                     optimize over the wire and explain
 ///
 /// shapes: chain cycle star clique
 /// algos:  any name from `joinopt_cli list` (default DPccp); the legacy
@@ -72,7 +76,19 @@
 ///      records do NOT trip this: they are skipped, counted, and
 ///      reported with exit 0 (the recovery contract from
 ///      src/serve/snapshot.h)
+///  12  server unavailable: `query --connect` exhausted its retry
+///      envelope without obtaining a response (connect refused, I/O
+///      failure, corrupt response, deadline) — the typed kUnavailable
+///      from src/serve/client.h. A response the SERVER produced keeps
+///      its own code (e.g. a shed that outlived the retries is 10)
+///
+/// The server reads its endpoint and robustness knobs from the
+/// environment: JOINOPT_SERVE_LISTEN (HOST:PORT), JOINOPT_SERVE_MAX_CONNS,
+/// and JOINOPT_SERVE_IO_TIMEOUT_S, on top of the batch-service knobs
+/// JOINOPT_SERVE_WORKERS / JOINOPT_QUEUE_DEPTH / JOINOPT_CACHE_* /
+/// JOINOPT_SERVE_SNAPSHOT_*. All strict-parsed: malformed is exit 3.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -84,10 +100,14 @@
 #include "core/outcome.h"
 #include "dsl/writer.h"
 #include "joinopt.h"
+#include "serve/client.h"
 #include "serve/fingerprint.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "serve/snapshot.h"
 #include "testing/fault_injection.h"
 #include "testing/repro.h"
+#include "util/net.h"
 
 namespace joinopt {
 namespace {
@@ -202,6 +222,8 @@ int ExitCodeFor(const Status& status) {
       return 8;
     case StatusCode::kOverloaded:
       return 10;
+    case StatusCode::kUnavailable:
+      return 12;
   }
   return 8;
 }
@@ -685,6 +707,152 @@ int Cache(int argc, char** argv) {
   return 2;
 }
 
+/// The live server, published for the signal handlers. RequestStop is
+/// async-signal-safe (atomic store + self-pipe write), so the handler
+/// body is exactly one permitted call.
+serve::WireServer* volatile g_wire_server = nullptr;
+
+extern "C" void HandleDrainSignal(int /*signum*/) {
+  serve::WireServer* server = g_wire_server;
+  if (server != nullptr) {
+    server->RequestStop();
+  }
+}
+
+/// `serve`: the wire-protocol front end over the batch service. Runs
+/// until SIGTERM/SIGINT, then drains gracefully: stop accepting, finish
+/// in-flight work, flush every response, save the plan-cache snapshot
+/// (when configured), exit 0.
+int Serve() {
+  Result<serve::ServiceConfig> service_config = serve::ServiceConfigFromEnv();
+  if (!service_config.ok()) {
+    return Fail(service_config.status(), "serve environment");
+  }
+  Result<serve::WireServerConfig> server_config = serve::ServerConfigFromEnv();
+  if (!server_config.ok()) {
+    return Fail(server_config.status(), "serve environment");
+  }
+  Result<std::unique_ptr<serve::OptimizerService>> service =
+      serve::OptimizerService::Create(*service_config);
+  if (!service.ok()) {
+    return Fail(service.status(), "service start");
+  }
+  const serve::SnapshotLoadStats loaded = (*service)->LoadStats();
+  if (!(*service)->config().snapshot_path.empty()) {
+    std::fprintf(stderr, "snapshot load: %s\n", loaded.ToString().c_str());
+  }
+  Result<std::unique_ptr<serve::WireServer>> server =
+      serve::WireServer::Create(*server_config, service->get());
+  if (!server.ok()) {
+    return Fail(server.status(), "listen");
+  }
+  std::fprintf(stderr,
+               "serving on %s:%u (workers=%d queue=%d conns=%d "
+               "io_timeout=%.3gs); SIGTERM drains\n",
+               server_config->listen.host.c_str(), (*server)->port(),
+               service_config->workers, service_config->queue_depth,
+               server_config->max_connections,
+               server_config->io_timeout_seconds);
+  g_wire_server = server->get();
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
+  (*server)->Run();
+  g_wire_server = nullptr;
+  const serve::WireServer::Stats stats = (*server)->StatsSnapshot();
+  // Drain order matters: the event loop has flushed every response, so
+  // Shutdown(drain=true) only has the queue tail to finish — and it is
+  // what saves the snapshot.
+  (*service)->Shutdown(/*drain=*/true);
+  std::fprintf(stderr,
+               "drained: accepted=%llu responses=%llu protocol_errors=%llu "
+               "deadline_closes=%llu overflow_sheds=%llu peer_closes=%llu\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.responses),
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.deadline_closes),
+               static_cast<unsigned long long>(stats.overflow_sheds),
+               static_cast<unsigned long long>(stats.peer_closes));
+  if (!(*service)->config().snapshot_path.empty()) {
+    const Result<serve::SnapshotSaveStats> saved = (*service)->LastSaveStats();
+    if (saved.ok()) {
+      std::fprintf(stderr, "snapshot save: %s\n", saved->ToString().c_str());
+    } else {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   saved.status().ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+/// `query --connect`: the explain workflow, served remotely. The spec is
+/// parsed and validated locally (same exit codes as `explain`), shipped
+/// over the wire, and the response printed in the explain format. The
+/// optimization limits travel with the request: JOINOPT_DEADLINE_S
+/// becomes the end-to-end deadline (client retry envelope AND server-side
+/// queue + optimization bound), JOINOPT_MEMO_BUDGET and JOINOPT_THREADS
+/// apply on the server's worker.
+int Query(const std::string& connect, const std::string& path,
+          const std::string& algo, const std::string& cost) {
+  Result<net::Endpoint> endpoint = net::ParseEndpoint(connect);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "--connect: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  Result<std::string> text = ReadAll(path);
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  Result<QueryGraph> graph = ParseQuerySpecToGraph(*text);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  // Validate the algorithm/cost names locally so a typo is the same
+  // usage error `explain` gives, not a round trip.
+  if (!MakeCostModel(cost).ok()) {
+    std::fprintf(stderr, "unknown cost model '%s'\n", cost.c_str());
+    return 2;
+  }
+  if (!LookupOrderer(algo).ok()) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    return 2;
+  }
+  const OptimizeOptions options = OptionsFromEnv();
+  serve::ServeRequest request;
+  request.graph = *graph;
+  request.orderer = ResolveAlgorithmName(algo);
+  request.cost_model = cost;
+  request.memo_entry_budget = options.memo_entry_budget;
+  request.deadline_seconds = options.deadline_seconds;
+  request.threads = options.threads;
+  serve::WireClientConfig client_config;
+  client_config.server = *endpoint;
+  const Result<double> io_timeout =
+      EnvDouble("JOINOPT_SERVE_IO_TIMEOUT_S", client_config.io_timeout_seconds,
+                /*require_positive=*/true);
+  if (!io_timeout.ok()) {
+    return Fail(io_timeout.status(), "limit environment");
+  }
+  client_config.io_timeout_seconds = *io_timeout;
+  serve::WireClient client(client_config);
+  const serve::ServeResponse response = client.Call(request);
+  if (!response.status.ok()) {
+    return Fail(response.status, "query failed");
+  }
+  if (!response.plan.has_value()) {
+    std::fprintf(stderr, "query failed: OK response carried no plan\n");
+    return 8;
+  }
+  std::printf("-- served by %s: %s, cost model %s%s\n\n%s\n", connect.c_str(),
+              response.algorithm.c_str(), cost.c_str(),
+              response.cache_hit ? " (cache hit)" : "",
+              PlanToExplainString(*response.plan, *graph).c_str());
+  std::printf("expression: %s\ncost: %.6g  rows: %.6g\n",
+              PlanToExpression(*response.plan, *graph).c_str(), response.cost,
+              response.cardinality);
+  return 0;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
@@ -700,12 +868,19 @@ int Usage(const char* argv0) {
                "  %s list\n"
                "  %s cache    save <snapshot> <spec-file|-> [algo] [cost]\n"
                "  %s cache    load|inspect <snapshot>\n"
+               "  %s serve\n"
+               "  %s query    --connect HOST:PORT <spec-file|-> [algo] "
+               "[cost]\n"
                "flags:  --best-effort  salvage a complete plan from the\n"
                "        partial memo when a limit trips (exit 9, report on\n"
                "        stderr) instead of failing with exit 6\n"
                "limits: JOINOPT_DEADLINE_S=<s> JOINOPT_MEMO_BUDGET=<entries>\n"
                "        JOINOPT_THREADS=<n> (parallel orderers; 0 = auto)\n"
                "        malformed values exit 3 at startup, never fall back\n"
+               "serve:  JOINOPT_SERVE_LISTEN=HOST:PORT "
+               "JOINOPT_SERVE_MAX_CONNS=<n>\n"
+               "        JOINOPT_SERVE_IO_TIMEOUT_S=<s> plus the batch knobs\n"
+               "        (JOINOPT_SERVE_WORKERS, JOINOPT_QUEUE_DEPTH, ...)\n"
                "policy: JOINOPT_POLICY=<ladder> (Adaptive; see DESIGN.md)\n"
                "faults: JOINOPT_FAULT_SEED / JOINOPT_FAULT_{ALLOC,TRACE,"
                "DEADLINE,STATS}_AT\n"
@@ -713,9 +888,11 @@ int Usage(const char* argv0) {
                "            6 budget, 7 precondition, 8 internal,\n"
                "            9 best-effort plan, 10 replay divergence,\n"
                "            11 snapshot cold start (bad header or stale\n"
-               "            generation; skipped corrupt records stay exit 0)\n",
+               "            generation; skipped corrupt records stay exit 0),\n"
+               "            12 server unavailable (query --connect could\n"
+               "            not obtain a response)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -724,12 +901,19 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   using namespace joinopt;  // NOLINT(build/namespaces) — tool brevity.
-  // Strip --best-effort wherever it appears so the flag composes with
-  // every command's positional arguments.
+  // Strip --best-effort and --connect wherever they appear so the flags
+  // compose with every command's positional arguments.
+  std::string connect;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--best-effort") {
       g_best_effort = true;
+    } else if (std::string(argv[i]) == "--connect") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--connect needs HOST:PORT\n");
+        return 2;
+      }
+      connect = argv[++i];
     } else {
       argv[out++] = argv[i];
     }
@@ -787,6 +971,17 @@ int main(int argc, char** argv) {
   }
   if (command == "cache") {
     return Cache(argc, argv);
+  }
+  if (command == "serve") {
+    return Serve();
+  }
+  if (command == "query" && argc >= 3) {
+    if (connect.empty()) {
+      std::fprintf(stderr, "query needs --connect HOST:PORT\n");
+      return 2;
+    }
+    return Query(connect, argv[2], argc > 3 ? argv[3] : "DPccp",
+                 argc > 4 ? argv[4] : "cout");
   }
   if (command == "list") {
     return List();

@@ -51,6 +51,16 @@
 /// summary reports "snapshot fuzz: N mutations, M corrupt records
 /// skipped"; CI requires M >= 1 (the skip path actually ran).
 ///
+/// Every 13th iteration runs a wire-frame mutation round against the
+/// serving layer's wire codec (serve/wire.h): a pristine encoded request
+/// frame is built once, then each round decodes a mutated variant
+/// (truncation, single-bit flip, hostile length inflation). The decoder
+/// must return a TYPED outcome — kCorrupt with a detail, kIncomplete,
+/// or a whole frame — never a crash, and any frame that survives must
+/// be bit-identical to the pristine one through a full decode +
+/// re-encode cycle. The summary line "wire fuzz: N mutations, R
+/// rejected, ..." is grep-guarded in CI (R >= 1: the reject path ran).
+///
 /// With --repro-dir, the fuzzer doubles as a flight recorder: every
 /// fault-mode run whose optimization failed, and every violated oracle,
 /// is captured as a self-contained repro-NNN.joinopt bundle (capped by
@@ -81,7 +91,9 @@
 #include "joinopt.h"
 #include "serve/fingerprint.h"
 #include "serve/plan_cache.h"
+#include "serve/service.h"
 #include "serve/snapshot.h"
+#include "serve/wire.h"
 #include "testing/adversarial.h"
 #include "testing/fault_injection.h"
 #include "testing/repro.h"
@@ -400,6 +412,112 @@ void CheckSnapshotMutation(Random& rng, FuzzFailure* failure) {
   }
 }
 
+/// Wire-frame mutation fuzz state (serve/wire.h): the pristine encoded
+/// request (built once) and the outcome tallies the summary reports.
+struct WireFuzz {
+  bool ready = false;
+  std::string payload;   ///< canonical request payload
+  std::string pristine;  ///< the full encoded frame
+  uint64_t mutations = 0;
+  uint64_t rejected = 0;    ///< typed kCorrupt outcomes
+  uint64_t incomplete = 0;  ///< typed kIncomplete (streaming "need more")
+  uint64_t survivors = 0;   ///< frames that decoded whole
+};
+WireFuzz g_wire_fuzz;
+
+/// Builds the pristine wire frame and proves the codec's bit-identity
+/// contract on it: decode(encode(x)) == x at both the frame and the
+/// payload grammar layer.
+void InitWireFuzz(uint64_t seed, FuzzFailure* failure) {
+  WireFuzz& fuzz = g_wire_fuzz;
+  Random rng(seed * 52859 + 1);
+  std::string family;
+  Result<QueryGraph> graph = testing::DrawWorkloadGraph(rng, &family);
+  FUZZ_CHECK(graph.ok(), "wire fuzz: generator failed: %s",
+             graph.status().ToString().c_str());
+  serve::ServeRequest request;
+  request.graph = std::move(*graph);
+  request.orderer = "DPccp";
+  request.cost_model = "cout";
+  request.memo_entry_budget = 12345;
+  request.deadline_seconds = 0.25;
+  request.threads = 2;
+  fuzz.payload = serve::EncodeRequestPayload(request);
+  fuzz.pristine = serve::EncodeFrame(serve::FrameType::kRequest, fuzz.payload);
+  const serve::FrameDecodeResult decoded = serve::DecodeFrame(fuzz.pristine);
+  FUZZ_CHECK(decoded.outcome == serve::FrameDecode::kFrame &&
+                 decoded.frame.payload == fuzz.payload &&
+                 decoded.consumed == fuzz.pristine.size(),
+             "wire fuzz: pristine frame does not round-trip");
+  Result<serve::ServeRequest> round =
+      serve::DecodeRequestPayload(fuzz.payload);
+  FUZZ_CHECK(round.ok(), "wire fuzz: pristine payload decode failed: %s",
+             round.status().ToString().c_str());
+  FUZZ_CHECK(serve::EncodeRequestPayload(*round) == fuzz.payload,
+             "wire fuzz: canonical re-encode diverged from the pristine "
+             "payload");
+  fuzz.ready = true;
+}
+
+/// One wire-mutation round: corrupt the pristine frame one way and hold
+/// the decode contract — a typed outcome (kCorrupt with a detail,
+/// kIncomplete, or a whole frame), never a crash, and any surviving
+/// frame is bit-identical to the pristine one through a full
+/// decode + re-encode cycle.
+void CheckWireMutation(Random& rng, FuzzFailure* failure) {
+  WireFuzz& fuzz = g_wire_fuzz;
+  std::string mutant = fuzz.pristine;
+  const char* what = "";
+  switch (rng.Uniform(3)) {
+    case 0:
+      mutant.resize(rng.Uniform(mutant.size() + 1));
+      what = "truncation";
+      break;
+    case 1: {
+      const size_t offset = static_cast<size_t>(rng.Uniform(mutant.size()));
+      mutant[offset] =
+          static_cast<char>(mutant[offset] ^ (1 << rng.Uniform(8)));
+      what = "bit flip";
+      break;
+    }
+    default:
+      // Hostile length: a header that promises 4 GiB must be rejected
+      // at the ceiling, never allocated or waited for.
+      for (int i = 6; i <= 9; ++i) {
+        mutant[static_cast<size_t>(i)] = static_cast<char>(0xff);
+      }
+      what = "length inflation";
+      break;
+  }
+  ++fuzz.mutations;
+  const serve::FrameDecodeResult decoded = serve::DecodeFrame(mutant);
+  switch (decoded.outcome) {
+    case serve::FrameDecode::kCorrupt:
+      ++fuzz.rejected;
+      FUZZ_CHECK(!decoded.detail.empty(),
+                 "wire %s: kCorrupt without a detail string", what);
+      break;
+    case serve::FrameDecode::kIncomplete:
+      // Truncations land here by design: a prefix of a valid frame is
+      // indistinguishable from a slow writer mid-frame.
+      ++fuzz.incomplete;
+      break;
+    case serve::FrameDecode::kFrame: {
+      ++fuzz.survivors;
+      FUZZ_CHECK(decoded.frame.payload == fuzz.payload,
+                 "wire %s: surviving frame's payload is not bit-identical "
+                 "to the pristine one",
+                 what);
+      Result<serve::ServeRequest> round =
+          serve::DecodeRequestPayload(decoded.frame.payload);
+      FUZZ_CHECK(round.ok() &&
+                     serve::EncodeRequestPayload(*round) == fuzz.payload,
+                 "wire %s: survivor re-encode diverged", what);
+      break;
+    }
+  }
+}
+
 /// Catalog round trip with the kAdversarialStats point armed: validation
 /// passes, the handed-out graph is corrupted, the optimizer prologue
 /// must catch it.
@@ -489,6 +607,14 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
         CheckSnapshotMutation(rng, &failure);
       }
     }
+    if (!failure.failed && i % 13 == 5) {
+      if (!g_wire_fuzz.ready) {
+        InitWireFuzz(seed, &failure);
+      }
+      if (!failure.failed) {
+        CheckWireMutation(rng, &failure);
+      }
+    }
     if (failure.failed) {
       std::fprintf(stderr,
                    "FAIL iteration %" PRIu64 " mode=%s family=%s n=%d "
@@ -527,6 +653,10 @@ int Run(uint64_t seed, uint64_t iterations, bool verbose) {
   std::printf("snapshot fuzz: %" PRIu64 " mutations, %" PRIu64
               " corrupt records skipped\n",
               g_snapshot_fuzz.mutations, g_snapshot_fuzz.corrupt_skipped);
+  std::printf("wire fuzz: %" PRIu64 " mutations, %" PRIu64 " rejected, %"
+              PRIu64 " incomplete, %" PRIu64 " survivors\n",
+              g_wire_fuzz.mutations, g_wire_fuzz.rejected,
+              g_wire_fuzz.incomplete, g_wire_fuzz.survivors);
   return 0;
 }
 

@@ -79,6 +79,23 @@
 ///     flipped on disk and the load must skip exactly that record with
 ///     a typed count — never crash, never serve it.
 ///
+/// With --wire (POSIX only) the soak attacks the network front end
+/// (serve/server.h + serve/wire.h). Phase 1 forks a real wire server per
+/// cycle and drives it over TCP: kill cycles SIGKILL it mid-stream
+/// (client retry must come back with a typed kUnavailable; the snapshot
+/// must survive untorn; the next cycle must warm-restart into all-hit
+/// wire traffic, poisoning-oracle-checked), and the final cycle must
+/// drain to exit 0 on SIGTERM. Phase 2 runs an in-process protocol
+/// battery: loopback responses bit-identical to SubmitAndWait, hostile
+/// frames (garbage/bitflip/unknown-type/hostile-length/response-typed)
+/// each earning a typed error then a clean close, malformed payloads
+/// answered without dropping the connection, one-byte-at-a-time slow
+/// writers served, stalled writers deadline-closed, mid-frame
+/// disconnects shrugged off, and connection-table overflow shedding
+/// typed kOverloaded frames. The wire oracle everywhere: the server
+/// never crashes, and every outcome is a typed response or a clean
+/// close.
+///
 /// With --repro-dir, the soak doubles as a flight recorder. Each worker
 /// flushes a PARTIAL bundle (inputs, no expectation) to
 /// inflight-<worker>.joinopt BEFORE dispatching every query, so even the
@@ -115,16 +132,21 @@
 
 #ifndef _WIN32
 #include <csignal>
+#include <poll.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #endif
 
 #include "joinopt.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "testing/adversarial.h"
 #include "testing/fault_injection.h"
 #include "testing/repro.h"
 #include "testing/workloads.h"
+#include "util/net.h"
 
 namespace joinopt {
 namespace {
@@ -150,6 +172,8 @@ struct SoakConfig {
   bool service = false;
   /// Fork/SIGKILL chaos harness for snapshot persistence (POSIX only).
   bool crash_recovery = false;
+  /// Wire-protocol chaos harness (POSIX only; see RunWireMode).
+  bool wire = false;
   /// SIGKILL cycles before the final clean cycle.
   uint64_t crash_cycles = 3;
   /// Snapshot file for --crash-recovery; empty = per-run temp file.
@@ -1128,6 +1152,863 @@ int RunCrashRecovery(const SoakConfig&) {
 
 #endif  // _WIN32
 
+/// ---------------------------------------------------------------------
+/// Wire chaos mode (--wire).
+///
+/// Two phases, in this order because fork() from a threaded process is
+/// undefined enough that TSan refuses it: phase 1 runs ALL its forks
+/// before phase 2 creates the first in-process thread.
+///
+/// Phase 1 — process-kill cycles: a forked child runs the full wire
+/// server (OptimizerService + WireServer on an ephemeral port, snapshot
+/// on a 20 ms period); the supervisor drives it over real TCP with a
+/// WireClient. Kill cycles stream pool traffic, SIGKILL the server
+/// mid-stream, and check: the orphaned client's next Call returns a
+/// typed kUnavailable (never a hang or a crash), the snapshot on disk
+/// is a complete previous generation (torn-rename oracle), and the NEXT
+/// cycle's warm phase replays the whole pool as wire cache hits, each
+/// re-verified against a fresh DP by the poisoning oracle. The final
+/// cycle is killed with SIGTERM instead and must drain and exit 0.
+///
+/// Phase 2 — in-process protocol battery against a Start()ed server:
+///   A. loopback bit-identity: every pool query over the wire must
+///      match an in-process SubmitAndWait bit-for-bit (signature, cost,
+///      cardinality, algorithm);
+///   B. hostile frames (garbage, CRC bitflip, unknown type, hostile
+///      length, response-typed frame) each earn a typed error frame then
+///      a clean close; a malformed PAYLOAD in a valid frame earns a
+///      typed response and the connection keeps working;
+///   C. a one-byte-at-a-time slow writer inside the deadline succeeds;
+///      a writer that stalls mid-frame is deadline-closed;
+///   D. mid-frame disconnects and half-open peers never wedge the
+///      server;
+///   E. connection-table overflow sheds a typed kOverloaded frame at
+///      accept, and a client calling into the full table comes back
+///      with a typed kUnavailable after its retries — never a hang.
+/// ---------------------------------------------------------------------
+
+#ifndef _WIN32
+
+/// The wire pool sticks to the serial exact DPs: phase 1's poisoning
+/// oracle re-runs them in the SUPERVISOR between forks, and a parallel
+/// orderer there would make the parent multithreaded at fork time.
+Result<std::vector<PoolQuery>> BuildWirePool(uint64_t seed) {
+  static const char* const kSerialDPs[] = {"DPsize", "DPsub", "DPccp",
+                                           "DPhyp"};
+  Result<std::vector<PoolQuery>> pool = BuildServicePool(seed);
+  if (!pool.ok()) {
+    return pool;
+  }
+  for (size_t i = 0; i < pool->size(); ++i) {
+    Random rng(seed * 52711 + i);
+    (*pool)[i].orderer = kSerialDPs[rng.Uniform(4)];
+  }
+  return pool;
+}
+
+serve::ServeRequest WireRequestFor(const PoolQuery& pool_query) {
+  serve::ServeRequest request;
+  request.graph = pool_query.graph;
+  request.orderer = pool_query.orderer;
+  request.cost_model = "cout";
+  request.threads = 1;
+  return request;
+}
+
+serve::WireServer* volatile g_wire_child_server = nullptr;
+
+extern "C" void WireChildDrainSignal(int /*signum*/) {
+  serve::WireServer* server = g_wire_child_server;
+  if (server != nullptr) {
+    server->RequestStop();
+  }
+}
+
+/// The forked wire-server child: serves until SIGTERM (graceful drain,
+/// exit 0) or SIGKILL (the parent's chaos). Writes its ephemeral port
+/// to `port_path` via atomic rename so the parent never reads a torn
+/// handoff file.
+int RunWireServerChild(const std::string& snapshot_path,
+                       const std::string& port_path, double io_timeout) {
+  serve::ServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.queue_depth = 64;
+  service_config.max_retries = 2;
+  service_config.cache.capacity = 256;  // Holds the whole pool.
+  service_config.cache.shards = 2;
+  service_config.snapshot_path = snapshot_path;
+  service_config.snapshot_period_seconds = kCrashSnapshotPeriodSeconds;
+  auto service = serve::OptimizerService::Create(service_config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "joinopt_soak: wire child service failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  serve::WireServerConfig server_config;
+  server_config.listen.port = 0;
+  server_config.max_connections = 16;
+  server_config.io_timeout_seconds = io_timeout;
+  auto server = serve::WireServer::Create(server_config, service->get());
+  if (!server.ok()) {
+    std::fprintf(stderr, "joinopt_soak: wire child listen failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  g_wire_child_server = server->get();
+  std::signal(SIGTERM, WireChildDrainSignal);
+  {
+    const std::string tmp = port_path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << (*server)->port() << "\n";
+    out.close();
+    std::error_code ec;
+    std::filesystem::rename(tmp, port_path, ec);
+    if (ec) {
+      std::fprintf(stderr, "joinopt_soak: wire child port handoff failed\n");
+      return 1;
+    }
+  }
+  (*server)->Run();
+  g_wire_child_server = nullptr;
+  (*service)->Shutdown(/*drain=*/true);
+  return 0;
+}
+
+/// Phase 1 (see the mode comment above). Single-threaded on purpose.
+int WireForkPhase(const SoakConfig& config,
+                  const std::vector<PoolQuery>& pool) {
+  const std::string snapshot_path =
+      (std::filesystem::temp_directory_path() /
+       ("joinopt_wire_" + std::to_string(::getpid()) + ".snap"))
+          .string();
+  const std::string port_path = snapshot_path + ".port";
+  std::error_code ec;
+  std::filesystem::remove(snapshot_path, ec);
+  std::filesystem::remove(snapshot_path + ".tmp", ec);
+  std::filesystem::remove(port_path, ec);
+  // Generous per-exchange bound: sanitizer builds optimize slowly, and a
+  // false client timeout would read as a server failure.
+  const double io_timeout = std::max(3.0, config.watchdog_seconds / 10.0);
+
+  const uint64_t total_cycles = config.crash_cycles + 1;
+  for (uint64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    const bool final_cycle = cycle == total_cycles - 1;
+    std::filesystem::remove(port_path, ec);
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("joinopt_soak: fork");
+      return 1;
+    }
+    if (pid == 0) {
+      std::exit(RunWireServerChild(snapshot_path, port_path, io_timeout));
+    }
+
+    // Port handoff, bounded by the watchdog budget.
+    uint16_t port = 0;
+    const auto handoff_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config.watchdog_seconds));
+    while (std::chrono::steady_clock::now() < handoff_deadline) {
+      std::ifstream in(port_path);
+      unsigned value = 0;
+      if (in && (in >> value) && value > 0 && value <= 65535) {
+        port = static_cast<uint16_t>(value);
+        break;
+      }
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        std::fprintf(stderr,
+                     "joinopt_soak: wire cycle %" PRIu64
+                     " server died before handoff (status 0x%x)\n",
+                     cycle, static_cast<unsigned>(status));
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (port == 0) {
+      std::fprintf(stderr,
+                   "joinopt_soak: WATCHDOG: wire cycle %" PRIu64
+                   " server never published its port\n",
+                   cycle);
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      return 3;
+    }
+
+    serve::WireClientConfig client_config;
+    client_config.server = net::Endpoint{"127.0.0.1", port};
+    client_config.io_timeout_seconds = io_timeout;
+    client_config.max_retries = 2;
+    client_config.retry_backoff_seconds = 0.02;
+    client_config.seed = config.seed + cycle;
+    serve::WireClient client(client_config);
+    SharedState shared;
+
+    // Warm phase: the whole pool over the wire. After a restart every
+    // one must be a cache hit recovered from the snapshot, and every
+    // hit is re-verified against a fresh DP.
+    uint64_t hits = 0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      serve::ServeResponse response = client.Call(WireRequestFor(pool[i]));
+      if (response.status.code() == StatusCode::kUnavailable) {
+        std::fprintf(stderr,
+                     "joinopt_soak: wire cycle %" PRIu64
+                     " warm query %zu unreachable: %s\n",
+                     cycle, i, response.status.ToString().c_str());
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return 1;
+      }
+      if (response.cache_hit) {
+        ++hits;
+      }
+      InFlight flight;
+      flight.q = static_cast<uint64_t>(i);
+      flight.pool_index = static_cast<int>(i);
+      CheckServiceResponse(pool[i], flight, std::move(response), shared);
+      if (shared.failed.load()) {
+        std::fprintf(stderr, "joinopt_soak: wire cycle %" PRIu64 " FAIL %s\n",
+                     cycle, shared.failure_detail.c_str());
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return 1;
+      }
+    }
+    if (cycle > 0 && hits < pool.size()) {
+      std::fprintf(stderr,
+                   "joinopt_soak: wire cycle %" PRIu64 " retained only %"
+                   PRIu64 "/%zu warm hits after recovery\n",
+                   cycle, hits, pool.size());
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      return 1;
+    }
+    // Let the child's periodic snapshot thread persist the now-complete
+    // pool before any kill can land.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    if (final_cycle) {
+      // Graceful drain: SIGTERM must finish in-flight work and exit 0.
+      client.Disconnect();
+      ::kill(pid, SIGTERM);
+      int status = 0;
+      if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+          WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr,
+                     "joinopt_soak: wire final cycle did not drain to exit 0 "
+                     "(status 0x%x)\n",
+                     static_cast<unsigned>(status));
+        return 1;
+      }
+      break;
+    }
+
+    // Chaos stream, then the kill.
+    Random rng(config.seed * 18119 + cycle);
+    const uint64_t kill_after = 4 + rng.Uniform(24);
+    for (uint64_t q = 0; q < kill_after; ++q) {
+      const int pool_index = static_cast<int>(rng.Uniform(kPoolSize));
+      serve::ServeResponse response =
+          client.Call(WireRequestFor(pool[static_cast<size_t>(pool_index)]));
+      if (response.status.code() == StatusCode::kUnavailable) {
+        std::fprintf(stderr,
+                     "joinopt_soak: wire cycle %" PRIu64
+                     " server vanished mid-stream: %s\n",
+                     cycle, response.status.ToString().c_str());
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return 1;
+      }
+      InFlight flight;
+      flight.q = q;
+      flight.pool_index = pool_index;
+      CheckServiceResponse(pool[static_cast<size_t>(pool_index)], flight,
+                           std::move(response), shared);
+      if (shared.failed.load()) {
+        std::fprintf(stderr, "joinopt_soak: wire cycle %" PRIu64 " FAIL %s\n",
+                     cycle, shared.failure_detail.c_str());
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return 1;
+      }
+    }
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      std::perror("joinopt_soak: waitpid");
+      return 1;
+    }
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      std::fprintf(stderr,
+                   "joinopt_soak: wire cycle %" PRIu64
+                   " server exited before the kill (status 0x%x)\n",
+                   cycle, static_cast<unsigned>(status));
+      return 1;
+    }
+    // The orphaned client: its connection is now half-open (the peer is
+    // gone without a drain). The retry envelope must come back with a
+    // typed kUnavailable — never a hang, never an untyped failure.
+    serve::ServeResponse gone = client.Call(WireRequestFor(pool[0]));
+    if (gone.status.code() != StatusCode::kUnavailable) {
+      std::fprintf(stderr,
+                   "joinopt_soak: wire cycle %" PRIu64
+                   " post-kill call was not a typed kUnavailable: %s\n",
+                   cycle, gone.status.ToString().c_str());
+      return 1;
+    }
+    client.Disconnect();
+    if (!SnapshotSurvivedKill(snapshot_path, cycle)) {
+      return 1;
+    }
+    std::printf("joinopt_soak: wire cycle %" PRIu64 " killed after %" PRIu64
+                " queries; snapshot intact, client typed-unavailable\n",
+                cycle, kill_after);
+  }
+
+  std::filesystem::remove(snapshot_path, ec);
+  std::filesystem::remove(snapshot_path + ".tmp", ec);
+  std::filesystem::remove(port_path, ec);
+  return 0;
+}
+
+/// Appends whatever the server sends until EOF or `patience` elapses.
+/// Returns true only on a clean close (EOF or reset).
+bool ReadUntilClose(int fd, std::string& buf, double patience) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(patience));
+  char tmp[4096];
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return false;
+    }
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count()) + 1;
+    const int revents = net::PollRetry(fd, POLLIN, wait_ms);
+    if (revents < 0) {
+      return true;  // A dead descriptor is as closed as it gets.
+    }
+    if (revents == 0) {
+      return false;
+    }
+    const int64_t n = net::ReadRetry(fd, tmp, sizeof(tmp));
+    if (n == 0) {
+      return true;
+    }
+    if (n < 0) {
+      const int err = static_cast<int>(-n);
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        continue;
+      }
+      return true;  // ECONNRESET and friends: the peer closed on us.
+    }
+    buf.append(tmp, static_cast<size_t>(n));
+  }
+}
+
+/// Reads exactly one complete frame. False on corruption, close, or
+/// timeout.
+bool ReadOneFrame(int fd, std::string& buf, double patience,
+                  serve::WireFrame& out) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(patience));
+  char tmp[4096];
+  for (;;) {
+    const serve::FrameDecodeResult decoded = serve::DecodeFrame(buf);
+    if (decoded.outcome == serve::FrameDecode::kFrame) {
+      out = decoded.frame;
+      buf.erase(0, decoded.consumed);
+      return true;
+    }
+    if (decoded.outcome == serve::FrameDecode::kCorrupt) {
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return false;
+    }
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count()) + 1;
+    const int revents = net::PollRetry(fd, POLLIN, wait_ms);
+    if (revents <= 0) {
+      return false;
+    }
+    const int64_t n = net::ReadRetry(fd, tmp, sizeof(tmp));
+    if (n == 0) {
+      return false;
+    }
+    if (n < 0) {
+      const int err = static_cast<int>(-n);
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        continue;
+      }
+      return false;
+    }
+    buf.append(tmp, static_cast<size_t>(n));
+  }
+}
+
+/// Phase 2 (see the mode comment above).
+int WireInProcessPhase(const SoakConfig& config,
+                       const std::vector<PoolQuery>& pool) {
+  serve::ServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.queue_depth = 16;
+  service_config.max_retries = 2;
+  service_config.cache.capacity = 256;
+  service_config.cache.shards = 4;
+  auto service = serve::OptimizerService::Create(service_config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "joinopt_soak: wire service creation failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  serve::WireServerConfig server_config;
+  server_config.listen.port = 0;
+  server_config.max_connections = 4;  // Small: overflow is reachable.
+  server_config.io_timeout_seconds = 1.0;
+  auto server = serve::WireServer::Create(server_config, service->get());
+  if (!server.ok()) {
+    std::fprintf(stderr, "joinopt_soak: wire server creation failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  (*server)->Start();
+  const net::Endpoint endpoint{"127.0.0.1", (*server)->port()};
+  const double patience = std::max(6.0, config.watchdog_seconds / 5.0);
+
+  SharedState shared;
+  std::thread watchdog(Watchdog, std::ref(shared), config.watchdog_seconds,
+                       std::cref(config.repro_dir));
+  const auto tick = [&shared] {
+    shared.completed.fetch_add(1, std::memory_order_relaxed);
+  };
+  const auto finish = [&](int code) {
+    shared.done.store(true);
+    watchdog.join();
+    (*server)->Stop();
+    (*service)->Shutdown(/*drain=*/true);
+    if (code == 0 && shared.failed.load()) {
+      std::fprintf(stderr, "joinopt_soak: wire FAIL %s\n",
+                   shared.failure_detail.c_str());
+      return 1;
+    }
+    return code;
+  };
+
+  serve::WireClientConfig client_config;
+  client_config.server = endpoint;
+  client_config.io_timeout_seconds = std::max(3.0, patience / 2.0);
+  client_config.max_retries = 2;
+  client_config.retry_backoff_seconds = 0.01;
+  client_config.seed = config.seed;
+  serve::WireClient client(client_config);
+
+  // --- Round A: loopback bit-identity against SubmitAndWait. ---------
+  for (size_t i = 0; i < pool.size(); ++i) {
+    serve::ServeResponse wire = client.Call(WireRequestFor(pool[i]));
+    serve::ServeResponse local =
+        (*service)->SubmitAndWait(WireRequestFor(pool[i]));
+    if (wire.status.code() != local.status.code()) {
+      shared.Fail("wire query " + std::to_string(i) + ": wire status " +
+                  wire.status.ToString() + " != in-process " +
+                  local.status.ToString());
+      return finish(0);
+    }
+    if (wire.status.ok()) {
+      if (wire.signature != local.signature) {
+        shared.Fail("wire query " + std::to_string(i) +
+                    ": wire response diverges from in-process "
+                    "SubmitAndWait:\n" +
+                    wire.signature.DiffAgainst(local.signature));
+        return finish(0);
+      }
+      if (wire.cost != local.cost || wire.cardinality != local.cardinality ||
+          wire.algorithm != local.algorithm) {
+        shared.Fail("wire query " + std::to_string(i) +
+                    ": cost/cardinality/algorithm not bit-identical over "
+                    "the wire");
+        return finish(0);
+      }
+    }
+    InFlight flight;
+    flight.q = static_cast<uint64_t>(i);
+    flight.pool_index = static_cast<int>(i);
+    CheckServiceResponse(pool[i], flight, std::move(wire), shared);
+    if (shared.failed.load()) {
+      return finish(0);
+    }
+    tick();
+  }
+  client.Disconnect();  // Raw-socket rounds own the connection table.
+
+  const std::string good_payload =
+      serve::EncodeRequestPayload(WireRequestFor(pool[0]));
+  const std::string good_frame =
+      serve::EncodeFrame(serve::FrameType::kRequest, good_payload);
+  const auto raw_connect = [&]() -> int {
+    Result<int> fd = net::ConnectTcp(endpoint, patience);
+    if (!fd.ok()) {
+      shared.Fail("raw connect failed: " + fd.status().ToString());
+      return -1;
+    }
+    return *fd;
+  };
+  // A liveness probe after every hostile act: the server must still
+  // answer a clean query.
+  const auto alive = [&](const char* after) {
+    serve::ServeResponse probe = client.Call(WireRequestFor(pool[1]));
+    if (!probe.status.ok()) {
+      shared.Fail(std::string("server not serving after ") + after + ": " +
+                  probe.status.ToString());
+      return false;
+    }
+    client.Disconnect();
+    return true;
+  };
+
+  // --- Round B: hostile frames. --------------------------------------
+  struct Corruption {
+    const char* name;
+    std::string bytes;
+  };
+  std::vector<Corruption> corruptions;
+  corruptions.push_back({"garbage", "this is not a joinopt frame at all\n"});
+  {
+    std::string flipped = good_frame;
+    flipped[flipped.size() / 2] =
+        static_cast<char>(flipped[flipped.size() / 2] ^ 0x20);
+    corruptions.push_back({"crc bitflip", std::move(flipped)});
+  }
+  {
+    std::string bad_type = good_frame;
+    bad_type[5] = 9;
+    corruptions.push_back({"unknown type", std::move(bad_type)});
+  }
+  {
+    std::string hostile = good_frame;
+    hostile[6] = static_cast<char>(0xff);
+    hostile[7] = static_cast<char>(0xff);
+    hostile[8] = static_cast<char>(0xff);
+    hostile[9] = 0x7f;
+    corruptions.push_back({"hostile length", std::move(hostile)});
+  }
+  corruptions.push_back(
+      {"response-typed frame",
+       serve::EncodeFrame(serve::FrameType::kResponse, good_payload)});
+  for (const Corruption& corruption : corruptions) {
+    const int fd = raw_connect();
+    if (fd < 0) {
+      return finish(0);
+    }
+    const Status sent = net::SendAll(fd, corruption.bytes.data(),
+                                     corruption.bytes.size(), patience);
+    if (!sent.ok()) {
+      shared.Fail(std::string(corruption.name) +
+                  ": send failed: " + sent.ToString());
+      net::CloseQuiet(fd);
+      return finish(0);
+    }
+    std::string buf;
+    const bool closed = ReadUntilClose(fd, buf, patience);
+    net::CloseQuiet(fd);
+    if (!closed) {
+      shared.Fail(std::string(corruption.name) +
+                  ": server did not close the poisoned connection");
+      return finish(0);
+    }
+    serve::FrameDecodeResult decoded = serve::DecodeFrame(buf);
+    if (decoded.outcome != serve::FrameDecode::kFrame ||
+        decoded.frame.type != serve::FrameType::kResponse) {
+      shared.Fail(std::string(corruption.name) +
+                  ": no typed error frame before the close");
+      return finish(0);
+    }
+    Result<serve::ServeResponse> response =
+        serve::DecodeResponsePayload(decoded.frame.payload);
+    if (!response.ok() ||
+        response->status.code() != StatusCode::kInvalidArgument) {
+      shared.Fail(std::string(corruption.name) +
+                  ": error frame was not a typed kInvalidArgument");
+      return finish(0);
+    }
+    if (!alive(corruption.name)) {
+      return finish(0);
+    }
+    tick();
+  }
+
+  // A malformed payload inside a VALID frame: typed response, and the
+  // connection keeps serving.
+  {
+    const int fd = raw_connect();
+    if (fd < 0) {
+      return finish(0);
+    }
+    const std::string bad_payload = serve::EncodeFrame(
+        serve::FrameType::kRequest, "joinopt-wire v1\nnonsense\n");
+    Status sent =
+        net::SendAll(fd, bad_payload.data(), bad_payload.size(), patience);
+    std::string buf;
+    serve::WireFrame frame;
+    if (!sent.ok() || !ReadOneFrame(fd, buf, patience, frame)) {
+      shared.Fail("bad payload: no typed response");
+      net::CloseQuiet(fd);
+      return finish(0);
+    }
+    Result<serve::ServeResponse> typed =
+        serve::DecodeResponsePayload(frame.payload);
+    if (!typed.ok() ||
+        typed->status.code() != StatusCode::kInvalidArgument) {
+      shared.Fail("bad payload: response was not a typed kInvalidArgument");
+      net::CloseQuiet(fd);
+      return finish(0);
+    }
+    sent = net::SendAll(fd, good_frame.data(), good_frame.size(), patience);
+    if (!sent.ok() || !ReadOneFrame(fd, buf, patience, frame) ||
+        !(typed = serve::DecodeResponsePayload(frame.payload)).ok() ||
+        !typed->status.ok()) {
+      shared.Fail("bad payload: connection did not survive the typed error");
+      net::CloseQuiet(fd);
+      return finish(0);
+    }
+    net::CloseQuiet(fd);
+    tick();
+  }
+
+  // --- Round C: slow writer, then a stalled one. ---------------------
+  {
+    const int fd = raw_connect();
+    if (fd < 0) {
+      return finish(0);
+    }
+    Status sent = Status::OK();
+    for (size_t i = 0; i < good_frame.size() && sent.ok(); ++i) {
+      sent = net::SendAll(fd, good_frame.data() + i, 1, patience);
+      if (i % 32 == 31) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    std::string buf;
+    serve::WireFrame frame;
+    Result<serve::ServeResponse> typed = Status::Internal("no frame");
+    if (!sent.ok() || !ReadOneFrame(fd, buf, patience, frame) ||
+        !(typed = serve::DecodeResponsePayload(frame.payload)).ok() ||
+        !typed->status.ok()) {
+      shared.Fail("slow writer inside the deadline did not get a response");
+      net::CloseQuiet(fd);
+      return finish(0);
+    }
+    net::CloseQuiet(fd);
+    tick();
+  }
+  {
+    const int fd = raw_connect();
+    if (fd < 0) {
+      return finish(0);
+    }
+    // Header only, then silence: the read deadline must cut us off.
+    const Status sent = net::SendAll(fd, good_frame.data(), 10, patience);
+    std::string buf;
+    const bool closed =
+        sent.ok() && ReadUntilClose(fd, buf, patience);
+    net::CloseQuiet(fd);
+    if (!closed) {
+      shared.Fail("stalled mid-frame writer was not deadline-closed");
+      return finish(0);
+    }
+    const serve::WireServer::Stats stats = (*server)->StatsSnapshot();
+    if (stats.deadline_closes < 1) {
+      shared.Fail("deadline close not counted in server stats");
+      return finish(0);
+    }
+    if (!alive("a stalled writer")) {
+      return finish(0);
+    }
+    tick();
+  }
+
+  // --- Round D: mid-frame disconnects. -------------------------------
+  for (int k = 0; k < 10; ++k) {
+    const int fd = raw_connect();
+    if (fd < 0) {
+      return finish(0);
+    }
+    const size_t cut = 1 + (static_cast<size_t>(k) * 7) %
+                               (good_frame.size() - 1);
+    (void)net::SendAll(fd, good_frame.data(), cut, patience);
+    net::CloseQuiet(fd);  // Abrupt: the server sees EOF mid-frame.
+  }
+  if (!alive("10 mid-frame disconnects")) {
+    return finish(0);
+  }
+  tick();
+
+  // --- Round E: connection-table overflow. ---------------------------
+  // A dedicated server instance makes the overflow deterministic: the
+  // main server's 1s idle deadline races the fill (a stale connection
+  // from an earlier round can be reaped between the fill and the probe,
+  // reopening a slot), so this one gets a deadline comfortably longer
+  // than the round and its accepts are awaited explicitly.
+  uint64_t overflow_sheds_total = 0;
+  {
+    serve::WireServerConfig overflow_config;
+    overflow_config.listen.port = 0;
+    overflow_config.max_connections = 4;
+    overflow_config.io_timeout_seconds = std::max(10.0, 2.0 * patience);
+    auto overflow_server =
+        serve::WireServer::Create(overflow_config, service->get());
+    if (!overflow_server.ok()) {
+      shared.Fail("overflow server creation failed: " +
+                  overflow_server.status().ToString());
+      return finish(0);
+    }
+    (*overflow_server)->Start();
+    const net::Endpoint overflow_endpoint{"127.0.0.1",
+                                          (*overflow_server)->port()};
+    std::vector<int> idle;
+    for (int i = 0; i < overflow_config.max_connections; ++i) {
+      Result<int> fd = net::ConnectTcp(overflow_endpoint, patience);
+      if (!fd.ok()) {
+        shared.Fail("overflow setup connect failed: " +
+                    fd.status().ToString());
+        break;
+      }
+      idle.push_back(*fd);
+    }
+    // connect() returning only proves the SYN queue took us; wait until
+    // the event loop has actually accepted all four into the table.
+    Stopwatch accept_wait;
+    while (!shared.failed.load() &&
+           (*overflow_server)->StatsSnapshot().accepted <
+               static_cast<uint64_t>(overflow_config.max_connections) &&
+           accept_wait.ElapsedSeconds() < patience) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!shared.failed.load() &&
+        (*overflow_server)->StatsSnapshot().accepted <
+            static_cast<uint64_t>(overflow_config.max_connections)) {
+      shared.Fail("overflow setup: table never filled");
+    }
+    if (shared.failed.load()) {
+      for (const int fd : idle) {
+        net::CloseQuiet(fd);
+      }
+      (*overflow_server)->Stop();
+      return finish(0);
+    }
+    Result<int> extra = net::ConnectTcp(overflow_endpoint, patience);
+    if (extra.ok()) {
+      std::string buf;
+      const bool closed = ReadUntilClose(*extra, buf, patience);
+      net::CloseQuiet(*extra);
+      serve::FrameDecodeResult decoded = serve::DecodeFrame(buf);
+      Result<serve::ServeResponse> shed = Status::Internal("no frame");
+      if (!closed || decoded.outcome != serve::FrameDecode::kFrame ||
+          !(shed = serve::DecodeResponsePayload(decoded.frame.payload))
+               .ok() ||
+          !shed->shed ||
+          shed->status.code() != StatusCode::kOverloaded) {
+        shared.Fail("table overflow did not shed a typed kOverloaded "
+                    "frame before closing");
+      }
+    } else {
+      shared.Fail("overflow connect was refused outright: " +
+                  extra.status().ToString());
+    }
+    // A client hammering the full table must come back typed, not hang.
+    if (!shared.failed.load()) {
+      serve::WireClientConfig jam_config = client_config;
+      jam_config.server = overflow_endpoint;
+      jam_config.io_timeout_seconds = 1.0;
+      serve::WireClient jam_client(jam_config);
+      serve::ServeResponse jammed = jam_client.Call(WireRequestFor(pool[0]));
+      if (jammed.status.code() != StatusCode::kUnavailable &&
+          jammed.status.code() != StatusCode::kOverloaded) {
+        shared.Fail("call into a full table was not typed "
+                    "kUnavailable/kOverloaded: " +
+                    jammed.status.ToString());
+      }
+    }
+    for (const int fd : idle) {
+      net::CloseQuiet(fd);
+    }
+    const serve::WireServer::Stats overflow_stats =
+        (*overflow_server)->StatsSnapshot();
+    overflow_sheds_total = overflow_stats.overflow_sheds;
+    (*overflow_server)->Stop();
+    if (shared.failed.load()) {
+      return finish(0);
+    }
+    if (overflow_stats.overflow_sheds < 1) {
+      shared.Fail("overflow shed not counted in server stats");
+      return finish(0);
+    }
+    if (!alive("the overflow round")) {
+      return finish(0);
+    }
+    tick();
+  }
+
+  const serve::WireServer::Stats stats = (*server)->StatsSnapshot();
+  const int code = finish(0);
+  if (code == 0) {
+    std::printf("joinopt_soak: wire in-process battery clean: %" PRIu64
+                " accepted, %" PRIu64 " responses, %" PRIu64
+                " protocol errors, %" PRIu64 " deadline closes, %" PRIu64
+                " overflow sheds, %" PRIu64 " peer closes\n",
+                stats.accepted, stats.responses, stats.protocol_errors,
+                stats.deadline_closes,
+                stats.overflow_sheds + overflow_sheds_total,
+                stats.peer_closes);
+  }
+  return code;
+}
+
+int RunWireMode(const SoakConfig& config) {
+  Result<std::vector<PoolQuery>> pool = BuildWirePool(config.seed);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "joinopt_soak: wire pool generator failed: %s\n",
+                 pool.status().ToString().c_str());
+    return 1;
+  }
+  // Fork phase strictly first: no in-process thread may exist at fork
+  // time (TSan enforces this; plain builds merely deadlock eventually).
+  const int forked = WireForkPhase(config, *pool);
+  if (forked != 0) {
+    return forked;
+  }
+  const int in_process = WireInProcessPhase(config, *pool);
+  if (in_process != 0) {
+    return in_process;
+  }
+  std::printf("joinopt_soak: wire chaos clean: %" PRIu64
+              " kill cycles + 1 drain cycle + in-process battery, pool %d, "
+              "seed %" PRIu64 "\n",
+              config.crash_cycles, kPoolSize, config.seed);
+  return 0;
+}
+
+#else  // _WIN32
+
+int RunWireMode(const SoakConfig&) {
+  std::fprintf(stderr,
+               "joinopt_soak: --wire requires fork() and POSIX sockets; not "
+               "supported on this platform\n");
+  return 2;
+}
+
+#endif  // _WIN32
+
 int Run(const SoakConfig& config) {
   // Pre-compute the sentinel optimum (and force registry construction)
   // on the main thread before any worker exists.
@@ -1195,6 +2076,8 @@ int main(int argc, char** argv) {
       config.service = true;
     } else if (std::strcmp(argv[i], "--crash-recovery") == 0) {
       config.crash_recovery = true;
+    } else if (std::strcmp(argv[i], "--wire") == 0) {
+      config.wire = true;
     } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
       config.crash_cycles = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
@@ -1202,13 +2085,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--queries N] [--seed S]"
-                   " [--repro-dir DIR] [--service]"
+                   " [--repro-dir DIR] [--service] [--wire]"
                    " [--crash-recovery] [--cycles N] [--snapshot PATH]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (config.crash_recovery &&
+  if ((config.crash_recovery || config.wire) &&
       (config.crash_cycles < 1 || config.crash_cycles > 64)) {
     std::fprintf(stderr, "joinopt_soak: --cycles must be in [1, 64]\n");
     return 2;
@@ -1249,6 +2132,9 @@ int main(int argc, char** argv) {
   }
   if (config.crash_recovery) {
     return joinopt::RunCrashRecovery(config);
+  }
+  if (config.wire) {
+    return joinopt::RunWireMode(config);
   }
   return config.service ? joinopt::RunServiceMode(config)
                         : joinopt::Run(config);
