@@ -12,7 +12,9 @@
 /// explicit thread sweep of the parallel orderers (serial baselines +
 /// DPsizePar/DPsubPar at 1/2/4/8 threads on clique-16) and emits one
 /// JOINOPT_BENCH_JSON line per cell — the seed of the BENCH_parallel.json
-/// perf trajectory (see tools/ci.sh).
+/// perf trajectory (see tools/ci.sh) — and `--conv-head-to-head` runs the
+/// DPccp-vs-DPconv clique-16 duel the same way (ci.sh fails the build if
+/// the DPconv cell is slower than DPccp's).
 
 #include <benchmark/benchmark.h>
 
@@ -89,6 +91,9 @@ void BM_DPsize_Clique10(benchmark::State& state) {
 }
 void BM_DPsub_Clique10(benchmark::State& state) {
   RunOptimizer(state, "DPsub", QueryShape::kClique, 10);
+}
+void BM_DPconv_Clique10(benchmark::State& state) {
+  RunOptimizer(state, "DPconv", QueryShape::kClique, 10);
 }
 void BM_DPccp_Clique10(benchmark::State& state) {
   RunOptimizer(state, "DPccp", QueryShape::kClique, 10);
@@ -169,6 +174,7 @@ BENCHMARK(BM_DPsub_Star12);
 BENCHMARK(BM_DPccp_Star12);
 BENCHMARK(BM_DPsize_Clique10);
 BENCHMARK(BM_DPsub_Clique10);
+BENCHMARK(BM_DPconv_Clique10);
 BENCHMARK(BM_DPccp_Clique10);
 BENCHMARK(BM_Greedy_Clique10);
 BENCHMARK(BM_DPccp_Chain40);
@@ -225,6 +231,46 @@ int RunThreadScaling() {
   return 0;
 }
 
+/// The --conv-head-to-head sweep: serial DPccp vs DPconv on clique-16
+/// under Cout — the paper-suite shape where csg-cmp enumeration pays
+/// O(3^n) while the subset convolution stays near O(2^n·n²). One JSON
+/// line per cell, BENCH_parallel.json-style; tools/ci.sh guards that the
+/// DPconv cell's wall-clock never exceeds DPccp's, and that both report
+/// the same optimal cost bit-for-bit.
+int RunConvHeadToHead() {
+  constexpr int kN = 16;
+  const Result<QueryGraph> graph = MakeShapeQuery(QueryShape::kClique, kN);
+  JOINOPT_CHECK(graph.ok());
+  const CoutCostModel cost_model;
+  std::printf("conv head-to-head, clique-%d, Cout\n", kN);
+  std::printf("%-12s  %10s  %14s  %22s\n", "cell", "seconds", "inner",
+              "cost");
+
+  double costs[2] = {0.0, 0.0};
+  const char* const cells[2] = {"DPccp", "DPconv"};
+  for (int i = 0; i < 2; ++i) {
+    OptimizerStats stats;
+    const double seconds = bench::MeasureSeconds(
+        bench::Orderer(cells[i]), *graph, cost_model, &stats);
+    Result<OptimizationResult> result =
+        bench::Orderer(cells[i]).Optimize(*graph, cost_model);
+    JOINOPT_CHECK(result.ok());
+    costs[i] = result->cost;
+    bench::EmitBenchJson(cells[i], "clique", kN, stats, seconds);
+    std::printf("%-12s  %10.4f  %14llu  %22.17g\n", cells[i], seconds,
+                static_cast<unsigned long long>(stats.inner_counter),
+                costs[i]);
+  }
+  if (costs[0] != costs[1]) {
+    std::fprintf(stderr,
+                 "conv head-to-head: cost mismatch DPccp %.17g vs "
+                 "DPconv %.17g\n",
+                 costs[0], costs[1]);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace joinopt
 
@@ -233,6 +279,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--thread-scaling") == 0) {
       return joinopt::RunThreadScaling();
+    }
+    if (std::strcmp(argv[i], "--conv-head-to-head") == 0) {
+      return joinopt::RunConvHeadToHead();
     }
   }
   benchmark::Initialize(&argc, argv);

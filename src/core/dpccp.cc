@@ -18,7 +18,10 @@ Result<OptimizationResult> DPccp::Optimize(OptimizerContext& ctx) const {
   const bool identity = numbering->IsIdentity();
   const QueryGraph relabeled_storage =
       identity ? QueryGraph() : RelabelGraph(graph, *numbering);
-  const WorkGraphScope scope(ctx, identity ? graph : relabeled_storage);
+  // The numbering rides along so per-set estimates are computed in the
+  // ORIGINAL label order — bit-identical to the non-relabeling DPs.
+  const WorkGraphScope scope(ctx, identity ? graph : relabeled_storage,
+                             identity ? nullptr : &numbering->new_to_old);
   const QueryGraph& work_graph = ctx.work_graph();
 
   ctx.InstallTable(internal::MakeAdaptivePlanTable(

@@ -95,7 +95,9 @@ Result<std::vector<RankedPlan>> KBestJoinOrderer::Optimize(
   const bool identity = numbering->IsIdentity();
   const QueryGraph relabeled_storage =
       identity ? QueryGraph() : RelabelGraph(graph, *numbering);
-  const WorkGraphScope scope(ctx, identity ? graph : relabeled_storage);
+  // Numbering-invariant estimates, exactly as in DPccp (see there).
+  const WorkGraphScope scope(ctx, identity ? graph : relabeled_storage,
+                             identity ? nullptr : &numbering->new_to_old);
   const QueryGraph& work_graph = ctx.work_graph();
   OptimizerStats& stats = ctx.stats();
 

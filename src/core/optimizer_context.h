@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "bitset/node_set.h"
 #include "cost/cardinality.h"
@@ -271,9 +272,19 @@ class OptimizerContext {
   /// Points the context (and its estimator) at a relabeled graph. Use
   /// WorkGraphScope instead of calling this directly — the installed
   /// graph is typically a local of Optimize and must not outlive it.
-  void SetWorkGraph(const QueryGraph& graph) {
+  ///
+  /// When `new_to_old` is supplied (work label -> original node index,
+  /// borrowed for the scope's lifetime) the estimator stays bound to the
+  /// ORIGINAL graph and translates sets back before evaluating, so
+  /// per-set estimates — and therefore plan costs — are bit-identical
+  /// across relabeled and non-relabeled enumerations (see
+  /// cost/cardinality.h on numbering invariance).
+  void SetWorkGraph(const QueryGraph& graph,
+                    const std::vector<int>* new_to_old = nullptr) {
     work_graph_ = &graph;
-    estimator_ = CardinalityEstimator(graph);
+    estimator_ = new_to_old == nullptr
+                     ? CardinalityEstimator(graph)
+                     : CardinalityEstimator(*graph_, *new_to_old);
   }
   void ResetWorkGraph() { SetWorkGraph(*graph_); }
 
@@ -345,9 +356,10 @@ class OptimizerContext {
 /// dangle inside a caller-owned context.
 class WorkGraphScope {
  public:
-  WorkGraphScope(OptimizerContext& ctx, const QueryGraph& work_graph)
+  WorkGraphScope(OptimizerContext& ctx, const QueryGraph& work_graph,
+                 const std::vector<int>* new_to_old = nullptr)
       : ctx_(ctx) {
-    ctx_.SetWorkGraph(work_graph);
+    ctx_.SetWorkGraph(work_graph, new_to_old);
   }
   ~WorkGraphScope() { ctx_.ResetWorkGraph(); }
 

@@ -7,6 +7,7 @@
 #include "core/dp_cross_products.h"
 #include "core/dp_parallel.h"
 #include "core/dpccp.h"
+#include "core/dpconv.h"
 #include "core/dpsize.h"
 #include "core/dpsize_linear.h"
 #include "core/dpsub.h"
@@ -58,6 +59,7 @@ OrdererMap BuildBuiltins() {
   map.emplace("DPsubBFS",
               std::make_unique<DPsub>(/*use_table_connectivity_test=*/false));
   map.emplace("DPccp", std::make_unique<DPccp>());
+  map.emplace("DPconv", std::make_unique<DPconv>());
   map.emplace("DPsizeLinear", std::make_unique<DPsizeLinear>());
   map.emplace("DPsizeCP", std::make_unique<DPsizeCP>());
   map.emplace("DPsubCP", std::make_unique<DPsubCP>());

@@ -4,6 +4,7 @@ namespace joinopt {
 
 double CardinalityEstimator::EstimateSet(NodeSet s) const {
   JOINOPT_DCHECK(!s.empty());
+  s = ToOriginal(s);
   double cardinality = 1.0;
   for (int v : s) {
     cardinality *= graph_->cardinality(v);

@@ -1,6 +1,8 @@
 #ifndef JOINOPT_COST_CARDINALITY_H_
 #define JOINOPT_COST_CARDINALITY_H_
 
+#include <vector>
+
 #include "bitset/node_set.h"
 #include "cost/saturation.h"
 #include "graph/query_graph.h"
@@ -27,10 +29,29 @@ namespace joinopt {
 /// validator therefore use EstimateSet — the canonical, split-invariant
 /// value — and JoinCardinality remains for order-insensitive uses
 /// (greedy pair selection, cross-product variants).
+///
+/// Canonical also means NUMBERING-invariant. Floating-point
+/// multiplication is commutative but not associative, so evaluating the
+/// same product over a BFS-relabeled copy of the graph (DPccp, k-best)
+/// accumulates in a different index order and can drift by an ulp —
+/// enough to flip a tie-break or break bit-exact cross-algorithm
+/// differentials. The remapping constructor therefore translates work-
+/// graph sets back to ORIGINAL labels and evaluates against the original
+/// graph, in its index order, so every orderer prices a set with the
+/// same rounded double.
 class CardinalityEstimator {
  public:
   /// The estimator borrows `graph`; the graph must outlive it.
   explicit CardinalityEstimator(const QueryGraph& graph) : graph_(&graph) {}
+
+  /// Numbering-invariant estimator for an algorithm running on a
+  /// relabeled work graph: sets arrive in work labels, are translated
+  /// through `new_to_old` (work label -> original node index), and are
+  /// evaluated against `original` in its canonical index order. Both
+  /// referents are borrowed and must outlive the estimator.
+  CardinalityEstimator(const QueryGraph& original,
+                       const std::vector<int>& new_to_old)
+      : graph_(&original), new_to_old_(&new_to_old) {}
 
   /// From-scratch estimate of |⋈ s|. Requires a non-empty set. Saturated
   /// into [0, kCardinalityCeiling]; see cost/saturation.h.
@@ -44,12 +65,28 @@ class CardinalityEstimator {
   /// comparison.
   double JoinCardinality(NodeSet s1, double card1, NodeSet s2,
                          double card2) const {
-    return SaturateCardinality(card1 * card2 *
-                               graph_->SelectivityBetween(s1, s2));
+    return SaturateCardinality(
+        card1 * card2 *
+        graph_->SelectivityBetween(ToOriginal(s1), ToOriginal(s2)));
   }
 
  private:
+  /// Identity without a remap; otherwise the set translated into the
+  /// original numbering (iterating the result then visits nodes in
+  /// ascending ORIGINAL index, the canonical accumulation order).
+  NodeSet ToOriginal(NodeSet s) const {
+    if (new_to_old_ == nullptr) {
+      return s;
+    }
+    NodeSet original;
+    for (int v : s) {
+      original.Add((*new_to_old_)[v]);
+    }
+    return original;
+  }
+
   const QueryGraph* graph_;
+  const std::vector<int>* new_to_old_ = nullptr;
 };
 
 }  // namespace joinopt

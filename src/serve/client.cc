@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -96,8 +97,12 @@ Result<ServeResponse> WireClient::Exchange(const ServeRequest& request,
       Disconnect();
       return Status::Unavailable("wire: response deadline exceeded");
     }
-    const int revents =
-        net::PollRetry(fd_, POLLIN, static_cast<int>(wait * 1000) + 1);
+    // Milliseconds for poll(2), capped at a day: a huge io_timeout
+    // would otherwise overflow the int conversion into a negative
+    // (infinite) poll timeout.
+    const int wait_ms =
+        static_cast<int>(std::min(wait * 1000.0, 86'400'000.0)) + 1;
+    const int revents = net::PollRetry(fd_, POLLIN, wait_ms);
     if (revents < 0) {
       Disconnect();
       return Status::Unavailable("wire: poll failed while receiving");
@@ -146,13 +151,20 @@ ServeResponse WireClient::Call(const ServeRequest& request) {
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0) {
       // Seeded exponential backoff with jitter in [0.5, 1.0) of the
-      // doubled base, capped so it never eats the whole budget.
+      // doubled base. The exponent is clamped so a huge max_retries
+      // cannot shift past the 64-bit width (UB); past 2^62 the delay is
+      // budget-capped anyway. The cap at half the remaining budget keeps
+      // the sleep from eating the whole deadline: the attempt after it
+      // always wakes with at least as much budget as it slept.
       double delay = config_.retry_backoff_seconds *
-                     static_cast<double>(uint64_t{1} << (attempt - 1)) *
+                     std::ldexp(1.0, std::min(attempt - 1, 62)) *
                      (0.5 + 0.5 * rng_.NextDouble());
       if (total_budget > 0) {
         const double left = total_budget - elapsed.ElapsedSeconds();
         if (left <= 0) {
+          last_failure = Status::Unavailable(
+              "wire: deadline budget exhausted before retry (last: " +
+              last_failure.message() + ")");
           break;
         }
         delay = std::min(delay, left * 0.5);
@@ -163,8 +175,15 @@ ServeResponse WireClient::Call(const ServeRequest& request) {
     }
     double attempt_deadline = config_.io_timeout_seconds;
     if (total_budget > 0) {
+      // Clamp the attempt to the time the caller actually has left. A
+      // non-positive remainder means the budget ran out pre-connect
+      // (e.g. the backoff sleep overshot on a loaded box): fail typed
+      // instead of re-encoding a zero/negative deadline_s on the wire.
       attempt_deadline = total_budget - elapsed.ElapsedSeconds();
       if (attempt_deadline <= 0) {
+        last_failure = Status::Unavailable(
+            "wire: deadline budget exhausted before attempt (last: " +
+            last_failure.message() + ")");
         break;
       }
     }

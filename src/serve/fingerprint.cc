@@ -5,6 +5,8 @@
 #include <numeric>
 #include <utility>
 
+#include "util/macros.h"
+
 namespace joinopt {
 namespace serve {
 
@@ -42,6 +44,20 @@ int64_t QuantizeStat(double x) {
   // 8 * 1020 keeps 2^(q/8) comfortably inside the finite double range in
   // both directions.
   constexpr int64_t kMaxBucket = 8 * 1020;
+  // Guard BEFORE llround: log2 of zero/negative is -inf/NaN and
+  // std::llround of a non-finite is unspecified (FE_INVALID plus an
+  // arbitrary value), which would let an unvalidated stat plant a
+  // garbage bucket in a canonical fingerprint. Zero, negatives, and NaN
+  // pin to the bottom bucket; +inf to the top — both dequantize to
+  // finite positive representatives.
+  if (JOINOPT_UNLIKELY(!(x > 0.0))) {
+    return -kMaxBucket;
+  }
+  if (JOINOPT_UNLIKELY(std::isinf(x))) {
+    return kMaxBucket;
+  }
+  // Denormals (log2 ≈ -1074) and 1e300-saturated stats (log2 ≈ +996.6)
+  // are finite here; the clamp absorbs the former, the latter fits.
   const int64_t q = std::llround(std::log2(x) * 8.0);
   return std::clamp(q, -kMaxBucket, kMaxBucket);
 }

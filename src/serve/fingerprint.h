@@ -19,9 +19,12 @@ namespace serve {
 /// optimizes the dequantized canonical graph rather than the raw request
 /// graph, they also produce the same plan, cost, and OutcomeSignature.
 /// That is what makes a cache hit bit-identical to a miss by
-/// construction instead of by approximation. Requires x finite and > 0
-/// (callers validate via ValidateGraphStatistics first); the bucket is
-/// clamped so DequantizeStat always returns a finite positive double.
+/// construction instead of by approximation. Total on all doubles: zero,
+/// negative, and NaN inputs pin to the bottom bucket and +inf to the top
+/// (callers validate via ValidateGraphStatistics first, but the
+/// quantizer no longer trusts that), and the bucket is clamped so
+/// DequantizeStat always returns a finite positive double — canonical
+/// fingerprints never contain a non-finite-derived bucket.
 int64_t QuantizeStat(double x);
 
 /// The representative value of bucket `q`: 2^(q/8).

@@ -31,7 +31,8 @@ using testing::ScopedFaultInjection;
 /// point with it so arrivals are counted without tripping.
 constexpr uint64_t kNeverFires = uint64_t{1} << 40;
 
-const char* const kExactDPs[] = {"DPsize", "DPsub", "DPccp", "DPhyp"};
+const char* const kExactDPs[] = {"DPsize", "DPsub", "DPccp", "DPconv",
+                                 "DPhyp"};
 
 struct Family {
   std::string name;

@@ -54,6 +54,36 @@ TEST(QuantizeStatTest, ExtremeValuesClampToFiniteBuckets) {
   EXPECT_TRUE(std::isfinite(huge));
 }
 
+TEST(QuantizeStatTest, NonPositiveAndNonFiniteInputsPinToFiniteBuckets) {
+  // log2(0) is -inf and llround of a non-finite is unspecified; the
+  // quantizer must be total so an unvalidated stat can never plant a
+  // garbage bucket in a canonical fingerprint. Zero, negatives, and NaN
+  // take the bottom bucket; +inf the top — all dequantize finite > 0.
+  const int64_t bottom = QuantizeStat(0.0);
+  EXPECT_EQ(QuantizeStat(-1.0), bottom);
+  EXPECT_EQ(QuantizeStat(-std::numeric_limits<double>::infinity()), bottom);
+  EXPECT_EQ(QuantizeStat(std::numeric_limits<double>::quiet_NaN()), bottom);
+  const int64_t top = QuantizeStat(std::numeric_limits<double>::infinity());
+  EXPECT_GT(top, bottom);
+  for (const int64_t q : {bottom, top}) {
+    const double representative = DequantizeStat(q);
+    EXPECT_TRUE(std::isfinite(representative)) << q;
+    EXPECT_GT(representative, 0.0) << q;
+  }
+}
+
+TEST(QuantizeStatTest, DenormalAndSaturatedCardinalitiesStayOrdered) {
+  // The smallest denormal and a 1e300-saturated cardinality both land on
+  // finite buckets, and ordering survives quantization at the extremes.
+  const int64_t denormal =
+      QuantizeStat(std::numeric_limits<double>::denorm_min());
+  const int64_t saturated = QuantizeStat(1e300);
+  EXPECT_LT(denormal, saturated);
+  EXPECT_EQ(denormal, QuantizeStat(0.0));  // Clamped into the same bucket.
+  EXPECT_TRUE(std::isfinite(DequantizeStat(denormal)));
+  EXPECT_TRUE(std::isfinite(DequantizeStat(saturated)));
+}
+
 // ---------------------------------------------------------------------
 // Canonicalization.
 // ---------------------------------------------------------------------

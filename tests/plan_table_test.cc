@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/optimizer.h"
+#include "core/registry.h"
 #include "graph/generators.h"
 
 namespace joinopt {
@@ -486,6 +487,62 @@ TEST(PlanTableTest, DpJoinCreationSurfacesLayerOverflowAsTypedBudgetError) {
   EXPECT_EQ(ctx.limit_status().code(), StatusCode::kBudgetExceeded);
   EXPECT_NE(ctx.limit_status().ToString().find("26-bit"), std::string::npos)
       << ctx.limit_status().ToString();
+}
+
+/// Relation-count guards of the 2^n-mask serial DPs: each must refuse
+/// with a typed kInvalidArgument at entry — before any enumeration or
+/// table allocation — instead of walking a years-long subset sweep or
+/// risking the 64-bit mask / 26-bit PlanRef offset arithmetic near the
+/// representation limits. Chain graphs keep construction O(n); the
+/// guards fire long before any per-mask work, so these pins are instant.
+TEST(PlanTableTest, SerialSubsetSweepsRefuseOversizedInputsTyped) {
+  const CoutCostModel cost_model;
+  const struct {
+    const char* orderer;
+    int refused_n;   // Smallest n the orderer must refuse...
+    int accepted_n;  // ...and a nearby n it must still solve.
+  } cases[] = {
+      {"DPsub", 40, 12},
+      {"DPsubCP", 25, 10},
+      {"DPsizeCP", 25, 10},
+      {"DPconv", 25, 12},
+  };
+  for (const auto& test : cases) {
+    const JoinOrderer* orderer = OptimizerRegistry::Get(test.orderer);
+    ASSERT_NE(orderer, nullptr) << test.orderer;
+    const Result<QueryGraph> refused =
+        MakeChainQuery(test.refused_n, WorkloadConfig{});
+    ASSERT_TRUE(refused.ok()) << test.orderer;
+    const auto result = orderer->Optimize(*refused, cost_model);
+    ASSERT_FALSE(result.ok()) << test.orderer;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << test.orderer << ": " << result.status().ToString();
+    // The refusal names the exponential it is avoiding (2^n or 3^n), so
+    // operators can route the query to a polynomial orderer instead of
+    // retrying.
+    EXPECT_NE(result.status().message().find("^n"), std::string::npos)
+        << test.orderer << ": " << result.status().ToString();
+    const Result<QueryGraph> accepted =
+        MakeChainQuery(test.accepted_n, WorkloadConfig{});
+    ASSERT_TRUE(accepted.ok()) << test.orderer;
+    EXPECT_TRUE(orderer->Optimize(*accepted, cost_model).ok())
+        << test.orderer;
+  }
+}
+
+/// The guard must also hold at the NodeSet representation ceiling
+/// (n = 63: `1 << n` is the last in-range shift, and a naive
+/// `(1 << n) - 1` limit computation is one relation away from UB).
+TEST(PlanTableTest, SubsetSweepGuardsHoldAtTheMaskWidthCeiling) {
+  const Result<QueryGraph> graph = MakeChainQuery(63, WorkloadConfig{});
+  ASSERT_TRUE(graph.ok());
+  const CoutCostModel cost_model;
+  for (const char* name : {"DPsub", "DPsubCP", "DPconv"}) {
+    const auto result = OptimizerRegistry::Get(name)->Optimize(*graph,
+                                                               cost_model);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << name;
+  }
 }
 
 #ifndef NDEBUG

@@ -20,10 +20,10 @@ namespace {
 /// that adding an algorithm without registering it (or silently dropping a
 /// registration) fails here instead of surfacing as a missing bench row.
 const char* const kBuiltins[] = {
-    "Adaptive",  "DPccp",    "DPhyp",        "DPsize", "DPsizeBasic",
-    "DPsizeCP",  "DPsizePar", "DPsizeLinear", "DPsub",  "DPsubBFS",
-    "DPsubCP",   "DPsubPar",  "GOO",          "IDP1",   "IKKBZ",
-    "LinDP",     "TDBasic",
+    "Adaptive",  "DPccp",     "DPconv",       "DPhyp",  "DPsize",
+    "DPsizeBasic", "DPsizeCP", "DPsizePar",   "DPsizeLinear", "DPsub",
+    "DPsubBFS",  "DPsubCP",   "DPsubPar",     "GOO",    "IDP1",
+    "IKKBZ",     "LinDP",     "TDBasic",
 };
 
 TEST(OptimizerRegistryTest, AllBuiltinsRegistered) {
@@ -89,9 +89,9 @@ enum class CostClass { kExact, kAtLeastOptimal, kAtMostOptimal };
 
 CostClass ClassOf(const std::string& name) {
   if (name == "DPsize" || name == "DPsizeBasic" || name == "DPsub" ||
-      name == "DPsubBFS" || name == "DPccp" || name == "TDBasic" ||
-      name == "DPhyp" || name == "Adaptive" || name == "DPsizePar" ||
-      name == "DPsubPar") {
+      name == "DPsubBFS" || name == "DPccp" || name == "DPconv" ||
+      name == "TDBasic" || name == "DPhyp" || name == "Adaptive" ||
+      name == "DPsizePar" || name == "DPsubPar") {
     return CostClass::kExact;
   }
   if (name == "DPsizeCP" || name == "DPsubCP") {

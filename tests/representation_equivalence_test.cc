@@ -69,7 +69,8 @@ std::vector<Family> AllFamilies() {
 /// signature is asserted equal to the dense one on top of the goldens.
 bool IsExactDP(const std::string& name) {
   return name == "DPsize" || name == "DPsub" || name == "DPccp" ||
-         name == "DPhyp" || name == "DPsizePar" || name == "DPsubPar";
+         name == "DPconv" || name == "DPhyp" || name == "DPsizePar" ||
+         name == "DPsubPar";
 }
 
 bool IsParallel(const std::string& name) {

@@ -23,6 +23,7 @@
 #include "testing/workloads.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace joinopt {
 namespace serve {
@@ -204,6 +205,48 @@ TEST(WireServerTest, NoServerYieldsTypedUnavailable) {
   EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
       << response.status.ToString();
   EXPECT_FALSE(response.plan.has_value());
+}
+
+TEST(WireServerTest, RetryBudgetExhaustionIsTypedAndBounded) {
+  // A request deadline far smaller than the configured backoff: the
+  // retry loop must clamp every sleep to the remaining budget and give
+  // up with a typed kUnavailable once the budget is exhausted
+  // pre-connect — never sleep through the caller's deadline or
+  // re-encode a zero/negative deadline_s on the wire.
+  WireClientConfig config;
+  config.server = {"127.0.0.1", 1};
+  config.io_timeout_seconds = 0.5;
+  config.max_retries = 50;
+  config.retry_backoff_seconds = 30.0;
+  WireClient client(config);
+  ServeRequest request = ChainRequest();
+  request.deadline_seconds = 0.2;
+  Stopwatch elapsed;
+  const ServeResponse response = client.Call(request);
+  // Budget 0.2s, sleeps capped at half the remainder: the whole call is
+  // bounded by a small multiple of the budget (generous slack for slow
+  // CI), nowhere near the 30s base backoff.
+  EXPECT_LT(elapsed.ElapsedSeconds(), 5.0);
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
+      << response.status.ToString();
+  EXPECT_NE(response.status.message().find("exhausted"), std::string::npos)
+      << response.status.ToString();
+  EXPECT_FALSE(response.plan.has_value());
+}
+
+TEST(WireServerTest, HugeRetryCountDoesNotOverflowTheBackoffShift) {
+  // 200 retries with a zero backoff base: attempts past 64 used to shift
+  // a uint64 by >= 64 (UB, flagged under UBSan). The doubling is now
+  // exponent-clamped; the loop must walk all attempts and return typed.
+  WireClientConfig config;
+  config.server = {"127.0.0.1", 1};
+  config.io_timeout_seconds = 0.05;
+  config.max_retries = 200;
+  config.retry_backoff_seconds = 0.0;
+  WireClient client(config);
+  const ServeResponse response = client.Call(ChainRequest());
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
+      << response.status.ToString();
 }
 
 TEST(WireServerTest, UnbindableEndpointIsATypedError) {

@@ -32,7 +32,10 @@ run_pass() {
   # cycle the differential fuzzer through all six round types (plain,
   # extreme, degenerate statistics, and the three fault injections);
   # under the sanitize pass this doubles as a leak/UB sweep of every
-  # error path.
+  # error path — including the DPconv slice: the subset-convolution
+  # orderer sits in the differential pool, so its zeta-transform
+  # workspace, its bit-identity-to-DPccp oracle, and its typed non-Cout
+  # rejection all run under ASan/UBSan here.
   # The runs also interleave snapshot-mutation rounds against the
   # plan-cache persistence layer; the guard below requires at least one
   # corrupt record to have been skipped without a nonzero exit — proof
@@ -145,6 +148,28 @@ if ratio > 1.15:
     print(f"FAIL: parallel representation overhead {ratio:.3f}x exceeds the 1.15x budget", file=sys.stderr)
     sys.exit(1)
 PYGUARD
+  echo "=== ${label}: conv head-to-head guard ==="
+  # DPconv's reason to exist is beating the csg-cmp enumeration on the
+  # paper's hardest shape: fail the build if the subset-convolution cell
+  # is slower than DPccp's on clique-16 under Cout. Both cells land in
+  # BENCH_parallel.json alongside the thread-scaling rows (the bench
+  # binary itself exits nonzero on any optimal-cost mismatch between the
+  # two, so the perf guard below can assume cost equality held).
+  JOINOPT_BENCH_JSON="${build_dir}/BENCH_parallel.json" \
+    "${build_dir}/bench/micro_optimizers" --conv-head-to-head
+  python3 - "${build_dir}/BENCH_parallel.json" <<'PYCONV'
+import json, sys
+cells = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        cell = json.loads(line)
+        cells[cell["algorithm"]] = cell["elapsed_s"]
+ccp, conv = cells["DPccp"], cells["DPconv"]
+print(f"DPconv/DPccp on clique-16: {conv:.3f}s / {ccp:.3f}s = {conv/ccp:.3f}x")
+if conv > ccp:
+    print(f"FAIL: DPconv ({conv:.3f}s) is slower than DPccp ({ccp:.3f}s) on clique-16", file=sys.stderr)
+    sys.exit(1)
+PYCONV
   echo "=== ${label}: memo representation bench ==="
   # Index-backend and layout throughput cells (BENCH_memo.json): slab
   # dense/sparse vs the pre-refactor hash-map-of-AoS baseline, plus the

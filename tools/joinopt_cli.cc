@@ -23,7 +23,8 @@
 ///
 /// shapes: chain cycle star clique
 /// algos:  any name from `joinopt_cli list` (default DPccp); the legacy
-///         aliases "linear" (DPsizeLinear) and "IDP" (IDP1) still work
+///         aliases "linear" (DPsizeLinear), "IDP" (IDP1), and "conv"
+///         (DPconv) still work
 /// costs:  cout (default) bestof hash nlj smj
 ///
 /// Optimization limits come from the environment: JOINOPT_DEADLINE_S
@@ -147,6 +148,9 @@ std::string ResolveAlgorithmName(const std::string& name) {
   }
   if (name == "IDP") {
     return "IDP1";
+  }
+  if (name == "conv") {
+    return "DPconv";
   }
   return name;
 }

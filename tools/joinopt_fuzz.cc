@@ -7,9 +7,13 @@
 /// star, clique, snowflake, grid, or random-connected; 2..10 relations)
 /// and puts it through one of six rounds, cycling deterministically:
 ///
-///   plain        legal statistics. DPsize, DPsub, DPccp, and DPhyp must
-///                all succeed, agree on the optimal cost, and produce
-///                PlanValidator-clean trees.
+///   plain        legal statistics. DPsize, DPsub, DPccp, DPhyp, the
+///                parallel variants, and (under Cout) DPconv must all
+///                succeed, agree on the optimal cost, and produce
+///                PlanValidator-clean trees. DPconv's cost must equal
+///                DPccp's BIT FOR BIT below the saturation regime; under
+///                non-Cout models DPconv must instead refuse with a typed
+///                kInvalidArgument.
 ///   extreme      legal-but-extreme statistics (cardinalities up to
 ///                1e305, selectivities down to 1e-305) that overflow
 ///                naive arithmetic immediately. Same oracle as `plain`,
@@ -102,9 +106,13 @@
 namespace joinopt {
 namespace {
 
-const char* const kAlgorithms[] = {"DPsize",    "DPsub",   "DPccp",
-                                   "DPhyp",     "DPsizePar", "DPsubPar"};
-constexpr int kAlgorithmCount = 6;
+const char* const kAlgorithms[] = {"DPsize",    "DPsub",     "DPccp",
+                                   "DPhyp",     "DPsizePar", "DPsubPar",
+                                   "DPconv"};
+constexpr int kAlgorithmCount = 7;
+/// Index of DPccp / DPconv in kAlgorithms, for the bit-identity oracle.
+constexpr int kDPccpIndex = 2;
+constexpr int kDPconvIndex = 6;
 
 /// Costs at or beyond this magnitude are treated as "saturated": the
 /// ceiling clamp makes the optimum depend on enumeration order, so the
@@ -164,11 +172,23 @@ void EmitRepro(testing::ReproBundle bundle) {
 /// validate, and their costs agree (up to saturation).
 void CheckAgreement(const QueryGraph& graph, const CostModel& cost_model,
                     FuzzFailure* failure) {
+  const bool cout_model = cost_model.name() == "Cout";
   double costs[kAlgorithmCount];
+  bool ran[kAlgorithmCount] = {};
   for (int a = 0; a < kAlgorithmCount; ++a) {
     const JoinOrderer* orderer = OptimizerRegistry::Get(kAlgorithms[a]);
     FUZZ_CHECK(orderer != nullptr, "%s missing from registry", kAlgorithms[a]);
     Result<OptimizationResult> result = orderer->Optimize(graph, cost_model);
+    if (a == kDPconvIndex && !cout_model) {
+      // DPconv's contract: any cost model other than Cout is refused
+      // typed at entry — never a silently suboptimal plan.
+      FUZZ_CHECK(!result.ok() &&
+                     result.status().code() == StatusCode::kInvalidArgument,
+                 "DPconv under %s: want typed InvalidArgument, got %s",
+                 std::string(cost_model.name()).c_str(),
+                 result.ok() ? "a plan" : result.status().ToString().c_str());
+      continue;
+    }
     FUZZ_CHECK(result.ok(), "%s failed: %s", kAlgorithms[a],
                result.status().ToString().c_str());
     FUZZ_CHECK(std::isfinite(result->cost) && result->cost <= kCostCeiling,
@@ -184,12 +204,26 @@ void CheckAgreement(const QueryGraph& graph, const CostModel& cost_model,
     FUZZ_CHECK(valid.ok(), "%s plan failed validation: %s", kAlgorithms[a],
                valid.ToString().c_str());
     costs[a] = result->cost;
+    ran[a] = true;
   }
   double min_cost = costs[0];
   double max_cost = costs[0];
   for (int a = 1; a < kAlgorithmCount; ++a) {
+    if (!ran[a]) {
+      continue;
+    }
     min_cost = std::min(min_cost, costs[a]);
     max_cost = std::max(max_cost, costs[a]);
+  }
+  if (cout_model && ran[kDPconvIndex] && min_cost < kSaturationRegime) {
+    // Below saturation the subset convolution and the csg-cmp sweep must
+    // land on the same double, bit for bit: per-set estimates are
+    // canonical (numbering-invariant) and both price the same partition
+    // space through the same saturated arithmetic.
+    FUZZ_CHECK(costs[kDPconvIndex] == costs[kDPccpIndex],
+               "DPconv cost %.17g != DPccp cost %.17g (bit-identity "
+               "contract)",
+               costs[kDPconvIndex], costs[kDPccpIndex]);
   }
   if (min_cost < kSaturationRegime) {
     // Exact regime: all enumerations explore the same bushy
@@ -198,9 +232,12 @@ void CheckAgreement(const QueryGraph& graph, const CostModel& cost_model,
     if (rel > 1e-6) {
       std::string breakdown;
       for (int a = 0; a < kAlgorithmCount; ++a) {
+        if (!ran[a]) {
+          continue;
+        }
         char cell[96];
-        std::snprintf(cell, sizeof(cell), "%s%s %.17g", a > 0 ? " " : "",
-                      kAlgorithms[a], costs[a]);
+        std::snprintf(cell, sizeof(cell), "%s%s %.17g",
+                      breakdown.empty() ? "" : " ", kAlgorithms[a], costs[a]);
         breakdown += cell;
       }
       FUZZ_CHECK(false,
@@ -233,8 +270,14 @@ void CheckFaultedRun(const QueryGraph& graph, const CostModel& cost_model,
                      const char* cost_model_name, testing::FaultPoint point,
                      Random& rng, uint64_t seed, uint64_t iteration,
                      FuzzFailure* failure) {
-  const JoinOrderer* orderer =
-      OptimizerRegistry::Get(kAlgorithms[rng.Uniform(kAlgorithmCount)]);
+  int pick = static_cast<int>(rng.Uniform(kAlgorithmCount));
+  if (pick == kDPconvIndex && std::strcmp(cost_model_name, "cout") != 0) {
+    // DPconv refuses non-Cout models at entry, before any fault point can
+    // fire; fault coverage would be vacuous. Deterministic substitution
+    // keeps the draw sequence (and thus every later iteration) stable.
+    pick = kDPccpIndex;
+  }
+  const JoinOrderer* orderer = OptimizerRegistry::Get(kAlgorithms[pick]);
   testing::FaultConfig fault;
   fault.at(point) = 1 + rng.Uniform(256);
 

@@ -151,9 +151,10 @@
 namespace joinopt {
 namespace {
 
-const char* const kAlgorithms[] = {"DPsize",    "DPsub",    "DPccp", "DPhyp",
-                                   "DPsizePar", "DPsubPar", "Adaptive"};
-constexpr int kAlgorithmCount = 7;
+const char* const kAlgorithms[] = {"DPsize",    "DPsub",    "DPccp",
+                                   "DPhyp",     "DPsizePar", "DPsubPar",
+                                   "Adaptive",  "DPconv"};
+constexpr int kAlgorithmCount = 8;
 
 /// Relative tolerance for cost comparisons: the baseline and the checked
 /// run price identical trees through identical arithmetic, so this only
@@ -1194,14 +1195,14 @@ int RunCrashRecovery(const SoakConfig&) {
 /// orderer there would make the parent multithreaded at fork time.
 Result<std::vector<PoolQuery>> BuildWirePool(uint64_t seed) {
   static const char* const kSerialDPs[] = {"DPsize", "DPsub", "DPccp",
-                                           "DPhyp"};
+                                           "DPhyp", "DPconv"};
   Result<std::vector<PoolQuery>> pool = BuildServicePool(seed);
   if (!pool.ok()) {
     return pool;
   }
   for (size_t i = 0; i < pool->size(); ++i) {
     Random rng(seed * 52711 + i);
-    (*pool)[i].orderer = kSerialDPs[rng.Uniform(4)];
+    (*pool)[i].orderer = kSerialDPs[rng.Uniform(5)];
   }
   return pool;
 }
